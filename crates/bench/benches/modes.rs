@@ -1,0 +1,23 @@
+//! Criterion version of E13: cycle-accurate vs fast functional mode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmtc::Options;
+use xmtsim::XmtConfig;
+use xmt_workloads::suite::{self, Variant};
+
+fn bench_modes(c: &mut Criterion) {
+    let w = suite::vecadd(2048, 1, Variant::Parallel, &Options::default()).unwrap();
+    let cfg = XmtConfig::fpga64();
+    let mut group = c.benchmark_group("modes");
+    group.sample_size(10);
+    group.bench_function("cycle_accurate", |b| {
+        b.iter(|| w.compiled.run(&cfg).unwrap().instructions)
+    });
+    group.bench_function("functional", |b| {
+        b.iter(|| w.compiled.run_functional().unwrap().instructions)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! **E11 — virtual-thread clustering** (paper §IV-C).
+//!
+//! The clustering pass groups `c` fine-grained virtual threads into one
+//! longer thread, amortizing the per-thread `ps`/`chkid` scheduling
+//! overhead. This harness sweeps the clustering factor on a very
+//! fine-grained kernel (a couple of instructions per virtual thread).
+//!
+//! Expected shape: clustering helps while threads are much shorter than
+//! the scheduling overhead, then flattens, and finally *hurts* when the
+//! factor gets so large that TCUs run out of work (load imbalance).
+
+use xmt_bench::render_table;
+use xmtc::Options;
+use xmtsim::XmtConfig;
+use xmt_workloads::suite;
+
+fn main() {
+    let n = 8192;
+    println!("E11: clustering factor sweep (fine-grained ALU kernel, N = {n}, 64 TCUs)\n");
+    // Two machines: the default pipelined 6-cycle ps unit, and a
+    // deep/contended thread-allocation tree (40-cycle ps) where the
+    // paper's scheduling-overhead argument bites.
+    for (label, ps_latency) in [("default ps unit (6 cy)", 6u32), ("costly ps unit (40 cy)", 40)] {
+        let mut cfg = XmtConfig::fpga64();
+        cfg.ps_latency = ps_latency;
+        let mut rows = Vec::new();
+        let mut base = 0u64;
+        for factor in [1u32, 2, 4, 8, 16, 32, 64, 256, 1024] {
+            let mut opts = Options::default();
+            opts.clustering = if factor == 1 { None } else { Some(factor) };
+            let w = suite::fine_grained(n, &opts).unwrap();
+            let r = w.run_and_verify(&cfg).unwrap();
+            if factor == 1 {
+                base = r.cycles;
+            }
+            rows.push(vec![
+                factor.to_string(),
+                r.stats.virtual_threads.to_string(),
+                r.cycles.to_string(),
+                format!("{:.2}x", base as f64 / r.cycles as f64),
+            ]);
+        }
+        println!("== {label} ==");
+        println!(
+            "{}",
+            render_table(
+                &["cluster factor", "virtual threads", "cycles", "speedup vs unclustered"],
+                &rows
+            )
+        );
+    }
+    println!(
+        "shape per §IV-C: coarsening amortizes thread-start overhead where that \
+         overhead is substantial; extreme factors destroy load balance. With the \
+         default pipelined ps unit thread starts are nearly free, so midrange \
+         clustering is a wash (documented in EXPERIMENTS.md)."
+    );
+}

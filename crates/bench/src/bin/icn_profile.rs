@@ -1,0 +1,56 @@
+//! **E2 — ICN host-time share** (paper §III-D).
+//!
+//! The paper reports that "for real-life XMTC programs, up to 60% of the
+//! time can be spent in simulating the interconnection network". This
+//! binary enables the simulator's host profiler and reports the fraction
+//! of host time spent in the memory-system model (ICN + cache modules +
+//! DRAM events) for a memory-bound and a compute-bound workload.
+
+use xmt_bench::render_table;
+use xmtc::Options;
+use xmtsim::XmtConfig;
+use xmt_workloads::micro::{build, MicroGroup, MicroParams};
+use xmt_workloads::suite::{self, Variant};
+
+fn main() {
+    let cfg = XmtConfig::chip1024();
+    let params = MicroParams { threads: 2048, iters: 48, data_words: 1 << 16 };
+    let opts = Options::default();
+
+    let mut rows = Vec::new();
+    let mut profile = |name: &str, compiled: &xmt_core::Compiled| {
+        let mut sim = compiled.simulator(&cfg);
+        sim.enable_host_profiling();
+        sim.run().expect("runs");
+        let hp = sim.host_profile().unwrap().clone();
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}%", 100.0 * hp.memory_fraction()),
+            format!("{:.2}s", hp.compute_s),
+            format!("{:.2}s", hp.memory_s),
+        ]);
+    };
+
+    profile(
+        "micro: parallel memory-intensive",
+        &build(MicroGroup::ParallelMemory, &params, &opts).unwrap(),
+    );
+    profile(
+        "micro: parallel compute-intensive",
+        &build(MicroGroup::ParallelCompute, &params, &opts).unwrap(),
+    );
+    let bfs = suite::bfs(2000, 8000, 42, Variant::Parallel, &opts).unwrap();
+    profile("bfs (real-life XMTC program)", &bfs.compiled);
+    let fft = suite::fft(1024, 7, Variant::Parallel, &opts).unwrap();
+    profile("fft (real-life XMTC program)", &fft.compiled);
+
+    println!("E2: share of simulator host time spent in the ICN/memory-system model\n");
+    println!(
+        "{}",
+        render_table(
+            &["workload", "memory-model share", "compute-model time", "memory-model time"],
+            &rows
+        )
+    );
+    println!("paper: up to 60% of simulation time in the interconnection network model");
+}

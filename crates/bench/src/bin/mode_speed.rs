@@ -1,0 +1,46 @@
+//! **E13 — functional vs cycle-accurate simulation speed** (paper
+//! §III-A).
+//!
+//! The fast functional mode replaces the cycle-accurate model with a
+//! mechanism that serializes parallel sections; it yields no timing but
+//! is "orders of magnitude faster", making it a quick debugging tool and
+//! a fast-forwarding vehicle. This harness runs the same workloads in
+//! both modes and reports host-time ratios.
+
+use xmt_bench::{rate, render_table, timed};
+use xmtc::Options;
+use xmtsim::XmtConfig;
+use xmt_workloads::suite::{self, Variant};
+
+fn main() {
+    let cfg = XmtConfig::chip1024();
+    let opts = Options::default();
+    println!("E13: cycle-accurate vs fast functional mode (host speed)\n");
+    let mut rows = Vec::new();
+    let workloads = vec![
+        suite::vecadd(16384, 1, Variant::Parallel, &opts).unwrap(),
+        suite::bfs(2000, 8000, 2, Variant::Parallel, &opts).unwrap(),
+        suite::fft(1024, 3, Variant::Parallel, &opts).unwrap(),
+        suite::ranksort(512, 4, Variant::Parallel, &opts).unwrap(),
+    ];
+    for w in &workloads {
+        let (rc, tc) = timed(|| w.run_and_verify(&cfg).unwrap());
+        let (rf, tf) = timed(|| w.run_functional_and_verify().unwrap());
+        rows.push(vec![
+            w.name.clone(),
+            format!("{tc:.3}s"),
+            format!("{tf:.3}s"),
+            format!("{:.0}x", tc / tf),
+            rate(rc.instructions as f64 / tc),
+            rate(rf.instructions as f64 / tf),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["workload", "cycle host", "func host", "speedup", "cyc instr/s", "func instr/s"],
+            &rows
+        )
+    );
+    println!("paper: functional mode is orders of magnitude faster (no cycle accuracy)");
+}

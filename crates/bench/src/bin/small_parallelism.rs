@@ -1,0 +1,52 @@
+//! **E9 — benefit from small amounts of parallelism** (paper §II-B,
+//! ref \[24\]).
+//!
+//! XMT's low-overhead thread start (ps-based allocation + broadcast)
+//! lets it profit from very little parallelism — the FFT comparison of
+//! \[24\] showed XMT reaching speedups with less application parallelism
+//! than multi-cores need. This harness sweeps the problem size of a
+//! fine-grained kernel and reports the parallel/serial crossover point.
+
+use xmt_bench::render_table;
+use xmtc::Options;
+use xmtsim::XmtConfig;
+use xmt_workloads::suite::{self, Variant};
+
+fn main() {
+    let opts = Options::default();
+    let cfg = XmtConfig::fpga64();
+    println!(
+        "E9: speedup vs problem size on {} TCUs (vecadd, fine-grained)\n",
+        cfg.n_tcus()
+    );
+    let mut rows = Vec::new();
+    let mut crossover = None;
+    for n in [2usize, 4, 8, 16, 32, 64, 128, 256, 512, 1024] {
+        let par = suite::vecadd(n, 9, Variant::Parallel, &opts).unwrap();
+        let ser = suite::vecadd(n, 9, Variant::Serial, &opts).unwrap();
+        let pc = par.run_and_verify(&cfg).unwrap().cycles;
+        let sc = ser.run_and_verify(&cfg).unwrap().cycles;
+        let speedup = sc as f64 / pc as f64;
+        if crossover.is_none() && speedup >= 1.0 {
+            crossover = Some(n);
+        }
+        rows.push(vec![
+            n.to_string(),
+            sc.to_string(),
+            pc.to_string(),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["N", "serial cycles", "parallel cycles", "speedup"], &rows)
+    );
+    match crossover {
+        Some(n) => println!(
+            "parallel execution pays off from N = {n} — effective support for \
+             small-scale parallelism (paper §II: \"benefit from very small \
+             amounts of parallelism\")"
+        ),
+        None => println!("no crossover in range"),
+    }
+}

@@ -1,0 +1,64 @@
+//! **E1 — Table I**: simulated throughputs of XMTSim.
+//!
+//! Runs the four handwritten microbenchmark groups — {parallel, serial} ×
+//! {memory, computation intensive} — on the 1024-TCU configuration and
+//! reports the simulator's throughput in simulated instructions per host
+//! second and simulated cycles per host second, exactly the two columns
+//! of the paper's Table I.
+//!
+//! Absolute numbers depend on the host (the paper used a 3 GHz Xeon
+//! 5160); the *shape* to compare is: computation-intensive benchmarks
+//! sustain order-of-magnitude higher instruction throughput than
+//! memory-intensive ones (memory packages drag through the ICN model),
+//! while serial-computation reaches by far the highest cycle rate.
+//!
+//! Usage: `table1 [--full]` (`--full` runs paper-scale workloads).
+
+use xmt_bench::{rate, render_table, timed};
+use xmtc::Options;
+use xmtsim::XmtConfig;
+use xmt_workloads::micro::{build, MicroGroup, MicroParams};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let cfg = XmtConfig::chip1024();
+    let params = if full {
+        MicroParams { threads: 4096, iters: 256, data_words: 1 << 18 }
+    } else {
+        MicroParams { threads: 2048, iters: 48, data_words: 1 << 16 }
+    };
+    println!(
+        "Table I reproduction: simulated throughputs of XMTSim\n\
+         configuration: {} TCUs ({} clusters x {}), {} cache modules\n",
+        cfg.n_tcus(),
+        cfg.clusters,
+        cfg.tcus_per_cluster,
+        cfg.cache_modules
+    );
+
+    let mut rows = Vec::new();
+    for group in MicroGroup::ALL {
+        let compiled = build(group, &params, &Options::default()).expect("compiles");
+        let mut sim = compiled.simulator(&cfg);
+        let (result, host_s) = timed(|| sim.run().expect("runs"));
+        rows.push(vec![
+            group.label().to_string(),
+            rate(result.instructions as f64 / host_s),
+            rate(result.cycles as f64 / host_s),
+            format!("{}", result.instructions),
+            format!("{}", result.cycles),
+            format!("{host_s:.2}s"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Benchmark Group", "Instruction/sec", "Cycle/sec", "instrs", "cycles", "host"],
+            &rows
+        )
+    );
+    println!(
+        "paper (Xeon 5160, 2011): 98K/2.23M/76K/1.7M instr/s and \
+         5.5K/10K/519K/4.2M cycle/s for the four rows"
+    );
+}

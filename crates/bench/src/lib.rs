@@ -1,0 +1,98 @@
+//! # xmt-bench — the experiment harness
+//!
+//! One binary per table/figure-level claim of the paper (see DESIGN.md's
+//! experiment index):
+//!
+//! | binary                | experiment |
+//! |-----------------------|------------|
+//! | `table1`              | E1 — Table I simulated throughputs |
+//! | `icn_profile`         | E2 — share of host time in the ICN/memory model |
+//! | `macro_actor_sweep`   | E3 — macro-actor vs per-component actors |
+//! | `speedups`            | E8 — parallel-vs-serial cycle speedups |
+//! | `small_parallelism`   | E9 — speedup vs problem size (crossover) |
+//! | `prefetch_sweep`      | E10 — prefetch buffer size/policy sweep |
+//! | `clustering_sweep`    | E11 — virtual-thread clustering factors |
+//! | `thermal_sweep`       | E12 — dynamic thermal management on/off |
+//! | `mode_speed`          | E13 — cycle-accurate vs functional mode speed |
+//!
+//! Criterion benches (`cargo bench`) cover the host-throughput-sensitive
+//! subset (Table I, the macro-actor experiment, mode speed and compile
+//! time) with statistical rigor; the binaries print paper-style tables.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Render an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = headers.len();
+    let mut width: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (k, cell) in r.iter().enumerate() {
+            width[k] = width[k].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (k, c) in cells.iter().enumerate() {
+            let w = width[k.min(ncol - 1)];
+            if k == 0 {
+                let _ = write!(out, "{c:<w$}");
+            } else {
+                let _ = write!(out, "  {c:>w$}");
+            }
+        }
+        out.push('\n');
+    };
+    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = width.iter().sum::<usize>() + 2 * (ncol - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for r in rows {
+        line(&mut out, r);
+    }
+    out
+}
+
+/// Format a rate with K/M suffixes, as Table I does.
+pub fn rate(per_sec: f64) -> String {
+    if per_sec >= 1e6 {
+        format!("{:.2}M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.1}K", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.0}")
+    }
+}
+
+/// Time a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "123456".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].starts_with("long-name"));
+    }
+
+    #[test]
+    fn rates_format() {
+        assert_eq!(rate(2_230_000.0), "2.23M");
+        assert_eq!(rate(98_000.0), "98.0K");
+        assert_eq!(rate(519.0), "519");
+    }
+}

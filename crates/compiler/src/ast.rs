@@ -1,0 +1,269 @@
+//! Abstract syntax of XMTC.
+//!
+//! XMTC is a single-program multiple-data extension of a C subset
+//! (paper §II-A): serial C code plus the `spawn(lo, hi) { ... }` parallel
+//! "loop", the virtual thread id `$`, and the prefix-sum primitives
+//! `ps(local, base)` / `psm(local, lvalue)`.
+
+use crate::lexer::Span;
+use std::fmt;
+
+/// XMTC types. Arrays appear only in declarations and decay to pointers
+/// in expressions, as in C.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    Int,
+    Float,
+    Void,
+    Ptr(Box<Type>),
+}
+
+impl Type {
+    /// Pointer to this type.
+    pub fn ptr(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+
+    /// The pointee, if this is a pointer.
+    pub fn deref(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Is this a scalar number (int or float)?
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Type::Int | Type::Float)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => f.write_str("int"),
+            Type::Float => f.write_str("float"),
+            Type::Void => f.write_str("void"),
+            Type::Ptr(t) => write!(f, "{t}*"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    BitAnd,
+    BitOr,
+    BitXor,
+    /// Short-circuit logical and/or.
+    LogAnd,
+    LogOr,
+}
+
+impl BinOp {
+    /// Does this operator produce an `int` 0/1 result?
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    /// Logical not (`!`).
+    Not,
+    /// Bitwise not (`~`).
+    BitNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    IntLit(i64),
+    FloatLit(f64),
+    Ident(String, Span),
+    /// `$` — the virtual thread id.
+    Dollar(Span),
+    Unary { op: UnOp, e: Box<Expr> },
+    Binary { op: BinOp, l: Box<Expr>, r: Box<Expr> },
+    /// `cond ? t : e`.
+    Ternary { c: Box<Expr>, t: Box<Expr>, e: Box<Expr> },
+    /// `base[idx]`.
+    Index { base: Box<Expr>, idx: Box<Expr> },
+    /// `*e`.
+    Deref(Box<Expr>),
+    /// `&e` (lvalues only).
+    AddrOf(Box<Expr>, Span),
+    /// `(type) e`.
+    Cast { ty: Type, e: Box<Expr> },
+    /// Function or builtin call.
+    Call { name: String, args: Vec<Expr>, span: Span },
+    /// `ps(local, base)` — hardware prefix-sum on a global register.
+    /// Both arguments are lvalues; evaluates to void.
+    Ps { local: Box<Expr>, base: Box<Expr>, span: Span },
+    /// `psm(local, target)` — prefix-sum to memory.
+    Psm { local: Box<Expr>, target: Box<Expr>, span: Span },
+}
+
+impl Expr {
+    /// The span most useful for diagnostics about this expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Ident(_, s)
+            | Expr::Dollar(s)
+            | Expr::AddrOf(_, s)
+            | Expr::Call { span: s, .. }
+            | Expr::Ps { span: s, .. }
+            | Expr::Psm { span: s, .. } => *s,
+            Expr::Unary { e, .. } | Expr::Deref(e) | Expr::Cast { e, .. } => e.span(),
+            Expr::Binary { l, .. } | Expr::Ternary { c: l, .. } | Expr::Index { base: l, .. } => {
+                l.span()
+            }
+            Expr::IntLit(_) | Expr::FloatLit(_) => Span::default(),
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration `ty name [= init];` or `ty name[n];`.
+    Decl {
+        name: String,
+        ty: Type,
+        /// Fixed element count for local arrays (serial code only).
+        array: Option<u32>,
+        init: Option<Expr>,
+        span: Span,
+    },
+    /// `target op= value;` (`op == None` is plain `=`).
+    Assign { target: Expr, op: Option<BinOp>, value: Expr, span: Span },
+    If { cond: Expr, then: Block, els: Option<Block> },
+    While { cond: Expr, body: Block },
+    DoWhile { body: Block, cond: Expr },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Block,
+    },
+    Break(Span),
+    Continue(Span),
+    Return(Option<Expr>, Span),
+    /// Expression statement (calls, ps/psm).
+    Expr(Expr),
+    /// `spawn(lo, hi) { ... }` (paper §II-A).
+    Spawn { lo: Expr, hi: Expr, body: Block, span: Span },
+    Block(Block),
+    Empty,
+}
+
+/// A brace-delimited statement list.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+/// Initializer of a global.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInit {
+    /// Scalar initializer (constant expression, folded by the parser).
+    Scalar(f64),
+    /// Array initializer list.
+    List(Vec<f64>),
+}
+
+/// A global variable declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    pub name: String,
+    pub ty: Type,
+    /// Element count when this is an array.
+    pub array: Option<u32>,
+    pub init: Option<GlobalInit>,
+    /// `volatile`: may be modified by other virtual threads; never cached
+    /// in a register across statements (paper §IV-A).
+    pub volatile: bool,
+    /// `const`: eligible for the cluster read-only caches.
+    pub is_const: bool,
+    pub span: Span,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub name: String,
+    pub ty: Type,
+    pub span: Span,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    pub name: String,
+    pub ret: Type,
+    pub params: Vec<Param>,
+    pub body: Block,
+    pub span: Span,
+    /// Set by the outliner on generated spawn functions.
+    pub is_outlined: bool,
+}
+
+/// A whole XMTC translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub globals: Vec<GlobalDecl>,
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+/// Walk all statements of a block, depth-first, applying `f` to each.
+pub fn walk_stmts<'a>(block: &'a Block, f: &mut impl FnMut(&'a Stmt)) {
+    for s in &block.stmts {
+        f(s);
+        match s {
+            Stmt::If { then, els, .. } => {
+                walk_stmts(then, f);
+                if let Some(e) = els {
+                    walk_stmts(e, f);
+                }
+            }
+            Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => walk_stmts(body, f),
+            Stmt::For { init, step, body, .. } => {
+                if let Some(i) = init {
+                    f(i);
+                }
+                if let Some(st) = step {
+                    f(st);
+                }
+                walk_stmts(body, f);
+            }
+            Stmt::Spawn { body, .. } => walk_stmts(body, f),
+            Stmt::Block(b) => walk_stmts(b, f),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Virtual-thread clustering (coarsening) — paper §IV-C.
+//!
+//! XMT encourages expressing all available parallelism, however
+//! fine-grained; but extremely fine-grained programs still benefit from
+//! *coarsening*: grouping `c` short virtual threads into one longer
+//! thread reduces the per-thread scheduling overhead (`ps`/`chkid`) and
+//! enables spatial-locality optimizations. This optional pre-pass
+//! rewrites
+//!
+//! ```text
+//! spawn(lo, hi) { BODY($) }
+//! ```
+//!
+//! into
+//!
+//! ```text
+//! spawn(0, ceil(n/c)-1) {
+//!     t = lo + $*c;
+//!     for i in 0..c { id = t + i; if (id <= hi) BODY(id) }
+//! }
+//! ```
+
+use crate::ast::*;
+use crate::sema::subst_dollar;
+
+/// Apply clustering with factor `c` to every spawn in the program.
+pub fn cluster(program: &mut Program, c: u32) {
+    assert!(c > 1, "clustering factor must be > 1");
+    let mut counter = 0u32;
+    for f in &mut program.functions {
+        cluster_block(&mut f.body, c, &mut counter);
+    }
+}
+
+fn cluster_block(b: &mut Block, c: u32, counter: &mut u32) {
+    for s in &mut b.stmts {
+        cluster_stmt(s, c, counter);
+    }
+}
+
+fn cluster_stmt(s: &mut Stmt, c: u32, counter: &mut u32) {
+    match s {
+        Stmt::Spawn { lo, hi, body, span } => {
+            let k = *counter;
+            *counter += 1;
+            let span = *span;
+            let lo_v = format!("__clu_lo{k}");
+            let hi_v = format!("__clu_hi{k}");
+            let t_v = format!("__clu_t{k}");
+            let i_v = format!("__clu_i{k}");
+            let id_v = format!("__clu_id{k}");
+            let ident = |n: &str| Expr::Ident(n.to_string(), span);
+
+            let mut inner = body.clone();
+            subst_dollar(&mut inner, &id_v);
+
+            // ceil(n/c) - 1  with n = hi - lo + 1, as an int expression
+            // evaluated in serial code: (hi - lo + c) / c - 1.
+            let new_hi = Expr::Binary {
+                op: BinOp::Sub,
+                l: Box::new(Expr::Binary {
+                    op: BinOp::Div,
+                    l: Box::new(Expr::Binary {
+                        op: BinOp::Add,
+                        l: Box::new(Expr::Binary {
+                            op: BinOp::Sub,
+                            l: Box::new(ident(&hi_v)),
+                            r: Box::new(ident(&lo_v)),
+                        }),
+                        r: Box::new(Expr::IntLit(c as i64)),
+                    }),
+                    r: Box::new(Expr::IntLit(c as i64)),
+                }),
+                r: Box::new(Expr::IntLit(1)),
+            };
+
+            let new_body = Block {
+                stmts: vec![
+                    // t = lo + $ * c
+                    Stmt::Decl {
+                        name: t_v.clone(),
+                        ty: Type::Int,
+                        array: None,
+                        init: Some(Expr::Binary {
+                            op: BinOp::Add,
+                            l: Box::new(ident(&lo_v)),
+                            r: Box::new(Expr::Binary {
+                                op: BinOp::Mul,
+                                l: Box::new(Expr::Dollar(span)),
+                                r: Box::new(Expr::IntLit(c as i64)),
+                            }),
+                        }),
+                        span,
+                    },
+                    // for (i = 0; i < c; i++) { id = t+i; if (id<=hi) BODY }
+                    Stmt::For {
+                        init: Some(Box::new(Stmt::Decl {
+                            name: i_v.clone(),
+                            ty: Type::Int,
+                            array: None,
+                            init: Some(Expr::IntLit(0)),
+                            span,
+                        })),
+                        cond: Some(Expr::Binary {
+                            op: BinOp::Lt,
+                            l: Box::new(ident(&i_v)),
+                            r: Box::new(Expr::IntLit(c as i64)),
+                        }),
+                        step: Some(Box::new(Stmt::Assign {
+                            target: ident(&i_v),
+                            op: Some(BinOp::Add),
+                            value: Expr::IntLit(1),
+                            span,
+                        })),
+                        body: Block {
+                            stmts: vec![
+                                Stmt::Decl {
+                                    name: id_v.clone(),
+                                    ty: Type::Int,
+                                    array: None,
+                                    init: Some(Expr::Binary {
+                                        op: BinOp::Add,
+                                        l: Box::new(ident(&t_v)),
+                                        r: Box::new(ident(&i_v)),
+                                    }),
+                                    span,
+                                },
+                                Stmt::If {
+                                    cond: Expr::Binary {
+                                        op: BinOp::Le,
+                                        l: Box::new(ident(&id_v)),
+                                        r: Box::new(ident(&hi_v)),
+                                    },
+                                    then: inner,
+                                    els: None,
+                                },
+                            ],
+                        },
+                    },
+                ],
+            };
+
+            *s = Stmt::Block(Block {
+                stmts: vec![
+                    Stmt::Decl {
+                        name: lo_v,
+                        ty: Type::Int,
+                        array: None,
+                        init: Some(lo.clone()),
+                        span,
+                    },
+                    Stmt::Decl {
+                        name: hi_v,
+                        ty: Type::Int,
+                        array: None,
+                        init: Some(hi.clone()),
+                        span,
+                    },
+                    Stmt::Spawn { lo: Expr::IntLit(0), hi: new_hi, body: new_body, span },
+                ],
+            });
+        }
+        Stmt::If { then, els, .. } => {
+            cluster_block(then, c, counter);
+            if let Some(e) = els {
+                cluster_block(e, c, counter);
+            }
+        }
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => cluster_block(body, c, counter),
+        Stmt::For { body, .. } => cluster_block(body, c, counter),
+        Stmt::Block(b) => cluster_block(b, c, counter),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn clustering_rewrites_spawn_shape() {
+        let mut p = parse(
+            "int A[100];
+             void main() { spawn(3, 99) { A[$] = $; } }",
+        )
+        .unwrap();
+        cluster(&mut p, 4);
+        let main = p.function("main").unwrap();
+        let Stmt::Block(outer) = &main.body.stmts[0] else { panic!("wrapped block") };
+        assert!(matches!(outer.stmts[0], Stmt::Decl { .. })); // __clu_lo
+        assert!(matches!(outer.stmts[1], Stmt::Decl { .. })); // __clu_hi
+        let Stmt::Spawn { lo, body, .. } = &outer.stmts[2] else { panic!("spawn") };
+        assert_eq!(*lo, Expr::IntLit(0));
+        // Body: t decl + for loop.
+        assert!(matches!(body.stmts[1], Stmt::For { .. }));
+        // `$` in the original body was substituted.
+        let Stmt::For { body: fb, .. } = &body.stmts[1] else { panic!() };
+        let Stmt::If { then, .. } = &fb.stmts[1] else { panic!() };
+        let Stmt::Assign { value, .. } = &then.stmts[0] else { panic!() };
+        assert!(matches!(value, Expr::Ident(n, _) if n.starts_with("__clu_id")));
+    }
+
+    #[test]
+    fn multiple_spawns_get_unique_names() {
+        let mut p = parse(
+            "int A[8];
+             void main() { spawn(0,7){ A[$]=1; } spawn(0,7){ A[$]=2; } }",
+        )
+        .unwrap();
+        cluster(&mut p, 2);
+        let src = format!("{:?}", p);
+        assert!(src.contains("__clu_id0"));
+        assert!(src.contains("__clu_id1"));
+    }
+}

@@ -1,0 +1,359 @@
+//! The compiler post-pass: XMT assembly-layout verification and repair
+//! (paper §IV-B, Fig. 9).
+//!
+//! XMT restricts the layout of spawn-block code: because the hardware
+//! *broadcasts* the instructions between `spawn` and `join` to the TCUs,
+//! every instruction a virtual thread may execute must sit inside that
+//! window — TCUs have no access to instructions that were not broadcast.
+//! A layout-optimizing code generator (GCC in the paper, our cold-block
+//! sinking here) may nevertheless place a basic block that logically
+//! belongs to the spawn block *after* the `join` (Fig. 9a). This pass,
+//! the counterpart of the paper's SableCC post-pass, finds such misplaced
+//! blocks and relocates them back between `spawn` and `join` (Fig. 9b),
+//! then verifies the XMT semantic rules.
+
+use std::collections::BTreeMap;
+use xmt_isa::{AsmItem, AsmProgram, Instr, Target};
+
+/// Repair misplaced basic blocks. Returns the number of blocks moved.
+pub fn fix_layout(asm: &mut AsmProgram) -> Result<u32, String> {
+    let mut fixes = 0;
+    // Iterate to a fixed point: moving one block can expose another
+    // (a misplaced block may branch to a second misplaced block).
+    loop {
+        let Some((window, target_label)) = find_misplaced(asm)? else {
+            return Ok(fixes);
+        };
+        move_block_into_window(asm, window, &target_label)?;
+        fixes += 1;
+        if fixes > 10_000 {
+            return Err("layout fix did not converge".into());
+        }
+    }
+}
+
+/// A spawn…join window in *item* coordinates: (spawn_item, join_item).
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    spawn: usize,
+    join: usize,
+}
+
+/// Labels defined at each item index, and per-label item index.
+fn label_index(asm: &AsmProgram) -> BTreeMap<String, usize> {
+    let mut m = BTreeMap::new();
+    for (k, it) in asm.items.iter().enumerate() {
+        if let AsmItem::Label(l) = it {
+            m.insert(l.clone(), k);
+        }
+    }
+    m
+}
+
+fn windows(asm: &AsmProgram) -> Result<Vec<Window>, String> {
+    let mut out = Vec::new();
+    let mut open: Option<usize> = None;
+    for (k, it) in asm.items.iter().enumerate() {
+        match it {
+            AsmItem::Instr(Instr::Spawn { .. }) => {
+                if open.is_some() {
+                    return Err(format!("nested spawn at item {k}"));
+                }
+                open = Some(k);
+            }
+            AsmItem::Instr(Instr::Join) => {
+                let Some(s) = open.take() else {
+                    return Err(format!("join without spawn at item {k}"));
+                };
+                out.push(Window { spawn: s, join: k });
+            }
+            _ => {}
+        }
+    }
+    if open.is_some() {
+        return Err("spawn never joined".into());
+    }
+    Ok(out)
+}
+
+/// Find one branch inside a window whose target label lies outside it.
+fn find_misplaced(asm: &AsmProgram) -> Result<Option<(Window, String)>, String> {
+    let labels = label_index(asm);
+    for w in windows(asm)? {
+        for item in &asm.items[w.spawn + 1..w.join] {
+            let AsmItem::Instr(ins) = item else { continue };
+            if let Some(Target::Label(l)) = ins.target() {
+                let Some(&pos) = labels.get(l) else {
+                    return Err(format!("undefined label `{l}` in spawn block"));
+                };
+                if pos <= w.spawn || pos >= w.join {
+                    return Ok(Some((w, l.clone())));
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Move the block starting at `label` to just before the window's join.
+fn move_block_into_window(
+    asm: &mut AsmProgram,
+    w: Window,
+    label: &str,
+) -> Result<(), String> {
+    let labels = label_index(asm);
+    let start = *labels.get(label).expect("label exists");
+
+    // Delimit the block: from its label through its first unconditional
+    // transfer. Hitting another label or a spawn/join first means the
+    // block falls through — it cannot be moved safely.
+    let mut end = None;
+    for (k, item) in asm.items.iter().enumerate().skip(start + 1) {
+        match item {
+            AsmItem::Label(_) => break,
+            AsmItem::Comment(_) => {}
+            AsmItem::Instr(Instr::Spawn { .. }) | AsmItem::Instr(Instr::Join) => break,
+            AsmItem::Instr(i) => {
+                if i.is_unconditional_jump() {
+                    end = Some(k + 1);
+                    break;
+                }
+            }
+        }
+    }
+    let Some(end) = end else {
+        return Err(format!(
+            "misplaced block `{label}` does not end in an unconditional jump; \
+             cannot relocate it into the spawn block"
+        ));
+    };
+
+    // The block must not be entered by fallthrough where it is now.
+    if start > 0 {
+        let mut k = start - 1;
+        loop {
+            match &asm.items[k] {
+                AsmItem::Comment(_) | AsmItem::Label(_) if k > 0 => k -= 1,
+                AsmItem::Instr(i) if i.is_unconditional_jump() => break,
+                AsmItem::Instr(Instr::Join) => break, // after a join is fine
+                _ => {
+                    return Err(format!(
+                        "misplaced block `{label}` is reachable by fallthrough; \
+                         cannot relocate"
+                    ))
+                }
+            }
+        }
+    }
+
+    // Splice the block out and reinsert before the join (Fig. 9b: the
+    // preceding code keeps control flow because the block both starts at
+    // a label and ends with a jump).
+    let block: Vec<AsmItem> = asm.items.drain(start..end).collect();
+    // Removing items before the join shifts its index.
+    let join_pos = if start < w.join { w.join - block.len() } else { w.join };
+    debug_assert!(matches!(asm.items[join_pos], AsmItem::Instr(Instr::Join)));
+    for (off, item) in block.into_iter().enumerate() {
+        asm.items.insert(join_pos + off, item);
+    }
+    Ok(())
+}
+
+/// Verify XMT assembly semantics:
+///
+/// 1. spawn/join are balanced and non-nested;
+/// 2. every branch inside a spawn window targets a label inside it;
+/// 3. no `spawn`, `halt`, `jal`, `jr`, or `jalr` inside a window
+///    (serial-only / call instructions cannot run on TCUs);
+/// 4. `chkid` appears only inside windows;
+/// 5. no branch from serial code targets the inside of a window.
+pub fn verify(asm: &AsmProgram) -> Result<(), String> {
+    let labels = label_index(asm);
+    let ws = windows(asm)?;
+    let inside = |k: usize| ws.iter().any(|w| k > w.spawn && k < w.join);
+
+    for (k, item) in asm.items.iter().enumerate() {
+        let AsmItem::Instr(ins) = item else { continue };
+        let in_window = inside(k);
+        match ins {
+            Instr::Halt | Instr::Jal { .. } | Instr::Jr { .. } | Instr::Jalr { .. }
+                if in_window =>
+            {
+                return Err(format!("serial-only instruction `{ins}` inside spawn block"));
+            }
+            Instr::Grput { .. } if in_window => {
+                return Err("`grput` inside spawn block (master-only)".into());
+            }
+            Instr::Chkid { .. } if !in_window => {
+                return Err("`chkid` outside a spawn block".into());
+            }
+            _ => {}
+        }
+        if let Some(Target::Label(l)) = ins.target() {
+            let Some(&pos) = labels.get(l) else {
+                return Err(format!("undefined label `{l}`"));
+            };
+            let target_in = inside(pos);
+            if in_window && !target_in {
+                return Err(format!(
+                    "branch to `{l}` escapes the spawn block (instructions outside \
+                     the spawn…join window are not broadcast to the TCUs)"
+                ));
+            }
+            if !in_window && target_in {
+                return Err(format!("serial branch to `{l}` jumps into a spawn block"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Count distinct spawn blocks (for diagnostics/tests).
+pub fn spawn_count(asm: &AsmProgram) -> usize {
+    asm.instrs()
+        .filter(|i| matches!(i, Instr::Spawn { .. }))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmt_isa::asm::parse;
+
+    /// Paper Fig. 9a: BB2 belongs to the spawn block but sits after the
+    /// return.
+    const FIG9A: &str = r"
+outl_sp1:
+    spawn $a0, $a1
+bb1:
+    li   $t0, 1
+    ps   $t0, gr0
+    chkid $t0
+    bne  $t0, $zero, bb2
+    j    bb1
+    join
+    jr   $ra
+bb2:
+    addi $t1, $t1, 1
+    j    bb1
+";
+
+    #[test]
+    fn fig9_block_pulled_back_inside() {
+        let mut asm = parse(FIG9A).unwrap();
+        assert!(verify(&asm).is_err(), "Fig 9a layout must fail verification");
+        let fixes = fix_layout(&mut asm).unwrap();
+        assert_eq!(fixes, 1);
+        verify(&asm).expect("Fig 9b layout verifies");
+        // bb2 now sits before the join.
+        let items = &asm.items;
+        let join_pos = items
+            .iter()
+            .position(|i| matches!(i, AsmItem::Instr(Instr::Join)))
+            .unwrap();
+        let bb2_pos = items
+            .iter()
+            .position(|i| matches!(i, AsmItem::Label(l) if l == "bb2"))
+            .unwrap();
+        assert!(bb2_pos < join_pos);
+        // Program still links (spawn/join preserved).
+        asm.link(xmt_isa::MemoryMap::new()).unwrap();
+    }
+
+    #[test]
+    fn chained_misplaced_blocks_converge() {
+        let src = r"
+f:
+    spawn $a0, $a1
+top:
+    li $t0, 1
+    ps $t0, gr0
+    chkid $t0
+    bne $t0, $zero, far1
+    j top
+    join
+    jr $ra
+far1:
+    bne $t1, $zero, far2
+    j top
+far2:
+    addi $t2, $t2, 1
+    j top
+";
+        let mut asm = parse(src).unwrap();
+        let fixes = fix_layout(&mut asm).unwrap();
+        assert_eq!(fixes, 2);
+        verify(&asm).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_serial_only_in_window() {
+        let src = "main:\n spawn $a0, $a1\n halt\n join\n halt\n";
+        let asm = parse(src).unwrap();
+        assert!(verify(&asm).unwrap_err().contains("halt"));
+        let src = "main:\n spawn $a0, $a1\n jal main\n join\n halt\n";
+        let asm = parse(src).unwrap();
+        assert!(verify(&asm).unwrap_err().contains("jal"));
+    }
+
+    #[test]
+    fn verify_rejects_chkid_outside() {
+        let asm = parse("main:\n chkid $t0\n halt\n").unwrap();
+        assert!(verify(&asm).unwrap_err().contains("chkid"));
+    }
+
+    #[test]
+    fn verify_rejects_serial_jump_into_window() {
+        let src = r"
+main:
+    j inside
+    spawn $a0, $a1
+inside:
+    nop
+    j inside
+    join
+    halt
+";
+        let asm = parse(src).unwrap();
+        assert!(verify(&asm).unwrap_err().contains("jumps into"));
+    }
+
+    #[test]
+    fn fallthrough_block_cannot_move() {
+        // The out-of-window target is reachable by fallthrough: error.
+        let src = r"
+f:
+    spawn $a0, $a1
+in:
+    chkid $t0
+    bne $t0, $zero, out
+    j in
+    join
+    addi $t5, $t5, 1
+out:
+    j in
+";
+        let mut asm = parse(src).unwrap();
+        assert!(fix_layout(&mut asm).is_err());
+    }
+
+    #[test]
+    fn clean_program_needs_no_fixes() {
+        let src = r"
+main:
+    li $a0, 0
+    li $a1, 7
+    spawn $a0, $a1
+loop:
+    li $t0, 1
+    ps $t0, gr0
+    chkid $t0
+    j loop
+    join
+    halt
+";
+        let mut asm = parse(src).unwrap();
+        assert_eq!(fix_layout(&mut asm).unwrap(), 0);
+        verify(&asm).unwrap();
+    }
+}

@@ -1,0 +1,1433 @@
+//! Lowering from the checked AST to the three-address IR, with type
+//! checking.
+//!
+//! Scalar locals live in virtual registers; address-taken locals and
+//! local arrays get serial stack slots (the Master TCU has a stack;
+//! virtual threads do not — paper §IV-D — so parallel code that would
+//! need a slot is rejected). Globals live in the data segment, except
+//! `ps` bases, which are allocated to hardware global registers by the
+//! semantic pass. A `spawn` lowers to the [`crate::ir::Term::SpawnStart`]
+//! region with an explicit harness block holding the `Tid` pseudo
+//! (the `ps`/`chkid` virtual-thread allocation protocol).
+
+use crate::ast::{self, BinOp, Block, Expr, GlobalInit, Stmt, UnOp};
+use crate::ir::*;
+use crate::lexer::Span;
+use crate::sema::{walk_exprs, Checked};
+use crate::{CompileError, Options};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use xmt_isa::MemoryMap;
+
+/// Lower a checked program into an IR module.
+pub fn lower(checked: &Checked, opts: &Options) -> Result<Module, CompileError> {
+    // ---- globals: assign data-segment addresses ----
+    let mut memmap = MemoryMap::new();
+    let mut gmeta = BTreeMap::new();
+    let mut ginfo: HashMap<String, GInfo> = HashMap::new();
+    let mut ps_inits: Vec<(u8, i32)> = Vec::new();
+
+    for g in &checked.program.globals {
+        if let Some(gr) = checked.ps_bases.get(&g.name) {
+            // Lives in a global register; initialize at main entry.
+            if let Some(GlobalInit::Scalar(v)) = &g.init {
+                if *v != 0.0 {
+                    ps_inits.push((gr.0, *v as i32));
+                }
+            }
+            ginfo.insert(
+                g.name.clone(),
+                GInfo { elem: g.ty.clone(), is_array: false, volatile: false,
+                        is_const: false, ps_base: Some(gr.0) },
+            );
+            continue;
+        }
+        let len = g.array.unwrap_or(1).max(1);
+        let is_float = g.ty == ast::Type::Float;
+        let mut words = vec![0u32; len as usize];
+        match &g.init {
+            Some(GlobalInit::Scalar(v)) => {
+                words[0] = encode(*v, is_float);
+            }
+            Some(GlobalInit::List(vals)) => {
+                if vals.len() > len as usize {
+                    return Err(CompileError::ty(
+                        format!("initializer for `{}` has too many elements", g.name),
+                        g.span,
+                    ));
+                }
+                for (k, v) in vals.iter().enumerate() {
+                    words[k] = encode(*v, is_float);
+                }
+            }
+            None => {}
+        }
+        let addr = memmap.push(g.name.clone(), words);
+        gmeta.insert(
+            g.name.clone(),
+            GlobalMeta { addr, is_const: g.is_const, volatile: g.volatile, is_float, len },
+        );
+        ginfo.insert(
+            g.name.clone(),
+            GInfo {
+                elem: g.ty.clone(),
+                is_array: g.array.is_some(),
+                volatile: g.volatile,
+                is_const: g.is_const,
+                ps_base: None,
+            },
+        );
+    }
+
+    // ---- function signatures ----
+    let mut sigs: HashMap<String, Sig> = HashMap::new();
+    for f in &checked.program.functions {
+        for p in &f.params {
+            if p.ty == ast::Type::Float {
+                return Err(CompileError::ty(
+                    format!("float parameter `{}`: pass a float* instead", p.name),
+                    p.span,
+                ));
+            }
+            if p.ty == ast::Type::Void {
+                return Err(CompileError::ty("void parameter", p.span));
+            }
+        }
+        sigs.insert(
+            f.name.clone(),
+            Sig { ret: f.ret.clone(), params: f.params.iter().map(|p| p.ty.clone()).collect() },
+        );
+    }
+
+    // ---- lower each function ----
+    let mut functions = Vec::new();
+    for f in &checked.program.functions {
+        let fun = FnLower::run(f, &ginfo, &sigs, opts, if f.name == "main" { &ps_inits } else { &[] })?;
+        functions.push(fun);
+    }
+
+    Ok(Module { functions, memmap, globals: gmeta })
+}
+
+fn encode(v: f64, is_float: bool) -> u32 {
+    if is_float {
+        (v as f32).to_bits()
+    } else {
+        (v as i64) as u32
+    }
+}
+
+#[derive(Debug, Clone)]
+struct GInfo {
+    elem: ast::Type,
+    is_array: bool,
+    volatile: bool,
+    is_const: bool,
+    ps_base: Option<u8>,
+}
+
+#[derive(Debug, Clone)]
+struct Sig {
+    ret: ast::Type,
+    params: Vec<ast::Type>,
+}
+
+/// Where a name lives.
+#[derive(Debug, Clone)]
+enum Binding {
+    Reg { v: V, ty: ast::Type },
+    Slot { slot: u32, ty: ast::Type, is_array: bool },
+}
+
+/// An lvalue, resolved.
+enum Place {
+    Reg { v: V, ty: ast::Type },
+    Mem { addr: V, off: i32, ty: ast::Type, volatile: bool, ro: bool },
+    Gr { gr: u8 },
+}
+
+struct FnLower<'a> {
+    f: IrFunction,
+    scopes: Vec<HashMap<String, Binding>>,
+    globals: &'a HashMap<String, GInfo>,
+    sigs: &'a HashMap<String, Sig>,
+    opts: &'a Options,
+    cur: Bb,
+    breaks: Vec<Bb>,
+    continues: Vec<Bb>,
+    in_par: bool,
+    tid: Option<V>,
+    addressed: HashSet<String>,
+    /// Whether the current block received an explicit terminator.
+    terminated_explicitly: bool,
+    /// Source line of the statement currently being lowered.
+    cur_line: u32,
+}
+
+impl<'a> FnLower<'a> {
+    fn run(
+        src: &ast::Function,
+        globals: &'a HashMap<String, GInfo>,
+        sigs: &'a HashMap<String, Sig>,
+        opts: &'a Options,
+        ps_inits: &[(u8, i32)],
+    ) -> Result<IrFunction, CompileError> {
+        let is_main = src.name == "main";
+        let mut f = IrFunction {
+            name: src.name.clone(),
+            params: Vec::new(),
+            vclass: Vec::new(),
+            blocks: Vec::new(),
+            entry: 0,
+            slots: Vec::new(),
+            ret: match src.ret {
+                ast::Type::Void => None,
+                ast::Type::Float => Some(Class::Float),
+                _ => Some(Class::Int),
+            },
+            is_main,
+        };
+        let entry = f.new_block_at(false, src.span.line);
+        f.entry = entry;
+
+        // Which locals have their address taken anywhere in the function?
+        let mut addressed = HashSet::new();
+        walk_exprs(&src.body, &mut |e| {
+            if let Expr::AddrOf(inner, _) = e {
+                if let Expr::Ident(n, _) = inner.as_ref() {
+                    addressed.insert(n.clone());
+                }
+            }
+        });
+
+        let mut lw = FnLower {
+            f,
+            scopes: vec![HashMap::new()],
+            globals,
+            sigs,
+            opts,
+            cur: entry,
+            breaks: Vec::new(),
+            continues: Vec::new(),
+            in_par: false,
+            tid: None,
+            addressed,
+            terminated_explicitly: false,
+            cur_line: src.span.line,
+        };
+
+        // Parameters: int/pointer class virtual registers.
+        for p in &src.params {
+            let v = lw.f.new_vreg(Class::Int);
+            lw.f.params.push(v);
+            if lw.addressed.contains(&p.name) {
+                // Address-taken parameter: copy into a slot.
+                let slot = lw.new_slot(4);
+                let a = lw.f.new_vreg(Class::Int);
+                lw.push(Inst::SlotAddr { d: a, slot });
+                lw.push(Inst::St { s: v, addr: a, off: 0, nb: false });
+                lw.bind(&p.name, Binding::Slot { slot, ty: p.ty.clone(), is_array: false });
+            } else {
+                lw.bind(&p.name, Binding::Reg { v, ty: p.ty.clone() });
+            }
+        }
+
+        // main: initialize ps-base registers from their initializers.
+        for (gr, val) in ps_inits {
+            let v = lw.f.new_vreg(Class::Int);
+            lw.push(Inst::Li { d: v, imm: *val });
+            lw.push(Inst::GrPut { gr: *gr, s: v });
+        }
+
+        lw.block(&src.body)?;
+
+        // Implicit function end.
+        let end_term = if is_main { Term::Halt } else { Term::Ret(None) };
+        if !lw.terminated() {
+            lw.set_term(end_term);
+        }
+        Ok(lw.f)
+    }
+
+    // ---------------- infrastructure ----------------
+
+    fn push(&mut self, i: Inst) {
+        self.f.blocks[self.cur as usize].insts.push(i);
+    }
+
+    /// Whether the current block already received a real terminator.
+    fn terminated(&self) -> bool {
+        !matches!(self.f.blocks[self.cur as usize].term, Term::Halt)
+            || self.terminated_explicitly
+    }
+
+    fn set_term(&mut self, t: Term) {
+        self.f.blocks[self.cur as usize].term = t;
+        self.terminated_explicitly = true;
+    }
+
+    fn start_block(&mut self, b: Bb) {
+        self.cur = b;
+        self.terminated_explicitly = false;
+    }
+
+    fn new_block(&mut self) -> Bb {
+        // Blocks are stamped lazily by the first statement lowered into
+        // them (stmt()); a block created mid-statement inherits nothing
+        // and resolves through the previous marker in the line table.
+        self.f.new_block(self.in_par)
+    }
+
+    fn new_slot(&mut self, bytes: u32) -> u32 {
+        self.f.slots.push(bytes.div_ceil(4) * 4);
+        (self.f.slots.len() - 1) as u32
+    }
+
+    fn vint(&mut self) -> V {
+        self.f.new_vreg(Class::Int)
+    }
+
+    fn vfloat(&mut self) -> V {
+        self.f.new_vreg(Class::Float)
+    }
+
+    fn bind(&mut self, name: &str, b: Binding) {
+        self.scopes.last_mut().unwrap().insert(name.to_string(), b);
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Binding> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    // ---------------- statements ----------------
+
+    fn block(&mut self, b: &Block) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            if self.terminated() {
+                break; // unreachable code after return/break
+            }
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        if let Some(line) = stmt_line(s) {
+            self.cur_line = line;
+            let b = &mut self.f.blocks[self.cur as usize];
+            if b.src_line == 0 {
+                b.src_line = line;
+            }
+        }
+        match s {
+            Stmt::Empty => Ok(()),
+            Stmt::Block(b) => self.block(b),
+            Stmt::Decl { name, ty, array, init, span } => self.decl(name, ty, *array, init, *span),
+            Stmt::Assign { target, op, value, span } => self.assign(target, *op, value, *span),
+            Stmt::Expr(e) => {
+                self.rv_allow_void(e)?;
+                Ok(())
+            }
+            Stmt::If { cond, then, els } => self.if_stmt(cond, then, els.as_ref()),
+            Stmt::While { cond, body } => self.while_stmt(cond, body),
+            Stmt::DoWhile { body, cond } => self.do_while(body, cond),
+            Stmt::For { init, cond, step, body } => self.for_stmt(init, cond, step, body),
+            Stmt::Break(span) => {
+                let Some(target) = self.breaks.last().copied() else {
+                    return Err(CompileError::sema("break outside loop", *span));
+                };
+                self.set_term(Term::Jmp(target));
+                Ok(())
+            }
+            Stmt::Continue(span) => {
+                let Some(target) = self.continues.last().copied() else {
+                    return Err(CompileError::sema("continue outside loop", *span));
+                };
+                self.set_term(Term::Jmp(target));
+                Ok(())
+            }
+            Stmt::Return(e, span) => self.ret(e.as_ref(), *span),
+            Stmt::Spawn { lo, hi, body, span } => self.spawn(lo, hi, body, *span),
+        }
+    }
+
+    fn decl(
+        &mut self,
+        name: &str,
+        ty: &ast::Type,
+        array: Option<u32>,
+        init: &Option<Expr>,
+        span: Span,
+    ) -> Result<(), CompileError> {
+        if *ty == ast::Type::Void {
+            return Err(CompileError::ty("variable cannot be void", span));
+        }
+        if let Some(n) = array {
+            // Local array: serial stack slot (sema rejects in spawn).
+            debug_assert!(!self.in_par);
+            let slot = self.new_slot(n.max(1) * 4);
+            self.bind(name, Binding::Slot { slot, ty: ty.clone(), is_array: true });
+            if init.is_some() {
+                return Err(CompileError::ty("local array initializers not supported", span));
+            }
+            return Ok(());
+        }
+        if self.addressed.contains(name) {
+            if self.in_par {
+                return Err(CompileError::sema(
+                    format!(
+                        "cannot take the address of `{name}` in a spawn block: virtual \
+                         threads have no stack (paper §IV-D)"
+                    ),
+                    span,
+                ));
+            }
+            let slot = self.new_slot(4);
+            self.bind(name, Binding::Slot { slot, ty: ty.clone(), is_array: false });
+            if let Some(e) = init {
+                let (v, vt) = self.rv(e)?;
+                let v = self.coerce(v, &vt, ty, span)?;
+                let a = self.vint();
+                self.push(Inst::SlotAddr { d: a, slot });
+                match ty {
+                    ast::Type::Float => self.push(Inst::FSt { s: v, addr: a, off: 0, nb: false }),
+                    _ => self.push(Inst::St { s: v, addr: a, off: 0, nb: false }),
+                }
+            }
+            return Ok(());
+        }
+        let v = match ty {
+            ast::Type::Float => self.vfloat(),
+            _ => self.vint(),
+        };
+        self.bind(name, Binding::Reg { v, ty: ty.clone() });
+        if let Some(e) = init {
+            let (val, vt) = self.rv(e)?;
+            let val = self.coerce(val, &vt, ty, span)?;
+            match ty {
+                ast::Type::Float => self.push(Inst::FMov { d: v, s: val }),
+                _ => self.push(Inst::Mov { d: v, s: val }),
+            }
+        }
+        Ok(())
+    }
+
+    fn assign(
+        &mut self,
+        target: &Expr,
+        op: Option<BinOp>,
+        value: &Expr,
+        span: Span,
+    ) -> Result<(), CompileError> {
+        let place = self.place(target)?;
+        let tty = match &place {
+            Place::Reg { ty, .. } => ty.clone(),
+            Place::Mem { ty, .. } => ty.clone(),
+            Place::Gr { .. } => ast::Type::Int,
+        };
+        // Compute the value to store.
+        let stored = if let Some(op) = op {
+            let cur = self.load_place(&place);
+            let (rhs, rty) = self.rv(value)?;
+            let (res, _) = self.binary_vals(op, cur, tty.clone(), rhs, rty, span)?;
+            self.coerce(res, &tty, &tty, span)?
+        } else {
+            let (rhs, rty) = self.rv(value)?;
+            self.coerce(rhs, &rty, &tty, span)?
+        };
+        self.store_place(&place, stored, span)
+    }
+
+    fn if_stmt(
+        &mut self,
+        cond: &Expr,
+        then: &Block,
+        els: Option<&Block>,
+    ) -> Result<(), CompileError> {
+        let c = self.cond(cond)?;
+        let tb = self.new_block();
+        let eb = self.new_block();
+        let done = if els.is_some() { self.new_block() } else { eb };
+        self.set_term(Term::Br { cond: c, t: tb, f: eb });
+        self.start_block(tb);
+        self.block(then)?;
+        if !self.terminated() {
+            self.set_term(Term::Jmp(done));
+        }
+        if let Some(e) = els {
+            self.start_block(eb);
+            self.block(e)?;
+            if !self.terminated() {
+                self.set_term(Term::Jmp(done));
+            }
+        }
+        self.start_block(done);
+        Ok(())
+    }
+
+    fn while_stmt(&mut self, cond: &Expr, body: &Block) -> Result<(), CompileError> {
+        let head = self.new_block();
+        let bodyb = self.new_block();
+        let exit = self.new_block();
+        self.set_term(Term::Jmp(head));
+        self.start_block(head);
+        let c = self.cond(cond)?;
+        self.set_term(Term::Br { cond: c, t: bodyb, f: exit });
+        self.start_block(bodyb);
+        self.breaks.push(exit);
+        self.continues.push(head);
+        self.block(body)?;
+        self.breaks.pop();
+        self.continues.pop();
+        if !self.terminated() {
+            self.set_term(Term::Jmp(head));
+        }
+        self.start_block(exit);
+        Ok(())
+    }
+
+    fn do_while(&mut self, body: &Block, cond: &Expr) -> Result<(), CompileError> {
+        let bodyb = self.new_block();
+        let check = self.new_block();
+        let exit = self.new_block();
+        self.set_term(Term::Jmp(bodyb));
+        self.start_block(bodyb);
+        self.breaks.push(exit);
+        self.continues.push(check);
+        self.block(body)?;
+        self.breaks.pop();
+        self.continues.pop();
+        if !self.terminated() {
+            self.set_term(Term::Jmp(check));
+        }
+        self.start_block(check);
+        let c = self.cond(cond)?;
+        self.set_term(Term::Br { cond: c, t: bodyb, f: exit });
+        self.start_block(exit);
+        Ok(())
+    }
+
+    fn for_stmt(
+        &mut self,
+        init: &Option<Box<Stmt>>,
+        cond: &Option<Expr>,
+        step: &Option<Box<Stmt>>,
+        body: &Block,
+    ) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        if let Some(i) = init {
+            self.stmt(i)?;
+        }
+        let head = self.new_block();
+        let bodyb = self.new_block();
+        let stepb = self.new_block();
+        let exit = self.new_block();
+        self.set_term(Term::Jmp(head));
+        self.start_block(head);
+        match cond {
+            Some(c) => {
+                let v = self.cond(c)?;
+                self.set_term(Term::Br { cond: v, t: bodyb, f: exit });
+            }
+            None => self.set_term(Term::Jmp(bodyb)),
+        }
+        self.start_block(bodyb);
+        self.breaks.push(exit);
+        self.continues.push(stepb);
+        self.block(body)?;
+        self.breaks.pop();
+        self.continues.pop();
+        if !self.terminated() {
+            self.set_term(Term::Jmp(stepb));
+        }
+        self.start_block(stepb);
+        if let Some(s) = step {
+            self.stmt(s)?;
+        }
+        self.set_term(Term::Jmp(head));
+        self.start_block(exit);
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn ret(&mut self, e: Option<&Expr>, span: Span) -> Result<(), CompileError> {
+        if self.f.is_main {
+            // In main, return ends the program.
+            if let Some(e) = e {
+                self.rv(e)?;
+            }
+            self.set_term(Term::Halt);
+            return Ok(());
+        }
+        match (e, self.f.ret) {
+            (None, None) => self.set_term(Term::Ret(None)),
+            (Some(e), Some(cls)) => {
+                let (v, vt) = self.rv(e)?;
+                let want = if cls == Class::Float { ast::Type::Float } else { vt.clone() };
+                let v = self.coerce(v, &vt, &want, span)?;
+                self.set_term(Term::Ret(Some(v)));
+            }
+            (None, Some(_)) => {
+                return Err(CompileError::ty("missing return value", span));
+            }
+            (Some(_), None) => {
+                return Err(CompileError::ty("void function returns a value", span));
+            }
+        }
+        Ok(())
+    }
+
+    fn spawn(&mut self, lo: &Expr, hi: &Expr, body: &Block, span: Span) -> Result<(), CompileError> {
+        if self.in_par {
+            return Err(CompileError::Internal("nested spawn reached lowering".into()));
+        }
+        let (vlo, lt) = self.rv(lo)?;
+        let vlo = self.coerce(vlo, &lt, &ast::Type::Int, span)?;
+        let (vhi, ht) = self.rv(hi)?;
+        let vhi = self.coerce(vhi, &ht, &ast::Type::Int, span)?;
+
+        self.in_par = true;
+        let harness = self.new_block();
+        self.in_par = false;
+        let cont = self.new_block();
+        self.in_par = true;
+
+        self.set_term(Term::SpawnStart { lo: vlo, hi: vhi, harness, cont });
+
+        // Harness: allocate the next virtual-thread id.
+        self.start_block(harness);
+        let tid = self.vint();
+        self.push(Inst::Tid { d: tid });
+        let body_entry = self.new_block();
+        self.set_term(Term::Jmp(body_entry));
+
+        // Body.
+        self.start_block(body_entry);
+        let saved_tid = self.tid.replace(tid);
+        let saved_breaks = std::mem::take(&mut self.breaks);
+        let saved_conts = std::mem::take(&mut self.continues);
+        self.block(body)?;
+        self.breaks = saved_breaks;
+        self.continues = saved_conts;
+        self.tid = saved_tid;
+        if !self.terminated() {
+            // Thread end: loop back for the next id.
+            self.set_term(Term::Jmp(harness));
+        }
+
+        self.in_par = false;
+        self.start_block(cont);
+        Ok(())
+    }
+
+    // ---------------- expressions ----------------
+
+    /// Lower a condition: an int-typed value.
+    fn cond(&mut self, e: &Expr) -> Result<V, CompileError> {
+        let (v, t) = self.rv(e)?;
+        match t {
+            ast::Type::Int | ast::Type::Ptr(_) => Ok(v),
+            other => Err(CompileError::ty(
+                format!("condition must be int, found {other} (compare explicitly)"),
+                e.span(),
+            )),
+        }
+    }
+
+    /// Lower an rvalue.
+    fn rv(&mut self, e: &Expr) -> Result<(V, ast::Type), CompileError> {
+        match self.rv_allow_void(e)? {
+            Some(r) => Ok(r),
+            None => Err(CompileError::ty("void value used", e.span())),
+        }
+    }
+
+    fn rv_allow_void(&mut self, e: &Expr) -> Result<Option<(V, ast::Type)>, CompileError> {
+        Ok(Some(match e {
+            Expr::IntLit(v) => {
+                let d = self.vint();
+                self.push(Inst::Li { d, imm: *v as i32 });
+                (d, ast::Type::Int)
+            }
+            Expr::FloatLit(v) => {
+                let d = self.vfloat();
+                self.push(Inst::FLi { d, imm: *v as f32 });
+                (d, ast::Type::Float)
+            }
+            Expr::Dollar(span) => {
+                let Some(t) = self.tid else {
+                    return Err(CompileError::sema("`$` outside spawn", *span));
+                };
+                (t, ast::Type::Int)
+            }
+            Expr::Ident(..) | Expr::Index { .. } | Expr::Deref(_) => {
+                let place = self.place(e)?;
+                let ty = match &place {
+                    Place::Reg { ty, .. } | Place::Mem { ty, .. } => ty.clone(),
+                    Place::Gr { .. } => ast::Type::Int,
+                };
+                // Array-typed places decayed inside place(); loads here.
+                let v = self.load_place(&place);
+                (v, ty)
+            }
+            Expr::Unary { op, e } => {
+                let (v, t) = self.rv(e)?;
+                match (op, &t) {
+                    (UnOp::Neg, ast::Type::Float) => {
+                        let d = self.vfloat();
+                        self.push(Inst::FNeg { d, s: v });
+                        (d, ast::Type::Float)
+                    }
+                    (UnOp::Neg, ast::Type::Int) => {
+                        let d = self.vint();
+                        self.push(Inst::Bin { op: BinK::Sub, d, a: Operand::C(0), b: Operand::V(v) });
+                        (d, ast::Type::Int)
+                    }
+                    (UnOp::Not, ast::Type::Int) | (UnOp::Not, ast::Type::Ptr(_)) => {
+                        let d = self.vint();
+                        self.push(Inst::Bin { op: BinK::Seq, d, a: Operand::V(v), b: Operand::C(0) });
+                        (d, ast::Type::Int)
+                    }
+                    (UnOp::BitNot, ast::Type::Int) => {
+                        let d = self.vint();
+                        self.push(Inst::Bin { op: BinK::Xor, d, a: Operand::V(v), b: Operand::C(-1) });
+                        (d, ast::Type::Int)
+                    }
+                    (op, t) => {
+                        return Err(CompileError::ty(
+                            format!("unary {op:?} not defined on {t}"),
+                            e.span(),
+                        ))
+                    }
+                }
+            }
+            Expr::Binary { op, l, r } => {
+                if matches!(op, BinOp::LogAnd | BinOp::LogOr) {
+                    return Ok(Some(self.short_circuit(*op, l, r)?));
+                }
+                let (lv, lt) = self.rv(l)?;
+                let (rv, rt) = self.rv(r)?;
+                self.binary_vals(*op, lv, lt, rv, rt, l.span())?
+            }
+            Expr::Ternary { c, t, e: ee } => {
+                let cv = self.cond(c)?;
+                let tb = self.new_block();
+                let eb = self.new_block();
+                let done = self.new_block();
+                self.set_term(Term::Br { cond: cv, t: tb, f: eb });
+
+                self.start_block(tb);
+                let (tv, tt) = self.rv(t)?;
+                let t_end = self.cur;
+
+                self.start_block(eb);
+                let (ev, et) = self.rv(ee)?;
+                let e_end = self.cur;
+
+                // Unify types.
+                let res_ty = unify(&tt, &et).ok_or_else(|| {
+                    CompileError::ty(format!("ternary arms differ: {tt} vs {et}"), c.span())
+                })?;
+                let d = if res_ty == ast::Type::Float { self.vfloat() } else { self.vint() };
+
+                self.start_block(t_end);
+                let tv = self.coerce(tv, &tt, &res_ty, c.span())?;
+                self.emit_move(d, tv, &res_ty);
+                self.set_term(Term::Jmp(done));
+
+                self.start_block(e_end);
+                let ev = self.coerce(ev, &et, &res_ty, c.span())?;
+                self.emit_move(d, ev, &res_ty);
+                self.set_term(Term::Jmp(done));
+
+                self.start_block(done);
+                (d, res_ty)
+            }
+            Expr::AddrOf(inner, span) => {
+                // &*p == p; &lvalue otherwise.
+                if let Expr::Deref(p) = inner.as_ref() {
+                    return Ok(Some(self.rv(p)?));
+                }
+                let place = self.place(inner)?;
+                match place {
+                    Place::Mem { addr, off, ty, .. } => {
+                        let v = if off == 0 {
+                            addr
+                        } else {
+                            let d = self.vint();
+                            self.push(Inst::Bin {
+                                op: BinK::Add,
+                                d,
+                                a: Operand::V(addr),
+                                b: Operand::C(off),
+                            });
+                            d
+                        };
+                        (v, ty.ptr())
+                    }
+                    Place::Reg { .. } => {
+                        return Err(CompileError::sema(
+                            "cannot take the address of a register variable",
+                            *span,
+                        ))
+                    }
+                    Place::Gr { .. } => {
+                        return Err(CompileError::sema(
+                            "cannot take the address of a ps base",
+                            *span,
+                        ))
+                    }
+                }
+            }
+            Expr::Cast { ty, e } => {
+                let (v, t) = self.rv(e)?;
+                match (&t, ty) {
+                    (ast::Type::Int, ast::Type::Float) => {
+                        let d = self.vfloat();
+                        self.push(Inst::CvtIF { d, s: v });
+                        (d, ast::Type::Float)
+                    }
+                    (ast::Type::Float, ast::Type::Int) => {
+                        let d = self.vint();
+                        self.push(Inst::CvtFI { d, s: v });
+                        (d, ast::Type::Int)
+                    }
+                    (ast::Type::Float, ast::Type::Float) => (v, ast::Type::Float),
+                    (_, ast::Type::Float) | (ast::Type::Float, _) => {
+                        return Err(CompileError::ty(
+                            format!("cannot cast {t} to {ty}"),
+                            e.span(),
+                        ))
+                    }
+                    // int <-> pointer and pointer <-> pointer are free.
+                    _ => (v, ty.clone()),
+                }
+            }
+            Expr::Call { name, args, span } => {
+                return self.call(name, args, *span);
+            }
+            Expr::Ps { local, base, span } => {
+                let Expr::Ident(bname, _) = base.as_ref() else {
+                    return Err(CompileError::sema("ps base must be an identifier", *span));
+                };
+                let gr = self
+                    .globals
+                    .get(bname)
+                    .and_then(|g| g.ps_base)
+                    .ok_or_else(|| {
+                        CompileError::sema(format!("`{bname}` is not a ps base"), *span)
+                    })?;
+                let place = self.place(local)?;
+                if place_ty(&place) != ast::Type::Int {
+                    return Err(CompileError::ty("ps local must be int", *span));
+                }
+                let v = self.load_place(&place);
+                let sd = self.vint();
+                self.push(Inst::Mov { d: sd, s: v });
+                self.push(Inst::Ps { s_d: sd, gr });
+                self.store_place(&place, sd, *span)?;
+                return Ok(None);
+            }
+            Expr::Psm { local, target, span } => {
+                let lplace = self.place(local)?;
+                if place_ty(&lplace) != ast::Type::Int {
+                    return Err(CompileError::ty("psm local must be int", *span));
+                }
+                let tplace = self.place(target)?;
+                let Place::Mem { addr, off, ty, .. } = tplace else {
+                    return Err(CompileError::sema(
+                        "psm target must be a memory location",
+                        *span,
+                    ));
+                };
+                if ty != ast::Type::Int {
+                    return Err(CompileError::ty("psm target must be int", *span));
+                }
+                let v = self.load_place(&lplace);
+                let sd = self.vint();
+                self.push(Inst::Mov { d: sd, s: v });
+                self.push(Inst::Psm { s_d: sd, addr, off });
+                self.store_place(&lplace, sd, *span)?;
+                return Ok(None);
+            }
+        }))
+    }
+
+    fn call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        span: Span,
+    ) -> Result<Option<(V, ast::Type)>, CompileError> {
+        // Builtins.
+        match name {
+            "print" => {
+                let (v, t) = self.rv(&args[0])?;
+                match t {
+                    ast::Type::Float => self.push(Inst::PrintF { s: v }),
+                    _ => self.push(Inst::Print { s: v }),
+                }
+                return Ok(None);
+            }
+            "printc" => {
+                let (v, t) = self.rv(&args[0])?;
+                if t != ast::Type::Int {
+                    return Err(CompileError::ty("printc takes an int", span));
+                }
+                self.push(Inst::PrintC { s: v });
+                return Ok(None);
+            }
+            "alloc" => {
+                if self.in_par {
+                    return Err(CompileError::sema(
+                        "alloc is serial-only: dynamic memory allocation in parallel \
+                         code is future work (paper §IV-D)",
+                        span,
+                    ));
+                }
+                let (v, t) = self.rv(&args[0])?;
+                if t != ast::Type::Int {
+                    return Err(CompileError::ty("alloc takes an int byte count", span));
+                }
+                let d = self.vint();
+                self.push(Inst::Alloc { d, size: v });
+                return Ok(Some((d, ast::Type::Int.ptr())));
+            }
+            _ => {}
+        }
+        let sig = self
+            .sigs
+            .get(name)
+            .ok_or_else(|| CompileError::sema(format!("unknown function `{name}`"), span))?
+            .clone();
+        if sig.params.len() != args.len() {
+            return Err(CompileError::ty(
+                format!(
+                    "`{name}` expects {} arguments, got {}",
+                    sig.params.len(),
+                    args.len()
+                ),
+                span,
+            ));
+        }
+        let mut argv = Vec::with_capacity(args.len());
+        for (a, want) in args.iter().zip(&sig.params) {
+            let (v, t) = self.rv(a)?;
+            let v = self.coerce(v, &t, want, a.span())?;
+            argv.push(v);
+        }
+        let ret = match sig.ret {
+            ast::Type::Void => None,
+            ast::Type::Float => Some((self.vfloat(), Class::Float)),
+            _ => Some((self.vint(), Class::Int)),
+        };
+        self.push(Inst::Call { name: name.to_string(), args: argv, ret });
+        Ok(ret.map(|(v, c)| {
+            (v, if c == Class::Float { ast::Type::Float } else { sig.ret.clone() })
+        }))
+    }
+
+    fn short_circuit(
+        &mut self,
+        op: BinOp,
+        l: &Expr,
+        r: &Expr,
+    ) -> Result<(V, ast::Type), CompileError> {
+        let d = self.vint();
+        let lv = self.cond(l)?;
+        // Normalize lhs to 0/1 into d.
+        self.push(Inst::Bin { op: BinK::Sne, d, a: Operand::V(lv), b: Operand::C(0) });
+        let rhs_b = self.new_block();
+        let done = self.new_block();
+        match op {
+            BinOp::LogAnd => self.set_term(Term::Br { cond: lv, t: rhs_b, f: done }),
+            BinOp::LogOr => self.set_term(Term::Br { cond: lv, t: done, f: rhs_b }),
+            _ => unreachable!(),
+        }
+        self.start_block(rhs_b);
+        let rv = self.cond(r)?;
+        self.push(Inst::Bin { op: BinK::Sne, d, a: Operand::V(rv), b: Operand::C(0) });
+        self.set_term(Term::Jmp(done));
+        self.start_block(done);
+        Ok((d, ast::Type::Int))
+    }
+
+    /// Apply a (non-logical) binary operator to already-lowered values.
+    fn binary_vals(
+        &mut self,
+        op: BinOp,
+        lv: V,
+        lt: ast::Type,
+        rv: V,
+        rt: ast::Type,
+        span: Span,
+    ) -> Result<(V, ast::Type), CompileError> {
+        use ast::Type as T;
+        // Pointer arithmetic: ptr ± int scales by the 4-byte element.
+        if let (T::Ptr(_), T::Int) | (T::Int, T::Ptr(_)) = (&lt, &rt) {
+            if matches!(op, BinOp::Add | BinOp::Sub) {
+                let (p, pty, i) = if matches!(lt, T::Ptr(_)) { (lv, lt.clone(), rv) } else { (rv, rt.clone(), lv) };
+                if matches!(op, BinOp::Sub) && matches!(lt, T::Int) {
+                    return Err(CompileError::ty("int - pointer is not defined", span));
+                }
+                let scaled = self.vint();
+                self.push(Inst::Bin { op: BinK::Shl, d: scaled, a: Operand::V(i), b: Operand::C(2) });
+                let d = self.vint();
+                let k = if matches!(op, BinOp::Add) { BinK::Add } else { BinK::Sub };
+                self.push(Inst::Bin { op: k, d, a: Operand::V(p), b: Operand::V(scaled) });
+                return Ok((d, pty));
+            }
+        }
+        // Pointer comparisons / equality.
+        if matches!((&lt, &rt), (T::Ptr(_), T::Ptr(_))) {
+            if op.is_comparison() {
+                let d = self.vint();
+                self.push(Inst::Bin { op: cmp_kind(op), d, a: Operand::V(lv), b: Operand::V(rv) });
+                return Ok((d, T::Int));
+            }
+            return Err(CompileError::ty("pointer arithmetic between pointers", span));
+        }
+
+        let float = lt == T::Float || rt == T::Float;
+        if float {
+            let a = self.coerce(lv, &lt, &T::Float, span)?;
+            let b = self.coerce(rv, &rt, &T::Float, span)?;
+            if op.is_comparison() {
+                let d = self.vint();
+                let (k, a, b) = match op {
+                    BinOp::Eq => (FCmpK::Eq, a, b),
+                    BinOp::Lt => (FCmpK::Lt, a, b),
+                    BinOp::Le => (FCmpK::Le, a, b),
+                    BinOp::Gt => (FCmpK::Lt, b, a),
+                    BinOp::Ge => (FCmpK::Le, b, a),
+                    BinOp::Ne => {
+                        // !(a == b)
+                        let t = self.vint();
+                        self.push(Inst::FCmp { op: FCmpK::Eq, d: t, a, b });
+                        self.push(Inst::Bin { op: BinK::Seq, d, a: Operand::V(t), b: Operand::C(0) });
+                        return Ok((d, T::Int));
+                    }
+                    _ => unreachable!(),
+                };
+                self.push(Inst::FCmp { op: k, d, a, b });
+                return Ok((d, T::Int));
+            }
+            let k = match op {
+                BinOp::Add => FBinK::Add,
+                BinOp::Sub => FBinK::Sub,
+                BinOp::Mul => FBinK::Mul,
+                BinOp::Div => FBinK::Div,
+                other => {
+                    return Err(CompileError::ty(
+                        format!("operator {other:?} not defined on float"),
+                        span,
+                    ))
+                }
+            };
+            let d = self.vfloat();
+            self.push(Inst::FBin { op: k, d, a, b });
+            return Ok((d, T::Float));
+        }
+
+        // Integer path.
+        if lt != T::Int || rt != T::Int {
+            return Err(CompileError::ty(
+                format!("operator {op:?} not defined on {lt} and {rt}"),
+                span,
+            ));
+        }
+        let d = self.vint();
+        let k = match op {
+            BinOp::Add => BinK::Add,
+            BinOp::Sub => BinK::Sub,
+            BinOp::Mul => BinK::Mul,
+            BinOp::Div => BinK::Div,
+            BinOp::Rem => BinK::Rem,
+            BinOp::Shl => BinK::Shl,
+            BinOp::Shr => BinK::Sra,
+            BinOp::BitAnd => BinK::And,
+            BinOp::BitOr => BinK::Or,
+            BinOp::BitXor => BinK::Xor,
+            cmp => cmp_kind(cmp),
+        };
+        self.push(Inst::Bin { op: k, d, a: Operand::V(lv), b: Operand::V(rv) });
+        Ok((d, T::Int))
+    }
+
+    // ---------------- places ----------------
+
+    fn place(&mut self, e: &Expr) -> Result<Place, CompileError> {
+        match e {
+            Expr::Ident(name, span) => {
+                if let Some(b) = self.lookup(name).cloned() {
+                    return Ok(match b {
+                        Binding::Reg { v, ty } => Place::Reg { v, ty },
+                        Binding::Slot { slot, ty, is_array } => {
+                            let a = self.vint();
+                            self.push(Inst::SlotAddr { d: a, slot });
+                            if is_array {
+                                // Decayed: the "place" is the pointer value
+                                // itself; callers use rv() which will treat
+                                // a Reg of pointer type correctly.
+                                Place::Reg { v: a, ty: ty.ptr() }
+                            } else {
+                                Place::Mem { addr: a, off: 0, ty, volatile: false, ro: false }
+                            }
+                        }
+                    });
+                }
+                let Some(g) = self.globals.get(name).cloned() else {
+                    return Err(CompileError::sema(format!("unknown variable `{name}`"), *span));
+                };
+                if let Some(gr) = g.ps_base {
+                    return Ok(Place::Gr { gr });
+                }
+                let a = self.vint();
+                self.push(Inst::La { d: a, symbol: name.clone() });
+                if g.is_array {
+                    Ok(Place::Reg { v: a, ty: g.elem.ptr() })
+                } else {
+                    Ok(Place::Mem {
+                        addr: a,
+                        off: 0,
+                        ty: g.elem,
+                        volatile: g.volatile,
+                        ro: g.is_const && self.in_par && self.opts.ro_cache_const,
+                    })
+                }
+            }
+            Expr::Index { base, idx } => {
+                // Flags survive when the base is a direct global array.
+                let (volatile, ro) = match base.as_ref() {
+                    Expr::Ident(n, _) if self.lookup(n).is_none() => {
+                        match self.globals.get(n) {
+                            Some(g) => (
+                                g.volatile,
+                                g.is_const && self.in_par && self.opts.ro_cache_const,
+                            ),
+                            None => (false, false),
+                        }
+                    }
+                    _ => (false, false),
+                };
+                let (bv, bt) = self.rv(base)?;
+                let elem = bt
+                    .deref()
+                    .ok_or_else(|| {
+                        CompileError::ty(format!("cannot index into {bt}"), base.span())
+                    })?
+                    .clone();
+                let (iv, it) = self.rv(idx)?;
+                if it != ast::Type::Int {
+                    return Err(CompileError::ty("index must be int", idx.span()));
+                }
+                let scaled = self.vint();
+                self.push(Inst::Bin { op: BinK::Shl, d: scaled, a: Operand::V(iv), b: Operand::C(2) });
+                let addr = self.vint();
+                self.push(Inst::Bin { op: BinK::Add, d: addr, a: Operand::V(bv), b: Operand::V(scaled) });
+                Ok(Place::Mem { addr, off: 0, ty: elem, volatile, ro })
+            }
+            Expr::Deref(inner) => {
+                let (v, t) = self.rv(inner)?;
+                let elem = t
+                    .deref()
+                    .ok_or_else(|| {
+                        CompileError::ty(format!("cannot dereference {t}"), inner.span())
+                    })?
+                    .clone();
+                Ok(Place::Mem { addr: v, off: 0, ty: elem, volatile: false, ro: false })
+            }
+            other => Err(CompileError::ty("expression is not an lvalue", other.span())),
+        }
+    }
+
+    fn load_place(&mut self, p: &Place) -> V {
+        match p {
+            Place::Reg { v, .. } => *v,
+            Place::Mem { addr, off, ty, volatile, ro } => match ty {
+                ast::Type::Float => {
+                    let d = self.vfloat();
+                    self.push(Inst::FLd { d, addr: *addr, off: *off });
+                    d
+                }
+                _ => {
+                    let d = self.vint();
+                    self.push(Inst::Ld { d, addr: *addr, off: *off, ro: *ro, volatile: *volatile });
+                    d
+                }
+            },
+            Place::Gr { gr } => {
+                let d = self.vint();
+                self.push(Inst::GrGet { d, gr: *gr });
+                d
+            }
+        }
+    }
+
+    fn store_place(&mut self, p: &Place, v: V, span: Span) -> Result<(), CompileError> {
+        match p {
+            Place::Reg { v: dst, ty } => {
+                self.emit_move(*dst, v, ty);
+                Ok(())
+            }
+            Place::Mem { addr, off, ty, .. } => {
+                match ty {
+                    ast::Type::Float => self.push(Inst::FSt { s: v, addr: *addr, off: *off, nb: false }),
+                    _ => self.push(Inst::St { s: v, addr: *addr, off: *off, nb: false }),
+                }
+                Ok(())
+            }
+            Place::Gr { gr } => {
+                if self.in_par {
+                    return Err(CompileError::sema(
+                        "ps base cannot be assigned in parallel code",
+                        span,
+                    ));
+                }
+                self.push(Inst::GrPut { gr: *gr, s: v });
+                Ok(())
+            }
+        }
+    }
+
+    fn emit_move(&mut self, d: V, s: V, ty: &ast::Type) {
+        if d == s {
+            return;
+        }
+        match ty {
+            ast::Type::Float => self.push(Inst::FMov { d, s }),
+            _ => self.push(Inst::Mov { d, s }),
+        }
+    }
+
+    /// Convert `v: from` to type `to` (int → float implicit; float → int
+    /// requires a cast and is rejected here).
+    fn coerce(
+        &mut self,
+        v: V,
+        from: &ast::Type,
+        to: &ast::Type,
+        span: Span,
+    ) -> Result<V, CompileError> {
+        use ast::Type as T;
+        if from == to {
+            return Ok(v);
+        }
+        match (from, to) {
+            (T::Int, T::Float) => {
+                let d = self.vfloat();
+                self.push(Inst::CvtIF { d, s: v });
+                Ok(d)
+            }
+            (T::Float, T::Int) => Err(CompileError::ty(
+                "implicit float → int conversion; use an explicit cast",
+                span,
+            )),
+            // Pointer/int mixing is allowed C-style.
+            (T::Ptr(_), T::Int) | (T::Int, T::Ptr(_)) | (T::Ptr(_), T::Ptr(_)) => Ok(v),
+            (a, b) => Err(CompileError::ty(format!("cannot convert {a} to {b}"), span)),
+        }
+    }
+}
+
+/// Best-effort source line of a statement.
+fn stmt_line(s: &Stmt) -> Option<u32> {
+    let span = match s {
+        Stmt::Decl { span, .. }
+        | Stmt::Assign { span, .. }
+        | Stmt::Break(span)
+        | Stmt::Continue(span)
+        | Stmt::Return(_, span)
+        | Stmt::Spawn { span, .. } => *span,
+        Stmt::If { cond, .. } => cond.span(),
+        Stmt::While { cond, .. } | Stmt::DoWhile { cond, .. } => cond.span(),
+        Stmt::For { cond: Some(c), .. } => c.span(),
+        Stmt::Expr(e) => e.span(),
+        _ => return None,
+    };
+    (span.line != 0).then_some(span.line)
+}
+
+fn place_ty(p: &Place) -> ast::Type {
+    match p {
+        Place::Reg { ty, .. } | Place::Mem { ty, .. } => ty.clone(),
+        Place::Gr { .. } => ast::Type::Int,
+    }
+}
+
+fn cmp_kind(op: BinOp) -> BinK {
+    match op {
+        BinOp::Lt => BinK::Slt,
+        BinOp::Le => BinK::Sle,
+        BinOp::Gt => BinK::Sgt,
+        BinOp::Ge => BinK::Sge,
+        BinOp::Eq => BinK::Seq,
+        BinOp::Ne => BinK::Sne,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+fn unify(a: &ast::Type, b: &ast::Type) -> Option<ast::Type> {
+    use ast::Type as T;
+    match (a, b) {
+        _ if a == b => Some(a.clone()),
+        (T::Int, T::Float) | (T::Float, T::Int) => Some(T::Float),
+        (T::Ptr(_), T::Int) => Some(a.clone()),
+        (T::Int, T::Ptr(_)) => Some(b.clone()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::sema::check;
+
+    fn lower_src(src: &str) -> Result<Module, CompileError> {
+        let checked = check(parse(src).unwrap())?;
+        lower(&checked, &Options::default())
+    }
+
+    #[test]
+    fn lowers_fig2a_with_spawn_region() {
+        let m = lower_src(
+            "int A[8]; int B[8]; int base = 0; int N = 8;
+             void main() { spawn(0, N-1) { int inc = 1;
+                 if (A[$] != 0) { ps(inc, base); B[inc] = A[$]; } } }",
+        )
+        .unwrap();
+        let main = m.functions.iter().find(|f| f.name == "main").unwrap();
+        assert!(main.has_spawn());
+        // There must be a SpawnStart terminator and a Tid in the harness.
+        let spawn_bb = main
+            .blocks
+            .iter()
+            .find(|b| matches!(b.term, Term::SpawnStart { .. }))
+            .expect("spawn start");
+        let Term::SpawnStart { harness, .. } = spawn_bb.term else { unreachable!() };
+        let hblock = &main.blocks[harness as usize];
+        assert!(hblock.parallel);
+        assert!(matches!(hblock.insts[0], Inst::Tid { .. }));
+        // The parallel body contains a Ps on gr1.
+        assert!(main.blocks.iter().any(|b| b.parallel
+            && b.insts.iter().any(|i| matches!(i, Inst::Ps { gr: 1, .. }))));
+        // Globals got consecutive addresses; base is absent (ps base).
+        assert!(m.memmap.lookup("A").is_some());
+        assert!(m.memmap.lookup("base").is_none());
+    }
+
+    #[test]
+    fn global_initializers_encode() {
+        let m = lower_src("int a = -3; float f = 1.5; int T[3] = {7, 8, 9}; void main() {}")
+            .unwrap();
+        assert_eq!(m.memmap.lookup("a").unwrap().words, vec![(-3i32) as u32]);
+        assert_eq!(m.memmap.lookup("f").unwrap().words, vec![1.5f32.to_bits()]);
+        assert_eq!(m.memmap.lookup("T").unwrap().words, vec![7, 8, 9]);
+        assert!(m.globals["f"].is_float);
+    }
+
+    #[test]
+    fn float_int_typing() {
+        // implicit int→float in mixed arithmetic; explicit cast back.
+        lower_src("float x; void main() { x = 1 + 2.5; int y = (int)x; y += 1; }").unwrap();
+        // implicit float→int rejected.
+        let err = lower_src("float x; void main() { int y = x; }").unwrap_err();
+        assert!(err.to_string().contains("cast"));
+        // float condition rejected.
+        let err = lower_src("float x; void main() { if (x) {} }").unwrap_err();
+        assert!(err.to_string().contains("condition"));
+        // float comparison fine.
+        lower_src("float x; void main() { if (x > 0.5) {} }").unwrap();
+    }
+
+    #[test]
+    fn pointer_arithmetic_scales() {
+        let m = lower_src(
+            "int A[8]; void main() { int* p = A; p = p + 3; *p = 5; int x = p[1]; x += 1; }",
+        )
+        .unwrap();
+        let main = &m.functions[0];
+        // Look for a Shl by 2 (scaling).
+        assert!(main.blocks.iter().any(|b| b
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Bin { op: BinK::Shl, b: Operand::C(2), .. }))));
+    }
+
+    #[test]
+    fn addressed_local_gets_slot() {
+        let m = lower_src("void f(int* p) { *p = 1; } void main() { int x = 0; f(&x); print(x); }")
+            .unwrap();
+        let main = m.functions.iter().find(|f| f.name == "main").unwrap();
+        assert_eq!(main.slots.len(), 1);
+        assert!(main
+            .blocks
+            .iter()
+            .any(|b| b.insts.iter().any(|i| matches!(i, Inst::SlotAddr { .. }))));
+    }
+
+    #[test]
+    fn address_of_parallel_local_rejected() {
+        // Without outlining, &local inside spawn would need a TCU stack.
+        let checked = check(parse(
+            "void main() { spawn(0, 3) { int x = 1; int* p = &x; *p = 2; } }",
+        ).unwrap())
+        .unwrap();
+        let err = lower(&checked, &Options::default()).unwrap_err();
+        assert!(err.to_string().contains("no stack"), "{err}");
+    }
+
+    #[test]
+    fn short_circuit_produces_blocks() {
+        let m = lower_src("int a; int b; void main() { if (a > 0 && b > 0) { print(1); } }")
+            .unwrap();
+        let main = &m.functions[0];
+        assert!(main.blocks.len() >= 4);
+    }
+
+    #[test]
+    fn psm_on_memory() {
+        let m = lower_src("int c; void main() { int v = 5; psm(v, c); print(v); }").unwrap();
+        let main = &m.functions[0];
+        assert!(main
+            .blocks
+            .iter()
+            .any(|b| b.insts.iter().any(|i| matches!(i, Inst::Psm { .. }))));
+    }
+
+    #[test]
+    fn ps_base_init_emits_grput() {
+        let m = lower_src(
+            "int base = 42; void main() { int v = 1; ps(v, base); print(v); }",
+        )
+        .unwrap();
+        let main = m.functions.iter().find(|f| f.name == "main").unwrap();
+        let entry = &main.blocks[main.entry as usize];
+        assert!(entry
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::GrPut { gr: 1, .. })));
+    }
+
+    #[test]
+    fn call_arity_and_types_checked() {
+        let err = lower_src("int f(int a) { return a; } void main() { f(1, 2); }").unwrap_err();
+        assert!(err.to_string().contains("arguments"));
+        let err = lower_src("void f(float x) {} void main() { }").unwrap_err();
+        assert!(err.to_string().contains("float*"));
+        // float return works.
+        lower_src("float h() { return 2.5; } void main() { float x = h(); x = x + 1.0; }")
+            .unwrap();
+    }
+
+    #[test]
+    fn alloc_serial_only_checked_in_lowering() {
+        let m = lower_src("void main() { int* p = alloc(64); p[0] = 1; }").unwrap();
+        assert!(m.functions[0]
+            .blocks
+            .iter()
+            .any(|b| b.insts.iter().any(|i| matches!(i, Inst::Alloc { .. }))));
+    }
+}

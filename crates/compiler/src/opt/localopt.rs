@@ -1,0 +1,318 @@
+//! Local (per-block) copy propagation and common-subexpression
+//! elimination.
+//!
+//! Both passes respect the XMT memory model obligations (§IV-A):
+//! `ps`, `psm` and `fence` kill all memory-dependent facts, so no load is
+//! ever reused across a prefix-sum, and `volatile` loads are never
+//! coalesced at all.
+
+use crate::ir::*;
+use std::collections::HashMap;
+
+/// Replace uses of `Mov` destinations by their sources within blocks.
+pub fn copy_propagate(f: &mut IrFunction) {
+    for b in &mut f.blocks {
+        let mut copies: HashMap<V, V> = HashMap::new();
+        let resolve = |copies: &HashMap<V, V>, v: V| -> V {
+            let mut v = v;
+            let mut depth = 0;
+            while let Some(&s) = copies.get(&v) {
+                v = s;
+                depth += 1;
+                if depth > 32 {
+                    break;
+                }
+            }
+            v
+        };
+        for inst in &mut b.insts {
+            // Rewrite uses first.
+            rewrite_uses(inst, |v| resolve(&copies, v));
+            // Kill facts about the redefined register.
+            if let Some(d) = inst.def() {
+                copies.remove(&d);
+                copies.retain(|_, s| *s != d);
+            }
+            // Learn new copies.
+            match inst {
+                Inst::Mov { d, s } | Inst::FMov { d, s } if d != s => {
+                    copies.insert(*d, *s);
+                }
+                _ => {}
+            }
+        }
+        // Terminator uses.
+        let copies_ref = &copies;
+        match &mut b.term {
+            Term::Br { cond, .. } => *cond = resolve(copies_ref, *cond),
+            Term::Ret(Some(v)) => *v = resolve(copies_ref, *v),
+            Term::SpawnStart { lo, hi, .. } => {
+                *lo = resolve(copies_ref, *lo);
+                *hi = resolve(copies_ref, *hi);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Local CSE over pure operations and (non-volatile) loads.
+pub fn cse(f: &mut IrFunction) {
+    for b in &mut f.blocks {
+        cse_block(b);
+    }
+}
+
+#[derive(PartialEq, Clone)]
+enum Key {
+    Bin(BinK, Operand, Operand),
+    FBin(FBinK, V, V),
+    Li(i32),
+    FLi(u32),
+    La(String),
+    SlotAddr(u32),
+    Cvt(bool, V),
+    FCmp(FCmpK, V, V),
+    Load(V, i32),
+    FLoad(V, i32),
+}
+
+fn cse_block(b: &mut BlockIr) {
+    // available value -> defining vreg
+    let mut avail: Vec<(Key, V)> = Vec::new();
+    let mut replaced: HashMap<V, V> = HashMap::new();
+
+    let kill_reg = |avail: &mut Vec<(Key, V)>, d: V| {
+        avail.retain(|(k, v)| {
+            if *v == d {
+                return false;
+            }
+            !match k {
+                Key::Bin(_, a, bb) => a.as_v() == Some(d) || bb.as_v() == Some(d),
+                Key::FBin(_, a, bb) | Key::FCmp(_, a, bb) => *a == d || *bb == d,
+                Key::Cvt(_, s) => *s == d,
+                Key::Load(a, _) | Key::FLoad(a, _) => *a == d,
+                _ => false,
+            }
+        });
+    };
+    let kill_memory = |avail: &mut Vec<(Key, V)>| {
+        avail.retain(|(k, _)| !matches!(k, Key::Load(..) | Key::FLoad(..)));
+    };
+
+    for inst in &mut b.insts {
+        rewrite_uses(inst, |v| *replaced.get(&v).unwrap_or(&v));
+
+        let key = match inst {
+            Inst::Bin { op, a, b, .. } => Some(Key::Bin(*op, *a, *b)),
+            Inst::FBin { op, a, b, .. } => Some(Key::FBin(*op, *a, *b)),
+            Inst::Li { imm, .. } => Some(Key::Li(*imm)),
+            Inst::FLi { imm, .. } => Some(Key::FLi(imm.to_bits())),
+            Inst::La { symbol, .. } => Some(Key::La(symbol.clone())),
+            Inst::SlotAddr { slot, .. } => Some(Key::SlotAddr(*slot)),
+            Inst::CvtIF { s, .. } => Some(Key::Cvt(true, *s)),
+            Inst::CvtFI { s, .. } => Some(Key::Cvt(false, *s)),
+            Inst::FCmp { op, a, b, .. } => Some(Key::FCmp(*op, *a, *b)),
+            Inst::Ld { addr, off, volatile: false, .. } => Some(Key::Load(*addr, *off)),
+            Inst::FLd { addr, off, .. } => Some(Key::FLoad(*addr, *off)),
+            _ => None,
+        };
+
+        if let (Some(key), Some(d)) = (key.clone(), inst.def()) {
+            if let Some((_, prev)) = avail.iter().find(|(k, _)| *k == key) {
+                let prev = *prev;
+                // Only safe if `prev` hasn't been redefined since — the
+                // kill logic guarantees that. But the destination may be
+                // live elsewhere (non-SSA), so keep the def as a move.
+                let is_float = matches!(
+                    inst,
+                    Inst::FBin { .. } | Inst::FLi { .. } | Inst::FLd { .. } | Inst::CvtIF { .. }
+                );
+                *inst = if is_float {
+                    Inst::FMov { d, s: prev }
+                } else {
+                    Inst::Mov { d, s: prev }
+                };
+                replaced.insert(d, prev);
+                kill_reg(&mut avail, d);
+                continue;
+            }
+        }
+
+        // Effects on available facts.
+        match inst {
+            Inst::St { .. } | Inst::FSt { .. } | Inst::Psm { .. } | Inst::Fence
+            | Inst::Call { .. } | Inst::Alloc { .. } => kill_memory(&mut avail),
+            Inst::Ps { .. } | Inst::GrPut { .. } => kill_memory(&mut avail),
+            _ => {}
+        }
+        if let Some(d) = inst.def() {
+            kill_reg(&mut avail, d);
+            replaced.remove(&d);
+            replaced.retain(|_, s| *s != d);
+            if let Some(key) = key {
+                avail.push((key, d));
+            }
+        }
+    }
+    // Fix terminator uses.
+    match &mut b.term {
+        Term::Br { cond, .. } => {
+            if let Some(s) = replaced.get(cond) {
+                *cond = *s;
+            }
+        }
+        Term::Ret(Some(v)) => {
+            if let Some(s) = replaced.get(v) {
+                *v = *s;
+            }
+        }
+        Term::SpawnStart { lo, hi, .. } => {
+            if let Some(s) = replaced.get(lo) {
+                *lo = *s;
+            }
+            if let Some(s) = replaced.get(hi) {
+                *hi = *s;
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Rewrite every vreg use in an instruction.
+fn rewrite_uses(inst: &mut Inst, f: impl Fn(V) -> V) {
+    use Inst::*;
+    match inst {
+        Bin { a, b, .. } => {
+            if let Operand::V(v) = a {
+                *v = f(*v);
+            }
+            if let Operand::V(v) = b {
+                *v = f(*v);
+            }
+        }
+        FBin { a, b, .. } | FCmp { a, b, .. } => {
+            *a = f(*a);
+            *b = f(*b);
+        }
+        Mov { s, .. } | FMov { s, .. } | FNeg { s, .. } | CvtIF { s, .. } | CvtFI { s, .. }
+        | GrPut { s, .. } | Print { s } | PrintF { s } | PrintC { s } => *s = f(*s),
+        Ld { addr, .. } | FLd { addr, .. } | Pref { addr, .. } => *addr = f(*addr),
+        St { s, addr, .. } | FSt { s, addr, .. } => {
+            *s = f(*s);
+            *addr = f(*addr);
+        }
+        Psm { addr, .. } => {
+            // `s_d` is both a use and a def held in one field: rewriting
+            // it would redirect the *definition* to another vreg. Leave
+            // it alone; only the address operand is a pure use.
+            *addr = f(*addr);
+        }
+        Ps { .. } => {}
+        Call { args, .. } => {
+            for a in args {
+                *a = f(*a);
+            }
+        }
+        Alloc { size, .. } => *size = f(*size),
+        Li { .. } | FLi { .. } | Tid { .. } | La { .. } | SlotAddr { .. } | Fence
+        | GrGet { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn func_with(insts: Vec<Inst>) -> IrFunction {
+        IrFunction {
+            name: "t".into(),
+            params: vec![],
+            vclass: vec![Class::Int; 32],
+            blocks: vec![BlockIr { insts, term: Term::Halt, parallel: false, src_line: 0 }],
+            entry: 0,
+            slots: vec![],
+            ret: None,
+            is_main: true,
+        }
+    }
+
+    #[test]
+    fn copies_propagate_into_uses() {
+        let mut f = func_with(vec![
+            Inst::Li { d: 0, imm: 3 },
+            Inst::Mov { d: 1, s: 0 },
+            Inst::Bin { op: BinK::Add, d: 2, a: Operand::V(1), b: Operand::V(1) },
+        ]);
+        copy_propagate(&mut f);
+        assert_eq!(
+            f.blocks[0].insts[2],
+            Inst::Bin { op: BinK::Add, d: 2, a: Operand::V(0), b: Operand::V(0) }
+        );
+    }
+
+    #[test]
+    fn copy_killed_by_source_redefinition() {
+        let mut f = func_with(vec![
+            Inst::Mov { d: 1, s: 0 },
+            Inst::Li { d: 0, imm: 9 }, // kills the copy
+            Inst::Print { s: 1 },
+        ]);
+        copy_propagate(&mut f);
+        assert_eq!(f.blocks[0].insts[2], Inst::Print { s: 1 });
+    }
+
+    #[test]
+    fn cse_reuses_pure_computation() {
+        let mut f = func_with(vec![
+            Inst::Bin { op: BinK::Add, d: 2, a: Operand::V(0), b: Operand::V(1) },
+            Inst::Bin { op: BinK::Add, d: 3, a: Operand::V(0), b: Operand::V(1) },
+        ]);
+        cse(&mut f);
+        assert_eq!(f.blocks[0].insts[1], Inst::Mov { d: 3, s: 2 });
+    }
+
+    #[test]
+    fn cse_load_killed_by_store_and_psm() {
+        let mut f = func_with(vec![
+            Inst::Ld { d: 1, addr: 0, off: 0, ro: false, volatile: false },
+            Inst::St { s: 5, addr: 0, off: 0, nb: false },
+            Inst::Ld { d: 2, addr: 0, off: 0, ro: false, volatile: false },
+            Inst::Psm { s_d: 6, addr: 0, off: 0 },
+            Inst::Ld { d: 3, addr: 0, off: 0, ro: false, volatile: false },
+        ]);
+        cse(&mut f);
+        assert!(matches!(f.blocks[0].insts[2], Inst::Ld { .. }));
+        assert!(matches!(f.blocks[0].insts[4], Inst::Ld { .. }));
+    }
+
+    #[test]
+    fn cse_reuses_load_when_safe() {
+        let mut f = func_with(vec![
+            Inst::Ld { d: 1, addr: 0, off: 4, ro: false, volatile: false },
+            Inst::Ld { d: 2, addr: 0, off: 4, ro: false, volatile: false },
+        ]);
+        cse(&mut f);
+        assert_eq!(f.blocks[0].insts[1], Inst::Mov { d: 2, s: 1 });
+    }
+
+    #[test]
+    fn volatile_loads_never_coalesce() {
+        let mut f = func_with(vec![
+            Inst::Ld { d: 1, addr: 0, off: 0, ro: false, volatile: true },
+            Inst::Ld { d: 2, addr: 0, off: 0, ro: false, volatile: true },
+        ]);
+        cse(&mut f);
+        assert!(matches!(f.blocks[0].insts[1], Inst::Ld { .. }));
+    }
+
+    #[test]
+    fn cse_respects_operand_redefinition() {
+        let mut f = func_with(vec![
+            Inst::Bin { op: BinK::Add, d: 2, a: Operand::V(0), b: Operand::V(1) },
+            Inst::Li { d: 0, imm: 7 },
+            Inst::Bin { op: BinK::Add, d: 3, a: Operand::V(0), b: Operand::V(1) },
+        ]);
+        cse(&mut f);
+        assert!(matches!(f.blocks[0].insts[2], Inst::Bin { .. }));
+    }
+}

@@ -1,0 +1,55 @@
+//! Optimization passes of the core-pass.
+//!
+//! Classic scalar optimizations (constant folding, local copy
+//! propagation + common-subexpression elimination, dead-code
+//! elimination) plus the XMT-specific passes of paper §IV:
+//!
+//! * [`xmt::insert_fences`] — a memory fence before every prefix-sum, the
+//!   compiler half of the XMT memory model (§IV-A);
+//! * [`xmt::nonblocking_stores`] — convert parallel-code stores into
+//!   non-blocking stores (§IV-C);
+//! * [`prefetch::insert_prefetches`] — batch independent loads behind
+//!   prefetches into the TCU prefetch buffers (§IV-C, ref \[8\]).
+//!
+//! All scalar passes treat `ps`/`psm`/`fence` as barriers: memory
+//! operations are never moved or coalesced across a prefix-sum, the
+//! second compiler obligation of the memory model.
+
+pub mod dce;
+pub mod fold;
+pub mod localopt;
+pub mod prefetch;
+pub mod xmt;
+
+use crate::ir::Module;
+use crate::Options;
+
+/// Run the configured pass pipeline over a module.
+pub fn optimize(module: &mut Module, opts: &Options) {
+    for f in &mut module.functions {
+        if opts.opt_level >= 1 {
+            fold::run(f);
+            localopt::copy_propagate(f);
+            localopt::cse(f);
+            dce::run(f);
+        }
+        if opts.opt_level >= 2 {
+            // A second round catches opportunities exposed by DCE.
+            fold::run(f);
+            localopt::copy_propagate(f);
+            localopt::cse(f);
+            dce::run(f);
+        }
+        // XMT-specific passes (ordering matters: fences first, so the
+        // non-blocking conversion and prefetching see final positions).
+        if opts.fences {
+            xmt::insert_fences(f);
+        }
+        if opts.nb_stores {
+            xmt::nonblocking_stores(f);
+        }
+        if opts.prefetch && opts.prefetch_batch >= 2 {
+            prefetch::insert_prefetches(f, opts.prefetch_batch as usize);
+        }
+    }
+}

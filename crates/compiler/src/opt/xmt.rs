@@ -1,0 +1,115 @@
+//! XMT-specific transformations: memory fences and non-blocking stores.
+//!
+//! **Fences (paper §IV-A).** The XMT memory model preserves ordering of
+//! memory operations only relative to prefix-sums. The compiler enforces
+//! rule 2 by (a) issuing a memory fence before each prefix-sum operation
+//! to wait until all pending writes complete, and (b) never moving memory
+//! operations across prefix-sums (the scalar passes treat them as
+//! barriers). As in the paper, the implementation "does not take into
+//! account the base of prefix-sum operations and may be overly
+//! conservative".
+//!
+//! **Non-blocking stores (§IV-C).** TCU stores need no reply: converting
+//! them to `swnb` lets the thread continue immediately. Ordering to the
+//! *same* address from the same TCU is preserved by the static routing of
+//! the hardware (memory-model rule 1), so every parallel store is
+//! eligible; the fences inserted above protect cross-thread consumers.
+//! Master-side stores stay blocking (the master cache is cheap anyway).
+
+use crate::ir::*;
+
+/// Insert a `Fence` before every `ps`/`psm` in parallel blocks.
+pub fn insert_fences(f: &mut IrFunction) {
+    for b in &mut f.blocks {
+        if !b.parallel {
+            continue;
+        }
+        let mut out = Vec::with_capacity(b.insts.len());
+        for inst in b.insts.drain(..) {
+            let needs_fence = matches!(inst, Inst::Ps { .. } | Inst::Psm { .. });
+            if needs_fence && !matches!(out.last(), Some(Inst::Fence)) {
+                out.push(Inst::Fence);
+            }
+            out.push(inst);
+        }
+        b.insts = out;
+    }
+}
+
+/// Convert stores in parallel blocks to non-blocking stores.
+pub fn nonblocking_stores(f: &mut IrFunction) {
+    for b in &mut f.blocks {
+        if !b.parallel {
+            continue;
+        }
+        for inst in &mut b.insts {
+            match inst {
+                Inst::St { nb, .. } | Inst::FSt { nb, .. } => *nb = true,
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn par_func(insts: Vec<Inst>) -> IrFunction {
+        IrFunction {
+            name: "t".into(),
+            params: vec![],
+            vclass: vec![Class::Int; 8],
+            blocks: vec![
+                BlockIr { insts: insts.clone(), term: Term::Halt, parallel: true, src_line: 0 },
+                BlockIr { insts, term: Term::Halt, parallel: false, src_line: 0 },
+            ],
+            entry: 0,
+            slots: vec![],
+            ret: None,
+            is_main: false,
+        }
+    }
+
+    #[test]
+    fn fence_inserted_before_ps_and_psm_in_parallel_only() {
+        let mut f = par_func(vec![
+            Inst::St { s: 0, addr: 1, off: 0, nb: false },
+            Inst::Ps { s_d: 2, gr: 1 },
+            Inst::Psm { s_d: 3, addr: 1, off: 0 },
+        ]);
+        insert_fences(&mut f);
+        let par = &f.blocks[0].insts;
+        assert_eq!(par.len(), 5);
+        assert!(matches!(par[1], Inst::Fence));
+        assert!(matches!(par[3], Inst::Fence));
+        // Serial block untouched.
+        assert_eq!(f.blocks[1].insts.len(), 3);
+    }
+
+    #[test]
+    fn no_double_fence_for_adjacent_prefix_sums() {
+        let mut f = par_func(vec![Inst::Ps { s_d: 0, gr: 1 }, Inst::Ps { s_d: 1, gr: 1 }]);
+        insert_fences(&mut f);
+        let fences = f.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Fence))
+            .count();
+        assert_eq!(fences, 2); // one before each ps, but not duplicated
+        assert_eq!(f.blocks[0].insts.len(), 4);
+    }
+
+    #[test]
+    fn parallel_stores_become_nonblocking() {
+        let mut f = par_func(vec![
+            Inst::St { s: 0, addr: 1, off: 0, nb: false },
+            Inst::FSt { s: 2, addr: 1, off: 4, nb: false },
+        ]);
+        nonblocking_stores(&mut f);
+        assert!(matches!(f.blocks[0].insts[0], Inst::St { nb: true, .. }));
+        assert!(matches!(f.blocks[0].insts[1], Inst::FSt { nb: true, .. }));
+        // Serial block untouched.
+        assert!(matches!(f.blocks[1].insts[0], Inst::St { nb: false, .. }));
+    }
+}

@@ -1,0 +1,601 @@
+//! Linear-scan register allocation.
+//!
+//! Serial code follows a MIPS-like convention: values live across calls
+//! go to callee-saved `s` registers, everything else to caller-saved `t`
+//! registers, and spills go to stack slots in the Master TCU's frame.
+//!
+//! Parallel code is different, and this is the paper's point (§IV-D):
+//! *parallel stack allocation is not yet publicly supported*, so virtual
+//! threads can only use registers; the compiler "checks if the available
+//! registers suffice and produces a register spill error otherwise".
+//! Any virtual register whose live range touches a parallel block (or
+//! crosses the spawn, i.e. is broadcast) is pinned un-spillable here, and
+//! running out of registers for one raises
+//! [`CompileError::RegisterSpill`].
+
+use crate::ir::*;
+use crate::CompileError;
+use std::collections::HashMap;
+use xmt_isa::{FReg, Reg};
+
+/// Caller-saved integer pool.
+const T_POOL: [Reg; 11] = [
+    Reg::T0,
+    Reg::T1,
+    Reg::T2,
+    Reg::T3,
+    Reg::T4,
+    Reg::T5,
+    Reg::T6,
+    Reg::T7,
+    Reg::T8,
+    Reg::T9,
+    Reg::V1,
+];
+
+/// Callee-saved integer pool.
+const S_POOL: [Reg; 8] = [
+    Reg::S0,
+    Reg::S1,
+    Reg::S2,
+    Reg::S3,
+    Reg::S4,
+    Reg::S5,
+    Reg::S6,
+    Reg::S7,
+];
+
+/// Result of allocation for one function.
+#[derive(Debug, Default)]
+pub struct Assignment {
+    /// Integer vreg → physical register.
+    pub int_reg: HashMap<V, Reg>,
+    /// Float vreg → physical register.
+    pub f_reg: HashMap<V, FReg>,
+    /// Spilled vreg → stack-slot index (slots appended to the function).
+    pub spill: HashMap<V, u32>,
+    /// Callee-saved registers used (to save/restore in the prologue).
+    pub used_s: Vec<Reg>,
+}
+
+impl Assignment {
+    /// The physical register of an integer vreg, if not spilled.
+    pub fn reg(&self, v: V) -> Option<Reg> {
+        self.int_reg.get(&v).copied()
+    }
+
+    /// The physical register of a float vreg, if not spilled.
+    pub fn freg(&self, v: V) -> Option<FReg> {
+        self.f_reg.get(&v).copied()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Interval {
+    v: V,
+    class: Class,
+    start: u32,
+    end: u32,
+    crosses_call: bool,
+    parallel: bool,
+}
+
+/// Allocate registers for `f`, possibly appending spill slots.
+pub fn allocate(f: &mut IrFunction) -> Result<Assignment, CompileError> {
+    let intervals = build_intervals(f);
+    let mut asg = Assignment::default();
+
+    // Sort by start position (stable on vreg id for determinism).
+    let mut ivs: Vec<Interval> = intervals.into_values().collect();
+    ivs.sort_by_key(|i| (i.start, i.v));
+
+    // Independent scans per class.
+    scan_int(f, ivs.iter().filter(|i| i.class == Class::Int), &mut asg)?;
+    scan_float(f, ivs.iter().filter(|i| i.class == Class::Float), &mut asg)?;
+
+    let mut used_s: Vec<Reg> = asg
+        .int_reg
+        .values()
+        .copied()
+        .filter(|r| S_POOL.contains(r))
+        .collect();
+    used_s.sort();
+    used_s.dedup();
+    asg.used_s = used_s;
+    Ok(asg)
+}
+
+fn scan_int<'a>(
+    f: &mut IrFunction,
+    ivs: impl Iterator<Item = &'a Interval>,
+    asg: &mut Assignment,
+) -> Result<(), CompileError> {
+    // active: (end, vreg, reg)
+    let mut active: Vec<(u32, V, Reg)> = Vec::new();
+    let mut free_t: Vec<Reg> = T_POOL.to_vec();
+    let mut free_s: Vec<Reg> = S_POOL.to_vec();
+
+    for iv in ivs {
+        // Expire old intervals.
+        active.retain(|&(end, _, r)| {
+            if end < iv.start {
+                if T_POOL.contains(&r) {
+                    free_t.push(r);
+                } else {
+                    free_s.push(r);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        free_t.sort_by_key(|r| r.number());
+        free_s.sort_by_key(|r| r.number());
+
+        let pick = if iv.crosses_call {
+            free_s.first().copied().inspect(|&r| {
+                free_s.retain(|x| *x != r);
+            })
+        } else {
+            // Prefer t-regs, fall back to s-regs.
+            if let Some(&r) = free_t.first() {
+                free_t.retain(|x| x != &r);
+                Some(r)
+            } else if let Some(&r) = free_s.first() {
+                free_s.retain(|x| x != &r);
+                Some(r)
+            } else {
+                None
+            }
+        };
+
+        match pick {
+            Some(r) => {
+                asg.int_reg.insert(iv.v, r);
+                active.push((iv.end, iv.v, r));
+            }
+            None => {
+                // Spill: choose the active interval with the furthest end
+                // among the spillable candidates (or the current one).
+                spill_one(f, asg, &mut active, iv)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Spill either the current interval or the furthest-ending active one.
+/// `parallel` intervals are not spillable — that situation is the
+/// paper's register-spill error.
+fn spill_one(
+    f: &mut IrFunction,
+    asg: &mut Assignment,
+    active: &mut Vec<(u32, V, Reg)>,
+    cur: &Interval,
+) -> Result<(), CompileError> {
+    // Find the furthest-ending spill candidate among active intervals.
+    // We lack per-active parallel info here, so conservatively: if the
+    // current interval is parallel, spilling an active one would still
+    // leave the register for us; active parallel intervals are exactly
+    // those that must keep registers. Track parallel-ness via a side map.
+    let cur_parallel = cur.parallel;
+    // Candidates: active intervals that are not parallel.
+    let candidate = active
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, v, _))| !PARALLEL_SET.with(|s| s.borrow().contains(v)))
+        .max_by_key(|(_, (end, _, _))| *end)
+        .map(|(k, _)| k);
+
+    match candidate {
+        Some(k) if active[k].0 > cur.end || cur_parallel => {
+            // Spill the active victim, give its register to `cur`.
+            let (_, victim, r) = active.remove(k);
+            asg.int_reg.remove(&victim);
+            let slot = new_spill_slot(f);
+            asg.spill.insert(victim, slot);
+            asg.int_reg.insert(cur.v, r);
+            active.push((cur.end, cur.v, r));
+            Ok(())
+        }
+        _ if !cur_parallel => {
+            let slot = new_spill_slot(f);
+            asg.spill.insert(cur.v, slot);
+            Ok(())
+        }
+        _ => Err(CompileError::RegisterSpill {
+            function: f.name.clone(),
+            message: format!(
+                "virtual thread needs more than {} integer registers",
+                T_POOL.len() + S_POOL.len()
+            ),
+        }),
+    }
+}
+
+thread_local! {
+    /// Set of parallel (un-spillable) vregs for the function currently
+    /// being allocated. Populated by `build_intervals`.
+    static PARALLEL_SET: std::cell::RefCell<std::collections::HashSet<V>> =
+        std::cell::RefCell::new(std::collections::HashSet::new());
+}
+
+fn scan_float<'a>(
+    f: &mut IrFunction,
+    ivs: impl Iterator<Item = &'a Interval>,
+    asg: &mut Assignment,
+) -> Result<(), CompileError> {
+    // f0/f1 are reserved as code-generator scratch for spill reloads.
+    let pool: Vec<FReg> = FReg::allocatable().filter(|r| r.0 >= 2).collect();
+    let mut active: Vec<(u32, V, FReg)> = Vec::new();
+    let mut free: Vec<FReg> = pool;
+
+    for iv in ivs {
+        active.retain(|&(end, _, r)| {
+            if end < iv.start {
+                free.push(r);
+                false
+            } else {
+                true
+            }
+        });
+        free.sort_by_key(|r| r.0);
+
+        // Floats live across calls are spilled (no callee-saved FP regs).
+        if iv.crosses_call {
+            if iv.parallel {
+                return Err(CompileError::Internal(
+                    "call inside parallel code survived sema".into(),
+                ));
+            }
+            let slot = new_spill_slot(f);
+            asg.spill.insert(iv.v, slot);
+            continue;
+        }
+        if let Some(&r) = free.first() {
+            free.retain(|x| *x != r);
+            asg.f_reg.insert(iv.v, r);
+            active.push((iv.end, iv.v, r));
+        } else {
+            // Spill furthest-ending non-parallel active, else current.
+            let candidate = active
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, v, _))| !PARALLEL_SET.with(|s| s.borrow().contains(v)))
+                .max_by_key(|(_, (end, _, _))| *end)
+                .map(|(k, _)| k);
+            match candidate {
+                Some(k) if active[k].0 > iv.end || iv.parallel => {
+                    let (_, victim, r) = active.remove(k);
+                    asg.f_reg.remove(&victim);
+                    let slot = new_spill_slot(f);
+                    asg.spill.insert(victim, slot);
+                    asg.f_reg.insert(iv.v, r);
+                    active.push((iv.end, iv.v, r));
+                }
+                _ if !iv.parallel => {
+                    let slot = new_spill_slot(f);
+                    asg.spill.insert(iv.v, slot);
+                }
+                _ => {
+                    return Err(CompileError::RegisterSpill {
+                        function: f.name.clone(),
+                        message: "virtual thread needs more float registers than the TCU has"
+                            .into(),
+                    })
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn new_spill_slot(f: &mut IrFunction) -> u32 {
+    f.slots.push(4);
+    (f.slots.len() - 1) as u32
+}
+
+/// Compute one live interval per vreg over a linear numbering.
+///
+/// Positions are split per instruction: instruction `i` *uses* its
+/// operands at `2(i+1)` and *defines* its result at `2(i+1)+1`;
+/// parameters are defined at position 1 (the prologue). A call therefore
+/// sits strictly *inside* the interval of any value defined before it and
+/// used after it — the condition for needing a callee-saved register —
+/// while values merely passed as arguments do not cross it.
+fn build_intervals(f: &IrFunction) -> HashMap<V, Interval> {
+    // Linear instruction counter across the whole function (starts at 1
+    // so the prologue owns position 1).
+    let mut counter: u32 = 1;
+    let mut block_start = vec![0u32; f.blocks.len()];
+    let mut block_end = vec![0u32; f.blocks.len()];
+    let mut call_positions = Vec::new();
+    let mut parallel_ranges: Vec<(u32, u32)> = Vec::new();
+    for (bi, b) in f.blocks.iter().enumerate() {
+        block_start[bi] = 2 * counter;
+        for i in &b.insts {
+            if matches!(i, Inst::Call { .. }) {
+                call_positions.push(2 * counter);
+            }
+            counter += 1;
+        }
+        counter += 1; // terminator slot
+        block_end[bi] = 2 * counter - 1;
+        if b.parallel {
+            parallel_ranges.push((block_start[bi], block_end[bi]));
+        }
+    }
+
+    // Liveness (per-block live-in/out) via iterative dataflow.
+    let nb = f.blocks.len();
+    let mut live_in: Vec<std::collections::HashSet<V>> = vec![Default::default(); nb];
+    let mut live_out: Vec<std::collections::HashSet<V>> = vec![Default::default(); nb];
+    let mut gen: Vec<std::collections::HashSet<V>> = vec![Default::default(); nb];
+    let mut def: Vec<std::collections::HashSet<V>> = vec![Default::default(); nb];
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for i in &b.insts {
+            for u in i.uses() {
+                if !def[bi].contains(&u) {
+                    gen[bi].insert(u);
+                }
+            }
+            if let Some(d) = i.def() {
+                def[bi].insert(d);
+            }
+        }
+        for u in b.term.uses() {
+            if !def[bi].contains(&u) {
+                gen[bi].insert(u);
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for bi in (0..nb).rev() {
+            let mut out: std::collections::HashSet<V> = Default::default();
+            for s in f.blocks[bi].term.succs() {
+                out.extend(live_in[s as usize].iter().copied());
+            }
+            let mut inn = gen[bi].clone();
+            for v in &out {
+                if !def[bi].contains(v) {
+                    inn.insert(*v);
+                }
+            }
+            if out != live_out[bi] || inn != live_in[bi] {
+                live_out[bi] = out;
+                live_in[bi] = inn;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut ivs: HashMap<V, Interval> = HashMap::new();
+    let mut touch = |v: V, p: u32, class: Class| {
+        let e = ivs.entry(v).or_insert(Interval {
+            v,
+            class,
+            start: p,
+            end: p,
+            crosses_call: false,
+            parallel: false,
+        });
+        e.start = e.start.min(p);
+        e.end = e.end.max(p);
+    };
+    let class_of = |v: V| f.vclass[v as usize];
+
+    // Params are defined in the prologue.
+    for &p in &f.params {
+        touch(p, 1, class_of(p));
+    }
+    let mut counter: u32 = 1;
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for v in &live_in[bi] {
+            touch(*v, block_start[bi], class_of(*v));
+        }
+        for v in &live_out[bi] {
+            touch(*v, block_end[bi], class_of(*v));
+        }
+        for i in &b.insts {
+            for u in i.uses() {
+                touch(u, 2 * counter, class_of(u));
+            }
+            if let Some(d) = i.def() {
+                touch(d, 2 * counter + 1, class_of(d));
+            }
+            counter += 1;
+        }
+        for u in b.term.uses() {
+            touch(u, 2 * counter, class_of(u));
+        }
+        counter += 1;
+    }
+
+    // Mark call-crossing and parallel intervals.
+    PARALLEL_SET.with(|s| s.borrow_mut().clear());
+    for iv in ivs.values_mut() {
+        iv.crosses_call = call_positions
+            .iter()
+            .any(|&c| iv.start < c && c < iv.end);
+        iv.parallel = parallel_ranges
+            .iter()
+            .any(|&(s, e)| iv.start < e && s <= iv.end);
+        if iv.parallel {
+            PARALLEL_SET.with(|s| {
+                s.borrow_mut().insert(iv.v);
+            });
+        }
+    }
+    ivs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_fn(n_vregs: usize, blocks: Vec<BlockIr>) -> IrFunction {
+        IrFunction {
+            name: "t".into(),
+            params: vec![],
+            vclass: vec![Class::Int; n_vregs],
+            blocks,
+            entry: 0,
+            slots: vec![],
+            ret: None,
+            is_main: true,
+        }
+    }
+
+    #[test]
+    fn small_function_all_in_registers() {
+        let mut f = simple_fn(
+            4,
+            vec![BlockIr {
+                insts: vec![
+                    Inst::Li { d: 0, imm: 1 },
+                    Inst::Li { d: 1, imm: 2 },
+                    Inst::Bin { op: BinK::Add, d: 2, a: Operand::V(0), b: Operand::V(1) },
+                    Inst::Print { s: 2 },
+                ],
+                term: Term::Halt,
+                parallel: false,
+                src_line: 0,
+            }],
+        );
+        let asg = allocate(&mut f).unwrap();
+        assert!(asg.spill.is_empty());
+        assert_eq!(asg.int_reg.len(), 3);
+        // Distinct registers for overlapping values.
+        assert_ne!(asg.reg(0), asg.reg(1));
+    }
+
+    #[test]
+    fn non_overlapping_values_share_registers() {
+        let mut insts = Vec::new();
+        for k in 0..30u32 {
+            insts.push(Inst::Li { d: k, imm: k as i32 });
+            insts.push(Inst::Print { s: k });
+        }
+        let mut f = simple_fn(30, vec![BlockIr { insts, term: Term::Halt, parallel: false, src_line: 0 }]);
+        let asg = allocate(&mut f).unwrap();
+        assert!(asg.spill.is_empty());
+        let distinct: std::collections::HashSet<Reg> = asg.int_reg.values().copied().collect();
+        assert!(distinct.len() <= 2, "sequential lifetimes reuse registers");
+    }
+
+    #[test]
+    fn serial_pressure_spills() {
+        // 25 simultaneously-live values > 19 registers: must spill, not fail.
+        let mut insts = Vec::new();
+        for k in 0..25u32 {
+            insts.push(Inst::Li { d: k, imm: k as i32 });
+        }
+        for k in 0..25u32 {
+            insts.push(Inst::Print { s: k });
+        }
+        let mut f = simple_fn(25, vec![BlockIr { insts, term: Term::Halt, parallel: false, src_line: 0 }]);
+        let asg = allocate(&mut f).unwrap();
+        assert!(!asg.spill.is_empty());
+        assert_eq!(asg.spill.len() + asg.int_reg.len(), 25);
+        assert_eq!(f.slots.len(), asg.spill.len());
+    }
+
+    #[test]
+    fn parallel_pressure_is_an_error() {
+        // Same pressure inside a parallel block: the paper's spill error.
+        let mut insts = Vec::new();
+        for k in 0..25u32 {
+            insts.push(Inst::Li { d: k, imm: k as i32 });
+        }
+        for k in 0..25u32 {
+            insts.push(Inst::Print { s: k });
+        }
+        let mut f = simple_fn(25, vec![BlockIr { insts, term: Term::Halt, parallel: true, src_line: 0 }]);
+        let err = allocate(&mut f).unwrap_err();
+        assert!(matches!(err, CompileError::RegisterSpill { .. }));
+    }
+
+    #[test]
+    fn call_crossing_values_use_callee_saved() {
+        let mut f = simple_fn(
+            3,
+            vec![BlockIr {
+                insts: vec![
+                    Inst::Li { d: 0, imm: 7 },
+                    Inst::Call { name: "g".into(), args: vec![], ret: None },
+                    Inst::Print { s: 0 },
+                ],
+                term: Term::Halt,
+                parallel: false,
+                src_line: 0,
+            }],
+        );
+        let asg = allocate(&mut f).unwrap();
+        let r = asg.reg(0).unwrap();
+        assert!(S_POOL.contains(&r), "value live across call in {r}");
+        assert!(asg.used_s.contains(&r));
+    }
+
+    #[test]
+    fn loop_carried_value_spans_loop() {
+        // v0 defined in b0, used in loop body b1 which loops on itself.
+        let mut f = simple_fn(
+            2,
+            vec![
+                BlockIr {
+                    insts: vec![Inst::Li { d: 0, imm: 3 }],
+                    term: Term::Jmp(1),
+                    parallel: false,
+                    src_line: 0,
+                },
+                BlockIr {
+                    insts: vec![Inst::Bin {
+                        op: BinK::Sub,
+                        d: 0,
+                        a: Operand::V(0),
+                        b: Operand::C(1),
+                    }],
+                    term: Term::Br { cond: 0, t: 1, f: 2 },
+                    parallel: false,
+                    src_line: 0,
+                },
+                BlockIr { insts: vec![], term: Term::Halt, parallel: false, src_line: 0 },
+            ],
+        );
+        let asg = allocate(&mut f).unwrap();
+        assert!(asg.reg(0).is_some());
+    }
+
+    #[test]
+    fn float_allocation_independent() {
+        let mut f = IrFunction {
+            name: "t".into(),
+            params: vec![],
+            vclass: vec![Class::Float, Class::Float, Class::Int],
+            blocks: vec![BlockIr {
+                insts: vec![
+                    Inst::FLi { d: 0, imm: 1.0 },
+                    Inst::FLi { d: 1, imm: 2.0 },
+                    Inst::FCmp { op: FCmpK::Lt, d: 2, a: 0, b: 1 },
+                    Inst::Print { s: 2 },
+                ],
+                term: Term::Halt,
+                parallel: false,
+                src_line: 0,
+            }],
+            entry: 0,
+            slots: vec![],
+            ret: None,
+            is_main: true,
+        };
+        let asg = allocate(&mut f).unwrap();
+        assert!(asg.freg(0).is_some());
+        assert!(asg.freg(1).is_some());
+        assert_ne!(asg.freg(0), asg.freg(1));
+        assert!(asg.reg(2).is_some());
+    }
+}

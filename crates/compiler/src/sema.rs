@@ -1,0 +1,964 @@
+//! Structural semantic checks and XMT-specific AST normalization.
+//!
+//! This pass enforces the XMTC rules of the paper:
+//!
+//! * `$` is meaningful only inside a spawn block (§II-A);
+//! * `ps` operates only on a *limited number of global registers*: every
+//!   variable used as a `ps` base is promoted to one of the `gr1..gr7`
+//!   global registers, and the program is rejected if it needs more
+//!   (§II-A: "it can only be performed over a limited number of global
+//!   registers");
+//! * nested `spawn`s are serialized — the current XMT release runs inner
+//!   spawns as loops (§IV-E) — implemented here as an AST rewrite;
+//! * virtual threads cannot `return`, `break` out of the spawn block, or
+//!   call user functions (no parallel cactus stack in the current
+//!   release, §IV-D/E);
+//! * `halt`-style serial-only intrinsics (`alloc`) stay serial (§IV-D:
+//!   dynamic memory allocation is currently supported only in serial
+//!   code).
+
+use crate::ast::*;
+use crate::ast::walk_stmts;
+use crate::lexer::Span;
+use crate::CompileError;
+use std::collections::BTreeMap;
+use xmt_isa::GlobalReg;
+
+/// Result of semantic analysis.
+#[derive(Debug)]
+pub struct Checked {
+    /// The (possibly rewritten) program.
+    pub program: Program,
+    /// Globals promoted to prefix-sum base registers.
+    pub ps_bases: BTreeMap<String, GlobalReg>,
+    /// Human-readable warnings (e.g. serialized nested spawns).
+    pub warnings: Vec<String>,
+}
+
+/// Builtin functions recognized by the compiler.
+pub const BUILTINS: &[&str] = &["print", "printc", "alloc"];
+
+/// Run semantic analysis and normalization.
+pub fn check(mut program: Program) -> Result<Checked, CompileError> {
+    let mut warnings = Vec::new();
+
+    // main must exist and take no parameters.
+    match program.function("main") {
+        None => return Err(CompileError::sema("program has no `main` function", Span::default())),
+        Some(m) => {
+            if !m.params.is_empty() {
+                return Err(CompileError::sema("`main` takes no parameters", m.span));
+            }
+            if m.ret != Type::Void && m.ret != Type::Int {
+                return Err(CompileError::sema("`main` must return void or int", m.span));
+            }
+        }
+    }
+
+    // No duplicate global / function names.
+    let mut seen = std::collections::HashSet::new();
+    for g in &program.globals {
+        if !seen.insert(g.name.clone()) {
+            return Err(CompileError::sema(
+                format!("duplicate global `{}`", g.name),
+                g.span,
+            ));
+        }
+        if g.ty == Type::Void {
+            return Err(CompileError::sema("global cannot have type void", g.span));
+        }
+    }
+    for f in &program.functions {
+        if !seen.insert(f.name.clone()) {
+            return Err(CompileError::sema(
+                format!("`{}` defined more than once", f.name),
+                f.span,
+            ));
+        }
+        if BUILTINS.contains(&f.name.as_str()) {
+            return Err(CompileError::sema(
+                format!("`{}` is a builtin and cannot be redefined", f.name),
+                f.span,
+            ));
+        }
+    }
+
+    // Serialize nested spawns (AST rewrite), then run the structural
+    // walk on the normalized tree.
+    let mut ser = Serializer { counter: 0, warnings: &mut warnings };
+    for f in &mut program.functions {
+        ser.rewrite_block(&mut f.body, false);
+    }
+
+    // Structural checks per function.
+    for f in &program.functions {
+        let mut cx = Walker {
+            in_spawn: false,
+            loop_depth: 0,
+            errors: Vec::new(),
+            fn_name: &f.name,
+        };
+        cx.block(&f.body);
+        if let Some(e) = cx.errors.into_iter().next() {
+            return Err(e);
+        }
+    }
+
+    // const globals are read-only after their memory-map initialization
+    // (they may be cached in the cluster read-only caches, which have no
+    // invalidation path).
+    check_const_writes(&program)?;
+
+    // Promote ps bases to global registers.
+    let ps_bases = promote_ps_bases(&program)?;
+
+    Ok(Checked { program, ps_bases, warnings })
+}
+
+// ---------------------------------------------------------------------
+// Nested-spawn serialization
+// ---------------------------------------------------------------------
+
+struct Serializer<'a> {
+    counter: u32,
+    warnings: &'a mut Vec<String>,
+}
+
+impl Serializer<'_> {
+    fn rewrite_block(&mut self, b: &mut Block, in_spawn: bool) {
+        for s in &mut b.stmts {
+            self.rewrite_stmt(s, in_spawn);
+        }
+    }
+
+    fn rewrite_stmt(&mut self, s: &mut Stmt, in_spawn: bool) {
+        match s {
+            Stmt::Spawn { lo, hi, body, span } => {
+                // First normalize anything nested deeper.
+                self.rewrite_block(body, true);
+                if in_spawn {
+                    let k = self.counter;
+                    self.counter += 1;
+                    self.warnings.push(format!(
+                        "nested spawn at {span} serialized (inner spawns run as loops \
+                         in the current XMT release)"
+                    ));
+                    let iv = format!("__ser_i{k}");
+                    let hv = format!("__ser_hi{k}");
+                    let mut inner = body.clone();
+                    subst_dollar(&mut inner, &iv);
+                    *s = Stmt::Block(Block {
+                        stmts: vec![
+                            Stmt::Decl {
+                                name: hv.clone(),
+                                ty: Type::Int,
+                                array: None,
+                                init: Some(hi.clone()),
+                                span: *span,
+                            },
+                            Stmt::For {
+                                init: Some(Box::new(Stmt::Decl {
+                                    name: iv.clone(),
+                                    ty: Type::Int,
+                                    array: None,
+                                    init: Some(lo.clone()),
+                                    span: *span,
+                                })),
+                                cond: Some(Expr::Binary {
+                                    op: BinOp::Le,
+                                    l: Box::new(Expr::Ident(iv.clone(), *span)),
+                                    r: Box::new(Expr::Ident(hv, *span)),
+                                }),
+                                step: Some(Box::new(Stmt::Assign {
+                                    target: Expr::Ident(iv, *span),
+                                    op: Some(BinOp::Add),
+                                    value: Expr::IntLit(1),
+                                    span: *span,
+                                })),
+                                body: inner,
+                            },
+                        ],
+                    });
+                }
+            }
+            Stmt::If { then, els, .. } => {
+                self.rewrite_block(then, in_spawn);
+                if let Some(e) = els {
+                    self.rewrite_block(e, in_spawn);
+                }
+            }
+            Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => {
+                self.rewrite_block(body, in_spawn)
+            }
+            Stmt::For { init, step, body, .. } => {
+                if let Some(i) = init {
+                    self.rewrite_stmt(i, in_spawn);
+                }
+                if let Some(st) = step {
+                    self.rewrite_stmt(st, in_spawn);
+                }
+                self.rewrite_block(body, in_spawn);
+            }
+            Stmt::Block(b) => self.rewrite_block(b, in_spawn),
+            _ => {}
+        }
+    }
+}
+
+/// Replace `$` with a named variable throughout a block (used when
+/// serializing nested spawns and by thread clustering).
+pub fn subst_dollar(b: &mut Block, var: &str) {
+    for s in &mut b.stmts {
+        subst_dollar_stmt(s, var);
+    }
+}
+
+fn subst_dollar_stmt(s: &mut Stmt, var: &str) {
+    match s {
+        Stmt::Decl { init, .. } => {
+            if let Some(e) = init {
+                subst_dollar_expr(e, var);
+            }
+        }
+        Stmt::Assign { target, value, .. } => {
+            subst_dollar_expr(target, var);
+            subst_dollar_expr(value, var);
+        }
+        Stmt::If { cond, then, els } => {
+            subst_dollar_expr(cond, var);
+            subst_dollar(then, var);
+            if let Some(e) = els {
+                subst_dollar(e, var);
+            }
+        }
+        Stmt::While { cond, body } | Stmt::DoWhile { body, cond } => {
+            subst_dollar_expr(cond, var);
+            subst_dollar(body, var);
+        }
+        Stmt::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                subst_dollar_stmt(i, var);
+            }
+            if let Some(c) = cond {
+                subst_dollar_expr(c, var);
+            }
+            if let Some(st) = step {
+                subst_dollar_stmt(st, var);
+            }
+            subst_dollar(body, var);
+        }
+        Stmt::Return(Some(e), _) => subst_dollar_expr(e, var),
+        Stmt::Expr(e) => subst_dollar_expr(e, var),
+        // An inner spawn re-binds `$`; don't substitute into it.
+        Stmt::Spawn { lo, hi, .. } => {
+            subst_dollar_expr(lo, var);
+            subst_dollar_expr(hi, var);
+        }
+        Stmt::Block(b) => subst_dollar(b, var),
+        _ => {}
+    }
+}
+
+fn subst_dollar_expr(e: &mut Expr, var: &str) {
+    match e {
+        Expr::Dollar(span) => *e = Expr::Ident(var.to_string(), *span),
+        Expr::Unary { e, .. } | Expr::Deref(e) | Expr::AddrOf(e, _) | Expr::Cast { e, .. } => {
+            subst_dollar_expr(e, var)
+        }
+        Expr::Binary { l, r, .. } => {
+            subst_dollar_expr(l, var);
+            subst_dollar_expr(r, var);
+        }
+        Expr::Ternary { c, t, e } => {
+            subst_dollar_expr(c, var);
+            subst_dollar_expr(t, var);
+            subst_dollar_expr(e, var);
+        }
+        Expr::Index { base, idx } => {
+            subst_dollar_expr(base, var);
+            subst_dollar_expr(idx, var);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                subst_dollar_expr(a, var);
+            }
+        }
+        Expr::Ps { local, base, .. } => {
+            subst_dollar_expr(local, var);
+            subst_dollar_expr(base, var);
+        }
+        Expr::Psm { local, target, .. } => {
+            subst_dollar_expr(local, var);
+            subst_dollar_expr(target, var);
+        }
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structural walk
+// ---------------------------------------------------------------------
+
+struct Walker<'a> {
+    in_spawn: bool,
+    loop_depth: u32,
+    errors: Vec<CompileError>,
+    fn_name: &'a str,
+}
+
+impl Walker<'_> {
+    fn block(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl { init, array, span, .. } => {
+                if array.is_some() && self.in_spawn {
+                    self.errors.push(CompileError::sema(
+                        "local arrays are not allowed in spawn blocks (virtual threads \
+                         have no stack in the current XMT release)",
+                        *span,
+                    ));
+                }
+                if let Some(e) = init {
+                    self.expr(e);
+                }
+            }
+            Stmt::Assign { target, value, .. } => {
+                self.expr(target);
+                self.expr(value);
+            }
+            Stmt::If { cond, then, els } => {
+                self.expr(cond);
+                self.block(then);
+                if let Some(e) = els {
+                    self.block(e);
+                }
+            }
+            Stmt::While { cond, body } | Stmt::DoWhile { body, cond } => {
+                self.expr(cond);
+                self.loop_depth += 1;
+                self.block(body);
+                self.loop_depth -= 1;
+            }
+            Stmt::For { init, cond, step, body } => {
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                if let Some(c) = cond {
+                    self.expr(c);
+                }
+                if let Some(st) = step {
+                    self.stmt(st);
+                }
+                self.loop_depth += 1;
+                self.block(body);
+                self.loop_depth -= 1;
+            }
+            Stmt::Break(span) | Stmt::Continue(span) => {
+                if self.loop_depth == 0 {
+                    self.errors.push(CompileError::sema(
+                        if self.in_spawn {
+                            "break/continue cannot leave a spawn block"
+                        } else {
+                            "break/continue outside a loop"
+                        },
+                        *span,
+                    ));
+                }
+            }
+            Stmt::Return(e, span) => {
+                if self.in_spawn {
+                    self.errors.push(CompileError::sema(
+                        "return is not allowed inside a spawn block (the spawn is an \
+                         implicit synchronization point)",
+                        *span,
+                    ));
+                }
+                if let Some(e) = e {
+                    self.expr(e);
+                }
+            }
+            Stmt::Expr(e) => self.expr(e),
+            Stmt::Spawn { lo, hi, body, span } => {
+                // Nested spawns were serialized before this walk.
+                assert!(!self.in_spawn, "nested spawn survived serialization");
+                if self.fn_name != "main" && !self.fn_name.starts_with("__outl") {
+                    // Allowed anywhere serial; nothing to check here
+                    // beyond expression validity.
+                }
+                let _ = span;
+                self.expr(lo);
+                self.expr(hi);
+                let saved_depth = self.loop_depth;
+                self.in_spawn = true;
+                self.loop_depth = 0;
+                self.block(body);
+                self.in_spawn = false;
+                self.loop_depth = saved_depth;
+            }
+            Stmt::Block(b) => self.block(b),
+            Stmt::Empty => {}
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Dollar(span)
+                if !self.in_spawn => {
+                    self.errors.push(CompileError::sema(
+                        "`$` is only meaningful inside a spawn block",
+                        *span,
+                    ));
+                }
+            Expr::Call { name, args, span } => {
+                if self.in_spawn {
+                    let ok_in_spawn = matches!(name.as_str(), "print" | "printc");
+                    if !ok_in_spawn {
+                        self.errors.push(CompileError::sema(
+                            format!(
+                                "call to `{name}` inside a spawn block: user functions \
+                                 are inlined here (no parallel cactus stack yet, paper \
+                                 §IV-E) — `{name}` is undefined or a serial-only builtin"
+                            ),
+                            *span,
+                        ));
+                    }
+                }
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            Expr::Unary { e, .. } | Expr::Deref(e) | Expr::Cast { e, .. } => self.expr(e),
+            Expr::AddrOf(e, _) => self.expr(e),
+            Expr::Binary { l, r, .. } => {
+                self.expr(l);
+                self.expr(r);
+            }
+            Expr::Ternary { c, t, e } => {
+                self.expr(c);
+                self.expr(t);
+                self.expr(e);
+            }
+            Expr::Index { base, idx } => {
+                self.expr(base);
+                self.expr(idx);
+            }
+            Expr::Ps { local, base, .. } => {
+                self.expr(local);
+                self.expr(base);
+            }
+            Expr::Psm { local, target, .. } => {
+                self.expr(local);
+                self.expr(target);
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// const-global write checks
+// ---------------------------------------------------------------------
+
+fn check_const_writes(program: &Program) -> Result<(), CompileError> {
+    use std::collections::HashSet;
+    let consts: HashSet<&str> = program
+        .globals
+        .iter()
+        .filter(|g| g.is_const)
+        .map(|g| g.name.as_str())
+        .collect();
+    if consts.is_empty() {
+        return Ok(());
+    }
+    let mut err: Option<CompileError> = None;
+    // A write target rooted at a const global: `T = ..`, `T[i] = ..`.
+    let root_const = |e: &Expr| -> Option<(String, Span)> {
+        let mut cur = e;
+        loop {
+            match cur {
+                Expr::Ident(n, sp) if consts.contains(n.as_str()) => {
+                    return Some((n.clone(), *sp))
+                }
+                Expr::Index { base, .. } => cur = base,
+                _ => return None,
+            }
+        }
+    };
+    for f in &program.functions {
+        let mut visit_stmt = |s: &Stmt| {
+            if err.is_some() {
+                return;
+            }
+            if let Stmt::Assign { target, span, .. } = s {
+                if let Some((name, _)) = root_const(target) {
+                    err = Some(CompileError::sema(
+                        format!("cannot assign to const global `{name}`"),
+                        *span,
+                    ));
+                }
+            }
+        };
+        walk_stmts(&f.body, &mut visit_stmt);
+        if err.is_some() {
+            break;
+        }
+        // psm targets and address-taking are writes too.
+        walk_exprs(&f.body, &mut |e| {
+            if err.is_some() {
+                return;
+            }
+            match e {
+                Expr::Psm { target, span, .. } => {
+                    if let Some((name, _)) = root_const(target) {
+                        err = Some(CompileError::sema(
+                            format!("psm target `{name}` is const"),
+                            *span,
+                        ));
+                    }
+                }
+                Expr::AddrOf(inner, span) => {
+                    if let Some((name, _)) = root_const(inner) {
+                        err = Some(CompileError::sema(
+                            format!(
+                                "cannot take the address of const global `{name}` \
+                                 (it may live in the read-only caches)"
+                            ),
+                            *span,
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        });
+        if err.is_some() {
+            break;
+        }
+    }
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// ps-base promotion
+// ---------------------------------------------------------------------
+
+fn promote_ps_bases(program: &Program) -> Result<BTreeMap<String, GlobalReg>, CompileError> {
+    // Collect base names in program order.
+    let mut bases: Vec<(String, Span)> = Vec::new();
+    let mut err: Option<CompileError> = None;
+    let mut visit = |e: &Expr| {
+        if let Expr::Ps { base, span, .. } = e {
+            match base.as_ref() {
+                Expr::Ident(name, _) => {
+                    if !bases.iter().any(|(n, _)| n == name) {
+                        bases.push((name.clone(), *span));
+                    }
+                }
+                _ => {
+                    if err.is_none() {
+                        err = Some(CompileError::sema(
+                            "the base of `ps` must be a named global variable (it is \
+                             allocated to a hardware global register)",
+                            *span,
+                        ));
+                    }
+                }
+            }
+        }
+    };
+    for f in &program.functions {
+        walk_exprs(&f.body, &mut visit);
+    }
+    if let Some(e) = err {
+        return Err(e);
+    }
+
+    let mut map = BTreeMap::new();
+    for (k, (name, span)) in bases.iter().enumerate() {
+        // gr0 is reserved for thread allocation.
+        if k + 1 >= GlobalReg::COUNT as usize {
+            return Err(CompileError::sema(
+                format!(
+                    "too many distinct ps bases: the hardware has only {} global \
+                     registers (gr1..gr{}); use psm for the rest",
+                    GlobalReg::COUNT - 1,
+                    GlobalReg::COUNT - 1
+                ),
+                *span,
+            ));
+        }
+        let g = program.globals.iter().find(|g| &g.name == name).ok_or_else(|| {
+            CompileError::sema(
+                format!("ps base `{name}` must be a global variable"),
+                *span,
+            )
+        })?;
+        if g.ty != Type::Int || g.array.is_some() {
+            return Err(CompileError::sema(
+                format!("ps base `{name}` must be a scalar int"),
+                *span,
+            ));
+        }
+        if g.volatile || g.is_const {
+            return Err(CompileError::sema(
+                format!("ps base `{name}` cannot be volatile or const"),
+                *span,
+            ));
+        }
+        map.insert(name.clone(), GlobalReg(k as u8 + 1));
+    }
+
+    // A promoted base must not have its address taken, be a psm target,
+    // or be assigned inside a spawn block.
+    if !map.is_empty() {
+        let mut err: Option<CompileError> = None;
+        for f in &program.functions {
+            check_base_usage(&f.body, &map, false, &mut err);
+        }
+        if let Some(e) = err {
+            return Err(e);
+        }
+    }
+    Ok(map)
+}
+
+fn check_base_usage(
+    b: &Block,
+    bases: &BTreeMap<String, GlobalReg>,
+    in_spawn: bool,
+    err: &mut Option<CompileError>,
+) {
+    for s in &b.stmts {
+        check_base_stmt(s, bases, in_spawn, err);
+    }
+}
+
+fn check_base_stmt(
+    s: &Stmt,
+    bases: &BTreeMap<String, GlobalReg>,
+    in_spawn: bool,
+    err: &mut Option<CompileError>,
+) {
+    match s {
+        Stmt::Assign { target, value, span, .. } => {
+            if let Expr::Ident(n, _) = target {
+                if bases.contains_key(n) && in_spawn && err.is_none() {
+                    *err = Some(CompileError::sema(
+                        format!(
+                            "ps base `{n}` cannot be assigned inside a spawn block; \
+                             virtual threads coordinate over it with ps only"
+                        ),
+                        *span,
+                    ));
+                }
+            }
+            check_base_expr(target, bases, err);
+            check_base_expr(value, bases, err);
+        }
+        Stmt::Spawn { body, lo, hi, .. } => {
+            check_base_expr(lo, bases, err);
+            check_base_expr(hi, bases, err);
+            check_base_usage(body, bases, true, err);
+        }
+        Stmt::If { cond, then, els } => {
+            check_base_expr(cond, bases, err);
+            check_base_usage(then, bases, in_spawn, err);
+            if let Some(e) = els {
+                check_base_usage(e, bases, in_spawn, err);
+            }
+        }
+        Stmt::While { cond, body } | Stmt::DoWhile { body, cond } => {
+            check_base_expr(cond, bases, err);
+            check_base_usage(body, bases, in_spawn, err);
+        }
+        Stmt::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                check_base_stmt(i, bases, in_spawn, err);
+            }
+            if let Some(c) = cond {
+                check_base_expr(c, bases, err);
+            }
+            if let Some(st) = step {
+                check_base_stmt(st, bases, in_spawn, err);
+            }
+            check_base_usage(body, bases, in_spawn, err);
+        }
+        Stmt::Decl { init: Some(e), .. } | Stmt::Return(Some(e), _) | Stmt::Expr(e) => {
+            check_base_expr(e, bases, err)
+        }
+        Stmt::Block(b) => check_base_usage(b, bases, in_spawn, err),
+        _ => {}
+    }
+}
+
+/// Expression-level ps-base misuse checks (address-of, psm target).
+fn check_base_expr(
+    e: &Expr,
+    bases: &BTreeMap<String, GlobalReg>,
+    err: &mut Option<CompileError>,
+) {
+    walk_expr(e, &mut |e| match e {
+        Expr::AddrOf(inner, span) => {
+            if let Expr::Ident(n, _) = inner.as_ref() {
+                if bases.contains_key(n) && err.is_none() {
+                    *err = Some(CompileError::sema(
+                        format!(
+                            "cannot take the address of ps base `{n}` \
+                             (it lives in a global register, not memory)"
+                        ),
+                        *span,
+                    ));
+                }
+            }
+        }
+        Expr::Psm { target, span, .. } => {
+            if let Expr::Ident(n, _) = target.as_ref() {
+                if bases.contains_key(n) && err.is_none() {
+                    *err = Some(CompileError::sema(
+                        format!("`{n}` is a ps base (global register); use ps, not psm"),
+                        *span,
+                    ));
+                }
+            }
+        }
+        _ => {}
+    });
+}
+
+/// Walk every expression in a block.
+pub fn walk_exprs(b: &Block, f: &mut impl FnMut(&Expr)) {
+    for s in &b.stmts {
+        walk_exprs_stmt(s, f);
+    }
+}
+
+fn walk_exprs_stmt(s: &Stmt, f: &mut impl FnMut(&Expr)) {
+    match s {
+        Stmt::Decl { init: Some(e), .. } | Stmt::Return(Some(e), _) | Stmt::Expr(e) => {
+            walk_expr(e, f)
+        }
+        Stmt::Assign { target, value, .. } => {
+            walk_expr(target, f);
+            walk_expr(value, f);
+        }
+        Stmt::If { cond, then, els } => {
+            walk_expr(cond, f);
+            walk_exprs(then, f);
+            if let Some(e) = els {
+                walk_exprs(e, f);
+            }
+        }
+        Stmt::While { cond, body } | Stmt::DoWhile { body, cond } => {
+            walk_expr(cond, f);
+            walk_exprs(body, f);
+        }
+        Stmt::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                walk_exprs_stmt(i, f);
+            }
+            if let Some(c) = cond {
+                walk_expr(c, f);
+            }
+            if let Some(st) = step {
+                walk_exprs_stmt(st, f);
+            }
+            walk_exprs(body, f);
+        }
+        Stmt::Spawn { lo, hi, body, .. } => {
+            walk_expr(lo, f);
+            walk_expr(hi, f);
+            walk_exprs(body, f);
+        }
+        Stmt::Block(b) => walk_exprs(b, f),
+        _ => {}
+    }
+}
+
+/// Walk an expression tree.
+pub fn walk_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    match e {
+        Expr::Unary { e, .. } | Expr::Deref(e) | Expr::AddrOf(e, _) | Expr::Cast { e, .. } => {
+            walk_expr(e, f)
+        }
+        Expr::Binary { l, r, .. } => {
+            walk_expr(l, f);
+            walk_expr(r, f);
+        }
+        Expr::Ternary { c, t, e } => {
+            walk_expr(c, f);
+            walk_expr(t, f);
+            walk_expr(e, f);
+        }
+        Expr::Index { base, idx } => {
+            walk_expr(base, f);
+            walk_expr(idx, f);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Ps { local, base, .. } => {
+            walk_expr(local, f);
+            walk_expr(base, f);
+        }
+        Expr::Psm { local, target, .. } => {
+            walk_expr(local, f);
+            walk_expr(target, f);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<Checked, CompileError> {
+        check(parse(src).unwrap())
+    }
+
+    #[test]
+    fn fig2a_promotes_base() {
+        let c = check_src(
+            "int A[8]; int B[8]; int base = 0; int N = 8;
+             void main() { spawn(0, N-1) { int inc = 1;
+                 if (A[$] != 0) { ps(inc, base); B[inc] = A[$]; } } }",
+        )
+        .unwrap();
+        assert_eq!(c.ps_bases.get("base"), Some(&GlobalReg(1)));
+    }
+
+    #[test]
+    fn dollar_outside_spawn_rejected() {
+        let err = check_src("void main() { int x = $; }").unwrap_err();
+        assert!(err.to_string().contains("spawn"));
+    }
+
+    #[test]
+    fn return_and_call_in_spawn_rejected() {
+        let err = check_src("void main() { spawn(0, 3) { return; } }").unwrap_err();
+        assert!(err.to_string().contains("return"));
+        // An *undefined* function in a spawn block (defined user
+        // functions are inlined by the pre-pass before this check).
+        let err = check_src(
+            "void main() { spawn(0, 3) { int x = undefined_fn(); } }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("cactus"));
+        // print is fine in parallel code.
+        check_src("void main() { spawn(0, 3) { print($); } }").unwrap();
+    }
+
+    #[test]
+    fn break_inside_spawn_loop_ok_but_not_out_of_spawn() {
+        check_src("void main() { spawn(0,3) { while (1) { break; } } }").unwrap();
+        let err = check_src("void main() { while (1) { spawn(0,3) { break; } } }").unwrap_err();
+        assert!(err.to_string().contains("spawn block"));
+    }
+
+    #[test]
+    fn nested_spawn_serialized_with_warning() {
+        let c = check_src(
+            "int A[16];
+             void main() { spawn(0, 3) { spawn(0, 3) { A[4 * 0 + $] = $; } } }",
+        )
+        .unwrap();
+        assert_eq!(c.warnings.len(), 1);
+        assert!(c.warnings[0].contains("serialized"));
+        // The inner spawn is now a for loop.
+        let main = c.program.function("main").unwrap();
+        let Stmt::Spawn { body, .. } = &main.body.stmts[0] else { panic!() };
+        assert!(matches!(body.stmts[0], Stmt::Block(_)));
+    }
+
+    #[test]
+    fn too_many_ps_bases_rejected() {
+        let mut src = String::new();
+        for k in 0..8 {
+            src.push_str(&format!("int b{k};"));
+        }
+        src.push_str("void main() { int v = 1; spawn(0,3) {");
+        for k in 0..8 {
+            src.push_str(&format!("ps(v, b{k});"));
+        }
+        src.push_str("} }");
+        let err = check_src(&src).unwrap_err();
+        assert!(err.to_string().contains("global registers"));
+    }
+
+    #[test]
+    fn ps_base_restrictions() {
+        let err =
+            check_src("int b; void main() { int v = 1; ps(v, b); int* p = &b; }").unwrap_err();
+        assert!(err.to_string().contains("address"));
+        let err = check_src(
+            "int b; void main() { int v=1; ps(v, b); spawn(0,3) { b = 2; } }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("assigned inside"));
+        let err = check_src("volatile int b; void main() { int v=1; ps(v, b); }").unwrap_err();
+        assert!(err.to_string().contains("volatile"));
+        let err = check_src("void main() { int v=1; int b; ps(v, b); }").unwrap_err();
+        assert!(err.to_string().contains("global"));
+    }
+
+    #[test]
+    fn local_array_in_spawn_rejected() {
+        let err = check_src("void main() { spawn(0,3) { int t[4]; } }").unwrap_err();
+        assert!(err.to_string().contains("no stack"));
+        // Serial local arrays are fine.
+        check_src("void main() { int t[4]; t[0] = 1; }").unwrap();
+    }
+
+    #[test]
+    fn missing_main_rejected() {
+        let err = check_src("int x;").unwrap_err();
+        assert!(err.to_string().contains("main"));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        assert!(check_src("int x; int x; void main() {}").is_err());
+        assert!(check_src("void f() {} void f() {} void main() {}").is_err());
+        assert!(check_src("void print() {} void main() {}").is_err());
+    }
+}
+
+#[cfg(test)]
+mod const_tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn const_global_writes_rejected() {
+        let err = check(parse("const int T[4]; void main() { T[0] = 1; }").unwrap())
+            .unwrap_err();
+        assert!(err.to_string().contains("const"));
+        let err = check(parse("const int c = 1; void main() { c += 2; }").unwrap())
+            .unwrap_err();
+        assert!(err.to_string().contains("const"));
+        let err = check(parse(
+            "const int T[4]; void main() { int one = 1; psm(one, T[2]); }",
+        ).unwrap())
+        .unwrap_err();
+        assert!(err.to_string().contains("const"));
+        let err = check(parse("const int c = 1; void main() { int* p = &c; *p = 2; }").unwrap())
+            .unwrap_err();
+        assert!(err.to_string().contains("address"));
+        // Reading const globals is fine, including in parallel code.
+        check(parse(
+            "const int T[4]; int O[8]; void main() { spawn(0,7) { O[$] = T[$ % 4]; } }",
+        ).unwrap())
+        .unwrap();
+    }
+}

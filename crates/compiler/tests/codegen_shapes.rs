@@ -1,0 +1,268 @@
+//! Shape assertions on the generated assembly: the XMT-specific code
+//! patterns of §IV-C/D must appear (or not) in the right places.
+
+use xmtc::{compile, Options};
+use xmt_isa::asm;
+use xmt_isa::{AsmItem, Instr};
+
+fn asm_of(src: &str, opts: &Options) -> Vec<Instr> {
+    compile(src, opts)
+        .expect("compiles")
+        .asm
+        .instrs()
+        .cloned()
+        .collect()
+}
+
+fn text_of(src: &str, opts: &Options) -> String {
+    asm::to_text(&compile(src, opts).unwrap().asm)
+}
+
+const SPAWN_SRC: &str = "
+    int A[16]; int N = 16;
+    void main() { spawn(0, N - 1) { A[$] = $ + 1; } }
+";
+
+/// The §IV-D virtual-thread scheduling harness: `spawn` is followed by
+/// `li 1; ps gr0; chkid`, the body loops back with `j`, and `join` comes
+/// last.
+#[test]
+fn spawn_emits_ps_chkid_harness() {
+    let instrs = asm_of(SPAWN_SRC, &Options::default());
+    let spawn = instrs.iter().position(|i| matches!(i, Instr::Spawn { .. })).unwrap();
+    let join = instrs.iter().position(|i| matches!(i, Instr::Join)).unwrap();
+    assert!(spawn < join);
+    let window = &instrs[spawn + 1..join];
+    // li 1 feeding a ps on gr0 feeding a chkid, in order.
+    let ps = window
+        .iter()
+        .position(|i| matches!(i, Instr::Ps { gr, .. } if gr.0 == 0))
+        .expect("thread-allocation ps");
+    assert!(
+        matches!(window[ps - 1], Instr::Li { imm: 1, .. }),
+        "ps increment must be the constant 1"
+    );
+    assert!(matches!(window[ps + 1], Instr::Chkid { .. }), "chkid validates the id");
+    // Exactly one loop-back jump to the harness inside the window.
+    assert!(window.iter().any(|i| matches!(i, Instr::J { .. })));
+    // No serial-only instructions inside the broadcast window.
+    assert!(!window.iter().any(|i| matches!(
+        i,
+        Instr::Halt | Instr::Jal { .. } | Instr::Jr { .. } | Instr::Spawn { .. }
+    )));
+}
+
+/// §IV-C: stores in parallel code become non-blocking; serial stores
+/// stay blocking.
+#[test]
+fn nonblocking_stores_only_in_parallel() {
+    let src = "
+        int A[16]; int B[4]; int N = 16;
+        void main() {
+            B[0] = 7;                       // serial store
+            spawn(0, N - 1) { A[$] = $; }   // parallel store
+            B[1] = 9;                       // serial store
+        }
+    ";
+    let instrs = asm_of(src, &Options::default());
+    let spawn = instrs.iter().position(|i| matches!(i, Instr::Spawn { .. })).unwrap();
+    let join = instrs.iter().position(|i| matches!(i, Instr::Join)).unwrap();
+    for (k, i) in instrs.iter().enumerate() {
+        match i {
+            Instr::Swnb { .. } => {
+                assert!(k > spawn && k < join, "swnb outside the spawn window at {k}")
+            }
+            Instr::Sw { .. } => {
+                assert!(
+                    k < spawn || k > join,
+                    "blocking sw inside the spawn window at {k}"
+                )
+            }
+            _ => {}
+        }
+    }
+    // With the pass disabled, no swnb at all.
+    let mut opts = Options::default();
+    opts.nb_stores = false;
+    let instrs = asm_of(src, &opts);
+    assert!(!instrs.iter().any(|i| matches!(i, Instr::Swnb { .. })));
+}
+
+/// §IV-A: every ps/psm in parallel code is preceded by a fence.
+#[test]
+fn fence_precedes_every_parallel_prefix_sum() {
+    let src = "
+        int ctr; int base; int N = 16;
+        void main() {
+            spawn(0, N - 1) {
+                int one = 1;
+                psm(one, ctr);
+                int inc = 1;
+                ps(inc, base);
+            }
+        }
+    ";
+    let instrs = asm_of(src, &Options::default());
+    let spawn = instrs.iter().position(|i| matches!(i, Instr::Spawn { .. })).unwrap();
+    let join = instrs.iter().position(|i| matches!(i, Instr::Join)).unwrap();
+    for k in spawn + 1..join {
+        let is_user_prefix_sum = match &instrs[k] {
+            Instr::Psm { .. } => true,
+            // gr0 is the thread-allocation ps of the harness (the
+            // hardware protocol, not a user prefix-sum).
+            Instr::Ps { gr, .. } => gr.0 != 0,
+            _ => false,
+        };
+        if is_user_prefix_sum {
+            let fence_before = (spawn + 1..k)
+                .rev()
+                .take(4)
+                .any(|j| matches!(instrs[j], Instr::Fence));
+            assert!(fence_before, "no fence shortly before prefix-sum at {k}");
+        }
+    }
+    // With fences disabled: none.
+    let mut opts = Options::default();
+    opts.fences = false;
+    let instrs = asm_of(src, &opts);
+    assert!(!instrs.iter().any(|i| matches!(i, Instr::Fence)));
+}
+
+/// §IV-C prefetch batching: multi-stream loads get `pref` instructions.
+#[test]
+fn prefetch_instructions_emitted_for_load_batches() {
+    let src = "
+        int A[16]; int B[16]; int C[16]; int O[16]; int N = 16;
+        void main() { spawn(0, N-1) { O[$] = A[$] + B[$] + C[$]; } }
+    ";
+    let instrs = asm_of(src, &Options::default());
+    let prefs = instrs.iter().filter(|i| matches!(i, Instr::Pref { .. })).count();
+    assert_eq!(prefs, 2, "two of the three loads prefetched (first one blocks anyway)");
+    let mut opts = Options::default();
+    opts.prefetch = false;
+    let instrs = asm_of(src, &opts);
+    assert!(!instrs.iter().any(|i| matches!(i, Instr::Pref { .. })));
+}
+
+/// Read-only cache loads appear exactly for const globals in parallel
+/// code, and only when enabled.
+#[test]
+fn ro_loads_for_const_globals() {
+    let src = "
+        const int T[8]; int A[8]; int O[16]; int N = 16;
+        void main() {
+            int x = T[0];    // serial read of const: plain lw
+            spawn(0, N - 1) { O[$] = T[$ % 8] + A[$ % 8]; }
+            O[0] = x;
+        }
+    ";
+    let mut opts = Options::default();
+    opts.ro_cache_const = true;
+    let text = text_of(src, &opts);
+    assert!(text.contains("lwro"), "const loads in parallel use the RO cache:\n{text}");
+    // A (non-const) must not use lwro; count: only T's load does.
+    let instrs = asm_of(src, &opts);
+    let ro = instrs.iter().filter(|i| matches!(i, Instr::Lwro { .. })).count();
+    assert_eq!(ro, 1);
+
+    let text = text_of(src, &Options::default());
+    assert!(!text.contains("lwro"), "disabled by default");
+}
+
+/// Serial functions that call others save/restore `ra` and use the
+/// standard frame; leaf serial functions don't touch the stack.
+#[test]
+fn prologue_epilogue_shapes() {
+    let src = "
+        int leaf(int x) { return x * 2 + 1; }
+        int caller(int x) { return leaf(x) + leaf(x + 1); }
+        void main() { print(caller(5)); }
+    ";
+    let out = compile(src, &Options::default()).unwrap();
+    let text = asm::to_text(&out.asm);
+    // caller saves ra; leaf never stores to the stack.
+    let caller_body: String = text
+        .lines()
+        .skip_while(|l| !l.starts_with("caller:"))
+        .take_while(|l| !l.starts_with("main:") || l.starts_with("caller:"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(caller_body.contains("$ra"), "caller saves ra:\n{caller_body}");
+    assert!(caller_body.contains("jal leaf"));
+    let leaf_body: String = text
+        .lines()
+        .skip_while(|l| !l.starts_with("leaf:"))
+        .take_while(|l| !l.contains("caller:"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(!leaf_body.contains("sw $ra"), "leaf needs no ra save:\n{leaf_body}");
+    // Program still runs correctly end to end.
+    let exe = out.link().unwrap();
+    let mut sim = xmtsim::FunctionalSim::new(exe);
+    sim.run().unwrap();
+    assert_eq!(sim.machine.output.ints(), vec![(5 * 2 + 1) + (6 * 2 + 1)]);
+}
+
+/// Serial register pressure spills to the stack frame rather than
+/// failing (the §IV-D error is parallel-only).
+#[test]
+fn serial_pressure_spills_to_frame() {
+    let mut decls = String::new();
+    let mut uses = String::new();
+    for k in 0..30 {
+        decls.push_str(&format!("int v{k} = {k} * 3;\n"));
+        uses.push_str(&format!(" + v{k}"));
+    }
+    let src = format!("void main() {{ {decls} print(0 {uses}); }}");
+    let out = compile(&src, &Options::o0()).expect("serial spills are fine");
+    // The frame is created and used.
+    let text = asm::to_text(&out.asm);
+    assert!(text.contains("addi $sp, $sp, -"), "frame allocated:\n{text}");
+    let exe = out.link().unwrap();
+    let mut sim = xmtsim::FunctionalSim::new(exe);
+    sim.run().unwrap();
+    let want: i32 = (0..30).map(|k| k * 3).sum();
+    assert_eq!(sim.machine.output.ints(), vec![want]);
+}
+
+/// The post-pass counter reports relocations whenever cold-block sinking
+/// displaced spawn code (and the final assembly still verifies).
+#[test]
+fn layout_fix_counter_reports_relocations() {
+    let src = "
+        int A[64]; int hits = 0; int N = 64;
+        void main() {
+            spawn(0, N - 1) {
+                if (A[$] == 77) { int one = 1; psm(one, hits); }
+            }
+        }
+    ";
+    let with_sink = compile(src, &Options::default()).unwrap();
+    assert!(with_sink.layout_fixes > 0, "sinking created Fig. 9 layouts to repair");
+    let mut opts = Options::default();
+    opts.sink_cold_blocks = false;
+    let without = compile(src, &opts).unwrap();
+    assert_eq!(without.layout_fixes, 0);
+}
+
+/// Assembly text of a full compile re-parses and re-links identically
+/// (the post-pass path through the textual assembler is lossless).
+#[test]
+fn emitted_assembly_roundtrips_through_text()
+{
+    let out = compile(SPAWN_SRC, &Options::default()).unwrap();
+    let text = asm::to_text(&out.asm);
+    let reparsed = asm::parse(&text).unwrap();
+    let orig_instrs: Vec<&Instr> = out.asm.instrs().collect();
+    let re_instrs: Vec<&Instr> = reparsed.instrs().collect();
+    assert_eq!(orig_instrs, re_instrs);
+    // Labels survive too (compare non-comment items).
+    let strip = |p: &xmt_isa::AsmProgram| {
+        p.items
+            .iter()
+            .filter(|i| !matches!(i, AsmItem::Comment(_)))
+            .cloned()
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(strip(&out.asm), strip(&reparsed));
+}

@@ -1,0 +1,82 @@
+//! Robustness of the compiler front end: no input may panic the
+//! lexer/parser/compiler — malformed programs must come back as typed
+//! errors with source positions.
+
+use proptest::prelude::*;
+use xmtc::{CompileError, Options};
+
+proptest! {
+    /// Arbitrary byte soup (as UTF-8 strings) never panics the pipeline.
+    #[test]
+    fn arbitrary_text_never_panics(src in ".{0,400}") {
+        let _ = xmtc::compile(&src, &Options::default());
+    }
+
+    /// Token soup drawn from the language's own vocabulary never panics
+    /// and, when it fails, fails with a positioned error.
+    #[test]
+    fn token_soup_never_panics(toks in prop::collection::vec(
+        prop::sample::select(vec![
+            "int", "float", "void", "if", "else", "while", "for", "return",
+            "spawn", "ps", "psm", "$", "(", ")", "{", "}", "[", "]", ";",
+            ",", "+", "-", "*", "/", "%", "=", "==", "<", ">", "&&", "||",
+            "x", "y", "main", "0", "1", "42", "3.5", "?", ":", "&", "!",
+            "volatile", "const", "break", "continue", "<<=", "^=",
+        ]), 0..120))
+    {
+        let src = toks.join(" ");
+        match xmtc::compile(&src, &Options::default()) {
+            Ok(_) => {}
+            Err(CompileError::Parse(e)) => {
+                prop_assert!(e.span.line >= 1);
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+/// Error positions point at the offending construct.
+#[test]
+fn diagnostics_have_accurate_positions() {
+    let err = xmtc::compile("void main() {\n  int x = ;\n}", &Options::default()).unwrap_err();
+    let CompileError::Parse(e) = err else { panic!("expected parse error") };
+    assert_eq!(e.span.line, 2);
+
+    let err = xmtc::compile(
+        "void main() {\n\n  int y = $;\n}",
+        &Options::default(),
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("3:"), "span in message: {msg}");
+    assert!(msg.contains("spawn"));
+}
+
+/// A grab bag of malformed programs: all typed errors, no panics.
+#[test]
+fn malformed_corpus() {
+    let cases = [
+        "",
+        "int",
+        "void main( {}",
+        "void main() { spawn(0 10) {} }",
+        "void main() { spawn(0, 10) { return 3; } }",
+        "int main(int argc) {}",
+        "void f() {} void f() {} void main() {}",
+        "void main() { x = 1; }",
+        "void main() { int a[1000000000]; }",
+        "float f(float x) { return x; } void main() {}",
+        "void main() { if (1) } ",
+        "void main() { 1 + ; }",
+        "void main() { int x = (1 ? 2); }",
+        "int a = \"str\"; void main() {}",
+        "void main() { for (;;) {} } // unbounded but legal",
+        "void main() { psm(1, 2); }",
+        "void main() { ps(1); }",
+        "/* unterminated",
+        "void main() { int x = 0x; }",
+    ];
+    for src in cases {
+        let _ = xmtc::compile(src, &Options::default());
+    }
+}

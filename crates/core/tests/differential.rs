@@ -1,0 +1,427 @@
+//! Differential fuzzing of the whole toolchain: randomly generated XMTC
+//! programs are compiled at O0, at O2, and with thread clustering, then
+//! run on the cycle-accurate simulator (two machine sizes) and in fast
+//! functional mode. All six pipelines must produce identical printed
+//! output and final array state.
+//!
+//! Generated programs are constrained to be *deterministic*: loops have
+//! literal bounds, parallel code reads only `A0` and writes only
+//! thread-private `A1[$]` slots (no read/write races), cross-thread
+//! communication is only through commutative `psm` accumulation, and
+//! division by zero is defined (= 0) by the ISA.
+//!
+//! Programs also call two generated helper functions (`h1`, and `h2`
+//! which itself calls `h1`) plus a void procedure `store` — serially
+//! these are real calls on the master; inside spawn bodies they
+//! exercise the compile-time inliner (expression, nested, and
+//! procedure shapes).
+
+use proptest::prelude::*;
+use xmtc::Options;
+use xmtsim::XmtConfig;
+use xmt_core::Toolchain;
+
+/// A tiny expression tree over the names in scope.
+#[derive(Debug, Clone)]
+enum E {
+    Lit(i8),
+    Var(usize),
+    Dollar,
+    Arr(usize, Box<E>),
+    Bin(u8, Box<E>, Box<E>),
+    Ternary(Box<E>, Box<E>, Box<E>),
+    /// `h1(e)` or `h2(e)` — a call to a generated helper.
+    Call(bool, Box<E>),
+}
+
+const OPS: [&str; 12] = ["+", "-", "*", "/", "%", "&", "|", "^", "<", "<=", "==", "!="];
+const N: usize = 16; // array length and spawn width
+
+impl E {
+    /// Render with `vars` in scope (`dollar_ok` inside spawn bodies).
+    fn render(&self, vars: &[String], dollar_ok: bool) -> String {
+        self.render_nc(vars, dollar_ok, false)
+    }
+
+    /// `no_calls` strips helper calls (rendering their argument instead):
+    /// the inliner rejects calls in *parallel ternary arms* (they would
+    /// lose lazy evaluation), so the generator must not put them there.
+    fn render_nc(&self, vars: &[String], dollar_ok: bool, no_calls: bool) -> String {
+        match self {
+            E::Lit(v) => format!("{v}"),
+            E::Var(k) if !vars.is_empty() => vars[k % vars.len()].clone(),
+            E::Var(_) => "1".to_string(),
+            E::Dollar if dollar_ok => "$".to_string(),
+            E::Dollar => "2".to_string(),
+            E::Arr(a, idx) => {
+                // Always index in bounds. Parallel code may only *read*
+                // A0 (A1 is concurrently written): no read/write races.
+                // The index inside `?:` must not call either.
+                let arr = if dollar_ok { 0 } else { a % 2 };
+                let i = idx.render_nc(vars, dollar_ok, dollar_ok);
+                format!("A{arr}[({i}) % {N} < 0 ? 0 : ({i}) % {N}]")
+            }
+            E::Bin(op, l, r) => format!(
+                "(({}) {} ({}))",
+                l.render_nc(vars, dollar_ok, no_calls),
+                OPS[*op as usize % OPS.len()],
+                r.render_nc(vars, dollar_ok, no_calls)
+            ),
+            E::Ternary(c, t, e) => format!(
+                "(({}) ? ({}) : ({}))",
+                c.render_nc(vars, dollar_ok, no_calls),
+                t.render_nc(vars, dollar_ok, no_calls || dollar_ok),
+                e.render_nc(vars, dollar_ok, no_calls || dollar_ok)
+            ),
+            E::Call(second, a) if !no_calls => format!(
+                "h{}({})",
+                if *second { 2 } else { 1 },
+                a.render_nc(vars, dollar_ok, no_calls)
+            ),
+            E::Call(_, a) => a.render_nc(vars, dollar_ok, no_calls),
+        }
+    }
+
+    /// Render as a helper-function body expression: the only name in
+    /// scope is the parameter `x`, array reads stay on `A0` (helpers are
+    /// called from parallel code, where `A1` is concurrently written),
+    /// and no calls (helpers must not call each other arbitrarily).
+    fn render_fn(&self, param: &str) -> String {
+        match self {
+            E::Lit(v) => format!("{v}"),
+            E::Var(_) | E::Dollar => param.to_string(),
+            E::Arr(_, idx) => {
+                let i = idx.render_fn(param);
+                format!("A0[({i}) % {N} < 0 ? 0 : ({i}) % {N}]")
+            }
+            E::Bin(op, l, r) => format!(
+                "(({}) {} ({}))",
+                l.render_fn(param),
+                OPS[*op as usize % OPS.len()],
+                r.render_fn(param)
+            ),
+            E::Ternary(c, t, e) => format!(
+                "(({}) ? ({}) : ({}))",
+                c.render_fn(param),
+                t.render_fn(param),
+                e.render_fn(param)
+            ),
+            E::Call(_, a) => a.render_fn(param),
+        }
+    }
+}
+
+fn expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        any::<i8>().prop_map(E::Lit),
+        (0usize..4).prop_map(E::Var),
+        Just(E::Dollar),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            3 => ((0usize..2), inner.clone()).prop_map(|(a, i)| E::Arr(a, Box::new(i))),
+            3 => (any::<u8>(), inner.clone(), inner.clone())
+                .prop_map(|(op, l, r)| E::Bin(op, Box::new(l), Box::new(r))),
+            2 => (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| E::Ternary(Box::new(c), Box::new(t), Box::new(e))),
+            1 => (any::<bool>(), inner).prop_map(|(h, a)| E::Call(h, Box::new(a))),
+        ]
+    })
+}
+
+/// One statement template.
+#[derive(Debug, Clone)]
+enum S {
+    /// `int vK = e;` — introduces a local.
+    Decl(E),
+    /// `vK op= e;` on an existing local.
+    Update(usize, u8, E),
+    /// `A[a][$] = e;` (parallel) or `A[a][lit] = e;` (serial).
+    ArrWrite(usize, u8, E),
+    /// `if (e) { s } else { s }`.
+    If(E, Vec<S>, Vec<S>),
+    /// `for (int lK = 0; lK < n; lK++) { s }` with literal `n ∈ 1..=4`.
+    For(u8, Vec<S>),
+    /// `psm(one, ACC);` — commutative accumulation.
+    Accumulate(E),
+    /// `store($, e);` (parallel) or `store(lit, e);` (serial) — a call
+    /// to the generated void procedure, inlined inside spawn bodies.
+    Store(u8, E),
+}
+
+fn stmts() -> impl Strategy<Value = Vec<S>> {
+    let s = prop_oneof![
+        4 => expr().prop_map(S::Decl),
+        3 => ((0usize..4), any::<u8>(), expr()).prop_map(|(k, op, e)| S::Update(k, op, e)),
+        3 => ((0usize..2), any::<u8>(), expr()).prop_map(|(a, i, e)| S::ArrWrite(a, i, e)),
+        2 => expr().prop_map(S::Accumulate),
+        1 => (any::<u8>(), expr()).prop_map(|(i, e)| S::Store(i, e)),
+    ];
+    let nested = prop_oneof![
+        6 => s.clone().prop_map(|x| vec![x]),
+        1 => (expr(), prop::collection::vec(s.clone(), 1..3), prop::collection::vec(s.clone(), 0..2))
+            .prop_map(|(c, t, e)| vec![S::If(c, t, e)]),
+        1 => ((1u8..4), prop::collection::vec(s, 1..3)).prop_map(|(n, b)| vec![S::For(n, b)]),
+    ];
+    prop::collection::vec(nested, 1..5).prop_map(|v| v.into_iter().flatten().collect())
+}
+
+/// Render statements; `vars` = locals in scope (grows with decls).
+fn render_stmts(body: &[S], vars: &mut Vec<String>, parallel: bool, depth: usize) -> String {
+    let mut out = String::new();
+    let ind = "    ".repeat(depth);
+    for s in body {
+        match s {
+            S::Decl(e) => {
+                let name = format!("v{}_{}", depth, vars.len());
+                out.push_str(&format!(
+                    "{ind}int {name} = {};\n",
+                    e.render(vars, parallel)
+                ));
+                vars.push(name);
+            }
+            S::Update(k, op, e) => {
+                // Only plain locals may be updated — mutating a loop
+                // variable could make the loop non-terminating.
+                let updatable: Vec<&String> =
+                    vars.iter().filter(|v| !v.starts_with('l')).collect();
+                if updatable.is_empty() {
+                    continue;
+                }
+                let name = updatable[k % updatable.len()].clone();
+                let op = ["+=", "-=", "*=", "^="][*op as usize % 4];
+                out.push_str(&format!("{ind}{name} {op} {};\n", e.render(vars, parallel)));
+            }
+            S::ArrWrite(a, i, e) => {
+                // Parallel writes go to the thread-private A1[$] slot
+                // (A0 is concurrently read): no races.
+                let (arr, idx) = if parallel {
+                    (1, "$".to_string())
+                } else {
+                    (a % 2, format!("{}", i % N as u8))
+                };
+                out.push_str(&format!(
+                    "{ind}A{arr}[{idx}] = {};\n",
+                    e.render(vars, parallel)
+                ));
+            }
+            S::If(c, t, e) => {
+                out.push_str(&format!("{ind}if ({}) {{\n", c.render(vars, parallel)));
+                let mark = vars.len();
+                out.push_str(&render_stmts(t, vars, parallel, depth + 1));
+                vars.truncate(mark);
+                out.push_str(&format!("{ind}}} else {{\n"));
+                out.push_str(&render_stmts(e, vars, parallel, depth + 1));
+                vars.truncate(mark);
+                out.push_str(&format!("{ind}}}\n"));
+            }
+            S::For(n, b) => {
+                let lv = format!("l{}_{}", depth, vars.len());
+                out.push_str(&format!(
+                    "{ind}for (int {lv} = 0; {lv} < {n}; {lv}++) {{\n"
+                ));
+                let mark = vars.len();
+                vars.push(lv);
+                out.push_str(&render_stmts(b, vars, parallel, depth + 1));
+                vars.truncate(mark);
+                out.push_str(&format!("{ind}}}\n"));
+            }
+            S::Store(i, e) => {
+                let idx = if parallel {
+                    "$".to_string()
+                } else {
+                    format!("{}", i % N as u8)
+                };
+                out.push_str(&format!(
+                    "{ind}store({idx}, {});
+",
+                    e.render(vars, parallel)
+                ));
+            }
+            S::Accumulate(e) => {
+                let name = format!("acc{}_{}", depth, vars.len());
+                out.push_str(&format!(
+                    "{ind}int {name} = {};\n{ind}psm({name}, ACC);\n",
+                    e.render(vars, parallel)
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// A whole generated program: serial prologue, a spawn, serial epilogue
+/// printing a checksum of everything observable.
+fn render_program(
+    serial1: &[S],
+    par: &[S],
+    serial2: &[S],
+    h1: &E,
+    h2: &E,
+    stv: &E,
+) -> String {
+    let mut src = String::new();
+    src.push_str(&format!("int A0[{N}]; int A1[{N}]; int ACC = 0;\n"));
+    src.push_str(&format!("int h1(int x) {{ return {}; }}\n", h1.render_fn("x")));
+    src.push_str(&format!(
+        "int h2(int x) {{ return h1(x ^ 3) + ({}); }}\n",
+        h2.render_fn("x")
+    ));
+    src.push_str(&format!(
+        "void store(int i, int v) {{ A1[i] = v + ({}); }}\n",
+        stv.render_fn("v")
+    ));
+    src.push_str("void main() {\n");
+    let mut vars = Vec::new();
+    src.push_str(&render_stmts(serial1, &mut vars, false, 1));
+    src.push_str(&format!("    spawn(0, {}) {{\n", N - 1));
+    // Spawn body sees no serial locals (avoids capture-size explosions);
+    // globals and $ provide plenty of signal.
+    let mut pvars = Vec::new();
+    src.push_str(&render_stmts(par, &mut pvars, true, 2));
+    src.push_str("    }\n");
+    src.push_str(&render_stmts(serial2, &mut vars, false, 1));
+    // Checksum epilogue.
+    src.push_str(&format!(
+        "    int sum = ACC;\n    for (int i = 0; i < {N}; i++) {{ sum = sum * 31 + A0[i] + A1[i]; }}\n    print(sum);\n"
+    ));
+    src.push_str("}\n");
+    src
+}
+
+fn run_all_pipelines(src: &str) -> Vec<(String, Vec<i32>)> {
+    let mut results = Vec::new();
+    let mut opts_list: Vec<(String, Options)> = vec![
+        ("O2".into(), Options::default()),
+        ("O0".into(), Options::o0()),
+    ];
+    let mut clustered = Options::default();
+    clustered.clustering = Some(4);
+    opts_list.push(("O2+cluster4".into(), clustered));
+    // Generated spawn bodies never *write* captured serial locals, so
+    // the un-outlined pipeline (inline spawn lowering) must agree too —
+    // this is the safe subset of paper Fig. 8.
+    let mut no_outline = Options::default();
+    no_outline.outline = false;
+    opts_list.push(("O2+no-outline".into(), no_outline));
+
+    for (name, opts) in opts_list {
+        let compiled = Toolchain::with_options(opts)
+            .compile(src)
+            .unwrap_or_else(|e| panic!("{name} failed to compile:\n{src}\n{e}"));
+        for (cfg_name, cfg) in
+            [("tiny", XmtConfig::tiny()), ("fpga64", XmtConfig::fpga64())]
+        {
+            let mut sim = compiled.simulator(&cfg);
+            sim.set_cycle_limit(300_000);
+            let out = match sim.run() {
+                Ok(_) => sim.machine.output.ints(),
+                Err(e) => panic!("{name}/{cfg_name} failed to run:\n{src}\n{e}"),
+            };
+            results.push((format!("{name}/{cfg_name}"), out));
+        }
+        let fun = compiled
+            .run_functional()
+            .unwrap_or_else(|e| panic!("{name}/functional failed:\n{src}\n{e}"));
+        results.push((format!("{name}/functional"), fun.printed_ints()));
+    }
+    results
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        // Each case compiles three pipelines and runs nine simulations;
+        // keep the per-`cargo test` budget modest. Crank `PROPTEST_CASES`
+        // up for a deeper fuzzing session.
+        cases: 12,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    /// The headline differential property: every optimization level, both
+    /// machine sizes, and the functional mode agree on every generated
+    /// program.
+    #[test]
+    fn all_pipelines_agree(
+        s1 in stmts(),
+        par in stmts(),
+        s2 in stmts(),
+        h1 in expr(),
+        h2 in expr(),
+        stv in expr(),
+    ) {
+        let src = render_program(&s1, &par, &s2, &h1, &h2, &stv);
+        let results = run_all_pipelines(&src);
+        let (ref first_name, ref want) = results[0];
+        for (name, got) in &results {
+            prop_assert_eq!(
+                got, want,
+                "pipeline {} disagrees with {}\nprogram:\n{}",
+                name, first_name, src
+            );
+        }
+    }
+}
+
+/// A regression corpus: seeds that once exposed bugs (or are just good
+/// stress shapes) stay as fixed tests.
+#[test]
+fn corpus_shapes() {
+    let cases = [
+        // Nested control flow + accumulation in parallel.
+        "int A0[16]; int A1[16]; int ACC = 0;
+         void main() {
+             spawn(0, 15) {
+                 for (int l = 0; l < 3; l++) {
+                     if (($ ^ l) % 3 == 1) {
+                         int acc = $ * l;
+                         psm(acc, ACC);
+                     }
+                 }
+                 A0[$] = $ * $ - 7;
+             }
+             int sum = ACC;
+             for (int i = 0; i < 16; i++) { sum = sum * 31 + A0[i] + A1[i]; }
+             print(sum);
+         }",
+        // Division/remainder by zero (defined as 0) on both paths.
+        "int A0[16]; int A1[16]; int ACC = 0;
+         void main() {
+             int z = 0;
+             int a = 7 / z;
+             int b = 7 % z;
+             spawn(0, 15) { A0[$] = $ / ($ - $); }
+             print(a + b + A0[3]);
+         }",
+        // Values live across calls at every distance (regression: a
+        // param whose last use is the instruction right after the first
+        // call must survive in a callee-saved register).
+        "int A0[16]; int A1[16]; int ACC = 0;
+         int leaf(int x) { return x * 2 + 1; }
+         int caller(int x) { return leaf(x) + leaf(x + 1); }
+         int deep(int a, int b) { return caller(a) + caller(b) + caller(a + b); }
+         void main() {
+             print(caller(5));
+             print(deep(3, 4));
+             spawn(0, 15) { A0[$] = $; }
+             print(caller(A0[7]));
+         }",
+        // Deep ternaries and shifts.
+        "int A0[16]; int A1[16]; int ACC = 0;
+         void main() {
+             spawn(0, 15) {
+                 A1[$] = ($ < 8 ? ($ << 2) : ($ >> 1)) ^ ($ == 5 ? -1 : 1);
+             }
+             int sum = 0;
+             for (int i = 0; i < 16; i++) { sum = sum * 17 + A1[i]; }
+             print(sum);
+         }",
+    ];
+    for src in cases {
+        let results = run_all_pipelines(src);
+        let want = &results[0].1;
+        for (name, got) in &results {
+            assert_eq!(got, want, "pipeline {name} disagrees on corpus case:\n{src}");
+        }
+    }
+}

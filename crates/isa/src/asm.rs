@@ -1,0 +1,502 @@
+//! Textual assembler and disassembler.
+//!
+//! This is the Rust counterpart of the SableCC-generated assembly
+//! front-end of XMTSim: it turns `.xs` assembly text into the structured
+//! [`AsmProgram`] form (from which instruction objects are instantiated),
+//! and back. The compiler's post-pass also re-enters through this parser,
+//! mirroring the paper's pipeline where the post-pass re-reads the
+//! assembly produced by the core-pass.
+
+use crate::instr::{FCmpOp, Instr, Target};
+use crate::program::{AsmItem, AsmProgram};
+use crate::reg::{FReg, GlobalReg, Reg};
+use std::fmt;
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instr::*;
+        match self {
+            Add { rd, rs, rt } => write!(f, "add {rd}, {rs}, {rt}"),
+            Sub { rd, rs, rt } => write!(f, "sub {rd}, {rs}, {rt}"),
+            And { rd, rs, rt } => write!(f, "and {rd}, {rs}, {rt}"),
+            Or { rd, rs, rt } => write!(f, "or {rd}, {rs}, {rt}"),
+            Xor { rd, rs, rt } => write!(f, "xor {rd}, {rs}, {rt}"),
+            Nor { rd, rs, rt } => write!(f, "nor {rd}, {rs}, {rt}"),
+            Slt { rd, rs, rt } => write!(f, "slt {rd}, {rs}, {rt}"),
+            Sltu { rd, rs, rt } => write!(f, "sltu {rd}, {rs}, {rt}"),
+            Mul { rd, rs, rt } => write!(f, "mul {rd}, {rs}, {rt}"),
+            Div { rd, rs, rt } => write!(f, "div {rd}, {rs}, {rt}"),
+            Rem { rd, rs, rt } => write!(f, "rem {rd}, {rs}, {rt}"),
+            Addi { rt, rs, imm } => write!(f, "addi {rt}, {rs}, {imm}"),
+            Andi { rt, rs, imm } => write!(f, "andi {rt}, {rs}, {imm}"),
+            Ori { rt, rs, imm } => write!(f, "ori {rt}, {rs}, {imm}"),
+            Xori { rt, rs, imm } => write!(f, "xori {rt}, {rs}, {imm}"),
+            Slti { rt, rs, imm } => write!(f, "slti {rt}, {rs}, {imm}"),
+            Sltiu { rt, rs, imm } => write!(f, "sltiu {rt}, {rs}, {imm}"),
+            Li { rt, imm } => write!(f, "li {rt}, {imm}"),
+            Lui { rt, imm } => write!(f, "lui {rt}, {imm}"),
+            Move { rd, rs } => write!(f, "move {rd}, {rs}"),
+            Sll { rd, rt, sh } => write!(f, "sll {rd}, {rt}, {sh}"),
+            Srl { rd, rt, sh } => write!(f, "srl {rd}, {rt}, {sh}"),
+            Sra { rd, rt, sh } => write!(f, "sra {rd}, {rt}, {sh}"),
+            Sllv { rd, rt, rs } => write!(f, "sllv {rd}, {rt}, {rs}"),
+            Srlv { rd, rt, rs } => write!(f, "srlv {rd}, {rt}, {rs}"),
+            Srav { rd, rt, rs } => write!(f, "srav {rd}, {rt}, {rs}"),
+            Lw { rt, base, off } => write!(f, "lw {rt}, {off}({base})"),
+            Sw { rt, base, off } => write!(f, "sw {rt}, {off}({base})"),
+            Lb { rt, base, off } => write!(f, "lb {rt}, {off}({base})"),
+            Lbu { rt, base, off } => write!(f, "lbu {rt}, {off}({base})"),
+            Sb { rt, base, off } => write!(f, "sb {rt}, {off}({base})"),
+            Swnb { rt, base, off } => write!(f, "swnb {rt}, {off}({base})"),
+            Pref { base, off } => write!(f, "pref {off}({base})"),
+            Lwro { rt, base, off } => write!(f, "lwro {rt}, {off}({base})"),
+            Fadd { fd, fs, ft } => write!(f, "fadd {fd}, {fs}, {ft}"),
+            Fsub { fd, fs, ft } => write!(f, "fsub {fd}, {fs}, {ft}"),
+            Fmul { fd, fs, ft } => write!(f, "fmul {fd}, {fs}, {ft}"),
+            Fdiv { fd, fs, ft } => write!(f, "fdiv {fd}, {fs}, {ft}"),
+            Fmov { fd, fs } => write!(f, "fmov {fd}, {fs}"),
+            Fneg { fd, fs } => write!(f, "fneg {fd}, {fs}"),
+            Fcvtsw { fd, rs } => write!(f, "fcvtsw {fd}, {rs}"),
+            Fcvtws { rd, fs } => write!(f, "fcvtws {rd}, {fs}"),
+            Fcmp { op, rd, fs, ft } => write!(f, "fcmp.{op} {rd}, {fs}, {ft}"),
+            Fli { fd, imm } => write!(f, "fli {fd}, {imm:?}"),
+            Flw { ft, base, off } => write!(f, "flw {ft}, {off}({base})"),
+            Fsw { ft, base, off } => write!(f, "fsw {ft}, {off}({base})"),
+            Beq { rs, rt, target } => write!(f, "beq {rs}, {rt}, {target}"),
+            Bne { rs, rt, target } => write!(f, "bne {rs}, {rt}, {target}"),
+            Blez { rs, target } => write!(f, "blez {rs}, {target}"),
+            Bgtz { rs, target } => write!(f, "bgtz {rs}, {target}"),
+            Bltz { rs, target } => write!(f, "bltz {rs}, {target}"),
+            Bgez { rs, target } => write!(f, "bgez {rs}, {target}"),
+            J { target } => write!(f, "j {target}"),
+            Jal { target } => write!(f, "jal {target}"),
+            Jr { rs } => write!(f, "jr {rs}"),
+            Jalr { rd, rs } => write!(f, "jalr {rd}, {rs}"),
+            Spawn { lo, hi } => write!(f, "spawn {lo}, {hi}"),
+            Join => write!(f, "join"),
+            Ps { rt, gr } => write!(f, "ps {rt}, {gr}"),
+            Psm { rt, base, off } => write!(f, "psm {rt}, {off}({base})"),
+            Grput { gr, rs } => write!(f, "grput {gr}, {rs}"),
+            Chkid { rt } => write!(f, "chkid {rt}"),
+            Fence => write!(f, "fence"),
+            Print { rs } => write!(f, "print {rs}"),
+            Printf { fs } => write!(f, "printf {fs}"),
+            Printc { rs } => write!(f, "printc {rs}"),
+            Halt => write!(f, "halt"),
+            Nop => write!(f, "nop"),
+        }
+    }
+}
+
+/// Render a program as assembly text.
+pub fn to_text(p: &AsmProgram) -> String {
+    let mut out = String::new();
+    for item in &p.items {
+        match item {
+            AsmItem::Label(l) => {
+                out.push_str(l);
+                out.push_str(":\n");
+            }
+            AsmItem::Instr(i) => {
+                out.push_str("    ");
+                out.push_str(&i.to_string());
+                out.push('\n');
+            }
+            AsmItem::Comment(c) => {
+                out.push_str("# ");
+                out.push_str(c);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// An error while parsing assembly text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for AsmParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asm line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmParseError {}
+
+/// Parse assembly text into a program.
+pub fn parse(text: &str) -> Result<AsmProgram, AsmParseError> {
+    let mut prog = AsmProgram::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        // Strip comments.
+        let mut code = raw;
+        if let Some(pos) = code.find(['#', ';']) {
+            let comment = code[pos + 1..].trim();
+            code = &code[..pos];
+            if code.trim().is_empty() {
+                if !comment.is_empty() {
+                    prog.comment(comment);
+                }
+                continue;
+            }
+        }
+        let mut code = code.trim();
+        if code.is_empty() {
+            continue;
+        }
+        // Leading label(s).
+        while let Some(colon) = code.find(':') {
+            let (label, rest) = code.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !is_ident(label) {
+                return Err(AsmParseError { line, message: format!("bad label `{label}`") });
+            }
+            prog.label(label);
+            code = rest[1..].trim();
+            if code.is_empty() {
+                break;
+            }
+        }
+        if code.is_empty() {
+            continue;
+        }
+        let instr = parse_instr(code)
+            .map_err(|message| AsmParseError { line, message })?;
+        prog.push(instr);
+    }
+    Ok(prog)
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+}
+
+/// Operand scanner over one instruction's operand text.
+struct Ops<'a> {
+    parts: std::vec::IntoIter<&'a str>,
+}
+
+impl<'a> Ops<'a> {
+    fn new(s: &'a str) -> Self {
+        let parts: Vec<&str> = s
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .collect();
+        Ops { parts: parts.into_iter() }
+    }
+
+    fn next(&mut self) -> Result<&'a str, String> {
+        self.parts.next().ok_or_else(|| "missing operand".to_string())
+    }
+
+    fn reg(&mut self) -> Result<Reg, String> {
+        let t = self.next()?;
+        Reg::parse(t).ok_or_else(|| format!("bad register `{t}`"))
+    }
+
+    fn freg(&mut self) -> Result<FReg, String> {
+        let t = self.next()?;
+        FReg::parse(t).ok_or_else(|| format!("bad fp register `{t}`"))
+    }
+
+    fn greg(&mut self) -> Result<GlobalReg, String> {
+        let t = self.next()?;
+        GlobalReg::parse(t).ok_or_else(|| format!("bad global register `{t}`"))
+    }
+
+    fn imm_i32(&mut self) -> Result<i32, String> {
+        let t = self.next()?;
+        parse_i32(t).ok_or_else(|| format!("bad immediate `{t}`"))
+    }
+
+    fn imm_u32(&mut self) -> Result<u32, String> {
+        let t = self.next()?;
+        parse_i32(t)
+            .map(|v| v as u32)
+            .or_else(|| parse_u32(t))
+            .ok_or_else(|| format!("bad immediate `{t}`"))
+    }
+
+    fn imm_f32(&mut self) -> Result<f32, String> {
+        let t = self.next()?;
+        t.parse::<f32>().map_err(|_| format!("bad float immediate `{t}`"))
+    }
+
+    fn shamt(&mut self) -> Result<u8, String> {
+        let v = self.imm_i32()?;
+        if !(0..32).contains(&v) {
+            return Err(format!("shift amount {v} out of range"));
+        }
+        Ok(v as u8)
+    }
+
+    /// Parse an `off(base)` memory operand.
+    fn mem(&mut self) -> Result<(Reg, i32), String> {
+        let t = self.next()?;
+        let open = t.find('(').ok_or_else(|| format!("bad memory operand `{t}`"))?;
+        let close = t.rfind(')').ok_or_else(|| format!("bad memory operand `{t}`"))?;
+        if close < open {
+            return Err(format!("bad memory operand `{t}`"));
+        }
+        let off_s = t[..open].trim();
+        let off = if off_s.is_empty() {
+            0
+        } else {
+            parse_i32(off_s).ok_or_else(|| format!("bad offset `{off_s}`"))?
+        };
+        let base = Reg::parse(t[open + 1..close].trim())
+            .ok_or_else(|| format!("bad base register in `{t}`"))?;
+        Ok((base, off))
+    }
+
+    fn target(&mut self) -> Result<Target, String> {
+        let t = self.next()?;
+        if let Some(abs) = t.strip_prefix('@') {
+            let idx: u32 = abs.parse().map_err(|_| format!("bad target `{t}`"))?;
+            Ok(Target::Abs(idx))
+        } else if is_ident(t) {
+            Ok(Target::label(t))
+        } else {
+            Err(format!("bad target `{t}`"))
+        }
+    }
+
+    fn done(mut self) -> Result<(), String> {
+        match self.parts.next() {
+            None => Ok(()),
+            Some(extra) => Err(format!("unexpected operand `{extra}`")),
+        }
+    }
+}
+
+fn parse_i32(s: &str) -> Option<i32> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).ok().map(|v| v as i32)
+    } else if let Some(hex) = s.strip_prefix("-0x").or_else(|| s.strip_prefix("-0X")) {
+        u32::from_str_radix(hex, 16).ok().map(|v| -(v as i64) as i32)
+    } else {
+        s.parse::<i32>().ok()
+    }
+}
+
+fn parse_u32(s: &str) -> Option<u32> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse::<u32>().ok()
+    }
+}
+
+fn parse_instr(code: &str) -> Result<Instr, String> {
+    let (mn, rest) = match code.find(char::is_whitespace) {
+        Some(pos) => (&code[..pos], code[pos..].trim()),
+        None => (code, ""),
+    };
+    let mut o = Ops::new(rest);
+    use Instr::*;
+    let instr = match mn {
+        "add" => Add { rd: o.reg()?, rs: o.reg()?, rt: o.reg()? },
+        "sub" => Sub { rd: o.reg()?, rs: o.reg()?, rt: o.reg()? },
+        "and" => And { rd: o.reg()?, rs: o.reg()?, rt: o.reg()? },
+        "or" => Or { rd: o.reg()?, rs: o.reg()?, rt: o.reg()? },
+        "xor" => Xor { rd: o.reg()?, rs: o.reg()?, rt: o.reg()? },
+        "nor" => Nor { rd: o.reg()?, rs: o.reg()?, rt: o.reg()? },
+        "slt" => Slt { rd: o.reg()?, rs: o.reg()?, rt: o.reg()? },
+        "sltu" => Sltu { rd: o.reg()?, rs: o.reg()?, rt: o.reg()? },
+        "mul" => Mul { rd: o.reg()?, rs: o.reg()?, rt: o.reg()? },
+        "div" => Div { rd: o.reg()?, rs: o.reg()?, rt: o.reg()? },
+        "rem" => Rem { rd: o.reg()?, rs: o.reg()?, rt: o.reg()? },
+        "addi" => Addi { rt: o.reg()?, rs: o.reg()?, imm: o.imm_i32()? },
+        "andi" => Andi { rt: o.reg()?, rs: o.reg()?, imm: o.imm_u32()? },
+        "ori" => Ori { rt: o.reg()?, rs: o.reg()?, imm: o.imm_u32()? },
+        "xori" => Xori { rt: o.reg()?, rs: o.reg()?, imm: o.imm_u32()? },
+        "slti" => Slti { rt: o.reg()?, rs: o.reg()?, imm: o.imm_i32()? },
+        "sltiu" => Sltiu { rt: o.reg()?, rs: o.reg()?, imm: o.imm_u32()? },
+        "li" => Li { rt: o.reg()?, imm: o.imm_i32()? },
+        "lui" => Lui { rt: o.reg()?, imm: o.imm_u32()? },
+        "move" => Move { rd: o.reg()?, rs: o.reg()? },
+        "sll" => Sll { rd: o.reg()?, rt: o.reg()?, sh: o.shamt()? },
+        "srl" => Srl { rd: o.reg()?, rt: o.reg()?, sh: o.shamt()? },
+        "sra" => Sra { rd: o.reg()?, rt: o.reg()?, sh: o.shamt()? },
+        "sllv" => Sllv { rd: o.reg()?, rt: o.reg()?, rs: o.reg()? },
+        "srlv" => Srlv { rd: o.reg()?, rt: o.reg()?, rs: o.reg()? },
+        "srav" => Srav { rd: o.reg()?, rt: o.reg()?, rs: o.reg()? },
+        "lw" => {
+            let rt = o.reg()?;
+            let (base, off) = o.mem()?;
+            Lw { rt, base, off }
+        }
+        "sw" => {
+            let rt = o.reg()?;
+            let (base, off) = o.mem()?;
+            Sw { rt, base, off }
+        }
+        "lb" => {
+            let rt = o.reg()?;
+            let (base, off) = o.mem()?;
+            Lb { rt, base, off }
+        }
+        "lbu" => {
+            let rt = o.reg()?;
+            let (base, off) = o.mem()?;
+            Lbu { rt, base, off }
+        }
+        "sb" => {
+            let rt = o.reg()?;
+            let (base, off) = o.mem()?;
+            Sb { rt, base, off }
+        }
+        "swnb" => {
+            let rt = o.reg()?;
+            let (base, off) = o.mem()?;
+            Swnb { rt, base, off }
+        }
+        "pref" => {
+            let (base, off) = o.mem()?;
+            Pref { base, off }
+        }
+        "lwro" => {
+            let rt = o.reg()?;
+            let (base, off) = o.mem()?;
+            Lwro { rt, base, off }
+        }
+        "fadd" => Fadd { fd: o.freg()?, fs: o.freg()?, ft: o.freg()? },
+        "fsub" => Fsub { fd: o.freg()?, fs: o.freg()?, ft: o.freg()? },
+        "fmul" => Fmul { fd: o.freg()?, fs: o.freg()?, ft: o.freg()? },
+        "fdiv" => Fdiv { fd: o.freg()?, fs: o.freg()?, ft: o.freg()? },
+        "fmov" => Fmov { fd: o.freg()?, fs: o.freg()? },
+        "fneg" => Fneg { fd: o.freg()?, fs: o.freg()? },
+        "fcvtsw" => Fcvtsw { fd: o.freg()?, rs: o.reg()? },
+        "fcvtws" => Fcvtws { rd: o.reg()?, fs: o.freg()? },
+        "fcmp.eq" => Fcmp { op: FCmpOp::Eq, rd: o.reg()?, fs: o.freg()?, ft: o.freg()? },
+        "fcmp.lt" => Fcmp { op: FCmpOp::Lt, rd: o.reg()?, fs: o.freg()?, ft: o.freg()? },
+        "fcmp.le" => Fcmp { op: FCmpOp::Le, rd: o.reg()?, fs: o.freg()?, ft: o.freg()? },
+        "fli" => Fli { fd: o.freg()?, imm: o.imm_f32()? },
+        "flw" => {
+            let ft = o.freg()?;
+            let (base, off) = o.mem()?;
+            Flw { ft, base, off }
+        }
+        "fsw" => {
+            let ft = o.freg()?;
+            let (base, off) = o.mem()?;
+            Fsw { ft, base, off }
+        }
+        "beq" => Beq { rs: o.reg()?, rt: o.reg()?, target: o.target()? },
+        "bne" => Bne { rs: o.reg()?, rt: o.reg()?, target: o.target()? },
+        "blez" => Blez { rs: o.reg()?, target: o.target()? },
+        "bgtz" => Bgtz { rs: o.reg()?, target: o.target()? },
+        "bltz" => Bltz { rs: o.reg()?, target: o.target()? },
+        "bgez" => Bgez { rs: o.reg()?, target: o.target()? },
+        "j" => J { target: o.target()? },
+        "jal" => Jal { target: o.target()? },
+        "jr" => Jr { rs: o.reg()? },
+        "jalr" => Jalr { rd: o.reg()?, rs: o.reg()? },
+        "spawn" => Spawn { lo: o.reg()?, hi: o.reg()? },
+        "join" => Join,
+        "ps" => Ps { rt: o.reg()?, gr: o.greg()? },
+        "psm" => {
+            let rt = o.reg()?;
+            let (base, off) = o.mem()?;
+            Psm { rt, base, off }
+        }
+        "chkid" => Chkid { rt: o.reg()? },
+        "grput" => Grput { gr: o.greg()?, rs: o.reg()? },
+        "fence" => Fence,
+        "print" => Print { rs: o.reg()? },
+        "printf" => Printf { fs: o.freg()? },
+        "printc" => Printc { rs: o.reg()? },
+        "halt" => Halt,
+        "nop" => Nop,
+        other => return Err(format!("unknown mnemonic `{other}`")),
+    };
+    o.done()?;
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    #[test]
+    fn parse_minimal_program() {
+        let text = r"
+# array compaction kernel
+main:
+    li   $a0, 0
+    li   $a1, 63
+    spawn $a0, $a1
+loop:
+    ps   $t0, gr0
+    chkid $t0
+    sll  $t1, $t0, 2
+    lw   $t2, 0($t1)
+    j loop
+    join
+    halt
+";
+        let p = parse(text).unwrap();
+        assert_eq!(p.instr_count(), 10);
+        let text2 = to_text(&p);
+        let p2 = parse(&text2).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn parse_memory_operands() {
+        let p = parse("lw $t0, -8($sp)\nsw $t1, ($t2)\n").unwrap();
+        assert_eq!(
+            p.items[0],
+            AsmItem::Instr(Instr::Lw { rt: Reg::T0, base: Reg::Sp, off: -8 })
+        );
+        assert_eq!(
+            p.items[1],
+            AsmItem::Instr(Instr::Sw { rt: Reg::T1, base: Reg::T2, off: 0 })
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse("nop\nbogus $t0\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn parse_rejects_extra_operands() {
+        assert!(parse("nop $t0\n").is_err());
+        assert!(parse("add $t0, $t1\n").is_err());
+    }
+
+    #[test]
+    fn parse_abs_targets() {
+        let p = parse("j @42\n").unwrap();
+        assert_eq!(p.items[0], AsmItem::Instr(Instr::J { target: Target::Abs(42) }));
+    }
+
+    #[test]
+    fn label_same_line_as_instr() {
+        let p = parse("start: nop\n").unwrap();
+        assert_eq!(p.items.len(), 2);
+        assert_eq!(p.items[0], AsmItem::Label("start".into()));
+    }
+
+    #[test]
+    fn fp_text_roundtrip() {
+        let text = "fli $f1, 1.5\nfcmp.lt $t0, $f1, $f2\nfcvtsw $f3, $t1\n";
+        let p = parse(text).unwrap();
+        let p2 = parse(&to_text(&p)).unwrap();
+        assert_eq!(p, p2);
+    }
+}

@@ -1,0 +1,491 @@
+//! The XMT instruction model.
+//!
+//! Instructions are kept in a structured (already decoded) form: the
+//! simulator is a transaction-level architecture simulator, so no binary
+//! encoding is needed — exactly like the Java `Instruction` class hierarchy
+//! of XMTSim, where the assembly front-end instantiates instruction objects
+//! directly.
+
+use crate::reg::{FReg, GlobalReg, Reg};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A control-flow target: a symbolic label before linking, or an absolute
+/// instruction index afterwards.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Target {
+    /// Unresolved symbolic label.
+    Label(String),
+    /// Resolved absolute instruction index into the text segment.
+    Abs(u32),
+}
+
+impl Target {
+    /// The resolved instruction index. Panics when still symbolic; only the
+    /// linker ([`crate::program::AsmProgram::link`]) may observe labels.
+    pub fn abs(&self) -> u32 {
+        match self {
+            Target::Abs(i) => *i,
+            Target::Label(l) => panic!("unresolved label `{l}` at execution time"),
+        }
+    }
+
+    /// Convenience constructor from anything string-like.
+    pub fn label(s: impl Into<String>) -> Target {
+        Target::Label(s.into())
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Label(l) => write!(f, "{l}"),
+            Target::Abs(i) => write!(f, "@{i}"),
+        }
+    }
+}
+
+/// Comparison operator of the FP compare instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FCmpOp {
+    Eq,
+    Lt,
+    Le,
+}
+
+impl fmt::Display for FCmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FCmpOp::Eq => "eq",
+            FCmpOp::Lt => "lt",
+            FCmpOp::Le => "le",
+        })
+    }
+}
+
+/// Functional-unit classification of an instruction (paper Fig. 1): which
+/// hardware resource executes it. Drives both cycle-accurate routing and
+/// the per-unit activity counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FuKind {
+    /// Lightweight per-TCU integer ALU.
+    Alu,
+    /// Per-TCU shift unit.
+    Sft,
+    /// Per-TCU branch unit.
+    Br,
+    /// Cluster-shared multiply/divide unit.
+    Mdu,
+    /// Cluster-shared floating point unit.
+    Fpu,
+    /// Memory operation travelling through the interconnection network to
+    /// the shared cache modules.
+    Mem,
+    /// Global prefix-sum unit.
+    Ps,
+    /// Control: spawn/join/fence/halt/print/nop.
+    Ctl,
+}
+
+impl FuKind {
+    /// All functional-unit kinds, for iterating counters.
+    pub const ALL: [FuKind; 8] = [
+        FuKind::Alu,
+        FuKind::Sft,
+        FuKind::Br,
+        FuKind::Mdu,
+        FuKind::Fpu,
+        FuKind::Mem,
+        FuKind::Ps,
+        FuKind::Ctl,
+    ];
+
+    /// Short lowercase name used in statistics output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FuKind::Alu => "alu",
+            FuKind::Sft => "sft",
+            FuKind::Br => "br",
+            FuKind::Mdu => "mdu",
+            FuKind::Fpu => "fpu",
+            FuKind::Mem => "mem",
+            FuKind::Ps => "ps",
+            FuKind::Ctl => "ctl",
+        }
+    }
+}
+
+/// One XMT machine instruction.
+///
+/// Naming follows MIPS conventions (`rd` destination, `rs`/`rt` sources,
+/// `imm` immediate). Pseudo-instructions that the real assembler would
+/// expand (`li`, `move`) are kept as first-class instructions; the
+/// simulator charges them ALU latency, which is what their expansion would
+/// cost on the real pipeline for 16-bit immediates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Instr {
+    // ---- integer ALU, register forms ----
+    Add { rd: Reg, rs: Reg, rt: Reg },
+    Sub { rd: Reg, rs: Reg, rt: Reg },
+    And { rd: Reg, rs: Reg, rt: Reg },
+    Or { rd: Reg, rs: Reg, rt: Reg },
+    Xor { rd: Reg, rs: Reg, rt: Reg },
+    Nor { rd: Reg, rs: Reg, rt: Reg },
+    Slt { rd: Reg, rs: Reg, rt: Reg },
+    Sltu { rd: Reg, rs: Reg, rt: Reg },
+    // ---- multiply/divide (cluster-shared MDU) ----
+    Mul { rd: Reg, rs: Reg, rt: Reg },
+    Div { rd: Reg, rs: Reg, rt: Reg },
+    Rem { rd: Reg, rs: Reg, rt: Reg },
+    // ---- integer ALU, immediate forms ----
+    Addi { rt: Reg, rs: Reg, imm: i32 },
+    Andi { rt: Reg, rs: Reg, imm: u32 },
+    Ori { rt: Reg, rs: Reg, imm: u32 },
+    Xori { rt: Reg, rs: Reg, imm: u32 },
+    Slti { rt: Reg, rs: Reg, imm: i32 },
+    Sltiu { rt: Reg, rs: Reg, imm: u32 },
+    /// Load 32-bit immediate (pseudo for `lui`+`ori`).
+    Li { rt: Reg, imm: i32 },
+    Lui { rt: Reg, imm: u32 },
+    /// Register move (pseudo for `or rd, rs, $zero`).
+    Move { rd: Reg, rs: Reg },
+    // ---- shift unit ----
+    Sll { rd: Reg, rt: Reg, sh: u8 },
+    Srl { rd: Reg, rt: Reg, sh: u8 },
+    Sra { rd: Reg, rt: Reg, sh: u8 },
+    Sllv { rd: Reg, rt: Reg, rs: Reg },
+    Srlv { rd: Reg, rt: Reg, rs: Reg },
+    Srav { rd: Reg, rt: Reg, rs: Reg },
+    // ---- memory ----
+    Lw { rt: Reg, base: Reg, off: i32 },
+    Sw { rt: Reg, base: Reg, off: i32 },
+    Lb { rt: Reg, base: Reg, off: i32 },
+    Lbu { rt: Reg, base: Reg, off: i32 },
+    Sb { rt: Reg, base: Reg, off: i32 },
+    /// Non-blocking store: the TCU does not wait for completion (paper
+    /// §IV-C, latency-tolerating mechanisms).
+    Swnb { rt: Reg, base: Reg, off: i32 },
+    /// Prefetch the addressed word into the TCU prefetch buffer.
+    Pref { base: Reg, off: i32 },
+    /// Load via the cluster read-only cache (constant data only).
+    Lwro { rt: Reg, base: Reg, off: i32 },
+    // ---- floating point (cluster-shared FPU) ----
+    Fadd { fd: FReg, fs: FReg, ft: FReg },
+    Fsub { fd: FReg, fs: FReg, ft: FReg },
+    Fmul { fd: FReg, fs: FReg, ft: FReg },
+    Fdiv { fd: FReg, fs: FReg, ft: FReg },
+    Fmov { fd: FReg, fs: FReg },
+    Fneg { fd: FReg, fs: FReg },
+    /// Convert integer in `rs` to float in `fd`.
+    Fcvtsw { fd: FReg, rs: Reg },
+    /// Convert float in `fs` to integer in `rd` (truncating).
+    Fcvtws { rd: Reg, fs: FReg },
+    /// FP compare; writes 0/1 into integer register `rd`.
+    Fcmp { op: FCmpOp, rd: Reg, fs: FReg, ft: FReg },
+    /// Load FP immediate (pseudo).
+    Fli { fd: FReg, imm: f32 },
+    Flw { ft: FReg, base: Reg, off: i32 },
+    Fsw { ft: FReg, base: Reg, off: i32 },
+    // ---- branches / jumps ----
+    Beq { rs: Reg, rt: Reg, target: Target },
+    Bne { rs: Reg, rt: Reg, target: Target },
+    Blez { rs: Reg, target: Target },
+    Bgtz { rs: Reg, target: Target },
+    Bltz { rs: Reg, target: Target },
+    Bgez { rs: Reg, target: Target },
+    J { target: Target },
+    Jal { target: Target },
+    Jr { rs: Reg },
+    Jalr { rd: Reg, rs: Reg },
+    // ---- XMT parallel primitives ----
+    /// Enter a parallel section over virtual threads `rs(lo) ..= rt(hi)`.
+    /// Broadcasts the spawn-block instructions and the master register file
+    /// to all TCUs and seeds `gr0` with `lo`.
+    Spawn { lo: Reg, hi: Reg },
+    /// End of the broadcast spawn block. The master resumes at the
+    /// instruction following `join` once every TCU blocks at a `chkid`.
+    Join,
+    /// Prefix-sum to global register: atomically `{ tmp = gr; gr += rt;
+    /// rt = tmp }`. The hardware restricts the increment to 0 or 1.
+    Ps { rt: Reg, gr: GlobalReg },
+    /// Prefix-sum to memory: atomically `{ tmp = mem[rs+off]; mem += rt;
+    /// rt = tmp }` with an arbitrary 32-bit signed increment.
+    Psm { rt: Reg, base: Reg, off: i32 },
+    /// Validate virtual-thread id in `rt` against the current spawn bound;
+    /// blocks the TCU when `rt > hi`.
+    Chkid { rt: Reg },
+    /// Write a global register (Master TCU only; used to initialize
+    /// prefix-sum base variables from serial code).
+    Grput { gr: GlobalReg, rs: Reg },
+    /// Memory fence: wait until all pending memory operations issued by
+    /// this thread have completed.
+    Fence,
+    // ---- system ----
+    /// Print the signed integer in `rs` to the simulation output stream.
+    Print { rs: Reg },
+    /// Print the float in `fs` to the simulation output stream.
+    Printf { fs: FReg },
+    /// Print the low byte of `rs` as a character.
+    Printc { rs: Reg },
+    /// Stop the machine (serial mode only).
+    Halt,
+    Nop,
+}
+
+impl Instr {
+    /// The functional unit that executes this instruction.
+    pub fn fu_kind(&self) -> FuKind {
+        use Instr::*;
+        match self {
+            Add { .. } | Sub { .. } | And { .. } | Or { .. } | Xor { .. } | Nor { .. }
+            | Slt { .. } | Sltu { .. } | Addi { .. } | Andi { .. } | Ori { .. } | Xori { .. }
+            | Slti { .. } | Sltiu { .. } | Li { .. } | Lui { .. } | Move { .. } => FuKind::Alu,
+            Mul { .. } | Div { .. } | Rem { .. } => FuKind::Mdu,
+            Sll { .. } | Srl { .. } | Sra { .. } | Sllv { .. } | Srlv { .. } | Srav { .. } => {
+                FuKind::Sft
+            }
+            Lw { .. } | Sw { .. } | Lb { .. } | Lbu { .. } | Sb { .. } | Swnb { .. }
+            | Pref { .. } | Lwro { .. } | Flw { .. } | Fsw { .. } | Psm { .. } => FuKind::Mem,
+            Fadd { .. } | Fsub { .. } | Fmul { .. } | Fdiv { .. } | Fmov { .. } | Fneg { .. }
+            | Fcvtsw { .. } | Fcvtws { .. } | Fcmp { .. } | Fli { .. } => FuKind::Fpu,
+            Beq { .. } | Bne { .. } | Blez { .. } | Bgtz { .. } | Bltz { .. } | Bgez { .. }
+            | J { .. } | Jal { .. } | Jr { .. } | Jalr { .. } | Chkid { .. } => FuKind::Br,
+            Ps { .. } | Grput { .. } => FuKind::Ps,
+            Spawn { .. } | Join | Fence | Print { .. } | Printf { .. } | Printc { .. } | Halt
+            | Nop => FuKind::Ctl,
+        }
+    }
+
+    /// Whether this instruction reads memory (loads, `psm`, prefetch).
+    pub fn is_mem_read(&self) -> bool {
+        matches!(
+            self,
+            Instr::Lw { .. }
+                | Instr::Lb { .. }
+                | Instr::Lbu { .. }
+                | Instr::Lwro { .. }
+                | Instr::Flw { .. }
+                | Instr::Psm { .. }
+                | Instr::Pref { .. }
+        )
+    }
+
+    /// Whether this instruction writes memory (stores, `psm`).
+    pub fn is_mem_write(&self) -> bool {
+        matches!(
+            self,
+            Instr::Sw { .. }
+                | Instr::Sb { .. }
+                | Instr::Swnb { .. }
+                | Instr::Fsw { .. }
+                | Instr::Psm { .. }
+        )
+    }
+
+    /// Whether this is any memory operation.
+    pub fn is_mem(&self) -> bool {
+        self.is_mem_read() || self.is_mem_write()
+    }
+
+    /// Whether this instruction may transfer control.
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Instr::Beq { .. }
+                | Instr::Bne { .. }
+                | Instr::Blez { .. }
+                | Instr::Bgtz { .. }
+                | Instr::Bltz { .. }
+                | Instr::Bgez { .. }
+                | Instr::J { .. }
+                | Instr::Jal { .. }
+                | Instr::Jr { .. }
+                | Instr::Jalr { .. }
+                | Instr::Halt
+        )
+    }
+
+    /// Whether control *always* leaves the fall-through path here
+    /// (unconditional jump, return, halt).
+    pub fn is_unconditional_jump(&self) -> bool {
+        matches!(
+            self,
+            Instr::J { .. } | Instr::Jr { .. } | Instr::Halt
+        )
+    }
+
+    /// The branch/jump target, if this instruction has a static one.
+    pub fn target(&self) -> Option<&Target> {
+        use Instr::*;
+        match self {
+            Beq { target, .. }
+            | Bne { target, .. }
+            | Blez { target, .. }
+            | Bgtz { target, .. }
+            | Bltz { target, .. }
+            | Bgez { target, .. }
+            | J { target }
+            | Jal { target } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the static branch/jump target.
+    pub fn target_mut(&mut self) -> Option<&mut Target> {
+        use Instr::*;
+        match self {
+            Beq { target, .. }
+            | Bne { target, .. }
+            | Blez { target, .. }
+            | Bgtz { target, .. }
+            | Bltz { target, .. }
+            | Bgez { target, .. }
+            | J { target }
+            | Jal { target } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Integer registers read by this instruction.
+    pub fn uses(&self) -> Vec<Reg> {
+        use Instr::*;
+        match *self {
+            Add { rs, rt, .. }
+            | Sub { rs, rt, .. }
+            | And { rs, rt, .. }
+            | Or { rs, rt, .. }
+            | Xor { rs, rt, .. }
+            | Nor { rs, rt, .. }
+            | Slt { rs, rt, .. }
+            | Sltu { rs, rt, .. }
+            | Mul { rs, rt, .. }
+            | Div { rs, rt, .. }
+            | Rem { rs, rt, .. } => vec![rs, rt],
+            Addi { rs, .. } | Andi { rs, .. } | Ori { rs, .. } | Xori { rs, .. }
+            | Slti { rs, .. } | Sltiu { rs, .. } => vec![rs],
+            Li { .. } | Lui { .. } => vec![],
+            Move { rs, .. } => vec![rs],
+            Sll { rt, .. } | Srl { rt, .. } | Sra { rt, .. } => vec![rt],
+            Sllv { rt, rs, .. } | Srlv { rt, rs, .. } | Srav { rt, rs, .. } => vec![rt, rs],
+            Lw { base, .. } | Lb { base, .. } | Lbu { base, .. } | Lwro { base, .. }
+            | Pref { base, .. } | Flw { base, .. } => vec![base],
+            Sw { rt, base, .. } | Sb { rt, base, .. } | Swnb { rt, base, .. } => vec![rt, base],
+            Fsw { base, .. } => vec![base],
+            Fcvtsw { rs, .. } => vec![rs],
+            Fcvtws { .. } | Fcmp { .. } => vec![],
+            Fadd { .. } | Fsub { .. } | Fmul { .. } | Fdiv { .. } | Fmov { .. } | Fneg { .. }
+            | Fli { .. } => vec![],
+            Beq { rs, rt, .. } | Bne { rs, rt, .. } => vec![rs, rt],
+            Blez { rs, .. } | Bgtz { rs, .. } | Bltz { rs, .. } | Bgez { rs, .. } => vec![rs],
+            J { .. } | Jal { .. } => vec![],
+            Jr { rs } | Jalr { rs, .. } => vec![rs],
+            Spawn { lo, hi } => vec![lo, hi],
+            Join => vec![],
+            Ps { rt, .. } => vec![rt],
+            Grput { rs, .. } => vec![rs],
+            Psm { rt, base, .. } => vec![rt, base],
+            Chkid { rt } => vec![rt],
+            Fence => vec![],
+            Print { rs } | Printc { rs } => vec![rs],
+            Printf { .. } => vec![],
+            Halt | Nop => vec![],
+        }
+    }
+
+    /// Integer registers written by this instruction.
+    pub fn defs(&self) -> Vec<Reg> {
+        use Instr::*;
+        match *self {
+            Add { rd, .. } | Sub { rd, .. } | And { rd, .. } | Or { rd, .. } | Xor { rd, .. }
+            | Nor { rd, .. } | Slt { rd, .. } | Sltu { rd, .. } | Mul { rd, .. }
+            | Div { rd, .. } | Rem { rd, .. } | Move { rd, .. } => vec![rd],
+            Addi { rt, .. } | Andi { rt, .. } | Ori { rt, .. } | Xori { rt, .. }
+            | Slti { rt, .. } | Sltiu { rt, .. } | Li { rt, .. } | Lui { rt, .. } => vec![rt],
+            Sll { rd, .. } | Srl { rd, .. } | Sra { rd, .. } | Sllv { rd, .. }
+            | Srlv { rd, .. } | Srav { rd, .. } => vec![rd],
+            Lw { rt, .. } | Lb { rt, .. } | Lbu { rt, .. } | Lwro { rt, .. } => vec![rt],
+            Fcvtws { rd, .. } | Fcmp { rd, .. } => vec![rd],
+            Jal { .. } => vec![Reg::Ra],
+            Jalr { rd, .. } => vec![rd],
+            Ps { rt, .. } | Psm { rt, .. } => vec![rt],
+            _ => vec![],
+        }
+    }
+
+    /// FP registers read by this instruction.
+    pub fn fuses(&self) -> Vec<FReg> {
+        use Instr::*;
+        match *self {
+            Fadd { fs, ft, .. } | Fsub { fs, ft, .. } | Fmul { fs, ft, .. }
+            | Fdiv { fs, ft, .. } => vec![fs, ft],
+            Fmov { fs, .. } | Fneg { fs, .. } | Fcvtws { fs, .. } => vec![fs],
+            Fcmp { fs, ft, .. } => vec![fs, ft],
+            Fsw { ft, .. } => vec![ft],
+            Printf { fs } => vec![fs],
+            _ => vec![],
+        }
+    }
+
+    /// FP registers written by this instruction.
+    pub fn fdefs(&self) -> Vec<FReg> {
+        use Instr::*;
+        match *self {
+            Fadd { fd, .. } | Fsub { fd, .. } | Fmul { fd, .. } | Fdiv { fd, .. }
+            | Fmov { fd, .. } | Fneg { fd, .. } | Fcvtsw { fd, .. } | Fli { fd, .. } => vec![fd],
+            Flw { ft, .. } => vec![ft],
+            _ => vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fu_classification() {
+        assert_eq!(
+            Instr::Add { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 }.fu_kind(),
+            FuKind::Alu
+        );
+        assert_eq!(
+            Instr::Mul { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 }.fu_kind(),
+            FuKind::Mdu
+        );
+        assert_eq!(
+            Instr::Lw { rt: Reg::T0, base: Reg::Sp, off: 4 }.fu_kind(),
+            FuKind::Mem
+        );
+        assert_eq!(Instr::Ps { rt: Reg::T0, gr: GlobalReg(1) }.fu_kind(), FuKind::Ps);
+        assert_eq!(Instr::Join.fu_kind(), FuKind::Ctl);
+        assert_eq!(Instr::Chkid { rt: Reg::T0 }.fu_kind(), FuKind::Br);
+    }
+
+    #[test]
+    fn psm_is_read_and_write() {
+        let i = Instr::Psm { rt: Reg::T0, base: Reg::T1, off: 0 };
+        assert!(i.is_mem_read());
+        assert!(i.is_mem_write());
+        assert_eq!(i.uses(), vec![Reg::T0, Reg::T1]);
+        assert_eq!(i.defs(), vec![Reg::T0]);
+    }
+
+    #[test]
+    fn jal_defines_ra() {
+        let i = Instr::Jal { target: Target::label("f") };
+        assert_eq!(i.defs(), vec![Reg::Ra]);
+    }
+
+    #[test]
+    fn target_mut_rewrites() {
+        let mut i = Instr::Bne { rs: Reg::T0, rt: Reg::Zero, target: Target::label("a") };
+        *i.target_mut().unwrap() = Target::Abs(7);
+        assert_eq!(i.target(), Some(&Target::Abs(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unresolved label")]
+    fn unresolved_target_panics() {
+        Target::label("x").abs();
+    }
+}

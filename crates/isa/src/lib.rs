@@ -1,0 +1,58 @@
+//! # xmt-isa — the XMT instruction set architecture
+//!
+//! This crate defines the instruction set of the XMT (Explicit
+//! Multi-Threading) many-core architecture as used by the rest of the
+//! toolchain: the `xmtc` compiler emits it, and the `xmtsim` simulator
+//! executes it.
+//!
+//! The ISA is a MIPS-flavoured 32-bit scalar ISA extended with the XMT
+//! parallel primitives described in the paper *Toolchain for Programming,
+//! Simulating and Studying the XMT Many-Core Architecture* (IPPS 2011):
+//!
+//! * [`Instr::Spawn`] / [`Instr::Join`] — enter/leave a parallel section.
+//!   The instructions between `spawn` and `join` are broadcast to all
+//!   Thread Control Units (TCUs).
+//! * [`Instr::Ps`] — hardware prefix-sum to a global register (the
+//!   constant-overhead coordination primitive; increments restricted to
+//!   0 and 1 as in the hardware).
+//! * [`Instr::Psm`] — prefix-sum to memory: an atomic fetch-and-add on an
+//!   arbitrary memory word with an arbitrary signed increment.
+//! * [`Instr::Chkid`] — validate a virtual-thread id obtained with `ps`;
+//!   blocks the TCU when the id exceeds the spawn bound. When every TCU is
+//!   blocked at a `chkid`, the hardware terminates the parallel section.
+//! * [`Instr::Swnb`] — non-blocking store, and [`Instr::Pref`] — prefetch
+//!   into the TCU prefetch buffer: the latency-tolerating mechanisms the
+//!   compiler exploits.
+//! * [`Instr::Fence`] — wait until all pending memory operations of this
+//!   thread complete; the compiler inserts one before every prefix-sum to
+//!   implement the XMT memory model.
+//!
+//! Besides the instruction model the crate provides:
+//!
+//! * a textual assembler and disassembler ([`asm`]) — the equivalent of the
+//!   paper's SableCC-generated assembly front-end,
+//! * linked, loadable executable images ([`program::Executable`]),
+//! * the *memory map* format ([`memmap`]) used to provide initial values of
+//!   global variables to simulated programs (the only input channel, since
+//!   the simulated machine runs no operating system).
+
+pub mod asm;
+pub mod instr;
+pub mod memmap;
+pub mod program;
+pub mod reg;
+
+pub use instr::{FuKind, Instr, Target};
+pub use memmap::{MemEntry, MemoryMap};
+pub use program::{AsmItem, AsmProgram, Executable, LinkError};
+pub use reg::{FReg, GlobalReg, Reg};
+
+/// Base address of the text (instruction) segment.
+pub const TEXT_BASE: u32 = 0x0040_0000;
+/// Base address of the static data segment (globals from the memory map).
+pub const DATA_BASE: u32 = 0x1000_0000;
+/// Initial master-TCU stack pointer (stack grows downwards).
+pub const STACK_TOP: u32 = 0x7fff_fff0;
+/// Address of the global heap-break word used by the serial `alloc`
+/// intrinsic (dynamic memory allocation is serial-only, as in the paper).
+pub const HEAP_PTR_ADDR: u32 = DATA_BASE - 8;

@@ -1,0 +1,259 @@
+//! Register files of the XMT architecture.
+//!
+//! Every TCU (and the Master TCU) has 32 general-purpose integer registers
+//! following MIPS naming conventions, plus 16 single-precision floating
+//! point registers. A small file of *global* registers is shared by the
+//! whole chip and accessed exclusively through the hardware prefix-sum
+//! unit (`ps`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A general-purpose 32-bit integer register (per-TCU).
+///
+/// `Zero` is hardwired to 0. The calling convention used by the XMTC
+/// compiler mirrors MIPS o32: `A0..A3` for arguments, `V0`/`V1` for return
+/// values, `Sp`/`Fp`/`Ra` for the serial stack discipline (the Master TCU
+/// only — parallel code has no stack in the current XMT release, exactly as
+/// in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Reg {
+    Zero = 0,
+    At = 1,
+    V0 = 2,
+    V1 = 3,
+    A0 = 4,
+    A1 = 5,
+    A2 = 6,
+    A3 = 7,
+    T0 = 8,
+    T1 = 9,
+    T2 = 10,
+    T3 = 11,
+    T4 = 12,
+    T5 = 13,
+    T6 = 14,
+    T7 = 15,
+    S0 = 16,
+    S1 = 17,
+    S2 = 18,
+    S3 = 19,
+    S4 = 20,
+    S5 = 21,
+    S6 = 22,
+    S7 = 23,
+    T8 = 24,
+    T9 = 25,
+    K0 = 26,
+    K1 = 27,
+    Gp = 28,
+    Sp = 29,
+    Fp = 30,
+    Ra = 31,
+}
+
+impl Reg {
+    /// All 32 registers, in encoding order.
+    pub const ALL: [Reg; 32] = [
+        Reg::Zero,
+        Reg::At,
+        Reg::V0,
+        Reg::V1,
+        Reg::A0,
+        Reg::A1,
+        Reg::A2,
+        Reg::A3,
+        Reg::T0,
+        Reg::T1,
+        Reg::T2,
+        Reg::T3,
+        Reg::T4,
+        Reg::T5,
+        Reg::T6,
+        Reg::T7,
+        Reg::S0,
+        Reg::S1,
+        Reg::S2,
+        Reg::S3,
+        Reg::S4,
+        Reg::S5,
+        Reg::S6,
+        Reg::S7,
+        Reg::T8,
+        Reg::T9,
+        Reg::K0,
+        Reg::K1,
+        Reg::Gp,
+        Reg::Sp,
+        Reg::Fp,
+        Reg::Ra,
+    ];
+
+    /// Registers available to the register allocator for scalar values.
+    ///
+    /// `At` is reserved as the assembler temporary, `K0`/`K1` for the
+    /// runtime, and the dedicated ABI registers are excluded.
+    pub const ALLOCATABLE: [Reg; 19] = [
+        Reg::T0,
+        Reg::T1,
+        Reg::T2,
+        Reg::T3,
+        Reg::T4,
+        Reg::T5,
+        Reg::T6,
+        Reg::T7,
+        Reg::T8,
+        Reg::T9,
+        Reg::S0,
+        Reg::S1,
+        Reg::S2,
+        Reg::S3,
+        Reg::S4,
+        Reg::S5,
+        Reg::S6,
+        Reg::S7,
+        Reg::V1,
+    ];
+
+    /// The register's hardware number (0..=31).
+    #[inline]
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Register from its hardware number, if valid.
+    pub fn from_number(n: u8) -> Option<Reg> {
+        Reg::ALL.get(n as usize).copied()
+    }
+
+    /// Canonical assembly name (without the `$` sigil).
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5",
+            "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1",
+            "gp", "sp", "fp", "ra",
+        ];
+        NAMES[self as usize]
+    }
+
+    /// Parse a register name (with or without a leading `$`).
+    pub fn parse(s: &str) -> Option<Reg> {
+        let s = s.strip_prefix('$').unwrap_or(s);
+        if let Ok(n) = s.parse::<u8>() {
+            return Reg::from_number(n);
+        }
+        Reg::ALL.iter().copied().find(|r| r.name() == s)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.name())
+    }
+}
+
+/// A single-precision floating point register (per-TCU).
+///
+/// TCUs share the cluster FPU but each has its own small FP register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FReg(pub u8);
+
+impl FReg {
+    /// Number of FP registers per TCU.
+    pub const COUNT: u8 = 16;
+
+    /// FP registers available to the register allocator (`f0` is reserved
+    /// as the FP assembler temporary / return slot).
+    pub fn allocatable() -> impl Iterator<Item = FReg> {
+        (1..Self::COUNT).map(FReg)
+    }
+
+    /// Parse an FP register name such as `$f3` or `f3`.
+    pub fn parse(s: &str) -> Option<FReg> {
+        let s = s.strip_prefix('$').unwrap_or(s);
+        let n: u8 = s.strip_prefix('f')?.parse().ok()?;
+        (n < Self::COUNT).then_some(FReg(n))
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$f{}", self.0)
+    }
+}
+
+/// A chip-wide global register, operated on solely by the prefix-sum unit.
+///
+/// As in the hardware, `gr0` is owned by the spawn/join unit for
+/// virtual-thread allocation; user programs coordinate over `gr1..gr7`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GlobalReg(pub u8);
+
+impl GlobalReg {
+    /// Number of global prefix-sum registers.
+    pub const COUNT: u8 = 8;
+    /// The global register reserved for virtual-thread id allocation.
+    pub const THREAD_ALLOC: GlobalReg = GlobalReg(0);
+
+    /// Parse a global register name such as `gr3`.
+    pub fn parse(s: &str) -> Option<GlobalReg> {
+        let s = s.strip_prefix('$').unwrap_or(s);
+        let n: u8 = s.strip_prefix("gr")?.parse().ok()?;
+        (n < Self::COUNT).then_some(GlobalReg(n))
+    }
+}
+
+impl fmt::Display for GlobalReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gr{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip_by_name_and_number() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::parse(r.name()), Some(r));
+            assert_eq!(Reg::parse(&format!("${}", r.name())), Some(r));
+            assert_eq!(Reg::from_number(r.number()), Some(r));
+        }
+    }
+
+    #[test]
+    fn reg_parse_numeric() {
+        assert_eq!(Reg::parse("$0"), Some(Reg::Zero));
+        assert_eq!(Reg::parse("31"), Some(Reg::Ra));
+        assert_eq!(Reg::parse("$32"), None);
+        assert_eq!(Reg::parse("bogus"), None);
+    }
+
+    #[test]
+    fn allocatable_excludes_reserved() {
+        assert!(!Reg::ALLOCATABLE.contains(&Reg::Zero));
+        assert!(!Reg::ALLOCATABLE.contains(&Reg::At));
+        assert!(!Reg::ALLOCATABLE.contains(&Reg::Sp));
+        assert!(!Reg::ALLOCATABLE.contains(&Reg::Ra));
+    }
+
+    #[test]
+    fn freg_roundtrip() {
+        for n in 0..FReg::COUNT {
+            let r = FReg(n);
+            assert_eq!(FReg::parse(&r.to_string()), Some(r));
+        }
+        assert_eq!(FReg::parse("$f16"), None);
+    }
+
+    #[test]
+    fn greg_roundtrip() {
+        for n in 0..GlobalReg::COUNT {
+            let r = GlobalReg(n);
+            assert_eq!(GlobalReg::parse(&r.to_string()), Some(r));
+        }
+        assert_eq!(GlobalReg::parse("gr8"), None);
+    }
+}

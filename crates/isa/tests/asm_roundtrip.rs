@@ -1,0 +1,108 @@
+//! Property test: every instruction the toolchain can construct survives a
+//! print → parse round trip, and whole programs survive print → parse →
+//! print fixpoints. This pins the assembler against the instruction model.
+
+use proptest::prelude::*;
+use xmt_isa::asm;
+use xmt_isa::instr::{FCmpOp, Instr, Target};
+use xmt_isa::program::{AsmItem, AsmProgram};
+use xmt_isa::reg::{FReg, GlobalReg, Reg};
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|n| Reg::from_number(n).unwrap())
+}
+
+fn any_freg() -> impl Strategy<Value = FReg> {
+    (0u8..FReg::COUNT).prop_map(FReg)
+}
+
+fn any_greg() -> impl Strategy<Value = GlobalReg> {
+    (0u8..GlobalReg::COUNT).prop_map(GlobalReg)
+}
+
+fn any_target() -> impl Strategy<Value = Target> {
+    prop_oneof![
+        "[a-z_][a-z0-9_.]{0,12}".prop_map(Target::Label),
+        (0u32..10_000).prop_map(Target::Abs),
+    ]
+}
+
+fn any_off() -> impl Strategy<Value = i32> {
+    -65536i32..65536
+}
+
+fn any_instr() -> impl Strategy<Value = Instr> {
+    let r = any_reg;
+    prop_oneof![
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Add { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Sub { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Mul { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Div { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Slt { rd, rs, rt }),
+        (r(), r(), any::<i32>()).prop_map(|(rt, rs, imm)| Instr::Addi { rt, rs, imm }),
+        (r(), r(), any::<u32>()).prop_map(|(rt, rs, imm)| Instr::Ori { rt, rs, imm }),
+        (r(), any::<i32>()).prop_map(|(rt, imm)| Instr::Li { rt, imm }),
+        (r(), r(), 0u8..32).prop_map(|(rd, rt, sh)| Instr::Sll { rd, rt, sh }),
+        (r(), r(), any_off()).prop_map(|(rt, base, off)| Instr::Lw { rt, base, off }),
+        (r(), r(), any_off()).prop_map(|(rt, base, off)| Instr::Sw { rt, base, off }),
+        (r(), r(), any_off()).prop_map(|(rt, base, off)| Instr::Swnb { rt, base, off }),
+        (r(), any_off()).prop_map(|(base, off)| Instr::Pref { base, off }),
+        (r(), r(), any_off()).prop_map(|(rt, base, off)| Instr::Psm { rt, base, off }),
+        (r(), any_greg()).prop_map(|(rt, gr)| Instr::Ps { rt, gr }),
+        (r(), r(), any_target()).prop_map(|(rs, rt, target)| Instr::Beq { rs, rt, target }),
+        (r(), any_target()).prop_map(|(rs, target)| Instr::Bgtz { rs, target }),
+        any_target().prop_map(|target| Instr::J { target }),
+        any_target().prop_map(|target| Instr::Jal { target }),
+        r().prop_map(|rs| Instr::Jr { rs }),
+        (r(), r()).prop_map(|(lo, hi)| Instr::Spawn { lo, hi }),
+        Just(Instr::Join),
+        r().prop_map(|rt| Instr::Chkid { rt }),
+        Just(Instr::Fence),
+        (any_freg(), any_freg(), any_freg())
+            .prop_map(|(fd, fs, ft)| Instr::Fadd { fd, fs, ft }),
+        (any_freg(), any_freg(), any_freg())
+            .prop_map(|(fd, fs, ft)| Instr::Fmul { fd, fs, ft }),
+        (any_freg(), r()).prop_map(|(fd, rs)| Instr::Fcvtsw { fd, rs }),
+        (r(), any_freg(), any_freg()).prop_map(|(rd, fs, ft)| Instr::Fcmp {
+            op: FCmpOp::Lt,
+            rd,
+            fs,
+            ft
+        }),
+        (any_freg(), -1.0e6f32..1.0e6).prop_map(|(fd, imm)| Instr::Fli { fd, imm }),
+        (any_freg(), r(), any_off()).prop_map(|(ft, base, off)| Instr::Flw { ft, base, off }),
+        r().prop_map(|rs| Instr::Print { rs }),
+        Just(Instr::Halt),
+        Just(Instr::Nop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn single_instruction_roundtrip(ins in any_instr()) {
+        let mut p = AsmProgram::new();
+        p.push(ins.clone());
+        let text = asm::to_text(&p);
+        let back = asm::parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        prop_assert_eq!(back.items, vec![AsmItem::Instr(ins)]);
+    }
+
+    #[test]
+    fn program_roundtrip_fixpoint(instrs in prop::collection::vec(any_instr(), 1..60)) {
+        let mut p = AsmProgram::new();
+        p.label("main");
+        for (k, i) in instrs.into_iter().enumerate() {
+            if k % 7 == 3 {
+                p.label(format!("l{k}"));
+            }
+            p.push(i);
+        }
+        let t1 = asm::to_text(&p);
+        let p2 = asm::parse(&t1).unwrap();
+        let t2 = asm::to_text(&p2);
+        prop_assert_eq!(&t1, &t2);
+        prop_assert_eq!(p.instr_count(), p2.instr_count());
+    }
+}

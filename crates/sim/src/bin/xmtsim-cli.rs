@@ -1,0 +1,165 @@
+//! `xmtsim-cli` — run an XMT assembly program (`.xs`) with a memory map
+//! (`.xbo`), the file-based workflow of paper Fig. 3: "a simulated
+//! program consists of assembly and memory map files that are typically
+//! provided from the XMTC compiler" (produce them with
+//! `xmtcc --emit-asm` / `--emit-memmap`).
+//!
+//! ```text
+//! xmtsim-cli PROGRAM.xs [--memmap FILE.xbo] [--config fpga64|chip1024|tiny]
+//!            [--functional] [--stats] [--dump GLOBAL:COUNT]
+//!            [--cycles-limit N]
+//! ```
+
+use std::process::ExitCode;
+use xmtsim::{CycleSim, FunctionalSim, XmtConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: xmtsim-cli PROGRAM.xs [--memmap FILE.xbo] \
+         [--config fpga64|chip1024|tiny] [--functional] [--stats] \
+         [--dump GLOBAL:COUNT] [--cycles-limit N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut file = String::new();
+    let mut memmap_file: Option<String> = None;
+    let mut config = XmtConfig::fpga64();
+    let mut functional = false;
+    let mut stats = false;
+    let mut dumps: Vec<(String, usize)> = Vec::new();
+    let mut limit: Option<u64> = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--memmap" => memmap_file = Some(it.next().unwrap_or_else(|| usage())),
+            "--functional" => functional = true,
+            "--stats" => stats = true,
+            "--config" => {
+                config = match it.next().as_deref() {
+                    Some("fpga64") => XmtConfig::fpga64(),
+                    Some("chip1024") => XmtConfig::chip1024(),
+                    Some("tiny") => XmtConfig::tiny(),
+                    _ => usage(),
+                }
+            }
+            "--cycles-limit" => {
+                limit = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--dump" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                let (name, count) = spec.split_once(':').unwrap_or_else(|| usage());
+                dumps.push((name.to_string(), count.parse().unwrap_or_else(|_| usage())));
+            }
+            t if t.starts_with('-') => usage(),
+            f => {
+                if !file.is_empty() {
+                    usage();
+                }
+                file = f.to_string();
+            }
+        }
+    }
+    if file.is_empty() {
+        usage();
+    }
+
+    let asm_text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xmtsim-cli: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let prog = match xmt_isa::asm::parse(&asm_text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("xmtsim-cli: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let memmap = match &memmap_file {
+        Some(mf) => {
+            let text = match std::fs::read_to_string(mf) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("xmtsim-cli: cannot read {mf}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match xmt_isa::MemoryMap::parse(&text) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("xmtsim-cli: {mf}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => xmt_isa::MemoryMap::new(),
+    };
+    let exe = match prog.link(memmap) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("xmtsim-cli: link: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if functional {
+        let mut sim = FunctionalSim::new(exe);
+        if let Some(l) = limit {
+            sim.set_instr_limit(l);
+        }
+        match sim.run() {
+            Ok(instrs) => {
+                print!("{}", sim.machine.output.to_text());
+                eprintln!("[functional: {instrs} instructions]");
+                dump_globals(&dumps, &sim.machine, sim.executable());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("xmtsim-cli: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        let mut sim = CycleSim::new(exe, config.clone());
+        if let Some(l) = limit {
+            sim.set_cycle_limit(l);
+        }
+        match sim.run() {
+            Ok(summary) => {
+                print!("{}", sim.machine.output.to_text());
+                eprintln!(
+                    "[{} cycles, {} instructions, {} TCUs]",
+                    summary.cycles,
+                    summary.instructions,
+                    config.n_tcus()
+                );
+                if stats {
+                    eprint!("{}", sim.stats.report());
+                }
+                dump_globals(&dumps, &sim.machine, sim.executable());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("xmtsim-cli: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+fn dump_globals(dumps: &[(String, usize)], machine: &xmtsim::Machine, exe: &xmt_isa::Executable) {
+    for (name, count) in dumps {
+        match machine.read_symbol(exe, name, *count) {
+            Some(ws) => {
+                let ints: Vec<i32> = ws.iter().map(|&w| w as i32).collect();
+                println!("{name} = {ints:?}");
+            }
+            None => eprintln!("xmtsim-cli: no global `{name}`"),
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Simulation checkpoints (paper §III-E).
+//!
+//! The state of the simulation can be saved at a point given ahead of
+//! time and resumed later — which, among other uses, facilitates
+//! dynamically load-balancing a batch of long simulations across
+//! machines. Checkpoints are taken at *quiescent* points: the master is
+//! between instructions, no parallel section is open and no memory
+//! packages are in flight, so the (non-serializable) event list is empty
+//! by construction and the whole remaining state is plain data.
+
+use crate::cycle::cachesim::CacheTags;
+use crate::cycle::{CycleSim, Outcome, RunSummary, SimError, TcuState};
+use crate::engine::Time;
+use crate::machine::{Machine, ThreadCtx};
+use crate::stats::Stats;
+use serde::{Deserialize, Serialize};
+
+/// A serializable snapshot of a paused simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Simulated time of the snapshot (ps).
+    pub time: Time,
+    pub machine: Machine,
+    pub master: ThreadCtx,
+    pub tcus: Vec<TcuState>,
+    pub stats: Stats,
+    pub period_ps: [u64; 4],
+    pub cycles_base: u64,
+    pub period_changed_at: Time,
+    pub vc_free: Vec<Time>,
+    pub module_free: Vec<Time>,
+    pub dram_free: Vec<Time>,
+    pub mdu_free: Vec<Time>,
+    pub fpu_free: Vec<Time>,
+    pub modules: Vec<CacheTags>,
+    pub ro_caches: Vec<CacheTags>,
+    pub master_cache: CacheTags,
+}
+
+impl Checkpoint {
+    /// Serialize to JSON (human-inspectable, as the toolchain favours).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serialization cannot fail")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// What `run_to_checkpoint` produced.
+#[derive(Debug)]
+pub enum CheckpointOutcome {
+    /// The program halted before the checkpoint cycle.
+    Done(RunSummary),
+    /// Paused at a quiescent point at-or-after the requested cycle.
+    Checkpoint(Box<Checkpoint>),
+}
+
+impl CycleSim {
+    /// Run until the first quiescent master-step boundary at or after
+    /// `cycle`, and snapshot there; or to completion if the program halts
+    /// first.
+    pub fn run_to_checkpoint(&mut self, cycle: u64) -> Result<CheckpointOutcome, SimError> {
+        self.set_checkpoint_cycle(cycle);
+        match self.run_inner()? {
+            Outcome::Done(s) => Ok(CheckpointOutcome::Done(s)),
+            Outcome::Checkpoint(time) => {
+                let (machine, master, tcus, stats, period_ps, cyc, tl, caches, _now) =
+                    self.checkpoint_parts();
+                Ok(CheckpointOutcome::Checkpoint(Box::new(Checkpoint {
+                    time,
+                    machine: machine.clone(),
+                    master: master.clone(),
+                    tcus: tcus.clone(),
+                    stats: stats.clone(),
+                    period_ps,
+                    cycles_base: cyc.0,
+                    period_changed_at: cyc.1,
+                    vc_free: tl.0.to_vec(),
+                    module_free: tl.1.to_vec(),
+                    dram_free: tl.2.to_vec(),
+                    mdu_free: tl.3.to_vec(),
+                    fpu_free: tl.4.to_vec(),
+                    modules: caches.0.to_vec(),
+                    ro_caches: caches.1.to_vec(),
+                    master_cache: caches.2.clone(),
+                })))
+            }
+        }
+    }
+
+    /// Rebuild a simulator from a checkpoint (same executable and
+    /// configuration as the original run). Plug-ins and tracers must be
+    /// re-attached by the caller.
+    pub fn resume(
+        exe: xmt_isa::Executable,
+        cfg: crate::config::XmtConfig,
+        ckpt: Checkpoint,
+    ) -> CycleSim {
+        let mut sim = CycleSim::new(exe, cfg);
+        let time = ckpt.time;
+        sim.restore_parts(
+            ckpt.machine,
+            ckpt.master,
+            ckpt.tcus,
+            ckpt.stats,
+            ckpt.period_ps,
+            (ckpt.cycles_base, ckpt.period_changed_at),
+            (
+                ckpt.vc_free,
+                ckpt.module_free,
+                ckpt.dram_free,
+                ckpt.mdu_free,
+                ckpt.fpu_free,
+            ),
+            (ckpt.modules, ckpt.ro_caches, ckpt.master_cache),
+            time,
+        );
+        sim
+    }
+}

@@ -1,0 +1,360 @@
+//! Simulator configuration (paper §III).
+//!
+//! XMTSim is highly configurable: number of TCUs and clusters, cache
+//! sizes, DRAM bandwidth and the *relative clock frequencies of
+//! components* are all parameters. Two built-in configurations mirror the
+//! paper's: the 64-TCU Paraleap FPGA prototype used for verification, and
+//! the envisioned 1024-TCU XMT chip used in the GPU comparisons.
+
+use serde::{Deserialize, Serialize};
+
+/// Replacement policy of the TCU prefetch buffers (the design-space knob
+/// explored in the paper's reference \[8\]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrefetchPolicy {
+    /// Evict the oldest-inserted entry.
+    Fifo,
+    /// Evict the least-recently-used entry.
+    Lru,
+}
+
+/// Timing discipline of the interconnection network switches
+/// (paper §III-F: the asynchronous-interconnect study with Columbia,
+/// following ref \[39\] — a GALS mesh-of-trees).
+///
+/// Discrete-*event* simulation makes the asynchronous variant possible at
+/// all: switch delays are continuous picosecond values, not multiples of
+/// a clock period, which a discrete-time simulator cannot represent
+/// (paper §III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IcnTiming {
+    /// Clocked switches: every hop takes one ICN-domain cycle.
+    Synchronous,
+    /// Self-timed switches: each hop completes after `hop_ps` plus a
+    /// deterministic data-dependent component of up to `jitter_ps`
+    /// (handshake completion varies with the data pattern).
+    Asynchronous { hop_ps: u64, jitter_ps: u64 },
+}
+
+/// The four independent clock domains whose frequencies an activity
+/// plug-in may retune at runtime (paper §III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum ClockDomain {
+    /// TCU clusters (and the Master TCU).
+    Cluster = 0,
+    /// Interconnection network.
+    Icn = 1,
+    /// Shared cache modules.
+    Cache = 2,
+    /// DRAM controllers.
+    Dram = 3,
+}
+
+impl ClockDomain {
+    /// All domains in index order.
+    pub const ALL: [ClockDomain; 4] =
+        [ClockDomain::Cluster, ClockDomain::Icn, ClockDomain::Cache, ClockDomain::Dram];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClockDomain::Cluster => "cluster",
+            ClockDomain::Icn => "icn",
+            ClockDomain::Cache => "cache",
+            ClockDomain::Dram => "dram",
+        }
+    }
+}
+
+/// Full parameterization of the simulated XMT chip.
+///
+/// All latencies are expressed in cycles of the owning component's clock
+/// domain; periods convert them to simulated picoseconds, so changing a
+/// domain frequency at runtime rescales exactly the work still to come.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct XmtConfig {
+    // ---- topology ----
+    /// Number of TCU clusters.
+    pub clusters: u32,
+    /// TCUs per cluster.
+    pub tcus_per_cluster: u32,
+    /// Number of mutually-exclusive shared cache modules.
+    pub cache_modules: u32,
+    /// Number of off-chip DRAM channels.
+    pub dram_channels: u32,
+
+    // ---- clock domains (periods in picoseconds) ----
+    /// Period of each clock domain, indexed by [`ClockDomain`].
+    pub period_ps: [u64; 4],
+
+    // ---- shared L1 cache modules ----
+    /// Capacity of one cache module in KiB.
+    pub cache_module_kb: u32,
+    /// Associativity of the cache modules.
+    pub cache_assoc: u32,
+    /// Cache line size in bytes (applies to every cache in the system).
+    pub line_bytes: u32,
+    /// Cache-module hit/tag-check latency (cache cycles).
+    pub cache_hit_latency: u32,
+
+    // ---- DRAM ----
+    /// DRAM access latency (DRAM cycles).
+    pub dram_latency: u32,
+    /// Channel occupancy per line transfer (DRAM cycles) — the inverse of
+    /// per-channel bandwidth.
+    pub dram_service: u32,
+
+    // ---- interconnection network ----
+    /// One-way ICN traversal latency (ICN cycles); 0 derives
+    /// `2·log2(clusters) + 2` from the mesh-of-trees depth.
+    pub icn_latency: u32,
+    /// Switch timing discipline (synchronous clock vs self-timed).
+    pub icn_timing: IcnTiming,
+
+    // ---- per-cluster shared units ----
+    /// Multiply latency on the cluster MDU (cluster cycles, pipelined).
+    pub mul_latency: u32,
+    /// Divide latency on the cluster MDU (cluster cycles, unpipelined).
+    pub div_latency: u32,
+    /// FP add/sub latency (cluster cycles, pipelined).
+    pub fpu_add_latency: u32,
+    /// FP multiply latency (cluster cycles, pipelined).
+    pub fpu_mul_latency: u32,
+    /// FP divide latency (cluster cycles, unpipelined).
+    pub fpu_div_latency: u32,
+    /// FP move/convert/compare latency (cluster cycles).
+    pub fpu_misc_latency: u32,
+
+    // ---- latency-tolerating structures ----
+    /// Entries in each TCU prefetch buffer.
+    pub prefetch_entries: u32,
+    /// Prefetch buffer replacement policy.
+    pub prefetch_policy: PrefetchPolicy,
+    /// Capacity of the per-cluster read-only cache in KiB.
+    pub ro_cache_kb: u32,
+    /// Read-only cache hit latency (cluster cycles).
+    pub ro_hit_latency: u32,
+
+    // ---- master TCU ----
+    /// Master cache capacity in KiB.
+    pub master_cache_kb: u32,
+    /// Master cache associativity.
+    pub master_cache_assoc: u32,
+    /// Master cache hit latency (cluster cycles).
+    pub master_hit_latency: u32,
+
+    // ---- prefix-sum and spawn hardware ----
+    /// Latency of a `ps` through the global prefix-sum unit (cluster
+    /// cycles). Throughput is unbounded: the hardware combines all
+    /// same-cycle requests in a parallel-prefix tree.
+    pub ps_latency: u32,
+    /// Fixed overhead of entering/leaving a parallel section (cluster
+    /// cycles), covering spawn setup and join detection.
+    pub spawn_overhead: u32,
+    /// Spawn-block instructions broadcast per cluster cycle.
+    pub broadcast_ipc: u32,
+}
+
+impl XmtConfig {
+    /// Total number of TCUs.
+    pub fn n_tcus(&self) -> u32 {
+        self.clusters * self.tcus_per_cluster
+    }
+
+    /// Effective one-way ICN latency in ICN cycles.
+    pub fn icn_oneway(&self) -> u32 {
+        if self.icn_latency != 0 {
+            self.icn_latency
+        } else {
+            2 * (32 - u32::leading_zeros(self.clusters.max(2) - 1)) + 2
+        }
+    }
+
+    /// The cluster index that owns TCU `t`.
+    pub fn cluster_of(&self, tcu: u32) -> u32 {
+        tcu / self.tcus_per_cluster
+    }
+
+    /// Map a byte address to its cache module.
+    ///
+    /// The load-store unit hashes addresses to spread consecutive lines
+    /// over the modules and avoid hotspots (paper §II). A multiplicative
+    /// hash of the line address keeps the mapping deterministic.
+    pub fn module_of(&self, addr: u32) -> u32 {
+        let line = addr / self.line_bytes;
+        let h = line.wrapping_mul(0x9e37_79b9);
+        // Take high bits: the low bits of a multiplicative hash are weak.
+        (h >> 16) % self.cache_modules
+    }
+
+    /// Sanity-check structural invariants; call after hand-editing.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clusters == 0 || self.tcus_per_cluster == 0 {
+            return Err("need at least one cluster and one TCU".into());
+        }
+        if !self.clusters.is_power_of_two() {
+            return Err("cluster count must be a power of two (mesh-of-trees)".into());
+        }
+        if self.cache_modules == 0 || self.dram_channels == 0 {
+            return Err("need at least one cache module and DRAM channel".into());
+        }
+        if !self.line_bytes.is_power_of_two() || self.line_bytes < 4 {
+            return Err("line size must be a power of two ≥ 4".into());
+        }
+        if self.period_ps.contains(&0) {
+            return Err("clock periods must be nonzero".into());
+        }
+        if self.cache_assoc == 0 || self.master_cache_assoc == 0 {
+            return Err("associativity must be nonzero".into());
+        }
+        if self.broadcast_ipc == 0 {
+            return Err("broadcast ipc must be nonzero".into());
+        }
+        Ok(())
+    }
+
+    /// The 64-TCU Paraleap FPGA prototype (8 clusters × 8 TCUs) — the
+    /// configuration XMTSim was verified against.
+    pub fn fpga64() -> Self {
+        XmtConfig {
+            clusters: 8,
+            tcus_per_cluster: 8,
+            cache_modules: 8,
+            dram_channels: 1,
+            period_ps: [1000; 4], // uniform 1 GHz-equivalent
+            cache_module_kb: 32,
+            cache_assoc: 2,
+            line_bytes: 32,
+            cache_hit_latency: 2,
+            dram_latency: 40,
+            dram_service: 8,
+            icn_latency: 0, // derived: 2·log2(8)+2 = 8
+            icn_timing: IcnTiming::Synchronous,
+            mul_latency: 3,
+            div_latency: 16,
+            fpu_add_latency: 4,
+            fpu_mul_latency: 4,
+            fpu_div_latency: 16,
+            fpu_misc_latency: 2,
+            prefetch_entries: 4,
+            prefetch_policy: PrefetchPolicy::Fifo,
+            ro_cache_kb: 4,
+            ro_hit_latency: 2,
+            master_cache_kb: 32,
+            master_cache_assoc: 4,
+            master_hit_latency: 2,
+            ps_latency: 6,
+            spawn_overhead: 12,
+            broadcast_ipc: 4,
+        }
+    }
+
+    /// The envisioned 1024-TCU XMT chip (64 clusters × 16 TCUs) used in
+    /// the paper's GPU comparisons and in Table I.
+    pub fn chip1024() -> Self {
+        XmtConfig {
+            clusters: 64,
+            tcus_per_cluster: 16,
+            cache_modules: 64,
+            dram_channels: 8,
+            period_ps: [1000; 4],
+            cache_module_kb: 64,
+            cache_assoc: 4,
+            line_bytes: 32,
+            cache_hit_latency: 3,
+            dram_latency: 60,
+            dram_service: 8,
+            icn_latency: 0, // derived: 2·log2(64)+2 = 14
+            icn_timing: IcnTiming::Synchronous,
+            mul_latency: 3,
+            div_latency: 16,
+            fpu_add_latency: 4,
+            fpu_mul_latency: 4,
+            fpu_div_latency: 16,
+            fpu_misc_latency: 2,
+            prefetch_entries: 8,
+            prefetch_policy: PrefetchPolicy::Fifo,
+            ro_cache_kb: 8,
+            ro_hit_latency: 2,
+            master_cache_kb: 64,
+            master_cache_assoc: 4,
+            master_hit_latency: 2,
+            ps_latency: 8,
+            spawn_overhead: 16,
+            broadcast_ipc: 4,
+        }
+    }
+
+    /// A deliberately tiny machine (2 clusters × 2 TCUs) for fast unit
+    /// tests.
+    pub fn tiny() -> Self {
+        XmtConfig {
+            clusters: 2,
+            tcus_per_cluster: 2,
+            cache_modules: 2,
+            dram_channels: 1,
+            cache_module_kb: 1,
+            master_cache_kb: 1,
+            ro_cache_kb: 1,
+            ..Self::fpga64()
+        }
+    }
+}
+
+impl Default for XmtConfig {
+    fn default() -> Self {
+        Self::fpga64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        XmtConfig::fpga64().validate().unwrap();
+        XmtConfig::chip1024().validate().unwrap();
+        XmtConfig::tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn preset_shapes_match_paper() {
+        assert_eq!(XmtConfig::fpga64().n_tcus(), 64);
+        assert_eq!(XmtConfig::chip1024().n_tcus(), 1024);
+        assert_eq!(XmtConfig::fpga64().icn_oneway(), 8);
+        assert_eq!(XmtConfig::chip1024().icn_oneway(), 14);
+    }
+
+    #[test]
+    fn module_hash_spreads_consecutive_lines() {
+        let c = XmtConfig::chip1024();
+        // Consecutive lines of a big array should not all land on one
+        // module (the hotspot the hashing avoids).
+        let mut counts = vec![0u32; c.cache_modules as usize];
+        for k in 0..4096u32 {
+            counts[c.module_of(0x1000_0000 + k * c.line_bytes) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < 3 * (min + 1), "unbalanced: min={min} max={max}");
+        // Same address always maps to the same module (determinism).
+        assert_eq!(c.module_of(0x1234_5678 & !3), c.module_of(0x1234_5678 & !3));
+        // Addresses within one line map together.
+        assert_eq!(c.module_of(0x1000_0000), c.module_of(0x1000_001c));
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = XmtConfig::tiny();
+        c.clusters = 3;
+        assert!(c.validate().is_err());
+        let mut c = XmtConfig::tiny();
+        c.line_bytes = 24;
+        assert!(c.validate().is_err());
+        let mut c = XmtConfig::tiny();
+        c.period_ps[2] = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,1509 @@
+//! The cycle-accurate model of XMTSim (paper §III, Fig. 3).
+//!
+//! Execution-driven simulation: instructions are produced by the
+//! functional model ([`crate::exec`]) during the run, wrapped in request
+//! "packages", and routed through the cycle-accurate components — the TCU
+//! pipelines, the cluster-shared MDU/FPU, the LS unit with address
+//! hashing, the mesh-of-trees interconnection network, the shared cache
+//! modules and the DRAM channels. Each component is a state machine whose
+//! state summarizes the packages that already passed through it, and whose
+//! output is a delay (transaction-level modeling, as in the paper).
+//!
+//! Contended components are modeled with *resource timelines*: a component
+//! remembers when it is next free; a package arriving earlier queues. The
+//! components are driven from a single typed event loop over the
+//! discrete-event [`Scheduler`] — operationally the paper's *macro-actor*
+//! organization (one actor per component class) which the paper found
+//! necessary for speed once event rates grow (§III-D).
+//!
+//! Two modeling choices make the XMT memory model (paper §IV-A)
+//! *observably* relaxed, as on the hardware:
+//!
+//! * the ICN injection side keeps one virtual channel per
+//!   (cluster, destination module); a package to a congested module does
+//!   not delay later packages to other modules, so a non-blocking store
+//!   can still be in flight when a subsequent prefix-sum completes;
+//! * cache modules serve packages in *arrival* order and apply them to
+//!   memory at service time, so cross-thread visibility follows the
+//!   interconnect, not program order. `fence` (inserted by the compiler
+//!   before prefix-sums) restores the §IV-A partial order.
+
+pub mod cachesim;
+pub mod prefetch;
+
+use crate::config::{ClockDomain, IcnTiming, XmtConfig};
+use crate::engine::{Scheduler, Time, PRI_DEFAULT, PRI_NEGOTIATE, PRI_SAMPLE, PRI_TRANSFER};
+use crate::exec::{self, CostClass, Issued, MemKind, MemRequest, Mode};
+use crate::machine::{Machine, ThreadCtx, Trap};
+use crate::stats::{stats_delta, ActivityPlugin, ActivitySample, FilterPlugin, RuntimeCtl, Stats};
+use crate::trace::{TraceEvent, Tracer};
+use cachesim::CacheTags;
+use prefetch::PrefetchBuffer;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use xmt_isa::{Executable, Reg};
+
+/// Errors terminating a cycle-accurate run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The simulated program trapped.
+    Trap(Trap),
+    /// The event list drained before `halt`.
+    Deadlock { time: Time },
+    /// The configured cycle limit was exceeded.
+    CycleLimit { cycles: u64 },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Trap(t) => write!(f, "trap: {t}"),
+            SimError::Deadlock { time } => write!(f, "deadlock at t={time}ps"),
+            SimError::CycleLimit { cycles } => write!(f, "cycle limit exceeded at {cycles}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<Trap> for SimError {
+    fn from(t: Trap) -> Self {
+        SimError::Trap(t)
+    }
+}
+
+/// Final figures of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Elapsed cluster-domain clock cycles (DVFS-aware).
+    pub cycles: u64,
+    /// Elapsed simulated time in picoseconds.
+    pub time_ps: Time,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Discrete events processed by the scheduler.
+    pub events: u64,
+}
+
+/// Host-time profile of the simulator itself, per component class —
+/// enables the paper's observation that up to 60% of simulation time goes
+/// to the interconnection network / memory system model (§III-D).
+#[derive(Debug, Clone, Default)]
+pub struct HostProfile {
+    /// Seconds spent handling TCU/master compute events.
+    pub compute_s: f64,
+    /// Seconds spent handling ICN + cache + DRAM (memory system) events.
+    pub memory_s: f64,
+    /// Seconds spent in everything else (spawn control, sampling).
+    pub other_s: f64,
+}
+
+impl HostProfile {
+    /// Fraction of host time spent in the memory-system (ICN) model.
+    pub fn memory_fraction(&self) -> f64 {
+        let tot = self.compute_s + self.memory_s + self.other_s;
+        if tot == 0.0 {
+            0.0
+        } else {
+            self.memory_s / tot
+        }
+    }
+}
+
+/// Per-TCU simulation state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TcuState {
+    /// Architectural context.
+    pub ctx: ThreadCtx,
+    /// Outstanding non-blocking memory operations.
+    pending: u32,
+    /// Stalled at a `fence`, waiting for `pending == 0`.
+    fence_wait: bool,
+    /// When the fence stall began (for statistics).
+    fence_from: Time,
+    /// Parked at a failed `chkid`.
+    parked: bool,
+    /// The TCU prefetch buffer.
+    pbuf: PrefetchBuffer,
+}
+
+/// State of an open parallel section.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct ParState {
+    hi: i32,
+    join_idx: u32,
+    parked: u32,
+}
+
+/// Typed events of the cycle-accurate model.
+#[derive(Debug, Clone)]
+enum Ev {
+    /// The master TCU issues its next instruction.
+    MasterStep,
+    /// TCU `t` issues its next instruction.
+    TcuStep(u32),
+    /// A memory package advances one pipeline stage (switch) of the
+    /// mesh-of-trees interconnect. `inbound` packages head for a cache
+    /// module; outbound packages carry a response `value` back to their
+    /// TCU. Walking packages switch-by-switch is where a cycle-accurate
+    /// many-core simulator spends its time (paper §III-D).
+    Hop { tcu: u32, req: MemRequest, remaining: u32, value: u32, inbound: bool, issued_at: Time },
+    /// A memory request is serviced at its cache module (its functional
+    /// effect happens here).
+    Service { tcu: u32, req: MemRequest, done: Time, issued_at: Time },
+    /// A memory response arrives back at the issuing TCU.
+    Complete { tcu: u32, req: MemRequest, value: u32, issued_at: Time },
+    /// The spawn broadcast finished; activate the TCUs.
+    BroadcastDone { body_pc: u32 },
+    /// Activity-plug-in sampling tick.
+    Sample,
+}
+
+/// Sentinel "TCU id" for packages issued by the Master TCU through its
+/// own ICN port (paper Fig. 1: Master ICN Send / Master ICN Return).
+const MASTER_ID: u32 = u32::MAX;
+
+/// The cycle-accurate simulator.
+pub struct CycleSim {
+    exe: Executable,
+    cfg: XmtConfig,
+    /// Functional-model state (shared memory, global registers, output).
+    pub machine: Machine,
+    /// The Master TCU context.
+    pub master: ThreadCtx,
+    tcus: Vec<TcuState>,
+    sched: Scheduler<Ev>,
+
+    // Clock domains (mutable at runtime through activity plug-ins).
+    period_ps: [u64; 4],
+    cycles_base: u64,
+    period_changed_at: Time,
+
+    // Resource timelines (absolute ps at which the resource is next
+    // free). The ICN injection side keeps one virtual channel per
+    // (cluster, destination module).
+    vc_free: Vec<Time>,
+    module_free: Vec<Time>,
+    dram_free: Vec<Time>,
+    mdu_free: Vec<Time>,
+    fpu_free: Vec<Time>,
+
+    // Cache tag state.
+    modules: Vec<CacheTags>,
+    ro_caches: Vec<CacheTags>,
+    master_cache: CacheTags,
+
+    par: Option<ParState>,
+    pending_total: u64,
+    /// Blocking loads parked on a prefetch still in flight, keyed by
+    /// (tcu, word address).
+    pbuf_waiters: HashMap<(u32, u32), Vec<(MemRequest, Time)>>,
+    /// Per cache line: when its last service completes. Accesses to a
+    /// line chain behind an outstanding miss to it (MSHR behaviour),
+    /// which is also what preserves memory-model rule 1 — same source,
+    /// same destination operations are never reordered.
+    line_busy: HashMap<u32, Time>,
+
+    /// Built-in counters.
+    pub stats: Stats,
+    filters: Vec<Box<dyn FilterPlugin>>,
+    activities: Vec<Box<dyn ActivityPlugin>>,
+    sample_interval: Option<Time>,
+    last_sample: Stats,
+
+    /// Optional execution tracer.
+    pub tracer: Option<Tracer>,
+
+    host_profile: Option<HostProfile>,
+    max_cycles: Option<u64>,
+    checkpoint_at: Option<u64>,
+    stop_requested: bool,
+    started: bool,
+}
+
+impl CycleSim {
+    /// Build a simulator for `exe` on configuration `cfg`.
+    pub fn new(exe: Executable, cfg: XmtConfig) -> Self {
+        cfg.validate().expect("invalid configuration");
+        let machine = Machine::load(&exe);
+        let n_tcus = cfg.n_tcus() as usize;
+        let line = cfg.line_bytes;
+        let tcu = TcuState {
+            ctx: ThreadCtx::default(),
+            pending: 0,
+            fence_wait: false,
+            fence_from: 0,
+            parked: false,
+            pbuf: PrefetchBuffer::new(cfg.prefetch_entries, cfg.prefetch_policy),
+        };
+        let mut master = ThreadCtx { pc: exe.entry, ..Default::default() };
+        master.regs.set(Reg::Sp, xmt_isa::STACK_TOP);
+        CycleSim {
+            machine,
+            master,
+            tcus: vec![tcu; n_tcus],
+            sched: Scheduler::new(),
+            period_ps: cfg.period_ps,
+            cycles_base: 0,
+            period_changed_at: 0,
+            vc_free: vec![0; ((cfg.clusters + 1) * cfg.cache_modules) as usize],
+            module_free: vec![0; cfg.cache_modules as usize],
+            dram_free: vec![0; cfg.dram_channels as usize],
+            mdu_free: vec![0; cfg.clusters as usize],
+            fpu_free: vec![0; cfg.clusters as usize],
+            modules: (0..cfg.cache_modules)
+                .map(|_| CacheTags::new(cfg.cache_module_kb * 1024, cfg.cache_assoc, line))
+                .collect(),
+            ro_caches: (0..cfg.clusters)
+                .map(|_| CacheTags::new(cfg.ro_cache_kb * 1024, 2, line))
+                .collect(),
+            master_cache: CacheTags::new(
+                cfg.master_cache_kb * 1024,
+                cfg.master_cache_assoc,
+                line,
+            ),
+            par: None,
+            pending_total: 0,
+            pbuf_waiters: HashMap::new(),
+            line_busy: HashMap::new(),
+            stats: Stats::for_topology(cfg.clusters, cfg.cache_modules),
+            filters: Vec::new(),
+            activities: Vec::new(),
+            sample_interval: None,
+            last_sample: Stats::for_topology(cfg.clusters, cfg.cache_modules),
+            tracer: None,
+            host_profile: None,
+            max_cycles: None,
+            checkpoint_at: None,
+            stop_requested: false,
+            started: false,
+            exe,
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &XmtConfig {
+        &self.cfg
+    }
+
+    /// The loaded executable.
+    pub fn executable(&self) -> &Executable {
+        &self.exe
+    }
+
+    /// Attach a filter plug-in (end-of-run custom statistics).
+    pub fn add_filter(&mut self, f: Box<dyn FilterPlugin>) {
+        self.filters.push(f);
+    }
+
+    /// Attach an activity plug-in, sampled every `interval_cycles`
+    /// cluster cycles.
+    pub fn add_activity(&mut self, a: Box<dyn ActivityPlugin>, interval_cycles: u64) {
+        self.activities.push(a);
+        let iv = interval_cycles.max(1) * self.period_ps[ClockDomain::Cluster as usize];
+        self.sample_interval = Some(match self.sample_interval {
+            Some(cur) => cur.min(iv),
+            None => iv,
+        });
+    }
+
+    /// Reports from all attached filter plug-ins.
+    pub fn filter_reports(&self) -> Vec<String> {
+        self.filters.iter().map(|f| f.report()).collect()
+    }
+
+    /// Typed access to the first attached filter of type `T` (see
+    /// [`activity_plugin`](Self::activity_plugin) for the same pattern on
+    /// activity plug-ins).
+    pub fn filter_plugin<T: 'static>(&self) -> Option<&T> {
+        self.filters
+            .iter()
+            .find_map(|f| f.as_any().and_then(|a| a.downcast_ref::<T>()))
+    }
+
+    /// Reports from all attached activity plug-ins.
+    pub fn activity_reports(&self) -> Vec<String> {
+        self.activities.iter().map(|a| a.report()).collect()
+    }
+
+    /// Retrieve an attached activity plug-in by type (post-run data
+    /// extraction: thermal history, floorplan frames, …).
+    pub fn activity_plugin<T: 'static>(&self) -> Option<&T> {
+        self.activities
+            .iter()
+            .find_map(|a| a.as_any().and_then(|any| any.downcast_ref::<T>()))
+    }
+
+    /// Abort the run once this many cluster cycles elapse.
+    pub fn set_cycle_limit(&mut self, cycles: u64) {
+        self.max_cycles = Some(cycles);
+    }
+
+    /// Measure the simulator's own host time per component class.
+    pub fn enable_host_profiling(&mut self) {
+        self.host_profile = Some(HostProfile::default());
+    }
+
+    /// The collected host profile, if enabled.
+    pub fn host_profile(&self) -> Option<&HostProfile> {
+        self.host_profile.as_ref()
+    }
+
+    /// Attach an execution tracer.
+    pub fn attach_tracer(&mut self, t: Tracer) {
+        self.tracer = Some(t);
+    }
+
+    /// Elapsed cluster cycles at simulated time `now` (DVFS-aware).
+    pub fn cycles_at(&self, now: Time) -> u64 {
+        self.cycles_base
+            + (now - self.period_changed_at) / self.period_ps[ClockDomain::Cluster as usize]
+    }
+
+    /// Current cluster-cycle count.
+    pub fn cycles(&self) -> u64 {
+        self.cycles_at(self.sched.now())
+    }
+
+    /// Current domain periods (ps).
+    pub fn periods(&self) -> [u64; 4] {
+        self.period_ps
+    }
+
+    #[inline]
+    fn p(&self, d: ClockDomain) -> Time {
+        self.period_ps[d as usize]
+    }
+
+    /// Delay of one ICN switch stage for a package to `addr`.
+    /// Synchronous switches take one ICN-domain cycle; asynchronous
+    /// (self-timed) switches take a continuous, data-dependent time —
+    /// the §III-F GALS interconnect study.
+    #[inline]
+    fn hop_delay(&self, addr: u32, stage: u32) -> Time {
+        match self.cfg.icn_timing {
+            IcnTiming::Synchronous => self.p(ClockDomain::Icn),
+            IcnTiming::Asynchronous { hop_ps, jitter_ps } => {
+                if jitter_ps == 0 {
+                    hop_ps.max(1)
+                } else {
+                    let h = (addr ^ stage.rotate_left(13)).wrapping_mul(0x9e37_79b9);
+                    hop_ps.max(1) + (h as u64 % (jitter_ps + 1))
+                }
+            }
+        }
+    }
+
+    fn apply_periods(&mut self, new: [u64; 4]) {
+        if new == self.period_ps {
+            return;
+        }
+        let now = self.sched.now();
+        // Fold elapsed cluster cycles before the period changes.
+        self.cycles_base = self.cycles_at(now);
+        self.period_changed_at = now;
+        self.period_ps = new;
+    }
+
+    // ---------------------------------------------------------------
+    // Main loop
+    // ---------------------------------------------------------------
+
+    fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.sched.schedule_at(0, PRI_DEFAULT, Ev::MasterStep);
+        if let Some(iv) = self.sample_interval {
+            self.sched.schedule_at(iv, PRI_SAMPLE, Ev::Sample);
+        }
+    }
+
+    /// Run to completion (`halt`), a trap, deadlock, or the cycle limit.
+    pub fn run(&mut self) -> Result<RunSummary, SimError> {
+        match self.run_inner()? {
+            Outcome::Done(s) => Ok(s),
+            Outcome::Checkpoint(_) => unreachable!("checkpoint not requested"),
+        }
+    }
+
+    /// Run until the checkpoint cycle (if set), a halt, or an error.
+    pub(crate) fn run_inner(&mut self) -> Result<Outcome, SimError> {
+        self.start();
+        loop {
+            if self.stop_requested {
+                return Ok(Outcome::Done(self.summary()));
+            }
+            let Some((now, ev)) = self.sched.pop() else {
+                return if self.machine.halted {
+                    Ok(Outcome::Done(self.summary()))
+                } else {
+                    Err(SimError::Deadlock { time: self.sched.now() })
+                };
+            };
+            if let Some(limit) = self.max_cycles {
+                let c = self.cycles_at(now);
+                if c > limit {
+                    return Err(SimError::CycleLimit { cycles: c });
+                }
+            }
+            // Checkpoints are taken at quiescent master-step boundaries.
+            if let (Some(target), Ev::MasterStep, None) =
+                (self.checkpoint_at, &ev, self.par.as_ref())
+            {
+                if self.cycles_at(now) >= target && self.pending_total == 0 {
+                    self.checkpoint_at = None;
+                    // Keep this simulator resumable too: put the master
+                    // step back so `run()` can continue from here.
+                    self.sched.schedule_at(now, PRI_DEFAULT, Ev::MasterStep);
+                    return Ok(Outcome::Checkpoint(now));
+                }
+            }
+            let profile = self.host_profile.is_some();
+            let t0 = profile.then(std::time::Instant::now);
+            let class = match &ev {
+                Ev::MasterStep | Ev::TcuStep(_) => 0u8,
+                Ev::Hop { .. } | Ev::Service { .. } | Ev::Complete { .. } => 1,
+                _ => 2,
+            };
+            self.handle(now, ev)?;
+            if let (Some(t0), Some(hp)) = (t0, self.host_profile.as_mut()) {
+                let dt = t0.elapsed().as_secs_f64();
+                match class {
+                    0 => hp.compute_s += dt,
+                    1 => hp.memory_s += dt,
+                    _ => hp.other_s += dt,
+                }
+            }
+            if self.machine.halted {
+                return Ok(Outcome::Done(self.summary()));
+            }
+        }
+    }
+
+    pub(crate) fn summary(&self) -> RunSummary {
+        RunSummary {
+            cycles: self.cycles(),
+            time_ps: self.sched.now(),
+            instructions: self.stats.instructions,
+            events: self.sched.processed(),
+        }
+    }
+
+    fn handle(&mut self, now: Time, ev: Ev) -> Result<(), SimError> {
+        match ev {
+            Ev::MasterStep => self.master_step(now),
+            Ev::TcuStep(t) => self.tcu_step(now, t),
+            Ev::Hop { tcu, req, remaining, value, inbound, issued_at } => {
+                self.hop(now, tcu, req, remaining, value, inbound, issued_at);
+                Ok(())
+            }
+            Ev::Service { tcu, req, done, issued_at } => {
+                self.service(now, tcu, req, done, issued_at);
+                Ok(())
+            }
+            Ev::Complete { tcu, req, value, issued_at } => {
+                self.complete(now, tcu, req, value, issued_at);
+                Ok(())
+            }
+            Ev::BroadcastDone { body_pc } => {
+                self.activate_tcus(now, body_pc);
+                Ok(())
+            }
+            Ev::Sample => {
+                self.sample(now);
+                Ok(())
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Master TCU
+    // ---------------------------------------------------------------
+
+    fn master_step(&mut self, now: Time) -> Result<(), SimError> {
+        let pc = self.master.pc;
+        let issued = exec::issue(&self.exe, &mut self.master, &mut self.machine, Mode::Master)?;
+        if let Some(tr) = &mut self.tracer {
+            tr.record(TraceEvent::Issue { time: now, tcu: None, pc });
+        }
+        match issued {
+            Issued::Done(cost) => {
+                let fu = fu_of_cost(cost);
+                self.stats.count_instr(fu, None);
+                if matches!(cost, CostClass::Ps) {
+                    self.stats.ps_ops += 1;
+                }
+                for f in &mut self.filters {
+                    f.on_instr(pc, fu);
+                }
+                let done = now + self.master_cost(cost);
+                self.sched.schedule_at(done, PRI_DEFAULT, Ev::MasterStep);
+            }
+            Issued::Mem(req) => {
+                self.stats.count_instr(xmt_isa::FuKind::Mem, None);
+                for f in &mut self.filters {
+                    f.on_mem(&req);
+                }
+                if req.kind == MemKind::Psm {
+                    self.stats.psm_ops += 1;
+                }
+                // The master is only active while no TCU is (spawn/join
+                // are full barriers), so its operations can take effect
+                // immediately; only the timing is modeled: master-cache
+                // hits are local, misses travel the master's own ICN port
+                // to the shared cache modules (paper Fig. 1).
+                let value = exec::perform(&mut self.machine, &req);
+                exec::complete(&mut self.master, &req, value);
+                let cp = self.p(ClockDomain::Cluster);
+                if req.kind == MemKind::Pref {
+                    // The master has no prefetch buffer; `pref` is a nop.
+                    self.sched.schedule_at(now + cp, PRI_DEFAULT, Ev::MasterStep);
+                } else if req.kind == MemKind::Psm || !self.master_cache.access(req.addr) {
+                    // psm must reach the shared module; so must misses.
+                    if req.kind != MemKind::Psm {
+                        self.stats.master_misses += 1;
+                    }
+                    let cluster_row = self.cfg.clusters; // master port row
+                    self.inject(now, MASTER_ID, cluster_row, req);
+                    // The master resumes when the response returns.
+                } else {
+                    self.stats.master_hits += 1;
+                    let done = now + self.cfg.master_hit_latency as Time * cp;
+                    self.sched.schedule_at(done, PRI_DEFAULT, Ev::MasterStep);
+                }
+            }
+            Issued::Spawn { lo, hi, spawn_idx } => {
+                self.stats.count_instr(xmt_isa::FuKind::Ctl, None);
+                self.begin_spawn(now, lo, hi, spawn_idx);
+            }
+            Issued::Fence => {
+                self.stats.count_instr(xmt_isa::FuKind::Ctl, None);
+                // Master memory ops are all blocking: nothing pending.
+                let done = now + self.p(ClockDomain::Cluster);
+                self.sched.schedule_at(done, PRI_DEFAULT, Ev::MasterStep);
+            }
+            Issued::Halt => {
+                self.stats.count_instr(xmt_isa::FuKind::Ctl, None);
+                // `machine.halted` terminates the main loop.
+            }
+            Issued::ChkidBlocked => unreachable!("chkid traps in master mode"),
+        }
+        Ok(())
+    }
+
+    /// Latency of an immediately-executed instruction on the master,
+    /// which owns private functional units (paper Fig. 1).
+    fn master_cost(&self, cost: CostClass) -> Time {
+        let cp = self.p(ClockDomain::Cluster);
+        let cycles = match cost {
+            CostClass::Alu | CostClass::Sft | CostClass::Ctl | CostClass::Print => 1,
+            CostClass::Branch { taken } => {
+                if taken {
+                    2
+                } else {
+                    1
+                }
+            }
+            CostClass::Mul => self.cfg.mul_latency,
+            CostClass::Div => self.cfg.div_latency,
+            CostClass::FpAdd => self.cfg.fpu_add_latency,
+            CostClass::FpMul => self.cfg.fpu_mul_latency,
+            CostClass::FpDiv => self.cfg.fpu_div_latency,
+            CostClass::FpMisc => self.cfg.fpu_misc_latency,
+            CostClass::Ps => self.cfg.ps_latency,
+        };
+        cycles as Time * cp
+    }
+
+    // ---------------------------------------------------------------
+    // Spawn / join
+    // ---------------------------------------------------------------
+
+    fn begin_spawn(&mut self, now: Time, lo: i32, hi: i32, spawn_idx: u32) {
+        let join_idx = self
+            .exe
+            .join_of(spawn_idx)
+            .expect("linker guarantees every spawn has a join");
+        self.stats.spawns += 1;
+        let cp = self.p(ClockDomain::Cluster);
+        if lo > hi {
+            // Empty range: no parallel section at all.
+            self.master.pc = join_idx + 1;
+            let done = now + self.cfg.spawn_overhead as Time * cp;
+            self.sched.schedule_at(done, PRI_DEFAULT, Ev::MasterStep);
+            return;
+        }
+        self.stats.virtual_threads += (hi as i64 - lo as i64 + 1) as u64;
+        self.stats.spawn_records.push(crate::stats::SpawnRecord {
+            threads: (hi as i64 - lo as i64 + 1) as u64,
+            start_ps: now,
+            end_ps: 0,
+        });
+        // Seed the thread-allocation counter and open the section.
+        self.machine.gregs[0] = lo as u32;
+        self.par = Some(ParState { hi, join_idx, parked: 0 });
+        self.master.pc = join_idx + 1; // where the master resumes
+        // Broadcast the spawn block to the TCUs over the broadcast bus.
+        let body_len = join_idx.saturating_sub(spawn_idx + 1);
+        let bc_cycles =
+            self.cfg.spawn_overhead as Time + body_len.div_ceil(self.cfg.broadcast_ipc) as Time;
+        self.sched.schedule_at(
+            now + bc_cycles * cp,
+            PRI_TRANSFER,
+            Ev::BroadcastDone { body_pc: spawn_idx + 1 },
+        );
+    }
+
+    fn activate_tcus(&mut self, now: Time, body_pc: u32) {
+        // Broadcast the master register file to every TCU and start them
+        // at the top of the spawn block (the paper's chosen fix for
+        // master-register values live into the spawn block, §IV-B).
+        let regs = self.master.regs.clone();
+        for t in 0..self.tcus.len() {
+            let tcu = &mut self.tcus[t];
+            tcu.ctx.regs = regs.clone();
+            tcu.ctx.pc = body_pc;
+            tcu.parked = false;
+            tcu.fence_wait = false;
+            tcu.pbuf.clear();
+            self.sched.schedule_at(now, PRI_DEFAULT, Ev::TcuStep(t as u32));
+        }
+    }
+
+    fn maybe_join(&mut self, now: Time) {
+        let Some(par) = self.par else { return };
+        if par.parked == self.tcus.len() as u32 && self.pending_total == 0 {
+            self.par = None;
+            let done = now + self.cfg.spawn_overhead as Time * self.p(ClockDomain::Cluster);
+            if let Some(rec) = self.stats.spawn_records.last_mut() {
+                rec.end_ps = done;
+            }
+            self.sched.schedule_at(done, PRI_DEFAULT, Ev::MasterStep);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // TCUs
+    // ---------------------------------------------------------------
+
+    fn tcu_step(&mut self, now: Time, t: u32) -> Result<(), SimError> {
+        let hi = self.par.as_ref().expect("TCU stepped outside a parallel section").hi;
+        let cluster = self.cfg.cluster_of(t);
+        let pc = self.tcus[t as usize].ctx.pc;
+        let issued = exec::issue(
+            &self.exe,
+            &mut self.tcus[t as usize].ctx,
+            &mut self.machine,
+            Mode::Parallel { hi },
+        )?;
+        if let Some(tr) = &mut self.tracer {
+            tr.record(TraceEvent::Issue { time: now, tcu: Some(t), pc });
+        }
+        match issued {
+            Issued::Done(cost) => {
+                let fu = fu_of_cost(cost);
+                self.stats.count_instr(fu, Some(cluster));
+                if matches!(cost, CostClass::Ps) {
+                    self.stats.ps_ops += 1;
+                }
+                for f in &mut self.filters {
+                    f.on_instr(pc, fu);
+                }
+                let done = self.tcu_cost(now, cluster, cost);
+                self.sched.schedule_at(done, PRI_DEFAULT, Ev::TcuStep(t));
+            }
+            Issued::Mem(req) => {
+                self.stats.count_instr(xmt_isa::FuKind::Mem, Some(cluster));
+                for f in &mut self.filters {
+                    f.on_mem(&req);
+                }
+                self.tcu_mem(now, t, cluster, req);
+            }
+            Issued::ChkidBlocked => {
+                self.stats.count_instr(xmt_isa::FuKind::Br, Some(cluster));
+                self.tcus[t as usize].parked = true;
+                if let Some(par) = &mut self.par {
+                    par.parked += 1;
+                }
+                self.maybe_join(now);
+            }
+            Issued::Fence => {
+                self.stats.count_instr(xmt_isa::FuKind::Ctl, Some(cluster));
+                let tcu = &mut self.tcus[t as usize];
+                if tcu.pending == 0 {
+                    let done = now + self.p(ClockDomain::Cluster);
+                    self.sched.schedule_at(done, PRI_DEFAULT, Ev::TcuStep(t));
+                } else {
+                    tcu.fence_wait = true;
+                    tcu.fence_from = now;
+                }
+            }
+            Issued::Halt | Issued::Spawn { .. } => {
+                unreachable!("issue() traps on halt/spawn in parallel mode")
+            }
+        }
+        Ok(())
+    }
+
+    /// Latency of an immediately-executed TCU instruction, arbitrating
+    /// the cluster-shared MDU/FPU.
+    fn tcu_cost(&mut self, now: Time, cluster: u32, cost: CostClass) -> Time {
+        let cp = self.p(ClockDomain::Cluster);
+        match cost {
+            CostClass::Alu | CostClass::Sft | CostClass::Ctl | CostClass::Print => now + cp,
+            CostClass::Branch { taken } => now + if taken { 2 } else { 1 } * cp,
+            CostClass::Ps => now + self.cfg.ps_latency as Time * cp,
+            CostClass::Mul => {
+                // Pipelined: the shared MDU accepts one op per cycle.
+                let start = now.max(self.mdu_free[cluster as usize]);
+                self.mdu_free[cluster as usize] = start + cp;
+                start + self.cfg.mul_latency as Time * cp
+            }
+            CostClass::Div => {
+                // Unpipelined: the divider is busy for the whole op.
+                let start = now.max(self.mdu_free[cluster as usize]);
+                let lat = self.cfg.div_latency as Time * cp;
+                self.mdu_free[cluster as usize] = start + lat;
+                start + lat
+            }
+            CostClass::FpAdd | CostClass::FpMul | CostClass::FpMisc => {
+                let lat = match cost {
+                    CostClass::FpAdd => self.cfg.fpu_add_latency,
+                    CostClass::FpMul => self.cfg.fpu_mul_latency,
+                    _ => self.cfg.fpu_misc_latency,
+                } as Time
+                    * cp;
+                let start = now.max(self.fpu_free[cluster as usize]);
+                self.fpu_free[cluster as usize] = start + cp; // pipelined
+                start + lat
+            }
+            CostClass::FpDiv => {
+                let start = now.max(self.fpu_free[cluster as usize]);
+                let lat = self.cfg.fpu_div_latency as Time * cp;
+                self.fpu_free[cluster as usize] = start + lat;
+                start + lat
+            }
+        }
+    }
+
+    /// Route a TCU memory request.
+    fn tcu_mem(&mut self, now: Time, t: u32, cluster: u32, req: MemRequest) {
+        let cp = self.p(ClockDomain::Cluster);
+        if req.kind == MemKind::Psm {
+            self.stats.psm_ops += 1;
+        }
+
+        // Prefetch instruction: allocate a (pending) buffer entry, fetch
+        // in the background, continue next cycle.
+        if req.kind == MemKind::Pref {
+            self.stats.prefetches += 1;
+            // `Time::MAX` marks the entry as in flight until the fill
+            // returns.
+            self.tcus[t as usize].pbuf.insert(req.addr, Time::MAX);
+            self.tcus[t as usize].pending += 1;
+            self.pending_total += 1;
+            self.inject(now, t, cluster, req);
+            self.sched.schedule_at(now + cp, PRI_DEFAULT, Ev::TcuStep(t));
+            return;
+        }
+
+        // Loads may hit the TCU prefetch buffer and skip the ICN.
+        if matches!(req.kind, MemKind::LoadW | MemKind::LoadF) {
+            if let Some(ready) = self.tcus[t as usize].pbuf.lookup(req.addr) {
+                self.stats.prefetch_hits += 1;
+                if ready == Time::MAX {
+                    // Fill still in flight: park the load; it resumes
+                    // when the prefetch completes.
+                    self.pbuf_waiters
+                        .entry((t, req.addr & !3))
+                        .or_default()
+                        .push((req, now));
+                    return;
+                }
+                let done = (now + cp).max(ready);
+                let value = exec::perform(&mut self.machine, &req);
+                let issued_at = now;
+                self.sched
+                    .schedule_at(done, PRI_DEFAULT, Ev::Complete { tcu: t, req, value, issued_at });
+                return;
+            }
+        }
+
+        // Read-only cache (cluster-level, constants).
+        if req.kind == MemKind::LoadRo {
+            if self.ro_caches[cluster as usize].access(req.addr) {
+                self.stats.ro_hits += 1;
+                let done = now + self.cfg.ro_hit_latency as Time * cp;
+                let value = exec::perform(&mut self.machine, &req);
+                let issued_at = now;
+                self.sched
+                    .schedule_at(done, PRI_DEFAULT, Ev::Complete { tcu: t, req, value, issued_at });
+                return;
+            }
+            self.stats.ro_misses += 1;
+            // Miss: falls through to the shared path (and the access
+            // above already filled the tag for next time).
+        }
+
+        if !req.kind.blocking() {
+            self.tcus[t as usize].pending += 1;
+            self.pending_total += 1;
+            self.sched.schedule_at(now + cp, PRI_DEFAULT, Ev::TcuStep(t));
+        }
+        self.inject(now, t, cluster, req);
+    }
+
+    /// Send a package into the interconnection network: one LS-unit
+    /// cycle, then the per-(cluster, module) virtual channel (one package
+    /// per ICN cycle), then the send-network pipeline. Schedules the
+    /// `Arrive` event at the cache module.
+    fn inject(&mut self, now: Time, tcu: u32, cluster: u32, req: MemRequest) {
+        let cp = self.p(ClockDomain::Cluster);
+        self.stats.icn_packages += 2; // request + response
+        let m = self.cfg.module_of(req.addr);
+        let vc = (cluster * self.cfg.cache_modules + m) as usize;
+        let ready = now + cp;
+        let send = ready.max(self.vc_free[vc]);
+        let first_hop = self.hop_delay(req.addr, 0);
+        self.vc_free[vc] = send + first_hop;
+        let issued_at = now;
+        // Walk the package through the send-network switch pipeline, one
+        // event per stage (the paper's package-through-components model).
+        self.sched.schedule_at(
+            send + first_hop,
+            PRI_NEGOTIATE,
+            Ev::Hop {
+                tcu,
+                req,
+                remaining: self.cfg.icn_oneway().saturating_sub(1),
+                value: 0,
+                inbound: true,
+                issued_at,
+            },
+        );
+    }
+
+    /// Advance a package one interconnect stage; deliver it at the end of
+    /// its leg (module arrival inbound, TCU completion outbound).
+    #[allow(clippy::too_many_arguments)]
+    fn hop(
+        &mut self,
+        now: Time,
+        tcu: u32,
+        req: MemRequest,
+        remaining: u32,
+        value: u32,
+        inbound: bool,
+        issued_at: Time,
+    ) {
+        if remaining == 0 {
+            if inbound {
+                self.arrive(now, tcu, req, issued_at);
+            } else {
+                // Register writeback cycle at the TCU.
+                let cp = self.p(ClockDomain::Cluster);
+                self.sched.schedule_at(
+                    now + cp,
+                    PRI_DEFAULT,
+                    Ev::Complete { tcu, req, value, issued_at },
+                );
+            }
+            return;
+        }
+        let delay = self.hop_delay(req.addr, remaining);
+        self.sched.schedule_at(
+            now + delay,
+            PRI_NEGOTIATE,
+            Ev::Hop { tcu, req, remaining: remaining - 1, value, inbound, issued_at },
+        );
+    }
+
+    /// A package arrives at its cache module. Requests are served in
+    /// arrival order: tag check, then (on a miss) a DRAM line fill.
+    fn arrive(&mut self, now: Time, tcu: u32, req: MemRequest, issued_at: Time) {
+        let gp = self.p(ClockDomain::Cache);
+        let dp = self.p(ClockDomain::Dram);
+        let m = self.cfg.module_of(req.addr) as usize;
+        self.stats.module_accesses[m] += 1;
+
+        let tag = now.max(self.module_free[m]);
+        self.module_free[m] = tag + gp; // tag check pipelined
+
+        let hit = self.modules[m].access(req.addr);
+        let mut svc_end = if hit {
+            self.stats.cache_hits += 1;
+            tag + self.cfg.cache_hit_latency as Time * gp
+        } else {
+            self.stats.cache_misses += 1;
+            self.stats.dram_accesses += 1;
+            let ch = m % self.dram_free.len();
+            let after_tag = tag + self.cfg.cache_hit_latency as Time * gp;
+            let start = after_tag.max(self.dram_free[ch]);
+            self.dram_free[ch] = start + self.cfg.dram_service as Time * dp;
+            start + (self.cfg.dram_latency + self.cfg.dram_service) as Time * dp
+        };
+        // Chain behind any outstanding access to the same line (MSHR): a
+        // tag hit under a miss must not overtake the fill.
+        let line = req.addr / self.cfg.line_bytes;
+        if let Some(&busy) = self.line_busy.get(&line) {
+            svc_end = svc_end.max(busy);
+        }
+        self.line_busy.insert(line, svc_end);
+
+        // The response leaves through the return network after service.
+        let done = svc_end;
+        self.sched
+            .schedule_at(svc_end, PRI_TRANSFER, Ev::Service { tcu, req, done, issued_at });
+    }
+
+    /// A request reaches its cache module's service point: apply it to
+    /// memory in service order and send the response into the return
+    /// network.
+    fn service(&mut self, now: Time, tcu: u32, req: MemRequest, done: Time, issued_at: Time) {
+        debug_assert_eq!(done, now);
+        if let Some(tr) = &mut self.tracer {
+            tr.record(TraceEvent::Service { time: now, tcu, addr: req.addr, pc: req.pc });
+        }
+        // Master packages already took functional effect at issue (the
+        // master is never concurrent with TCUs).
+        let value = if tcu == MASTER_ID { 0 } else { exec::perform(&mut self.machine, &req) };
+        let first_hop = self.hop_delay(req.addr, u32::MAX);
+        self.sched.schedule_at(
+            now + first_hop,
+            PRI_NEGOTIATE,
+            Ev::Hop {
+                tcu,
+                req,
+                remaining: self.cfg.icn_oneway().saturating_sub(1),
+                value,
+                inbound: false,
+                issued_at,
+            },
+        );
+    }
+
+    /// A response arrives back at its TCU.
+    fn complete(&mut self, now: Time, tcu: u32, req: MemRequest, value: u32, issued_at: Time) {
+        if let Some(tr) = &mut self.tracer {
+            tr.record(TraceEvent::Complete { time: now, tcu, addr: req.addr, pc: req.pc });
+        }
+        if tcu == MASTER_ID {
+            self.stats.mem_wait_ps += now - issued_at;
+            self.sched.schedule_at(now, PRI_DEFAULT, Ev::MasterStep);
+            return;
+        }
+        let blocking = req.kind.blocking();
+        if blocking {
+            let state = &mut self.tcus[tcu as usize];
+            exec::complete(&mut state.ctx, &req, value);
+            self.stats.mem_wait_ps += now - issued_at;
+            self.sched.schedule_at(now, PRI_DEFAULT, Ev::TcuStep(tcu));
+        } else {
+            self.tcus[tcu as usize].pending -= 1;
+            self.pending_total -= 1;
+            if req.kind == MemKind::Pref {
+                // Mark the buffer entry filled and wake any load parked
+                // on it.
+                self.tcus[tcu as usize].pbuf.set_ready(req.addr, now);
+                let cp = self.p(ClockDomain::Cluster);
+                if let Some(waiters) = self.pbuf_waiters.remove(&(tcu, req.addr & !3)) {
+                    for (wreq, wissued) in waiters {
+                        let value = exec::perform(&mut self.machine, &wreq);
+                        self.sched.schedule_at(
+                            now + cp,
+                            PRI_DEFAULT,
+                            Ev::Complete { tcu, req: wreq, value, issued_at: wissued },
+                        );
+                    }
+                }
+            }
+            let state = &mut self.tcus[tcu as usize];
+            if state.fence_wait && state.pending == 0 {
+                state.fence_wait = false;
+                self.stats.fence_wait_ps += now - state.fence_from;
+                let done = now + self.p(ClockDomain::Cluster);
+                self.sched.schedule_at(done, PRI_DEFAULT, Ev::TcuStep(tcu));
+            }
+            self.maybe_join(now);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Sampling / plug-ins
+    // ---------------------------------------------------------------
+
+    fn sample(&mut self, now: Time) {
+        let delta = stats_delta(&self.stats, &self.last_sample);
+        self.last_sample = self.stats.clone();
+        let mut ctl = RuntimeCtl { period_ps: self.period_ps, stop: false };
+        let mut acts = std::mem::take(&mut self.activities);
+        {
+            let sample = ActivitySample {
+                now,
+                stats: &self.stats,
+                delta,
+                period_ps: self.period_ps,
+            };
+            for a in &mut acts {
+                a.sample(&sample, &mut ctl);
+            }
+        }
+        self.activities = acts;
+        self.apply_periods(ctl.period_ps);
+        if ctl.stop {
+            self.stop_requested = true;
+        }
+        if let Some(iv) = self.sample_interval {
+            if !self.machine.halted && !self.stop_requested {
+                self.sched.schedule_at(now + iv, PRI_SAMPLE, Ev::Sample);
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Checkpoint support (see crate::checkpoint)
+    // ---------------------------------------------------------------
+
+    pub(crate) fn set_checkpoint_cycle(&mut self, cycle: u64) {
+        self.checkpoint_at = Some(cycle);
+    }
+
+    /// Jump simulated time forward by `dt` from a quiescent boundary
+    /// (used by phase sampling): the only pending events are the
+    /// re-scheduled master step and possibly a sampling tick, which are
+    /// re-issued at the new time.
+    pub(crate) fn skip_time(&mut self, dt: Time) {
+        let t = self.sched.now() + dt;
+        self.sched.clear();
+        self.sched.schedule_at(t, PRI_DEFAULT, Ev::MasterStep);
+        if let Some(iv) = self.sample_interval {
+            self.sched.schedule_at(t + iv, PRI_SAMPLE, Ev::Sample);
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn checkpoint_parts(
+        &self,
+    ) -> (
+        &Machine,
+        &ThreadCtx,
+        &Vec<TcuState>,
+        &Stats,
+        [u64; 4],
+        (u64, Time),
+        (&[Time], &[Time], &[Time], &[Time], &[Time]),
+        (&[CacheTags], &[CacheTags], &CacheTags),
+        u64,
+    ) {
+        (
+            &self.machine,
+            &self.master,
+            &self.tcus,
+            &self.stats,
+            self.period_ps,
+            (self.cycles_base, self.period_changed_at),
+            (
+                &self.vc_free,
+                &self.module_free,
+                &self.dram_free,
+                &self.mdu_free,
+                &self.fpu_free,
+            ),
+            (&self.modules, &self.ro_caches, &self.master_cache),
+            self.sched.now(),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn restore_parts(
+        &mut self,
+        machine: Machine,
+        master: ThreadCtx,
+        tcus: Vec<TcuState>,
+        stats: Stats,
+        period_ps: [u64; 4],
+        cycle_state: (u64, Time),
+        timelines: (Vec<Time>, Vec<Time>, Vec<Time>, Vec<Time>, Vec<Time>),
+        caches: (Vec<CacheTags>, Vec<CacheTags>, CacheTags),
+        now: Time,
+    ) {
+        self.machine = machine;
+        self.master = master;
+        self.tcus = tcus;
+        self.stats = stats.clone();
+        self.last_sample = stats;
+        self.period_ps = period_ps;
+        self.cycles_base = cycle_state.0;
+        self.period_changed_at = cycle_state.1;
+        self.vc_free = timelines.0;
+        self.module_free = timelines.1;
+        self.dram_free = timelines.2;
+        self.mdu_free = timelines.3;
+        self.fpu_free = timelines.4;
+        self.modules = caches.0;
+        self.ro_caches = caches.1;
+        self.master_cache = caches.2;
+        self.par = None;
+        self.pending_total = 0;
+        self.pbuf_waiters.clear();
+        // Quiescent checkpoints have no packages in flight; stale line
+        // times could only lower-bound future services with past times,
+        // which max() ignores — safe to start empty.
+        self.line_busy.clear();
+        self.started = true;
+        self.sched.clear();
+        // Resume from a quiescent master-step boundary.
+        self.sched.schedule_at(now.max(1), PRI_DEFAULT, Ev::MasterStep);
+        if let Some(iv) = self.sample_interval {
+            self.sched.schedule_at(now.max(1) + iv, PRI_SAMPLE, Ev::Sample);
+        }
+    }
+}
+
+/// Outcome of `run_inner`: finished, or paused at a checkpoint boundary.
+pub(crate) enum Outcome {
+    Done(RunSummary),
+    Checkpoint(Time),
+}
+
+fn fu_of_cost(cost: CostClass) -> xmt_isa::FuKind {
+    match cost {
+        CostClass::Alu => xmt_isa::FuKind::Alu,
+        CostClass::Sft => xmt_isa::FuKind::Sft,
+        CostClass::Branch { .. } => xmt_isa::FuKind::Br,
+        CostClass::Mul | CostClass::Div => xmt_isa::FuKind::Mdu,
+        CostClass::FpAdd | CostClass::FpMul | CostClass::FpDiv | CostClass::FpMisc => {
+            xmt_isa::FuKind::Fpu
+        }
+        CostClass::Ps => xmt_isa::FuKind::Ps,
+        CostClass::Print | CostClass::Ctl => xmt_isa::FuKind::Ctl,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmt_isa::{AsmProgram, GlobalReg, Instr, MemoryMap, Target};
+
+    /// The canonical compiler-shaped parallel section:
+    /// ```text
+    ///   spawn lo, hi
+    /// Lloop:
+    ///   li   t0, 1
+    ///   ps   t0, gr0      # t0 = next virtual thread id
+    ///   chkid t0          # park when id > hi
+    ///   <body using t0 as $>
+    ///   j Lloop
+    ///   join
+    /// ```
+    fn parallel_increment_program(n: i32) -> (AsmProgram, MemoryMap) {
+        let mut mm = MemoryMap::new();
+        let a = mm.push("A", vec![0; n as usize]);
+        let mut p = AsmProgram::new();
+        p.label("main");
+        p.push(Instr::Li { rt: Reg::A0, imm: 0 });
+        p.push(Instr::Li { rt: Reg::A1, imm: n - 1 });
+        p.push(Instr::Li { rt: Reg::S0, imm: a as i32 });
+        p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+        p.label("vt");
+        p.push(Instr::Li { rt: Reg::T0, imm: 1 });
+        p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+        p.push(Instr::Chkid { rt: Reg::T0 });
+        // A[$] = $ + 100
+        p.push(Instr::Sll { rd: Reg::T1, rt: Reg::T0, sh: 2 });
+        p.push(Instr::Add { rd: Reg::T1, rs: Reg::T1, rt: Reg::S0 });
+        p.push(Instr::Addi { rt: Reg::T2, rs: Reg::T0, imm: 100 });
+        p.push(Instr::Swnb { rt: Reg::T2, base: Reg::T1, off: 0 });
+        p.push(Instr::J { target: Target::label("vt") });
+        p.push(Instr::Join);
+        p.push(Instr::Halt);
+        (p, mm)
+    }
+
+    #[test]
+    fn serial_loop_cycle_count_reasonable() {
+        // 10-iteration ALU loop: cycles should be small and deterministic.
+        let mut p = AsmProgram::new();
+        p.push(Instr::Li { rt: Reg::T0, imm: 10 });
+        p.label("l");
+        p.push(Instr::Addi { rt: Reg::T0, rs: Reg::T0, imm: -1 });
+        p.push(Instr::Bgtz { rs: Reg::T0, target: Target::label("l") });
+        p.push(Instr::Halt);
+        let exe = p.link(MemoryMap::new()).unwrap();
+        let mut sim = CycleSim::new(exe, XmtConfig::tiny());
+        let s = sim.run().unwrap();
+        assert_eq!(s.instructions, 22);
+        // 1 li + 10 addi + 9 taken branches (2cy) + 1 untaken (1cy);
+        // `halt` ends the run at its issue instant.
+        assert_eq!(s.cycles, 1 + 10 + 9 * 2 + 1);
+    }
+
+    #[test]
+    fn parallel_spawn_writes_all_elements() {
+        let (p, mm) = parallel_increment_program(64);
+        let exe = p.link(mm).unwrap();
+        let mut sim = CycleSim::new(exe, XmtConfig::tiny());
+        let s = sim.run().unwrap();
+        let a = sim.machine.read_symbol(sim.executable(), "A", 64).unwrap();
+        let want: Vec<u32> = (0..64).map(|k| k + 100).collect();
+        assert_eq!(a, want);
+        assert_eq!(sim.stats.spawns, 1);
+        assert_eq!(sim.stats.virtual_threads, 64);
+        assert!(s.cycles > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (p, mm) = parallel_increment_program(32);
+        let exe = p.link(mm).unwrap();
+        let run = |exe: Executable| {
+            let mut sim = CycleSim::new(exe, XmtConfig::tiny());
+            sim.run().unwrap()
+        };
+        let a = run(exe.clone());
+        let b = run(exe);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_tcus_means_fewer_cycles() {
+        let (p, mm) = parallel_increment_program(128);
+        let exe = p.link(mm).unwrap();
+        let mut small = CycleSim::new(exe.clone(), XmtConfig::tiny()); // 4 TCUs
+        let mut big = CycleSim::new(exe, XmtConfig::fpga64()); // 64 TCUs
+        let cs = small.run().unwrap();
+        let cb = big.run().unwrap();
+        assert!(
+            cb.cycles < cs.cycles,
+            "64 TCUs ({}) should beat 4 TCUs ({})",
+            cb.cycles,
+            cs.cycles
+        );
+    }
+
+    #[test]
+    fn empty_spawn_range_skips_parallel_section() {
+        let mut p = AsmProgram::new();
+        p.push(Instr::Li { rt: Reg::A0, imm: 5 });
+        p.push(Instr::Li { rt: Reg::A1, imm: 3 }); // hi < lo
+        p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+        p.push(Instr::J { target: Target::label("oops") }); // body never runs
+        p.push(Instr::Join);
+        p.push(Instr::Li { rt: Reg::T0, imm: 7 });
+        p.push(Instr::Print { rs: Reg::T0 });
+        p.push(Instr::Halt);
+        p.label("oops");
+        p.push(Instr::Halt);
+        let exe = p.link(MemoryMap::new()).unwrap();
+        let mut sim = CycleSim::new(exe, XmtConfig::tiny());
+        sim.run().unwrap();
+        assert_eq!(sim.machine.output.ints(), vec![7]);
+        assert_eq!(sim.stats.virtual_threads, 0);
+    }
+
+    #[test]
+    fn fence_waits_for_nonblocking_stores() {
+        // One virtual thread: swnb then fence then load back — the load
+        // must observe the store.
+        let mut mm = MemoryMap::new();
+        let a = mm.push("x", vec![0]);
+        let mut p = AsmProgram::new();
+        p.push(Instr::Li { rt: Reg::A0, imm: 0 });
+        p.push(Instr::Li { rt: Reg::A1, imm: 0 });
+        p.push(Instr::Li { rt: Reg::S0, imm: a as i32 });
+        p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+        p.label("vt");
+        p.push(Instr::Li { rt: Reg::T0, imm: 1 });
+        p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+        p.push(Instr::Chkid { rt: Reg::T0 });
+        p.push(Instr::Li { rt: Reg::T1, imm: 99 });
+        p.push(Instr::Swnb { rt: Reg::T1, base: Reg::S0, off: 0 });
+        p.push(Instr::Fence);
+        p.push(Instr::Lw { rt: Reg::T2, base: Reg::S0, off: 0 });
+        p.push(Instr::Print { rs: Reg::T2 });
+        p.push(Instr::J { target: Target::label("vt") });
+        p.push(Instr::Join);
+        p.push(Instr::Halt);
+        let exe = p.link(mm).unwrap();
+        let mut sim = CycleSim::new(exe, XmtConfig::tiny());
+        sim.run().unwrap();
+        assert_eq!(sim.machine.output.ints(), vec![99]);
+        assert!(sim.stats.fence_wait_ps > 0);
+    }
+
+    #[test]
+    fn psm_serializes_concurrent_increments() {
+        // All 64 virtual threads psm-increment one counter; the final
+        // value must be exact and every thread must see a distinct old
+        // value.
+        let mut mm = MemoryMap::new();
+        let c = mm.push("ctr", vec![0]);
+        let seen = mm.push("seen", vec![0; 64]);
+        let mut p = AsmProgram::new();
+        p.push(Instr::Li { rt: Reg::A0, imm: 0 });
+        p.push(Instr::Li { rt: Reg::A1, imm: 63 });
+        p.push(Instr::Li { rt: Reg::S0, imm: c as i32 });
+        p.push(Instr::Li { rt: Reg::S1, imm: seen as i32 });
+        p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+        p.label("vt");
+        p.push(Instr::Li { rt: Reg::T0, imm: 1 });
+        p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+        p.push(Instr::Chkid { rt: Reg::T0 });
+        p.push(Instr::Li { rt: Reg::T1, imm: 1 });
+        p.push(Instr::Psm { rt: Reg::T1, base: Reg::S0, off: 0 });
+        // seen[old] = 1
+        p.push(Instr::Sll { rd: Reg::T2, rt: Reg::T1, sh: 2 });
+        p.push(Instr::Add { rd: Reg::T2, rs: Reg::T2, rt: Reg::S1 });
+        p.push(Instr::Li { rt: Reg::T3, imm: 1 });
+        p.push(Instr::Swnb { rt: Reg::T3, base: Reg::T2, off: 0 });
+        p.push(Instr::J { target: Target::label("vt") });
+        p.push(Instr::Join);
+        p.push(Instr::Halt);
+        let exe = p.link(mm).unwrap();
+        let mut sim = CycleSim::new(exe, XmtConfig::fpga64());
+        sim.run().unwrap();
+        assert_eq!(sim.machine.read_symbol(sim.executable(), "ctr", 1).unwrap(), vec![64]);
+        let seen = sim.machine.read_symbol(sim.executable(), "seen", 64).unwrap();
+        assert_eq!(seen, vec![1; 64], "every old value 0..63 observed exactly once");
+        assert_eq!(sim.stats.psm_ops, 64);
+    }
+
+    #[test]
+    fn deadlock_detected_when_not_halting() {
+        let mut p = AsmProgram::new();
+        p.push(Instr::Nop); // runs off the end without halting -> trap
+        let exe = p.link(MemoryMap::new()).unwrap();
+        let mut sim = CycleSim::new(exe, XmtConfig::tiny());
+        let err = sim.run().unwrap_err();
+        assert!(matches!(err, SimError::Trap(Trap::PcOutOfRange { pc: 1 })));
+    }
+
+    #[test]
+    fn cycle_limit_enforced() {
+        let mut p = AsmProgram::new();
+        p.label("l");
+        p.push(Instr::J { target: Target::label("l") });
+        let exe = p.link(MemoryMap::new()).unwrap();
+        let mut sim = CycleSim::new(exe, XmtConfig::tiny());
+        sim.set_cycle_limit(1000);
+        let err = sim.run().unwrap_err();
+        assert!(matches!(err, SimError::CycleLimit { .. }));
+    }
+
+    #[test]
+    fn prefetch_hit_skips_icn_round_trip() {
+        // Two identical loads; the second program prefetches first.
+        let mut mm = MemoryMap::new();
+        let a = mm.push("A", vec![42]);
+        let build = |prefetch: bool| {
+            let mut p = AsmProgram::new();
+            p.push(Instr::Li { rt: Reg::A0, imm: 0 });
+            p.push(Instr::Li { rt: Reg::A1, imm: 0 });
+            p.push(Instr::Li { rt: Reg::S0, imm: a as i32 });
+            p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+            p.label("vt");
+            p.push(Instr::Li { rt: Reg::T0, imm: 1 });
+            p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+            p.push(Instr::Chkid { rt: Reg::T0 });
+            if prefetch {
+                p.push(Instr::Pref { base: Reg::S0, off: 0 });
+                // Useful work overlapping the prefetch.
+                for _ in 0..30 {
+                    p.push(Instr::Addi { rt: Reg::T5, rs: Reg::T5, imm: 1 });
+                }
+            } else {
+                for _ in 0..30 {
+                    p.push(Instr::Addi { rt: Reg::T5, rs: Reg::T5, imm: 1 });
+                }
+            }
+            p.push(Instr::Lw { rt: Reg::T1, base: Reg::S0, off: 0 });
+            p.push(Instr::J { target: Target::label("vt") });
+            p.push(Instr::Join);
+            p.push(Instr::Halt);
+            p
+        };
+        let run = |p: AsmProgram, mm: MemoryMap| {
+            let exe = p.link(mm).unwrap();
+            let mut sim = CycleSim::new(exe, XmtConfig::tiny());
+            let s = sim.run().unwrap();
+            (s.cycles, sim.stats.prefetch_hits)
+        };
+        let (base_cycles, base_hits) = run(build(false), mm.clone());
+        let (pf_cycles, pf_hits) = run(build(true), mm);
+        assert_eq!(base_hits, 0);
+        assert_eq!(pf_hits, 1);
+        assert!(
+            pf_cycles < base_cycles,
+            "prefetching ({pf_cycles}) should beat blocking load ({base_cycles})"
+        );
+    }
+
+    #[test]
+    fn load_parked_on_inflight_prefetch_resumes() {
+        // Load issued immediately after the prefetch (no overlap work):
+        // it must park on the in-flight fill and still complete with the
+        // right value, no slower than the blocking load would be.
+        let mut mm = MemoryMap::new();
+        let a = mm.push("A", vec![4242]);
+        let mut p = AsmProgram::new();
+        p.push(Instr::Li { rt: Reg::A0, imm: 0 });
+        p.push(Instr::Li { rt: Reg::A1, imm: 0 });
+        p.push(Instr::Li { rt: Reg::S0, imm: a as i32 });
+        p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+        p.label("vt");
+        p.push(Instr::Li { rt: Reg::T0, imm: 1 });
+        p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+        p.push(Instr::Chkid { rt: Reg::T0 });
+        p.push(Instr::Pref { base: Reg::S0, off: 0 });
+        p.push(Instr::Lw { rt: Reg::T1, base: Reg::S0, off: 0 });
+        p.push(Instr::Print { rs: Reg::T1 });
+        p.push(Instr::J { target: Target::label("vt") });
+        p.push(Instr::Join);
+        p.push(Instr::Halt);
+        let exe = p.link(mm).unwrap();
+        let mut sim = CycleSim::new(exe, XmtConfig::tiny());
+        sim.run().unwrap();
+        assert_eq!(sim.machine.output.ints(), vec![4242]);
+        assert_eq!(sim.stats.prefetch_hits, 1);
+    }
+
+    #[test]
+    fn dvfs_slowdown_increases_time_not_cycles() {
+        use crate::stats::{ActivityPlugin, ActivitySample, RuntimeCtl};
+        // A plug-in that halves the cluster frequency at the first sample.
+        struct Halver(bool);
+        impl ActivityPlugin for Halver {
+            fn sample(&mut self, _s: &ActivitySample<'_>, ctl: &mut RuntimeCtl) {
+                if !self.0 {
+                    self.0 = true;
+                    ctl.scale_frequency(ClockDomain::Cluster, 0.5);
+                }
+            }
+        }
+        let mut p = AsmProgram::new();
+        p.push(Instr::Li { rt: Reg::T0, imm: 3000 });
+        p.label("l");
+        p.push(Instr::Addi { rt: Reg::T0, rs: Reg::T0, imm: -1 });
+        p.push(Instr::Bgtz { rs: Reg::T0, target: Target::label("l") });
+        p.push(Instr::Halt);
+        let exe = p.link(MemoryMap::new()).unwrap();
+
+        let mut plain = CycleSim::new(exe.clone(), XmtConfig::tiny());
+        let sp = plain.run().unwrap();
+
+        let mut dvfs = CycleSim::new(exe, XmtConfig::tiny());
+        dvfs.add_activity(Box::new(Halver(false)), 100);
+        let sd = dvfs.run().unwrap();
+
+        // Same instruction count; wall-clock (ps) roughly doubles while
+        // the cycle count stays equal (work per cycle is unchanged).
+        assert_eq!(sp.instructions, sd.instructions);
+        // Equal up to one cycle of truncation at the period switch.
+        assert!(sd.cycles.abs_diff(sp.cycles) <= 1);
+        assert!(sd.time_ps > sp.time_ps * 3 / 2);
+    }
+}

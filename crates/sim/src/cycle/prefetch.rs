@@ -1,0 +1,174 @@
+//! TCU prefetch buffers (paper §II, §IV-C and reference \[8\]).
+//!
+//! Each TCU owns a small fully-associative buffer of prefetched words.
+//! The compiler issues `pref` instructions ahead of loads; a later load
+//! that finds its word in the buffer skips the interconnect round trip.
+//! Size and replacement policy are configuration knobs — the design-space
+//! question studied in the paper's reference \[8\].
+
+use crate::config::PrefetchPolicy;
+use crate::engine::Time;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Entry {
+    /// Word-aligned address held by this entry.
+    addr: u32,
+    /// Simulated time at which the prefetched data arrives.
+    ready: Time,
+    /// Insertion order (FIFO policy).
+    inserted: u64,
+    /// Last hit time (LRU policy).
+    last_use: u64,
+}
+
+/// One TCU's prefetch buffer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrefetchBuffer {
+    entries: Vec<Entry>,
+    capacity: usize,
+    policy: PrefetchPolicy,
+    tick: u64,
+}
+
+impl PrefetchBuffer {
+    /// A buffer of `capacity` entries with the given replacement policy.
+    pub fn new(capacity: u32, policy: PrefetchPolicy) -> Self {
+        PrefetchBuffer {
+            entries: Vec::with_capacity(capacity as usize),
+            capacity: capacity as usize,
+            policy,
+            tick: 0,
+        }
+    }
+
+    /// Insert a prefetch for `addr` whose data arrives at `ready`.
+    /// Replaces per policy when full. A duplicate address refreshes the
+    /// existing entry.
+    pub fn insert(&mut self, addr: u32, ready: Time) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let addr = addr & !3;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.addr == addr) {
+            e.ready = ready.min(e.ready);
+            e.inserted = self.tick;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            let victim = match self.policy {
+                PrefetchPolicy::Fifo => self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.inserted)
+                    .map(|(i, _)| i),
+                PrefetchPolicy::Lru => self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.last_use)
+                    .map(|(i, _)| i),
+            };
+            if let Some(i) = victim {
+                self.entries.swap_remove(i);
+            }
+        }
+        let tick = self.tick;
+        self.entries.push(Entry { addr, ready, inserted: tick, last_use: tick });
+    }
+
+    /// Look up a load address. On hit returns the time at which the data
+    /// is (or becomes) available and consumes the entry's freshness for
+    /// LRU accounting.
+    pub fn lookup(&mut self, addr: u32) -> Option<Time> {
+        let addr = addr & !3;
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.iter_mut().find(|e| e.addr == addr).map(|e| {
+            e.last_use = tick;
+            e.ready
+        })
+    }
+
+    /// Mark a pending entry's data as available at `t` (called when the
+    /// background fill returns). No-op if the entry was evicted.
+    pub fn set_ready(&mut self, addr: u32, t: Time) {
+        let addr = addr & !3;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.addr == addr) {
+            e.ready = e.ready.min(t);
+        }
+    }
+
+    /// Drop all entries (done at spawn/join boundaries: virtual threads
+    /// must not observe another thread's stale prefetches).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_ready_time() {
+        let mut b = PrefetchBuffer::new(4, PrefetchPolicy::Fifo);
+        b.insert(0x100, 500);
+        assert_eq!(b.lookup(0x100), Some(500));
+        assert_eq!(b.lookup(0x102), Some(500)); // same word
+        assert_eq!(b.lookup(0x104), None);
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_insertion() {
+        let mut b = PrefetchBuffer::new(2, PrefetchPolicy::Fifo);
+        b.insert(0x100, 1);
+        b.insert(0x200, 2);
+        b.lookup(0x100); // use does not save it under FIFO
+        b.insert(0x300, 3);
+        assert_eq!(b.lookup(0x100), None);
+        assert!(b.lookup(0x200).is_some());
+        assert!(b.lookup(0x300).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut b = PrefetchBuffer::new(2, PrefetchPolicy::Lru);
+        b.insert(0x100, 1);
+        b.insert(0x200, 2);
+        b.lookup(0x100); // refresh
+        b.insert(0x300, 3); // evicts 0x200
+        assert!(b.lookup(0x100).is_some());
+        assert_eq!(b.lookup(0x200), None);
+        assert!(b.lookup(0x300).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_never_hits() {
+        let mut b = PrefetchBuffer::new(0, PrefetchPolicy::Fifo);
+        b.insert(0x100, 1);
+        assert_eq!(b.lookup(0x100), None);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_refreshes() {
+        let mut b = PrefetchBuffer::new(1, PrefetchPolicy::Fifo);
+        b.insert(0x100, 900);
+        b.insert(0x100, 400); // earlier arrival wins
+        assert_eq!(b.lookup(0x100), Some(400));
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,389 @@
+//! The paper's actor framework (§III-C, Fig. 4).
+//!
+//! *Actors* are objects that can schedule events; the DE scheduler notifies
+//! an actor through a callback when the time of an event it previously
+//! scheduled arrives. A cycle-accurate component may be a single actor, or
+//! many components may be grouped into one **macro-actor** that iterates
+//! through them on each notification — the paper's remedy for the
+//! scheduling overhead of DE simulation when many actions fall on the same
+//! simulated instant (§III-D: with no action code, grouping pays off past
+//! roughly 800 events per cycle on the paper's host).
+//!
+//! The production cycle-accurate model in [`crate::cycle`] uses the bare
+//! [`Scheduler`] with typed events — operationally a set
+//! of macro-actors, one per component class. This module keeps the
+//! object-oriented formulation available: it is used by the engine tests,
+//! by `xmt-bench`'s reproduction of the macro-actor threshold experiment,
+//! and as a starting point for users extending the simulator with new
+//! component types, which is how the Java original was meant to be
+//! extended.
+
+use super::{Priority, Scheduler, Time, PRI_DEFAULT};
+
+/// Identifies an actor registered with an [`ActorSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ActorId(pub usize);
+
+/// Context handed to an actor during notification: scheduling capability
+/// plus mutable access to the shared world state `W`.
+pub struct ActorCtx<'a, W> {
+    id: ActorId,
+    sched: &'a mut Scheduler<ActorId>,
+    /// Shared simulation state visible to all actors.
+    pub world: &'a mut W,
+    stop: &'a mut bool,
+}
+
+impl<'a, W> ActorCtx<'a, W> {
+    /// The id of the actor being notified.
+    pub fn id(&self) -> ActorId {
+        self.id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.sched.now()
+    }
+
+    /// Schedule a future notification for this actor.
+    pub fn schedule(&mut self, delay: Time) {
+        let id = self.id;
+        self.schedule_for(id, delay, PRI_DEFAULT);
+    }
+
+    /// Schedule a notification for an arbitrary actor.
+    pub fn schedule_for(&mut self, target: ActorId, delay: Time, priority: Priority) {
+        self.sched.schedule_at(self.sched.now() + delay, priority, target);
+    }
+
+    /// Request termination of the simulation (the paper's *stop event*).
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// An object that can schedule events and is notified when they fire.
+pub trait Actor<W> {
+    /// Called by the DE scheduler when an event this actor scheduled (or
+    /// that another actor scheduled for it) comes due.
+    fn notify(&mut self, ctx: &mut ActorCtx<'_, W>);
+}
+
+impl<W, F: FnMut(&mut ActorCtx<'_, W>)> Actor<W> for F {
+    fn notify(&mut self, ctx: &mut ActorCtx<'_, W>) {
+        self(ctx)
+    }
+}
+
+/// A registry of actors plus the DE scheduler driving them.
+pub struct ActorSystem<W> {
+    actors: Vec<Option<Box<dyn Actor<W>>>>,
+    sched: Scheduler<ActorId>,
+    /// Shared world state passed to every notification.
+    pub world: W,
+    stop: bool,
+}
+
+impl<W> ActorSystem<W> {
+    /// Create a system around shared state `world`.
+    pub fn new(world: W) -> Self {
+        ActorSystem { actors: Vec::new(), sched: Scheduler::new(), world, stop: false }
+    }
+
+    /// Register an actor; returns its id.
+    pub fn add(&mut self, actor: impl Actor<W> + 'static) -> ActorId {
+        self.actors.push(Some(Box::new(actor)));
+        ActorId(self.actors.len() - 1)
+    }
+
+    /// Schedule the first notification for `actor`.
+    pub fn schedule(&mut self, actor: ActorId, time: Time, priority: Priority) {
+        self.sched.schedule_at(time, priority, actor);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.sched.now()
+    }
+
+    /// Total events processed.
+    pub fn events_processed(&self) -> u64 {
+        self.sched.processed()
+    }
+
+    /// Run until the event list drains, an actor calls
+    /// [`ActorCtx::stop`], or `max_events` notifications have been
+    /// delivered. Returns the number of notifications delivered.
+    ///
+    /// This is the main loop of paper Fig. 5b.
+    pub fn run(&mut self, max_events: u64) -> u64 {
+        let mut delivered = 0;
+        while delivered < max_events && !self.stop {
+            let Some((_, id)) = self.sched.pop() else { break };
+            // Temporarily detach the actor so it can borrow the rest of
+            // the system mutably (the Rust equivalent of the Java
+            // callback into a live object graph).
+            let mut actor = self.actors[id.0].take().expect("actor notified re-entrantly");
+            let mut ctx = ActorCtx {
+                id,
+                sched: &mut self.sched,
+                world: &mut self.world,
+                stop: &mut self.stop,
+            };
+            actor.notify(&mut ctx);
+            self.actors[id.0] = Some(actor);
+            delivered += 1;
+        }
+        delivered
+    }
+}
+
+/// A *port*: the points of transfer for packages between cycle-accurate
+/// components (paper Fig. 4). Communication is split into the two phases
+/// of the paper's clock-cycle protocol:
+///
+/// 1. **negotiate** — a sender [`offer`](Port::offer)s a package during
+///    the [`PRI_NEGOTIATE`](super::PRI_NEGOTIATE) phase; the port accepts
+///    it only if it has capacity (backpressure);
+/// 2. **transfer** — the receiver [`take`](Port::take)s accepted packages
+///    during the [`PRI_TRANSFER`](super::PRI_TRANSFER) phase.
+///
+/// The event-priority scheme keeps the phase order consistent within
+/// every cycle, which is exactly how the paper serializes negotiation
+/// and transfer without a global clock walk.
+#[derive(Debug)]
+pub struct Port<P> {
+    queue: std::collections::VecDeque<P>,
+    capacity: usize,
+    /// Offers rejected for lack of capacity (backpressure indicator).
+    pub rejected: u64,
+}
+
+impl<P> Port<P> {
+    /// A port accepting up to `capacity` in-flight packages.
+    pub fn new(capacity: usize) -> Self {
+        Port { queue: std::collections::VecDeque::new(), capacity, rejected: 0 }
+    }
+
+    /// Negotiate phase: offer a package. Returns it back on refusal.
+    pub fn offer(&mut self, package: P) -> Result<(), P> {
+        if self.queue.len() < self.capacity {
+            self.queue.push_back(package);
+            Ok(())
+        } else {
+            self.rejected += 1;
+            Err(package)
+        }
+    }
+
+    /// Transfer phase: take the oldest accepted package, if any.
+    pub fn take(&mut self) -> Option<P> {
+        self.queue.pop_front()
+    }
+
+    /// Packages currently held.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the port holds no packages.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// A macro-actor: one actor that owns many simple components and iterates
+/// them per notification, trading event-list traffic for an inner loop
+/// whose body resembles discrete-time simulation (paper Fig. 4/5).
+pub struct MacroActor<W, C> {
+    /// The grouped components.
+    pub components: Vec<C>,
+    step: fn(&mut C, Time, &mut W),
+    period: Time,
+}
+
+impl<W, C> MacroActor<W, C> {
+    /// Group `components`, stepping each with `step` every `period`
+    /// picoseconds.
+    pub fn new(components: Vec<C>, period: Time, step: fn(&mut C, Time, &mut W)) -> Self {
+        MacroActor { components, step, period }
+    }
+}
+
+impl<W, C> Actor<W> for MacroActor<W, C> {
+    fn notify(&mut self, ctx: &mut ActorCtx<'_, W>) {
+        let now = ctx.now();
+        for c in &mut self.components {
+            (self.step)(c, now, ctx.world);
+        }
+        let period = self.period;
+        ctx.schedule(period);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_actor_self_schedules() {
+        // An actor that counts down and stops the simulation at zero.
+        struct Countdown(u32);
+        impl Actor<u64> for Countdown {
+            fn notify(&mut self, ctx: &mut ActorCtx<'_, u64>) {
+                *ctx.world += 1;
+                if self.0 == 0 {
+                    ctx.stop();
+                } else {
+                    self.0 -= 1;
+                    ctx.schedule(100);
+                }
+            }
+        }
+        let mut sys = ActorSystem::new(0u64);
+        let id = sys.add(Countdown(4));
+        sys.schedule(id, 0, PRI_DEFAULT);
+        sys.run(u64::MAX);
+        assert_eq!(sys.world, 5);
+        assert_eq!(sys.now(), 400);
+    }
+
+    #[test]
+    fn actors_can_notify_each_other() {
+        // Ping-pong: each actor schedules the other.
+        struct Ping(ActorId);
+        impl Actor<Vec<&'static str>> for Ping {
+            fn notify(&mut self, ctx: &mut ActorCtx<'_, Vec<&'static str>>) {
+                ctx.world.push("ping");
+                if ctx.world.len() < 6 {
+                    ctx.schedule_for(self.0, 10, PRI_DEFAULT);
+                }
+            }
+        }
+        struct Pong(ActorId);
+        impl Actor<Vec<&'static str>> for Pong {
+            fn notify(&mut self, ctx: &mut ActorCtx<'_, Vec<&'static str>>) {
+                ctx.world.push("pong");
+                if ctx.world.len() < 6 {
+                    ctx.schedule_for(self.0, 10, PRI_DEFAULT);
+                }
+            }
+        }
+        let mut sys = ActorSystem::new(Vec::new());
+        let ping = sys.add(Ping(ActorId(1)));
+        let pong = sys.add(Pong(ping));
+        let _ = pong;
+        sys.schedule(ping, 0, PRI_DEFAULT);
+        sys.run(u64::MAX);
+        assert_eq!(sys.world, vec!["ping", "pong", "ping", "pong", "ping", "pong"]);
+        assert_eq!(sys.now(), 50);
+    }
+
+    #[test]
+    fn ports_implement_two_phase_backpressure() {
+        use super::super::{PRI_NEGOTIATE, PRI_TRANSFER};
+
+        // Producer offers one package per cycle in the negotiate phase;
+        // consumer drains one every *two* cycles in the transfer phase.
+        // The port capacity of 2 forces backpressure on the producer.
+        struct World {
+            port: Port<u32>,
+            produced: u32,
+            consumed: Vec<u32>,
+            retries: u32,
+        }
+        struct Producer {
+            next: u32,
+            remaining: u32,
+        }
+        impl Actor<World> for Producer {
+            fn notify(&mut self, ctx: &mut ActorCtx<'_, World>) {
+                if self.remaining == 0 {
+                    return;
+                }
+                match ctx.world.port.offer(self.next) {
+                    Ok(()) => {
+                        ctx.world.produced += 1;
+                        self.next += 1;
+                        self.remaining -= 1;
+                    }
+                    Err(_) => ctx.world.retries += 1, // try again next cycle
+                }
+                let id = ctx.id();
+                ctx.schedule_for(id, 1000, PRI_NEGOTIATE);
+            }
+        }
+        struct Consumer;
+        impl Actor<World> for Consumer {
+            fn notify(&mut self, ctx: &mut ActorCtx<'_, World>) {
+                if let Some(p) = ctx.world.port.take() {
+                    ctx.world.consumed.push(p);
+                }
+                if ctx.world.consumed.len() < 6 {
+                    let id = ctx.id();
+                    ctx.schedule_for(id, 2000, PRI_TRANSFER);
+                }
+            }
+        }
+        let mut sys = ActorSystem::new(World {
+            port: Port::new(2),
+            produced: 0,
+            consumed: Vec::new(),
+            retries: 0,
+        });
+        let prod = sys.add(Producer { next: 100, remaining: 6 });
+        let cons = sys.add(Consumer);
+        sys.schedule(prod, 0, PRI_NEGOTIATE);
+        sys.schedule(cons, 0, PRI_TRANSFER);
+        sys.run(10_000);
+        // All packages arrive, in order, despite backpressure.
+        assert_eq!(sys.world.consumed, vec![100, 101, 102, 103, 104, 105]);
+        assert!(sys.world.retries > 0, "the slow consumer caused backpressure");
+        assert!(sys.world.port.rejected > 0);
+    }
+
+    #[test]
+    fn macro_actor_equivalent_to_individual_actors() {
+        // N counters stepped each cycle: grouped vs individual must agree.
+        const N: usize = 32;
+        const CYCLES: u64 = 50;
+
+        // Individual: one actor per counter.
+        struct Counter;
+        impl Actor<Vec<u64>> for Counter {
+            fn notify(&mut self, ctx: &mut ActorCtx<'_, Vec<u64>>) {
+                let idx = ctx.id().0;
+                ctx.world[idx] += 1;
+                if ctx.world[idx] < CYCLES {
+                    ctx.schedule(1000);
+                }
+            }
+        }
+        let mut individual = ActorSystem::new(vec![0u64; N]);
+        for _ in 0..N {
+            let id = individual.add(Counter);
+            individual.schedule(id, 0, PRI_DEFAULT);
+        }
+        individual.run(u64::MAX);
+
+        // Grouped: one macro-actor stepping all counters.
+        struct Cell(usize);
+        let cells: Vec<Cell> = (0..N).map(Cell).collect();
+        let mut grouped = ActorSystem::new((vec![0u64; N], false));
+        let ma = MacroActor::new(cells, 1000, |c: &mut Cell, _t, w: &mut (Vec<u64>, bool)| {
+            if w.0[c.0] < CYCLES {
+                w.0[c.0] += 1;
+            } else {
+                w.1 = true;
+            }
+        });
+        let id = grouped.add(ma);
+        grouped.schedule(id, 0, PRI_DEFAULT);
+        while !grouped.world.1 {
+            grouped.run(1);
+        }
+        assert_eq!(individual.world, grouped.world.0);
+        // The macro-actor used far fewer events.
+        assert!(grouped.events_processed() < individual.events_processed() / 4);
+    }
+}

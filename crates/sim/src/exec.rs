@@ -1,0 +1,843 @@
+//! Operational semantics of the XMT ISA — the *functional model* of paper
+//! Fig. 3.
+//!
+//! Execution is split in three so the cycle-accurate model can interleave
+//! timing with state changes the way the hardware does:
+//!
+//! 1. [`issue`] — fetch + decode + execute at the TCU. Everything that
+//!    happens inside the TCU (ALU ops, branches, `ps`, prints) takes
+//!    effect immediately; memory operations are *decoded* into a
+//!    [`MemRequest`] with their address and store value captured, but not
+//!    yet applied.
+//! 2. [`perform`] — apply a memory request to the shared memory. The
+//!    cycle model calls this when the request is *serviced at the cache
+//!    module*, so stores and `psm`s from different TCUs hit memory in
+//!    service order, not issue order — this is precisely the relaxation
+//!    the XMT memory model exposes (paper §IV-A).
+//! 3. [`complete`] — deliver a load/`psm` result to the destination
+//!    register when the response arrives back at the TCU.
+//!
+//! The fast functional mode simply runs the three steps back-to-back.
+
+use crate::machine::{Machine, OutputItem, ThreadCtx, Trap};
+use serde::{Deserialize, Serialize};
+use xmt_isa::{Executable, FReg, Instr, Reg};
+
+/// Cost classification of an immediately-executed instruction, consumed by
+/// the cycle-accurate model to charge latency and shared-resource time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CostClass {
+    Alu,
+    Sft,
+    /// Branch or jump; `taken` distinguishes the (costlier) taken path.
+    Branch { taken: bool },
+    /// Multiply on the cluster-shared MDU.
+    Mul,
+    /// Divide/remainder on the cluster-shared MDU.
+    Div,
+    FpAdd,
+    FpMul,
+    FpDiv,
+    /// FP moves, conversions, compares, immediates.
+    FpMisc,
+    /// Prefix-sum to global register (the dedicated ps unit).
+    Ps,
+    /// `print` family.
+    Print,
+    /// nop/other control.
+    Ctl,
+}
+
+/// What kind of memory operation a [`MemRequest`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemKind {
+    /// Word load.
+    LoadW,
+    /// Byte load (`signed` selects sign extension).
+    LoadB { signed: bool },
+    /// FP word load.
+    LoadF,
+    /// Word load eligible for the cluster read-only cache.
+    LoadRo,
+    /// Word store; `nb` marks the non-blocking variant.
+    StoreW { nb: bool },
+    /// Byte store.
+    StoreB { nb: bool },
+    /// FP word store.
+    StoreF { nb: bool },
+    /// Prefix-sum to memory (atomic fetch-and-add).
+    Psm,
+    /// Prefetch into the TCU prefetch buffer.
+    Pref,
+}
+
+impl MemKind {
+    /// Does the issuing context wait for the response?
+    /// (Loads and `psm` block; non-blocking stores and prefetches don't.)
+    pub fn blocking(self) -> bool {
+        match self {
+            MemKind::LoadW | MemKind::LoadB { .. } | MemKind::LoadF | MemKind::LoadRo
+            | MemKind::Psm => true,
+            MemKind::StoreW { nb } | MemKind::StoreB { nb } | MemKind::StoreF { nb } => !nb,
+            MemKind::Pref => false,
+        }
+    }
+
+    /// Does this request read memory at the module?
+    pub fn reads(self) -> bool {
+        !matches!(
+            self,
+            MemKind::StoreW { .. } | MemKind::StoreB { .. } | MemKind::StoreF { .. }
+        )
+    }
+
+    /// Does this request write memory at the module?
+    pub fn writes(self) -> bool {
+        matches!(
+            self,
+            MemKind::StoreW { .. } | MemKind::StoreB { .. } | MemKind::StoreF { .. }
+                | MemKind::Psm
+        )
+    }
+}
+
+/// A decoded memory operation in flight between a TCU and a cache module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemRequest {
+    pub kind: MemKind,
+    /// Effective byte address.
+    pub addr: u32,
+    /// Integer destination register (loads, `psm`).
+    pub dst_i: Option<Reg>,
+    /// FP destination register (FP loads).
+    pub dst_f: Option<FReg>,
+    /// Store data / `psm` increment, captured at issue.
+    pub value: u32,
+    /// Instruction index that issued the request (for traces/statistics).
+    pub pc: u32,
+}
+
+/// Result of issuing one instruction on a context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Issued {
+    /// Instruction fully executed at the TCU; charge `CostClass`.
+    Done(CostClass),
+    /// Memory operation decoded; apply with [`perform`]/[`complete`].
+    Mem(MemRequest),
+    /// `spawn lo, hi` executed by the master; the runner starts the
+    /// parallel section. `spawn_idx` is the index of the spawn itself.
+    Spawn { lo: i32, hi: i32, spawn_idx: u32 },
+    /// `chkid` found the id out of bounds: park this TCU.
+    ChkidBlocked,
+    /// `fence`: the context must wait until its pending memory operations
+    /// drain (a no-op in the functional mode, which is always drained).
+    Fence,
+    /// `halt` executed by the master.
+    Halt,
+}
+
+/// The execution mode of a context — decides which instructions trap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The Master TCU running serial code.
+    Master,
+    /// A TCU running a virtual thread; the payload is the current spawn
+    /// bound `hi` used by `chkid`.
+    Parallel { hi: i32 },
+}
+
+/// Fetch, decode and execute one instruction on `ctx`.
+///
+/// On return the program counter has been advanced (branches resolved);
+/// for memory operations the returned request still has to be applied.
+pub fn issue(exe: &Executable, ctx: &mut ThreadCtx, m: &mut Machine, mode: Mode)
+    -> Result<Issued, Trap>
+{
+    let pc = ctx.pc;
+    let Some(ins) = exe.instr(pc) else {
+        return Err(Trap::PcOutOfRange { pc });
+    };
+    let r = &mut ctx.regs;
+    // Default: fall through.
+    ctx.pc = pc + 1;
+    use Instr::*;
+    let issued = match *ins {
+        // ---- integer ALU ----
+        Add { rd, rs, rt } => {
+            let v = r.get(rs).wrapping_add(r.get(rt));
+            r.set(rd, v);
+            Issued::Done(CostClass::Alu)
+        }
+        Sub { rd, rs, rt } => {
+            let v = r.get(rs).wrapping_sub(r.get(rt));
+            r.set(rd, v);
+            Issued::Done(CostClass::Alu)
+        }
+        And { rd, rs, rt } => {
+            let v = r.get(rs) & r.get(rt);
+            r.set(rd, v);
+            Issued::Done(CostClass::Alu)
+        }
+        Or { rd, rs, rt } => {
+            let v = r.get(rs) | r.get(rt);
+            r.set(rd, v);
+            Issued::Done(CostClass::Alu)
+        }
+        Xor { rd, rs, rt } => {
+            let v = r.get(rs) ^ r.get(rt);
+            r.set(rd, v);
+            Issued::Done(CostClass::Alu)
+        }
+        Nor { rd, rs, rt } => {
+            let v = !(r.get(rs) | r.get(rt));
+            r.set(rd, v);
+            Issued::Done(CostClass::Alu)
+        }
+        Slt { rd, rs, rt } => {
+            let v = (r.get_i(rs) < r.get_i(rt)) as u32;
+            r.set(rd, v);
+            Issued::Done(CostClass::Alu)
+        }
+        Sltu { rd, rs, rt } => {
+            let v = (r.get(rs) < r.get(rt)) as u32;
+            r.set(rd, v);
+            Issued::Done(CostClass::Alu)
+        }
+        Mul { rd, rs, rt } => {
+            let v = r.get(rs).wrapping_mul(r.get(rt));
+            r.set(rd, v);
+            Issued::Done(CostClass::Mul)
+        }
+        Div { rd, rs, rt } => {
+            let (a, b) = (r.get_i(rs), r.get_i(rt));
+            // Division by zero yields 0 (defined behaviour in the
+            // simulator; MIPS leaves it unspecified).
+            let v = if b == 0 { 0 } else { a.wrapping_div(b) };
+            r.set_i(rd, v);
+            Issued::Done(CostClass::Div)
+        }
+        Rem { rd, rs, rt } => {
+            let (a, b) = (r.get_i(rs), r.get_i(rt));
+            let v = if b == 0 { 0 } else { a.wrapping_rem(b) };
+            r.set_i(rd, v);
+            Issued::Done(CostClass::Div)
+        }
+        Addi { rt, rs, imm } => {
+            let v = r.get(rs).wrapping_add(imm as u32);
+            r.set(rt, v);
+            Issued::Done(CostClass::Alu)
+        }
+        Andi { rt, rs, imm } => {
+            let v = r.get(rs) & imm;
+            r.set(rt, v);
+            Issued::Done(CostClass::Alu)
+        }
+        Ori { rt, rs, imm } => {
+            let v = r.get(rs) | imm;
+            r.set(rt, v);
+            Issued::Done(CostClass::Alu)
+        }
+        Xori { rt, rs, imm } => {
+            let v = r.get(rs) ^ imm;
+            r.set(rt, v);
+            Issued::Done(CostClass::Alu)
+        }
+        Slti { rt, rs, imm } => {
+            let v = (r.get_i(rs) < imm) as u32;
+            r.set(rt, v);
+            Issued::Done(CostClass::Alu)
+        }
+        Sltiu { rt, rs, imm } => {
+            let v = (r.get(rs) < imm) as u32;
+            r.set(rt, v);
+            Issued::Done(CostClass::Alu)
+        }
+        Li { rt, imm } => {
+            r.set_i(rt, imm);
+            Issued::Done(CostClass::Alu)
+        }
+        Lui { rt, imm } => {
+            r.set(rt, imm << 16);
+            Issued::Done(CostClass::Alu)
+        }
+        Move { rd, rs } => {
+            let v = r.get(rs);
+            r.set(rd, v);
+            Issued::Done(CostClass::Alu)
+        }
+        // ---- shifts ----
+        Sll { rd, rt, sh } => {
+            let v = r.get(rt) << sh;
+            r.set(rd, v);
+            Issued::Done(CostClass::Sft)
+        }
+        Srl { rd, rt, sh } => {
+            let v = r.get(rt) >> sh;
+            r.set(rd, v);
+            Issued::Done(CostClass::Sft)
+        }
+        Sra { rd, rt, sh } => {
+            let v = r.get_i(rt) >> sh;
+            r.set_i(rd, v);
+            Issued::Done(CostClass::Sft)
+        }
+        Sllv { rd, rt, rs } => {
+            let v = r.get(rt) << (r.get(rs) & 31);
+            r.set(rd, v);
+            Issued::Done(CostClass::Sft)
+        }
+        Srlv { rd, rt, rs } => {
+            let v = r.get(rt) >> (r.get(rs) & 31);
+            r.set(rd, v);
+            Issued::Done(CostClass::Sft)
+        }
+        Srav { rd, rt, rs } => {
+            let v = r.get_i(rt) >> (r.get(rs) & 31);
+            r.set_i(rd, v);
+            Issued::Done(CostClass::Sft)
+        }
+        // ---- memory (decode only) ----
+        Lw { rt, base, off } => {
+            let addr = ea(r.get(base), off);
+            check_align(addr, pc)?;
+            Issued::Mem(MemRequest {
+                kind: MemKind::LoadW,
+                addr,
+                dst_i: Some(rt),
+                dst_f: None,
+                value: 0,
+                pc,
+            })
+        }
+        Lb { rt, base, off } => Issued::Mem(MemRequest {
+            kind: MemKind::LoadB { signed: true },
+            addr: ea(r.get(base), off),
+            dst_i: Some(rt),
+            dst_f: None,
+            value: 0,
+            pc,
+        }),
+        Lbu { rt, base, off } => Issued::Mem(MemRequest {
+            kind: MemKind::LoadB { signed: false },
+            addr: ea(r.get(base), off),
+            dst_i: Some(rt),
+            dst_f: None,
+            value: 0,
+            pc,
+        }),
+        Lwro { rt, base, off } => {
+            let addr = ea(r.get(base), off);
+            check_align(addr, pc)?;
+            Issued::Mem(MemRequest {
+                kind: MemKind::LoadRo,
+                addr,
+                dst_i: Some(rt),
+                dst_f: None,
+                value: 0,
+                pc,
+            })
+        }
+        Sw { rt, base, off } => {
+            let addr = ea(r.get(base), off);
+            check_align(addr, pc)?;
+            Issued::Mem(MemRequest {
+                kind: MemKind::StoreW { nb: false },
+                addr,
+                dst_i: None,
+                dst_f: None,
+                value: r.get(rt),
+                pc,
+            })
+        }
+        Swnb { rt, base, off } => {
+            let addr = ea(r.get(base), off);
+            check_align(addr, pc)?;
+            Issued::Mem(MemRequest {
+                kind: MemKind::StoreW { nb: true },
+                addr,
+                dst_i: None,
+                dst_f: None,
+                value: r.get(rt),
+                pc,
+            })
+        }
+        Sb { rt, base, off } => Issued::Mem(MemRequest {
+            kind: MemKind::StoreB { nb: false },
+            addr: ea(r.get(base), off),
+            dst_i: None,
+            dst_f: None,
+            value: r.get(rt) & 0xff,
+            pc,
+        }),
+        Pref { base, off } => {
+            let addr = ea(r.get(base), off);
+            check_align(addr, pc)?;
+            Issued::Mem(MemRequest {
+                kind: MemKind::Pref,
+                addr,
+                dst_i: None,
+                dst_f: None,
+                value: 0,
+                pc,
+            })
+        }
+        Flw { ft, base, off } => {
+            let addr = ea(r.get(base), off);
+            check_align(addr, pc)?;
+            Issued::Mem(MemRequest {
+                kind: MemKind::LoadF,
+                addr,
+                dst_i: None,
+                dst_f: Some(ft),
+                value: 0,
+                pc,
+            })
+        }
+        Fsw { ft, base, off } => {
+            let addr = ea(r.get(base), off);
+            check_align(addr, pc)?;
+            Issued::Mem(MemRequest {
+                kind: MemKind::StoreF { nb: false },
+                addr,
+                dst_i: None,
+                dst_f: None,
+                value: r.getf(ft).to_bits(),
+                pc,
+            })
+        }
+        Psm { rt, base, off } => {
+            let addr = ea(r.get(base), off);
+            check_align(addr, pc)?;
+            Issued::Mem(MemRequest {
+                kind: MemKind::Psm,
+                addr,
+                dst_i: Some(rt),
+                dst_f: None,
+                value: r.get(rt),
+                pc,
+            })
+        }
+        // ---- floating point ----
+        Fadd { fd, fs, ft } => {
+            let v = r.getf(fs) + r.getf(ft);
+            r.setf(fd, v);
+            Issued::Done(CostClass::FpAdd)
+        }
+        Fsub { fd, fs, ft } => {
+            let v = r.getf(fs) - r.getf(ft);
+            r.setf(fd, v);
+            Issued::Done(CostClass::FpAdd)
+        }
+        Fmul { fd, fs, ft } => {
+            let v = r.getf(fs) * r.getf(ft);
+            r.setf(fd, v);
+            Issued::Done(CostClass::FpMul)
+        }
+        Fdiv { fd, fs, ft } => {
+            let v = r.getf(fs) / r.getf(ft);
+            r.setf(fd, v);
+            Issued::Done(CostClass::FpDiv)
+        }
+        Fmov { fd, fs } => {
+            let v = r.getf(fs);
+            r.setf(fd, v);
+            Issued::Done(CostClass::FpMisc)
+        }
+        Fneg { fd, fs } => {
+            let v = -r.getf(fs);
+            r.setf(fd, v);
+            Issued::Done(CostClass::FpMisc)
+        }
+        Fcvtsw { fd, rs } => {
+            let v = r.get_i(rs) as f32;
+            r.setf(fd, v);
+            Issued::Done(CostClass::FpMisc)
+        }
+        Fcvtws { rd, fs } => {
+            let v = r.getf(fs) as i32;
+            r.set_i(rd, v);
+            Issued::Done(CostClass::FpMisc)
+        }
+        Fcmp { op, rd, fs, ft } => {
+            let (a, b) = (r.getf(fs), r.getf(ft));
+            let v = match op {
+                xmt_isa::instr::FCmpOp::Eq => a == b,
+                xmt_isa::instr::FCmpOp::Lt => a < b,
+                xmt_isa::instr::FCmpOp::Le => a <= b,
+            };
+            r.set(rd, v as u32);
+            Issued::Done(CostClass::FpMisc)
+        }
+        Fli { fd, imm } => {
+            r.setf(fd, imm);
+            Issued::Done(CostClass::FpMisc)
+        }
+        // ---- control flow ----
+        Beq { rs, rt, ref target } => branch(ctx, r_get2(ctx, rs) == r_get2(ctx, rt), target),
+        Bne { rs, rt, ref target } => branch(ctx, r_get2(ctx, rs) != r_get2(ctx, rt), target),
+        Blez { rs, ref target } => branch(ctx, (r_get2(ctx, rs) as i32) <= 0, target),
+        Bgtz { rs, ref target } => branch(ctx, (r_get2(ctx, rs) as i32) > 0, target),
+        Bltz { rs, ref target } => branch(ctx, (r_get2(ctx, rs) as i32) < 0, target),
+        Bgez { rs, ref target } => branch(ctx, (r_get2(ctx, rs) as i32) >= 0, target),
+        J { ref target } => {
+            ctx.pc = target.abs();
+            Issued::Done(CostClass::Branch { taken: true })
+        }
+        Jal { ref target } => {
+            ctx.regs.set(Reg::Ra, pc + 1);
+            ctx.pc = target.abs();
+            Issued::Done(CostClass::Branch { taken: true })
+        }
+        Jr { rs } => {
+            ctx.pc = ctx.regs.get(rs);
+            Issued::Done(CostClass::Branch { taken: true })
+        }
+        Jalr { rd, rs } => {
+            let dest = ctx.regs.get(rs);
+            ctx.regs.set(rd, pc + 1);
+            ctx.pc = dest;
+            Issued::Done(CostClass::Branch { taken: true })
+        }
+        // ---- XMT primitives ----
+        Spawn { lo, hi } => {
+            if matches!(mode, Mode::Parallel { .. }) {
+                return Err(Trap::SpawnInParallel { pc });
+            }
+            Issued::Spawn { lo: r.get_i(lo), hi: r.get_i(hi), spawn_idx: pc }
+        }
+        Join => {
+            // Reached only by falling through: for a TCU that means the
+            // compiler forgot the loop-back jump; for the master it means
+            // control entered a spawn region illegally.
+            return Err(match mode {
+                Mode::Parallel { .. } => Trap::FellThroughJoin { pc },
+                Mode::Master => Trap::StrayJoin { pc },
+            });
+        }
+        Ps { rt, gr } => {
+            let inc = r.get_i(rt);
+            if inc != 0 && inc != 1 {
+                return Err(Trap::PsIncrementInvalid { pc, value: inc });
+            }
+            let old = m.ps(gr, inc as u32);
+            r.set(rt, old);
+            Issued::Done(CostClass::Ps)
+        }
+        Grput { gr, rs } => {
+            if matches!(mode, Mode::Parallel { .. }) {
+                return Err(Trap::GrputInParallel { pc });
+            }
+            m.gregs[gr.0 as usize] = ctx.regs.get(rs);
+            Issued::Done(CostClass::Ps)
+        }
+        Chkid { rt } => {
+            let Mode::Parallel { hi } = mode else {
+                return Err(Trap::ChkidOutsideSpawn { pc });
+            };
+            if r.get_i(rt) > hi {
+                ctx.pc = pc; // stay parked at the chkid
+                Issued::ChkidBlocked
+            } else {
+                Issued::Done(CostClass::Branch { taken: false })
+            }
+        }
+        Fence => Issued::Fence,
+        // ---- system ----
+        Print { rs } => {
+            m.output.items.push(OutputItem::Int(r.get_i(rs)));
+            Issued::Done(CostClass::Print)
+        }
+        Printf { fs } => {
+            m.output.items.push(OutputItem::Float(r.getf(fs)));
+            Issued::Done(CostClass::Print)
+        }
+        Printc { rs } => {
+            m.output.items.push(OutputItem::Char((r.get(rs) & 0xff) as u8 as char));
+            Issued::Done(CostClass::Print)
+        }
+        Halt => {
+            if matches!(mode, Mode::Parallel { .. }) {
+                return Err(Trap::HaltInParallel { pc });
+            }
+            m.halted = true;
+            Issued::Halt
+        }
+        Nop => Issued::Done(CostClass::Ctl),
+    };
+    Ok(issued)
+}
+
+#[inline]
+fn ea(base: u32, off: i32) -> u32 {
+    base.wrapping_add(off as u32)
+}
+
+fn check_align(addr: u32, pc: u32) -> Result<(), Trap> {
+    if !addr.is_multiple_of(4) {
+        Err(Trap::Misaligned { pc, addr })
+    } else {
+        Ok(())
+    }
+}
+
+// Register read helper usable while `ctx` is mutably borrowed elsewhere in
+// the match (branches re-read registers through the context).
+#[inline]
+fn r_get2(ctx: &ThreadCtx, r: Reg) -> u32 {
+    ctx.regs.get(r)
+}
+
+fn branch(ctx: &mut ThreadCtx, cond: bool, target: &xmt_isa::Target) -> Issued {
+    if cond {
+        ctx.pc = target.abs();
+    }
+    Issued::Done(CostClass::Branch { taken: cond })
+}
+
+/// Apply a memory request to the machine; returns the response value
+/// (load data, or the *old* value for `psm`; 0 for stores/prefetch).
+///
+/// In the cycle-accurate model this runs at the instant the cache module
+/// services the request, which is what makes inter-thread orderings
+/// follow the interconnect, not program order.
+pub fn perform(m: &mut Machine, req: &MemRequest) -> u32 {
+    match req.kind {
+        MemKind::LoadW | MemKind::LoadRo | MemKind::LoadF => m.mem.read_u32(req.addr),
+        MemKind::LoadB { signed } => {
+            let b = m.mem.read_u8(req.addr);
+            if signed {
+                b as i8 as i32 as u32
+            } else {
+                b as u32
+            }
+        }
+        MemKind::StoreW { .. } | MemKind::StoreF { .. } => {
+            m.mem.write_u32(req.addr, req.value);
+            0
+        }
+        MemKind::StoreB { .. } => {
+            m.mem.write_u8(req.addr, req.value as u8);
+            0
+        }
+        MemKind::Psm => {
+            let old = m.mem.read_u32(req.addr);
+            m.mem.write_u32(req.addr, old.wrapping_add(req.value));
+            old
+        }
+        MemKind::Pref => 0,
+    }
+}
+
+/// Deliver a response value to the issuing context's destination register.
+pub fn complete(ctx: &mut ThreadCtx, req: &MemRequest, value: u32) {
+    if let Some(rd) = req.dst_i {
+        ctx.regs.set(rd, value);
+    }
+    if let Some(fd) = req.dst_f {
+        ctx.regs.setf(fd, f32::from_bits(value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmt_isa::{AsmProgram, GlobalReg, Instr, MemoryMap, Target};
+
+    fn run_serial(p: AsmProgram, mm: MemoryMap) -> (Machine, ThreadCtx) {
+        let exe = p.link(mm).unwrap();
+        let mut m = Machine::load(&exe);
+        let mut ctx = ThreadCtx { pc: exe.entry, ..Default::default() };
+        ctx.regs.set(Reg::Sp, xmt_isa::STACK_TOP);
+        for _ in 0..100_000 {
+            match issue(&exe, &mut ctx, &mut m, Mode::Master).unwrap() {
+                Issued::Done(_) | Issued::Fence => {}
+                Issued::Mem(req) => {
+                    let v = perform(&mut m, &req);
+                    complete(&mut ctx, &req, v);
+                }
+                Issued::Halt => return (m, ctx),
+                other => panic!("unexpected in serial test: {other:?}"),
+            }
+        }
+        panic!("did not halt");
+    }
+
+    #[test]
+    fn arithmetic_loop_sums() {
+        // sum = 1 + 2 + ... + 10
+        let mut p = AsmProgram::new();
+        p.push(Instr::Li { rt: Reg::T0, imm: 10 }); // i
+        p.push(Instr::Li { rt: Reg::T1, imm: 0 }); // sum
+        p.label("loop");
+        p.push(Instr::Add { rd: Reg::T1, rs: Reg::T1, rt: Reg::T0 });
+        p.push(Instr::Addi { rt: Reg::T0, rs: Reg::T0, imm: -1 });
+        p.push(Instr::Bgtz { rs: Reg::T0, target: Target::label("loop") });
+        p.push(Instr::Print { rs: Reg::T1 });
+        p.push(Instr::Halt);
+        let (m, _) = run_serial(p, MemoryMap::new());
+        assert_eq!(m.output.ints(), vec![55]);
+    }
+
+    #[test]
+    fn memory_roundtrip_and_bytes() {
+        let mut mm = MemoryMap::new();
+        let a = mm.push("A", vec![0x8081_8283, 0]);
+        let mut p = AsmProgram::new();
+        p.push(Instr::Li { rt: Reg::T0, imm: a as i32 });
+        p.push(Instr::Lb { rt: Reg::T1, base: Reg::T0, off: 3 }); // 0x80 sign-extended
+        p.push(Instr::Print { rs: Reg::T1 });
+        p.push(Instr::Lbu { rt: Reg::T1, base: Reg::T0, off: 3 });
+        p.push(Instr::Print { rs: Reg::T1 });
+        p.push(Instr::Lw { rt: Reg::T2, base: Reg::T0, off: 0 });
+        p.push(Instr::Sw { rt: Reg::T2, base: Reg::T0, off: 4 });
+        p.push(Instr::Lw { rt: Reg::T3, base: Reg::T0, off: 4 });
+        p.push(Instr::Sra { rd: Reg::T3, rt: Reg::T3, sh: 24 });
+        p.push(Instr::Print { rs: Reg::T3 });
+        p.push(Instr::Halt);
+        let (m, _) = run_serial(p, mm);
+        assert_eq!(m.output.ints(), vec![-128, 128, -128]);
+    }
+
+    #[test]
+    fn psm_fetch_and_add() {
+        let mut mm = MemoryMap::new();
+        let a = mm.push("ctr", vec![100]);
+        let mut p = AsmProgram::new();
+        p.push(Instr::Li { rt: Reg::T0, imm: a as i32 });
+        p.push(Instr::Li { rt: Reg::T1, imm: -5 });
+        p.push(Instr::Psm { rt: Reg::T1, base: Reg::T0, off: 0 });
+        p.push(Instr::Print { rs: Reg::T1 }); // old value 100
+        p.push(Instr::Lw { rt: Reg::T2, base: Reg::T0, off: 0 });
+        p.push(Instr::Print { rs: Reg::T2 }); // new value 95
+        p.push(Instr::Halt);
+        let (m, _) = run_serial(p, mm);
+        assert_eq!(m.output.ints(), vec![100, 95]);
+    }
+
+    #[test]
+    fn ps_increment_restricted_to_0_and_1() {
+        let exe = {
+            let mut p = AsmProgram::new();
+            p.push(Instr::Li { rt: Reg::T0, imm: 2 });
+            p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg(1) });
+            p.push(Instr::Halt);
+            p.link(MemoryMap::new()).unwrap()
+        };
+        let mut m = Machine::load(&exe);
+        let mut ctx = ThreadCtx::default();
+        issue(&exe, &mut ctx, &mut m, Mode::Master).unwrap();
+        let err = issue(&exe, &mut ctx, &mut m, Mode::Master).unwrap_err();
+        assert_eq!(err, Trap::PsIncrementInvalid { pc: 1, value: 2 });
+    }
+
+    #[test]
+    fn fp_pipeline() {
+        let mut p = AsmProgram::new();
+        p.push(Instr::Li { rt: Reg::T0, imm: 7 });
+        p.push(Instr::Fcvtsw { fd: FReg(1), rs: Reg::T0 });
+        p.push(Instr::Fli { fd: FReg(2), imm: 0.5 });
+        p.push(Instr::Fmul { fd: FReg(3), fs: FReg(1), ft: FReg(2) });
+        p.push(Instr::Fcvtws { rd: Reg::T1, fs: FReg(3) });
+        p.push(Instr::Print { rs: Reg::T1 }); // trunc(3.5) = 3
+        p.push(Instr::Fcmp {
+            op: xmt_isa::instr::FCmpOp::Lt,
+            rd: Reg::T2,
+            fs: FReg(2),
+            ft: FReg(1),
+        });
+        p.push(Instr::Print { rs: Reg::T2 }); // 0.5 < 7.0 -> 1
+        p.push(Instr::Halt);
+        let (m, _) = run_serial(p, MemoryMap::new());
+        assert_eq!(m.output.ints(), vec![3, 1]);
+    }
+
+    #[test]
+    fn jal_jr_function_call() {
+        let mut p = AsmProgram::new();
+        p.label("main");
+        p.push(Instr::Li { rt: Reg::A0, imm: 20 });
+        p.push(Instr::Jal { target: Target::label("double") });
+        p.push(Instr::Print { rs: Reg::V0 });
+        p.push(Instr::Halt);
+        p.label("double");
+        p.push(Instr::Add { rd: Reg::V0, rs: Reg::A0, rt: Reg::A0 });
+        p.push(Instr::Jr { rs: Reg::Ra });
+        let (m, _) = run_serial(p, MemoryMap::new());
+        assert_eq!(m.output.ints(), vec![40]);
+    }
+
+    #[test]
+    fn chkid_blocks_out_of_range() {
+        let exe = {
+            let mut p = AsmProgram::new();
+            p.push(Instr::Li { rt: Reg::A0, imm: 0 });
+            p.push(Instr::Li { rt: Reg::A1, imm: 3 });
+            p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+            p.push(Instr::Chkid { rt: Reg::T0 });
+            p.push(Instr::Join);
+            p.push(Instr::Halt);
+            p.link(MemoryMap::new()).unwrap()
+        };
+        let mut m = Machine::load(&exe);
+        let mut ctx = ThreadCtx { pc: 3, ..Default::default() };
+        ctx.regs.set(Reg::T0, 4); // out of range: hi = 3
+        let res = issue(&exe, &mut ctx, &mut m, Mode::Parallel { hi: 3 }).unwrap();
+        assert_eq!(res, Issued::ChkidBlocked);
+        assert_eq!(ctx.pc, 3); // parked
+
+        ctx.regs.set(Reg::T0, 3); // in range
+        let res = issue(&exe, &mut ctx, &mut m, Mode::Parallel { hi: 3 }).unwrap();
+        assert!(matches!(res, Issued::Done(CostClass::Branch { taken: false })));
+        assert_eq!(ctx.pc, 4);
+    }
+
+    #[test]
+    fn misaligned_word_access_traps() {
+        let exe = {
+            let mut p = AsmProgram::new();
+            p.push(Instr::Li { rt: Reg::T0, imm: 0x1000_0002 });
+            p.push(Instr::Lw { rt: Reg::T1, base: Reg::T0, off: 0 });
+            p.push(Instr::Halt);
+            p.link(MemoryMap::new()).unwrap()
+        };
+        let mut m = Machine::load(&exe);
+        let mut ctx = ThreadCtx::default();
+        issue(&exe, &mut ctx, &mut m, Mode::Master).unwrap();
+        let err = issue(&exe, &mut ctx, &mut m, Mode::Master).unwrap_err();
+        assert_eq!(err, Trap::Misaligned { pc: 1, addr: 0x1000_0002 });
+    }
+
+    #[test]
+    fn parallel_mode_traps() {
+        let exe = {
+            let mut p = AsmProgram::new();
+            p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+            p.push(Instr::Halt);
+            p.push(Instr::Join);
+            p.link(MemoryMap::new()).unwrap()
+        };
+        let mut m = Machine::load(&exe);
+        let par = Mode::Parallel { hi: 10 };
+
+        let mut ctx = ThreadCtx { pc: 0, ..Default::default() };
+        assert_eq!(
+            issue(&exe, &mut ctx, &mut m, par).unwrap_err(),
+            Trap::SpawnInParallel { pc: 0 }
+        );
+        let mut ctx = ThreadCtx { pc: 1, ..Default::default() };
+        assert_eq!(
+            issue(&exe, &mut ctx, &mut m, par).unwrap_err(),
+            Trap::HaltInParallel { pc: 1 }
+        );
+        let mut ctx = ThreadCtx { pc: 2, ..Default::default() };
+        assert_eq!(
+            issue(&exe, &mut ctx, &mut m, par).unwrap_err(),
+            Trap::FellThroughJoin { pc: 2 }
+        );
+        let mut ctx = ThreadCtx { pc: 2, ..Default::default() };
+        assert_eq!(
+            issue(&exe, &mut ctx, &mut m, Mode::Master).unwrap_err(),
+            Trap::StrayJoin { pc: 2 }
+        );
+    }
+}

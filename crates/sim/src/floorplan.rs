@@ -1,0 +1,215 @@
+//! Floorplan visualization (paper §III-E).
+//!
+//! The amount of simulation output can be overwhelming for a
+//! configuration with many TCUs; the floorplan package displays
+//! per-cluster (or per-cache-module) data laid out on the chip floorplan,
+//! as colors or text. This text renderer produces an ASCII heat map plus
+//! per-cell values, and can be driven from an activity plug-in to animate
+//! statistics over a run, exactly as the paper describes.
+
+use crate::stats::{ActivityPlugin, ActivitySample, RuntimeCtl};
+use std::fmt::Write as _;
+
+/// Shade characters from cold to hot.
+const SHADES: &[u8] = b" .:-=+*#%@";
+
+/// A rectangular floorplan of `cols` × `rows` cells (clusters).
+#[derive(Debug, Clone)]
+pub struct Floorplan {
+    cols: usize,
+    rows: usize,
+    labels: Vec<String>,
+}
+
+impl Floorplan {
+    /// A square-ish floorplan for `n` cells labeled `C0..Cn`.
+    pub fn square(n: usize) -> Self {
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let rows = n.div_ceil(cols.max(1));
+        Floorplan {
+            cols,
+            rows,
+            labels: (0..n).map(|k| format!("C{k}")).collect(),
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the floorplan has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Render `values` (one per cell) as an ASCII heat map. Values are
+    /// normalized between `min` and `max` of the data; uniform data
+    /// renders mid-scale.
+    pub fn heatmap(&self, values: &[f64]) -> String {
+        assert_eq!(values.len(), self.len(), "one value per floorplan cell");
+        let (lo, hi) = bounds(values);
+        let mut out = String::new();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let i = r * self.cols + c;
+                if i >= values.len() {
+                    break;
+                }
+                let shade = SHADES[level(values[i], lo, hi, SHADES.len())] as char;
+                // A 2×1 block per cell reads better at terminal aspect
+                // ratios.
+                out.push(shade);
+                out.push(shade);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render `values` as a labeled grid with numeric cells (the "text"
+    /// display mode of the visualization package).
+    pub fn table(&self, title: &str, values: &[f64]) -> String {
+        assert_eq!(values.len(), self.len());
+        let mut out = format!("{title}\n");
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let i = r * self.cols + c;
+                if i >= values.len() {
+                    break;
+                }
+                let _ = write!(out, "{:>4}:{:>10.2} ", self.labels[i], values[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn bounds(values: &[f64]) -> (f64, f64) {
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (lo, hi)
+}
+
+fn level(v: f64, lo: f64, hi: f64, n: usize) -> usize {
+    if !(hi > lo) {
+        return n / 2;
+    }
+    let x = (v - lo) / (hi - lo);
+    ((x * (n - 1) as f64).round() as usize).min(n - 1)
+}
+
+/// An activity plug-in that captures one floorplan frame per sampling
+/// interval — per-cluster instruction activity over simulated time — the
+/// paper's "animate statistics obtained during a simulation run"
+/// (§III-E).
+pub struct FloorplanAnimator {
+    plan: Floorplan,
+    /// (sample time ps, per-cluster instruction delta) per frame.
+    pub frames: Vec<(u64, Vec<u64>)>,
+    max_frames: usize,
+}
+
+impl FloorplanAnimator {
+    /// Animate a `clusters`-cell floorplan, keeping up to `max_frames`.
+    pub fn new(clusters: usize, max_frames: usize) -> Self {
+        FloorplanAnimator { plan: Floorplan::square(clusters), frames: Vec::new(), max_frames }
+    }
+
+    /// Render every captured frame as stacked heat maps.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (t, deltas) in &self.frames {
+            let vals: Vec<f64> = deltas.iter().map(|&d| d as f64).collect();
+            let _ = writeln!(out, "t = {t} ps:");
+            out.push_str(&self.plan.heatmap(&vals));
+        }
+        out
+    }
+}
+
+impl ActivityPlugin for FloorplanAnimator {
+    fn sample(&mut self, s: &ActivitySample<'_>, _ctl: &mut RuntimeCtl) {
+        if self.frames.len() < self.max_frames {
+            self.frames.push((s.now, s.delta.per_cluster.clone()));
+        }
+    }
+
+    fn report(&self) -> String {
+        format!("floorplan animation: {} frames captured", self.frames.len())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_layout_dimensions() {
+        let f = Floorplan::square(64);
+        assert_eq!(f.len(), 64);
+        let map = f.heatmap(&vec![1.0; 64]);
+        assert_eq!(map.lines().count(), 8);
+        assert!(map.lines().all(|l| l.len() == 16));
+    }
+
+    #[test]
+    fn heatmap_extremes_use_extreme_shades() {
+        let f = Floorplan::square(4);
+        let map = f.heatmap(&[0.0, 0.0, 0.0, 100.0]);
+        assert!(map.contains('@'), "hottest cell at max shade");
+        assert!(map.contains(' '), "coldest cell at min shade");
+    }
+
+    #[test]
+    fn uniform_data_is_mid_scale() {
+        let f = Floorplan::square(4);
+        let map = f.heatmap(&[5.0; 4]);
+        let mid = SHADES[SHADES.len() / 2] as char;
+        assert!(map.chars().filter(|c| *c != '\n').all(|c| c == mid));
+    }
+
+    #[test]
+    fn table_contains_labels_and_values() {
+        let f = Floorplan::square(3);
+        let t = f.table("ipc per cluster", &[1.0, 2.0, 3.0]);
+        assert!(t.contains("ipc per cluster"));
+        assert!(t.contains("C2"));
+        assert!(t.contains("3.00"));
+    }
+
+    #[test]
+    fn animator_captures_frames() {
+        let mut anim = FloorplanAnimator::new(4, 8);
+        let mut ctl = RuntimeCtl { period_ps: [1000; 4], stop: false };
+        for k in 1..=3u64 {
+            let mut delta = crate::stats::Stats::for_topology(4, 4);
+            delta.per_cluster = vec![k, 2 * k, 0, k * k];
+            let stats = crate::stats::Stats::for_topology(4, 4);
+            let sample = ActivitySample {
+                now: k * 1000,
+                stats: &stats,
+                delta,
+                period_ps: [1000; 4],
+            };
+            anim.sample(&sample, &mut ctl);
+        }
+        assert_eq!(anim.frames.len(), 3);
+        assert_eq!(anim.frames[2].1, vec![3, 6, 0, 9]);
+        let rendered = anim.render();
+        assert_eq!(rendered.matches("t = ").count(), 3);
+        assert!(anim.report().contains("3 frames"));
+    }
+
+    #[test]
+    fn non_square_counts_render() {
+        let f = Floorplan::square(10); // 4 cols × 3 rows, last row short
+        let map = f.heatmap(&[1.0; 10]);
+        assert_eq!(map.lines().count(), 3);
+    }
+}

@@ -1,0 +1,277 @@
+//! The fast functional simulation mode (paper §III-A).
+//!
+//! The cycle-accurate model is replaced by a simplified mechanism that
+//! *serializes the parallel sections*: a single execution context plays
+//! all virtual threads back-to-back, consuming thread ids from `gr0`
+//! exactly as a lone TCU would. No timing information is produced, which
+//! makes this mode orders of magnitude faster (measured in
+//! `xmt-bench`'s mode-speed experiment) — a quick, limited debugging tool
+//! for XMTC programs. Because it serializes spawn blocks it cannot reveal
+//! concurrency bugs, as the paper warns; its other use is fast-forwarding
+//! to a region of interest (see [`crate::checkpoint`]).
+
+use crate::exec::{self, Issued, Mode};
+use crate::machine::{Machine, ThreadCtx, Trap};
+use crate::stats::Stats;
+use xmt_isa::{Executable, Reg};
+
+/// Errors from a functional run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FuncError {
+    /// The simulated program trapped.
+    Trap(Trap),
+    /// The instruction budget was exhausted before `halt`.
+    InstrLimit { executed: u64 },
+}
+
+impl std::fmt::Display for FuncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FuncError::Trap(t) => write!(f, "trap: {t}"),
+            FuncError::InstrLimit { executed } => {
+                write!(f, "instruction limit reached after {executed} instructions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FuncError {}
+
+impl From<Trap> for FuncError {
+    fn from(t: Trap) -> Self {
+        FuncError::Trap(t)
+    }
+}
+
+/// The functional-mode simulator.
+pub struct FunctionalSim {
+    exe: Executable,
+    /// Architectural state.
+    pub machine: Machine,
+    /// Master context.
+    pub master: ThreadCtx,
+    /// Instruction counters (no activity/timing counters in this mode).
+    pub stats: Stats,
+    instr_limit: u64,
+}
+
+impl FunctionalSim {
+    /// Build a functional simulator for `exe`.
+    pub fn new(exe: Executable) -> Self {
+        let machine = Machine::load(&exe);
+        let mut master = ThreadCtx { pc: exe.entry, ..Default::default() };
+        master.regs.set(Reg::Sp, xmt_isa::STACK_TOP);
+        FunctionalSim {
+            machine,
+            master,
+            stats: Stats::for_topology(1, 1),
+            instr_limit: u64::MAX,
+            exe,
+        }
+    }
+
+    /// Cap the number of executed instructions (runaway protection).
+    pub fn set_instr_limit(&mut self, limit: u64) {
+        self.instr_limit = limit;
+    }
+
+    /// The loaded executable.
+    pub fn executable(&self) -> &Executable {
+        &self.exe
+    }
+
+    /// Run to `halt`. Returns the number of instructions executed.
+    pub fn run(&mut self) -> Result<u64, FuncError> {
+        let mut executed: u64 = 0;
+        loop {
+            if executed >= self.instr_limit {
+                return Err(FuncError::InstrLimit { executed });
+            }
+            let pc = self.master.pc;
+            let issued =
+                exec::issue(&self.exe, &mut self.master, &mut self.machine, Mode::Master)?;
+            executed += 1;
+            let _ = pc;
+            match issued {
+                Issued::Done(cost) => {
+                    self.stats.count_instr(cost_fu(cost), None);
+                }
+                Issued::Mem(req) => {
+                    self.stats.count_instr(xmt_isa::FuKind::Mem, None);
+                    let v = exec::perform(&mut self.machine, &req);
+                    exec::complete(&mut self.master, &req, v);
+                }
+                Issued::Fence => {
+                    self.stats.count_instr(xmt_isa::FuKind::Ctl, None);
+                }
+                Issued::Spawn { lo, hi, spawn_idx } => {
+                    self.stats.count_instr(xmt_isa::FuKind::Ctl, None);
+                    executed += self.run_spawn_serialized(lo, hi, spawn_idx, executed)?;
+                }
+                Issued::Halt => {
+                    self.stats.count_instr(xmt_isa::FuKind::Ctl, None);
+                    return Ok(executed);
+                }
+                Issued::ChkidBlocked => unreachable!("chkid traps in master mode"),
+            }
+        }
+    }
+
+    /// Serialize one parallel section: a single context consumes every
+    /// virtual thread id through the normal `ps`/`chkid` protocol.
+    fn run_spawn_serialized(
+        &mut self,
+        lo: i32,
+        hi: i32,
+        spawn_idx: u32,
+        executed_so_far: u64,
+    ) -> Result<u64, FuncError> {
+        let join_idx = self
+            .exe
+            .join_of(spawn_idx)
+            .expect("linker guarantees spawn/join pairing");
+        self.stats.spawns += 1;
+        self.master.pc = join_idx + 1;
+        if lo > hi {
+            return Ok(0);
+        }
+        self.stats.virtual_threads += (hi as i64 - lo as i64 + 1) as u64;
+        self.machine.gregs[0] = lo as u32;
+
+        // One context plays all virtual threads (broadcast register file).
+        let mut ctx = ThreadCtx { regs: self.master.regs.clone(), pc: spawn_idx + 1 };
+        let mut executed = 0u64;
+        loop {
+            if executed_so_far + executed >= self.instr_limit {
+                return Err(FuncError::InstrLimit { executed: executed_so_far + executed });
+            }
+            let issued =
+                exec::issue(&self.exe, &mut ctx, &mut self.machine, Mode::Parallel { hi })?;
+            executed += 1;
+            match issued {
+                Issued::Done(cost) => {
+                    self.stats.count_instr(cost_fu(cost), Some(0));
+                }
+                Issued::Mem(req) => {
+                    self.stats.count_instr(xmt_isa::FuKind::Mem, Some(0));
+                    let v = exec::perform(&mut self.machine, &req);
+                    exec::complete(&mut ctx, &req, v);
+                }
+                Issued::Fence => {
+                    self.stats.count_instr(xmt_isa::FuKind::Ctl, Some(0));
+                }
+                Issued::ChkidBlocked => {
+                    // All ids consumed: the serialized section is done.
+                    self.stats.count_instr(xmt_isa::FuKind::Br, Some(0));
+                    return Ok(executed);
+                }
+                Issued::Halt | Issued::Spawn { .. } => {
+                    unreachable!("issue() traps on halt/spawn in parallel mode")
+                }
+            }
+        }
+    }
+}
+
+fn cost_fu(cost: exec::CostClass) -> xmt_isa::FuKind {
+    use exec::CostClass as C;
+    match cost {
+        C::Alu => xmt_isa::FuKind::Alu,
+        C::Sft => xmt_isa::FuKind::Sft,
+        C::Branch { .. } => xmt_isa::FuKind::Br,
+        C::Mul | C::Div => xmt_isa::FuKind::Mdu,
+        C::FpAdd | C::FpMul | C::FpDiv | C::FpMisc => xmt_isa::FuKind::Fpu,
+        C::Ps => xmt_isa::FuKind::Ps,
+        C::Print | C::Ctl => xmt_isa::FuKind::Ctl,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmt_isa::{AsmProgram, GlobalReg, Instr, MemoryMap, Target};
+
+    fn compaction_like(n: i32) -> (AsmProgram, MemoryMap) {
+        // Parallel: A[$] += 1 for all $, via the standard protocol.
+        let mut mm = MemoryMap::new();
+        let a = mm.push("A", (0..n as u32).collect());
+        let mut p = AsmProgram::new();
+        p.push(Instr::Li { rt: Reg::A0, imm: 0 });
+        p.push(Instr::Li { rt: Reg::A1, imm: n - 1 });
+        p.push(Instr::Li { rt: Reg::S0, imm: a as i32 });
+        p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+        p.label("vt");
+        p.push(Instr::Li { rt: Reg::T0, imm: 1 });
+        p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+        p.push(Instr::Chkid { rt: Reg::T0 });
+        p.push(Instr::Sll { rd: Reg::T1, rt: Reg::T0, sh: 2 });
+        p.push(Instr::Add { rd: Reg::T1, rs: Reg::T1, rt: Reg::S0 });
+        p.push(Instr::Lw { rt: Reg::T2, base: Reg::T1, off: 0 });
+        p.push(Instr::Addi { rt: Reg::T2, rs: Reg::T2, imm: 1 });
+        p.push(Instr::Sw { rt: Reg::T2, base: Reg::T1, off: 0 });
+        p.push(Instr::J { target: Target::label("vt") });
+        p.push(Instr::Join);
+        p.push(Instr::Halt);
+        (p, mm)
+    }
+
+    #[test]
+    fn serialized_spawn_produces_same_memory_as_cycle_accurate() {
+        let (p, mm) = compaction_like(40);
+        let exe = p.link(mm).unwrap();
+
+        let mut f = FunctionalSim::new(exe.clone());
+        f.run().unwrap();
+        let fa = f.machine.read_symbol(f.executable(), "A", 40).unwrap();
+
+        let mut c = crate::cycle::CycleSim::new(exe, crate::config::XmtConfig::tiny());
+        c.run().unwrap();
+        let ca = c.machine.read_symbol(c.executable(), "A", 40).unwrap();
+
+        let want: Vec<u32> = (1..=40).collect();
+        assert_eq!(fa, want);
+        assert_eq!(ca, want);
+        assert_eq!(f.stats.virtual_threads, 40);
+    }
+
+    #[test]
+    fn instr_limit_stops_runaway() {
+        let mut p = AsmProgram::new();
+        p.label("l");
+        p.push(Instr::J { target: Target::label("l") });
+        let exe = p.link(MemoryMap::new()).unwrap();
+        let mut f = FunctionalSim::new(exe);
+        f.set_instr_limit(500);
+        let err = f.run().unwrap_err();
+        assert_eq!(err, FuncError::InstrLimit { executed: 500 });
+    }
+
+    #[test]
+    fn empty_range_spawn_is_noop() {
+        let mut p = AsmProgram::new();
+        p.push(Instr::Li { rt: Reg::A0, imm: 1 });
+        p.push(Instr::Li { rt: Reg::A1, imm: 0 });
+        p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+        p.push(Instr::Join);
+        p.push(Instr::Li { rt: Reg::T0, imm: 5 });
+        p.push(Instr::Print { rs: Reg::T0 });
+        p.push(Instr::Halt);
+        let exe = p.link(MemoryMap::new()).unwrap();
+        let mut f = FunctionalSim::new(exe);
+        f.run().unwrap();
+        assert_eq!(f.machine.output.ints(), vec![5]);
+        assert_eq!(f.stats.virtual_threads, 0);
+    }
+
+    #[test]
+    fn trap_propagates() {
+        let mut p = AsmProgram::new();
+        p.push(Instr::Nop);
+        let exe = p.link(MemoryMap::new()).unwrap();
+        let mut f = FunctionalSim::new(exe);
+        assert!(matches!(
+            f.run().unwrap_err(),
+            FuncError::Trap(Trap::PcOutOfRange { pc: 1 })
+        ));
+    }
+}

@@ -1,0 +1,43 @@
+//! # xmtsim — cycle-accurate simulator of the XMT many-core architecture
+//!
+//! A Rust re-implementation of XMTSim (paper §III): a highly-configurable
+//! discrete-event, execution-driven simulator of the XMT architecture —
+//! Thread Control Units (TCUs) grouped into clusters, cluster-shared
+//! MDU/FPU units, prefetch buffers, read-only caches, a mesh-of-trees
+//! interconnection network, shared first-level cache modules with address
+//! hashing, DRAM channels, the global prefix-sum unit and the spawn/join
+//! unit with its instruction broadcast.
+//!
+//! Two simulation modes are provided, as in the paper:
+//!
+//! * the **cycle-accurate mode** ([`cycle::CycleSim`]) — models timing and
+//!   contention of every component, and applies memory operations in
+//!   *service order*, exposing the relaxed XMT memory model;
+//! * the **fast functional mode** ([`functional::FunctionalSim`]) — runs
+//!   the program by serializing parallel sections; orders of magnitude
+//!   faster, no timing, usable as a quick debugging tool (and for
+//!   fast-forwarding).
+//!
+//! Statistics (instruction and activity counters with filter/activity
+//! plug-ins, §III-B), power and temperature estimation with runtime
+//! clock-domain control (§III-F), execution traces, floorplan
+//! visualization and checkpoints (§III-E) are all available.
+
+pub mod checkpoint;
+pub mod config;
+pub mod cycle;
+pub mod engine;
+pub mod exec;
+pub mod floorplan;
+pub mod functional;
+pub mod machine;
+pub mod phase;
+pub mod power;
+pub mod stats;
+pub mod trace;
+
+pub use config::XmtConfig;
+pub use cycle::CycleSim;
+pub use exec::{CostClass, Issued, MemKind, MemRequest, Mode};
+pub use functional::FunctionalSim;
+pub use machine::{Machine, Memory, Output, OutputItem, RegFile, ThreadCtx, Trap};

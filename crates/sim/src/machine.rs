@@ -1,0 +1,387 @@
+//! Architectural state of the simulated XMT machine: the shared memory,
+//! per-context register files, the global (prefix-sum) registers and the
+//! simulation output stream.
+//!
+//! This is the state owned by the *functional model* of paper Fig. 3 — the
+//! cycle-accurate model fetches instructions, delays them, and applies
+//! their operational semantics to this state.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use xmt_isa::{Executable, FReg, GlobalReg, Reg, HEAP_PTR_ADDR};
+
+/// Size of one memory page (bytes).
+const PAGE_SIZE: u32 = 4096;
+
+/// Sparse byte-addressable memory, allocated in 4 KiB pages on first
+/// touch. `BTreeMap` keeps dumps and checkpoints deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Memory {
+    pages: BTreeMap<u32, Vec<u8>>,
+}
+
+impl Memory {
+    /// Empty memory (all bytes read as zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn page(&self, addr: u32) -> Option<&Vec<u8>> {
+        self.pages.get(&(addr / PAGE_SIZE))
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut Vec<u8> {
+        self.pages
+            .entry(addr / PAGE_SIZE)
+            .or_insert_with(|| vec![0; PAGE_SIZE as usize])
+    }
+
+    /// Read one byte.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        self.page(addr)
+            .map(|p| p[(addr % PAGE_SIZE) as usize])
+            .unwrap_or(0)
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: u32, val: u8) {
+        self.page_mut(addr)[(addr % PAGE_SIZE) as usize] = val;
+    }
+
+    /// Read an aligned 32-bit little-endian word. The caller checks
+    /// alignment (the execution layer raises [`Trap::Misaligned`]).
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        debug_assert_eq!(addr % 4, 0);
+        // A word never straddles a page (page size is a multiple of 4).
+        match self.page(addr) {
+            Some(p) => {
+                let i = (addr % PAGE_SIZE) as usize;
+                u32::from_le_bytes([p[i], p[i + 1], p[i + 2], p[i + 3]])
+            }
+            None => 0,
+        }
+    }
+
+    /// Write an aligned 32-bit little-endian word.
+    pub fn write_u32(&mut self, addr: u32, val: u32) {
+        debug_assert_eq!(addr % 4, 0);
+        let p = self.page_mut(addr);
+        let i = (addr % PAGE_SIZE) as usize;
+        p[i..i + 4].copy_from_slice(&val.to_le_bytes());
+    }
+
+    /// Read `count` consecutive words starting at `addr`.
+    pub fn read_words(&self, addr: u32, count: usize) -> Vec<u32> {
+        (0..count as u32).map(|k| self.read_u32(addr + 4 * k)).collect()
+    }
+
+    /// Write consecutive words starting at `addr`.
+    pub fn write_words(&mut self, addr: u32, words: &[u32]) {
+        for (k, w) in words.iter().enumerate() {
+            self.write_u32(addr + 4 * k as u32, *w);
+        }
+    }
+
+    /// Number of touched pages (memory footprint indicator).
+    pub fn pages_touched(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// The integer + floating-point register file of one hardware context
+/// (one TCU, or the Master TCU).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegFile {
+    int: [u32; 32],
+    fp: [f32; 16],
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        RegFile { int: [0; 32], fp: [0.0; 16] }
+    }
+}
+
+impl RegFile {
+    /// Read an integer register (`$zero` always reads 0).
+    #[inline]
+    pub fn get(&self, r: Reg) -> u32 {
+        self.int[r.number() as usize]
+    }
+
+    /// Read an integer register as signed.
+    #[inline]
+    pub fn get_i(&self, r: Reg) -> i32 {
+        self.get(r) as i32
+    }
+
+    /// Write an integer register (writes to `$zero` are discarded).
+    #[inline]
+    pub fn set(&mut self, r: Reg, v: u32) {
+        if r != Reg::Zero {
+            self.int[r.number() as usize] = v;
+        }
+    }
+
+    /// Write a signed value to an integer register.
+    #[inline]
+    pub fn set_i(&mut self, r: Reg, v: i32) {
+        self.set(r, v as u32);
+    }
+
+    /// Read an FP register.
+    #[inline]
+    pub fn getf(&self, r: FReg) -> f32 {
+        self.fp[r.0 as usize]
+    }
+
+    /// Write an FP register.
+    #[inline]
+    pub fn setf(&mut self, r: FReg, v: f32) {
+        self.fp[r.0 as usize] = v;
+    }
+}
+
+/// One hardware execution context: register file plus program counter
+/// (an instruction index into the text segment).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThreadCtx {
+    pub regs: RegFile,
+    pub pc: u32,
+}
+
+/// One item on the simulation output stream (the `print` family — the
+/// paper's printf plug-in output).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OutputItem {
+    Int(i32),
+    Float(f32),
+    Char(char),
+}
+
+/// The collected output of a simulated program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Output {
+    pub items: Vec<OutputItem>,
+}
+
+impl Output {
+    /// Render the output stream as text: ints/floats newline-separated,
+    /// chars verbatim.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for item in &self.items {
+            match item {
+                OutputItem::Int(v) => {
+                    s.push_str(&v.to_string());
+                    s.push('\n');
+                }
+                OutputItem::Float(v) => {
+                    s.push_str(&format!("{v:?}"));
+                    s.push('\n');
+                }
+                OutputItem::Char(c) => s.push(*c),
+            }
+        }
+        s
+    }
+
+    /// Just the integer items, in order (the common shape in tests).
+    pub fn ints(&self) -> Vec<i32> {
+        self.items
+            .iter()
+            .filter_map(|i| match i {
+                OutputItem::Int(v) => Some(*v),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// A runtime error raised by the simulated machine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Trap {
+    /// Unaligned word access.
+    Misaligned { pc: u32, addr: u32 },
+    /// Program counter left the text segment.
+    PcOutOfRange { pc: u32 },
+    /// A TCU fell through into the `join` marker — the compiler must end
+    /// every virtual thread with a jump back to the `ps`/`chkid` header.
+    FellThroughJoin { pc: u32 },
+    /// `spawn` executed while already in parallel mode (nested spawns are
+    /// serialized by the compiler, never reach hardware).
+    SpawnInParallel { pc: u32 },
+    /// `halt` executed by a TCU (serial-only instruction).
+    HaltInParallel { pc: u32 },
+    /// `chkid` executed outside a parallel section.
+    ChkidOutsideSpawn { pc: u32 },
+    /// `ps` increment was not 0 or 1 (hardware restriction, paper §II-A).
+    PsIncrementInvalid { pc: u32, value: i32 },
+    /// `grput` executed by a TCU (global registers are written by the
+    /// master only; TCUs coordinate through `ps`).
+    GrputInParallel { pc: u32 },
+    /// `join` reached by the master outside a spawn (linker should have
+    /// rejected this program).
+    StrayJoin { pc: u32 },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::Misaligned { pc, addr } => {
+                write!(f, "misaligned word access to 0x{addr:08x} at instruction {pc}")
+            }
+            Trap::PcOutOfRange { pc } => write!(f, "pc {pc} out of text segment"),
+            Trap::FellThroughJoin { pc } => {
+                write!(f, "virtual thread fell through into `join` at instruction {pc}")
+            }
+            Trap::SpawnInParallel { pc } => {
+                write!(f, "`spawn` inside a parallel section at instruction {pc}")
+            }
+            Trap::HaltInParallel { pc } => {
+                write!(f, "`halt` executed by a TCU at instruction {pc}")
+            }
+            Trap::ChkidOutsideSpawn { pc } => {
+                write!(f, "`chkid` outside a parallel section at instruction {pc}")
+            }
+            Trap::PsIncrementInvalid { pc, value } => {
+                write!(f, "`ps` increment {value} not in {{0,1}} at instruction {pc}")
+            }
+            Trap::GrputInParallel { pc } => {
+                write!(f, "`grput` executed by a TCU at instruction {pc}")
+            }
+            Trap::StrayJoin { pc } => write!(f, "stray `join` at instruction {pc}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// The complete functional-model state shared by all execution contexts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    /// The shared memory.
+    pub mem: Memory,
+    /// The chip-wide global registers of the prefix-sum unit.
+    pub gregs: [u32; GlobalReg::COUNT as usize],
+    /// Output stream.
+    pub output: Output,
+    /// Set once `halt` executes.
+    pub halted: bool,
+}
+
+impl Machine {
+    /// Build the initial machine state for an executable: load the memory
+    /// map into the data segment and initialize the heap-break word used
+    /// by serial dynamic allocation.
+    pub fn load(exe: &Executable) -> Self {
+        let mut mem = Memory::new();
+        let mut data_end = 0u32;
+        for e in &exe.memmap.entries {
+            mem.write_words(e.addr, &e.words);
+            data_end = data_end.max(e.addr + e.byte_len());
+        }
+        // Heap starts past the static data, rounded up to a page.
+        let heap_base = (data_end.max(xmt_isa::DATA_BASE) + PAGE_SIZE) & !(PAGE_SIZE - 1);
+        mem.write_u32(HEAP_PTR_ADDR, heap_base);
+        Machine {
+            mem,
+            gregs: [0; GlobalReg::COUNT as usize],
+            output: Output::default(),
+            halted: false,
+        }
+    }
+
+    /// Atomic prefix-sum on a global register: returns the old value.
+    pub fn ps(&mut self, gr: GlobalReg, inc: u32) -> u32 {
+        let slot = &mut self.gregs[gr.0 as usize];
+        let old = *slot;
+        *slot = slot.wrapping_add(inc);
+        old
+    }
+
+    /// Read the value of a data-segment symbol as words.
+    pub fn read_symbol(&self, exe: &Executable, name: &str, count: usize) -> Option<Vec<u32>> {
+        let addr = exe.data_symbol(name)?;
+        Some(self.mem.read_words(addr, count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmt_isa::{AsmProgram, Instr, MemoryMap};
+
+    #[test]
+    fn memory_default_zero_and_rw() {
+        let mut m = Memory::new();
+        assert_eq!(m.read_u32(0x1000_0000), 0);
+        m.write_u32(0x1000_0000, 0xdead_beef);
+        assert_eq!(m.read_u32(0x1000_0000), 0xdead_beef);
+        assert_eq!(m.read_u8(0x1000_0000), 0xef); // little endian
+        m.write_u8(0x1000_0003, 0x01);
+        assert_eq!(m.read_u32(0x1000_0000), 0x01ad_beef);
+    }
+
+    #[test]
+    fn memory_words_roundtrip_across_pages() {
+        let mut m = Memory::new();
+        let base = PAGE_SIZE - 8; // straddles a page boundary
+        let vals = vec![1, 2, 3, 4, 5];
+        m.write_words(base, &vals);
+        assert_eq!(m.read_words(base, 5), vals);
+        assert_eq!(m.pages_touched(), 2);
+    }
+
+    #[test]
+    fn zero_register_is_hardwired() {
+        let mut r = RegFile::default();
+        r.set(Reg::Zero, 42);
+        assert_eq!(r.get(Reg::Zero), 0);
+        r.set_i(Reg::T0, -7);
+        assert_eq!(r.get_i(Reg::T0), -7);
+    }
+
+    #[test]
+    fn ps_returns_old_value() {
+        let mut m = Machine {
+            mem: Memory::new(),
+            gregs: [0; 8],
+            output: Output::default(),
+            halted: false,
+        };
+        assert_eq!(m.ps(GlobalReg(1), 1), 0);
+        assert_eq!(m.ps(GlobalReg(1), 1), 1);
+        assert_eq!(m.ps(GlobalReg(1), 0), 2); // read without increment
+        assert_eq!(m.gregs[1], 2);
+    }
+
+    #[test]
+    fn load_initializes_data_and_heap() {
+        let mut p = AsmProgram::new();
+        p.push(Instr::Halt);
+        let mut mm = MemoryMap::new();
+        let a = mm.push("A", vec![7, 8, 9]);
+        let exe = p.link(mm).unwrap();
+        let m = Machine::load(&exe);
+        assert_eq!(m.mem.read_words(a, 3), vec![7, 8, 9]);
+        let heap = m.mem.read_u32(HEAP_PTR_ADDR);
+        assert!(heap > a + 12);
+        assert_eq!(heap % PAGE_SIZE, 0);
+        assert_eq!(m.read_symbol(&exe, "A", 3), Some(vec![7, 8, 9]));
+    }
+
+    #[test]
+    fn output_rendering() {
+        let out = Output {
+            items: vec![
+                OutputItem::Int(-3),
+                OutputItem::Char('x'),
+                OutputItem::Float(1.5),
+            ],
+        };
+        assert_eq!(out.to_text(), "-3\nx1.5\n");
+        assert_eq!(out.ints(), vec![-3]);
+    }
+}

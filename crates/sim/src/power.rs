@@ -1,0 +1,416 @@
+//! Power estimation, thermal modeling and dynamic management
+//! (paper §III-B and §III-F).
+//!
+//! The power output of XMTSim is computed as a function of the activity
+//! counters and fed to a thermal model for temperature estimation — the
+//! original pairs with HotSpot over JNI; here [`ThermalGrid`] plays that
+//! role with the same underlying physics (an RC network over the
+//! floorplan, solved by explicit time stepping). On top of both sits
+//! [`ThermalGovernor`], an activity plug-in demonstrating the runtime
+//! power/thermal management API: it watches per-interval activity,
+//! estimates power and temperature, and throttles the cluster clock
+//! domain when a temperature threshold is exceeded.
+
+use crate::config::{ClockDomain, XmtConfig};
+use crate::stats::{ActivityPlugin, ActivitySample, RuntimeCtl, Stats};
+use serde::{Deserialize, Serialize};
+
+/// Energy/leakage coefficients of the power model.
+///
+/// Units: energies in picojoules per event; leakage in watts per
+/// structure. Defaults are plausible 45 nm-class numbers; the *shape* of
+/// results (memory-bound phases burn ICN/DRAM power, compute-bound phases
+/// burn cluster power) is what experiments rely on, as with the paper's
+/// own "refining the power model" caveat.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerWeights {
+    /// Energy per instruction executed in a cluster (pJ).
+    pub pj_per_instr: f64,
+    /// Extra energy per MDU/FPU operation (pJ).
+    pub pj_per_fp: f64,
+    /// Energy per ICN package hop (pJ).
+    pub pj_per_icn: f64,
+    /// Energy per cache-module access (pJ).
+    pub pj_per_cache: f64,
+    /// Energy per DRAM line transfer (pJ).
+    pub pj_per_dram: f64,
+    /// Leakage per cluster (W).
+    pub leak_cluster_w: f64,
+    /// Leakage of the ICN (W).
+    pub leak_icn_w: f64,
+    /// Leakage per cache module (W).
+    pub leak_cache_w: f64,
+}
+
+impl Default for PowerWeights {
+    fn default() -> Self {
+        PowerWeights {
+            pj_per_instr: 55.0,
+            pj_per_fp: 220.0,
+            pj_per_icn: 18.0,
+            pj_per_cache: 40.0,
+            pj_per_dram: 2600.0,
+            leak_cluster_w: 0.08,
+            leak_icn_w: 1.5,
+            leak_cache_w: 0.05,
+        }
+    }
+}
+
+/// Power broken down by clock domain (watts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    pub cluster_w: f64,
+    pub icn_w: f64,
+    pub cache_w: f64,
+    pub dram_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total chip power (watts).
+    pub fn total(&self) -> f64 {
+        self.cluster_w + self.icn_w + self.cache_w + self.dram_w
+    }
+}
+
+/// Activity-counter-driven power model.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    pub weights: PowerWeights,
+}
+
+impl PowerModel {
+    /// Chip power over an interval: `delta` holds the counter increments,
+    /// `dt_ps` the interval length in simulated picoseconds.
+    ///
+    /// Dynamic energy scales with activity; leakage with structure count.
+    /// Frequency scaling lowers power because the same work is spread
+    /// over more picoseconds.
+    pub fn power(&self, cfg: &XmtConfig, delta: &Stats, dt_ps: u64) -> PowerBreakdown {
+        if dt_ps == 0 {
+            return PowerBreakdown::default();
+        }
+        let dt_s = dt_ps as f64 * 1e-12;
+        let w = &self.weights;
+        let fp_ops = delta.by_fu[xmt_isa::FuKind::Mdu as usize]
+            + delta.by_fu[xmt_isa::FuKind::Fpu as usize];
+        let cluster_dyn =
+            (delta.instructions as f64 * w.pj_per_instr + fp_ops as f64 * w.pj_per_fp) * 1e-12;
+        let icn_dyn = delta.icn_packages as f64 * w.pj_per_icn * 1e-12;
+        let cache_dyn = (delta.cache_hits + delta.cache_misses) as f64 * w.pj_per_cache * 1e-12;
+        let dram_dyn = delta.dram_accesses as f64 * w.pj_per_dram * 1e-12;
+        PowerBreakdown {
+            cluster_w: cluster_dyn / dt_s + cfg.clusters as f64 * w.leak_cluster_w,
+            icn_w: icn_dyn / dt_s + w.leak_icn_w,
+            cache_w: cache_dyn / dt_s + cfg.cache_modules as f64 * w.leak_cache_w,
+            dram_w: dram_dyn / dt_s,
+        }
+    }
+
+    /// Split the cluster-domain power over the clusters proportionally to
+    /// their instruction activity (for the thermal grid and floorplan).
+    pub fn per_cluster(&self, cfg: &XmtConfig, delta: &Stats, total_cluster_w: f64) -> Vec<f64> {
+        let total: u64 = delta.per_cluster.iter().sum();
+        let n = cfg.clusters as usize;
+        if total == 0 {
+            return vec![total_cluster_w / n as f64; n];
+        }
+        delta
+            .per_cluster
+            .iter()
+            .map(|&c| total_cluster_w * c as f64 / total as f64)
+            .collect()
+    }
+}
+
+/// Transient RC thermal model over the cluster floorplan — the stand-in
+/// for HotSpot. Clusters form a √n × √n grid; each node has a thermal
+/// capacitance, lateral conductances to its grid neighbours and a vertical
+/// conductance to the ambient (heat sink).
+///
+/// The default constants are *demo-scale*: thermal time constants of real
+/// packages are tens of milliseconds, far longer than typical simulated
+/// runs, so the defaults are chosen to develop transients within ~100 µs
+/// of simulated time. Studies needing physical time constants should set
+/// `capacitance`/`g_lateral`/`g_ambient` to package-accurate values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalGrid {
+    cols: usize,
+    rows: usize,
+    /// Node temperatures (°C).
+    pub temp_c: Vec<f64>,
+    /// Ambient / heat-sink temperature (°C).
+    pub ambient_c: f64,
+    /// Thermal capacitance per node (J/K).
+    pub capacitance: f64,
+    /// Lateral conductance between neighbours (W/K).
+    pub g_lateral: f64,
+    /// Vertical conductance to ambient (W/K).
+    pub g_ambient: f64,
+}
+
+impl ThermalGrid {
+    /// A grid with one node per cluster, starting at ambient.
+    pub fn new(clusters: u32) -> Self {
+        let cols = (clusters as f64).sqrt().ceil() as usize;
+        let rows = (clusters as usize).div_ceil(cols);
+        ThermalGrid {
+            cols,
+            rows,
+            temp_c: vec![45.0; clusters as usize],
+            ambient_c: 45.0,
+            capacitance: 2.0e-6,
+            g_lateral: 0.05,
+            g_ambient: 0.02,
+        }
+    }
+
+    /// Advance the model by `dt_s` seconds with `power_w[i]` watts
+    /// injected at node `i`. Internally sub-steps to keep the explicit
+    /// integration stable.
+    pub fn step(&mut self, power_w: &[f64], dt_s: f64) {
+        assert_eq!(power_w.len(), self.temp_c.len());
+        // Stability bound for explicit Euler on an RC grid.
+        let g_total = 4.0 * self.g_lateral + self.g_ambient;
+        let max_dt = 0.5 * self.capacitance / g_total;
+        let steps = (dt_s / max_dt).ceil().max(1.0) as usize;
+        let h = dt_s / steps as f64;
+        let n = self.temp_c.len();
+        let mut next = vec![0.0; n];
+        for _ in 0..steps {
+            for i in 0..n {
+                let t = self.temp_c[i];
+                let mut flow = power_w[i] + self.g_ambient * (self.ambient_c - t);
+                for nb in self.neighbours(i) {
+                    flow += self.g_lateral * (self.temp_c[nb] - t);
+                }
+                next[i] = t + h / self.capacitance * flow;
+            }
+            std::mem::swap(&mut self.temp_c, &mut next);
+        }
+    }
+
+    fn neighbours(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        let (r, c) = (i / self.cols, i % self.cols);
+        let n = self.temp_c.len();
+        [
+            (r.wrapping_sub(1), c),
+            (r + 1, c),
+            (r, c.wrapping_sub(1)),
+            (r, c + 1),
+        ]
+        .into_iter()
+        .filter_map(move |(rr, cc)| {
+            (rr < self.rows && cc < self.cols)
+                .then(|| rr * self.cols + cc)
+                .filter(|&j| j < n)
+        })
+    }
+
+    /// Hottest node temperature (°C).
+    pub fn max_temp(&self) -> f64 {
+        self.temp_c.iter().copied().fold(f64::MIN, f64::max)
+    }
+}
+
+/// One record of the governor's sampled history.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalRecord {
+    /// Simulated time (ps).
+    pub time_ps: u64,
+    /// Chip power (W).
+    pub power_w: f64,
+    /// Peak temperature (°C).
+    pub max_temp_c: f64,
+    /// Cluster-domain period in force (ps).
+    pub cluster_period_ps: u64,
+}
+
+/// An activity plug-in implementing closed-loop dynamic thermal
+/// management: estimate power from activity deltas, integrate the thermal
+/// grid, and throttle/boost the cluster clock around a temperature
+/// threshold — the §III-F capability the paper calls unique to XMTSim
+/// among public many-core simulators.
+pub struct ThermalGovernor {
+    cfg: XmtConfig,
+    model: PowerModel,
+    grid: ThermalGrid,
+    /// Throttle above this peak temperature (°C).
+    pub threshold_c: f64,
+    /// Period multiplier applied when throttling (e.g. 2 = half speed).
+    pub throttle_factor: u64,
+    nominal_period: u64,
+    last_time: u64,
+    throttled: bool,
+    /// Enable control (false = monitor only, for baselines).
+    pub control: bool,
+    /// Sampled history for reporting/plotting.
+    pub history: Vec<ThermalRecord>,
+}
+
+impl ThermalGovernor {
+    /// A governor for configuration `cfg` with the given threshold.
+    pub fn new(cfg: XmtConfig, threshold_c: f64, control: bool) -> Self {
+        let grid = ThermalGrid::new(cfg.clusters);
+        let nominal_period = cfg.period_ps[ClockDomain::Cluster as usize];
+        ThermalGovernor {
+            model: PowerModel::default(),
+            grid,
+            threshold_c,
+            throttle_factor: 2,
+            nominal_period,
+            last_time: 0,
+            throttled: false,
+            control,
+            history: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Peak temperature seen across the run.
+    pub fn peak_temp(&self) -> f64 {
+        self.history.iter().map(|r| r.max_temp_c).fold(f64::MIN, f64::max)
+    }
+
+    /// Mean power across the run (W).
+    pub fn mean_power(&self) -> f64 {
+        if self.history.is_empty() {
+            return 0.0;
+        }
+        self.history.iter().map(|r| r.power_w).sum::<f64>() / self.history.len() as f64
+    }
+}
+
+impl ActivityPlugin for ThermalGovernor {
+    fn sample(&mut self, s: &ActivitySample<'_>, ctl: &mut RuntimeCtl) {
+        let dt_ps = s.now.saturating_sub(self.last_time);
+        self.last_time = s.now;
+        if dt_ps == 0 {
+            return;
+        }
+        let power = self.model.power(&self.cfg, &s.delta, dt_ps);
+        let per_cluster = self.model.per_cluster(&self.cfg, &s.delta, power.cluster_w);
+        self.grid.step(&per_cluster, dt_ps as f64 * 1e-12);
+        let max_t = self.grid.max_temp();
+        if self.control {
+            if max_t > self.threshold_c && !self.throttled {
+                self.throttled = true;
+                ctl.period_ps[ClockDomain::Cluster as usize] =
+                    self.nominal_period * self.throttle_factor;
+            } else if max_t < self.threshold_c - 3.0 && self.throttled {
+                self.throttled = false;
+                ctl.period_ps[ClockDomain::Cluster as usize] = self.nominal_period;
+            }
+        }
+        self.history.push(ThermalRecord {
+            time_ps: s.now,
+            power_w: power.total(),
+            max_temp_c: max_t,
+            cluster_period_ps: ctl.period_ps[ClockDomain::Cluster as usize],
+        });
+    }
+
+    fn report(&self) -> String {
+        format!(
+            "thermal governor: {} samples, peak {:.1} C, mean power {:.1} W, control {}",
+            self.history.len(),
+            self.peak_temp(),
+            self.mean_power(),
+            if self.control { "on" } else { "off" }
+        )
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta_with(instr: u64, dram: u64, icn: u64) -> Stats {
+        let mut s = Stats::for_topology(8, 8);
+        s.instructions = instr;
+        s.per_cluster = vec![instr / 8; 8];
+        s.dram_accesses = dram;
+        s.icn_packages = icn;
+        s
+    }
+
+    #[test]
+    fn power_scales_with_activity() {
+        let cfg = XmtConfig::fpga64();
+        let m = PowerModel::default();
+        let idle = m.power(&cfg, &delta_with(0, 0, 0), 1_000_000);
+        let busy = m.power(&cfg, &delta_with(100_000, 1000, 50_000), 1_000_000);
+        assert!(busy.total() > idle.total() * 2.0);
+        // Idle power is pure leakage.
+        assert!(idle.total() > 0.0);
+        assert_eq!(idle.dram_w, 0.0);
+    }
+
+    #[test]
+    fn per_cluster_split_follows_activity() {
+        let cfg = XmtConfig::fpga64();
+        let m = PowerModel::default();
+        let mut d = delta_with(1000, 0, 0);
+        d.per_cluster = vec![0, 0, 0, 0, 0, 0, 0, 1000];
+        let split = m.per_cluster(&cfg, &d, 8.0);
+        assert_eq!(split[7], 8.0);
+        assert_eq!(split[0], 0.0);
+    }
+
+    #[test]
+    fn thermal_grid_heats_and_cools() {
+        let mut g = ThermalGrid::new(16);
+        let hot = vec![2.0; 16];
+        g.step(&hot, 0.05);
+        assert!(g.max_temp() > 45.5);
+        let t_hot = g.max_temp();
+        g.step(&[0.0; 16], 0.5);
+        assert!(g.max_temp() < t_hot, "cooling towards ambient");
+        // Never below ambient.
+        assert!(g.temp_c.iter().all(|&t| t >= 44.9));
+    }
+
+    #[test]
+    fn thermal_grid_hotspot_diffuses() {
+        let mut g = ThermalGrid::new(16);
+        let mut p = vec![0.0; 16];
+        p[5] = 5.0;
+        g.step(&p, 0.02);
+        let t5 = g.temp_c[5];
+        let t_far = g.temp_c[15];
+        assert!(t5 > t_far, "heat source node is hottest");
+        // Neighbours are warmer than far corners.
+        assert!(g.temp_c[1] > t_far);
+    }
+
+    #[test]
+    fn governor_throttles_above_threshold() {
+        let cfg = XmtConfig::tiny();
+        let mut gov = ThermalGovernor::new(cfg.clone(), 46.0, true);
+        let mut ctl = RuntimeCtl { period_ps: cfg.period_ps, stop: false };
+        // Feed hot samples until the threshold trips.
+        // 1 ms sampling intervals, ~2 G instructions per interval: a
+        // sustained ~100 W load on a 2-cluster toy chip.
+        let mut d = Stats::for_topology(cfg.clusters, cfg.cache_modules);
+        d.instructions = 2_000_000_000;
+        d.per_cluster = vec![1_000_000_000; 2];
+        d.dram_accesses = 10_000_000;
+        for k in 1..=200u64 {
+            let stats = Stats::for_topology(cfg.clusters, cfg.cache_modules);
+            let sample = ActivitySample {
+                now: k * 1_000_000_000,
+                stats: &stats,
+                delta: d.clone(),
+                period_ps: ctl.period_ps,
+            };
+            gov.sample(&sample, &mut ctl);
+        }
+        assert!(gov.peak_temp() > 46.0);
+        assert_eq!(ctl.period_ps[0], cfg.period_ps[0] * 2, "cluster clock throttled");
+        assert!(gov.report().contains("control on"));
+    }
+}

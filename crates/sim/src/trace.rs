@@ -1,0 +1,225 @@
+//! Execution traces (paper §III-E).
+//!
+//! XMTSim generates traces at two detail levels: the *functional* level
+//! shows the instructions as they execute; the *cycle-accurate* level
+//! additionally reports the components that instruction and data packages
+//! travel through (here: the service at the cache module and the response
+//! completion). Traces can be limited to specific instructions of the
+//! assembly input and/or specific TCUs.
+
+use crate::engine::Time;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Trace detail level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceLevel {
+    /// Only instruction issues/executions.
+    Functional,
+    /// Issues plus memory-package service and completion.
+    CycleAccurate,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// An instruction issued (`tcu == None` means the Master TCU).
+    Issue { time: Time, tcu: Option<u32>, pc: u32 },
+    /// A memory package serviced at its cache module.
+    Service { time: Time, tcu: u32, addr: u32, pc: u32 },
+    /// A memory response arrived back at the TCU.
+    Complete { time: Time, tcu: u32, addr: u32, pc: u32 },
+}
+
+impl TraceEvent {
+    fn time(&self) -> Time {
+        match self {
+            TraceEvent::Issue { time, .. }
+            | TraceEvent::Service { time, .. }
+            | TraceEvent::Complete { time, .. } => *time,
+        }
+    }
+
+    fn pc(&self) -> u32 {
+        match self {
+            TraceEvent::Issue { pc, .. }
+            | TraceEvent::Service { pc, .. }
+            | TraceEvent::Complete { pc, .. } => *pc,
+        }
+    }
+
+    fn tcu(&self) -> Option<u32> {
+        match self {
+            TraceEvent::Issue { tcu, .. } => *tcu,
+            TraceEvent::Service { tcu, .. } | TraceEvent::Complete { tcu, .. } => Some(*tcu),
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let who = match self.tcu() {
+            Some(t) => format!("tcu{t:04}"),
+            None => "master ".to_string(),
+        };
+        match self {
+            TraceEvent::Issue { time, pc, .. } => {
+                write!(f, "{time:>12} {who} issue    @{pc}")
+            }
+            TraceEvent::Service { time, addr, pc, .. } => {
+                write!(f, "{time:>12} {who} service  @{pc} [0x{addr:08x}]")
+            }
+            TraceEvent::Complete { time, addr, pc, .. } => {
+                write!(f, "{time:>12} {who} complete @{pc} [0x{addr:08x}]")
+            }
+        }
+    }
+}
+
+/// A trace collector with the paper's filtering options.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tracer {
+    level: TraceLevel,
+    /// Restrict to these TCUs (None = all; master always included).
+    tcu_filter: Option<BTreeSet<u32>>,
+    /// Restrict to these instruction indices (None = all).
+    pc_filter: Option<BTreeSet<u32>>,
+    /// Stop recording past this many records (guard against gigantic
+    /// traces; the count of dropped records is kept).
+    max_records: usize,
+    records: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// A tracer capturing everything at the given level.
+    pub fn new(level: TraceLevel) -> Self {
+        Tracer {
+            level,
+            tcu_filter: None,
+            pc_filter: None,
+            max_records: 1_000_000,
+            records: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Only record activity of the given TCUs.
+    pub fn with_tcus(mut self, tcus: impl IntoIterator<Item = u32>) -> Self {
+        self.tcu_filter = Some(tcus.into_iter().collect());
+        self
+    }
+
+    /// Only record activity of the given instruction indices.
+    pub fn with_pcs(mut self, pcs: impl IntoIterator<Item = u32>) -> Self {
+        self.pc_filter = Some(pcs.into_iter().collect());
+        self
+    }
+
+    /// Cap the number of stored records.
+    pub fn with_max_records(mut self, max: usize) -> Self {
+        self.max_records = max;
+        self
+    }
+
+    /// Record an event (applying level and filters).
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.level == TraceLevel::Functional && !matches!(ev, TraceEvent::Issue { .. }) {
+            return;
+        }
+        if let Some(f) = &self.tcu_filter {
+            if let Some(t) = ev.tcu() {
+                if !f.contains(&t) {
+                    return;
+                }
+            }
+        }
+        if let Some(f) = &self.pc_filter {
+            if !f.contains(&ev.pc()) {
+                return;
+            }
+        }
+        if self.records.len() >= self.max_records {
+            self.dropped += 1;
+            return;
+        }
+        self.records.push(ev);
+    }
+
+    /// The collected records.
+    pub fn records(&self) -> &[TraceEvent] {
+        &self.records
+    }
+
+    /// Records dropped due to the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the trace as text, one record per line.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for r in &self.records {
+            s.push_str(&r.to_string());
+            s.push('\n');
+        }
+        if self.dropped > 0 {
+            s.push_str(&format!("... {} records dropped\n", self.dropped));
+        }
+        s
+    }
+
+    /// Sanity check: records are in nondecreasing time order.
+    pub fn is_time_ordered(&self) -> bool {
+        self.records.windows(2).all(|w| w[0].time() <= w[1].time())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functional_level_drops_package_events() {
+        let mut t = Tracer::new(TraceLevel::Functional);
+        t.record(TraceEvent::Issue { time: 1, tcu: Some(0), pc: 5 });
+        t.record(TraceEvent::Service { time: 2, tcu: 0, addr: 0x100, pc: 5 });
+        assert_eq!(t.records().len(), 1);
+    }
+
+    #[test]
+    fn tcu_filter_keeps_master() {
+        let mut t = Tracer::new(TraceLevel::CycleAccurate).with_tcus([3]);
+        t.record(TraceEvent::Issue { time: 1, tcu: Some(2), pc: 0 });
+        t.record(TraceEvent::Issue { time: 2, tcu: Some(3), pc: 0 });
+        t.record(TraceEvent::Issue { time: 3, tcu: None, pc: 0 });
+        assert_eq!(t.records().len(), 2);
+    }
+
+    #[test]
+    fn pc_filter_and_cap() {
+        let mut t = Tracer::new(TraceLevel::CycleAccurate)
+            .with_pcs([7])
+            .with_max_records(2);
+        for k in 0..5 {
+            t.record(TraceEvent::Issue { time: k, tcu: Some(0), pc: 7 });
+            t.record(TraceEvent::Issue { time: k, tcu: Some(0), pc: 8 });
+        }
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert!(t.to_text().contains("3 records dropped"));
+    }
+
+    #[test]
+    fn text_rendering_shape() {
+        let mut t = Tracer::new(TraceLevel::CycleAccurate);
+        t.record(TraceEvent::Issue { time: 10, tcu: None, pc: 1 });
+        t.record(TraceEvent::Complete { time: 20, tcu: 4, addr: 0x1000_0000, pc: 2 });
+        let text = t.to_text();
+        assert!(text.contains("master"));
+        assert!(text.contains("tcu0004"));
+        assert!(text.contains("[0x10000000]"));
+        assert!(t.is_time_ordered());
+    }
+}

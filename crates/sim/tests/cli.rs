@@ -1,0 +1,86 @@
+//! Integration tests for `xmtsim-cli`: assembly + memory-map file inputs
+//! (the paper's Fig. 3 front end).
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xmtsim-cli"))
+}
+
+const ASM: &str = r"
+main:
+    li $a0, 0
+    li $a1, 7
+    li $s0, 268435456    # address of A
+    spawn $a0, $a1
+vt:
+    li $t0, 1
+    ps $t0, gr0
+    chkid $t0
+    sll $t1, $t0, 2
+    add $t1, $t1, $s0
+    lw $t2, 0($t1)
+    addi $t2, $t2, 10
+    swnb $t2, 0($t1)
+    j vt
+    join
+    li $t3, 1
+    print $t3
+    halt
+";
+
+const MAP: &str = "# xmt memory map\nA 0x10000000 8 1 2 3 4 5 6 7 8\n";
+
+fn write_tmp(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("xmtsim_cli_{name}_{}", std::process::id()));
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+#[test]
+fn runs_assembly_with_memory_map() {
+    let xs = write_tmp("a.xs", ASM);
+    let xbo = write_tmp("a.xbo", MAP);
+    let out = cli()
+        .arg(&xs)
+        .args(["--config", "tiny", "--dump", "A:8"])
+        .arg("--memmap")
+        .arg(&xbo)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("A = [11, 12, 13, 14, 15, 16, 17, 18]"), "{stdout}");
+}
+
+#[test]
+fn functional_mode_matches() {
+    let xs = write_tmp("f.xs", ASM);
+    let xbo = write_tmp("f.xbo", MAP);
+    let out = cli()
+        .arg(&xs)
+        .args(["--functional", "--dump", "A:8"])
+        .arg("--memmap")
+        .arg(&xbo)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("A = [11, 12"));
+}
+
+#[test]
+fn bad_assembly_reports_line() {
+    let xs = write_tmp("bad.xs", "main:\n    bogus $t0\n");
+    let out = cli().arg(&xs).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 2"), "{err}");
+}
+
+#[test]
+fn link_errors_reported() {
+    let xs = write_tmp("nolbl.xs", "main:\n    j nowhere\n    halt\n");
+    let out = cli().arg(&xs).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("nowhere"));
+}

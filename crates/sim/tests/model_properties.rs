@@ -1,0 +1,177 @@
+//! Property tests on the simulator's core data structures: the DE
+//! scheduler's ordering contract, the cache tag model against a naive
+//! reference, and the sparse memory against a flat reference.
+
+use proptest::prelude::*;
+use xmtsim::cycle::cachesim::CacheTags;
+use xmtsim::engine::{Priority, Scheduler};
+use xmtsim::machine::Memory;
+
+proptest! {
+    /// The scheduler pops events in (time, priority, FIFO) order, no
+    /// matter the insertion order.
+    #[test]
+    fn scheduler_total_order(mut events in prop::collection::vec(
+        (0u64..500, 0u8..4), 1..200))
+    {
+        let mut s: Scheduler<usize> = Scheduler::new();
+        for (k, (t, p)) in events.iter().enumerate() {
+            s.schedule_at(*t, *p as Priority, k);
+        }
+        let mut popped: Vec<(u64, Priority, usize)> = Vec::new();
+        while let Some((t, k)) = s.pop() {
+            popped.push((t, events[k].1 as Priority, k));
+        }
+        prop_assert_eq!(popped.len(), events.len());
+        // Sorted by (time, priority); FIFO among exact ties.
+        for w in popped.windows(2) {
+            let (t1, p1, k1) = w[0];
+            let (t2, p2, k2) = w[1];
+            prop_assert!(
+                (t1, p1) < (t2, p2) || ((t1, p1) == (t2, p2) && k1 < k2),
+                "out of order: {:?} before {:?}", w[0], w[1]
+            );
+        }
+        events.clear();
+    }
+
+    /// The LRU set-associative tags agree with a brute-force reference
+    /// model on hit/miss for every access sequence.
+    #[test]
+    fn cache_tags_match_reference(addrs in prop::collection::vec(0u32..4096, 1..300)) {
+        const LINE: u32 = 32;
+        let mut sut = CacheTags::new(512, 2, LINE); // 16 lines, 2-way, 8 sets
+        let sets = sut.n_sets() as u32;
+
+        // Reference: per set, a most-recent-first list of tags.
+        let mut reference: Vec<Vec<u32>> = vec![Vec::new(); sets as usize];
+        for &a in &addrs {
+            let line = a / LINE;
+            let set = (line % sets) as usize;
+            let hit_ref = reference[set].contains(&line);
+            if hit_ref {
+                reference[set].retain(|&t| t != line);
+            } else if reference[set].len() == 2 {
+                reference[set].pop();
+            }
+            reference[set].insert(0, line);
+
+            let hit_sut = sut.access(a);
+            prop_assert_eq!(hit_sut, hit_ref, "divergence at address {}", a);
+        }
+    }
+
+    /// Sparse paged memory behaves exactly like a flat array, across
+    /// mixed byte/word reads and writes (including page boundaries).
+    #[test]
+    fn memory_matches_flat_reference(ops in prop::collection::vec(
+        (0u32..20_000, any::<u32>(), 0u8..4), 1..300))
+    {
+        let mut sut = Memory::new();
+        let mut flat = vec![0u8; 20_004];
+        for &(addr, val, kind) in &ops {
+            match kind {
+                0 => {
+                    let a = addr & !3;
+                    sut.write_u32(a, val);
+                    flat[a as usize..a as usize + 4].copy_from_slice(&val.to_le_bytes());
+                }
+                1 => {
+                    let a = addr & !3;
+                    let want = u32::from_le_bytes(
+                        flat[a as usize..a as usize + 4].try_into().unwrap(),
+                    );
+                    prop_assert_eq!(sut.read_u32(a), want);
+                }
+                2 => {
+                    sut.write_u8(addr, val as u8);
+                    flat[addr as usize] = val as u8;
+                }
+                _ => {
+                    prop_assert_eq!(sut.read_u8(addr), flat[addr as usize]);
+                }
+            }
+        }
+    }
+}
+
+/// The per-spawn records expose the work/depth structure of a run.
+#[test]
+fn spawn_records_track_sections() {
+    use xmt_isa::{AsmProgram, GlobalReg, Instr, MemoryMap, Reg, Target};
+    use xmtsim::{CycleSim, XmtConfig};
+
+    // Two spawns of different widths separated by serial code.
+    let mut p = AsmProgram::new();
+    let spawn_block = |p: &mut AsmProgram, lo: i32, hi: i32, tag: &str| {
+        p.push(Instr::Li { rt: Reg::A0, imm: lo });
+        p.push(Instr::Li { rt: Reg::A1, imm: hi });
+        p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+        p.label(format!("vt{tag}"));
+        p.push(Instr::Li { rt: Reg::T0, imm: 1 });
+        p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+        p.push(Instr::Chkid { rt: Reg::T0 });
+        p.push(Instr::Addi { rt: Reg::T1, rs: Reg::T0, imm: 1 });
+        p.push(Instr::J { target: Target::label(format!("vt{tag}")) });
+        p.push(Instr::Join);
+    };
+    spawn_block(&mut p, 0, 7, "a");
+    p.push(Instr::Li { rt: Reg::T5, imm: 42 });
+    spawn_block(&mut p, 0, 63, "b");
+    p.push(Instr::Halt);
+
+    let exe = p.link(MemoryMap::new()).unwrap();
+    let mut sim = CycleSim::new(exe, XmtConfig::tiny());
+    sim.run().unwrap();
+    let recs = &sim.stats.spawn_records;
+    assert_eq!(recs.len(), 2);
+    assert_eq!(recs[0].threads, 8);
+    assert_eq!(recs[1].threads, 64);
+    assert!(recs[0].end_ps > recs[0].start_ps);
+    assert!(recs[1].start_ps >= recs[0].end_ps, "sections do not overlap");
+    assert!(
+        recs[1].duration_ps() > recs[0].duration_ps(),
+        "8x the threads on 4 TCUs takes longer"
+    );
+}
+
+/// Degenerate and stress spawn shapes all behave.
+#[test]
+fn spawn_edge_shapes() {
+    use xmt_isa::{AsmProgram, GlobalReg, Instr, MemoryMap, Reg, Target};
+    use xmtsim::{CycleSim, XmtConfig};
+
+    // Single-thread spawn, then immediately another spawn (no serial
+    // code in between), then a wide spawn with far more virtual threads
+    // than TCUs.
+    let mut mm = MemoryMap::new();
+    let a = mm.push("A", vec![0; 3]);
+    let mut p = AsmProgram::new();
+    let section = |p: &mut AsmProgram, hi: i32, slot: i32, tag: &str| {
+        p.push(Instr::Li { rt: Reg::A0, imm: 0 });
+        p.push(Instr::Li { rt: Reg::A1, imm: hi });
+        p.push(Instr::Li { rt: Reg::S0, imm: a as i32 + 4 * slot });
+        p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+        p.label(format!("vt{tag}"));
+        p.push(Instr::Li { rt: Reg::T0, imm: 1 });
+        p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+        p.push(Instr::Chkid { rt: Reg::T0 });
+        p.push(Instr::Li { rt: Reg::T1, imm: 1 });
+        p.push(Instr::Psm { rt: Reg::T1, base: Reg::S0, off: 0 });
+        p.push(Instr::J { target: Target::label(format!("vt{tag}")) });
+        p.push(Instr::Join);
+    };
+    section(&mut p, 0, 0, "a"); // one thread
+    section(&mut p, 3, 1, "b"); // back-to-back, exactly n_tcus of tiny
+    section(&mut p, 9999, 2, "c"); // 10000 threads on 4 TCUs
+    p.push(Instr::Halt);
+    let exe = p.link(mm).unwrap();
+    let mut sim = CycleSim::new(exe, XmtConfig::tiny());
+    sim.run().unwrap();
+    assert_eq!(
+        sim.machine.read_symbol(sim.executable(), "A", 3).unwrap(),
+        vec![1, 4, 10000]
+    );
+    assert_eq!(sim.stats.spawns, 3);
+    assert_eq!(sim.stats.virtual_threads, 1 + 4 + 10000);
+}

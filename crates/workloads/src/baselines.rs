@@ -1,0 +1,267 @@
+//! Serial Rust reference implementations.
+//!
+//! Two roles: (a) verify the results computed by the simulated XMT
+//! programs, and (b) act as the "best serial implementation" side of the
+//! speedup experiments — the same role modern CPUs play in the paper's
+//! §II-B comparisons.
+
+/// Array compaction (Fig. 2a): the multiset of non-zero elements.
+pub fn compaction(a: &[i32]) -> Vec<i32> {
+    let mut out: Vec<i32> = a.iter().copied().filter(|&x| x != 0).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Element-wise vector addition.
+pub fn vector_add(a: &[i32], b: &[i32]) -> Vec<i32> {
+    a.iter().zip(b).map(|(x, y)| x.wrapping_add(*y)).collect()
+}
+
+/// Inclusive prefix sums.
+pub fn prefix_sum(a: &[i32]) -> Vec<i32> {
+    let mut out = Vec::with_capacity(a.len());
+    let mut acc = 0i32;
+    for &x in a {
+        acc = acc.wrapping_add(x);
+        out.push(acc);
+    }
+    out
+}
+
+/// Sum of all elements.
+pub fn reduction(a: &[i32]) -> i32 {
+    a.iter().fold(0i32, |s, &x| s.wrapping_add(x))
+}
+
+/// BFS distances over a CSR graph from `src` (-1 = unreachable).
+pub fn bfs(off: &[i32], adj: &[i32], src: usize) -> Vec<i32> {
+    let n = off.len() - 1;
+    let mut dist = vec![-1i32; n];
+    let mut frontier = vec![src];
+    dist[src] = 0;
+    let mut level = 0;
+    while !frontier.is_empty() {
+        level += 1;
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for k in off[u] as usize..off[u + 1] as usize {
+                let v = adj[k] as usize;
+                if dist[v] < 0 {
+                    dist[v] = level;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+/// Number of connected components of an edge list over `n` vertices.
+pub fn components(n: usize, edges: &[(u32, u32)]) -> usize {
+    let mut p: Vec<usize> = (0..n).collect();
+    fn find(p: &mut Vec<usize>, x: usize) -> usize {
+        let mut r = x;
+        while p[r] != r {
+            r = p[r];
+        }
+        let mut c = x;
+        while p[c] != c {
+            let nx = p[c];
+            p[c] = r;
+            c = nx;
+        }
+        r
+    }
+    for &(u, v) in edges {
+        let (ru, rv) = (find(&mut p, u as usize), find(&mut p, v as usize));
+        if ru != rv {
+            p[ru] = rv;
+        }
+    }
+    let mut roots: Vec<usize> = (0..n).map(|v| find(&mut p, v)).collect();
+    roots.sort_unstable();
+    roots.dedup();
+    roots.len()
+}
+
+/// Dense k×k integer matrix multiply (row-major).
+pub fn matmul(k: usize, a: &[i32], b: &[i32]) -> Vec<i32> {
+    let mut c = vec![0i32; k * k];
+    for i in 0..k {
+        for l in 0..k {
+            let av = a[i * k + l];
+            if av == 0 {
+                continue;
+            }
+            for j in 0..k {
+                c[i * k + j] = c[i * k + j].wrapping_add(av.wrapping_mul(b[l * k + j]));
+            }
+        }
+    }
+    c
+}
+
+/// List ranking: distance from each node to the tail of its list.
+pub fn list_rank(next: &[i32]) -> Vec<i32> {
+    let n = next.len();
+    let mut rank = vec![0i32; n];
+    for i in 0..n {
+        let mut r = 0;
+        let mut cur = i;
+        while next[cur] as usize != cur {
+            r += 1;
+            cur = next[cur] as usize;
+            assert!(r <= n as i32, "cycle in list");
+        }
+        rank[i] = r;
+    }
+    rank
+}
+
+/// CSR sparse matrix-vector product.
+pub fn spmv(off: &[i32], col: &[i32], val: &[i32], x: &[i32]) -> Vec<i32> {
+    let n = off.len() - 1;
+    let mut y = vec![0i32; n];
+    for i in 0..n {
+        let mut s = 0i32;
+        for k in off[i] as usize..off[i + 1] as usize {
+            s = s.wrapping_add(val[k].wrapping_mul(x[col[k] as usize]));
+        }
+        y[i] = s;
+    }
+    y
+}
+
+/// Histogram of values `0..buckets`.
+pub fn histogram(a: &[i32], buckets: usize) -> Vec<i32> {
+    let mut h = vec![0i32; buckets];
+    for &x in a {
+        h[x as usize % buckets] += 1;
+    }
+    h
+}
+
+/// Sorted copy (the reference for the parallel rank sort).
+pub fn rank_sort(a: &[i32]) -> Vec<i32> {
+    let mut out = a.to_vec();
+    out.sort_unstable();
+    out
+}
+
+/// Iterative radix-2 FFT (f32), identical algorithm to the XMTC kernel.
+pub fn fft(re: &mut [f32], im: &mut [f32]) {
+    let n = re.len();
+    assert!(n.is_power_of_two() && im.len() == n);
+    // Bit-reversal permutation.
+    let br = crate::gen::bit_reversal(n);
+    for i in 0..n {
+        let j = br[i] as usize;
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut len = 2usize;
+    while len <= n {
+        let half = len / 2;
+        for base in (0..n).step_by(len) {
+            for j in 0..half {
+                let ang = -std::f64::consts::PI * j as f64 / half as f64;
+                let (wr, wi) = (ang.cos() as f32, ang.sin() as f32);
+                let (i0, i1) = (base + j, base + j + half);
+                let tr = wr * re[i1] - wi * im[i1];
+                let ti = wr * im[i1] + wi * re[i1];
+                let (ur, ui) = (re[i0], im[i0]);
+                re[i0] = ur + tr;
+                im[i0] = ui + ti;
+                re[i1] = ur - tr;
+                im[i1] = ui - ti;
+            }
+        }
+        len *= 2;
+    }
+}
+
+/// Naive O(n²) DFT used to validate [`fft`].
+pub fn dft(re: &[f32], im: &[f32]) -> (Vec<f32>, Vec<f32>) {
+    let n = re.len();
+    let mut or = vec![0.0f32; n];
+    let mut oi = vec![0.0f32; n];
+    for k in 0..n {
+        let mut sr = 0.0f64;
+        let mut si = 0.0f64;
+        for t in 0..n {
+            let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+            let (c, s) = (ang.cos(), ang.sin());
+            sr += re[t] as f64 * c - im[t] as f64 * s;
+            si += re[t] as f64 * s + im[t] as f64 * c;
+        }
+        or[k] = sr as f32;
+        oi[k] = si as f32;
+    }
+    (or, oi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn prefix_and_reduction_agree() {
+        let a = gen::int_array(100, -50, 50, 11);
+        let p = prefix_sum(&a);
+        assert_eq!(*p.last().unwrap(), reduction(&a));
+    }
+
+    #[test]
+    fn bfs_simple_path() {
+        // 0-1-2-3 path.
+        let off = vec![0, 1, 3, 5, 6];
+        let adj = vec![1, 0, 2, 1, 3, 2];
+        assert_eq!(bfs(&off, &adj, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs(&off, &adj, 2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn components_match_generator() {
+        for comps in [1, 2, 5] {
+            let g = gen::graph(60, 150, comps, 5);
+            assert_eq!(components(g.n, &g.edges), comps);
+        }
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let k = 5;
+        let mut id = vec![0i32; k * k];
+        for i in 0..k {
+            id[i * k + i] = 1;
+        }
+        let a = gen::int_array(k * k, -9, 9, 2);
+        assert_eq!(matmul(k, &a, &id), a);
+        assert_eq!(matmul(k, &id, &a), a);
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let n = 32;
+        let re0 = gen::float_array(n, -1.0, 1.0, 77);
+        let im0 = gen::float_array(n, -1.0, 1.0, 78);
+        let (dr, di) = dft(&re0, &im0);
+        let mut re = re0.clone();
+        let mut im = im0.clone();
+        fft(&mut re, &mut im);
+        for k in 0..n {
+            assert!((re[k] - dr[k]).abs() < 1e-3, "re[{k}]: {} vs {}", re[k], dr[k]);
+            assert!((im[k] - di[k]).abs() < 1e-3, "im[{k}]: {} vs {}", im[k], di[k]);
+        }
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let h = histogram(&[0, 1, 1, 3, 3, 3], 4);
+        assert_eq!(h, vec![1, 2, 0, 3]);
+    }
+}

@@ -1,0 +1,274 @@
+//! Seeded input generators.
+//!
+//! The simulated XMT machine has no operating system, so all program
+//! input flows through initial values of globals in the memory map
+//! (paper §III-A). These generators produce deterministic inputs from a
+//! seed: random arrays, CSR graphs (random spanning tree plus extra
+//! edges, so connectivity structure is known), edge lists, FFT twiddle
+//! and bit-reversal tables.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG from a seed.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// `n` random ints in `[lo, hi)`.
+pub fn int_array(n: usize, lo: i32, hi: i32, seed: u64) -> Vec<i32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+}
+
+/// `n` random floats in `[lo, hi)`.
+pub fn float_array(n: usize, lo: f32, hi: f32, seed: u64) -> Vec<f32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+}
+
+/// An array where roughly `density` of the entries are non-zero (the
+/// compaction input of Fig. 2a).
+pub fn sparse_array(n: usize, density: f64, seed: u64) -> Vec<i32> {
+    let mut r = rng(seed);
+    (0..n)
+        .map(|_| {
+            if r.gen_bool(density) {
+                r.gen_range(1..1000)
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+/// An undirected graph as an edge list over `n` vertices.
+///
+/// `components` spanning trees are built first (so the component count
+/// is exact and known), then extra random intra-component edges are
+/// added up to `m` total.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    pub n: usize,
+    pub edges: Vec<(u32, u32)>,
+    pub components: usize,
+}
+
+/// Generate a graph with a known number of connected components.
+pub fn graph(n: usize, m: usize, components: usize, seed: u64) -> Graph {
+    assert!(components >= 1 && components <= n.max(1));
+    let mut r = rng(seed);
+    // Partition vertices round-robin into components.
+    let comp_of = |v: usize| v % components;
+    let mut edges = Vec::with_capacity(m);
+    // Spanning tree per component: vertex v links to a random earlier
+    // vertex of the same component.
+    for v in components..n {
+        let c = comp_of(v);
+        // Earlier vertices of component c are c, c+components, ...
+        let k = (v - c) / components; // index within component (>= 1)
+        let prev = r.gen_range(0..k);
+        let u = c + prev * components;
+        edges.push((u as u32, v as u32));
+    }
+    // Extra intra-component edges.
+    while edges.len() < m {
+        let v = r.gen_range(0..n);
+        let c = comp_of(v);
+        let size = n / components + usize::from(c < n % components);
+        if size < 2 {
+            continue;
+        }
+        let w = c + r.gen_range(0..size) * components;
+        if w != v && w < n {
+            edges.push((v.min(w) as u32, v.max(w) as u32));
+        }
+    }
+    Graph { n, edges, components }
+}
+
+impl Graph {
+    /// CSR adjacency (symmetric: both directions inserted).
+    pub fn csr(&self) -> (Vec<i32>, Vec<i32>) {
+        let mut deg = vec![0i32; self.n];
+        for &(u, v) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut off = vec![0i32; self.n + 1];
+        for i in 0..self.n {
+            off[i + 1] = off[i] + deg[i];
+        }
+        let mut adj = vec![0i32; off[self.n] as usize];
+        let mut cursor = off.clone();
+        for &(u, v) in &self.edges {
+            adj[cursor[u as usize] as usize] = v as i32;
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize] as usize] = u as i32;
+            cursor[v as usize] += 1;
+        }
+        (off, adj)
+    }
+
+    /// Split edge list into parallel `src`/`dst` arrays.
+    pub fn edge_arrays(&self) -> (Vec<i32>, Vec<i32>) {
+        let src = self.edges.iter().map(|&(u, _)| u as i32).collect();
+        let dst = self.edges.iter().map(|&(_, v)| v as i32).collect();
+        (src, dst)
+    }
+}
+
+/// A random singly linked list over `0..n` as a NEXT array (self-loop at
+/// the tail), built from a random permutation.
+pub fn linked_list(n: usize, seed: u64) -> Vec<i32> {
+    let mut order: Vec<usize> = (0..n).collect();
+    // Fisher-Yates with the seeded RNG.
+    let mut r = rng(seed);
+    for i in (1..n).rev() {
+        let j = r.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut next = vec![0i32; n];
+    for w in order.windows(2) {
+        next[w[0]] = w[1] as i32;
+    }
+    if let Some(&tail) = order.last() {
+        next[tail] = tail as i32;
+    }
+    next
+}
+
+/// A random sparse matrix in CSR form: `n` rows, about `avg_deg`
+/// entries per row, values in `[-9, 9]`.
+pub fn sparse_matrix(n: usize, avg_deg: usize, seed: u64) -> (Vec<i32>, Vec<i32>, Vec<i32>) {
+    let mut r = rng(seed);
+    let mut off = Vec::with_capacity(n + 1);
+    let mut col = Vec::new();
+    let mut val = Vec::new();
+    off.push(0i32);
+    for _ in 0..n {
+        let deg = r.gen_range(0..=2 * avg_deg);
+        for _ in 0..deg {
+            col.push(r.gen_range(0..n) as i32);
+            val.push(r.gen_range(-9..=9));
+        }
+        off.push(col.len() as i32);
+    }
+    (off, col, val)
+}
+
+/// Bit-reversal permutation table for an `n`-point FFT (`n` power of 2).
+pub fn bit_reversal(n: usize) -> Vec<i32> {
+    assert!(n.is_power_of_two());
+    let bits = n.trailing_zeros();
+    (0..n)
+        .map(|i| (i as u32).reverse_bits() >> (32 - bits))
+        .map(|v| v as i32)
+        .collect()
+}
+
+/// Flattened twiddle tables for an iterative radix-2 FFT.
+///
+/// For each stage with half-length `h ∈ {1, 2, …, n/2}`, entries
+/// `j ∈ 0..h` live at offset `h - 1`:
+/// `W_j = exp(-2πi · j / (2h))`. Total `n - 1` entries per table.
+pub fn twiddles(n: usize) -> (Vec<f32>, Vec<f32>) {
+    assert!(n.is_power_of_two());
+    let mut re = vec![0.0f32; n - 1];
+    let mut im = vec![0.0f32; n - 1];
+    let mut h = 1usize;
+    while h < n {
+        for j in 0..h {
+            let ang = -std::f64::consts::PI * j as f64 / h as f64;
+            re[h - 1 + j] = ang.cos() as f32;
+            im[h - 1 + j] = ang.sin() as f32;
+        }
+        h *= 2;
+    }
+    (re, im)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(int_array(16, 0, 100, 7), int_array(16, 0, 100, 7));
+        assert_ne!(int_array(16, 0, 100, 7), int_array(16, 0, 100, 8));
+        let g1 = graph(50, 120, 3, 42);
+        let g2 = graph(50, 120, 3, 42);
+        assert_eq!(g1.edges, g2.edges);
+    }
+
+    #[test]
+    fn graph_has_exact_components() {
+        // Verify with a little union-find.
+        let g = graph(100, 300, 4, 1);
+        let mut p: Vec<usize> = (0..g.n).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        for &(u, v) in &g.edges {
+            let (ru, rv) = (find(&mut p, u as usize), find(&mut p, v as usize));
+            if ru != rv {
+                p[ru] = rv;
+            }
+        }
+        let mut roots: Vec<usize> = (0..g.n).map(|v| find(&mut p, v)).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        assert_eq!(roots.len(), 4);
+    }
+
+    #[test]
+    fn csr_is_symmetric_and_sized() {
+        let g = graph(20, 50, 1, 9);
+        let (off, adj) = g.csr();
+        assert_eq!(off.len(), 21);
+        assert_eq!(adj.len(), 2 * g.edges.len());
+        assert_eq!(off[20] as usize, adj.len());
+        // Every edge appears in both directions.
+        let has = |u: usize, v: i32| {
+            adj[off[u] as usize..off[u + 1] as usize].contains(&v)
+        };
+        for &(u, v) in &g.edges {
+            assert!(has(u as usize, v as i32));
+            assert!(has(v as usize, u as i32));
+        }
+    }
+
+    #[test]
+    fn bit_reversal_is_involution() {
+        let br = bit_reversal(16);
+        for i in 0..16 {
+            assert_eq!(br[br[i] as usize], i as i32);
+        }
+    }
+
+    #[test]
+    fn twiddles_unit_circle() {
+        let (re, im) = twiddles(16);
+        assert_eq!(re.len(), 15);
+        for k in 0..re.len() {
+            let mag = (re[k] * re[k] + im[k] * im[k]).sqrt();
+            assert!((mag - 1.0).abs() < 1e-5);
+        }
+        // First entry of each stage is W^0 = 1.
+        for h in [1usize, 2, 4, 8] {
+            assert!((re[h - 1] - 1.0).abs() < 1e-6);
+            assert!(im[h - 1].abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sparse_density_roughly_respected() {
+        let a = sparse_array(4000, 0.25, 3);
+        let nz = a.iter().filter(|&&x| x != 0).count();
+        assert!(nz > 800 && nz < 1200, "nz = {nz}");
+    }
+}

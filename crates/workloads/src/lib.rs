@@ -1,0 +1,25 @@
+//! # xmt-workloads — the XMTC workload suite
+//!
+//! The benchmark programs, input generators and serial reference
+//! implementations backing the evaluation of the XMT toolchain paper:
+//!
+//! * PRAM-style XMTC kernels (paper §II): array compaction (Fig. 2a),
+//!   vector addition, prefix sums, tree reduction, breadth-first search,
+//!   Shiloach–Vishkin-style graph connectivity, dense matrix
+//!   multiplication, histogram (prefix-sum-to-memory), rank sort, and an
+//!   iterative radix-2 FFT (the float workload of \[23\]/\[24\]);
+//! * the four **Table I microbenchmark groups** — {serial, parallel} ×
+//!   {memory-, computation-intensive} — used to measure simulator
+//!   throughput;
+//! * seeded input generators (arrays, CSR graphs, twiddle tables), since
+//!   the simulated machine takes inputs only through the memory map;
+//! * serial Rust baselines used both to *verify* simulated results and as
+//!   the serial reference of the speedup experiments.
+
+pub mod baselines;
+pub mod gen;
+pub mod micro;
+pub mod programs;
+pub mod suite;
+
+pub use suite::{Workload, WorkloadError};

@@ -1,0 +1,179 @@
+//! The Table I microbenchmarks.
+//!
+//! Paper §III-D measures XMTSim's simulation speed over handwritten
+//! microbenchmarks, each *serial or parallel*, and *computation or memory
+//! intensive*, on the 1024-TCU configuration. These builders generate
+//! the same four groups. The computation kernels run tight ALU loops on
+//! thread-private values; the memory kernels stride through a large
+//! array with a line-breaking step so most accesses travel the
+//! interconnect and miss in the shared caches.
+
+use xmt_core::{Compiled, Toolchain, ToolchainError};
+use xmtc::Options;
+
+/// The four groups of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MicroGroup {
+    ParallelMemory,
+    ParallelCompute,
+    SerialMemory,
+    SerialCompute,
+}
+
+impl MicroGroup {
+    /// All groups in the paper's row order.
+    pub const ALL: [MicroGroup; 4] = [
+        MicroGroup::ParallelMemory,
+        MicroGroup::ParallelCompute,
+        MicroGroup::SerialMemory,
+        MicroGroup::SerialCompute,
+    ];
+
+    /// The paper's row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MicroGroup::ParallelMemory => "Parallel, memory intensive",
+            MicroGroup::ParallelCompute => "Parallel, computation intensive",
+            MicroGroup::SerialMemory => "Serial, memory intensive",
+            MicroGroup::SerialCompute => "Serial, computation intensive",
+        }
+    }
+
+    /// Is this a parallel group?
+    pub fn parallel(self) -> bool {
+        matches!(self, MicroGroup::ParallelMemory | MicroGroup::ParallelCompute)
+    }
+}
+
+/// Parameters of a microbenchmark instance.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroParams {
+    /// Virtual threads for the parallel groups.
+    pub threads: usize,
+    /// Inner-loop iterations per thread (or total for serial).
+    pub iters: usize,
+    /// Data array words for the memory groups (power of two).
+    pub data_words: usize,
+}
+
+impl Default for MicroParams {
+    fn default() -> Self {
+        MicroParams { threads: 1024, iters: 64, data_words: 1 << 16 }
+    }
+}
+
+/// XMTC source for a microbenchmark group.
+pub fn source(group: MicroGroup, p: &MicroParams) -> String {
+    assert!(p.data_words.is_power_of_two());
+    let threads = p.threads;
+    let iters = p.iters;
+    let words = p.data_words;
+    let mask = words - 1;
+    match group {
+        MicroGroup::ParallelCompute => format!(
+            "int OUT[{threads}]; int T = {threads}; int ITERS = {iters};
+             void main() {{
+                 spawn(0, T - 1) {{
+                     int x = $ + 1;
+                     int iters = ITERS;
+                     for (int k = 0; k < iters; k++) {{
+                         x = x * 5 + 1;
+                         x = x ^ (x >> 3);
+                         x = x + (x << 2);
+                         x = x - k;
+                     }}
+                     OUT[$] = x;
+                 }}
+             }}"
+        ),
+        MicroGroup::ParallelMemory => format!(
+            "int DATA[{words}]; int OUT[{threads}];
+             int T = {threads}; int ITERS = {iters}; int MASK = {mask};
+             void main() {{
+                 spawn(0, T - 1) {{
+                     int s = 0;
+                     int idx = $ * 1031;
+                     int iters = ITERS;
+                     int mask = MASK;
+                     for (int k = 0; k < iters; k++) {{
+                         s = s + DATA[idx & mask];
+                         idx = idx + 4099;
+                     }}
+                     OUT[$] = s;
+                 }}
+             }}"
+        ),
+        MicroGroup::SerialCompute => format!(
+            "int OUT[4]; int ITERS = {total};
+             void main() {{
+                 int x = 1;
+                 for (int k = 0; k < ITERS; k++) {{
+                     x = x * 5 + 1;
+                     x = x ^ (x >> 3);
+                     x = x + (x << 2);
+                     x = x - k;
+                 }}
+                 OUT[0] = x;
+             }}",
+            total = threads * iters / 16,
+        ),
+        MicroGroup::SerialMemory => format!(
+            "int DATA[{words}]; int OUT[4]; int ITERS = {total}; int MASK = {mask};
+             void main() {{
+                 int s = 0;
+                 int idx = 17;
+                 for (int k = 0; k < ITERS; k++) {{
+                     s = s + DATA[idx & MASK];
+                     idx = idx + 4099;
+                 }}
+                 OUT[0] = s;
+             }}",
+            total = threads * iters / 16,
+        ),
+    }
+}
+
+/// Compile a microbenchmark.
+pub fn build(group: MicroGroup, p: &MicroParams, opts: &Options) -> Result<Compiled, ToolchainError> {
+    Toolchain::with_options(opts.clone()).compile(&source(group, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmtsim::XmtConfig;
+
+    #[test]
+    fn all_groups_compile_and_run_small() {
+        let p = MicroParams { threads: 16, iters: 8, data_words: 1 << 10 };
+        for g in MicroGroup::ALL {
+            let c = build(g, &p, &Options::default()).unwrap();
+            let r = c.run(&XmtConfig::tiny()).unwrap();
+            assert!(r.instructions > 0, "{g:?}");
+            if g.parallel() {
+                assert!(r.stats.virtual_threads as usize == p.threads, "{g:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_groups_hit_dram_more() {
+        let p = MicroParams { threads: 16, iters: 16, data_words: 1 << 12 };
+        let mem = build(MicroGroup::ParallelMemory, &p, &Options::default())
+            .unwrap()
+            .run(&XmtConfig::tiny())
+            .unwrap();
+        let cpu = build(MicroGroup::ParallelCompute, &p, &Options::default())
+            .unwrap()
+            .run(&XmtConfig::tiny())
+            .unwrap();
+        // The memory kernel produces far more memory traffic per
+        // instruction.
+        let mem_ratio = mem.stats.icn_packages as f64 / mem.instructions as f64;
+        let cpu_ratio = cpu.stats.icn_packages as f64 / cpu.instructions as f64;
+        assert!(
+            mem_ratio > 4.0 * cpu_ratio,
+            "memory {mem_ratio:.3} vs compute {cpu_ratio:.3}"
+        );
+    }
+}

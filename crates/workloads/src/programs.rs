@@ -1,0 +1,613 @@
+//! The XMTC benchmark programs.
+//!
+//! Each kernel comes in a parallel (PRAM-derived, `spawn`-based) variant
+//! and, where the speedup experiments need it, a serial XMTC variant that
+//! runs entirely on the Master TCU — the serial baseline of the paper's
+//! §II-B comparisons. Inputs are global arrays filled via the memory map;
+//! sizes are baked into the source by these builder functions.
+
+/// Paper Fig. 2a: array compaction. Non-zero elements of `A` are copied
+/// to `B` (order not preserved); `base` counts them.
+pub fn compaction_par(n: usize) -> String {
+    format!(
+        "int A[{n}]; int B[{n}]; int base = 0; int N = {n};
+         void main() {{
+             spawn(0, N - 1) {{
+                 int inc = 1;
+                 if (A[$] != 0) {{
+                     ps(inc, base);
+                     B[inc] = A[$];
+                 }}
+             }}
+             print(base);
+         }}"
+    )
+}
+
+/// Serial compaction on the Master TCU.
+pub fn compaction_ser(n: usize) -> String {
+    format!(
+        "int A[{n}]; int B[{n}]; int N = {n};
+         void main() {{
+             int count = 0;
+             for (int i = 0; i < N; i++) {{
+                 if (A[i] != 0) {{
+                     B[count] = A[i];
+                     count++;
+                 }}
+             }}
+             print(count);
+         }}"
+    )
+}
+
+/// Parallel element-wise vector addition `C = A + B`.
+pub fn vecadd_par(n: usize) -> String {
+    format!(
+        "int A[{n}]; int B[{n}]; int C[{n}]; int N = {n};
+         void main() {{
+             spawn(0, N - 1) {{ C[$] = A[$] + B[$]; }}
+         }}"
+    )
+}
+
+/// Serial vector addition.
+pub fn vecadd_ser(n: usize) -> String {
+    format!(
+        "int A[{n}]; int B[{n}]; int C[{n}]; int N = {n};
+         void main() {{
+             for (int i = 0; i < N; i++) {{ C[i] = A[i] + B[i]; }}
+         }}"
+    )
+}
+
+/// Parallel inclusive prefix sums (Hillis–Steele, O(n log n) work — the
+/// classic PRAM formulation taught in the XMT curriculum).
+pub fn prefix_par(n: usize) -> String {
+    assert!(n.is_power_of_two());
+    format!(
+        "int A[{n}]; int B[{n}]; int N = {n};
+         void main() {{
+             for (int d = 1; d < N; d *= 2) {{
+                 spawn(0, N - 1) {{
+                     if ($ >= d) {{ B[$] = A[$] + A[$ - d]; }}
+                     else {{ B[$] = A[$]; }}
+                 }}
+                 spawn(0, N - 1) {{ A[$] = B[$]; }}
+             }}
+         }}"
+    )
+}
+
+/// Serial prefix sums.
+pub fn prefix_ser(n: usize) -> String {
+    format!(
+        "int A[{n}]; int N = {n};
+         void main() {{
+             int acc = 0;
+             for (int i = 0; i < N; i++) {{ acc += A[i]; A[i] = acc; }}
+         }}"
+    )
+}
+
+/// Parallel tree reduction; prints the total (n must be a power of two).
+pub fn reduction_par(n: usize) -> String {
+    assert!(n.is_power_of_two());
+    format!(
+        "int A[{n}]; int N = {n};
+         void main() {{
+             for (int stride = N / 2; stride >= 1; stride /= 2) {{
+                 spawn(0, stride - 1) {{ A[$] = A[$] + A[$ + stride]; }}
+             }}
+             print(A[0]);
+         }}"
+    )
+}
+
+/// Serial reduction.
+pub fn reduction_ser(n: usize) -> String {
+    format!(
+        "int A[{n}]; int N = {n};
+         void main() {{
+             int s = 0;
+             for (int i = 0; i < N; i++) {{ s += A[i]; }}
+             print(s);
+         }}"
+    )
+}
+
+/// Level-synchronous parallel BFS over a CSR graph (the paper's flagship
+/// irregular workload, §II-B/§II-C). Prints the number of levels.
+///
+/// Inputs: `OFF[n+1]`, `ADJ[2m]`, `SRC` (scalar). Outputs: `DIST[n]`.
+/// `nextsize` is a ps base; `CLAIM` provides atomic vertex claiming via
+/// `psm` so each vertex is discovered exactly once.
+pub fn bfs_par(n: usize, adj_len: usize) -> String {
+    format!(
+        "int OFF[{np1}]; int ADJ[{adj_len}]; int DIST[{n}]; int CLAIM[{n}];
+         int FRONT[{n}]; int NEXT[{n}];
+         int nextsize = 0;
+         int SRC = 0; int N = {n};
+         void main() {{
+             spawn(0, N - 1) {{ DIST[$] = -1; }}
+             DIST[SRC] = 0;
+             CLAIM[SRC] = 1;
+             FRONT[0] = SRC;
+             int fs = 1;
+             int level = 0;
+             while (fs > 0) {{
+                 nextsize = 0;
+                 int nextlevel = level + 1;
+                 spawn(0, fs - 1) {{
+                     int u = FRONT[$];
+                     int e = OFF[u + 1];
+                     for (int k = OFF[u]; k < e; k++) {{
+                         int v = ADJ[k];
+                         if (DIST[v] == -1) {{
+                             int got = 1;
+                             psm(got, CLAIM[v]);
+                             if (got == 0) {{
+                                 DIST[v] = nextlevel;
+                                 int idx = 1;
+                                 ps(idx, nextsize);
+                                 NEXT[idx] = v;
+                             }}
+                         }}
+                     }}
+                 }}
+                 fs = nextsize;
+                 spawn(0, fs - 1) {{ FRONT[$] = NEXT[$]; }}
+                 level = nextlevel;
+             }}
+             print(level - 1);
+         }}",
+        np1 = n + 1,
+    )
+}
+
+/// Serial BFS on the Master TCU (array-based queue).
+pub fn bfs_ser(n: usize, adj_len: usize) -> String {
+    format!(
+        "int OFF[{np1}]; int ADJ[{adj_len}]; int DIST[{n}]; int QUEUE[{n}];
+         int SRC = 0; int N = {n};
+         void main() {{
+             for (int i = 0; i < N; i++) {{ DIST[i] = -1; }}
+             DIST[SRC] = 0;
+             QUEUE[0] = SRC;
+             int head = 0;
+             int tail = 1;
+             int maxd = 0;
+             while (head < tail) {{
+                 int u = QUEUE[head];
+                 head++;
+                 int du = DIST[u];
+                 int e = OFF[u + 1];
+                 for (int k = OFF[u]; k < e; k++) {{
+                     int v = ADJ[k];
+                     if (DIST[v] == -1) {{
+                         DIST[v] = du + 1;
+                         if (du + 1 > maxd) {{ maxd = du + 1; }}
+                         QUEUE[tail] = v;
+                         tail++;
+                     }}
+                 }}
+             }}
+             print(maxd);
+         }}",
+        np1 = n + 1,
+    )
+}
+
+/// Parallel connectivity: repeated hooking to smaller labels plus full
+/// pointer jumping (the Shiloach–Vishkin family, §II-B). Prints the
+/// number of connected components.
+pub fn connectivity_par(n: usize, m: usize) -> String {
+    format!(
+        "int PARENT[{n}]; int ESRC[{m}]; int EDST[{m}];
+         int changed = 0; int comps = 0;
+         int N = {n}; int M = {m};
+         void main() {{
+             spawn(0, N - 1) {{ PARENT[$] = $; }}
+             int again = 1;
+             while (again != 0) {{
+                 changed = 0;
+                 spawn(0, M - 1) {{
+                     int u = ESRC[$]; int v = EDST[$];
+                     int pu = PARENT[u]; int pv = PARENT[v];
+                     if (pu != pv) {{
+                         if (pu < pv) {{
+                             if (PARENT[pv] == pv) {{
+                                 PARENT[pv] = pu;
+                                 int one = 1;
+                                 ps(one, changed);
+                             }}
+                         }} else {{
+                             if (PARENT[pu] == pu) {{
+                                 PARENT[pu] = pv;
+                                 int one = 1;
+                                 ps(one, changed);
+                             }}
+                         }}
+                     }}
+                 }}
+                 spawn(0, N - 1) {{
+                     int p = PARENT[$];
+                     int gp = PARENT[p];
+                     while (p != gp) {{ p = gp; gp = PARENT[p]; }}
+                     PARENT[$] = p;
+                 }}
+                 again = changed;
+             }}
+             spawn(0, N - 1) {{
+                 if (PARENT[$] == $) {{ int one = 1; ps(one, comps); }}
+             }}
+             print(comps);
+         }}"
+    )
+}
+
+/// Serial connectivity (label propagation over edges until fixpoint —
+/// a deliberately comparable serial algorithm over the same edge list).
+pub fn connectivity_ser(n: usize, m: usize) -> String {
+    format!(
+        "int PARENT[{n}]; int ESRC[{m}]; int EDST[{m}];
+         int N = {n}; int M = {m};
+         void main() {{
+             for (int i = 0; i < N; i++) {{ PARENT[i] = i; }}
+             int changed = 1;
+             while (changed != 0) {{
+                 changed = 0;
+                 for (int e = 0; e < M; e++) {{
+                     int u = ESRC[e]; int v = EDST[e];
+                     int pu = PARENT[u]; int pv = PARENT[v];
+                     if (pu < pv) {{ PARENT[v] = pu; changed = 1; }}
+                     if (pv < pu) {{ PARENT[u] = pv; changed = 1; }}
+                 }}
+                 for (int i = 0; i < N; i++) {{
+                     int p = PARENT[i];
+                     while (PARENT[p] != p) {{ p = PARENT[p]; }}
+                     PARENT[i] = p;
+                 }}
+             }}
+             int comps = 0;
+             for (int i = 0; i < N; i++) {{
+                 if (PARENT[i] == i) {{ comps++; }}
+             }}
+             print(comps);
+         }}"
+    )
+}
+
+/// Parallel dense k×k matrix multiply (one virtual thread per output
+/// element).
+pub fn matmul_par(k: usize) -> String {
+    let kk = k * k;
+    format!(
+        "int A[{kk}]; int B[{kk}]; int C[{kk}]; int K = {k};
+         void main() {{
+             spawn(0, {kk} - 1) {{
+                 int i = $ / K;
+                 int j = $ % K;
+                 int s = 0;
+                 for (int l = 0; l < K; l++) {{
+                     s += A[i * K + l] * B[l * K + j];
+                 }}
+                 C[$] = s;
+             }}
+         }}"
+    )
+}
+
+/// Serial matrix multiply.
+pub fn matmul_ser(k: usize) -> String {
+    let kk = k * k;
+    format!(
+        "int A[{kk}]; int B[{kk}]; int C[{kk}]; int K = {k};
+         void main() {{
+             for (int i = 0; i < K; i++) {{
+                 for (int j = 0; j < K; j++) {{
+                     int s = 0;
+                     for (int l = 0; l < K; l++) {{
+                         s += A[i * K + l] * B[l * K + j];
+                     }}
+                     C[i * K + j] = s;
+                 }}
+             }}
+         }}"
+    )
+}
+
+/// Parallel histogram via `psm` (prefix-sum-to-memory, §II-A).
+pub fn histogram_par(n: usize, buckets: usize) -> String {
+    format!(
+        "int A[{n}]; int H[{buckets}]; int N = {n}; int BKT = {buckets};
+         void main() {{
+             spawn(0, N - 1) {{
+                 int b = A[$] % BKT;
+                 int one = 1;
+                 psm(one, H[b]);
+             }}
+         }}"
+    )
+}
+
+/// Serial histogram.
+pub fn histogram_ser(n: usize, buckets: usize) -> String {
+    format!(
+        "int A[{n}]; int H[{buckets}]; int N = {n}; int BKT = {buckets};
+         void main() {{
+             for (int i = 0; i < N; i++) {{ H[A[i] % BKT] += 1; }}
+         }}"
+    )
+}
+
+/// Parallel rank sort: each virtual thread counts how many elements
+/// precede its own, then writes it at that rank (a textbook PRAM sort).
+pub fn ranksort_par(n: usize) -> String {
+    format!(
+        "int A[{n}]; int B[{n}]; int N = {n};
+         void main() {{
+             spawn(0, N - 1) {{
+                 int x = A[$];
+                 int r = 0;
+                 for (int j = 0; j < N; j++) {{
+                     int y = A[j];
+                     if (y < x || (y == x && j < $)) {{ r++; }}
+                 }}
+                 B[r] = x;
+             }}
+         }}"
+    )
+}
+
+/// Serial insertion sort (comparable naive serial sort).
+pub fn ranksort_ser(n: usize) -> String {
+    format!(
+        "int A[{n}]; int B[{n}]; int N = {n};
+         void main() {{
+             for (int i = 0; i < N; i++) {{ B[i] = A[i]; }}
+             for (int i = 1; i < N; i++) {{
+                 int x = B[i];
+                 int j = i - 1;
+                 while (j >= 0 && B[j] > x) {{
+                     B[j + 1] = B[j];
+                     j--;
+                 }}
+                 B[j + 1] = x;
+             }}
+         }}"
+    )
+}
+
+/// Parallel iterative radix-2 FFT over `n = 2^logn` points — the
+/// floating-point workload enabled by the simulator's FP model (paper
+/// §II-B, refs \[23\]/\[24\]). Twiddle factors and the bit-reversal table are
+/// provided by the host generator.
+///
+/// Inputs: `RE[n]`, `IM[n]`, `BR[n]`, `TWR[n-1]`, `TWI[n-1]`.
+/// Outputs: `XR[n]`, `XI[n]`.
+pub fn fft_par(n: usize) -> String {
+    assert!(n.is_power_of_two());
+    let nm1 = n - 1;
+    format!(
+        "int BR[{n}]; float RE[{n}]; float IM[{n}];
+         float XR[{n}]; float XI[{n}];
+         float TWR[{nm1}]; float TWI[{nm1}];
+         int N = {n};
+         void main() {{
+             spawn(0, N - 1) {{
+                 int src = BR[$];
+                 XR[$] = RE[src];
+                 XI[$] = IM[src];
+             }}
+             for (int len = 2; len <= N; len *= 2) {{
+                 int half = len / 2;
+                 spawn(0, N / 2 - 1) {{
+                     int grp = $ / half;
+                     int j = $ % half;
+                     int i0 = grp * len + j;
+                     int i1 = i0 + half;
+                     float wr = TWR[half - 1 + j];
+                     float wi = TWI[half - 1 + j];
+                     float xr = XR[i1];
+                     float xi = XI[i1];
+                     float tr = wr * xr - wi * xi;
+                     float ti = wr * xi + wi * xr;
+                     float ur = XR[i0];
+                     float ui = XI[i0];
+                     XR[i0] = ur + tr;
+                     XI[i0] = ui + ti;
+                     XR[i1] = ur - tr;
+                     XI[i1] = ui - ti;
+                 }}
+             }}
+         }}"
+    )
+}
+
+/// Serial FFT on the Master TCU, same tables.
+pub fn fft_ser(n: usize) -> String {
+    assert!(n.is_power_of_two());
+    let nm1 = n - 1;
+    format!(
+        "int BR[{n}]; float RE[{n}]; float IM[{n}];
+         float XR[{n}]; float XI[{n}];
+         float TWR[{nm1}]; float TWI[{nm1}];
+         int N = {n};
+         void main() {{
+             for (int i = 0; i < N; i++) {{
+                 int src = BR[i];
+                 XR[i] = RE[src];
+                 XI[i] = IM[src];
+             }}
+             for (int len = 2; len <= N; len *= 2) {{
+                 int half = len / 2;
+                 for (int t = 0; t < N / 2; t++) {{
+                     int grp = t / half;
+                     int j = t % half;
+                     int i0 = grp * len + j;
+                     int i1 = i0 + half;
+                     float wr = TWR[half - 1 + j];
+                     float wi = TWI[half - 1 + j];
+                     float xr = XR[i1];
+                     float xi = XI[i1];
+                     float tr = wr * xr - wi * xi;
+                     float ti = wr * xi + wi * xr;
+                     float ur = XR[i0];
+                     float ui = XI[i0];
+                     XR[i0] = ur + tr;
+                     XI[i0] = ui + ti;
+                     XR[i1] = ur - tr;
+                     XI[i1] = ui - ti;
+                 }}
+             }}
+         }}"
+    )
+}
+
+/// Wyllie's parallel list ranking by pointer jumping — the canonical
+/// PRAM teaching algorithm (paper §II-C's parallel-algorithmic-thinking
+/// curriculum). `NEXT[i]` is a singly linked list with a self-loop at
+/// the tail; `RANK[i]` ends as the distance from `i` to the tail.
+/// Double buffering keeps every step race-free.
+pub fn listrank_par(n: usize, log2n: u32) -> String {
+    format!(
+        "int NEXT[{n}]; int RANK[{n}]; int NNEXT[{n}]; int NRANK[{n}]; int N = {n};
+         void main() {{
+             spawn(0, N - 1) {{
+                 if (NEXT[$] != $) {{ RANK[$] = 1; }} else {{ RANK[$] = 0; }}
+             }}
+             for (int step = 0; step < {log2n}; step++) {{
+                 spawn(0, N - 1) {{
+                     int nx = NEXT[$];
+                     if (nx != $) {{
+                         NRANK[$] = RANK[$] + RANK[nx];
+                         NNEXT[$] = NEXT[nx];
+                     }} else {{
+                         NRANK[$] = RANK[$];
+                         NNEXT[$] = nx;
+                     }}
+                 }}
+                 spawn(0, N - 1) {{
+                     RANK[$] = NRANK[$];
+                     NEXT[$] = NNEXT[$];
+                 }}
+             }}
+         }}"
+    )
+}
+
+/// Serial list ranking (tail-first accumulation by repeated walking).
+pub fn listrank_ser(n: usize) -> String {
+    format!(
+        "int NEXT[{n}]; int RANK[{n}]; int N = {n};
+         void main() {{
+             for (int i = 0; i < N; i++) {{
+                 int r = 0;
+                 int cur = i;
+                 while (NEXT[cur] != cur) {{
+                     r++;
+                     cur = NEXT[cur];
+                 }}
+                 RANK[i] = r;
+             }}
+         }}"
+    )
+}
+
+/// Parallel sparse matrix-vector product over CSR (one virtual thread
+/// per row) — the irregular-memory workload class the paper's §II-B
+/// speedup claims center on.
+pub fn spmv_par(n: usize, nnz: usize) -> String {
+    format!(
+        "int OFF[{np1}]; int COL[{nnz}]; int VAL[{nnz}]; int X[{n}]; int Y[{n}];
+         int N = {n};
+         void main() {{
+             spawn(0, N - 1) {{
+                 int s = 0;
+                 int e = OFF[$ + 1];
+                 for (int k = OFF[$]; k < e; k++) {{
+                     s += VAL[k] * X[COL[k]];
+                 }}
+                 Y[$] = s;
+             }}
+         }}",
+        np1 = n + 1,
+    )
+}
+
+/// Serial CSR sparse matrix-vector product.
+pub fn spmv_ser(n: usize, nnz: usize) -> String {
+    format!(
+        "int OFF[{np1}]; int COL[{nnz}]; int VAL[{nnz}]; int X[{n}]; int Y[{n}];
+         int N = {n};
+         void main() {{
+             for (int i = 0; i < N; i++) {{
+                 int s = 0;
+                 int e = OFF[i + 1];
+                 for (int k = OFF[i]; k < e; k++) {{
+                     s += VAL[k] * X[COL[k]];
+                 }}
+                 Y[i] = s;
+             }}
+         }}",
+        np1 = n + 1,
+    )
+}
+
+/// An extremely fine-grained kernel: a handful of ALU instructions per
+/// virtual thread and (almost) no memory traffic — the per-thread
+/// scheduling overhead dominates, which is exactly the situation the
+/// clustering pass of §IV-C targets.
+pub fn fine_grained_par(n: usize) -> String {
+    format!(
+        "int SENTINEL[4]; int N = {n};
+         void main() {{
+             spawn(0, N - 1) {{
+                 int x = $ * 3 + 1;
+                 if (x < 0) {{ SENTINEL[0] = x; }}
+             }}
+         }}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_programs_compile() {
+        let tc = xmt_core::Toolchain::new();
+        for (name, src) in [
+            ("compaction_par", compaction_par(64)),
+            ("compaction_ser", compaction_ser(64)),
+            ("vecadd_par", vecadd_par(64)),
+            ("vecadd_ser", vecadd_ser(64)),
+            ("prefix_par", prefix_par(64)),
+            ("prefix_ser", prefix_ser(64)),
+            ("reduction_par", reduction_par(64)),
+            ("reduction_ser", reduction_ser(64)),
+            ("bfs_par", bfs_par(32, 128)),
+            ("bfs_ser", bfs_ser(32, 128)),
+            ("connectivity_par", connectivity_par(32, 64)),
+            ("connectivity_ser", connectivity_ser(32, 64)),
+            ("matmul_par", matmul_par(8)),
+            ("matmul_ser", matmul_ser(8)),
+            ("histogram_par", histogram_par(64, 8)),
+            ("histogram_ser", histogram_ser(64, 8)),
+            ("ranksort_par", ranksort_par(32)),
+            ("ranksort_ser", ranksort_ser(32)),
+            ("fft_par", fft_par(16)),
+            ("fine_grained", fine_grained_par(64)),
+            ("spmv_par", spmv_par(16, 64)),
+            ("spmv_ser", spmv_ser(16, 64)),
+            ("listrank_par", listrank_par(16, 4)),
+            ("listrank_ser", listrank_ser(16)),
+            ("fft_ser", fft_ser(16)),
+        ] {
+            if let Err(e) = tc.compile(&src) {
+                panic!("{name} failed to compile: {e}");
+            }
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Ready-to-run workloads: compiled XMTC program + generated inputs +
+//! the baseline-derived expected results.
+
+use crate::{baselines, gen, programs};
+use std::fmt;
+use xmt_core::{Compiled, RunResult, Toolchain, ToolchainError};
+use xmtc::Options;
+use xmtsim::XmtConfig;
+
+/// Verification errors.
+#[derive(Debug)]
+pub enum WorkloadError {
+    Toolchain(ToolchainError),
+    Mismatch(String),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Toolchain(e) => write!(f, "{e}"),
+            WorkloadError::Mismatch(m) => write!(f, "result mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl From<ToolchainError> for WorkloadError {
+    fn from(e: ToolchainError) -> Self {
+        WorkloadError::Toolchain(e)
+    }
+}
+
+/// A result check against the baseline.
+#[derive(Debug, Clone)]
+enum Check {
+    /// A global's final ints must equal `want`.
+    GlobalEq { name: String, want: Vec<i32> },
+    /// The first `want.len()` elements of a global, sorted, must equal
+    /// the (sorted) `want` — for order-free results like compaction.
+    GlobalSortedEq { name: String, want: Vec<i32> },
+    /// A float global must match within `tol`.
+    FloatsNear { name: String, want: Vec<f32>, tol: f32 },
+    /// The printed integers must equal `want`.
+    Prints { want: Vec<i32> },
+}
+
+/// A compiled workload with inputs installed and expectations attached.
+pub struct Workload {
+    pub name: String,
+    pub compiled: Compiled,
+    checks: Vec<Check>,
+}
+
+impl Workload {
+    /// Run on the cycle-accurate simulator and verify the results.
+    pub fn run_and_verify(&self, cfg: &XmtConfig) -> Result<RunResult, WorkloadError> {
+        let r = self.compiled.run(cfg)?;
+        self.verify(&r)?;
+        Ok(r)
+    }
+
+    /// Run in fast functional mode and verify the results.
+    pub fn run_functional_and_verify(&self) -> Result<RunResult, WorkloadError> {
+        let r = self.compiled.run_functional()?;
+        self.verify(&r)?;
+        Ok(r)
+    }
+
+    /// Check a run's results against the baseline expectations.
+    pub fn verify(&self, r: &RunResult) -> Result<(), WorkloadError> {
+        for c in &self.checks {
+            match c {
+                Check::GlobalEq { name, want } => {
+                    let got = r.read_global_ints(name, want.len()).ok_or_else(|| {
+                        WorkloadError::Mismatch(format!("{}: global `{name}` missing", self.name))
+                    })?;
+                    if &got != want {
+                        return Err(WorkloadError::Mismatch(format!(
+                            "{}: `{name}` differs from baseline (got {:?}.., want {:?}..)",
+                            self.name,
+                            &got[..got.len().min(8)],
+                            &want[..want.len().min(8)],
+                        )));
+                    }
+                }
+                Check::GlobalSortedEq { name, want } => {
+                    let mut got = r.read_global_ints(name, want.len()).ok_or_else(|| {
+                        WorkloadError::Mismatch(format!("{}: global `{name}` missing", self.name))
+                    })?;
+                    got.sort_unstable();
+                    let mut want = want.clone();
+                    want.sort_unstable();
+                    if got != want {
+                        return Err(WorkloadError::Mismatch(format!(
+                            "{}: `{name}` multiset differs from baseline",
+                            self.name
+                        )));
+                    }
+                }
+                Check::FloatsNear { name, want, tol } => {
+                    let got = r.read_global_floats(name, want.len()).ok_or_else(|| {
+                        WorkloadError::Mismatch(format!("{}: global `{name}` missing", self.name))
+                    })?;
+                    for (k, (g, w)) in got.iter().zip(want).enumerate() {
+                        if (g - w).abs() > *tol {
+                            return Err(WorkloadError::Mismatch(format!(
+                                "{}: `{name}[{k}]` = {g}, want {w} (tol {tol})",
+                                self.name
+                            )));
+                        }
+                    }
+                }
+                Check::Prints { want } => {
+                    let got = r.printed_ints();
+                    if &got != want {
+                        return Err(WorkloadError::Mismatch(format!(
+                            "{}: printed {:?}, want {:?}",
+                            self.name, got, want
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn build(
+    name: impl Into<String>,
+    src: &str,
+    opts: &Options,
+    inputs: &[(&str, Vec<i32>)],
+    finputs: &[(&str, Vec<f32>)],
+    checks: Vec<Check>,
+) -> Result<Workload, WorkloadError> {
+    let mut compiled = Toolchain::with_options(opts.clone()).compile(src)?;
+    for (g, vals) in inputs {
+        compiled.set_global_ints(g, vals)?;
+    }
+    for (g, vals) in finputs {
+        compiled.set_global_floats(g, vals)?;
+    }
+    Ok(Workload { name: name.into(), compiled, checks })
+}
+
+/// Which program variant to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    Parallel,
+    Serial,
+}
+
+/// Array compaction (paper Fig. 2a).
+pub fn compaction(n: usize, seed: u64, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+    let a = gen::sparse_array(n, 0.3, seed);
+    let want = baselines::compaction(&a);
+    let count = want.len() as i32;
+    let src = match v {
+        Variant::Parallel => programs::compaction_par(n),
+        Variant::Serial => programs::compaction_ser(n),
+    };
+    build(
+        format!("compaction/{v:?}/{n}"),
+        &src,
+        opts,
+        &[("A", a)],
+        &[],
+        vec![
+            Check::Prints { want: vec![count] },
+            Check::GlobalSortedEq { name: "B".into(), want },
+        ],
+    )
+}
+
+/// Element-wise vector addition.
+pub fn vecadd(n: usize, seed: u64, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+    let a = gen::int_array(n, -1000, 1000, seed);
+    let b = gen::int_array(n, -1000, 1000, seed + 1);
+    let want = baselines::vector_add(&a, &b);
+    let src = match v {
+        Variant::Parallel => programs::vecadd_par(n),
+        Variant::Serial => programs::vecadd_ser(n),
+    };
+    build(
+        format!("vecadd/{v:?}/{n}"),
+        &src,
+        opts,
+        &[("A", a), ("B", b)],
+        &[],
+        vec![Check::GlobalEq { name: "C".into(), want }],
+    )
+}
+
+/// Inclusive prefix sums.
+pub fn prefix(n: usize, seed: u64, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+    let a = gen::int_array(n, -100, 100, seed);
+    let want = baselines::prefix_sum(&a);
+    let src = match v {
+        Variant::Parallel => programs::prefix_par(n),
+        Variant::Serial => programs::prefix_ser(n),
+    };
+    build(
+        format!("prefix/{v:?}/{n}"),
+        &src,
+        opts,
+        &[("A", a)],
+        &[],
+        vec![Check::GlobalEq { name: "A".into(), want }],
+    )
+}
+
+/// Tree reduction (sum).
+pub fn reduction(n: usize, seed: u64, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+    let a = gen::int_array(n, -100, 100, seed);
+    let want = baselines::reduction(&a);
+    let src = match v {
+        Variant::Parallel => programs::reduction_par(n),
+        Variant::Serial => programs::reduction_ser(n),
+    };
+    build(
+        format!("reduction/{v:?}/{n}"),
+        &src,
+        opts,
+        &[("A", a)],
+        &[],
+        vec![Check::Prints { want: vec![want] }],
+    )
+}
+
+/// Breadth-first search over a random connected graph.
+pub fn bfs(n: usize, m: usize, seed: u64, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+    let g = gen::graph(n, m, 1, seed);
+    let (off, adj) = g.csr();
+    let dist = baselines::bfs(&off, &adj, 0);
+    let max_level = *dist.iter().max().unwrap();
+    let src = match v {
+        Variant::Parallel => programs::bfs_par(n, adj.len()),
+        Variant::Serial => programs::bfs_ser(n, adj.len()),
+    };
+    build(
+        format!("bfs/{v:?}/{n}v{m}e"),
+        &src,
+        opts,
+        &[("OFF", off), ("ADJ", adj)],
+        &[],
+        vec![
+            Check::Prints { want: vec![max_level] },
+            Check::GlobalEq { name: "DIST".into(), want: dist },
+        ],
+    )
+}
+
+/// Graph connectivity (component count).
+pub fn connectivity(
+    n: usize,
+    m: usize,
+    comps: usize,
+    seed: u64,
+    v: Variant,
+    opts: &Options,
+) -> Result<Workload, WorkloadError> {
+    let g = gen::graph(n, m, comps, seed);
+    let want = baselines::components(g.n, &g.edges) as i32;
+    let (src_arr, dst_arr) = g.edge_arrays();
+    let src = match v {
+        Variant::Parallel => programs::connectivity_par(n, g.edges.len()),
+        Variant::Serial => programs::connectivity_ser(n, g.edges.len()),
+    };
+    build(
+        format!("connectivity/{v:?}/{n}v{m}e"),
+        &src,
+        opts,
+        &[("ESRC", src_arr), ("EDST", dst_arr)],
+        &[],
+        vec![Check::Prints { want: vec![want] }],
+    )
+}
+
+/// Dense matrix multiply.
+pub fn matmul(k: usize, seed: u64, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+    let a = gen::int_array(k * k, -10, 10, seed);
+    let b = gen::int_array(k * k, -10, 10, seed + 1);
+    let want = baselines::matmul(k, &a, &b);
+    let src = match v {
+        Variant::Parallel => programs::matmul_par(k),
+        Variant::Serial => programs::matmul_ser(k),
+    };
+    build(
+        format!("matmul/{v:?}/{k}x{k}"),
+        &src,
+        opts,
+        &[("A", a), ("B", b)],
+        &[],
+        vec![Check::GlobalEq { name: "C".into(), want }],
+    )
+}
+
+/// Histogram via `psm`.
+pub fn histogram(
+    n: usize,
+    buckets: usize,
+    seed: u64,
+    v: Variant,
+    opts: &Options,
+) -> Result<Workload, WorkloadError> {
+    let a = gen::int_array(n, 0, 1_000_000, seed);
+    let want = baselines::histogram(&a, buckets);
+    let src = match v {
+        Variant::Parallel => programs::histogram_par(n, buckets),
+        Variant::Serial => programs::histogram_ser(n, buckets),
+    };
+    build(
+        format!("histogram/{v:?}/{n}"),
+        &src,
+        opts,
+        &[("A", a)],
+        &[],
+        vec![Check::GlobalEq { name: "H".into(), want }],
+    )
+}
+
+/// Rank sort.
+pub fn ranksort(n: usize, seed: u64, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+    let a = gen::int_array(n, -500, 500, seed);
+    let want = baselines::rank_sort(&a);
+    let src = match v {
+        Variant::Parallel => programs::ranksort_par(n),
+        Variant::Serial => programs::ranksort_ser(n),
+    };
+    build(
+        format!("ranksort/{v:?}/{n}"),
+        &src,
+        opts,
+        &[("A", a)],
+        &[],
+        vec![Check::GlobalEq { name: "B".into(), want }],
+    )
+}
+
+/// Radix-2 FFT (float workload).
+pub fn fft(n: usize, seed: u64, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+    let re = gen::float_array(n, -1.0, 1.0, seed);
+    let im = gen::float_array(n, -1.0, 1.0, seed + 1);
+    let br = gen::bit_reversal(n);
+    let (twr, twi) = gen::twiddles(n);
+    let mut wr = re.clone();
+    let mut wi = im.clone();
+    baselines::fft(&mut wr, &mut wi);
+    let src = match v {
+        Variant::Parallel => programs::fft_par(n),
+        Variant::Serial => programs::fft_ser(n),
+    };
+    build(
+        format!("fft/{v:?}/{n}"),
+        &src,
+        opts,
+        &[("BR", br)],
+        &[("RE", re), ("IM", im), ("TWR", twr), ("TWI", twi)],
+        vec![
+            Check::FloatsNear { name: "XR".into(), want: wr, tol: 1e-3 },
+            Check::FloatsNear { name: "XI".into(), want: wi, tol: 1e-3 },
+        ],
+    )
+}
+
+/// Sparse matrix-vector product (CSR, one thread per row).
+pub fn spmv(
+    n: usize,
+    avg_deg: usize,
+    seed: u64,
+    v: Variant,
+    opts: &Options,
+) -> Result<Workload, WorkloadError> {
+    let (off, col, val) = gen::sparse_matrix(n, avg_deg, seed);
+    let x = gen::int_array(n, -50, 50, seed + 1);
+    let want = baselines::spmv(&off, &col, &val, &x);
+    let nnz = col.len();
+    let src = match v {
+        Variant::Parallel => programs::spmv_par(n, nnz),
+        Variant::Serial => programs::spmv_ser(n, nnz),
+    };
+    build(
+        format!("spmv/{v:?}/{n}x{avg_deg}"),
+        &src,
+        opts,
+        &[("OFF", off), ("COL", col), ("VAL", val), ("X", x)],
+        &[],
+        vec![Check::GlobalEq { name: "Y".into(), want }],
+    )
+}
+
+/// Wyllie's list ranking by pointer jumping.
+pub fn listrank(n: usize, seed: u64, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+    let next = gen::linked_list(n, seed);
+    let want = baselines::list_rank(&next);
+    let log2n = usize::BITS - (n.max(2) - 1).leading_zeros();
+    let src = match v {
+        Variant::Parallel => programs::listrank_par(n, log2n),
+        Variant::Serial => programs::listrank_ser(n),
+    };
+    build(
+        format!("listrank/{v:?}/{n}"),
+        &src,
+        opts,
+        &[("NEXT", next)],
+        &[],
+        vec![Check::GlobalEq { name: "RANK".into(), want }],
+    )
+}
+
+/// The fine-grained scheduling-overhead kernel (clustering subject).
+pub fn fine_grained(n: usize, opts: &Options) -> Result<Workload, WorkloadError> {
+    build(
+        format!("fine_grained/{n}"),
+        &programs::fine_grained_par(n),
+        opts,
+        &[],
+        &[],
+        vec![Check::GlobalEq { name: "SENTINEL".into(), want: vec![0, 0, 0, 0] }],
+    )
+}
+
+/// Every workload at a small, test-friendly size.
+pub fn all_small(opts: &Options) -> Result<Vec<Workload>, WorkloadError> {
+    let mut v = Vec::new();
+    for variant in [Variant::Parallel, Variant::Serial] {
+        v.push(compaction(64, 1, variant, opts)?);
+        v.push(vecadd(64, 2, variant, opts)?);
+        v.push(prefix(64, 3, variant, opts)?);
+        v.push(reduction(64, 4, variant, opts)?);
+        v.push(bfs(48, 96, 5, variant, opts)?);
+        v.push(connectivity(48, 96, 3, 6, variant, opts)?);
+        v.push(matmul(8, 7, variant, opts)?);
+        v.push(histogram(64, 8, 8, variant, opts)?);
+        v.push(ranksort(48, 9, variant, opts)?);
+        v.push(fft(32, 10, variant, opts)?);
+        v.push(spmv(32, 4, 11, variant, opts)?);
+        v.push(listrank(32, 12, variant, opts)?);
+    }
+    Ok(v)
+}

@@ -1,0 +1,56 @@
+//! Every workload, parallel and serial variant, runs on the
+//! cycle-accurate simulator and matches its Rust baseline; the parallel
+//! variants are additionally cross-checked in fast functional mode.
+//! This is the toolchain's whole-stack validation sweep.
+
+use xmtc::Options;
+use xmtsim::XmtConfig;
+use xmt_workloads::suite::{self, Variant};
+
+#[test]
+fn all_workloads_verify_on_fpga64() {
+    let cfg = XmtConfig::fpga64();
+    let workloads = suite::all_small(&Options::default()).expect("all build");
+    assert_eq!(workloads.len(), 24);
+    for w in &workloads {
+        let r = w
+            .run_and_verify(&cfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(r.cycles > 0, "{}", w.name);
+    }
+}
+
+#[test]
+fn parallel_workloads_verify_in_functional_mode() {
+    let workloads = suite::all_small(&Options::default()).expect("all build");
+    for w in workloads {
+        w.run_functional_and_verify()
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    }
+}
+
+#[test]
+fn workloads_verify_without_optimizations() {
+    // The O0 pipeline must produce the same results.
+    let cfg = XmtConfig::tiny();
+    for w in suite::all_small(&Options::o0()).expect("all build at O0") {
+        w.run_and_verify(&cfg)
+            .unwrap_or_else(|e| panic!("{} (O0): {e}", w.name));
+    }
+}
+
+#[test]
+fn parallel_beats_serial_on_big_enough_inputs() {
+    // The headline claim (§II-B shape): PRAM-style parallel XMTC beats
+    // serial XMTC by a large factor on a many-core configuration.
+    let cfg = XmtConfig::fpga64(); // 64 TCUs
+    let opts = Options::default();
+    let par = suite::vecadd(512, 3, Variant::Parallel, &opts).unwrap();
+    let ser = suite::vecadd(512, 3, Variant::Serial, &opts).unwrap();
+    let pc = par.run_and_verify(&cfg).unwrap().cycles;
+    let sc = ser.run_and_verify(&cfg).unwrap().cycles;
+    assert!(
+        sc > 4 * pc,
+        "expected ≥4x parallel speedup on 64 TCUs: serial {sc}, parallel {pc}"
+    );
+}

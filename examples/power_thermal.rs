@@ -1,0 +1,54 @@
+//! Dynamic power and thermal management (paper §III-B and §III-F) — the
+//! capability the paper calls unique to XMTSim among public many-core
+//! simulators. An activity plug-in samples the built-in counters over
+//! simulated time, estimates power, integrates the RC thermal grid (our
+//! HotSpot stand-in), throttles the cluster clock domain above a
+//! temperature threshold, and animates per-cluster activity on the
+//! floorplan.
+//!
+//! ```sh
+//! cargo run --release --example power_thermal
+//! ```
+
+use xmtc::Options;
+use xmtsim::floorplan::{Floorplan, FloorplanAnimator};
+use xmtsim::power::ThermalGovernor;
+use xmtsim::XmtConfig;
+use xmt_workloads::micro::{build, MicroGroup, MicroParams};
+
+fn main() {
+    let cfg = XmtConfig::fpga64();
+    let params = MicroParams { threads: 2048, iters: 64, data_words: 1 << 14 };
+    let compiled = build(MicroGroup::ParallelCompute, &params, &Options::default()).unwrap();
+
+    println!("running a hot compute kernel with and without thermal control\n");
+    for (label, control) in [("monitor only", false), ("governor @ 65 C", true)] {
+        let mut sim = compiled.simulator(&cfg);
+        sim.add_activity(Box::new(ThermalGovernor::new(cfg.clone(), 65.0, control)), 2_000);
+        let r = sim.run().expect("runs");
+        println!("== {label} ==");
+        println!("  simulated time: {} ps ({} cluster cycles)", r.time_ps, r.cycles);
+        for line in sim.activity_reports() {
+            println!("  {line}");
+        }
+        println!();
+    }
+
+    // Floorplan: final per-cluster activity plus an animation captured
+    // through the activity-plug-in interface (paper §III-E).
+    let mut sim = compiled.simulator(&cfg);
+    sim.add_activity(Box::new(FloorplanAnimator::new(cfg.clusters as usize, 4)), 10_000);
+    sim.run().expect("runs");
+    let activity: Vec<f64> = sim.stats.per_cluster.iter().map(|&v| v as f64).collect();
+    let plan = Floorplan::square(activity.len());
+    println!("per-cluster instruction activity on the floorplan:");
+    println!("{}", plan.heatmap(&activity));
+    println!("{}", plan.table("instructions per cluster", &activity));
+
+    // The animation frames captured by the plug-in over simulated time.
+    let anim = sim
+        .activity_plugin::<FloorplanAnimator>()
+        .expect("animator retrievable after the run");
+    println!("activity animation ({} frames):", anim.frames.len());
+    println!("{}", anim.render());
+}

@@ -1,0 +1,51 @@
+//! Quickstart: compile an XMTC program, feed it input through the memory
+//! map, run it on the cycle-accurate simulator, and inspect the results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use xmt_core::Toolchain;
+use xmtsim::XmtConfig;
+
+fn main() {
+    // An XMTC program: parallel dot-product-style update with a psm-based
+    // global accumulator.
+    let source = r#"
+        int A[64]; int B[64]; int total = 0; int N = 64;
+        void main() {
+            spawn(0, N - 1) {
+                int prod = A[$] * B[$];
+                psm(prod, total);
+            }
+            print(total);
+        }
+    "#;
+
+    // 1. Compile (pre-pass + core-pass + post-pass).
+    let mut compiled = Toolchain::new().compile(source).expect("compiles");
+    println!("warnings:      {:?}", compiled.warnings);
+    println!("layout fixes:  {}", compiled.layout_fixes);
+
+    // 2. Provide input: globals are the only input channel (no OS).
+    let a: Vec<i32> = (0..64).collect();
+    let b: Vec<i32> = vec![2; 64];
+    compiled.set_global_ints("A", &a).unwrap();
+    compiled.set_global_ints("B", &b).unwrap();
+
+    // 3. Run on the 64-TCU FPGA-prototype configuration.
+    let result = compiled.run(&XmtConfig::fpga64()).expect("runs");
+
+    println!("printed:       {:?}", result.printed_ints());
+    println!("cycles:        {}", result.cycles);
+    println!("instructions:  {}", result.instructions);
+    println!("virtual thrds: {}", result.stats.virtual_threads);
+    println!(
+        "cache:         {} hits / {} misses",
+        result.stats.cache_hits, result.stats.cache_misses
+    );
+
+    let expect: i32 = (0..64).map(|k| k * 2).sum();
+    assert_eq!(result.printed_ints(), vec![expect]);
+    println!("ok: total = {expect}");
+}

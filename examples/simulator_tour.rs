@@ -1,0 +1,72 @@
+//! A tour of the studyability features (paper §III-B/E): the hottest
+//! -memory-lines filter plug-in, execution traces at both detail levels,
+//! and checkpoint/resume — all on one program.
+//!
+//! ```sh
+//! cargo run --release --example simulator_tour
+//! ```
+
+use xmtsim::checkpoint::CheckpointOutcome;
+use xmtsim::stats::MemHotspotFilter;
+use xmtsim::trace::{TraceLevel, Tracer};
+use xmtsim::{CycleSim, XmtConfig};
+use xmt_core::Toolchain;
+
+fn main() {
+    let source = r#"
+        int H[8]; int A[128]; int N = 128;
+        void main() {
+            spawn(0, N - 1) {
+                int one = 1;
+                psm(one, H[A[$] % 8]);   // hammer a few histogram bins
+            }
+            for (int round = 0; round < 3; round++) {
+                spawn(0, N - 1) { A[$] = A[$] + 1; }
+            }
+        }
+    "#;
+    let mut compiled = Toolchain::new().compile(source).expect("compiles");
+    let input: Vec<i32> = (0..128).map(|k| (k * k) % 23).collect();
+    compiled.set_global_ints("A", &input).unwrap();
+    let cfg = XmtConfig::fpga64();
+
+    // ---- filter plug-in: hottest shared-memory lines (§III-B) ----
+    let mut sim = compiled.simulator(&cfg);
+    sim.add_filter(Box::new(MemHotspotFilter::new(cfg.line_bytes, 5)));
+    sim.run().expect("runs");
+    println!("== filter plug-in ==");
+    println!("{}", sim.filter_reports().join("\n"));
+
+    // ---- execution traces (§III-E), limited to TCU 0 ----
+    let mut sim = compiled.simulator(&cfg);
+    sim.attach_tracer(
+        Tracer::new(TraceLevel::CycleAccurate)
+            .with_tcus([0])
+            .with_max_records(12),
+    );
+    sim.run().expect("runs");
+    println!("== cycle-accurate trace of TCU 0 (first records) ==");
+    println!("{}", sim.tracer.as_ref().unwrap().to_text());
+
+    // ---- checkpoint / resume (§III-E) ----
+    let mut sim = compiled.simulator(&cfg);
+    let full_cycles = compiled.simulator(&cfg).run().unwrap().cycles;
+    match sim.run_to_checkpoint(full_cycles / 2).expect("checkpointable") {
+        CheckpointOutcome::Checkpoint(ckpt) => {
+            println!("== checkpoint ==");
+            println!(
+                "saved at t = {} ps; snapshot is {} bytes of JSON",
+                ckpt.time,
+                ckpt.to_json().len()
+            );
+            let mut resumed = CycleSim::resume(compiled.executable().clone(), cfg.clone(), *ckpt);
+            let summary = resumed.run().expect("resumes");
+            println!(
+                "resumed run finished at cycle {summary} (uninterrupted: {full_cycles})",
+                summary = summary.cycles
+            );
+            assert_eq!(summary.cycles, full_cycles);
+        }
+        CheckpointOutcome::Done(_) => println!("program too short to checkpoint"),
+    }
+}

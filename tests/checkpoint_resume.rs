@@ -1,0 +1,105 @@
+//! **E14 — checkpoints** (paper §III-E): the state of the simulation can
+//! be saved at a point given ahead of time and resumed later. A resumed
+//! run must finish with exactly the same results, cycle counts and
+//! statistics as the uninterrupted run.
+
+use xmtc::Options;
+use xmtsim::checkpoint::CheckpointOutcome;
+use xmtsim::{CycleSim, XmtConfig};
+use xmt_core::Toolchain;
+use xmt_workloads::suite::{self, Variant};
+
+fn checkpointable_program() -> xmt_core::Compiled {
+    // Several parallel phases with serial gaps in between — plenty of
+    // quiescent points to checkpoint at.
+    let src = "
+        int A[256]; int N = 256; int sum = 0;
+        void main() {
+            for (int round = 0; round < 4; round++) {
+                spawn(0, N - 1) { A[$] = A[$] + round + 1; }
+            }
+            for (int i = 0; i < N; i++) { sum += A[i]; }
+            print(sum);
+        }
+    ";
+    Toolchain::new().compile(src).unwrap()
+}
+
+#[test]
+fn resume_equals_uninterrupted_run() {
+    let cfg = XmtConfig::fpga64();
+    let compiled = checkpointable_program();
+
+    // Reference: run straight through.
+    let mut full = compiled.simulator(&cfg);
+    let full_sum = full.run().unwrap();
+    let full_out = full.machine.output.clone();
+    let full_mem = full.machine.read_symbol(full.executable(), "A", 256).unwrap();
+
+    // Checkpoint mid-run, serialize through JSON, resume in a new sim.
+    let mut first = compiled.simulator(&cfg);
+    let target = full_sum.cycles / 2;
+    let ckpt = match first.run_to_checkpoint(target).unwrap() {
+        CheckpointOutcome::Checkpoint(c) => c,
+        CheckpointOutcome::Done(_) => panic!("program ended before the checkpoint"),
+    };
+    assert!(ckpt.time > 0);
+    let json = ckpt.to_json();
+    let restored = xmtsim::checkpoint::Checkpoint::from_json(&json).unwrap();
+    assert_eq!(*ckpt, restored);
+
+    let mut resumed = CycleSim::resume(compiled.executable().clone(), cfg.clone(), restored);
+    let resumed_sum = resumed.run().unwrap();
+
+    assert_eq!(resumed_sum.cycles, full_sum.cycles, "cycle-exact resume");
+    assert_eq!(resumed.machine.output, full_out);
+    assert_eq!(
+        resumed.machine.read_symbol(resumed.executable(), "A", 256).unwrap(),
+        full_mem
+    );
+    assert_eq!(resumed.stats.instructions, full.stats.instructions);
+    assert_eq!(resumed.stats.cache_misses, full.stats.cache_misses);
+}
+
+#[test]
+fn original_simulator_continues_after_checkpoint() {
+    // Taking a checkpoint must not corrupt the running simulator.
+    let cfg = XmtConfig::fpga64();
+    let compiled = checkpointable_program();
+    let mut reference = compiled.simulator(&cfg);
+    let want = reference.run().unwrap();
+
+    let mut sim = compiled.simulator(&cfg);
+    match sim.run_to_checkpoint(want.cycles / 3).unwrap() {
+        CheckpointOutcome::Checkpoint(_) => {}
+        CheckpointOutcome::Done(_) => panic!("ended early"),
+    }
+    let finished = sim.run().unwrap();
+    assert_eq!(finished.cycles, want.cycles);
+    assert_eq!(sim.machine.output, reference.machine.output);
+}
+
+#[test]
+fn checkpoint_after_halt_reports_done() {
+    let cfg = XmtConfig::tiny();
+    let compiled = checkpointable_program();
+    let mut sim = compiled.simulator(&cfg);
+    match sim.run_to_checkpoint(u64::MAX).unwrap() {
+        CheckpointOutcome::Done(s) => assert!(s.cycles > 0),
+        CheckpointOutcome::Checkpoint(_) => panic!("no checkpoint past the end"),
+    }
+}
+
+#[test]
+fn fast_forward_with_functional_mode_then_inspect() {
+    // The paper's other fast-forwarding vehicle: run the whole program in
+    // the fast functional mode and compare its final memory against the
+    // cycle-accurate run (a dry-run debugging workflow).
+    let w = suite::prefix(64, 5, Variant::Parallel, &Options::default()).unwrap();
+    let f = w.run_functional_and_verify().unwrap();
+    let c = w.run_and_verify(&XmtConfig::tiny()).unwrap();
+    assert_eq!(
+        f.read_global("A", 64).unwrap(),
+        c.read_global("A", 64).unwrap()
+    );
+}

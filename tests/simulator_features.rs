@@ -1,0 +1,165 @@
+//! Cross-crate tests of the simulator's studyability features (paper
+//! §III-B/E): filter plug-ins, activity plug-ins with runtime control,
+//! execution traces, and the floorplan visualization — all driven through
+//! compiled XMTC programs.
+
+use xmtc::Options;
+use xmtsim::floorplan::Floorplan;
+use xmtsim::stats::{ActivityPlugin, ActivitySample, MemHotspotFilter, RuntimeCtl};
+use xmtsim::trace::{TraceLevel, Tracer};
+use xmtsim::XmtConfig;
+use xmt_core::Toolchain;
+
+fn hotspot_program() -> xmt_core::Compiled {
+    // Every virtual thread hammers H[0]; A is touched once per thread.
+    let src = "
+        int A[64]; int H[16]; int N = 64;
+        void main() {
+            spawn(0, N - 1) {
+                int one = 1;
+                psm(one, H[0]);
+                A[$] = one;
+            }
+        }
+    ";
+    Toolchain::new().compile(src).unwrap()
+}
+
+#[test]
+fn hotspot_filter_finds_the_contended_line() {
+    let compiled = hotspot_program();
+    let h_addr = compiled.memmap().lookup("H").unwrap().addr;
+    let cfg = XmtConfig::fpga64();
+    let mut sim = compiled.simulator(&cfg);
+    sim.add_filter(Box::new(MemHotspotFilter::new(cfg.line_bytes, 3)));
+    sim.run().unwrap();
+    let report = sim.filter_reports().join("\n");
+    let hot_line = h_addr & !(cfg.line_bytes - 1);
+    assert!(
+        report.contains(&format!("0x{hot_line:08x}")),
+        "H[0]'s line must top the report:\n{report}"
+    );
+    // Typed readback agrees with the text report and carries PCs.
+    let f = sim.filter_plugin::<MemHotspotFilter>().expect("filter is downcastable");
+    let triples = f.hottest_with_pc();
+    assert_eq!(triples[0].0, hot_line, "typed hottest address matches the report");
+    assert!(triples[0].1 >= triples.last().unwrap().1, "sorted by access count");
+}
+
+#[test]
+fn filter_plugin_downcast_misses_other_types() {
+    struct Nop;
+    impl xmtsim::stats::FilterPlugin for Nop {
+        fn report(&self) -> String {
+            String::new()
+        }
+    }
+    let compiled = hotspot_program();
+    let cfg = XmtConfig::fpga64();
+    let mut sim = compiled.simulator(&cfg);
+    sim.add_filter(Box::new(Nop)); // no as_any override => opaque
+    assert!(sim.filter_plugin::<Nop>().is_none(), "default as_any hides the type");
+    assert!(sim.filter_plugin::<MemHotspotFilter>().is_none());
+}
+
+#[test]
+fn activity_plugin_sees_deltas_and_can_stop() {
+    struct Watcher {
+        samples: u32,
+        saw_activity: bool,
+    }
+    impl ActivityPlugin for Watcher {
+        fn sample(&mut self, s: &ActivitySample<'_>, ctl: &mut RuntimeCtl) {
+            self.samples += 1;
+            if s.delta.instructions > 0 {
+                self.saw_activity = true;
+            }
+            if self.samples >= 3 {
+                ctl.stop = true; // early stop through the control surface
+            }
+        }
+        fn report(&self) -> String {
+            format!("{} samples", self.samples)
+        }
+    }
+    let src = "void main() { for (int i = 0; i < 100000; i++) { } }";
+    let compiled = Toolchain::new().compile(src).unwrap();
+    let mut sim = compiled.simulator(&XmtConfig::tiny());
+    sim.add_activity(Box::new(Watcher { samples: 0, saw_activity: false }), 500);
+    let summary = sim.run().unwrap();
+    // Stopped by the plug-in long before the loop could finish.
+    assert!(summary.cycles < 100_000);
+    assert!(sim.activity_reports()[0].contains("3 samples"));
+}
+
+#[test]
+fn tracer_records_tcu_and_master_activity() {
+    let compiled = hotspot_program();
+    let cfg = XmtConfig::tiny();
+    let mut sim = compiled.simulator(&cfg);
+    sim.attach_tracer(Tracer::new(TraceLevel::CycleAccurate).with_max_records(100_000));
+    sim.run().unwrap();
+    let tracer = sim.tracer.as_ref().unwrap();
+    assert!(tracer.is_time_ordered());
+    let text = tracer.to_text();
+    assert!(text.contains("master"), "master issues traced");
+    assert!(text.contains("tcu"), "TCU issues traced");
+    assert!(text.contains("service"), "package service traced");
+    assert!(text.contains("complete"), "package completion traced");
+}
+
+#[test]
+fn tracer_filters_by_tcu() {
+    let compiled = hotspot_program();
+    let mut sim = compiled.simulator(&XmtConfig::tiny());
+    sim.attach_tracer(Tracer::new(TraceLevel::Functional).with_tcus([1]));
+    sim.run().unwrap();
+    let text = sim.tracer.as_ref().unwrap().to_text();
+    assert!(text.contains("tcu0001"));
+    assert!(!text.contains("tcu0002"));
+    assert!(!text.contains("tcu0000"));
+}
+
+#[test]
+fn floorplan_renders_per_cluster_instruction_heatmap() {
+    let compiled = hotspot_program();
+    let cfg = XmtConfig::fpga64();
+    let mut sim = compiled.simulator(&cfg);
+    sim.run().unwrap();
+    let values: Vec<f64> = sim.stats.per_cluster.iter().map(|&c| c as f64).collect();
+    let plan = Floorplan::square(values.len());
+    let map = plan.heatmap(&values);
+    assert_eq!(map.lines().count(), 3); // 8 clusters → 3×3-ish grid
+    let table = plan.table("instructions per cluster", &values);
+    assert!(table.contains("C7"));
+    // All clusters did work on a 64-thread spawn over 64 TCUs.
+    assert!(values.iter().all(|&v| v > 0.0));
+}
+
+#[test]
+fn dvfs_plugin_changes_simulated_timing_end_to_end() {
+    struct Throttle(bool);
+    impl ActivityPlugin for Throttle {
+        fn sample(&mut self, _s: &ActivitySample<'_>, ctl: &mut RuntimeCtl) {
+            if !self.0 {
+                self.0 = true;
+                ctl.scale_frequency(xmtsim::config::ClockDomain::Cluster, 0.25);
+            }
+        }
+    }
+    let src = "int A[512]; void main() { spawn(0, 511) { A[$] = $; } for (int i = 0; i < 3000; i++) { } }";
+    let compiled = Toolchain::with_options(Options::default()).compile(src).unwrap();
+
+    let base = compiled.simulator(&XmtConfig::tiny()).run().unwrap();
+    let mut throttled_sim = compiled.simulator(&XmtConfig::tiny());
+    throttled_sim.add_activity(Box::new(Throttle(false)), 200);
+    let throttled = throttled_sim.run().unwrap();
+
+    assert_eq!(base.instructions, throttled.instructions);
+    assert!(
+        throttled.time_ps > base.time_ps * 2,
+        "quartered clock must slow the wall-clock: {} vs {}",
+        throttled.time_ps,
+        base.time_ps
+    );
+}
