@@ -1,26 +1,21 @@
 //! Compile-time benchmark: the XMTC compiler end to end (parse → sema →
 //! outline → IR → optimize → regalloc → codegen → post-pass) on
-//! representative programs.
+//! representative programs. Writes `BENCH_compile.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmt_harness::BenchGroup;
 use xmtc::Options;
 use xmt_workloads::programs;
 
-fn bench_compile(c: &mut Criterion) {
+fn main() {
     let cases = vec![
         ("fig2a_compaction", programs::compaction_par(1024)),
         ("bfs", programs::bfs_par(1024, 4096)),
         ("fft", programs::fft_par(256)),
         ("connectivity", programs::connectivity_par(512, 2048)),
     ];
-    let mut group = c.benchmark_group("compile");
+    let mut group = BenchGroup::new("compile");
     for (name, src) in &cases {
-        group.bench_with_input(BenchmarkId::from_parameter(name), src, |b, src| {
-            b.iter(|| xmtc::compile(src, &Options::default()).unwrap())
-        });
+        group.bench(name, || xmtc::compile(src, &Options::default()).unwrap());
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_compile);
-criterion_main!(benches);

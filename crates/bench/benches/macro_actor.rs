@@ -1,7 +1,8 @@
-//! Criterion version of E3: DE scheduling cost of N individual actors vs
-//! one macro-actor, per simulated cycle.
+//! E3: DE scheduling cost of N individual actors vs one macro-actor, per
+//! simulated cycle. Runs on the in-tree bench runner and writes
+//! `BENCH_macro_actor.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmt_harness::BenchGroup;
 use xmtsim::engine::actor::{Actor, ActorCtx, ActorSystem, MacroActor};
 use xmtsim::engine::PRI_DEFAULT;
 
@@ -18,38 +19,31 @@ impl Actor<u64> for Tick {
     }
 }
 
-fn bench_actors(c: &mut Criterion) {
-    let mut group = c.benchmark_group("macro_actor");
+fn main() {
+    let mut group = BenchGroup::new("macro_actor");
     group.sample_size(20);
     for n in [16usize, 128, 1024] {
-        group.bench_with_input(BenchmarkId::new("individual", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut sys = ActorSystem::new(0u64);
-                for _ in 0..n {
-                    let id = sys.add(Tick(CYCLES));
-                    sys.schedule(id, 0, PRI_DEFAULT);
-                }
-                sys.run(u64::MAX)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("macro", n), &n, |b, &n| {
-            b.iter(|| {
-                let comps: Vec<u8> = vec![0; n];
-                let mut sys = ActorSystem::new(0u64);
-                let ma = MacroActor::new(comps, 1000, |_c: &mut u8, _t, w: &mut u64| {
-                    *w += 1;
-                });
-                let id = sys.add(ma);
+        group.bench(&format!("individual/{n}"), || {
+            let mut sys = ActorSystem::new(0u64);
+            for _ in 0..n {
+                let id = sys.add(Tick(CYCLES));
                 sys.schedule(id, 0, PRI_DEFAULT);
-                for _ in 0..=CYCLES {
-                    sys.run(1);
-                }
-                sys.world
-            })
+            }
+            sys.run(u64::MAX)
+        });
+        group.bench(&format!("macro/{n}"), || {
+            let comps: Vec<u8> = vec![0; n];
+            let mut sys = ActorSystem::new(0u64);
+            let ma = MacroActor::new(comps, 1000, |_c: &mut u8, _t, w: &mut u64| {
+                *w += 1;
+            });
+            let id = sys.add(ma);
+            sys.schedule(id, 0, PRI_DEFAULT);
+            for _ in 0..=CYCLES {
+                sys.run(1);
+            }
+            sys.world
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_actors);
-criterion_main!(benches);

@@ -1,23 +1,17 @@
-//! Criterion version of E13: cycle-accurate vs fast functional mode.
+//! E13: cycle-accurate vs fast functional mode, on the in-tree bench
+//! runner. Writes `BENCH_modes.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use xmt_harness::BenchGroup;
 use xmtc::Options;
 use xmtsim::XmtConfig;
 use xmt_workloads::suite::{self, Variant};
 
-fn bench_modes(c: &mut Criterion) {
+fn main() {
     let w = suite::vecadd(2048, 1, Variant::Parallel, &Options::default()).unwrap();
     let cfg = XmtConfig::fpga64();
-    let mut group = c.benchmark_group("modes");
+    let mut group = BenchGroup::new("modes");
     group.sample_size(10);
-    group.bench_function("cycle_accurate", |b| {
-        b.iter(|| w.compiled.run(&cfg).unwrap().instructions)
-    });
-    group.bench_function("functional", |b| {
-        b.iter(|| w.compiled.run_functional().unwrap().instructions)
-    });
+    group.bench("cycle_accurate", || w.compiled.run(&cfg).unwrap().instructions);
+    group.bench("functional", || w.compiled.run_functional().unwrap().instructions);
     group.finish();
 }
-
-criterion_group!(benches, bench_modes);
-criterion_main!(benches);

@@ -1,31 +1,27 @@
-//! Criterion version of E1 (Table I): simulator throughput per
-//! microbenchmark group, measured as host time per full simulated run at
-//! a fixed small scale (throughput = instructions / time).
+//! E1 (Table I): simulator throughput per microbenchmark group, measured
+//! as host time per full simulated run at a fixed small scale
+//! (throughput = instructions / time). Runs on the in-tree `xmt-harness`
+//! bench runner and writes `BENCH_table1.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xmt_harness::BenchGroup;
 use xmtc::Options;
 use xmtsim::XmtConfig;
 use xmt_workloads::micro::{build, MicroGroup, MicroParams};
 
-fn bench_table1(c: &mut Criterion) {
+fn main() {
     let cfg = XmtConfig::chip1024();
     let params = MicroParams { threads: 1024, iters: 8, data_words: 1 << 14 };
-    let mut group = c.benchmark_group("table1");
+    let mut group = BenchGroup::new("table1");
     group.sample_size(10);
     for g in MicroGroup::ALL {
         let compiled = build(g, &params, &Options::default()).unwrap();
         // Instruction count of one run, for throughput reporting.
         let instrs = compiled.simulator(&cfg).run().unwrap().instructions;
-        group.throughput(Throughput::Elements(instrs));
-        group.bench_with_input(BenchmarkId::from_parameter(g.label()), &compiled, |b, c| {
-            b.iter(|| {
-                let mut sim = c.simulator(&cfg);
-                sim.run().unwrap()
-            })
+        group.throughput_elements(instrs);
+        group.bench(g.label(), || {
+            let mut sim = compiled.simulator(&cfg);
+            sim.run().unwrap()
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

@@ -2,37 +2,40 @@
 //! lexer/parser/compiler — malformed programs must come back as typed
 //! errors with source positions.
 
-use proptest::prelude::*;
+use xmt_harness::prop::{run, Config, Gen};
 use xmtc::{CompileError, Options};
 
-proptest! {
-    /// Arbitrary byte soup (as UTF-8 strings) never panics the pipeline.
-    #[test]
-    fn arbitrary_text_never_panics(src in ".{0,400}") {
+/// Arbitrary byte soup (as UTF-8 strings) never panics the pipeline.
+#[test]
+fn arbitrary_text_never_panics() {
+    run("arbitrary_text_never_panics", Config::default(), |g: &mut Gen| {
+        let src = g.string(400);
         let _ = xmtc::compile(&src, &Options::default());
-    }
+    });
+}
 
-    /// Token soup drawn from the language's own vocabulary never panics
-    /// and, when it fails, fails with a positioned error.
-    #[test]
-    fn token_soup_never_panics(toks in prop::collection::vec(
-        prop::sample::select(vec![
-            "int", "float", "void", "if", "else", "while", "for", "return",
-            "spawn", "ps", "psm", "$", "(", ")", "{", "}", "[", "]", ";",
-            ",", "+", "-", "*", "/", "%", "=", "==", "<", ">", "&&", "||",
-            "x", "y", "main", "0", "1", "42", "3.5", "?", ":", "&", "!",
-            "volatile", "const", "break", "continue", "<<=", "^=",
-        ]), 0..120))
-    {
+/// Token soup drawn from the language's own vocabulary never panics
+/// and, when it fails, fails with a positioned error.
+#[test]
+fn token_soup_never_panics() {
+    const VOCAB: &[&str] = &[
+        "int", "float", "void", "if", "else", "while", "for", "return",
+        "spawn", "ps", "psm", "$", "(", ")", "{", "}", "[", "]", ";",
+        ",", "+", "-", "*", "/", "%", "=", "==", "<", ">", "&&", "||",
+        "x", "y", "main", "0", "1", "42", "3.5", "?", ":", "&", "!",
+        "volatile", "const", "break", "continue", "<<=", "^=",
+    ];
+    run("token_soup_never_panics", Config::default(), |g: &mut Gen| {
+        let toks = g.vec_of(0, 120, |g| *g.choose(VOCAB));
         let src = toks.join(" ");
         match xmtc::compile(&src, &Options::default()) {
             Ok(_) => {}
             Err(CompileError::Parse(e)) => {
-                prop_assert!(e.span.line >= 1);
+                assert!(e.span.line >= 1);
             }
             Err(_) => {}
         }
-    }
+    });
 }
 
 /// Error positions point at the offending construct.

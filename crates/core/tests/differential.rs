@@ -16,7 +16,7 @@
 //! exercise the compile-time inliner (expression, nested, and
 //! procedure shapes).
 
-use proptest::prelude::*;
+use xmt_harness::prop::{run, Config, Gen};
 use xmtc::Options;
 use xmtsim::XmtConfig;
 use xmt_core::Toolchain;
@@ -111,22 +111,46 @@ impl E {
     }
 }
 
-fn expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        any::<i8>().prop_map(E::Lit),
-        (0usize..4).prop_map(E::Var),
-        Just(E::Dollar),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            3 => ((0usize..2), inner.clone()).prop_map(|(a, i)| E::Arr(a, Box::new(i))),
-            3 => (any::<u8>(), inner.clone(), inner.clone())
-                .prop_map(|(op, l, r)| E::Bin(op, Box::new(l), Box::new(r))),
-            2 => (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, e)| E::Ternary(Box::new(c), Box::new(t), Box::new(e))),
-            1 => (any::<bool>(), inner).prop_map(|(h, a)| E::Call(h, Box::new(a))),
-        ]
-    })
+/// A random expression tree, depth-bounded like the former
+/// `prop_recursive(3, 24, 3)` strategy: leaves are literals, variable
+/// references, or `$`; inner nodes are array reads, binary ops,
+/// ternaries, and helper calls.
+fn expr_at(g: &mut Gen, depth: usize) -> E {
+    if depth == 0 {
+        return match g.usize_in(0, 3) {
+            0 => E::Lit(g.u32() as i8),
+            1 => E::Var(g.usize_in(0, 4)),
+            _ => E::Dollar,
+        };
+    }
+    // Weighted choice mirroring the old prop_oneof weights 3/3/2/1, with
+    // leaves mixed in so trees stay small on average.
+    match g.usize_in(0, 12) {
+        0..=2 => E::Arr(g.usize_in(0, 2), Box::new(expr_at(g, depth - 1))),
+        3..=5 => E::Bin(
+            g.u32() as u8,
+            Box::new(expr_at(g, depth - 1)),
+            Box::new(expr_at(g, depth - 1)),
+        ),
+        6..=7 => E::Ternary(
+            Box::new(expr_at(g, depth - 1)),
+            Box::new(expr_at(g, depth - 1)),
+            Box::new(expr_at(g, depth - 1)),
+        ),
+        8 => E::Call(g.bool_p(0.5), Box::new(expr_at(g, depth - 1))),
+        _ => match g.usize_in(0, 3) {
+            0 => E::Lit(g.u32() as i8),
+            1 => E::Var(g.usize_in(0, 4)),
+            _ => E::Dollar,
+        },
+    }
+}
+
+fn expr(g: &mut Gen) -> E {
+    // Scale the depth budget with the shrink size: smaller sizes produce
+    // shallower trees, so shrink-by-halving simplifies counterexamples.
+    let max_depth = 1 + g.depth(2);
+    expr_at(g, max_depth)
 }
 
 /// One statement template.
@@ -149,21 +173,38 @@ enum S {
     Store(u8, E),
 }
 
-fn stmts() -> impl Strategy<Value = Vec<S>> {
-    let s = prop_oneof![
-        4 => expr().prop_map(S::Decl),
-        3 => ((0usize..4), any::<u8>(), expr()).prop_map(|(k, op, e)| S::Update(k, op, e)),
-        3 => ((0usize..2), any::<u8>(), expr()).prop_map(|(a, i, e)| S::ArrWrite(a, i, e)),
-        2 => expr().prop_map(S::Accumulate),
-        1 => (any::<u8>(), expr()).prop_map(|(i, e)| S::Store(i, e)),
-    ];
-    let nested = prop_oneof![
-        6 => s.clone().prop_map(|x| vec![x]),
-        1 => (expr(), prop::collection::vec(s.clone(), 1..3), prop::collection::vec(s.clone(), 0..2))
-            .prop_map(|(c, t, e)| vec![S::If(c, t, e)]),
-        1 => ((1u8..4), prop::collection::vec(s, 1..3)).prop_map(|(n, b)| vec![S::For(n, b)]),
-    ];
-    prop::collection::vec(nested, 1..5).prop_map(|v| v.into_iter().flatten().collect())
+fn simple_stmt(g: &mut Gen) -> S {
+    // Weights mirror the old prop_oneof: Decl 4, Update 3, ArrWrite 3,
+    // Accumulate 2, Store 1.
+    match g.usize_in(0, 13) {
+        0..=3 => S::Decl(expr(g)),
+        4..=6 => S::Update(g.usize_in(0, 4), g.u32() as u8, expr(g)),
+        7..=9 => S::ArrWrite(g.usize_in(0, 2), g.u32() as u8, expr(g)),
+        10..=11 => S::Accumulate(expr(g)),
+        _ => S::Store(g.u32() as u8, expr(g)),
+    }
+}
+
+fn stmts(g: &mut Gen) -> Vec<S> {
+    let groups = g.len_in(1, 5);
+    let mut out = Vec::new();
+    for _ in 0..groups {
+        match g.usize_in(0, 8) {
+            0 => {
+                let c = expr(g);
+                let then_b = g.vec_of(1, 3, simple_stmt);
+                let else_b = g.vec_of(0, 2, simple_stmt);
+                out.push(S::If(c, then_b, else_b));
+            }
+            1 => {
+                let n = g.int_in(1, 4) as u8;
+                let body = g.vec_of(1, 3, simple_stmt);
+                out.push(S::For(n, body));
+            }
+            _ => out.push(simple_stmt(g)),
+        }
+    }
+    out
 }
 
 /// Render statements; `vars` = locals in scope (grows with decls).
@@ -328,39 +369,33 @@ fn run_all_pipelines(src: &str) -> Vec<(String, Vec<i32>)> {
     results
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        // Each case compiles three pipelines and runs nine simulations;
-        // keep the per-`cargo test` budget modest. Crank `PROPTEST_CASES`
-        // up for a deeper fuzzing session.
-        cases: 12,
-        max_shrink_iters: 200,
-        .. ProptestConfig::default()
-    })]
-
-    /// The headline differential property: every optimization level, both
-    /// machine sizes, and the functional mode agree on every generated
-    /// program.
-    #[test]
-    fn all_pipelines_agree(
-        s1 in stmts(),
-        par in stmts(),
-        s2 in stmts(),
-        h1 in expr(),
-        h2 in expr(),
-        stv in expr(),
-    ) {
+/// The headline differential property: every optimization level, both
+/// machine sizes, and the functional mode agree on every generated
+/// program.
+///
+/// Each case compiles four pipelines and runs nine simulations; keep the
+/// per-`cargo test` budget modest. Crank `XMT_PROP_CASES` up for a deeper
+/// fuzzing session.
+#[test]
+fn all_pipelines_agree() {
+    let config = Config { cases: 12, max_shrink_iters: 200, ..Config::default() };
+    run("all_pipelines_agree", config, |g: &mut Gen| {
+        let s1 = stmts(g);
+        let par = stmts(g);
+        let s2 = stmts(g);
+        let h1 = expr(g);
+        let h2 = expr(g);
+        let stv = expr(g);
         let src = render_program(&s1, &par, &s2, &h1, &h2, &stv);
         let results = run_all_pipelines(&src);
         let (ref first_name, ref want) = results[0];
         for (name, got) in &results {
-            prop_assert_eq!(
+            assert_eq!(
                 got, want,
-                "pipeline {} disagrees with {}\nprogram:\n{}",
-                name, first_name, src
+                "pipeline {name} disagrees with {first_name}\nprogram:\n{src}"
             );
         }
-    }
+    });
 }
 
 /// A regression corpus: seeds that once exposed bugs (or are just good

@@ -1,0 +1,319 @@
+//! Deterministic property-test mini-harness, replacing `proptest`.
+//!
+//! A property is a closure `FnMut(&mut Gen)` that draws random values and
+//! asserts about them. [`run`] executes it for a configured number of
+//! cases. Each case gets its own [`Gen`] seeded from
+//! `splitmix64(base_seed, case_index)`, so any failure is reproducible
+//! from the reported seed alone. On failure the harness *shrinks* by
+//! halving the generator's size budget (values drawn through the sized
+//! helpers get proportionally smaller) and replaying the same seed,
+//! keeping the smallest size that still fails, then panics with a
+//! message containing `seed=... size=...`.
+//!
+//! Environment overrides:
+//! - `XMT_PROP_CASES`: run this many cases instead of the configured count.
+//! - `XMT_PROP_SEED`: replay exactly one case with this seed (decimal or
+//!   `0x` hex), at full size — paste the seed from a failure report.
+
+use crate::prng::{splitmix64, Rng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Per-case value source: a seeded [`Rng`] plus a size budget in
+/// `1..=256` that sized generators scale by. Shrinking replays the same
+/// seed at smaller sizes.
+pub struct Gen {
+    rng: Rng,
+    size: u32,
+}
+
+impl Gen {
+    /// A generator for one case. `size` is clamped to `1..=256`.
+    pub fn new(seed: u64, size: u32) -> Self {
+        Gen { rng: Rng::new(seed), size: size.clamp(1, 256) }
+    }
+
+    /// The current size budget (shrinks halve this).
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Direct access to the underlying PRNG.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// Uniform u64.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform u32.
+    pub fn u32(&mut self) -> u32 {
+        self.rng.next_u32()
+    }
+
+    /// Uniform in `[lo, hi)`, like proptest's `lo..hi` strategy.
+    pub fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        self.rng.range_i64(lo, hi)
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.range_usize(lo, hi)
+    }
+
+    /// Uniform f32 in `[lo, hi)`.
+    pub fn f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+        self.rng.f32_range(lo, hi)
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool_p(&mut self, p: f64) -> bool {
+        self.rng.bool_p(p)
+    }
+
+    /// Uniformly chosen element of a nonempty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        self.rng.choose(items)
+    }
+
+    /// A length in `[lo, hi)` scaled by the size budget: at full size the
+    /// whole range is available, at size 1 only the smallest values.
+    /// This is what makes shrink-by-halving produce smaller inputs.
+    pub fn len_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi - lo;
+        let scaled = 1 + (span - 1) * self.size as usize / 256;
+        lo + self.rng.range_usize(0, scaled.min(span))
+    }
+
+    /// A `Vec` of `len_in(lo, hi)` elements drawn from `f`.
+    pub fn vec_of<T>(&mut self, lo: usize, hi: usize, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = self.len_in(lo, hi);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// A size-scaled recursion depth in `[0, max_depth]`; use to bound
+    /// recursive generators the way proptest's strategy depth does.
+    pub fn depth(&mut self, max_depth: usize) -> usize {
+        let scaled = max_depth * self.size as usize / 256;
+        self.rng.range_usize(0, scaled + 1)
+    }
+
+    /// A lowercase identifier like proptest's `[a-z_][a-z0-9_.]{0,n}`.
+    pub fn ident(&mut self, max_extra: usize) -> String {
+        const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz_";
+        const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_.";
+        let mut s = String::new();
+        s.push(*self.rng.choose(FIRST) as char);
+        if max_extra > 0 {
+            let extra = self.len_in(0, max_extra + 1);
+            for _ in 0..extra {
+                s.push(*self.rng.choose(REST) as char);
+            }
+        }
+        s
+    }
+
+    /// An arbitrary (possibly non-ASCII) string of up to `max_len` chars,
+    /// the analogue of proptest's `.{0,max_len}` regex strategy.
+    pub fn string(&mut self, max_len: usize) -> String {
+        let n = self.len_in(0, max_len + 1);
+        (0..n)
+            .map(|_| {
+                // Mix ASCII (common case for parser fuzzing) with arbitrary
+                // scalar values so multibyte handling is exercised too.
+                if self.rng.bool_p(0.8) {
+                    (self.rng.range_usize(0x20, 0x7f) as u8) as char
+                } else {
+                    char::from_u32(self.rng.next_u32() % 0xD800).unwrap_or('\u{FFFD}')
+                }
+            })
+            .collect()
+    }
+}
+
+/// Configuration for [`run`]; mirrors `ProptestConfig` where it matters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases (proptest's default is 256).
+    pub cases: u32,
+    /// Base seed; per-case seeds derive from it. Fixed by default so CI
+    /// is reproducible; override with `XMT_PROP_SEED` to replay.
+    pub base_seed: u64,
+    /// Maximum shrink attempts (size halvings) after a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, base_seed: 0x584d_545f_5052_4f50, max_shrink_iters: 16 }
+    }
+}
+
+impl Config {
+    /// `Config` with an explicit case count, like
+    /// `ProptestConfig::with_cases(n)`.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases, ..Config::default() }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name}={raw:?} is not a u64"),
+    }
+}
+
+fn case_fails(prop: &mut dyn FnMut(&mut Gen), seed: u64, size: u32) -> Option<String> {
+    let mut gen = Gen::new(seed, size);
+    let result = catch_unwind(AssertUnwindSafe(|| prop(&mut gen)));
+    result.err().map(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        }
+    })
+}
+
+/// Run `prop` for `config.cases` seeded cases, shrinking on failure.
+///
+/// Panics with a reproducible `seed=... size=...` report if any case
+/// fails; the report survives shrinking so the *smallest* failing size is
+/// what gets printed.
+pub fn run(name: &str, config: Config, mut prop: impl FnMut(&mut Gen)) {
+    let mut prop_dyn: &mut dyn FnMut(&mut Gen) = &mut prop;
+
+    if let Some(seed) = env_u64("XMT_PROP_SEED") {
+        if let Some(msg) = case_fails(&mut prop_dyn, seed, 256) {
+            panic!("[{name}] replay failed: seed={seed:#x} size=256\n  {msg}");
+        }
+        eprintln!("[{name}] replay of seed={seed:#x} passed");
+        return;
+    }
+
+    let cases = env_u64("XMT_PROP_CASES").map(|c| c as u32).unwrap_or(config.cases);
+    let mut seed_state = config.base_seed ^ name.bytes().fold(0u64, |h, b| {
+        h.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64)
+    });
+
+    for case in 0..cases {
+        let seed = splitmix64(&mut seed_state);
+        let Some(first_msg) = case_fails(&mut prop_dyn, seed, 256) else {
+            continue;
+        };
+
+        // Shrink: same seed, halved size budget. Keep the smallest size
+        // that still fails.
+        let mut best_size = 256u32;
+        let mut best_msg = first_msg;
+        let mut size = 128u32;
+        let mut iters = 0;
+        while size >= 1 && iters < config.max_shrink_iters {
+            iters += 1;
+            match case_fails(&mut prop_dyn, seed, size) {
+                Some(msg) => {
+                    best_size = size;
+                    best_msg = msg;
+                    if size == 1 {
+                        break;
+                    }
+                    size /= 2;
+                }
+                None => break,
+            }
+        }
+
+        panic!(
+            "[{name}] property failed at case {case}/{cases} \
+             (shrunk to size={best_size}; replay with XMT_PROP_SEED={seed:#x}):\n  {best_msg}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        run("always_true", Config::with_cases(64), |g| {
+            count += 1;
+            let v = g.int_in(0, 100);
+            assert!((0..100).contains(&v));
+        });
+        assert_eq!(count, 64);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run("too_long", Config::with_cases(64), |g| {
+                let v = g.vec_of(0, 200, |g| g.u32());
+                assert!(v.len() < 3, "vec of {} elements", v.len());
+            });
+        }));
+        let msg = match caught {
+            Err(payload) => payload
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("string panic payload"),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains("XMT_PROP_SEED=0x"), "has replay seed: {msg}");
+        assert!(msg.contains("shrunk to size="), "mentions shrinking: {msg}");
+        // Shrinking must reach a smaller-than-full size for this property:
+        // at size 1, len_in(0,200) still often produces >=3? No — scaled
+        // span is 1, so lengths are always 0 and the shrunk case passes;
+        // the minimum failing size is therefore > 1 but < 256.
+        assert!(!msg.contains("size=256"), "shrinking reduced the size: {msg}");
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let collect = || {
+            let mut vals = Vec::new();
+            run("det", Config::with_cases(16), |g| vals.push(g.u64()));
+            vals
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn sized_generators_scale_down() {
+        let mut g_small = Gen::new(9, 1);
+        let mut g_full = Gen::new(9, 256);
+        for _ in 0..100 {
+            assert!(g_small.len_in(0, 200) <= 1);
+            assert!(g_full.len_in(0, 200) < 200);
+        }
+        // depth() at size 1 is 0 for shallow budgets.
+        assert_eq!(g_small.depth(8), 0);
+    }
+
+    #[test]
+    fn ident_is_wellformed() {
+        let mut g = Gen::new(4, 256);
+        for _ in 0..200 {
+            let id = g.ident(12);
+            let bytes = id.as_bytes();
+            assert!(bytes[0].is_ascii_lowercase() || bytes[0] == b'_');
+            assert!(id.len() <= 13);
+            assert!(bytes
+                .iter()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || *b == b'_' || *b == b'.'));
+        }
+    }
+}

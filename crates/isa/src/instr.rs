@@ -7,18 +7,20 @@
 //! directly.
 
 use crate::reg::{FReg, GlobalReg, Reg};
-use serde::{Deserialize, Serialize};
 use std::fmt;
+use xmt_harness::json_enum;
 
 /// A control-flow target: a symbolic label before linking, or an absolute
 /// instruction index afterwards.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Target {
     /// Unresolved symbolic label.
     Label(String),
     /// Resolved absolute instruction index into the text segment.
     Abs(u32),
 }
+
+json_enum!(Target { Label(String), Abs(u32) });
 
 impl Target {
     /// The resolved instruction index. Panics when still symbolic; only the
@@ -46,12 +48,14 @@ impl fmt::Display for Target {
 }
 
 /// Comparison operator of the FP compare instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FCmpOp {
     Eq,
     Lt,
     Le,
 }
+
+json_enum!(FCmpOp { Eq, Lt, Le });
 
 impl fmt::Display for FCmpOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -66,7 +70,7 @@ impl fmt::Display for FCmpOp {
 /// Functional-unit classification of an instruction (paper Fig. 1): which
 /// hardware resource executes it. Drives both cycle-accurate routing and
 /// the per-unit activity counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FuKind {
     /// Lightweight per-TCU integer ALU.
     Alu,
@@ -86,6 +90,8 @@ pub enum FuKind {
     /// Control: spawn/join/fence/halt/print/nop.
     Ctl,
 }
+
+json_enum!(FuKind { Alu, Sft, Br, Mdu, Fpu, Mem, Ps, Ctl });
 
 impl FuKind {
     /// All functional-unit kinds, for iterating counters.
@@ -122,7 +128,7 @@ impl FuKind {
 /// expand (`li`, `move`) are kept as first-class instructions; the
 /// simulator charges them ALU latency, which is what their expansion would
 /// cost on the real pipeline for 16-bit immediates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Instr {
     // ---- integer ALU, register forms ----
     Add { rd: Reg, rs: Reg, rt: Reg },
@@ -231,6 +237,77 @@ pub enum Instr {
     Halt,
     Nop,
 }
+
+json_enum!(Instr {
+    Add { rd, rs, rt },
+    Sub { rd, rs, rt },
+    And { rd, rs, rt },
+    Or { rd, rs, rt },
+    Xor { rd, rs, rt },
+    Nor { rd, rs, rt },
+    Slt { rd, rs, rt },
+    Sltu { rd, rs, rt },
+    Mul { rd, rs, rt },
+    Div { rd, rs, rt },
+    Rem { rd, rs, rt },
+    Addi { rt, rs, imm },
+    Andi { rt, rs, imm },
+    Ori { rt, rs, imm },
+    Xori { rt, rs, imm },
+    Slti { rt, rs, imm },
+    Sltiu { rt, rs, imm },
+    Li { rt, imm },
+    Lui { rt, imm },
+    Move { rd, rs },
+    Sll { rd, rt, sh },
+    Srl { rd, rt, sh },
+    Sra { rd, rt, sh },
+    Sllv { rd, rt, rs },
+    Srlv { rd, rt, rs },
+    Srav { rd, rt, rs },
+    Lw { rt, base, off },
+    Sw { rt, base, off },
+    Lb { rt, base, off },
+    Lbu { rt, base, off },
+    Sb { rt, base, off },
+    Swnb { rt, base, off },
+    Pref { base, off },
+    Lwro { rt, base, off },
+    Fadd { fd, fs, ft },
+    Fsub { fd, fs, ft },
+    Fmul { fd, fs, ft },
+    Fdiv { fd, fs, ft },
+    Fmov { fd, fs },
+    Fneg { fd, fs },
+    Fcvtsw { fd, rs },
+    Fcvtws { rd, fs },
+    Fcmp { op, rd, fs, ft },
+    Fli { fd, imm },
+    Flw { ft, base, off },
+    Fsw { ft, base, off },
+    Beq { rs, rt, target },
+    Bne { rs, rt, target },
+    Blez { rs, target },
+    Bgtz { rs, target },
+    Bltz { rs, target },
+    Bgez { rs, target },
+    J { target },
+    Jal { target },
+    Jr { rs },
+    Jalr { rd, rs },
+    Spawn { lo, hi },
+    Join,
+    Ps { rt, gr },
+    Psm { rt, base, off },
+    Chkid { rt },
+    Grput { gr, rs },
+    Fence,
+    Print { rs },
+    Printf { fs },
+    Printc { rs },
+    Halt,
+    Nop,
+});
 
 impl Instr {
     /// The functional unit that executes this instruction.

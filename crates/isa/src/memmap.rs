@@ -17,11 +17,11 @@
 //! i.e. `name address word-count words...`.
 
 use crate::DATA_BASE;
-use serde::{Deserialize, Serialize};
 use std::fmt;
+use xmt_harness::json_struct;
 
 /// One global variable in the data segment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemEntry {
     /// Source-level name of the global.
     pub name: String,
@@ -31,6 +31,8 @@ pub struct MemEntry {
     pub words: Vec<u32>,
 }
 
+json_struct!(MemEntry { name, addr, words });
+
 impl MemEntry {
     /// Size of the entry in bytes.
     pub fn byte_len(&self) -> u32 {
@@ -39,10 +41,12 @@ impl MemEntry {
 }
 
 /// A complete memory map: the initial image of the static data segment.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemoryMap {
     pub entries: Vec<MemEntry>,
 }
+
+json_struct!(MemoryMap { entries });
 
 /// Errors from parsing a textual memory map.
 #[derive(Debug, Clone, PartialEq, Eq)]

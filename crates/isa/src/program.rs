@@ -8,12 +8,12 @@
 
 use crate::instr::{Instr, Target};
 use crate::memmap::MemoryMap;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use xmt_harness::{json_enum, json_struct};
 
 /// One line of an assembly program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AsmItem {
     /// A label definition (`name:`).
     Label(String),
@@ -23,12 +23,16 @@ pub enum AsmItem {
     Comment(String),
 }
 
+json_enum!(AsmItem { Label(String), Instr(Instr), Comment(String) });
+
 /// An unlinked assembly program: the interchange format between the
 /// compiler's code generator, its post-pass, and the simulator's front-end.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AsmProgram {
     pub items: Vec<AsmItem>,
 }
+
+json_struct!(AsmProgram { items });
 
 /// Errors detected while linking an assembly program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -163,7 +167,7 @@ impl AsmProgram {
 }
 
 /// A linked, loadable XMT program image.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Executable {
     /// Instructions; all branch targets are absolute indices.
     pub text: Vec<Instr>,
@@ -176,6 +180,8 @@ pub struct Executable {
     /// Initial contents of the static data segment.
     pub memmap: MemoryMap,
 }
+
+json_struct!(Executable { text, labels, spawn_join, entry, memmap });
 
 impl Executable {
     /// Number of instructions in the text segment.

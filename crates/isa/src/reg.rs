@@ -6,8 +6,8 @@
 //! whole chip and accessed exclusively through the hardware prefix-sum
 //! unit (`ps`).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
+use xmt_harness::{json_enum, json_newtype};
 
 /// A general-purpose 32-bit integer register (per-TCU).
 ///
@@ -16,7 +16,7 @@ use std::fmt;
 /// values, `Sp`/`Fp`/`Ra` for the serial stack discipline (the Master TCU
 /// only — parallel code has no stack in the current XMT release, exactly as
 /// in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum Reg {
     Zero = 0,
@@ -52,6 +52,11 @@ pub enum Reg {
     Fp = 30,
     Ra = 31,
 }
+
+json_enum!(Reg {
+    Zero, At, V0, V1, A0, A1, A2, A3, T0, T1, T2, T3, T4, T5, T6, T7, S0, S1,
+    S2, S3, S4, S5, S6, S7, T8, T9, K0, K1, Gp, Sp, Fp, Ra,
+});
 
 impl Reg {
     /// All 32 registers, in encoding order.
@@ -156,8 +161,10 @@ impl fmt::Display for Reg {
 /// A single-precision floating point register (per-TCU).
 ///
 /// TCUs share the cluster FPU but each has its own small FP register file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FReg(pub u8);
+
+json_newtype!(FReg);
 
 impl FReg {
     /// Number of FP registers per TCU.
@@ -187,8 +194,10 @@ impl fmt::Display for FReg {
 ///
 /// As in the hardware, `gr0` is owned by the spawn/join unit for
 /// virtual-thread allocation; user programs coordinate over `gr1..gr7`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GlobalReg(pub u8);
+
+json_newtype!(GlobalReg);
 
 impl GlobalReg {
     /// Number of global prefix-sum registers.

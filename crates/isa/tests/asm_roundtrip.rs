@@ -1,96 +1,96 @@
 //! Property test: every instruction the toolchain can construct survives a
 //! print → parse round trip, and whole programs survive print → parse →
 //! print fixpoints. This pins the assembler against the instruction model.
+//!
+//! Also: every ISA type survives a JSON encode → decode round trip through
+//! the in-tree `xmt-harness` JSON module (the checkpoint interchange
+//! format).
 
-use proptest::prelude::*;
+use xmt_harness::prop::{run, Config, Gen};
+use xmt_harness::{FromJson, ToJson};
 use xmt_isa::asm;
 use xmt_isa::instr::{FCmpOp, Instr, Target};
 use xmt_isa::program::{AsmItem, AsmProgram};
 use xmt_isa::reg::{FReg, GlobalReg, Reg};
 
-fn any_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(|n| Reg::from_number(n).unwrap())
+fn any_reg(g: &mut Gen) -> Reg {
+    Reg::from_number(g.usize_in(0, 32) as u8).unwrap()
 }
 
-fn any_freg() -> impl Strategy<Value = FReg> {
-    (0u8..FReg::COUNT).prop_map(FReg)
+fn any_freg(g: &mut Gen) -> FReg {
+    FReg(g.usize_in(0, FReg::COUNT as usize) as u8)
 }
 
-fn any_greg() -> impl Strategy<Value = GlobalReg> {
-    (0u8..GlobalReg::COUNT).prop_map(GlobalReg)
+fn any_greg(g: &mut Gen) -> GlobalReg {
+    GlobalReg(g.usize_in(0, GlobalReg::COUNT as usize) as u8)
 }
 
-fn any_target() -> impl Strategy<Value = Target> {
-    prop_oneof![
-        "[a-z_][a-z0-9_.]{0,12}".prop_map(Target::Label),
-        (0u32..10_000).prop_map(Target::Abs),
-    ]
+fn any_target(g: &mut Gen) -> Target {
+    if g.bool_p(0.5) {
+        Target::Label(g.ident(12))
+    } else {
+        Target::Abs(g.int_in(0, 10_000) as u32)
+    }
 }
 
-fn any_off() -> impl Strategy<Value = i32> {
-    -65536i32..65536
+fn any_off(g: &mut Gen) -> i32 {
+    g.int_in(-65536, 65536) as i32
 }
 
-fn any_instr() -> impl Strategy<Value = Instr> {
-    let r = any_reg;
-    prop_oneof![
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Add { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Sub { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Mul { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Div { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Slt { rd, rs, rt }),
-        (r(), r(), any::<i32>()).prop_map(|(rt, rs, imm)| Instr::Addi { rt, rs, imm }),
-        (r(), r(), any::<u32>()).prop_map(|(rt, rs, imm)| Instr::Ori { rt, rs, imm }),
-        (r(), any::<i32>()).prop_map(|(rt, imm)| Instr::Li { rt, imm }),
-        (r(), r(), 0u8..32).prop_map(|(rd, rt, sh)| Instr::Sll { rd, rt, sh }),
-        (r(), r(), any_off()).prop_map(|(rt, base, off)| Instr::Lw { rt, base, off }),
-        (r(), r(), any_off()).prop_map(|(rt, base, off)| Instr::Sw { rt, base, off }),
-        (r(), r(), any_off()).prop_map(|(rt, base, off)| Instr::Swnb { rt, base, off }),
-        (r(), any_off()).prop_map(|(base, off)| Instr::Pref { base, off }),
-        (r(), r(), any_off()).prop_map(|(rt, base, off)| Instr::Psm { rt, base, off }),
-        (r(), any_greg()).prop_map(|(rt, gr)| Instr::Ps { rt, gr }),
-        (r(), r(), any_target()).prop_map(|(rs, rt, target)| Instr::Beq { rs, rt, target }),
-        (r(), any_target()).prop_map(|(rs, target)| Instr::Bgtz { rs, target }),
-        any_target().prop_map(|target| Instr::J { target }),
-        any_target().prop_map(|target| Instr::Jal { target }),
-        r().prop_map(|rs| Instr::Jr { rs }),
-        (r(), r()).prop_map(|(lo, hi)| Instr::Spawn { lo, hi }),
-        Just(Instr::Join),
-        r().prop_map(|rt| Instr::Chkid { rt }),
-        Just(Instr::Fence),
-        (any_freg(), any_freg(), any_freg())
-            .prop_map(|(fd, fs, ft)| Instr::Fadd { fd, fs, ft }),
-        (any_freg(), any_freg(), any_freg())
-            .prop_map(|(fd, fs, ft)| Instr::Fmul { fd, fs, ft }),
-        (any_freg(), r()).prop_map(|(fd, rs)| Instr::Fcvtsw { fd, rs }),
-        (r(), any_freg(), any_freg()).prop_map(|(rd, fs, ft)| Instr::Fcmp {
-            op: FCmpOp::Lt,
-            rd,
-            fs,
-            ft
-        }),
-        (any_freg(), -1.0e6f32..1.0e6).prop_map(|(fd, imm)| Instr::Fli { fd, imm }),
-        (any_freg(), r(), any_off()).prop_map(|(ft, base, off)| Instr::Flw { ft, base, off }),
-        r().prop_map(|rs| Instr::Print { rs }),
-        Just(Instr::Halt),
-        Just(Instr::Nop),
-    ]
+fn any_instr(g: &mut Gen) -> Instr {
+    match g.usize_in(0, 33) {
+        0 => Instr::Add { rd: any_reg(g), rs: any_reg(g), rt: any_reg(g) },
+        1 => Instr::Sub { rd: any_reg(g), rs: any_reg(g), rt: any_reg(g) },
+        2 => Instr::Mul { rd: any_reg(g), rs: any_reg(g), rt: any_reg(g) },
+        3 => Instr::Div { rd: any_reg(g), rs: any_reg(g), rt: any_reg(g) },
+        4 => Instr::Slt { rd: any_reg(g), rs: any_reg(g), rt: any_reg(g) },
+        5 => Instr::Addi { rt: any_reg(g), rs: any_reg(g), imm: g.u32() as i32 },
+        6 => Instr::Ori { rt: any_reg(g), rs: any_reg(g), imm: g.u32() },
+        7 => Instr::Li { rt: any_reg(g), imm: g.u32() as i32 },
+        8 => Instr::Sll { rd: any_reg(g), rt: any_reg(g), sh: g.usize_in(0, 32) as u8 },
+        9 => Instr::Lw { rt: any_reg(g), base: any_reg(g), off: any_off(g) },
+        10 => Instr::Sw { rt: any_reg(g), base: any_reg(g), off: any_off(g) },
+        11 => Instr::Swnb { rt: any_reg(g), base: any_reg(g), off: any_off(g) },
+        12 => Instr::Pref { base: any_reg(g), off: any_off(g) },
+        13 => Instr::Psm { rt: any_reg(g), base: any_reg(g), off: any_off(g) },
+        14 => Instr::Ps { rt: any_reg(g), gr: any_greg(g) },
+        15 => Instr::Beq { rs: any_reg(g), rt: any_reg(g), target: any_target(g) },
+        16 => Instr::Bgtz { rs: any_reg(g), target: any_target(g) },
+        17 => Instr::J { target: any_target(g) },
+        18 => Instr::Jal { target: any_target(g) },
+        19 => Instr::Jr { rs: any_reg(g) },
+        20 => Instr::Spawn { lo: any_reg(g), hi: any_reg(g) },
+        21 => Instr::Join,
+        22 => Instr::Chkid { rt: any_reg(g) },
+        23 => Instr::Fence,
+        24 => Instr::Fadd { fd: any_freg(g), fs: any_freg(g), ft: any_freg(g) },
+        25 => Instr::Fmul { fd: any_freg(g), fs: any_freg(g), ft: any_freg(g) },
+        26 => Instr::Fcvtsw { fd: any_freg(g), rs: any_reg(g) },
+        27 => Instr::Fcmp { op: FCmpOp::Lt, rd: any_reg(g), fs: any_freg(g), ft: any_freg(g) },
+        28 => Instr::Fli { fd: any_freg(g), imm: g.f32_in(-1.0e6, 1.0e6) },
+        29 => Instr::Flw { ft: any_freg(g), base: any_reg(g), off: any_off(g) },
+        30 => Instr::Print { rs: any_reg(g) },
+        31 => Instr::Halt,
+        _ => Instr::Nop,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn single_instruction_roundtrip(ins in any_instr()) {
+#[test]
+fn single_instruction_roundtrip() {
+    run("single_instruction_roundtrip", Config::with_cases(512), |g| {
+        let ins = any_instr(g);
         let mut p = AsmProgram::new();
         p.push(ins.clone());
         let text = asm::to_text(&p);
         let back = asm::parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
-        prop_assert_eq!(back.items, vec![AsmItem::Instr(ins)]);
-    }
+        assert_eq!(back.items, vec![AsmItem::Instr(ins)]);
+    });
+}
 
-    #[test]
-    fn program_roundtrip_fixpoint(instrs in prop::collection::vec(any_instr(), 1..60)) {
+#[test]
+fn program_roundtrip_fixpoint() {
+    run("program_roundtrip_fixpoint", Config::with_cases(512), |g| {
+        let instrs = g.vec_of(1, 60, any_instr);
         let mut p = AsmProgram::new();
         p.label("main");
         for (k, i) in instrs.into_iter().enumerate() {
@@ -102,7 +102,51 @@ proptest! {
         let t1 = asm::to_text(&p);
         let p2 = asm::parse(&t1).unwrap();
         let t2 = asm::to_text(&p2);
-        prop_assert_eq!(&t1, &t2);
-        prop_assert_eq!(p.instr_count(), p2.instr_count());
-    }
+        assert_eq!(&t1, &t2);
+        assert_eq!(p.instr_count(), p2.instr_count());
+    });
+}
+
+#[test]
+fn instr_json_roundtrip() {
+    run("instr_json_roundtrip", Config::default(), |g| {
+        let ins = any_instr(g);
+        let encoded = ins.to_json_string();
+        let back = Instr::from_json_str(&encoded)
+            .unwrap_or_else(|e| panic!("{e}\n{encoded}"));
+        assert_eq!(back, ins, "decode(encode(x)) == x for {encoded}");
+    });
+}
+
+#[test]
+fn program_and_executable_json_roundtrip() {
+    run("program_and_executable_json_roundtrip", Config::with_cases(64), |g| {
+        let instrs = g.vec_of(1, 40, any_instr);
+        let mut p = AsmProgram::new();
+        p.label("main");
+        for i in instrs {
+            // Keep only link-safe instructions: no symbolic targets (they
+            // may dangle), no spawn/join nesting hazards.
+            match i {
+                Instr::Beq { .. }
+                | Instr::Bne { .. }
+                | Instr::Bgtz { .. }
+                | Instr::J { .. }
+                | Instr::Jal { .. }
+                | Instr::Spawn { .. }
+                | Instr::Join => p.push(Instr::Nop),
+                other => p.push(other),
+            }
+        }
+        p.push(Instr::Halt);
+
+        let back = AsmProgram::from_json_str(&p.to_json_string()).unwrap();
+        assert_eq!(back, p);
+
+        let mut mm = xmt_isa::MemoryMap::new();
+        mm.push("data", vec![g.u32(), u32::MAX, 0]);
+        let exe = p.link(mm).expect("link-safe program");
+        let exe_back = xmt_isa::Executable::from_json_str(&exe.to_json_string()).unwrap();
+        assert_eq!(exe_back, exe);
+    });
 }

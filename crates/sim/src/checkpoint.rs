@@ -13,10 +13,10 @@ use crate::cycle::{CycleSim, Outcome, RunSummary, SimError, TcuState};
 use crate::engine::Time;
 use crate::machine::{Machine, ThreadCtx};
 use crate::stats::Stats;
-use serde::{Deserialize, Serialize};
+use xmt_harness::{json_struct, FromJson, JsonError, ToJson};
 
 /// A serializable snapshot of a paused simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
     /// Simulated time of the snapshot (ps).
     pub time: Time,
@@ -37,15 +37,21 @@ pub struct Checkpoint {
     pub master_cache: CacheTags,
 }
 
+json_struct!(Checkpoint {
+    time, machine, master, tcus, stats, period_ps, cycles_base,
+    period_changed_at, vc_free, module_free, dram_free, mdu_free, fpu_free,
+    modules, ro_caches, master_cache,
+});
+
 impl Checkpoint {
     /// Serialize to JSON (human-inspectable, as the toolchain favours).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("checkpoint serialization cannot fail")
+        self.to_json_string()
     }
 
     /// Deserialize from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        Self::from_json_str(s)
     }
 }
 

@@ -6,17 +6,19 @@
 //! paper's: the 64-TCU Paraleap FPGA prototype used for verification, and
 //! the envisioned 1024-TCU XMT chip used in the GPU comparisons.
 
-use serde::{Deserialize, Serialize};
+use xmt_harness::{json_enum, json_struct};
 
 /// Replacement policy of the TCU prefetch buffers (the design-space knob
 /// explored in the paper's reference \[8\]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PrefetchPolicy {
     /// Evict the oldest-inserted entry.
     Fifo,
     /// Evict the least-recently-used entry.
     Lru,
 }
+
+json_enum!(PrefetchPolicy { Fifo, Lru });
 
 /// Timing discipline of the interconnection network switches
 /// (paper §III-F: the asynchronous-interconnect study with Columbia,
@@ -26,7 +28,7 @@ pub enum PrefetchPolicy {
 /// all: switch delays are continuous picosecond values, not multiples of
 /// a clock period, which a discrete-time simulator cannot represent
 /// (paper §III-C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IcnTiming {
     /// Clocked switches: every hop takes one ICN-domain cycle.
     Synchronous,
@@ -36,9 +38,11 @@ pub enum IcnTiming {
     Asynchronous { hop_ps: u64, jitter_ps: u64 },
 }
 
+json_enum!(IcnTiming { Synchronous, Asynchronous { hop_ps, jitter_ps } });
+
 /// The four independent clock domains whose frequencies an activity
 /// plug-in may retune at runtime (paper §III-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(usize)]
 pub enum ClockDomain {
     /// TCU clusters (and the Master TCU).
@@ -50,6 +54,8 @@ pub enum ClockDomain {
     /// DRAM controllers.
     Dram = 3,
 }
+
+json_enum!(ClockDomain { Cluster, Icn, Cache, Dram });
 
 impl ClockDomain {
     /// All domains in index order.
@@ -72,7 +78,7 @@ impl ClockDomain {
 /// All latencies are expressed in cycles of the owning component's clock
 /// domain; periods convert them to simulated picoseconds, so changing a
 /// domain frequency at runtime rescales exactly the work still to come.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct XmtConfig {
     // ---- topology ----
     /// Number of TCU clusters.
@@ -155,6 +161,16 @@ pub struct XmtConfig {
     /// Spawn-block instructions broadcast per cluster cycle.
     pub broadcast_ipc: u32,
 }
+
+json_struct!(XmtConfig {
+    clusters, tcus_per_cluster, cache_modules, dram_channels, period_ps,
+    cache_module_kb, cache_assoc, line_bytes, cache_hit_latency,
+    dram_latency, dram_service, icn_latency, icn_timing,
+    mul_latency, div_latency, fpu_add_latency, fpu_mul_latency,
+    fpu_div_latency, fpu_misc_latency, prefetch_entries, prefetch_policy,
+    ro_cache_kb, ro_hit_latency, master_cache_kb, master_cache_assoc,
+    master_hit_latency, ps_latency, spawn_overhead, broadcast_ipc,
+});
 
 impl XmtConfig {
     /// Total number of TCUs.

@@ -5,10 +5,10 @@
 //! private cache. Only tags are modeled (data lives in the functional
 //! memory), which is all a transaction-level timing model needs.
 
-use serde::{Deserialize, Serialize};
+use xmt_harness::json_struct;
 
 /// LRU set-associative tag array.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheTags {
     /// `sets[s]` holds up to `assoc` tags, most-recently-used first.
     sets: Vec<Vec<u32>>,
@@ -16,6 +16,8 @@ pub struct CacheTags {
     line_bytes: u32,
     set_mask: u32,
 }
+
+json_struct!(CacheTags { sets, assoc, line_bytes, set_mask });
 
 impl CacheTags {
     /// Build a cache of `capacity_bytes` with `assoc` ways and

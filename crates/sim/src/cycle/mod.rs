@@ -39,8 +39,8 @@ use crate::stats::{stats_delta, ActivityPlugin, ActivitySample, FilterPlugin, Ru
 use crate::trace::{TraceEvent, Tracer};
 use cachesim::CacheTags;
 use prefetch::PrefetchBuffer;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use xmt_harness::json_struct;
 use std::fmt;
 use xmt_isa::{Executable, Reg};
 
@@ -74,7 +74,7 @@ impl From<Trap> for SimError {
 }
 
 /// Final figures of a run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
     /// Elapsed cluster-domain clock cycles (DVFS-aware).
     pub cycles: u64,
@@ -85,6 +85,8 @@ pub struct RunSummary {
     /// Discrete events processed by the scheduler.
     pub events: u64,
 }
+
+json_struct!(RunSummary { cycles, time_ps, instructions, events });
 
 /// Host-time profile of the simulator itself, per component class —
 /// enables the paper's observation that up to 60% of simulation time goes
@@ -112,7 +114,7 @@ impl HostProfile {
 }
 
 /// Per-TCU simulation state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TcuState {
     /// Architectural context.
     pub ctx: ThreadCtx,
@@ -128,8 +130,10 @@ pub struct TcuState {
     pbuf: PrefetchBuffer,
 }
 
+json_struct!(TcuState { ctx, pending, fence_wait, fence_from, parked, pbuf });
+
 /// State of an open parallel section.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct ParState {
     hi: i32,
     join_idx: u32,

@@ -8,9 +8,9 @@
 
 use crate::config::PrefetchPolicy;
 use crate::engine::Time;
-use serde::{Deserialize, Serialize};
+use xmt_harness::json_struct;
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct Entry {
     /// Word-aligned address held by this entry.
     addr: u32,
@@ -22,14 +22,18 @@ struct Entry {
     last_use: u64,
 }
 
+json_struct!(Entry { addr, ready, inserted, last_use });
+
 /// One TCU's prefetch buffer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PrefetchBuffer {
     entries: Vec<Entry>,
     capacity: usize,
     policy: PrefetchPolicy,
     tick: u64,
 }
+
+json_struct!(PrefetchBuffer { entries, capacity, policy, tick });
 
 impl PrefetchBuffer {
     /// A buffer of `capacity` entries with the given replacement policy.

@@ -20,12 +20,12 @@
 //! The fast functional mode simply runs the three steps back-to-back.
 
 use crate::machine::{Machine, OutputItem, ThreadCtx, Trap};
-use serde::{Deserialize, Serialize};
+use xmt_harness::{json_enum, json_struct};
 use xmt_isa::{Executable, FReg, Instr, Reg};
 
 /// Cost classification of an immediately-executed instruction, consumed by
 /// the cycle-accurate model to charge latency and shared-resource time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CostClass {
     Alu,
     Sft,
@@ -48,8 +48,13 @@ pub enum CostClass {
     Ctl,
 }
 
+json_enum!(CostClass {
+    Alu, Sft, Branch { taken }, Mul, Div, FpAdd, FpMul, FpDiv, FpMisc, Ps,
+    Print, Ctl,
+});
+
 /// What kind of memory operation a [`MemRequest`] is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemKind {
     /// Word load.
     LoadW,
@@ -70,6 +75,11 @@ pub enum MemKind {
     /// Prefetch into the TCU prefetch buffer.
     Pref,
 }
+
+json_enum!(MemKind {
+    LoadW, LoadB { signed }, LoadF, LoadRo, StoreW { nb }, StoreB { nb },
+    StoreF { nb }, Psm, Pref,
+});
 
 impl MemKind {
     /// Does the issuing context wait for the response?
@@ -102,7 +112,7 @@ impl MemKind {
 }
 
 /// A decoded memory operation in flight between a TCU and a cache module.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemRequest {
     pub kind: MemKind,
     /// Effective byte address.
@@ -117,8 +127,10 @@ pub struct MemRequest {
     pub pc: u32,
 }
 
+json_struct!(MemRequest { kind, addr, dst_i, dst_f, value, pc });
+
 /// Result of issuing one instruction on a context.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Issued {
     /// Instruction fully executed at the TCU; charge `CostClass`.
     Done(CostClass),
@@ -135,6 +147,11 @@ pub enum Issued {
     /// `halt` executed by the master.
     Halt,
 }
+
+json_enum!(Issued {
+    Done(CostClass), Mem(MemRequest), Spawn { lo, hi, spawn_idx },
+    ChkidBlocked, Fence, Halt,
+});
 
 /// The execution mode of a context — decides which instructions trap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

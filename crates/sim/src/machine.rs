@@ -6,8 +6,8 @@
 //! cycle-accurate model fetches instructions, delays them, and applies
 //! their operational semantics to this state.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use xmt_harness::{json_enum, json_struct};
 use std::fmt;
 use xmt_isa::{Executable, FReg, GlobalReg, Reg, HEAP_PTR_ADDR};
 
@@ -16,10 +16,12 @@ const PAGE_SIZE: u32 = 4096;
 
 /// Sparse byte-addressable memory, allocated in 4 KiB pages on first
 /// touch. `BTreeMap` keeps dumps and checkpoints deterministic.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Memory {
     pages: BTreeMap<u32, Vec<u8>>,
 }
+
+json_struct!(Memory { pages });
 
 impl Memory {
     /// Empty memory (all bytes read as zero).
@@ -91,11 +93,13 @@ impl Memory {
 
 /// The integer + floating-point register file of one hardware context
 /// (one TCU, or the Master TCU).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegFile {
     int: [u32; 32],
     fp: [f32; 16],
 }
+
+json_struct!(RegFile { int, fp });
 
 impl Default for RegFile {
     fn default() -> Self {
@@ -145,26 +149,32 @@ impl RegFile {
 
 /// One hardware execution context: register file plus program counter
 /// (an instruction index into the text segment).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ThreadCtx {
     pub regs: RegFile,
     pub pc: u32,
 }
 
+json_struct!(ThreadCtx { regs, pc });
+
 /// One item on the simulation output stream (the `print` family — the
 /// paper's printf plug-in output).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum OutputItem {
     Int(i32),
     Float(f32),
     Char(char),
 }
 
+json_enum!(OutputItem { Int(i32), Float(f32), Char(char) });
+
 /// The collected output of a simulated program.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Output {
     pub items: Vec<OutputItem>,
 }
+
+json_struct!(Output { items });
 
 impl Output {
     /// Render the output stream as text: ints/floats newline-separated,
@@ -200,7 +210,7 @@ impl Output {
 }
 
 /// A runtime error raised by the simulated machine.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Trap {
     /// Unaligned word access.
     Misaligned { pc: u32, addr: u32 },
@@ -225,6 +235,18 @@ pub enum Trap {
     /// rejected this program).
     StrayJoin { pc: u32 },
 }
+
+json_enum!(Trap {
+    Misaligned { pc, addr },
+    PcOutOfRange { pc },
+    FellThroughJoin { pc },
+    SpawnInParallel { pc },
+    HaltInParallel { pc },
+    ChkidOutsideSpawn { pc },
+    PsIncrementInvalid { pc, value },
+    GrputInParallel { pc },
+    StrayJoin { pc },
+});
 
 impl fmt::Display for Trap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -259,7 +281,7 @@ impl fmt::Display for Trap {
 impl std::error::Error for Trap {}
 
 /// The complete functional-model state shared by all execution contexts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Machine {
     /// The shared memory.
     pub mem: Memory,
@@ -270,6 +292,8 @@ pub struct Machine {
     /// Set once `halt` executes.
     pub halted: bool,
 }
+
+json_struct!(Machine { mem, gregs, output, halted });
 
 impl Machine {
     /// Build the initial machine state for an executable: load the memory

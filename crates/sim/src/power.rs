@@ -13,7 +13,7 @@
 
 use crate::config::{ClockDomain, XmtConfig};
 use crate::stats::{ActivityPlugin, ActivitySample, RuntimeCtl, Stats};
-use serde::{Deserialize, Serialize};
+use xmt_harness::json_struct;
 
 /// Energy/leakage coefficients of the power model.
 ///
@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// results (memory-bound phases burn ICN/DRAM power, compute-bound phases
 /// burn cluster power) is what experiments rely on, as with the paper's
 /// own "refining the power model" caveat.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerWeights {
     /// Energy per instruction executed in a cluster (pJ).
     pub pj_per_instr: f64,
@@ -42,6 +42,11 @@ pub struct PowerWeights {
     pub leak_cache_w: f64,
 }
 
+json_struct!(PowerWeights {
+    pj_per_instr, pj_per_fp, pj_per_icn, pj_per_cache, pj_per_dram,
+    leak_cluster_w, leak_icn_w, leak_cache_w,
+});
+
 impl Default for PowerWeights {
     fn default() -> Self {
         PowerWeights {
@@ -58,13 +63,15 @@ impl Default for PowerWeights {
 }
 
 /// Power broken down by clock domain (watts).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PowerBreakdown {
     pub cluster_w: f64,
     pub icn_w: f64,
     pub cache_w: f64,
     pub dram_w: f64,
 }
+
+json_struct!(PowerBreakdown { cluster_w, icn_w, cache_w, dram_w });
 
 impl PowerBreakdown {
     /// Total chip power (watts).
@@ -74,10 +81,12 @@ impl PowerBreakdown {
 }
 
 /// Activity-counter-driven power model.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PowerModel {
     pub weights: PowerWeights,
 }
+
+json_struct!(PowerModel { weights });
 
 impl PowerModel {
     /// Chip power over an interval: `delta` holds the counter increments,
@@ -133,7 +142,7 @@ impl PowerModel {
 /// runs, so the defaults are chosen to develop transients within ~100 µs
 /// of simulated time. Studies needing physical time constants should set
 /// `capacitance`/`g_lateral`/`g_ambient` to package-accurate values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThermalGrid {
     cols: usize,
     rows: usize,
@@ -148,6 +157,8 @@ pub struct ThermalGrid {
     /// Vertical conductance to ambient (W/K).
     pub g_ambient: f64,
 }
+
+json_struct!(ThermalGrid { cols, rows, temp_c, ambient_c, capacitance, g_lateral, g_ambient });
 
 impl ThermalGrid {
     /// A grid with one node per cluster, starting at ambient.
@@ -214,7 +225,7 @@ impl ThermalGrid {
 }
 
 /// One record of the governor's sampled history.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalRecord {
     /// Simulated time (ps).
     pub time_ps: u64,
@@ -225,6 +236,8 @@ pub struct ThermalRecord {
     /// Cluster-domain period in force (ps).
     pub cluster_period_ps: u64,
 }
+
+json_struct!(ThermalRecord { time_ps, power_w, max_temp_c, cluster_period_ps });
 
 /// An activity plug-in implementing closed-loop dynamic thermal
 /// management: estimate power from activity deltas, integrate the thermal

@@ -16,14 +16,14 @@
 use crate::config::ClockDomain;
 use crate::engine::Time;
 use crate::exec::MemRequest;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use xmt_harness::json_struct;
 use xmt_isa::FuKind;
 
 /// One parallel section's footprint: the raw material of the PRAM
 /// work/depth teaching view (how many virtual threads, how long the
 /// section ran).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpawnRecord {
     /// Virtual threads executed by this section.
     pub threads: u64,
@@ -33,6 +33,8 @@ pub struct SpawnRecord {
     pub end_ps: Time,
 }
 
+json_struct!(SpawnRecord { threads, start_ps, end_ps });
+
 impl SpawnRecord {
     /// Section duration in picoseconds.
     pub fn duration_ps(&self) -> Time {
@@ -41,7 +43,7 @@ impl SpawnRecord {
 }
 
 /// Built-in instruction and activity counters.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Stats {
     /// Total instructions executed (all contexts).
     pub instructions: u64,
@@ -91,6 +93,14 @@ pub struct Stats {
     /// Picoseconds TCUs spent stalled at fences.
     pub fence_wait_ps: u64,
 }
+
+json_struct!(Stats {
+    instructions, master_instructions, tcu_instructions, by_fu, per_cluster,
+    spawns, virtual_threads, spawn_records, module_accesses, cache_hits,
+    cache_misses, master_hits, master_misses, ro_hits, ro_misses,
+    prefetch_hits, prefetches, dram_accesses, icn_packages, psm_ops, ps_ops,
+    mem_wait_ps, fence_wait_ps,
+});
 
 impl Stats {
     /// Initialize per-cluster / per-module vectors for a topology.

@@ -8,12 +8,12 @@
 //! assembly input and/or specific TCUs.
 
 use crate::engine::Time;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use xmt_harness::{json_enum, json_struct};
 use std::fmt;
 
 /// Trace detail level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceLevel {
     /// Only instruction issues/executions.
     Functional,
@@ -21,8 +21,10 @@ pub enum TraceLevel {
     CycleAccurate,
 }
 
+json_enum!(TraceLevel { Functional, CycleAccurate });
+
 /// One trace record.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
     /// An instruction issued (`tcu == None` means the Master TCU).
     Issue { time: Time, tcu: Option<u32>, pc: u32 },
@@ -31,6 +33,12 @@ pub enum TraceEvent {
     /// A memory response arrived back at the TCU.
     Complete { time: Time, tcu: u32, addr: u32, pc: u32 },
 }
+
+json_enum!(TraceEvent {
+    Issue { time, tcu, pc },
+    Service { time, tcu, addr, pc },
+    Complete { time, tcu, addr, pc },
+});
 
 impl TraceEvent {
     fn time(&self) -> Time {
@@ -78,7 +86,7 @@ impl fmt::Display for TraceEvent {
 }
 
 /// A trace collector with the paper's filtering options.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Tracer {
     level: TraceLevel,
     /// Restrict to these TCUs (None = all; master always included).
@@ -91,6 +99,8 @@ pub struct Tracer {
     records: Vec<TraceEvent>,
     dropped: u64,
 }
+
+json_struct!(Tracer { level, tcu_filter, pc_filter, max_records, records, dropped });
 
 impl Tracer {
     /// A tracer capturing everything at the given level.

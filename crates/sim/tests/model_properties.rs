@@ -2,18 +2,17 @@
 //! scheduler's ordering contract, the cache tag model against a naive
 //! reference, and the sparse memory against a flat reference.
 
-use proptest::prelude::*;
+use xmt_harness::prop::{run, Config, Gen};
 use xmtsim::cycle::cachesim::CacheTags;
 use xmtsim::engine::{Priority, Scheduler};
 use xmtsim::machine::Memory;
 
-proptest! {
-    /// The scheduler pops events in (time, priority, FIFO) order, no
-    /// matter the insertion order.
-    #[test]
-    fn scheduler_total_order(mut events in prop::collection::vec(
-        (0u64..500, 0u8..4), 1..200))
-    {
+/// The scheduler pops events in (time, priority, FIFO) order, no
+/// matter the insertion order.
+#[test]
+fn scheduler_total_order() {
+    run("scheduler_total_order", Config::default(), |g: &mut Gen| {
+        let events = g.vec_of(1, 200, |g| (g.int_in(0, 500) as u64, g.usize_in(0, 4) as u8));
         let mut s: Scheduler<usize> = Scheduler::new();
         for (k, (t, p)) in events.iter().enumerate() {
             s.schedule_at(*t, *p as Priority, k);
@@ -22,23 +21,27 @@ proptest! {
         while let Some((t, k)) = s.pop() {
             popped.push((t, events[k].1 as Priority, k));
         }
-        prop_assert_eq!(popped.len(), events.len());
+        assert_eq!(popped.len(), events.len());
         // Sorted by (time, priority); FIFO among exact ties.
         for w in popped.windows(2) {
             let (t1, p1, k1) = w[0];
             let (t2, p2, k2) = w[1];
-            prop_assert!(
+            assert!(
                 (t1, p1) < (t2, p2) || ((t1, p1) == (t2, p2) && k1 < k2),
-                "out of order: {:?} before {:?}", w[0], w[1]
+                "out of order: {:?} before {:?}",
+                w[0],
+                w[1]
             );
         }
-        events.clear();
-    }
+    });
+}
 
-    /// The LRU set-associative tags agree with a brute-force reference
-    /// model on hit/miss for every access sequence.
-    #[test]
-    fn cache_tags_match_reference(addrs in prop::collection::vec(0u32..4096, 1..300)) {
+/// The LRU set-associative tags agree with a brute-force reference
+/// model on hit/miss for every access sequence.
+#[test]
+fn cache_tags_match_reference() {
+    run("cache_tags_match_reference", Config::default(), |g: &mut Gen| {
+        let addrs = g.vec_of(1, 300, |g| g.int_in(0, 4096) as u32);
         const LINE: u32 = 32;
         let mut sut = CacheTags::new(512, 2, LINE); // 16 lines, 2-way, 8 sets
         let sets = sut.n_sets() as u32;
@@ -57,16 +60,19 @@ proptest! {
             reference[set].insert(0, line);
 
             let hit_sut = sut.access(a);
-            prop_assert_eq!(hit_sut, hit_ref, "divergence at address {}", a);
+            assert_eq!(hit_sut, hit_ref, "divergence at address {a}");
         }
-    }
+    });
+}
 
-    /// Sparse paged memory behaves exactly like a flat array, across
-    /// mixed byte/word reads and writes (including page boundaries).
-    #[test]
-    fn memory_matches_flat_reference(ops in prop::collection::vec(
-        (0u32..20_000, any::<u32>(), 0u8..4), 1..300))
-    {
+/// Sparse paged memory behaves exactly like a flat array, across
+/// mixed byte/word reads and writes (including page boundaries).
+#[test]
+fn memory_matches_flat_reference() {
+    run("memory_matches_flat_reference", Config::default(), |g: &mut Gen| {
+        let ops = g.vec_of(1, 300, |g| {
+            (g.int_in(0, 20_000) as u32, g.u32(), g.usize_in(0, 4) as u8)
+        });
         let mut sut = Memory::new();
         let mut flat = vec![0u8; 20_004];
         for &(addr, val, kind) in &ops {
@@ -81,18 +87,18 @@ proptest! {
                     let want = u32::from_le_bytes(
                         flat[a as usize..a as usize + 4].try_into().unwrap(),
                     );
-                    prop_assert_eq!(sut.read_u32(a), want);
+                    assert_eq!(sut.read_u32(a), want);
                 }
                 2 => {
                     sut.write_u8(addr, val as u8);
                     flat[addr as usize] = val as u8;
                 }
                 _ => {
-                    prop_assert_eq!(sut.read_u8(addr), flat[addr as usize]);
+                    assert_eq!(sut.read_u8(addr), flat[addr as usize]);
                 }
             }
         }
-    }
+    });
 }
 
 /// The per-spawn records expose the work/depth structure of a run.

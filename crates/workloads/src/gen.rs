@@ -7,24 +7,23 @@
 //! edges, so connectivity structure is known), edge lists, FFT twiddle
 //! and bit-reversal tables.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use xmt_harness::Rng;
 
 /// Deterministic RNG from a seed.
-pub fn rng(seed: u64) -> SmallRng {
-    SmallRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Rng {
+    Rng::new(seed)
 }
 
 /// `n` random ints in `[lo, hi)`.
 pub fn int_array(n: usize, lo: i32, hi: i32, seed: u64) -> Vec<i32> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+    (0..n).map(|_| r.range_i32(lo, hi)).collect()
 }
 
 /// `n` random floats in `[lo, hi)`.
 pub fn float_array(n: usize, lo: f32, hi: f32, seed: u64) -> Vec<f32> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+    (0..n).map(|_| r.f32_range(lo, hi)).collect()
 }
 
 /// An array where roughly `density` of the entries are non-zero (the
@@ -33,8 +32,8 @@ pub fn sparse_array(n: usize, density: f64, seed: u64) -> Vec<i32> {
     let mut r = rng(seed);
     (0..n)
         .map(|_| {
-            if r.gen_bool(density) {
-                r.gen_range(1..1000)
+            if r.bool_p(density) {
+                r.range_i32(1, 1000)
             } else {
                 0
             }
@@ -67,19 +66,19 @@ pub fn graph(n: usize, m: usize, components: usize, seed: u64) -> Graph {
         let c = comp_of(v);
         // Earlier vertices of component c are c, c+components, ...
         let k = (v - c) / components; // index within component (>= 1)
-        let prev = r.gen_range(0..k);
+        let prev = r.range_usize(0, k);
         let u = c + prev * components;
         edges.push((u as u32, v as u32));
     }
     // Extra intra-component edges.
     while edges.len() < m {
-        let v = r.gen_range(0..n);
+        let v = r.range_usize(0, n);
         let c = comp_of(v);
         let size = n / components + usize::from(c < n % components);
         if size < 2 {
             continue;
         }
-        let w = c + r.gen_range(0..size) * components;
+        let w = c + r.range_usize(0, size) * components;
         if w != v && w < n {
             edges.push((v.min(w) as u32, v.max(w) as u32));
         }
@@ -125,7 +124,7 @@ pub fn linked_list(n: usize, seed: u64) -> Vec<i32> {
     // Fisher-Yates with the seeded RNG.
     let mut r = rng(seed);
     for i in (1..n).rev() {
-        let j = r.gen_range(0..=i);
+        let j = r.range_usize(0, i + 1);
         order.swap(i, j);
     }
     let mut next = vec![0i32; n];
@@ -147,10 +146,10 @@ pub fn sparse_matrix(n: usize, avg_deg: usize, seed: u64) -> (Vec<i32>, Vec<i32>
     let mut val = Vec::new();
     off.push(0i32);
     for _ in 0..n {
-        let deg = r.gen_range(0..=2 * avg_deg);
+        let deg = r.range_usize(0, 2 * avg_deg + 1);
         for _ in 0..deg {
-            col.push(r.gen_range(0..n) as i32);
-            val.push(r.gen_range(-9..=9));
+            col.push(r.range_usize(0, n) as i32);
+            val.push(r.range_i32(-9, 10));
         }
         off.push(col.len() as i32);
     }

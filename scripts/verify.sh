@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate for the XMT toolchain workspace.
+#
+# Everything runs with --offline: the workspace has zero registry
+# dependencies (see DESIGN.md §6), so a network-less machine must be able
+# to build, test, and bench from a fresh checkout. If any of these steps
+# needs the network, that is itself a verification failure.
+#
+# Usage: ./scripts/verify.sh   (from anywhere; cd's to the repo root)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> hermeticity gate: no registry dependencies in any manifest"
+# Registry deps are keyed by a version requirement (`foo = "1.2"` or
+# `version = "..."`); in-tree deps use `path = ...`. Flag the former.
+bad=$(grep -rn --include=Cargo.toml -E \
+    '^[a-zA-Z0-9_-]+ *= *"[^"]*"' . \
+    | grep -vE '/target/' \
+    | grep -vE '(name|version|edition|license|description|repository|authors|rust-version|resolver|harness|path|debug|lto|codegen-units|opt-level) *=' \
+    || true)
+if [ -n "$bad" ]; then
+    echo "registry-style dependency found (use a path dep or in-tree code):" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+# Inline-table form: `foo = { version = "1.2", ... }`.
+bad=$(grep -rn --include=Cargo.toml -E '\{[^}]*version *=' . | grep -v '/target/' || true)
+if [ -n "$bad" ]; then
+    echo "versioned dependency table entry found:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test --offline (full suite)"
+cargo test -q --offline --workspace
+
+echo "==> smoke benches (shortened iterations; writes BENCH_*.json)"
+# Cargo runs bench binaries with cwd = the package dir; pin the output
+# to the workspace-root target/ so the gate below finds it.
+XMT_BENCH_DIR="$PWD/target/bench" \
+XMT_BENCH_ITERS="${XMT_BENCH_ITERS:-3}" \
+XMT_BENCH_WARMUP_MS="${XMT_BENCH_WARMUP_MS:-10}" \
+    cargo bench --offline -p xmt-bench --bench modes --bench compiler
+
+ls target/bench/BENCH_*.json >/dev/null 2>&1 || {
+    echo "no BENCH_*.json emitted" >&2
+    exit 1
+}
+
+echo "==> verify OK"
