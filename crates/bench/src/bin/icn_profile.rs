@@ -4,7 +4,9 @@
 //! time can be spent in simulating the interconnection network". This
 //! binary enables the simulator's host profiler and reports the fraction
 //! of host time spent in the memory-system model (ICN + cache modules +
-//! DRAM events) for a memory-bound and a compute-bound workload.
+//! DRAM events) for a memory-bound and a compute-bound workload, plus the
+//! per-class event counts and the event list's own self-time (the cost
+//! the calendar-queue scheduler attacks).
 
 use xmt_bench::render_table;
 use xmtc::Options;
@@ -28,6 +30,10 @@ fn main() {
             format!("{:.1}%", 100.0 * hp.memory_fraction()),
             format!("{:.2}s", hp.compute_s),
             format!("{:.2}s", hp.memory_s),
+            format!("{:.3}s", hp.sched_s),
+            format!("{}", hp.compute_events),
+            format!("{}", hp.memory_events),
+            format!("{}", hp.other_events),
         ]);
     };
 
@@ -48,7 +54,16 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["workload", "memory-model share", "compute-model time", "memory-model time"],
+            &[
+                "workload",
+                "memory-model share",
+                "compute-model time",
+                "memory-model time",
+                "event-list time",
+                "compute events",
+                "memory events",
+                "other events",
+            ],
             &rows
         )
     );

@@ -27,8 +27,11 @@ impl CacheTags {
         assert!(line_bytes.is_power_of_two() && line_bytes >= 4);
         let assoc = assoc.max(1) as usize;
         let lines = (capacity_bytes / line_bytes).max(assoc as u32);
-        let sets = (lines / assoc as u32).max(1).next_power_of_two() / 2;
-        let sets = sets.max(1);
+        // Round *down* to a power of two: 1 << floor(log2(s)). An exact
+        // power of two must stay as-is — `next_power_of_two() / 2` here
+        // would halve the modeled capacity of every pow2 configuration.
+        let s = (lines / assoc as u32).max(1);
+        let sets = 1u32 << (31 - s.leading_zeros());
         CacheTags {
             sets: vec![Vec::with_capacity(assoc); sets as usize],
             assoc,
@@ -124,5 +127,33 @@ mod tests {
         let mut c = CacheTags::new(32, 4, 32); // single line capacity
         assert!(!c.access(0));
         assert!(c.access(0));
+    }
+
+    #[test]
+    fn pow2_geometry_keeps_full_capacity() {
+        // Regression: set-count rounding used `next_power_of_two() / 2`,
+        // which halved the capacity of every power-of-two configuration
+        // (i.e. every preset). Exact powers must be kept as-is.
+        assert_eq!(CacheTags::new(1024, 2, 32).n_sets(), 16);
+        for (cap, assoc, line) in [
+            (1024u32, 2u32, 32u32), // 1 KB tiny preset module
+            (32 * 1024, 2, 32),     // fpga64 cache module
+            (64 * 1024, 4, 32),     // chip1024 cache module
+            (4 * 1024, 2, 32),      // read-only cache
+            (16 * 1024, 4, 64),
+        ] {
+            let c = CacheTags::new(cap, assoc, line);
+            assert_eq!(
+                c.n_sets() as u32 * assoc * line,
+                cap,
+                "pow2 config ({cap} B, {assoc}-way, {line} B lines) must model full capacity"
+            );
+        }
+    }
+
+    #[test]
+    fn non_pow2_set_count_rounds_down() {
+        // 24 lines / 2 ways = 12 sets -> rounds down to 8, not up to 16.
+        assert_eq!(CacheTags::new(768, 2, 32).n_sets(), 8);
     }
 }

@@ -32,7 +32,7 @@ pub mod cachesim;
 pub mod prefetch;
 
 use crate::config::{ClockDomain, IcnTiming, XmtConfig};
-use crate::engine::{Scheduler, Time, PRI_DEFAULT, PRI_NEGOTIATE, PRI_SAMPLE, PRI_TRANSFER};
+use crate::engine::{Priority, Scheduler, Time, PRI_DEFAULT, PRI_NEGOTIATE, PRI_SAMPLE, PRI_TRANSFER};
 use crate::exec::{self, CostClass, Issued, MemKind, MemRequest, Mode};
 use crate::machine::{Machine, ThreadCtx, Trap};
 use crate::stats::{stats_delta, ActivityPlugin, ActivitySample, FilterPlugin, RuntimeCtl, Stats};
@@ -99,10 +99,21 @@ pub struct HostProfile {
     pub memory_s: f64,
     /// Seconds spent in everything else (spawn control, sampling).
     pub other_s: f64,
+    /// Seconds spent inside the event list itself (`pop_cycle` batch
+    /// drains) — the scheduler self-time the calendar queue attacks.
+    pub sched_s: f64,
+    /// TCU/master compute events handled.
+    pub compute_events: u64,
+    /// ICN + cache + DRAM (memory system) events handled.
+    pub memory_events: u64,
+    /// All other events handled (spawn control, sampling).
+    pub other_events: u64,
 }
 
 impl HostProfile {
-    /// Fraction of host time spent in the memory-system (ICN) model.
+    /// Fraction of host time spent in the memory-system (ICN) model,
+    /// relative to total event-handling time (scheduler self-time is
+    /// bookkeeping, not component modeling, and is excluded).
     pub fn memory_fraction(&self) -> f64 {
         let tot = self.compute_s + self.memory_s + self.other_s;
         if tot == 0.0 {
@@ -110,6 +121,11 @@ impl HostProfile {
         } else {
             self.memory_s / tot
         }
+    }
+
+    /// Total events handled across all component classes.
+    pub fn total_events(&self) -> u64 {
+        self.compute_events + self.memory_events + self.other_events
     }
 }
 
@@ -435,57 +451,104 @@ impl CycleSim {
     }
 
     /// Run until the checkpoint cycle (if set), a halt, or an error.
+    ///
+    /// The loop drains the event list one `(time, priority)` *group* per
+    /// iteration ([`Scheduler::pop_cycle`]): all events of one phase of one
+    /// cycle come out of the calendar queue in a single bucket walk, in the
+    /// same FIFO order repeated single pops would produce. Early exits in
+    /// the middle of a batch (stop request, checkpoint boundary, `halt`)
+    /// requeue the unhandled tail so pending/processed counts stay exact.
     pub(crate) fn run_inner(&mut self) -> Result<Outcome, SimError> {
         self.start();
+        let mut batch: Vec<Ev> = Vec::new();
         loop {
             if self.stop_requested {
                 return Ok(Outcome::Done(self.summary()));
             }
-            let Some((now, ev)) = self.sched.pop() else {
+            let profile = self.host_profile.is_some();
+            let s0 = profile.then(std::time::Instant::now);
+            let group = self.sched.pop_cycle(&mut batch);
+            if let (Some(s0), Some(hp)) = (s0, self.host_profile.as_mut()) {
+                hp.sched_s += s0.elapsed().as_secs_f64();
+            }
+            let Some((now, pri)) = group else {
                 return if self.machine.halted {
                     Ok(Outcome::Done(self.summary()))
                 } else {
                     Err(SimError::Deadlock { time: self.sched.now() })
                 };
             };
+            // Time is constant within a group, so one limit check covers
+            // the whole batch.
             if let Some(limit) = self.max_cycles {
                 let c = self.cycles_at(now);
                 if c > limit {
                     return Err(SimError::CycleLimit { cycles: c });
                 }
             }
-            // Checkpoints are taken at quiescent master-step boundaries.
-            if let (Some(target), Ev::MasterStep, None) =
-                (self.checkpoint_at, &ev, self.par.as_ref())
-            {
-                if self.cycles_at(now) >= target && self.pending_total == 0 {
-                    self.checkpoint_at = None;
-                    // Keep this simulator resumable too: put the master
-                    // step back so `run()` can continue from here.
-                    self.sched.schedule_at(now, PRI_DEFAULT, Ev::MasterStep);
-                    return Ok(Outcome::Checkpoint(now));
+            let mut i = 0;
+            while i < batch.len() {
+                if i > 0 && self.stop_requested {
+                    self.requeue_tail(now, pri, &mut batch, i);
+                    return Ok(Outcome::Done(self.summary()));
                 }
-            }
-            let profile = self.host_profile.is_some();
-            let t0 = profile.then(std::time::Instant::now);
-            let class = match &ev {
-                Ev::MasterStep | Ev::TcuStep(_) => 0u8,
-                Ev::Hop { .. } | Ev::Service { .. } | Ev::Complete { .. } => 1,
-                _ => 2,
-            };
-            self.handle(now, ev)?;
-            if let (Some(t0), Some(hp)) = (t0, self.host_profile.as_mut()) {
-                let dt = t0.elapsed().as_secs_f64();
-                match class {
-                    0 => hp.compute_s += dt,
-                    1 => hp.memory_s += dt,
-                    _ => hp.other_s += dt,
+                // `Ev::Sample` is a cheap stand-in left in the handled
+                // prefix; the vector is cleared before the next drain.
+                let ev = std::mem::replace(&mut batch[i], Ev::Sample);
+                i += 1;
+                // Checkpoints are taken at quiescent master-step boundaries.
+                if let (Some(target), Ev::MasterStep, None) =
+                    (self.checkpoint_at, &ev, self.par.as_ref())
+                {
+                    if self.cycles_at(now) >= target && self.pending_total == 0 {
+                        self.checkpoint_at = None;
+                        // Keep this simulator resumable too: put the master
+                        // step back so `run()` can continue from here.
+                        self.sched.schedule_at(now, PRI_DEFAULT, Ev::MasterStep);
+                        self.requeue_tail(now, pri, &mut batch, i);
+                        return Ok(Outcome::Checkpoint(now));
+                    }
                 }
-            }
-            if self.machine.halted {
-                return Ok(Outcome::Done(self.summary()));
+                let t0 = profile.then(std::time::Instant::now);
+                let class = match &ev {
+                    Ev::MasterStep | Ev::TcuStep(_) => 0u8,
+                    Ev::Hop { .. } | Ev::Service { .. } | Ev::Complete { .. } => 1,
+                    _ => 2,
+                };
+                self.handle(now, ev)?;
+                if let (Some(t0), Some(hp)) = (t0, self.host_profile.as_mut()) {
+                    let dt = t0.elapsed().as_secs_f64();
+                    match class {
+                        0 => {
+                            hp.compute_s += dt;
+                            hp.compute_events += 1;
+                        }
+                        1 => {
+                            hp.memory_s += dt;
+                            hp.memory_events += 1;
+                        }
+                        _ => {
+                            hp.other_s += dt;
+                            hp.other_events += 1;
+                        }
+                    }
+                }
+                if self.machine.halted {
+                    self.requeue_tail(now, pri, &mut batch, i);
+                    return Ok(Outcome::Done(self.summary()));
+                }
             }
         }
+    }
+
+    /// Put the unhandled tail of a drained batch back on the event list
+    /// (in order, so relative FIFO order is preserved) when the run loop
+    /// exits mid-group.
+    fn requeue_tail(&mut self, time: Time, pri: Priority, batch: &mut Vec<Ev>, from: usize) {
+        for ev in batch.drain(from..) {
+            self.sched.requeue(time, pri, ev);
+        }
+        batch.clear();
     }
 
     pub(crate) fn summary(&self) -> RunSummary {
@@ -1159,7 +1222,9 @@ impl CycleSim {
         // which max() ignores — safe to start empty.
         self.line_busy.clear();
         self.started = true;
-        self.sched.clear();
+        // `reset()`, not `clear()`: restoring may rewind to a time earlier
+        // than this scheduler has reached, which `clear()` still rejects.
+        self.sched.reset();
         // Resume from a quiescent master-step boundary.
         self.sched.schedule_at(now.max(1), PRI_DEFAULT, Ev::MasterStep);
         if let Some(iv) = self.sample_interval {

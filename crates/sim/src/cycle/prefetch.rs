@@ -48,7 +48,10 @@ impl PrefetchBuffer {
 
     /// Insert a prefetch for `addr` whose data arrives at `ready`.
     /// Replaces per policy when full. A duplicate address refreshes the
-    /// existing entry.
+    /// existing entry's arrival time and LRU recency, but *not* its
+    /// insertion order: under `PrefetchPolicy::Fifo` the line keeps its
+    /// original queue position (refreshing `inserted` here would make
+    /// FIFO silently behave like LRU for re-prefetched lines).
     pub fn insert(&mut self, addr: u32, ready: Time) {
         if self.capacity == 0 {
             return;
@@ -57,7 +60,7 @@ impl PrefetchBuffer {
         let addr = addr & !3;
         if let Some(e) = self.entries.iter_mut().find(|e| e.addr == addr) {
             e.ready = ready.min(e.ready);
-            e.inserted = self.tick;
+            e.last_use = self.tick;
             return;
         }
         if self.entries.len() == self.capacity {
@@ -174,5 +177,31 @@ mod tests {
         b.insert(0x100, 400); // earlier arrival wins
         assert_eq!(b.lookup(0x100), Some(400));
         assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_fifo_order_but_refreshes_lru() {
+        // Regression: a duplicate insert used to refresh `inserted`,
+        // making the FIFO policy behave like LRU for re-prefetched lines.
+        // Sequence: insert A, insert B, re-insert A, insert C (buffer of
+        // 2 forces an eviction). FIFO must evict A (oldest *insertion*);
+        // LRU must evict B (A's re-prefetch counts as a use).
+        let mut fifo = PrefetchBuffer::new(2, PrefetchPolicy::Fifo);
+        fifo.insert(0x100, 1); // A
+        fifo.insert(0x200, 2); // B
+        fifo.insert(0x100, 3); // re-prefetch A: keeps original queue slot
+        fifo.insert(0x300, 4); // C evicts A
+        assert_eq!(fifo.lookup(0x100), None);
+        assert!(fifo.lookup(0x200).is_some());
+        assert!(fifo.lookup(0x300).is_some());
+
+        let mut lru = PrefetchBuffer::new(2, PrefetchPolicy::Lru);
+        lru.insert(0x100, 1); // A
+        lru.insert(0x200, 2); // B
+        lru.insert(0x100, 3); // re-prefetch A: refreshes recency
+        lru.insert(0x300, 4); // C evicts B
+        assert!(lru.lookup(0x100).is_some());
+        assert_eq!(lru.lookup(0x200), None);
+        assert!(lru.lookup(0x300).is_some());
     }
 }

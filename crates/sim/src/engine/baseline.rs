@@ -1,0 +1,135 @@
+//! Reference binary-heap event list.
+//!
+//! This is the original `Scheduler` implementation (a `BinaryHeap` of
+//! `(time, priority, seq)` keys over a payload slab), kept as:
+//!
+//! * the **differential-testing oracle** for the production calendar-queue
+//!   scheduler — `crates/sim/tests/model_properties.rs` replays random
+//!   schedule/pop interleavings against both and requires identical
+//!   `(time, priority, seq)` pop orders;
+//! * the **baseline** for `BENCH_scheduler.json` (`xmt-bench`'s
+//!   `scheduler` bench), which quantifies the calendar queue's win on the
+//!   E3 macro-actor event mix the way MGSim/gem5 quantify theirs.
+//!
+//! It intentionally mirrors the production API (minus `pop_cycle`) so the
+//! two can be driven by the same generic code.
+
+use super::{Priority, Time, PRI_DEFAULT};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    time: Time,
+    priority: Priority,
+    seq: u64,
+}
+
+/// The pre-calendar-queue event list: a binary heap over a payload slab.
+#[derive(Debug)]
+pub struct HeapScheduler<E> {
+    heap: BinaryHeap<Reverse<(Key, usize)>>,
+    payloads: Vec<Option<E>>,
+    free: Vec<usize>,
+    now: Time,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for HeapScheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapScheduler<E> {
+    /// An empty scheduler at time zero.
+    pub fn new() -> Self {
+        HeapScheduler {
+            heap: BinaryHeap::new(),
+            payloads: Vec::new(),
+            free: Vec::new(),
+            now: 0,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total number of events processed so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `event` at absolute time `time` with `priority`.
+    pub fn schedule_at(&mut self, time: Time, priority: Priority, event: E) {
+        assert!(time >= self.now, "event scheduled in the past: {time} < {}", self.now);
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.payloads[s] = Some(event);
+                s
+            }
+            None => {
+                self.payloads.push(Some(event));
+                self.payloads.len() - 1
+            }
+        };
+        let key = Key { time, priority, seq: self.seq };
+        self.seq += 1;
+        self.heap.push(Reverse((key, slot)));
+    }
+
+    /// Schedule `event` `delay` picoseconds from now with default priority.
+    pub fn schedule_in(&mut self, delay: Time, event: E) {
+        self.schedule_at(self.now + delay, PRI_DEFAULT, event);
+    }
+
+    /// Pop the next event, advancing simulated time.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let Reverse((key, slot)) = self.heap.pop()?;
+        self.now = key.time;
+        self.processed += 1;
+        let ev = self.payloads[slot].take().expect("event slot already taken");
+        self.free.push(slot);
+        Some((key.time, ev))
+    }
+
+    /// Time of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse((k, _))| k.time)
+    }
+
+    /// Drop all pending events, keeping `now`/`seq`/`processed`.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.payloads.clear();
+        self.free.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{PRI_NEGOTIATE, PRI_TRANSFER};
+
+    #[test]
+    fn baseline_pops_in_key_order() {
+        let mut s = HeapScheduler::new();
+        s.schedule_at(30, PRI_DEFAULT, "c");
+        s.schedule_at(10, PRI_TRANSFER, "b");
+        s.schedule_at(10, PRI_NEGOTIATE, "a");
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+}

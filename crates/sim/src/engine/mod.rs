@@ -18,8 +18,31 @@
 //!   reproduce the paper's macro-actor threshold experiment (§III-D:
 //!   grouping components into a macro-actor wins once the event rate
 //!   passes a threshold — ~800 events/cycle in the paper's measurement).
+//!
+//! # Event-list organization
+//!
+//! The event list is the simulator's hottest data structure: the paper
+//! attributes up to 60% of host time to the ICN model (§III-D), and most
+//! of that is event-list traffic; MGSim and gem5 both abandoned binary
+//! heaps for bucketed designs for the same reason. [`Scheduler`] is a
+//! **two-level calendar queue**:
+//!
+//! * a *near horizon* of [`N_BUCKETS`] per-tick buckets, each covering
+//!   [`BUCKET_WIDTH_PS`] picoseconds (one default clock period), arranged
+//!   as a ring indexed by `time >> BUCKET_SHIFT`. Insertion is an O(1)
+//!   append; a bucket is sorted at most once, lazily, when the window
+//!   reaches it (appends that arrive already in key order never trigger a
+//!   sort at all);
+//! * a *far-future overflow* min-heap for events beyond the near window,
+//!   drained back into buckets as the window advances.
+//!
+//! Events are totally ordered by `(time, priority, seq)`, so the popping
+//! order — including the deterministic FIFO tie-break — is bit-identical
+//! to the original binary-heap implementation, which is preserved in
+//! [`baseline`] as the differential-testing oracle and bench baseline.
 
 pub mod actor;
+pub mod baseline;
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -46,6 +69,16 @@ pub const PRI_DEFAULT: Priority = 2;
 /// Priority of sampling/observation events (run after state settles).
 pub const PRI_SAMPLE: Priority = 3;
 
+/// log2 of the bucket width: 1024 ps per bucket, about one cycle of the
+/// default 1000 ps clock domains, so one bucket holds one cycle's burst.
+const BUCKET_SHIFT: u32 = 10;
+/// Width of one near-horizon bucket in picoseconds.
+pub const BUCKET_WIDTH_PS: Time = 1 << BUCKET_SHIFT;
+/// Buckets in the near horizon; the window covers
+/// `N_BUCKETS * BUCKET_WIDTH_PS` ≈ 256 cycles ahead of the current time,
+/// comfortably past the deepest modeled latency (a DRAM round trip).
+pub const N_BUCKETS: usize = 256;
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct Key {
     time: Time,
@@ -53,14 +86,57 @@ struct Key {
     seq: u64,
 }
 
-/// A time/priority-ordered event list with deterministic FIFO tie-breaking.
+/// One near-horizon bucket: events of a single page (`time >> BUCKET_SHIFT`
+/// value), drained front-to-back through a cursor so popping never shifts
+/// the vector.
+#[derive(Debug)]
+struct Bucket {
+    items: Vec<(Key, usize)>,
+    /// Entries before `head` have been popped.
+    head: usize,
+    /// Whether `items` is ascending by key. Kept `true` incrementally for
+    /// in-order appends; out-of-order appends to a future bucket just
+    /// clear it and the bucket is sorted once when the window arrives.
+    /// Invariant: a partially drained bucket (`head > 0`) is sorted.
+    sorted: bool,
+}
+
+impl Bucket {
+    const fn new() -> Self {
+        Bucket { items: Vec::new(), head: 0, sorted: true }
+    }
+
+    #[inline]
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            // `head > 0` implies sorted, so an unsorted bucket is undrained
+            // and the whole vector can be sorted. Keys are unique (seq), so
+            // an unstable sort yields the exact total order.
+            debug_assert_eq!(self.head, 0);
+            self.items.sort_unstable();
+            self.sorted = true;
+        }
+    }
+}
+
+/// A time/priority-ordered event list with deterministic FIFO tie-breaking,
+/// organized as a two-level calendar queue (see the module docs).
 ///
 /// Determinism matters: checkpointing (paper §III-E) and the verification
 /// of the cycle-accurate model against the functional model both rely on
 /// identical runs producing identical event orders.
 #[derive(Debug)]
 pub struct Scheduler<E> {
-    heap: BinaryHeap<Reverse<(Key, usize)>>,
+    /// Ring of near-horizon buckets; page `p` lives at `p % N_BUCKETS`.
+    buckets: Vec<Bucket>,
+    /// First page the near window covers; equals `now >> BUCKET_SHIFT`
+    /// after every pop, so `schedule_at`'s `time >= now` assertion also
+    /// guarantees no event lands before the window.
+    cur_page: u64,
+    /// Events currently held in the near-horizon buckets.
+    near_pending: usize,
+    /// Far-future events (page at or beyond `cur_page + N_BUCKETS`).
+    overflow: BinaryHeap<Reverse<(Key, usize)>>,
     payloads: Vec<Option<E>>,
     free: Vec<usize>,
     now: Time,
@@ -78,7 +154,10 @@ impl<E> Scheduler<E> {
     /// An empty scheduler at time zero.
     pub fn new() -> Self {
         Scheduler {
-            heap: BinaryHeap::new(),
+            buckets: (0..N_BUCKETS).map(|_| Bucket::new()).collect(),
+            cur_page: 0,
+            near_pending: 0,
+            overflow: BinaryHeap::new(),
             payloads: Vec::new(),
             free: Vec::new(),
             now: 0,
@@ -101,16 +180,12 @@ impl<E> Scheduler<E> {
 
     /// Number of pending events.
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.near_pending + self.overflow.len()
     }
 
-    /// Schedule `event` at absolute time `time` with `priority`.
-    ///
-    /// Scheduling in the past panics: actors may only schedule at or after
-    /// the current time, exactly like the paper's DE scheduler.
-    pub fn schedule_at(&mut self, time: Time, priority: Priority, event: E) {
-        assert!(time >= self.now, "event scheduled in the past: {time} < {}", self.now);
-        let slot = match self.free.pop() {
+    #[inline]
+    fn alloc_slot(&mut self, event: E) -> usize {
+        match self.free.pop() {
             Some(s) => {
                 self.payloads[s] = Some(event);
                 s
@@ -119,10 +194,63 @@ impl<E> Scheduler<E> {
                 self.payloads.push(Some(event));
                 self.payloads.len() - 1
             }
-        };
+        }
+    }
+
+    #[inline]
+    fn take_payload(&mut self, slot: usize) -> E {
+        let ev = self.payloads[slot].take().expect("event slot already taken");
+        self.free.push(slot);
+        ev
+    }
+
+    /// Insert into the near-horizon bucket for `page`.
+    fn push_near(&mut self, page: u64, key: Key, slot: usize) {
+        let is_current = page == self.cur_page;
+        let b = &mut self.buckets[(page % N_BUCKETS as u64) as usize];
+        match b.items.last() {
+            None => {
+                b.head = 0;
+                b.sorted = true;
+                b.items.push((key, slot));
+            }
+            // Common case: keys arrive in ascending order (monotone seq,
+            // same or later time) — O(1) append keeps the bucket sorted.
+            Some(&(last, _)) if b.sorted && last <= key => b.items.push((key, slot)),
+            _ if is_current => {
+                // Out-of-order arrival into the bucket being drained (e.g.
+                // a same-timestamp event of an earlier phase): a binary
+                // insert preserves the partially-drained sorted invariant
+                // without re-sorting.
+                b.ensure_sorted();
+                let pos = b.head + b.items[b.head..].partition_point(|&(k, _)| k < key);
+                b.items.insert(pos, (key, slot));
+            }
+            _ => {
+                // Future bucket: append now, sort once when the window
+                // reaches it.
+                b.items.push((key, slot));
+                b.sorted = false;
+            }
+        }
+        self.near_pending += 1;
+    }
+
+    /// Schedule `event` at absolute time `time` with `priority`.
+    ///
+    /// Scheduling in the past panics: actors may only schedule at or after
+    /// the current time, exactly like the paper's DE scheduler.
+    pub fn schedule_at(&mut self, time: Time, priority: Priority, event: E) {
+        assert!(time >= self.now, "event scheduled in the past: {time} < {}", self.now);
+        let slot = self.alloc_slot(event);
         let key = Key { time, priority, seq: self.seq };
         self.seq += 1;
-        self.heap.push(Reverse((key, slot)));
+        let page = time >> BUCKET_SHIFT;
+        if page >= self.cur_page + N_BUCKETS as u64 {
+            self.overflow.push(Reverse((key, slot)));
+        } else {
+            self.push_near(page, key, slot);
+        }
     }
 
     /// Schedule `event` `delay` picoseconds from now with default priority.
@@ -130,26 +258,161 @@ impl<E> Scheduler<E> {
         self.schedule_at(self.now + delay, PRI_DEFAULT, event);
     }
 
+    /// Pull every overflow event that now fits into the near window.
+    fn refill_from_overflow(&mut self) {
+        let limit = self.cur_page + N_BUCKETS as u64;
+        while let Some(&Reverse((key, _))) = self.overflow.peek() {
+            let page = key.time >> BUCKET_SHIFT;
+            if page >= limit {
+                break;
+            }
+            let Reverse((key, slot)) = self.overflow.pop().expect("peeked");
+            self.push_near(page, key, slot);
+        }
+    }
+
+    /// Find, pop, and return the globally smallest key, advancing the
+    /// window as needed. Does not touch `now`/`processed`.
+    fn pop_key(&mut self) -> Option<(Key, usize)> {
+        if self.near_pending == 0 {
+            // Near window exhausted: jump straight to the earliest
+            // far-future page (or report empty).
+            let &Reverse((key, _)) = self.overflow.peek()?;
+            self.cur_page = key.time >> BUCKET_SHIFT;
+            self.refill_from_overflow();
+        }
+        loop {
+            let idx = (self.cur_page % N_BUCKETS as u64) as usize;
+            if self.buckets[idx].items.is_empty() {
+                // Advancing one page extends the window by one page at the
+                // far end; any overflow events for it move in.
+                self.cur_page += 1;
+                self.refill_from_overflow();
+                continue;
+            }
+            let b = &mut self.buckets[idx];
+            b.ensure_sorted();
+            let (key, slot) = b.items[b.head];
+            b.head += 1;
+            if b.head == b.items.len() {
+                b.items.clear();
+                b.head = 0;
+            }
+            self.near_pending -= 1;
+            return Some((key, slot));
+        }
+    }
+
     /// Pop the next event, advancing simulated time.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        let Reverse((key, slot)) = self.heap.pop()?;
+        let (key, slot) = self.pop_key()?;
         self.now = key.time;
         self.processed += 1;
-        let ev = self.payloads[slot].take().expect("event slot already taken");
-        self.free.push(slot);
-        Some((key.time, ev))
+        Some((key.time, self.take_payload(slot)))
+    }
+
+    /// Batch-drain one `(time, priority)` group: pop *every* currently
+    /// pending event sharing the next event's timestamp and priority into
+    /// `out` (cleared first), in FIFO order, advancing simulated time once.
+    /// Returns the group's `(time, priority)`, or `None` when empty.
+    ///
+    /// This is the macro-actor interface of the event list: the two-phase
+    /// negotiate/transfer cycle of the model pops one *group* per phase
+    /// instead of one event at a time, turning N heap pops per cycle into
+    /// one bucket walk. Events scheduled into the same group *while the
+    /// batch is being handled* are not lost — they have larger sequence
+    /// numbers than anything drained here, so the next call returns them,
+    /// exactly as repeated single pops would.
+    pub fn pop_cycle(&mut self, out: &mut Vec<E>) -> Option<(Time, Priority)> {
+        out.clear();
+        let (key, slot) = self.pop_key()?;
+        self.now = key.time;
+        self.processed += 1;
+        let ev = self.take_payload(slot);
+        out.push(ev);
+        // The rest of the group is contiguous at the head of the current
+        // bucket: same time ⟹ same page, and the bucket is sorted.
+        let idx = (self.cur_page % N_BUCKETS as u64) as usize;
+        loop {
+            let b = &mut self.buckets[idx];
+            if b.items.is_empty() {
+                break;
+            }
+            let (k, s) = b.items[b.head];
+            if k.time != key.time || k.priority != key.priority {
+                break;
+            }
+            b.head += 1;
+            if b.head == b.items.len() {
+                b.items.clear();
+                b.head = 0;
+            }
+            self.near_pending -= 1;
+            self.processed += 1;
+            let ev = self.take_payload(s);
+            out.push(ev);
+        }
+        Some((key.time, key.priority))
+    }
+
+    /// Re-insert an event that was drained by [`pop_cycle`](Self::pop_cycle)
+    /// but not handled (the model hit a stop/checkpoint boundary mid-batch),
+    /// un-counting it from `processed`. Requeued events keep their relative
+    /// order when requeued in batch order; they are appended after any event
+    /// the already-handled part of the batch scheduled into the same group.
+    pub fn requeue(&mut self, time: Time, priority: Priority, event: E) {
+        self.schedule_at(time, priority, event);
+        self.processed -= 1;
     }
 
     /// Time of the next pending event without popping it.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|Reverse((k, _))| k.time)
+        if self.near_pending > 0 {
+            let mut page = self.cur_page;
+            loop {
+                let b = &self.buckets[(page % N_BUCKETS as u64) as usize];
+                if !b.items.is_empty() {
+                    // The earliest event is in the first non-empty bucket;
+                    // the bucket may be unsorted, so scan for its minimum.
+                    return b.items[b.head..].iter().map(|&(k, _)| k.time).min();
+                }
+                page += 1;
+            }
+        }
+        self.overflow.peek().map(|Reverse((k, _))| k.time)
     }
 
-    /// Drop all pending events (used by the stop event and checkpoints).
+    /// Drop all pending events (used by the stop event and by phase
+    /// sampling's time skips). Keeps `now`, `seq` and `processed`: the
+    /// scheduler stays anchored at the current time and still refuses
+    /// events in the past. For rewinding time (checkpoint restore into a
+    /// fresh or reused scheduler), use [`reset`](Self::reset).
     pub fn clear(&mut self) {
-        self.heap.clear();
+        for b in &mut self.buckets {
+            b.items.clear();
+            b.head = 0;
+            b.sorted = true;
+        }
+        self.cur_page = self.now >> BUCKET_SHIFT;
+        self.near_pending = 0;
+        self.overflow.clear();
         self.payloads.clear();
         self.free.clear();
+    }
+
+    /// Return to the pristine time-zero state: everything [`clear`]
+    /// drops, plus `now`, `seq` and `processed`. This is the checkpoint-
+    /// restore entry point — a restored simulation may resume at a time
+    /// *earlier* than this scheduler has already reached, which `clear`
+    /// (deliberately) still treats as "scheduling in the past".
+    ///
+    /// [`clear`]: Self::clear
+    pub fn reset(&mut self) {
+        self.clear();
+        self.now = 0;
+        self.seq = 0;
+        self.processed = 0;
+        self.cur_page = 0;
     }
 }
 
@@ -212,5 +475,109 @@ mod tests {
             }
         }
         assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn far_future_events_cross_the_bucket_window() {
+        let mut s = Scheduler::new();
+        // Far beyond the near horizon, out of order, plus one near event.
+        let far = N_BUCKETS as u64 * BUCKET_WIDTH_PS;
+        s.schedule_at(7 * far + 3, PRI_DEFAULT, "far2");
+        s.schedule_at(5, PRI_DEFAULT, "near");
+        s.schedule_at(3 * far + 1, PRI_DEFAULT, "far1");
+        s.schedule_at(u64::MAX, PRI_DEFAULT, "max");
+        assert_eq!(s.pending(), 4);
+        assert_eq!(s.peek_time(), Some(5));
+        assert_eq!(s.pop(), Some((5, "near")));
+        assert_eq!(s.peek_time(), Some(3 * far + 1));
+        assert_eq!(s.pop(), Some((3 * far + 1, "far1")));
+        // Scheduling relative to the new now still works across windows.
+        s.schedule_in(2 * far, "mid");
+        assert_eq!(s.pop(), Some((5 * far + 1, "mid")));
+        assert_eq!(s.pop(), Some((7 * far + 3, "far2")));
+        assert_eq!(s.pop(), Some((u64::MAX, "max")));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn pop_cycle_batches_one_group() {
+        let mut s = Scheduler::new();
+        s.schedule_at(5, PRI_TRANSFER, "t1");
+        s.schedule_at(5, PRI_NEGOTIATE, "n1");
+        s.schedule_at(5, PRI_NEGOTIATE, "n2");
+        s.schedule_at(9, PRI_NEGOTIATE, "later");
+        let mut out = Vec::new();
+        assert_eq!(s.pop_cycle(&mut out), Some((5, PRI_NEGOTIATE)));
+        assert_eq!(out, vec!["n1", "n2"]);
+        assert_eq!(s.now(), 5);
+        // An event scheduled into the drained group is picked up by the
+        // next call, not lost.
+        s.schedule_at(5, PRI_NEGOTIATE, "n3");
+        assert_eq!(s.pop_cycle(&mut out), Some((5, PRI_NEGOTIATE)));
+        assert_eq!(out, vec!["n3"]);
+        assert_eq!(s.pop_cycle(&mut out), Some((5, PRI_TRANSFER)));
+        assert_eq!(out, vec!["t1"]);
+        assert_eq!(s.pop_cycle(&mut out), Some((9, PRI_NEGOTIATE)));
+        assert_eq!(out, vec!["later"]);
+        assert_eq!(s.pop_cycle(&mut out), None);
+        assert!(out.is_empty());
+        assert_eq!(s.processed(), 5);
+    }
+
+    #[test]
+    fn requeue_restores_pending_and_uncounts() {
+        let mut s = Scheduler::new();
+        s.schedule_at(5, PRI_DEFAULT, "a");
+        s.schedule_at(5, PRI_DEFAULT, "b");
+        let mut out = Vec::new();
+        s.pop_cycle(&mut out);
+        assert_eq!(out, vec!["a", "b"]);
+        // Handle "a", put "b" back.
+        s.requeue(5, PRI_DEFAULT, "b");
+        assert_eq!(s.processed(), 1);
+        assert_eq!(s.pending(), 1);
+        assert_eq!(s.pop(), Some((5, "b")));
+    }
+
+    #[test]
+    fn clear_keeps_now_reset_rewinds() {
+        let mut s = Scheduler::new();
+        s.schedule_at(5000, PRI_DEFAULT, 1u32);
+        s.pop();
+        s.clear();
+        assert_eq!(s.now(), 5000);
+        assert_eq!(s.pending(), 0);
+        // clear(): still anchored — the past stays rejected.
+        let past = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut s2 = Scheduler::new();
+            s2.schedule_at(5000, PRI_DEFAULT, 1u32);
+            s2.pop();
+            s2.clear();
+            s2.schedule_at(100, PRI_DEFAULT, 2u32);
+        }));
+        assert!(past.is_err(), "clear() must keep rejecting events in the past");
+        // reset(): full rewind — restoring an earlier checkpoint works.
+        s.reset();
+        assert_eq!(s.now(), 0);
+        assert_eq!(s.processed(), 0);
+        s.schedule_at(100, PRI_DEFAULT, 2u32);
+        assert_eq!(s.pop(), Some((100, 2u32)));
+    }
+
+    #[test]
+    fn interleaved_same_bucket_inserts_stay_ordered() {
+        // Insert into the bucket currently being drained, with an earlier
+        // priority than events still in it: the binary-insert path must
+        // keep the order exact.
+        let mut s = Scheduler::new();
+        s.schedule_at(10, PRI_SAMPLE, "s1");
+        s.schedule_at(10, PRI_TRANSFER, "t1");
+        assert_eq!(s.pop(), Some((10, "t1")));
+        // Same time, earlier priority than the pending "s1".
+        s.schedule_at(10, PRI_TRANSFER, "t2");
+        s.schedule_at(12, PRI_NEGOTIATE, "n1");
+        assert_eq!(s.pop(), Some((10, "t2")));
+        assert_eq!(s.pop(), Some((10, "s1")));
+        assert_eq!(s.pop(), Some((12, "n1")));
     }
 }

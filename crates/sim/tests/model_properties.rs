@@ -4,7 +4,8 @@
 
 use xmt_harness::prop::{run, Config, Gen};
 use xmtsim::cycle::cachesim::CacheTags;
-use xmtsim::engine::{Priority, Scheduler};
+use xmtsim::engine::baseline::HeapScheduler;
+use xmtsim::engine::{Priority, Scheduler, Time, BUCKET_WIDTH_PS, N_BUCKETS};
 use xmtsim::machine::Memory;
 
 /// The scheduler pops events in (time, priority, FIFO) order, no
@@ -33,6 +34,90 @@ fn scheduler_total_order() {
                 w[1]
             );
         }
+    });
+}
+
+/// Draw a schedule delay that exercises every calendar-queue regime:
+/// same-timestamp bursts (delta 0), near-horizon traffic, bucket-boundary
+/// crossings, and far-future events beyond the whole bucket window.
+fn gen_delay(g: &mut Gen) -> Time {
+    let window = N_BUCKETS as u64 * BUCKET_WIDTH_PS;
+    match g.usize_in(0, 10) {
+        0..=2 => 0,                                            // same-time burst
+        3..=5 => g.int_in(1, 2 * BUCKET_WIDTH_PS as i64) as u64, // current/next bucket
+        6..=8 => g.int_in(1, window as i64) as u64,            // anywhere in the window
+        _ => window + g.int_in(0, 8 * window as i64) as u64,   // overflow heap
+    }
+}
+
+/// Differential test: the calendar-queue [`Scheduler`] pops the exact
+/// `(time, priority, seq)` sequence the reference [`HeapScheduler`] does,
+/// on random schedule/pop interleavings. Both assign sequence numbers in
+/// schedule order, so identical payload sequences imply identical keys.
+#[test]
+fn calendar_queue_matches_heap_reference() {
+    run("calendar_queue_matches_heap_reference", Config::default(), |g: &mut Gen| {
+        let mut cal: Scheduler<usize> = Scheduler::new();
+        let mut heap: HeapScheduler<usize> = HeapScheduler::new();
+        let mut next_id = 0usize;
+        let steps = g.len_in(1, 400);
+        for _ in 0..steps {
+            if g.bool_p(0.6) {
+                // Bursts: several events, often sharing a timestamp.
+                let n = g.usize_in(1, 6);
+                let delay = gen_delay(g);
+                for _ in 0..n {
+                    let d = if g.bool_p(0.5) { delay } else { gen_delay(g) };
+                    let pri = g.usize_in(0, 4) as Priority;
+                    cal.schedule_at(cal.now() + d, pri, next_id);
+                    heap.schedule_at(heap.now() + d, pri, next_id);
+                    next_id += 1;
+                }
+            } else {
+                assert_eq!(cal.peek_time(), heap.peek_time(), "peek diverged");
+                assert_eq!(cal.pop(), heap.pop(), "pop diverged");
+                assert_eq!(cal.now(), heap.now());
+                assert_eq!(cal.pending(), heap.pending());
+            }
+        }
+        // Drain both completely; the tails must agree element-for-element.
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            assert_eq!(a, b, "drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(cal.processed(), heap.processed());
+    });
+}
+
+/// `pop_cycle` batches are exactly the maximal same-`(time, priority)`
+/// runs that repeated single pops of the reference heap produce.
+#[test]
+fn pop_cycle_matches_heap_groups() {
+    run("pop_cycle_matches_heap_groups", Config::default(), |g: &mut Gen| {
+        let mut cal: Scheduler<usize> = Scheduler::new();
+        let mut heap: HeapScheduler<usize> = HeapScheduler::new();
+        let events = g.vec_of(1, 300, |g| (gen_delay(g), g.usize_in(0, 4) as Priority));
+        for (k, &(t, p)) in events.iter().enumerate() {
+            cal.schedule_at(t, p, k);
+            heap.schedule_at(t, p, k);
+        }
+        let mut batch = Vec::new();
+        let mut last_group = None;
+        while let Some((time, pri)) = cal.pop_cycle(&mut batch) {
+            // Nothing is scheduled while draining, so each batch must be a
+            // *maximal* group: two consecutive batches never share a key.
+            assert_ne!(Some((time, pri)), last_group, "non-maximal batch split a group");
+            last_group = Some((time, pri));
+            for &k in &batch {
+                let (ht, hk) = heap.pop().expect("heap ran dry before the calendar queue");
+                assert_eq!((time, events[k].1, k), (ht, pri, hk), "group member diverged");
+            }
+        }
+        assert_eq!(heap.pop(), None);
+        assert_eq!(cal.processed(), heap.processed());
     });
 }
 

@@ -39,16 +39,34 @@ cargo build --release --offline --workspace
 echo "==> cargo test --offline (full suite)"
 cargo test -q --offline --workspace
 
+echo "==> determinism referee: bit-identical runs + checkpoint resume"
+# These are the tests that police the event-list rewrite; make sure they
+# actually *ran* (a filter typo or harness change silently skipping them
+# must fail the gate, not pass it).
+det_out=$(cargo test --offline -p xmt-bench --test checkpoint_resume -- --nocapture 2>&1) || {
+    echo "$det_out" >&2
+    exit 1
+}
+echo "$det_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' || {
+    echo "determinism/checkpoint tests were skipped (0 ran):" >&2
+    echo "$det_out" >&2
+    exit 1
+}
+
 echo "==> smoke benches (shortened iterations; writes BENCH_*.json)"
 # Cargo runs bench binaries with cwd = the package dir; pin the output
 # to the workspace-root target/ so the gate below finds it.
 XMT_BENCH_DIR="$PWD/target/bench" \
 XMT_BENCH_ITERS="${XMT_BENCH_ITERS:-3}" \
 XMT_BENCH_WARMUP_MS="${XMT_BENCH_WARMUP_MS:-10}" \
-    cargo bench --offline -p xmt-bench --bench modes --bench compiler
+    cargo bench --offline -p xmt-bench --bench modes --bench compiler --bench scheduler
 
 ls target/bench/BENCH_*.json >/dev/null 2>&1 || {
     echo "no BENCH_*.json emitted" >&2
+    exit 1
+}
+[ -f target/bench/BENCH_scheduler.json ] || {
+    echo "BENCH_scheduler.json missing (scheduler bench did not run)" >&2
     exit 1
 }
 
