@@ -1,0 +1,103 @@
+//! ICN package-movement cost (ISSUE 3): the closed-form *express* leg
+//! scheduling vs the per-hop *oracle* walk, on the paper's memory-bound
+//! parallel microbenchmark at chip scale (1024 TCUs, 14 switch stages
+//! each way). The two models are bit-identical on simulated results, so
+//! the entire gap is host-side event traffic: the per-hop walk spends
+//! ~2·icn_oneway() events per memory round trip where the express path
+//! spends O(1). Writes `BENCH_icn.json` and prints the speedup plus the
+//! measured events-per-round-trip for both models.
+
+use xmt_harness::json::Json;
+use xmt_harness::BenchGroup;
+use xmtc::Options;
+use xmtsim::{IcnModel, XmtConfig};
+use xmt_workloads::micro::{build, MicroGroup, MicroParams};
+
+fn config(model: IcnModel) -> XmtConfig {
+    let mut cfg = XmtConfig::chip1024();
+    cfg.icn_model = model;
+    cfg
+}
+
+/// Median of `<name>` in the written bench JSON.
+fn median_of(benches: &[Json], name: &str) -> Option<u64> {
+    benches.iter().find_map(|b| {
+        let obj = b.as_obj().ok()?;
+        let matches = obj
+            .iter()
+            .any(|(k, v)| k == "name" && matches!(v, Json::Str(s) if s == name));
+        if !matches {
+            return None;
+        }
+        obj.iter().find_map(|(k, v)| match v {
+            Json::U(u) if k == "median_ns" => Some(*u),
+            Json::I(i) if k == "median_ns" && *i >= 0 => Some(*i as u64),
+            _ => None,
+        })
+    })
+}
+
+fn main() {
+    let params = MicroParams { threads: 1024, iters: 8, data_words: 1 << 14 };
+    let compiled = build(MicroGroup::ParallelMemory, &params, &Options::default()).unwrap();
+
+    // One run per model up front: simulated results must agree (the
+    // differential suite proves it; this is a live cross-check), and the
+    // summaries give the event books for the per-round-trip report.
+    let mut probe = Vec::new();
+    for model in [IcnModel::Express, IcnModel::PerHop] {
+        let mut sim = compiled.simulator(&config(model));
+        let s = sim.run().unwrap();
+        probe.push((model, s, sim.stats.icn_packages));
+    }
+    let (_, se, pkgs) = &probe[0];
+    let (_, sp, _) = &probe[1];
+    assert_eq!(
+        (se.cycles, se.time_ps, se.instructions),
+        (sp.cycles, sp.time_ps, sp.instructions),
+        "models diverged on simulated results"
+    );
+    let round_trips = (pkgs / 2).max(1);
+
+    let mut group = BenchGroup::new("icn");
+    group.sample_size(10);
+    group.throughput_elements(se.instructions);
+    for (model, label) in [(IcnModel::Express, "express"), (IcnModel::PerHop, "perhop")] {
+        let cfg = config(model);
+        group.bench(&format!("parallel_memory/{label}"), || {
+            let mut sim = compiled.simulator(&cfg);
+            sim.run().unwrap()
+        });
+    }
+    let path = group.finish();
+
+    // Report: host speedup and ICN events per memory round trip.
+    let text = std::fs::read_to_string(&path).expect("bench json readable");
+    let parsed = Json::parse(&text).expect("bench json parses");
+    let obj = parsed.as_obj().expect("bench json is an object");
+    let benches = obj
+        .iter()
+        .find(|(k, _)| k == "benches")
+        .and_then(|(_, v)| v.as_arr().ok())
+        .expect("benches array");
+    let express = median_of(benches, "parallel_memory/express");
+    let perhop = median_of(benches, "parallel_memory/perhop");
+    if let (Some(e), Some(p)) = (express, perhop) {
+        eprintln!(
+            "bench icn: chip1024 parallel-memory: express {:.2}x vs per-hop \
+             ({} vs {} ms median)",
+            p as f64 / e.max(1) as f64,
+            e / 1_000_000,
+            p / 1_000_000,
+        );
+    }
+    let oneway = config(IcnModel::Express).icn_oneway();
+    eprintln!(
+        "bench icn: icn events per round trip: per-hop {:.1} (~2*{oneway} hops), \
+         express {:.1} (closed-form legs)",
+        (sp.events.saturating_sub(se.events) as f64
+            + 2.0 * round_trips as f64)
+            / round_trips as f64,
+        2.0,
+    );
+}

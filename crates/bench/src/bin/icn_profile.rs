@@ -2,39 +2,48 @@
 //!
 //! The paper reports that "for real-life XMTC programs, up to 60% of the
 //! time can be spent in simulating the interconnection network". This
-//! binary enables the simulator's host profiler and reports the fraction
-//! of host time spent in the memory-system model (ICN + cache modules +
-//! DRAM events) for a memory-bound and a compute-bound workload, plus the
-//! per-class event counts and the event list's own self-time (the cost
-//! the calendar-queue scheduler attacks).
+//! binary enables the simulator's host profiler and reports, for each
+//! workload under *both* package-movement models (the per-hop switch walk
+//! the paper describes, and the closed-form express path that elides it),
+//! the fraction of host time in the memory-system model, the per-class
+//! event counts and the event list's own self-time — so the express
+//! path's event savings and scheduler relief are visible side by side.
 
 use xmt_bench::render_table;
 use xmtc::Options;
-use xmtsim::XmtConfig;
+use xmtsim::{IcnModel, XmtConfig};
 use xmt_workloads::micro::{build, MicroGroup, MicroParams};
 use xmt_workloads::suite::{self, Variant};
 
 fn main() {
-    let cfg = XmtConfig::chip1024();
     let params = MicroParams { threads: 2048, iters: 48, data_words: 1 << 16 };
     let opts = Options::default();
 
     let mut rows = Vec::new();
     let mut profile = |name: &str, compiled: &xmt_core::Compiled| {
-        let mut sim = compiled.simulator(&cfg);
-        sim.enable_host_profiling();
-        sim.run().expect("runs");
-        let hp = sim.host_profile().unwrap().clone();
-        rows.push(vec![
-            name.to_string(),
-            format!("{:.1}%", 100.0 * hp.memory_fraction()),
-            format!("{:.2}s", hp.compute_s),
-            format!("{:.2}s", hp.memory_s),
-            format!("{:.3}s", hp.sched_s),
-            format!("{}", hp.compute_events),
-            format!("{}", hp.memory_events),
-            format!("{}", hp.other_events),
-        ]);
+        for (model, label) in [(IcnModel::PerHop, "per-hop"), (IcnModel::Express, "express")] {
+            let mut cfg = XmtConfig::chip1024();
+            cfg.icn_model = model;
+            let mut sim = compiled.simulator(&cfg);
+            sim.enable_host_profiling();
+            sim.run().expect("runs");
+            let hp = sim.host_profile().unwrap().clone();
+            rows.push(vec![
+                name.to_string(),
+                label.to_string(),
+                format!("{:.1}%", 100.0 * hp.memory_fraction()),
+                format!("{:.2}s", hp.memory_s),
+                format!("{:.3}s", hp.sched_s),
+                format!("{}", hp.compute_events),
+                format!("{}", hp.memory_events),
+                match model {
+                    IcnModel::PerHop => "-".to_string(),
+                    IcnModel::Express => {
+                        format!("{} legs, {} hops elided", hp.express_legs, hp.hops_elided)
+                    }
+                },
+            ]);
+        }
     };
 
     profile(
@@ -56,16 +65,18 @@ fn main() {
         render_table(
             &[
                 "workload",
+                "icn model",
                 "memory-model share",
-                "compute-model time",
                 "memory-model time",
                 "event-list time",
                 "compute events",
                 "memory events",
-                "other events",
+                "express savings",
             ],
             &rows
         )
     );
     println!("paper: up to 60% of simulation time in the interconnection network model");
+    println!("(the per-hop rows reproduce the paper's cost profile; the express rows");
+    println!(" show the same runs with hop events flattened into closed-form legs)");
 }

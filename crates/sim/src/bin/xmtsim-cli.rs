@@ -6,18 +6,18 @@
 //!
 //! ```text
 //! xmtsim-cli PROGRAM.xs [--memmap FILE.xbo] [--config fpga64|chip1024|tiny]
-//!            [--functional] [--stats] [--dump GLOBAL:COUNT]
-//!            [--cycles-limit N]
+//!            [--icn express|perhop] [--functional] [--stats]
+//!            [--dump GLOBAL:COUNT] [--cycles-limit N]
 //! ```
 
 use std::process::ExitCode;
-use xmtsim::{CycleSim, FunctionalSim, XmtConfig};
+use xmtsim::{CycleSim, FunctionalSim, IcnModel, XmtConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: xmtsim-cli PROGRAM.xs [--memmap FILE.xbo] \
-         [--config fpga64|chip1024|tiny] [--functional] [--stats] \
-         [--dump GLOBAL:COUNT] [--cycles-limit N]"
+         [--config fpga64|chip1024|tiny] [--icn express|perhop] \
+         [--functional] [--stats] [--dump GLOBAL:COUNT] [--cycles-limit N]"
     );
     std::process::exit(2)
 }
@@ -30,6 +30,7 @@ fn main() -> ExitCode {
     let mut stats = false;
     let mut dumps: Vec<(String, usize)> = Vec::new();
     let mut limit: Option<u64> = None;
+    let mut icn_model: Option<IcnModel> = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -44,6 +45,13 @@ fn main() -> ExitCode {
                     Some("tiny") => XmtConfig::tiny(),
                     _ => usage(),
                 }
+            }
+            "--icn" => {
+                icn_model = Some(match it.next().as_deref() {
+                    Some("express") => IcnModel::Express,
+                    Some("perhop") => IcnModel::PerHop,
+                    _ => usage(),
+                })
             }
             "--cycles-limit" => {
                 limit = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
@@ -64,6 +72,9 @@ fn main() -> ExitCode {
     }
     if file.is_empty() {
         usage();
+    }
+    if let Some(m) = icn_model {
+        config.icn_model = m;
     }
 
     let asm_text = match std::fs::read_to_string(&file) {

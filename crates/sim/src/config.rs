@@ -40,6 +40,25 @@ pub enum IcnTiming {
 
 json_enum!(IcnTiming { Synchronous, Asynchronous { hop_ps, jitter_ps } });
 
+/// How the cycle model moves packages across the ICN.
+///
+/// Both timing disciplines have closed-form hop delays (one ICN cycle, or
+/// `hop_ps` plus a deterministic hash of `(addr, stage)`), so a leg's total
+/// traversal time can be computed analytically when the package enters the
+/// network. `Express` does exactly that and schedules a single
+/// end-of-leg event; `PerHop` walks one event per switch stage — the
+/// original, mechanically-obvious model, kept as the differential oracle
+/// (like `engine::baseline::HeapScheduler` for the calendar queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcnModel {
+    /// Closed-form leg scheduling: one event per network traversal.
+    Express,
+    /// One event per switch stage (the reference model).
+    PerHop,
+}
+
+json_enum!(IcnModel { Express, PerHop });
+
 /// The four independent clock domains whose frequencies an activity
 /// plug-in may retune at runtime (paper §III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +136,8 @@ pub struct XmtConfig {
     pub icn_latency: u32,
     /// Switch timing discipline (synchronous clock vs self-timed).
     pub icn_timing: IcnTiming,
+    /// Package-movement model (closed-form express vs per-hop walk).
+    pub icn_model: IcnModel,
 
     // ---- per-cluster shared units ----
     /// Multiply latency on the cluster MDU (cluster cycles, pipelined).
@@ -165,7 +186,7 @@ pub struct XmtConfig {
 json_struct!(XmtConfig {
     clusters, tcus_per_cluster, cache_modules, dram_channels, period_ps,
     cache_module_kb, cache_assoc, line_bytes, cache_hit_latency,
-    dram_latency, dram_service, icn_latency, icn_timing,
+    dram_latency, dram_service, icn_latency, icn_timing, icn_model,
     mul_latency, div_latency, fpu_add_latency, fpu_mul_latency,
     fpu_div_latency, fpu_misc_latency, prefetch_entries, prefetch_policy,
     ro_cache_kb, ro_hit_latency, master_cache_kb, master_cache_assoc,
@@ -247,6 +268,7 @@ impl XmtConfig {
             dram_service: 8,
             icn_latency: 0, // derived: 2·log2(8)+2 = 8
             icn_timing: IcnTiming::Synchronous,
+            icn_model: IcnModel::Express,
             mul_latency: 3,
             div_latency: 16,
             fpu_add_latency: 4,
@@ -283,6 +305,7 @@ impl XmtConfig {
             dram_service: 8,
             icn_latency: 0, // derived: 2·log2(64)+2 = 14
             icn_timing: IcnTiming::Synchronous,
+            icn_model: IcnModel::Express,
             mul_latency: 3,
             div_latency: 16,
             fpu_add_latency: 4,

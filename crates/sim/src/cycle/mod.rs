@@ -31,7 +31,7 @@
 pub mod cachesim;
 pub mod prefetch;
 
-use crate::config::{ClockDomain, IcnTiming, XmtConfig};
+use crate::config::{ClockDomain, IcnModel, IcnTiming, XmtConfig};
 use crate::engine::{Priority, Scheduler, Time, PRI_DEFAULT, PRI_NEGOTIATE, PRI_SAMPLE, PRI_TRANSFER};
 use crate::exec::{self, CostClass, Issued, MemKind, MemRequest, Mode};
 use crate::machine::{Machine, ThreadCtx, Trap};
@@ -39,8 +39,9 @@ use crate::stats::{stats_delta, ActivityPlugin, ActivitySample, FilterPlugin, Ru
 use crate::trace::{TraceEvent, Tracer};
 use cachesim::CacheTags;
 use prefetch::PrefetchBuffer;
-use std::collections::HashMap;
-use xmt_harness::json_struct;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
+use xmt_harness::{json_enum, json_struct};
 use std::fmt;
 use xmt_isa::{Executable, Reg};
 
@@ -108,6 +109,11 @@ pub struct HostProfile {
     pub memory_events: u64,
     /// All other events handled (spawn control, sampling).
     pub other_events: u64,
+    /// ICN legs scheduled closed-form by the express path.
+    pub express_legs: u64,
+    /// Per-stage `Hop` events the express path did *not* schedule (the
+    /// event-savings the closed-form leg buys over the per-hop walk).
+    pub hops_elided: u64,
 }
 
 impl HostProfile {
@@ -156,8 +162,10 @@ struct ParState {
     parked: u32,
 }
 
+json_struct!(ParState { hi, join_idx, parked });
+
 /// Typed events of the cycle-accurate model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum Ev {
     /// The master TCU issues its next instruction.
     MasterStep,
@@ -178,6 +186,118 @@ enum Ev {
     BroadcastDone { body_pc: u32 },
     /// Activity-plug-in sampling tick.
     Sample,
+    /// End of a closed-form express ICN leg (see [`ExpressLeg`]): the
+    /// *last* switch stage of a traversal whose intermediate hops were
+    /// computed analytically instead of simulated. `gen` guards against
+    /// slot reuse and DVFS rescheduling — a mismatch means the event is
+    /// stale and is ignored.
+    ExpressEnd { leg: u32, gen: u64 },
+}
+
+json_enum!(Ev {
+    MasterStep,
+    TcuStep(u32),
+    Hop { tcu, req, remaining, value, inbound, issued_at },
+    Service { tcu, req, done, issued_at },
+    Complete { tcu, req, value, issued_at },
+    BroadcastDone { body_pc },
+    Sample,
+    ExpressEnd { leg, gen },
+});
+
+/// One in-flight ICN traversal under [`IcnModel::Express`].
+///
+/// `chain[k]` is the timestamp the per-hop model's `(k+1)`-th `Hop` event
+/// would carry; `chain.last()` is the leg's end, where the one scheduled
+/// [`Ev::ExpressEnd`] fires. Storing the whole chain (not just the end)
+/// serves two purposes: same-timestamp ties between leg-end events are
+/// broken exactly as the per-hop walk would break them (lexicographic on
+/// the *reversed* chain — see `order_express_batch`), and a mid-flight
+/// DVFS period change can recompute exactly the suffix of stages whose
+/// per-hop scheduling decision would have happened after the change.
+#[derive(Debug, Clone, PartialEq)]
+struct ExpressLeg {
+    tcu: u32,
+    req: MemRequest,
+    value: u32,
+    inbound: bool,
+    issued_at: Time,
+    /// Monotone creation index; mirrors the sequence number the per-hop
+    /// model's first `Hop` event would have carried, as the final
+    /// tie-break between legs with fully identical chains.
+    seq: u64,
+    chain: Vec<Time>,
+}
+
+json_struct!(ExpressLeg { tcu, req, value, inbound, issued_at, seq, chain });
+
+/// A slot of the express-leg table. Slots are reused; `gen` increments on
+/// every (re)allocation and reschedule so stale `ExpressEnd` events can be
+/// recognized.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct LegSlot {
+    gen: u64,
+    leg: Option<ExpressLeg>,
+}
+
+json_struct!(LegSlot { gen, leg });
+
+/// A pending scheduler event captured by a mid-flight checkpoint, in exact
+/// pop order.
+#[derive(Debug, Clone, PartialEq)]
+struct SavedEvent {
+    time: Time,
+    pri: Priority,
+    ev: Ev,
+}
+
+json_struct!(SavedEvent { time, pri, ev });
+
+/// Blocking loads parked on one in-flight prefetch, keyed for
+/// serialization (HashMap iteration order is not deterministic).
+#[derive(Debug, Clone, PartialEq)]
+struct SavedWaiter {
+    tcu: u32,
+    addr: u32,
+    waiters: Vec<(MemRequest, Time)>,
+}
+
+json_struct!(SavedWaiter { tcu, addr, waiters });
+
+/// Everything a checkpoint must carry beyond the quiescent machine state
+/// when packages are still in flight: the pending event list (in pop
+/// order), the express-leg table, the open parallel section, and the
+/// package-tracking side tables. Empty (`is_quiescent()`) for checkpoints
+/// taken at quiescent master-step boundaries, which restore through the
+/// original re-seeding path.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct InflightState {
+    events: Vec<SavedEvent>,
+    legs: Vec<LegSlot>,
+    par: Option<ParState>,
+    pending_total: u64,
+    pbuf_waiters: Vec<SavedWaiter>,
+    line_busy: BTreeMap<u32, Time>,
+}
+
+json_struct!(InflightState { events, legs, par, pending_total, pbuf_waiters, line_busy });
+
+impl InflightState {
+    /// True when the checkpoint was taken at a quiescent boundary and
+    /// carries no in-flight state.
+    pub fn is_quiescent(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of pending scheduler events captured.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of express ICN legs in flight at the checkpoint.
+    pub fn express_legs_in_flight(&self) -> usize {
+        self.legs.iter().filter(|s| s.leg.is_some()).count()
+    }
 }
 
 /// Sentinel "TCU id" for packages issued by the Master TCU through its
@@ -223,7 +343,24 @@ pub struct CycleSim {
     /// line chain behind an outstanding miss to it (MSHR behaviour),
     /// which is also what preserves memory-model rule 1 — same source,
     /// same destination operations are never reordered.
+    /// Entries whose time has passed are pruned opportunistically at
+    /// insert (see `arrive`) so the map stays bounded on long runs.
     line_busy: HashMap<u32, Time>,
+
+    // Express ICN path (cfg.icn_model == IcnModel::Express).
+    /// In-flight express legs; `Ev::ExpressEnd` events index this table.
+    express_legs: Vec<LegSlot>,
+    /// Free slots of `express_legs`.
+    legs_free: Vec<u32>,
+    /// Monotone leg creation counter (tie-break, see `ExpressLeg::seq`).
+    leg_seq: u64,
+    /// Per-destination cumulative stage offsets `(inbound, outbound)`,
+    /// keyed by package address — the async-jitter sum is computed once
+    /// per destination per clock-period epoch instead of once per
+    /// package. Invalidated by `apply_periods` (epoch change) and
+    /// size-capped. Unused in synchronous timing, where the offsets are
+    /// a trivial multiple of the ICN period.
+    route_cache: HashMap<u32, (Box<[Time]>, Box<[Time]>)>,
 
     /// Built-in counters.
     pub stats: Stats,
@@ -238,6 +375,9 @@ pub struct CycleSim {
     host_profile: Option<HostProfile>,
     max_cycles: Option<u64>,
     checkpoint_at: Option<u64>,
+    /// Mid-flight checkpoint target (cluster cycle): stop at the next
+    /// event-group boundary at or after it, packages in flight and all.
+    checkpoint_any_at: Option<u64>,
     stop_requested: bool,
     started: bool,
 }
@@ -287,6 +427,10 @@ impl CycleSim {
             pending_total: 0,
             pbuf_waiters: HashMap::new(),
             line_busy: HashMap::new(),
+            express_legs: Vec::new(),
+            legs_free: Vec::new(),
+            leg_seq: 0,
+            route_cache: HashMap::new(),
             stats: Stats::for_topology(cfg.clusters, cfg.cache_modules),
             filters: Vec::new(),
             activities: Vec::new(),
@@ -296,6 +440,7 @@ impl CycleSim {
             host_profile: None,
             max_cycles: None,
             checkpoint_at: None,
+            checkpoint_any_at: None,
             stop_requested: false,
             started: false,
             exe,
@@ -425,6 +570,143 @@ impl CycleSim {
         self.cycles_base = self.cycles_at(now);
         self.period_changed_at = now;
         self.period_ps = new;
+        // New clock-period epoch: invalidate the precomputed route
+        // offsets (only synchronous timing is period-dependent, but
+        // period changes are rare and rebuilding is cheap) and bring the
+        // in-flight express chains onto the new periods.
+        self.route_cache.clear();
+        self.reschedule_express_legs(now);
+    }
+
+    /// Recompute the not-yet-committed suffix of every in-flight express
+    /// chain under the new periods, exactly as the per-hop walk would
+    /// have: a stage whose predecessor event fired at or before `now` was
+    /// scheduled under the old period (hop events run at `PRI_NEGOTIATE`,
+    /// before the `PRI_SAMPLE` tick that changes periods), while every
+    /// later stage re-decides its delay under the period in force when
+    /// its predecessor fires. Legs whose end moved get a fresh
+    /// generation and a new end event; the old event pops as a stale
+    /// no-op.
+    fn reschedule_express_legs(&mut self, now: Time) {
+        for i in 0..self.express_legs.len() {
+            let Some(mut leg) = self.express_legs[i].leg.take() else { continue };
+            let n = leg.chain.len();
+            let old_end = leg.chain[n - 1];
+            for k in 1..n {
+                if leg.chain[k - 1] > now {
+                    let d = self.hop_delay(leg.req.addr, (n - k) as u32);
+                    leg.chain[k] = leg.chain[k - 1] + d;
+                }
+            }
+            let end = leg.chain[n - 1];
+            self.express_legs[i].leg = Some(leg);
+            if end != old_end {
+                self.express_legs[i].gen += 1;
+                let gen = self.express_legs[i].gen;
+                self.sched.schedule_at(end, PRI_NEGOTIATE, Ev::ExpressEnd { leg: i as u32, gen });
+            }
+        }
+    }
+
+    /// The per-hop timestamps of one express leg to `addr`, entered into
+    /// the network at `start`: entry `k` is when the per-hop model's
+    /// `(k+1)`-th `Hop` event would fire; the last entry is the leg end.
+    /// Asynchronous cumulative offsets are cached per destination (they
+    /// are the same for every package to `addr`); synchronous offsets are
+    /// a trivial multiple of the ICN period.
+    fn express_chain(&mut self, addr: u32, start: Time, inbound: bool) -> Vec<Time> {
+        /// Destinations cached before the table is dropped and rebuilt.
+        const ROUTE_CACHE_CAP: usize = 1 << 16;
+        let n = self.cfg.icn_oneway() as usize;
+        match self.cfg.icn_timing {
+            IcnTiming::Synchronous => {
+                let p = self.p(ClockDomain::Icn);
+                (1..=n as u64).map(|k| start + k * p).collect()
+            }
+            IcnTiming::Asynchronous { .. } => {
+                if self.route_cache.len() >= ROUTE_CACHE_CAP {
+                    self.route_cache.clear();
+                }
+                if !self.route_cache.contains_key(&addr) {
+                    let mut inb = Vec::with_capacity(n);
+                    let mut out = Vec::with_capacity(n);
+                    inb.push(self.hop_delay(addr, 0));
+                    out.push(self.hop_delay(addr, u32::MAX));
+                    for k in 1..n {
+                        let d = self.hop_delay(addr, (n - k) as u32);
+                        inb.push(inb[k - 1] + d);
+                        out.push(out[k - 1] + d);
+                    }
+                    self.route_cache
+                        .insert(addr, (inb.into_boxed_slice(), out.into_boxed_slice()));
+                }
+                let (inb, out) = &self.route_cache[&addr];
+                let offs = if inbound { inb } else { out };
+                offs.iter().map(|&o| start + o).collect()
+            }
+        }
+    }
+
+    /// Express-path replacement for the per-hop walk: compute the whole
+    /// leg analytically and schedule its single end event.
+    fn express_schedule(
+        &mut self,
+        tcu: u32,
+        req: MemRequest,
+        value: u32,
+        inbound: bool,
+        issued_at: Time,
+        start: Time,
+    ) {
+        let chain = self.express_chain(req.addr, start, inbound);
+        let n = chain.len();
+        let end = chain[n - 1];
+        let seq = self.leg_seq;
+        self.leg_seq += 1;
+        let leg = ExpressLeg { tcu, req, value, inbound, issued_at, seq, chain };
+        let slot = match self.legs_free.pop() {
+            Some(s) => s,
+            None => {
+                self.express_legs.push(LegSlot::default());
+                (self.express_legs.len() - 1) as u32
+            }
+        };
+        self.express_legs[slot as usize].gen += 1;
+        self.express_legs[slot as usize].leg = Some(leg);
+        let gen = self.express_legs[slot as usize].gen;
+        if let Some(hp) = self.host_profile.as_mut() {
+            hp.express_legs += 1;
+            hp.hops_elided += n as u64 - 1;
+        }
+        self.sched.schedule_at(end, PRI_NEGOTIATE, Ev::ExpressEnd { leg: slot, gen });
+    }
+
+    /// An express leg reached the end of its traversal: behave exactly
+    /// like the per-hop model's `remaining == 0` hop event.
+    fn express_end(&mut self, now: Time, slot: u32, gen: u64) {
+        let entry = &mut self.express_legs[slot as usize];
+        if entry.gen != gen {
+            return; // stale: leg was rescheduled by a period change
+        }
+        let Some(leg) = entry.leg.take() else { return };
+        self.legs_free.push(slot);
+        debug_assert_eq!(*leg.chain.last().expect("nonempty chain"), now);
+        if leg.inbound {
+            self.arrive(now, leg.tcu, leg.req, leg.issued_at);
+        } else {
+            // Register writeback cycle at the TCU.
+            let cp = self.p(ClockDomain::Cluster);
+            self.sched.schedule_at(
+                now + cp,
+                PRI_DEFAULT,
+                Ev::Complete {
+                    tcu: leg.tcu,
+                    req: leg.req,
+                    value: leg.value,
+                    issued_at: leg.issued_at,
+                },
+            );
+        }
     }
 
     // ---------------------------------------------------------------
@@ -486,6 +768,28 @@ impl CycleSim {
                     return Err(SimError::CycleLimit { cycles: c });
                 }
             }
+            // Mid-flight checkpoint: stop *between* event groups, before
+            // anything in this batch runs, and put the batch back intact
+            // (in original order) so both the checkpoint and this
+            // simulator's own continuation see an undisturbed queue.
+            if let Some(target) = self.checkpoint_any_at {
+                if self.cycles_at(now) >= target {
+                    self.checkpoint_any_at = None;
+                    self.requeue_tail(now, pri, &mut batch, 0);
+                    return Ok(Outcome::Checkpoint(now));
+                }
+            }
+            // Express leg-end events within one timestamp must run in the
+            // order the per-hop walk would have produced (it is visible
+            // through cache LRU state and downstream event seeding); the
+            // scheduler's FIFO tie-break reflects *end*-scheduling order,
+            // so re-sort by the per-hop tie-break key.
+            if pri == PRI_NEGOTIATE
+                && batch.len() > 1
+                && self.cfg.icn_model == IcnModel::Express
+            {
+                order_express_batch(&self.express_legs, &mut batch);
+            }
             let mut i = 0;
             while i < batch.len() {
                 if i > 0 && self.stop_requested {
@@ -512,7 +816,10 @@ impl CycleSim {
                 let t0 = profile.then(std::time::Instant::now);
                 let class = match &ev {
                     Ev::MasterStep | Ev::TcuStep(_) => 0u8,
-                    Ev::Hop { .. } | Ev::Service { .. } | Ev::Complete { .. } => 1,
+                    Ev::Hop { .. }
+                    | Ev::Service { .. }
+                    | Ev::Complete { .. }
+                    | Ev::ExpressEnd { .. } => 1,
                     _ => 2,
                 };
                 self.handle(now, ev)?;
@@ -582,6 +889,10 @@ impl CycleSim {
             }
             Ev::Sample => {
                 self.sample(now);
+                Ok(())
+            }
+            Ev::ExpressEnd { leg, gen } => {
+                self.express_end(now, leg, gen);
                 Ok(())
             }
         }
@@ -938,20 +1249,26 @@ impl CycleSim {
         let first_hop = self.hop_delay(req.addr, 0);
         self.vc_free[vc] = send + first_hop;
         let issued_at = now;
-        // Walk the package through the send-network switch pipeline, one
-        // event per stage (the paper's package-through-components model).
-        self.sched.schedule_at(
-            send + first_hop,
-            PRI_NEGOTIATE,
-            Ev::Hop {
-                tcu,
-                req,
-                remaining: self.cfg.icn_oneway().saturating_sub(1),
-                value: 0,
-                inbound: true,
-                issued_at,
-            },
-        );
+        match self.cfg.icn_model {
+            // Compute the whole send-network traversal analytically and
+            // schedule the module arrival directly.
+            IcnModel::Express => self.express_schedule(tcu, req, 0, true, issued_at, send),
+            // Walk the package through the send-network switch pipeline,
+            // one event per stage (the paper's package-through-components
+            // model).
+            IcnModel::PerHop => self.sched.schedule_at(
+                send + first_hop,
+                PRI_NEGOTIATE,
+                Ev::Hop {
+                    tcu,
+                    req,
+                    remaining: self.cfg.icn_oneway().saturating_sub(1),
+                    value: 0,
+                    inbound: true,
+                    issued_at,
+                },
+            ),
+        }
     }
 
     /// Advance a package one interconnect stage; deliver it at the end of
@@ -1015,6 +1332,14 @@ impl CycleSim {
         };
         // Chain behind any outstanding access to the same line (MSHR): a
         // tag hit under a miss must not overtake the fill.
+        // Entries at or before `now` can never raise a future service end
+        // (every svc_end computed here exceeds `now`), so once the map
+        // grows past a bound, drop them before inserting — long runs
+        // would otherwise keep one entry per line ever touched.
+        const LINE_BUSY_PRUNE_AT: usize = 1024;
+        if self.line_busy.len() >= LINE_BUSY_PRUNE_AT {
+            self.line_busy.retain(|_, &mut t| t > now);
+        }
         let line = req.addr / self.cfg.line_bytes;
         if let Some(&busy) = self.line_busy.get(&line) {
             svc_end = svc_end.max(busy);
@@ -1038,19 +1363,24 @@ impl CycleSim {
         // Master packages already took functional effect at issue (the
         // master is never concurrent with TCUs).
         let value = if tcu == MASTER_ID { 0 } else { exec::perform(&mut self.machine, &req) };
-        let first_hop = self.hop_delay(req.addr, u32::MAX);
-        self.sched.schedule_at(
-            now + first_hop,
-            PRI_NEGOTIATE,
-            Ev::Hop {
-                tcu,
-                req,
-                remaining: self.cfg.icn_oneway().saturating_sub(1),
-                value,
-                inbound: false,
-                issued_at,
-            },
-        );
+        match self.cfg.icn_model {
+            IcnModel::Express => self.express_schedule(tcu, req, value, false, issued_at, now),
+            IcnModel::PerHop => {
+                let first_hop = self.hop_delay(req.addr, u32::MAX);
+                self.sched.schedule_at(
+                    now + first_hop,
+                    PRI_NEGOTIATE,
+                    Ev::Hop {
+                        tcu,
+                        req,
+                        remaining: self.cfg.icn_oneway().saturating_sub(1),
+                        value,
+                        inbound: false,
+                        issued_at,
+                    },
+                );
+            }
+        }
     }
 
     /// A response arrives back at its TCU.
@@ -1139,6 +1469,10 @@ impl CycleSim {
         self.checkpoint_at = Some(cycle);
     }
 
+    pub(crate) fn set_checkpoint_any_cycle(&mut self, cycle: u64) {
+        self.checkpoint_any_at = Some(cycle);
+    }
+
     /// Jump simulated time forward by `dt` from a quiescent boundary
     /// (used by phase sampling): the only pending events are the
     /// re-scheduled master step and possibly a sampling tick, which are
@@ -1146,6 +1480,10 @@ impl CycleSim {
     pub(crate) fn skip_time(&mut self, dt: Time) {
         let t = self.sched.now() + dt;
         self.sched.clear();
+        // Quiescent: no packages in flight; any leg slots (and the stale
+        // end events `clear()` just dropped) can go.
+        self.express_legs.clear();
+        self.legs_free.clear();
         self.sched.schedule_at(t, PRI_DEFAULT, Ev::MasterStep);
         if let Some(iv) = self.sample_interval {
             self.sched.schedule_at(t + iv, PRI_SAMPLE, Ev::Sample);
@@ -1185,6 +1523,33 @@ impl CycleSim {
         )
     }
 
+    /// Capture everything beyond the quiescent machine state that a
+    /// mid-flight checkpoint needs: the pending event list in exact pop
+    /// order, the express-leg table, and the package-tracking side
+    /// tables, all in deterministic (sorted) form.
+    pub(crate) fn inflight_snapshot(&self) -> InflightState {
+        let events = self
+            .sched
+            .pending_snapshot()
+            .into_iter()
+            .map(|(time, pri, ev)| SavedEvent { time, pri, ev })
+            .collect();
+        let mut pbuf_waiters: Vec<SavedWaiter> = self
+            .pbuf_waiters
+            .iter()
+            .map(|(&(tcu, addr), w)| SavedWaiter { tcu, addr, waiters: w.clone() })
+            .collect();
+        pbuf_waiters.sort_by_key(|w| (w.tcu, w.addr));
+        InflightState {
+            events,
+            legs: self.express_legs.clone(),
+            par: self.par,
+            pending_total: self.pending_total,
+            pbuf_waiters,
+            line_busy: self.line_busy.iter().map(|(&k, &v)| (k, v)).collect(),
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn restore_parts(
         &mut self,
@@ -1197,6 +1562,7 @@ impl CycleSim {
         timelines: (Vec<Time>, Vec<Time>, Vec<Time>, Vec<Time>, Vec<Time>),
         caches: (Vec<CacheTags>, Vec<CacheTags>, CacheTags),
         now: Time,
+        inflight: InflightState,
     ) {
         self.machine = machine;
         self.master = master;
@@ -1221,14 +1587,51 @@ impl CycleSim {
         // times could only lower-bound future services with past times,
         // which max() ignores — safe to start empty.
         self.line_busy.clear();
+        self.express_legs.clear();
+        self.legs_free.clear();
+        self.leg_seq = 0;
+        self.route_cache.clear();
         self.started = true;
         // `reset()`, not `clear()`: restoring may rewind to a time earlier
         // than this scheduler has reached, which `clear()` still rejects.
         self.sched.reset();
-        // Resume from a quiescent master-step boundary.
-        self.sched.schedule_at(now.max(1), PRI_DEFAULT, Ev::MasterStep);
-        if let Some(iv) = self.sample_interval {
-            self.sched.schedule_at(now.max(1) + iv, PRI_SAMPLE, Ev::Sample);
+        if inflight.is_quiescent() {
+            // Resume from a quiescent master-step boundary.
+            self.sched.schedule_at(now.max(1), PRI_DEFAULT, Ev::MasterStep);
+            if let Some(iv) = self.sample_interval {
+                self.sched.schedule_at(now.max(1) + iv, PRI_SAMPLE, Ev::Sample);
+            }
+        } else {
+            // Mid-flight restore: replay the captured pending events in
+            // their saved (pop) order — freshly assigned sequence numbers
+            // are monotone in insertion order, so the pop order is
+            // reproduced exactly — and rebuild the side tables.
+            self.par = inflight.par;
+            self.pending_total = inflight.pending_total;
+            for w in inflight.pbuf_waiters {
+                self.pbuf_waiters.insert((w.tcu, w.addr), w.waiters);
+            }
+            self.line_busy = inflight.line_busy.into_iter().collect();
+            self.express_legs = inflight.legs;
+            self.legs_free = self
+                .express_legs
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.leg.is_none())
+                .map(|(i, _)| i as u32)
+                .collect();
+            // Future legs must sort after every live one; relative order
+            // among future legs only needs monotonicity, so max+1 works
+            // even though the saving simulator's counter may be higher.
+            self.leg_seq = self
+                .express_legs
+                .iter()
+                .filter_map(|s| s.leg.as_ref().map(|l| l.seq + 1))
+                .max()
+                .unwrap_or(0);
+            for se in inflight.events {
+                self.sched.schedule_at(se.time, se.pri, se.ev);
+            }
         }
     }
 }
@@ -1237,6 +1640,43 @@ impl CycleSim {
 pub(crate) enum Outcome {
     Done(RunSummary),
     Checkpoint(Time),
+}
+
+/// Order a same-`(time, PRI_NEGOTIATE)` batch of express leg-end events
+/// the way the per-hop walk would have ordered its final hop events.
+///
+/// In the per-hop model an event's FIFO rank was assigned when the
+/// *previous* stage fired, recursively: two final hops tie-break on where
+/// their `remaining == 1` events fired, those on `remaining == 2`, and so
+/// on — i.e. lexicographic order of the reversed chain-time vector
+/// `(t_{n-1}, t_{n-2}, …, t_1)`, with a full tie falling back to
+/// network-entry order ([`ExpressLeg::seq`]). Stale events (generation
+/// mismatch, from DVFS rescheduling) are no-ops and sort to the end.
+fn order_express_batch(legs: &[LegSlot], batch: &mut [Ev]) {
+    fn leg_of<'a>(legs: &'a [LegSlot], ev: &Ev) -> Option<&'a ExpressLeg> {
+        let &Ev::ExpressEnd { leg, gen } = ev else { return None };
+        let slot = &legs[leg as usize];
+        if slot.gen == gen {
+            slot.leg.as_ref()
+        } else {
+            None
+        }
+    }
+    batch.sort_by(|a, b| match (leg_of(legs, a), leg_of(legs, b)) {
+        (Some(la), Some(lb)) => {
+            let n = la.chain.len().min(lb.chain.len());
+            for i in (0..n.saturating_sub(1)).rev() {
+                match la.chain[i].cmp(&lb.chain[i]) {
+                    Ordering::Equal => continue,
+                    o => return o,
+                }
+            }
+            la.seq.cmp(&lb.seq)
+        }
+        (Some(_), None) => Ordering::Less,
+        (None, Some(_)) => Ordering::Greater,
+        (None, None) => Ordering::Equal,
+    });
 }
 
 fn fu_of_cost(cost: CostClass) -> xmt_isa::FuKind {
@@ -1574,5 +2014,92 @@ mod tests {
         // Equal up to one cycle of truncation at the period switch.
         assert!(sd.cycles.abs_diff(sp.cycles) <= 1);
         assert!(sd.time_ps > sp.time_ps * 3 / 2);
+    }
+
+    /// The self-timed hop delay is a pure function of `(addr, stage)`:
+    /// pinned golden values (so the hash can never drift silently — the
+    /// express chains and any saved checkpoint depend on it), and stable
+    /// across separate simulator instances including one whose config
+    /// went through a JSON save/restore round trip.
+    #[test]
+    fn hop_delay_async_jitter_is_pinned_and_stable() {
+        use xmt_harness::{FromJson, ToJson};
+        let mut cfg = XmtConfig::tiny();
+        cfg.icn_timing = IcnTiming::Asynchronous { hop_ps: 1000, jitter_ps: 700 };
+        let exe = parallel_increment_program(4).0.link(MemoryMap::new()).unwrap();
+        let sim = CycleSim::new(exe.clone(), cfg.clone());
+
+        // Golden values of hop_ps.max(1) + hash(addr, stage) % (jitter+1).
+        for (addr, stage, want) in [
+            (0x40u32, 0u32, 1488u64),
+            (0x40, u32::MAX, 1248),
+            (0x1234, 3, 1283),
+            (0xABCD, 7, 1405),
+            (0x40, 1, 1600),
+            (0x40, 2, 1011),
+        ] {
+            assert_eq!(sim.hop_delay(addr, stage), want, "hash drifted at ({addr:#x},{stage})");
+        }
+
+        // Same delays from a second instance and from a config that was
+        // serialized and parsed back (the checkpoint path for configs).
+        let json = cfg.to_json_string();
+        let cfg2 = XmtConfig::from_json_str(&json).unwrap();
+        let sim2 = CycleSim::new(exe, cfg2);
+        for addr in (0..4096u32).step_by(97) {
+            for stage in [0, 1, 2, 5, 9, u32::MAX] {
+                assert_eq!(sim.hop_delay(addr, stage), sim2.hop_delay(addr, stage));
+            }
+        }
+    }
+
+    /// Streaming far more distinct cache lines than `LINE_BUSY_PRUNE_AT`
+    /// keeps the MSHR chain map bounded: settled entries are dropped on
+    /// insert instead of accumulating one per line ever touched.
+    #[test]
+    fn line_busy_map_stays_bounded_on_streaming_scans() {
+        // 4 virtual threads × 512 lines each = 2048 distinct lines.
+        const LINES_PER_THREAD: i32 = 512;
+        let line = XmtConfig::tiny().line_bytes as i32;
+        let words = (4 * LINES_PER_THREAD * line / 4) as usize;
+        let mut mm = MemoryMap::new();
+        let a = mm.push("A", vec![0; words]);
+        let mut p = AsmProgram::new();
+        p.push(Instr::Li { rt: Reg::A0, imm: 0 });
+        p.push(Instr::Li { rt: Reg::A1, imm: 3 });
+        p.push(Instr::Li { rt: Reg::S0, imm: a as i32 });
+        p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+        p.label("vt");
+        p.push(Instr::Li { rt: Reg::T0, imm: 1 });
+        p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+        p.push(Instr::Chkid { rt: Reg::T0 });
+        // T1 = &A[0] + $ * LINES_PER_THREAD * line_bytes
+        p.push(Instr::Li { rt: Reg::T2, imm: LINES_PER_THREAD * line });
+        p.push(Instr::Mul { rd: Reg::T1, rs: Reg::T0, rt: Reg::T2 });
+        p.push(Instr::Add { rd: Reg::T1, rs: Reg::T1, rt: Reg::S0 });
+        p.push(Instr::Li { rt: Reg::T3, imm: LINES_PER_THREAD });
+        p.label("scan");
+        p.push(Instr::Lw { rt: Reg::T4, base: Reg::T1, off: 0 });
+        p.push(Instr::Addi { rt: Reg::T1, rs: Reg::T1, imm: line });
+        p.push(Instr::Addi { rt: Reg::T3, rs: Reg::T3, imm: -1 });
+        p.push(Instr::Bgtz { rs: Reg::T3, target: Target::label("scan") });
+        p.push(Instr::J { target: Target::label("vt") });
+        p.push(Instr::Join);
+        p.push(Instr::Halt);
+        let exe = p.link(mm).unwrap();
+
+        let mut sim = CycleSim::new(exe, XmtConfig::tiny());
+        sim.run().unwrap();
+        assert!(
+            sim.stats.cache_misses >= 2048,
+            "scan must touch >1500 distinct lines (got {} misses)",
+            sim.stats.cache_misses
+        );
+        // Without pruning the map would hold ~2048 entries (one per line).
+        assert!(
+            sim.line_busy.len() <= 1100,
+            "line_busy grew unboundedly: {} entries",
+            sim.line_busy.len()
+        );
     }
 }

@@ -53,13 +53,36 @@ echo "$det_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' || {
     exit 1
 }
 
+echo "==> ICN express-vs-per-hop differential referee"
+# The express-path rewrite is only safe while the per-hop oracle agrees
+# bit-for-bit; these property tests must have *run* (not been filtered
+# out) for the gate to pass.
+icn_out=$(cargo test --offline -p xmtsim --test icn_express_diff -- --nocapture 2>&1) || {
+    echo "$icn_out" >&2
+    exit 1
+}
+echo "$icn_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' || {
+    echo "icn express differential tests were skipped (0 ran):" >&2
+    echo "$icn_out" >&2
+    exit 1
+}
+inflight_out=$(cargo test --offline -p xmt-bench --test checkpoint_inflight 2>&1) || {
+    echo "$inflight_out" >&2
+    exit 1
+}
+echo "$inflight_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' || {
+    echo "mid-flight checkpoint tests were skipped (0 ran):" >&2
+    echo "$inflight_out" >&2
+    exit 1
+}
+
 echo "==> smoke benches (shortened iterations; writes BENCH_*.json)"
 # Cargo runs bench binaries with cwd = the package dir; pin the output
 # to the workspace-root target/ so the gate below finds it.
 XMT_BENCH_DIR="$PWD/target/bench" \
 XMT_BENCH_ITERS="${XMT_BENCH_ITERS:-3}" \
 XMT_BENCH_WARMUP_MS="${XMT_BENCH_WARMUP_MS:-10}" \
-    cargo bench --offline -p xmt-bench --bench modes --bench compiler --bench scheduler
+    cargo bench --offline -p xmt-bench --bench modes --bench compiler --bench scheduler --bench icn
 
 ls target/bench/BENCH_*.json >/dev/null 2>&1 || {
     echo "no BENCH_*.json emitted" >&2
@@ -67,6 +90,10 @@ ls target/bench/BENCH_*.json >/dev/null 2>&1 || {
 }
 [ -f target/bench/BENCH_scheduler.json ] || {
     echo "BENCH_scheduler.json missing (scheduler bench did not run)" >&2
+    exit 1
+}
+[ -f target/bench/BENCH_icn.json ] || {
+    echo "BENCH_icn.json missing (icn express-vs-per-hop bench did not run)" >&2
     exit 1
 }
 

@@ -1,0 +1,134 @@
+//! Mid-flight checkpoints (ISSUE 3 satellite): `run_to_checkpoint_anytime`
+//! can stop at *any* event-group boundary — in the middle of a parallel
+//! section, with packages still traversing the ICN — and the saved
+//! [`InflightState`] (pending events, express legs, line-busy map, spawn
+//! bookkeeping) must round-trip through JSON and resume to the exact same
+//! final cycles, statistics and machine state as the uninterrupted run.
+//! Exercised under both package-movement models.
+
+use xmt_harness::ToJson;
+use xmtsim::checkpoint::CheckpointOutcome;
+use xmtsim::{CycleSim, IcnModel, XmtConfig};
+use xmt_core::Toolchain;
+
+fn memory_heavy_program() -> xmt_core::Compiled {
+    // One long parallel section saturating the ICN, so a mid-section
+    // checkpoint is guaranteed to catch packages in flight.
+    let src = "
+        int A[512]; int H[8]; int N = 512;
+        void main() {
+            spawn(0, N - 1) {
+                int one = 1;
+                A[$] = A[$] + $;
+                psm(one, H[$ % 8]);
+                A[(($ * 7) % N)] = A[(($ * 7) % N)] + 1;
+            }
+            int sum = 0;
+            for (int i = 0; i < N; i++) { sum += A[i]; }
+            print(sum);
+        }
+    ";
+    Toolchain::new().compile(src).unwrap()
+}
+
+fn config(model: IcnModel) -> XmtConfig {
+    let mut cfg = XmtConfig::fpga64();
+    cfg.icn_model = model;
+    cfg
+}
+
+fn check_model(model: IcnModel) {
+    let cfg = config(model);
+    let compiled = memory_heavy_program();
+
+    // Reference: run straight through.
+    let mut full = compiled.simulator(&cfg);
+    let full_sum = full.run().unwrap();
+    let full_stats = full.stats.to_json_string();
+    let full_machine = full.machine.to_json_string();
+
+    // Stop mid-parallel-section at several instants — whichever event
+    // boundary comes first past each target. Every one must resume
+    // bit-identically; under the express model at least one of them
+    // must catch closed-form legs mid-traversal.
+    let mut saw_legs = false;
+    for eighths in 2..=6u64 {
+        let target = full_sum.cycles * eighths / 8;
+        let mut first = compiled.simulator(&cfg);
+        let ckpt = match first.run_to_checkpoint_anytime(target).unwrap() {
+            CheckpointOutcome::Checkpoint(c) => c,
+            CheckpointOutcome::Done(_) => panic!("program ended before the checkpoint"),
+        };
+        assert!(
+            !ckpt.is_quiescent(),
+            "a mid-section stop must capture in-flight state ({model:?})"
+        );
+        assert!(ckpt.inflight.pending_events() > 0, "pending events travel with the checkpoint");
+        let legs = ckpt.inflight.express_legs_in_flight();
+        match model {
+            IcnModel::Express => saw_legs |= legs > 0,
+            IcnModel::PerHop => assert_eq!(legs, 0, "oracle never builds express legs"),
+        }
+
+        // The in-flight snapshot must survive serialization bit-for-bit.
+        let json = ckpt.to_json();
+        let restored = xmtsim::checkpoint::Checkpoint::from_json(&json).unwrap();
+        assert_eq!(*ckpt, restored, "inflight checkpoint JSON round trip ({model:?})");
+
+        // Resume in a fresh simulator: bit-identical end of run.
+        let mut resumed = CycleSim::resume(compiled.executable().clone(), cfg.clone(), restored);
+        let resumed_sum = resumed.run().unwrap();
+        assert_eq!(
+            resumed_sum.cycles, full_sum.cycles,
+            "cycle-exact mid-flight resume ({model:?}, target {target})"
+        );
+        assert_eq!(resumed_sum.time_ps, full_sum.time_ps);
+        assert_eq!(resumed_sum.instructions, full_sum.instructions);
+        assert_eq!(resumed.stats.to_json_string(), full_stats, "stats JSON ({model:?})");
+        assert_eq!(resumed.machine.to_json_string(), full_machine, "machine state ({model:?})");
+
+        // Taking the snapshot must not perturb the donor simulator either.
+        let finished = first.run().unwrap();
+        assert_eq!(finished.cycles, full_sum.cycles, "donor continues unperturbed ({model:?})");
+        assert_eq!(first.machine.to_json_string(), full_machine);
+    }
+    if model == IcnModel::Express {
+        assert!(saw_legs, "no probed checkpoint caught an express leg in flight");
+    }
+}
+
+#[test]
+fn inflight_checkpoint_resumes_exactly_express() {
+    check_model(IcnModel::Express);
+}
+
+#[test]
+fn inflight_checkpoint_resumes_exactly_perhop() {
+    check_model(IcnModel::PerHop);
+}
+
+/// Mid-flight checkpoints compose with the quiescent flavour: a
+/// quiescent `run_to_checkpoint` still produces an empty in-flight
+/// record (the legacy restore path), and `is_quiescent` tells the two
+/// apart.
+#[test]
+fn quiescent_checkpoints_stay_quiescent() {
+    let cfg = config(IcnModel::Express);
+    let compiled = memory_heavy_program();
+    let mut ref_sim = compiled.simulator(&cfg);
+    let want = ref_sim.run().unwrap();
+
+    let mut sim = compiled.simulator(&cfg);
+    let ckpt = match sim.run_to_checkpoint(want.cycles / 2).unwrap() {
+        CheckpointOutcome::Checkpoint(c) => c,
+        CheckpointOutcome::Done(_) => panic!("ended early"),
+    };
+    assert!(ckpt.is_quiescent(), "run_to_checkpoint waits for a quiescent instant");
+    assert_eq!(ckpt.inflight.pending_events(), 0);
+
+    let mut resumed =
+        CycleSim::resume(compiled.executable().clone(), cfg, *ckpt.clone());
+    let resumed_sum = resumed.run().unwrap();
+    assert_eq!(resumed_sum.cycles, want.cycles);
+    assert_eq!(resumed.machine.output, ref_sim.machine.output);
+}
