@@ -1,0 +1,124 @@
+//! Compute-burst issue (ISSUE 5): one scheduler event per straight-line
+//! instruction run vs the per-instruction oracle, on the paper's
+//! compute-bound and memory-bound parallel microbenchmarks at chip scale.
+//! The two issue models are bit-identical on simulated results (the
+//! `issue_burst_diff` suite proves it; the probe below is a live
+//! cross-check), so the entire gap is host-side step-event traffic: the
+//! per-instruction oracle pays one `TcuStep` event per issued
+//! instruction, while the burst path pays one per straight-line run.
+//! Writes `BENCH_issue.json` and prints the host speedup plus the
+//! events-per-1k-instructions each model spends.
+
+use xmt_harness::json::Json;
+use xmt_harness::BenchGroup;
+use xmtc::Options;
+use xmtsim::{IssueModel, XmtConfig};
+use xmt_workloads::micro::{build, MicroGroup, MicroParams};
+
+fn config(model: IssueModel) -> XmtConfig {
+    let mut cfg = XmtConfig::chip1024();
+    cfg.issue_model = model;
+    cfg
+}
+
+/// Median of `<name>` in the written bench JSON.
+fn median_of(benches: &[Json], name: &str) -> Option<u64> {
+    benches.iter().find_map(|b| {
+        let obj = b.as_obj().ok()?;
+        let matches = obj
+            .iter()
+            .any(|(k, v)| k == "name" && matches!(v, Json::Str(s) if s == name));
+        if !matches {
+            return None;
+        }
+        obj.iter().find_map(|(k, v)| match v {
+            Json::U(u) if k == "median_ns" => Some(*u),
+            Json::I(i) if k == "median_ns" && *i >= 0 => Some(*i as u64),
+            _ => None,
+        })
+    })
+}
+
+fn main() {
+    let params = MicroParams { threads: 1024, iters: 8, data_words: 1 << 14 };
+    let groups = [
+        (MicroGroup::ParallelCompute, "parallel_compute"),
+        (MicroGroup::ParallelMemory, "parallel_memory"),
+    ];
+
+    let mut group = BenchGroup::new("issue");
+    group.sample_size(10);
+    let mut report = Vec::new();
+    for (micro, gname) in groups {
+        let compiled = build(micro, &params, &Options::default()).unwrap();
+
+        // One run per model up front: simulated results must agree, and
+        // the summaries give the event books for the per-instruction
+        // report (plus the burst-length profile for the compute case).
+        let mut probe = Vec::new();
+        for model in [IssueModel::Burst, IssueModel::PerInstr] {
+            let mut sim = compiled.simulator(&config(model));
+            sim.enable_host_profiling();
+            let s = sim.run().unwrap();
+            let hp = sim.host_profile().unwrap().clone();
+            probe.push((s, hp));
+        }
+        let (sb, hb) = probe[0].clone();
+        let (sp, _) = probe[1].clone();
+        assert_eq!(
+            (sb.cycles, sb.time_ps, sb.instructions),
+            (sp.cycles, sp.time_ps, sp.instructions),
+            "{gname}: issue models diverged on simulated results"
+        );
+        assert_eq!(
+            sb.events + (hb.burst_instrs - hb.bursts),
+            sp.events,
+            "{gname}: event books out of balance"
+        );
+
+        group.throughput_elements(sb.instructions);
+        for (model, label) in [(IssueModel::Burst, "burst"), (IssueModel::PerInstr, "perinstr")] {
+            let cfg = config(model);
+            group.bench(&format!("{gname}/{label}"), || {
+                let mut sim = compiled.simulator(&cfg);
+                sim.run().unwrap()
+            });
+        }
+        report.push((gname, sb, sp, hb));
+    }
+    let path = group.finish();
+
+    // Report: host speedup and step-event traffic per 1k instructions.
+    let text = std::fs::read_to_string(&path).expect("bench json readable");
+    let parsed = Json::parse(&text).expect("bench json parses");
+    let obj = parsed.as_obj().expect("bench json is an object");
+    let benches = obj
+        .iter()
+        .find(|(k, _)| k == "benches")
+        .and_then(|(_, v)| v.as_arr().ok())
+        .expect("benches array");
+    for (gname, sb, sp, hb) in report {
+        let per_1k = |events: u64| events as f64 * 1000.0 / sb.instructions.max(1) as f64;
+        if let (Some(b), Some(p)) = (
+            median_of(benches, &format!("{gname}/burst")),
+            median_of(benches, &format!("{gname}/perinstr")),
+        ) {
+            eprintln!(
+                "bench issue: chip1024 {gname}: burst {:.2}x vs per-instr \
+                 ({} vs {} ms median)",
+                p as f64 / b.max(1) as f64,
+                b / 1_000_000,
+                p / 1_000_000,
+            );
+        }
+        eprintln!(
+            "bench issue: {gname}: events/1k-instr per-instr {:.0} vs burst {:.0} \
+             ({:.0} elided; {} bursts, mean len {:.1})",
+            per_1k(sp.events),
+            per_1k(sb.events),
+            per_1k(sp.events - sb.events),
+            hb.bursts,
+            hb.mean_burst_len(),
+        );
+    }
+}

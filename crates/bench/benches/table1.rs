@@ -2,14 +2,21 @@
 //! as host time per full simulated run at a fixed small scale
 //! (throughput = instructions / time). Runs on the in-tree `xmt-harness`
 //! bench runner and writes `BENCH_table1.json`.
+//!
+//! Table I characterizes the *reference* cost profile — one event per
+//! switch hop and one per issued instruction — so both optimization
+//! knobs are pinned to their oracle models here (`BENCH_icn.json` and
+//! `BENCH_issue.json` measure what express legs / compute bursts buy).
 
 use xmt_harness::BenchGroup;
 use xmtc::Options;
-use xmtsim::XmtConfig;
+use xmtsim::{IcnModel, IssueModel, XmtConfig};
 use xmt_workloads::micro::{build, MicroGroup, MicroParams};
 
 fn main() {
-    let cfg = XmtConfig::chip1024();
+    let mut cfg = XmtConfig::chip1024();
+    cfg.icn_model = IcnModel::PerHop;
+    cfg.issue_model = IssueModel::PerInstr;
     let params = MicroParams { threads: 1024, iters: 8, data_words: 1 << 14 };
     let mut group = BenchGroup::new("table1");
     group.sample_size(10);

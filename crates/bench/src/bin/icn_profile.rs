@@ -8,10 +8,16 @@
 //! the fraction of host time in the memory-system model, the per-class
 //! event counts and the event list's own self-time — so the express
 //! path's event savings and scheduler relief are visible side by side.
+//!
+//! A second table profiles the *issue* models the same way: for each
+//! workload under per-instruction stepping vs compute-burst issue, the
+//! share of events that are instruction-issue steps, the burst count and
+//! mean length, the straight-line-run length distribution, and which
+//! boundary broke each burst.
 
 use xmt_bench::render_table;
 use xmtc::Options;
-use xmtsim::{IcnModel, XmtConfig};
+use xmtsim::{IcnModel, IssueModel, XmtConfig};
 use xmt_workloads::micro::{build, MicroGroup, MicroParams};
 use xmt_workloads::suite::{self, Variant};
 
@@ -46,18 +52,19 @@ fn main() {
         }
     };
 
-    profile(
-        "micro: parallel memory-intensive",
-        &build(MicroGroup::ParallelMemory, &params, &opts).unwrap(),
-    );
-    profile(
-        "micro: parallel compute-intensive",
-        &build(MicroGroup::ParallelCompute, &params, &opts).unwrap(),
-    );
+    let mem = build(MicroGroup::ParallelMemory, &params, &opts).unwrap();
+    let cmp = build(MicroGroup::ParallelCompute, &params, &opts).unwrap();
     let bfs = suite::bfs(2000, 8000, 42, Variant::Parallel, &opts).unwrap();
-    profile("bfs (real-life XMTC program)", &bfs.compiled);
     let fft = suite::fft(1024, 7, Variant::Parallel, &opts).unwrap();
-    profile("fft (real-life XMTC program)", &fft.compiled);
+    let workloads: [(&str, &xmt_core::Compiled); 4] = [
+        ("micro: parallel memory-intensive", &mem),
+        ("micro: parallel compute-intensive", &cmp),
+        ("bfs (real-life XMTC program)", &bfs.compiled),
+        ("fft (real-life XMTC program)", &fft.compiled),
+    ];
+    for (name, compiled) in workloads {
+        profile(name, compiled);
+    }
 
     println!("E2: share of simulator host time spent in the ICN/memory-system model\n");
     println!(
@@ -79,4 +86,71 @@ fn main() {
     println!("paper: up to 60% of simulation time in the interconnection network model");
     println!("(the per-hop rows reproduce the paper's cost profile; the express rows");
     println!(" show the same runs with hop events flattened into closed-form legs)");
+
+    // Second table: the *issue*-model profile — how much of the event
+    // traffic is instruction stepping, and what the compute-burst path
+    // does to it (burst count, mean straight-line-run length, the
+    // floor-log2 length distribution, and the boundary that broke each
+    // burst: a non-local instruction, a pending sample tick, a
+    // cycle/instruction/checkpoint boundary, or the hard cap).
+    let mut issue_rows = Vec::new();
+    for (name, compiled) in workloads {
+        for (model, label) in
+            [(IssueModel::PerInstr, "per-instr"), (IssueModel::Burst, "burst")]
+        {
+            let mut cfg = XmtConfig::chip1024();
+            cfg.issue_model = model;
+            let mut sim = compiled.simulator(&cfg);
+            sim.enable_host_profiling();
+            let s = sim.run().expect("runs");
+            let hp = sim.host_profile().unwrap().clone();
+            let total_events = s.events.max(1);
+            issue_rows.push(vec![
+                name.to_string(),
+                label.to_string(),
+                format!("{:.1}%", 100.0 * hp.compute_events as f64 / total_events as f64),
+                format!("{}", hp.bursts),
+                if hp.bursts == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}", hp.mean_burst_len())
+                },
+                if hp.bursts == 0 {
+                    "-".to_string()
+                } else {
+                    hp.burst_len_hist.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("/")
+                },
+                if hp.bursts == 0 {
+                    "-".to_string()
+                } else {
+                    format!(
+                        "{}/{}/{}/{}",
+                        hp.burst_break_nonlocal,
+                        hp.burst_break_sample,
+                        hp.burst_break_boundary,
+                        hp.burst_break_cap
+                    )
+                },
+            ]);
+        }
+    }
+    println!("\nissue models: instruction-step event share and burst profile\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "workload",
+                "issue model",
+                "issue-event share",
+                "bursts",
+                "mean len",
+                "len hist 1/2-3/../128+",
+                "breaks nonlocal/sample/boundary/cap",
+            ],
+            &issue_rows
+        )
+    );
+    println!("(burst rows issue one scheduler event per straight-line run; the break");
+    println!(" columns say which boundary ended each run — identical simulated results");
+    println!(" are enforced by the issue_burst_diff differential suite)");
 }

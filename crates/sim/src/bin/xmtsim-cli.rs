@@ -6,18 +6,19 @@
 //!
 //! ```text
 //! xmtsim-cli PROGRAM.xs [--memmap FILE.xbo] [--config fpga64|chip1024|tiny]
-//!            [--icn express|perhop] [--functional] [--stats]
-//!            [--dump GLOBAL:COUNT] [--cycles-limit N]
+//!            [--icn express|perhop] [--issue burst|perinstr] [--functional]
+//!            [--stats] [--dump GLOBAL:COUNT] [--cycles-limit N]
 //! ```
 
 use std::process::ExitCode;
-use xmtsim::{CycleSim, FunctionalSim, IcnModel, XmtConfig};
+use xmtsim::{CycleSim, FunctionalSim, IcnModel, IssueModel, XmtConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: xmtsim-cli PROGRAM.xs [--memmap FILE.xbo] \
          [--config fpga64|chip1024|tiny] [--icn express|perhop] \
-         [--functional] [--stats] [--dump GLOBAL:COUNT] [--cycles-limit N]"
+         [--issue burst|perinstr] [--functional] [--stats] \
+         [--dump GLOBAL:COUNT] [--cycles-limit N]"
     );
     std::process::exit(2)
 }
@@ -31,6 +32,7 @@ fn main() -> ExitCode {
     let mut dumps: Vec<(String, usize)> = Vec::new();
     let mut limit: Option<u64> = None;
     let mut icn_model: Option<IcnModel> = None;
+    let mut issue_model: Option<IssueModel> = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -50,6 +52,13 @@ fn main() -> ExitCode {
                 icn_model = Some(match it.next().as_deref() {
                     Some("express") => IcnModel::Express,
                     Some("perhop") => IcnModel::PerHop,
+                    _ => usage(),
+                })
+            }
+            "--issue" => {
+                issue_model = Some(match it.next().as_deref() {
+                    Some("burst") => IssueModel::Burst,
+                    Some("perinstr") => IssueModel::PerInstr,
                     _ => usage(),
                 })
             }
@@ -75,6 +84,9 @@ fn main() -> ExitCode {
     }
     if let Some(m) = icn_model {
         config.icn_model = m;
+    }
+    if let Some(m) = issue_model {
+        config.issue_model = m;
     }
 
     let asm_text = match std::fs::read_to_string(&file) {

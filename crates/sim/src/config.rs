@@ -59,6 +59,27 @@ pub enum IcnModel {
 
 json_enum!(IcnModel { Express, PerHop });
 
+/// How the cycle model turns issued instructions into scheduler events.
+///
+/// Straight-line runs of pure local ops (ALU/shift/immediate/branch) have
+/// closed-form aggregate latency: nothing they do is observable by any
+/// other component until the run ends at a memory op, a shared-FU op, a
+/// prefix-sum, spawn control, or a timing boundary (sample tick, cycle
+/// limit, checkpoint target). `Burst` executes such a run functionally in
+/// one go and schedules a single step event at the aggregate completion
+/// time; `PerInstr` walks one event per instruction — the original,
+/// mechanically-obvious model, kept as the differential oracle (like
+/// `IcnModel::PerHop` for the express network path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueModel {
+    /// Batch straight-line compute runs into single step events.
+    Burst,
+    /// One scheduler event per issued instruction (the reference model).
+    PerInstr,
+}
+
+json_enum!(IssueModel { Burst, PerInstr });
+
 /// The four independent clock domains whose frequencies an activity
 /// plug-in may retune at runtime (paper §III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,6 +159,8 @@ pub struct XmtConfig {
     pub icn_timing: IcnTiming,
     /// Package-movement model (closed-form express vs per-hop walk).
     pub icn_model: IcnModel,
+    /// Instruction-issue model (compute-burst batching vs per-instruction).
+    pub issue_model: IssueModel,
 
     // ---- per-cluster shared units ----
     /// Multiply latency on the cluster MDU (cluster cycles, pipelined).
@@ -187,6 +210,7 @@ json_struct!(XmtConfig {
     clusters, tcus_per_cluster, cache_modules, dram_channels, period_ps,
     cache_module_kb, cache_assoc, line_bytes, cache_hit_latency,
     dram_latency, dram_service, icn_latency, icn_timing, icn_model,
+    issue_model,
     mul_latency, div_latency, fpu_add_latency, fpu_mul_latency,
     fpu_div_latency, fpu_misc_latency, prefetch_entries, prefetch_policy,
     ro_cache_kb, ro_hit_latency, master_cache_kb, master_cache_assoc,
@@ -269,6 +293,7 @@ impl XmtConfig {
             icn_latency: 0, // derived: 2·log2(8)+2 = 8
             icn_timing: IcnTiming::Synchronous,
             icn_model: IcnModel::Express,
+            issue_model: IssueModel::Burst,
             mul_latency: 3,
             div_latency: 16,
             fpu_add_latency: 4,
@@ -306,6 +331,7 @@ impl XmtConfig {
             icn_latency: 0, // derived: 2·log2(64)+2 = 14
             icn_timing: IcnTiming::Synchronous,
             icn_model: IcnModel::Express,
+            issue_model: IssueModel::Burst,
             mul_latency: 3,
             div_latency: 16,
             fpu_add_latency: 4,

@@ -31,7 +31,7 @@
 pub mod cachesim;
 pub mod prefetch;
 
-use crate::config::{ClockDomain, IcnModel, IcnTiming, XmtConfig};
+use crate::config::{ClockDomain, IcnModel, IcnTiming, IssueModel, XmtConfig};
 use crate::engine::{Priority, Scheduler, Time, PRI_DEFAULT, PRI_NEGOTIATE, PRI_SAMPLE, PRI_TRANSFER};
 use crate::exec::{self, CostClass, Issued, MemKind, MemRequest, Mode};
 use crate::machine::{Machine, ThreadCtx, Trap};
@@ -114,6 +114,28 @@ pub struct HostProfile {
     /// Per-stage `Hop` events the express path did *not* schedule (the
     /// event-savings the closed-form leg buys over the per-hop walk).
     pub hops_elided: u64,
+    /// Compute bursts issued under [`IssueModel::Burst`] — one per
+    /// `MasterStep`/`TcuStep` event that resolved to a pure local
+    /// instruction (a burst of length 1 is a step that could not extend).
+    pub bursts: u64,
+    /// Instructions folded into those bursts (every burst instruction,
+    /// including the first). `burst_instrs - bursts` is the number of
+    /// step events the burst path elided versus per-instruction issue.
+    pub burst_instrs: u64,
+    /// Bursts that stopped at a non-local instruction (memory op, shared
+    /// FU, `ps`/`chkid`/control, end of program).
+    pub burst_break_nonlocal: u64,
+    /// Bursts clipped at the next pending `Ev::Sample` time (which is
+    /// also every DVFS `apply_periods` epoch).
+    pub burst_break_sample: u64,
+    /// Bursts clipped at an observable run boundary: the cycle limit, the
+    /// instruction limit, or a pending checkpoint target.
+    pub burst_break_boundary: u64,
+    /// Bursts that hit the length cap (`BURST_CAP`).
+    pub burst_break_cap: u64,
+    /// Burst length histogram, floor-log2 buckets: 1, 2–3, 4–7, 8–15,
+    /// 16–31, 32–63, 64–127, 128+.
+    pub burst_len_hist: [u64; 8],
 }
 
 impl HostProfile {
@@ -133,7 +155,51 @@ impl HostProfile {
     pub fn total_events(&self) -> u64 {
         self.compute_events + self.memory_events + self.other_events
     }
+
+    /// Mean burst length (instructions per compute step event).
+    pub fn mean_burst_len(&self) -> f64 {
+        if self.bursts == 0 {
+            0.0
+        } else {
+            self.burst_instrs as f64 / self.bursts as f64
+        }
+    }
+
+    fn record_burst(&mut self, len: u64, reason: BurstBreak) {
+        self.bursts += 1;
+        self.burst_instrs += len;
+        match reason {
+            BurstBreak::NonLocal => self.burst_break_nonlocal += 1,
+            BurstBreak::Sample => self.burst_break_sample += 1,
+            BurstBreak::Boundary => self.burst_break_boundary += 1,
+            BurstBreak::Cap => self.burst_break_cap += 1,
+        }
+        let bucket = (63 - len.max(1).leading_zeros() as u64).min(7) as usize;
+        self.burst_len_hist[bucket] += 1;
+    }
 }
+
+/// Why a compute burst stopped extending (host-profile bookkeeping only —
+/// every break reason is equivalence-preserving by construction).
+#[derive(Debug, Clone, Copy)]
+enum BurstBreak {
+    /// The next instruction is not a pure local op (or the pc left the
+    /// program, surfacing the fetch trap on the per-instruction path).
+    NonLocal,
+    /// Extending would cross the next pending `Ev::Sample` time.
+    Sample,
+    /// Extending would cross the cycle limit, the instruction limit, or a
+    /// pending checkpoint target.
+    Boundary,
+    /// The burst reached `BURST_CAP` instructions.
+    Cap,
+}
+
+/// Upper bound on instructions folded into one burst: keeps a single
+/// `handle()` call bounded so infinite pure-local loops still make the
+/// run loop (and its cycle-limit check) turn over. Breaking here is
+/// always safe — the scheduled step event simply starts the next burst.
+const BURST_CAP: u64 = 4096;
 
 /// Per-TCU simulation state.
 #[derive(Debug, Clone, PartialEq)]
@@ -270,6 +336,14 @@ json_struct!(SavedWaiter { tcu, addr, waiters });
 /// package-tracking side tables. Empty (`is_quiescent()`) for checkpoints
 /// taken at quiescent master-step boundaries, which restore through the
 /// original re-seeding path.
+///
+/// In-progress compute bursts ([`IssueModel::Burst`]) are carried for
+/// free: a burst is atomic within one event handler, so by any event-group
+/// boundary its register/pc effects are already in the context snapshots
+/// and the burst *is* exactly one pending aggregate step event in
+/// `events`. Restoring replays that event, and the restore path rescans
+/// `events` for a pending `Ev::Sample` to re-arm the burst clip boundary
+/// (`next_sample_at`).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct InflightState {
     events: Vec<SavedEvent>,
@@ -368,12 +442,17 @@ pub struct CycleSim {
     activities: Vec<Box<dyn ActivityPlugin>>,
     sample_interval: Option<Time>,
     last_sample: Stats,
+    /// Absolute time of the next pending `Ev::Sample`, if any — the
+    /// boundary no compute burst may cross (sampling observes the stats
+    /// counters and is where DVFS `apply_periods` epochs begin).
+    next_sample_at: Option<Time>,
 
     /// Optional execution tracer.
     pub tracer: Option<Tracer>,
 
     host_profile: Option<HostProfile>,
     max_cycles: Option<u64>,
+    max_instrs: Option<u64>,
     checkpoint_at: Option<u64>,
     /// Mid-flight checkpoint target (cluster cycle): stop at the next
     /// event-group boundary at or after it, packages in flight and all.
@@ -436,9 +515,11 @@ impl CycleSim {
             activities: Vec::new(),
             sample_interval: None,
             last_sample: Stats::for_topology(cfg.clusters, cfg.cache_modules),
+            next_sample_at: None,
             tracer: None,
             host_profile: None,
             max_cycles: None,
+            max_instrs: None,
             checkpoint_at: None,
             checkpoint_any_at: None,
             stop_requested: false,
@@ -506,6 +587,15 @@ impl CycleSim {
         self.max_cycles = Some(cycles);
     }
 
+    /// Stop the run (cleanly, with a summary) once this many instructions
+    /// have issued. The check sits at the top of every step handler, so
+    /// the run stops with *exactly* `limit` instructions counted — under
+    /// both issue models: a compute burst breaks before the instruction
+    /// that would exceed the limit.
+    pub fn set_instr_limit(&mut self, limit: u64) {
+        self.max_instrs = Some(limit);
+    }
+
     /// Measure the simulator's own host time per component class.
     pub fn enable_host_profiling(&mut self) {
         self.host_profile = Some(HostProfile::default());
@@ -516,9 +606,35 @@ impl CycleSim {
         self.host_profile.as_ref()
     }
 
-    /// Attach an execution tracer.
+    /// Attach an execution tracer. Tracing degrades [`IssueModel::Burst`]
+    /// to per-instruction stepping (see [`Self::burst_issue`]), so the
+    /// recorded `Issue` stream is identical under either model.
     pub fn attach_tracer(&mut self, t: Tracer) {
         self.tracer = Some(t);
+    }
+
+    /// Whether step events extend into compute bursts: the configured
+    /// issue model, auto-degraded to per-instruction stepping while a
+    /// tracer is attached — the tracer wants one `Issue` record per
+    /// instruction, stamped at its per-instruction issue time.
+    #[inline]
+    fn burst_issue(&self) -> bool {
+        self.cfg.issue_model == IssueModel::Burst && self.tracer.is_none()
+    }
+
+    /// Top-of-step-handler instruction-limit check: when the limit is
+    /// reached the step goes back on the list untaken and the run stops
+    /// cleanly — with exactly `limit` instructions counted, under both
+    /// issue models.
+    fn instr_limit_reached(&mut self, now: Time, step: Ev) -> bool {
+        match self.max_instrs {
+            Some(limit) if self.stats.instructions >= limit => {
+                self.stop_requested = true;
+                self.sched.schedule_at(now, PRI_DEFAULT, step);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Elapsed cluster cycles at simulated time `now` (DVFS-aware).
@@ -721,6 +837,7 @@ impl CycleSim {
         self.sched.schedule_at(0, PRI_DEFAULT, Ev::MasterStep);
         if let Some(iv) = self.sample_interval {
             self.sched.schedule_at(iv, PRI_SAMPLE, Ev::Sample);
+            self.next_sample_at = Some(iv);
         }
     }
 
@@ -789,6 +906,18 @@ impl CycleSim {
                 && self.cfg.icn_model == IcnModel::Express
             {
                 order_express_batch(&self.express_legs, &mut batch);
+            }
+            // Same-`(time, PRI_DEFAULT)` batches run in canonical order
+            // (see `order_default_batch`): the scheduler's FIFO tie-break
+            // reflects *insertion* order, which the burst issue model
+            // changes (a burst schedules its step event early, at burst
+            // start) without changing any event's time. Sorting both
+            // issue models by the same total key makes the batch order a
+            // function of the event set alone, so burst and per-instr
+            // issue stay bit-identical through every FIFO-visible path
+            // (`ps` interleavings, VC arbitration, psm service order).
+            if pri == PRI_DEFAULT && batch.len() > 1 {
+                order_default_batch(&mut batch);
             }
             let mut i = 0;
             while i < batch.len() {
@@ -903,6 +1032,9 @@ impl CycleSim {
     // ---------------------------------------------------------------
 
     fn master_step(&mut self, now: Time) -> Result<(), SimError> {
+        if self.instr_limit_reached(now, Ev::MasterStep) {
+            return Ok(());
+        }
         let pc = self.master.pc;
         let issued = exec::issue(&self.exe, &mut self.master, &mut self.machine, Mode::Master)?;
         if let Some(tr) = &mut self.tracer {
@@ -918,7 +1050,10 @@ impl CycleSim {
                 for f in &mut self.filters {
                     f.on_instr(pc, fu);
                 }
-                let done = now + self.master_cost(cost);
+                let mut done = now + self.master_cost(cost);
+                if self.burst_issue() {
+                    done = self.master_burst(done);
+                }
                 self.sched.schedule_at(done, PRI_DEFAULT, Ev::MasterStep);
             }
             Issued::Mem(req) => {
@@ -971,6 +1106,58 @@ impl CycleSim {
             Issued::ChkidBlocked => unreachable!("chkid traps in master mode"),
         }
         Ok(())
+    }
+
+    /// Extend a just-issued master instruction into a compute burst
+    /// ([`IssueModel::Burst`]): keep executing pure local instructions
+    /// through `exec::issue`, accumulating latency, and return the
+    /// aggregate completion time for the single rescheduled step event.
+    /// A continuation instruction would issue at `done` in the
+    /// per-instruction model, so it is executed eagerly only while
+    /// nothing else can observe that instant — see the break conditions.
+    fn master_burst(&mut self, first_done: Time) -> Time {
+        let mut done = first_done;
+        let mut len = 1u64;
+        let reason = loop {
+            if len >= BURST_CAP {
+                break BurstBreak::Cap;
+            }
+            // Step events pop before a same-time sampling tick
+            // (PRI_DEFAULT < PRI_SAMPLE), so `done == sample time` is
+            // still inside the burst; only crossing it breaks.
+            if self.next_sample_at.is_some_and(|s| done > s) {
+                break BurstBreak::Sample;
+            }
+            if self.max_cycles.is_some_and(|l| self.cycles_at(done) > l)
+                || self.max_instrs.is_some_and(|l| self.stats.instructions >= l)
+                || self.checkpoint_any_at.is_some_and(|c| self.cycles_at(done) >= c)
+                || (self.par.is_none()
+                    && self.pending_total == 0
+                    && self.checkpoint_at.is_some_and(|c| self.cycles_at(done) >= c))
+            {
+                break BurstBreak::Boundary;
+            }
+            if !exec::peek_burstable(&self.exe, self.master.pc) {
+                break BurstBreak::NonLocal;
+            }
+            let pc = self.master.pc;
+            let issued = exec::issue(&self.exe, &mut self.master, &mut self.machine, Mode::Master)
+                .expect("peeked instructions cannot trap");
+            let Issued::Done(cost) = issued else {
+                unreachable!("peeked instructions resolve to Done")
+            };
+            let fu = fu_of_cost(cost);
+            self.stats.count_instr(fu, None);
+            for f in &mut self.filters {
+                f.on_instr(pc, fu);
+            }
+            done += self.master_cost(cost);
+            len += 1;
+        };
+        if let Some(hp) = self.host_profile.as_mut() {
+            hp.record_burst(len, reason);
+        }
+        done
     }
 
     /// Latency of an immediately-executed instruction on the master,
@@ -1069,6 +1256,9 @@ impl CycleSim {
     // ---------------------------------------------------------------
 
     fn tcu_step(&mut self, now: Time, t: u32) -> Result<(), SimError> {
+        if self.instr_limit_reached(now, Ev::TcuStep(t)) {
+            return Ok(());
+        }
         let hi = self.par.as_ref().expect("TCU stepped outside a parallel section").hi;
         let cluster = self.cfg.cluster_of(t);
         let pc = self.tcus[t as usize].ctx.pc;
@@ -1091,7 +1281,10 @@ impl CycleSim {
                 for f in &mut self.filters {
                     f.on_instr(pc, fu);
                 }
-                let done = self.tcu_cost(now, cluster, cost);
+                let mut done = self.tcu_cost(now, cluster, cost);
+                if self.burst_issue() {
+                    done = self.tcu_burst(done, t, cluster, hi);
+                }
                 self.sched.schedule_at(done, PRI_DEFAULT, Ev::TcuStep(t));
             }
             Issued::Mem(req) => {
@@ -1125,6 +1318,60 @@ impl CycleSim {
             }
         }
         Ok(())
+    }
+
+    /// Extend a just-issued TCU instruction into a compute burst — the
+    /// TCU twin of [`Self::master_burst`]. Sound in open parallel
+    /// sections: burstable instructions touch only this TCU's private
+    /// context, so concurrent events of other TCUs and the memory system
+    /// cannot observe the eager execution (the canonical
+    /// `order_default_batch` ordering covers the one exception, scheduler
+    /// FIFO rank), and the section cannot close mid-burst because this
+    /// TCU neither parks nor joins inside it.
+    fn tcu_burst(&mut self, first_done: Time, t: u32, cluster: u32, hi: i32) -> Time {
+        let mut done = first_done;
+        let mut len = 1u64;
+        let reason = loop {
+            if len >= BURST_CAP {
+                break BurstBreak::Cap;
+            }
+            if self.next_sample_at.is_some_and(|s| done > s) {
+                break BurstBreak::Sample;
+            }
+            if self.max_cycles.is_some_and(|l| self.cycles_at(done) > l)
+                || self.max_instrs.is_some_and(|l| self.stats.instructions >= l)
+                || self.checkpoint_any_at.is_some_and(|c| self.cycles_at(done) >= c)
+            {
+                break BurstBreak::Boundary;
+            }
+            if !exec::peek_burstable(&self.exe, self.tcus[t as usize].ctx.pc) {
+                break BurstBreak::NonLocal;
+            }
+            let pc = self.tcus[t as usize].ctx.pc;
+            let issued = exec::issue(
+                &self.exe,
+                &mut self.tcus[t as usize].ctx,
+                &mut self.machine,
+                Mode::Parallel { hi },
+            )
+            .expect("peeked instructions cannot trap");
+            let Issued::Done(cost) = issued else {
+                unreachable!("peeked instructions resolve to Done")
+            };
+            let fu = fu_of_cost(cost);
+            self.stats.count_instr(fu, Some(cluster));
+            for f in &mut self.filters {
+                f.on_instr(pc, fu);
+            }
+            // Burstable cost classes never touch the shared-FU
+            // timelines, so `tcu_cost` is a pure latency here.
+            done = self.tcu_cost(done, cluster, cost);
+            len += 1;
+        };
+        if let Some(hp) = self.host_profile.as_mut() {
+            hp.record_burst(len, reason);
+        }
+        done
     }
 
     /// Latency of an immediately-executed TCU instruction, arbitrating
@@ -1454,9 +1701,11 @@ impl CycleSim {
         if ctl.stop {
             self.stop_requested = true;
         }
+        self.next_sample_at = None;
         if let Some(iv) = self.sample_interval {
             if !self.machine.halted && !self.stop_requested {
                 self.sched.schedule_at(now + iv, PRI_SAMPLE, Ev::Sample);
+                self.next_sample_at = Some(now + iv);
             }
         }
     }
@@ -1485,8 +1734,10 @@ impl CycleSim {
         self.express_legs.clear();
         self.legs_free.clear();
         self.sched.schedule_at(t, PRI_DEFAULT, Ev::MasterStep);
+        self.next_sample_at = None;
         if let Some(iv) = self.sample_interval {
             self.sched.schedule_at(t + iv, PRI_SAMPLE, Ev::Sample);
+            self.next_sample_at = Some(t + iv);
         }
     }
 
@@ -1595,11 +1846,13 @@ impl CycleSim {
         // `reset()`, not `clear()`: restoring may rewind to a time earlier
         // than this scheduler has reached, which `clear()` still rejects.
         self.sched.reset();
+        self.next_sample_at = None;
         if inflight.is_quiescent() {
             // Resume from a quiescent master-step boundary.
             self.sched.schedule_at(now.max(1), PRI_DEFAULT, Ev::MasterStep);
             if let Some(iv) = self.sample_interval {
                 self.sched.schedule_at(now.max(1) + iv, PRI_SAMPLE, Ev::Sample);
+                self.next_sample_at = Some(now.max(1) + iv);
             }
         } else {
             // Mid-flight restore: replay the captured pending events in
@@ -1630,6 +1883,15 @@ impl CycleSim {
                 .max()
                 .unwrap_or(0);
             for se in inflight.events {
+                // The burst clip boundary must survive a mid-flight
+                // restore: the replayed event list carries at most one
+                // pending sampling tick.
+                if matches!(se.ev, Ev::Sample) {
+                    self.next_sample_at = Some(match self.next_sample_at {
+                        Some(cur) => cur.min(se.time),
+                        None => se.time,
+                    });
+                }
                 self.sched.schedule_at(se.time, se.pri, se.ev);
             }
         }
@@ -1677,6 +1939,27 @@ fn order_express_batch(legs: &[LegSlot], batch: &mut [Ev]) {
         (None, Some(_)) => Ordering::Greater,
         (None, None) => Ordering::Equal,
     });
+}
+
+/// Canonical total order for a same-`(time, PRI_DEFAULT)` batch: master
+/// step, then TCU steps by TCU id, then memory completions by
+/// `(tcu, issued_at, addr, pc)`. `(tcu, issued_at)` already identifies a
+/// pending completion uniquely (a TCU issues at most one instruction per
+/// timestamp), so the key is total over every batch either issue model
+/// can produce; the sort is stable, leaving genuinely identical events in
+/// arrival order. `PRI_TRANSFER`/`PRI_NEGOTIATE` groups are untouched —
+/// their order is insertion-deterministic in both issue models (bursts
+/// only move *step*-event insertion).
+fn order_default_batch(batch: &mut [Ev]) {
+    fn key(ev: &Ev) -> (u8, u32, Time, u32, u32) {
+        match ev {
+            Ev::MasterStep => (0, 0, 0, 0, 0),
+            Ev::TcuStep(t) => (1, *t, 0, 0, 0),
+            Ev::Complete { tcu, req, issued_at, .. } => (2, *tcu, *issued_at, req.addr, req.pc),
+            _ => (3, 0, 0, 0, 0),
+        }
+    }
+    batch.sort_by(|a, b| key(a).cmp(&key(b)));
 }
 
 fn fu_of_cost(cost: CostClass) -> xmt_isa::FuKind {

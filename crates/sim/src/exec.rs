@@ -584,6 +584,36 @@ pub fn issue(exe: &Executable, ctx: &mut ThreadCtx, m: &mut Machine, mode: Mode)
     Ok(issued)
 }
 
+/// True when the instruction at `pc` is a *pure local* operation: one
+/// [`issue`] is guaranteed to resolve to [`Issued::Done`] with an
+/// unarbitrated cost class, that cannot trap in any mode, and that touches
+/// only the issuing context's private state (registers and pc). These are
+/// the instructions the cycle model's compute-burst issue path
+/// ([`crate::config::IssueModel::Burst`]) may fold into one aggregate step
+/// event without any other component being able to observe the
+/// difference. Everything else breaks a burst: memory operations can trap
+/// on alignment and travel shared resources, `mul`/`div`/fp classes
+/// arbitrate the cluster-shared MDU/FPU, `ps`/`grput` touch the global
+/// register file, `print*` appends to the shared output stream, and
+/// `chkid`/`spawn`/`join`/`fence`/`halt` are control boundaries. A `pc`
+/// outside the program also returns false, so the fetch trap surfaces
+/// through the per-instruction path at its exact per-instruction time.
+pub fn peek_burstable(exe: &Executable, pc: u32) -> bool {
+    use Instr::*;
+    matches!(
+        exe.instr(pc),
+        Some(
+            Add { .. } | Sub { .. } | And { .. } | Or { .. } | Xor { .. } | Nor { .. }
+                | Slt { .. } | Sltu { .. } | Addi { .. } | Andi { .. } | Ori { .. }
+                | Xori { .. } | Slti { .. } | Sltiu { .. } | Li { .. } | Lui { .. }
+                | Move { .. } | Sll { .. } | Srl { .. } | Sra { .. } | Sllv { .. }
+                | Srlv { .. } | Srav { .. } | Beq { .. } | Bne { .. } | Blez { .. }
+                | Bgtz { .. } | Bltz { .. } | Bgez { .. } | J { .. } | Jal { .. }
+                | Jr { .. } | Jalr { .. } | Nop
+        )
+    )
+}
+
 #[inline]
 fn ea(base: u32, off: i32) -> u32 {
     base.wrapping_add(off as u32)

@@ -36,7 +36,7 @@ pub mod power;
 pub mod stats;
 pub mod trace;
 
-pub use config::{IcnModel, XmtConfig};
+pub use config::{IcnModel, IssueModel, XmtConfig};
 pub use cycle::CycleSim;
 pub use exec::{CostClass, Issued, MemKind, MemRequest, Mode};
 pub use functional::FunctionalSim;

@@ -1,0 +1,347 @@
+//! Differential property suite for the two instruction-issue models.
+//!
+//! The compute-burst path (`IssueModel::Burst` — one scheduler event per
+//! straight-line run of pure local instructions) must be bit-identical to
+//! the per-instruction *oracle* (`IssueModel::PerInstr` — one event per
+//! issued instruction) on every architecturally observable quantity:
+//! simulated cycles, simulated time, instruction count, the full
+//! statistics record, program output and the final machine state. The
+//! only permitted difference is the host-side event count in
+//! [`xmtsim::cycle::RunSummary`]'s `events` — eliding step events is the
+//! whole point.
+//!
+//! Cases sweep random programs biased toward what stresses bursts:
+//! straight-line ALU runs, tight branchy loops, spawn-heavy sections with
+//! many short virtual threads, `ps`/`psm` interleavings and prints (whose
+//! cross-TCU ordering rides on scheduler tie-breaks), plus random small
+//! topologies, both ICN models, activity-plug-in sampling with intervals
+//! short enough to land mid-run, mid-run DVFS retuning, and mid-flight
+//! checkpoint / JSON round-trip / resume at a random cycle.
+
+use xmt_harness::prop::{run, Config, Gen};
+use xmt_harness::ToJson;
+use xmt_isa::{AsmProgram, Executable, GlobalReg, Instr, MemoryMap, Reg, Target};
+use xmtsim::checkpoint::{Checkpoint, CheckpointOutcome};
+use xmtsim::config::{ClockDomain, IcnTiming, IssueModel, PrefetchPolicy};
+use xmtsim::stats::{ActivityPlugin, ActivitySample, RuntimeCtl};
+use xmtsim::{CycleSim, IcnModel, XmtConfig};
+
+/// A deterministic mid-run clock retune: at activity sample `at_sample`,
+/// scale `dom`'s frequency by `factor_pct`%. Constructed identically for
+/// both simulators so the DVFS schedule is shared.
+#[derive(Debug, Clone, Copy)]
+struct DvfsSpec {
+    at_sample: u64,
+    dom: ClockDomain,
+    factor_pct: u32,
+    interval_cycles: u64,
+}
+
+struct Retune {
+    spec: DvfsSpec,
+    seen: u64,
+    fired: bool,
+}
+
+impl ActivityPlugin for Retune {
+    fn sample(&mut self, _s: &ActivitySample<'_>, ctl: &mut RuntimeCtl) {
+        self.seen += 1;
+        if !self.fired && self.seen >= self.spec.at_sample {
+            self.fired = true;
+            ctl.scale_frequency(self.spec.dom, self.spec.factor_pct as f64 / 100.0);
+        }
+    }
+}
+
+/// A do-nothing sampler: its only effect is the periodic `Ev::Sample`
+/// tick, i.e. the boundary a burst must clip at.
+struct Tick;
+
+impl ActivityPlugin for Tick {
+    fn sample(&mut self, _s: &ActivitySample<'_>, _ctl: &mut RuntimeCtl) {}
+}
+
+fn gen_config(g: &mut Gen) -> XmtConfig {
+    let mut cfg = XmtConfig::tiny();
+    cfg.clusters = if g.bool_p(0.5) { 2 } else { 4 };
+    cfg.tcus_per_cluster = g.usize_in(1, 2) as u32;
+    cfg.cache_modules = if g.bool_p(0.5) { 2 } else { 4 };
+    cfg.dram_channels = g.usize_in(1, 2) as u32;
+    cfg.icn_latency = g.usize_in(0, 6) as u32;
+    cfg.icn_model = if g.bool_p(0.5) { IcnModel::Express } else { IcnModel::PerHop };
+    cfg.icn_timing = if g.bool_p(0.5) {
+        IcnTiming::Synchronous
+    } else {
+        IcnTiming::Asynchronous {
+            hop_ps: g.int_in(300, 1500) as u64,
+            jitter_ps: g.int_in(0, 900) as u64,
+        }
+    };
+    cfg.prefetch_policy = if g.bool_p(0.5) { PrefetchPolicy::Fifo } else { PrefetchPolicy::Lru };
+    cfg
+}
+
+/// Emit a straight-line run of `n` pure ALU/shift instructions.
+fn straight_line(p: &mut AsmProgram, g: &mut Gen, n: usize) {
+    for _ in 0..n {
+        match g.usize_in(0, 3) {
+            0 => p.push(Instr::Addi { rt: Reg::T3, rs: Reg::T3, imm: g.int_in(-7, 7) as i32 }),
+            1 => p.push(Instr::Xor { rd: Reg::T4, rs: Reg::T4, rt: Reg::T3 }),
+            2 => p.push(Instr::Sll { rd: Reg::T5, rt: Reg::T3, sh: g.usize_in(0, 3) as u8 }),
+            _ => p.push(Instr::Add { rd: Reg::T3, rs: Reg::T3, rt: Reg::T4 }),
+        }
+    }
+}
+
+/// A random terminating program biased toward compute bursts: serial
+/// master runs between 1–3 spawn sections whose virtual threads mix
+/// straight-line ALU runs, tight countdown loops, loads/stores, `psm`,
+/// prints and shared-FU multiplies.
+fn gen_program(g: &mut Gen) -> Executable {
+    let words = 1usize << g.usize_in(4, 7); // 16..128, power of two
+    let mask = (words - 1) as u32;
+    let mut mm = MemoryMap::new();
+    let a = mm.push("A", (0..words as u32).collect());
+    let c = mm.push("C", vec![0u32; 8]);
+    let mut p = AsmProgram::new();
+    let sections = g.usize_in(1, 3);
+    for s in 0..sections {
+        // Serial master compute between sections (master bursts).
+        p.push(Instr::Li { rt: Reg::T3, imm: g.int_in(0, 100) as i32 });
+        let n = g.usize_in(0, 25);
+        straight_line(&mut p, g, n);
+        if g.bool_p(0.5) {
+            let iters = g.int_in(1, 12) as i32;
+            let l = format!("m{s}");
+            p.push(Instr::Li { rt: Reg::T6, imm: iters });
+            p.label(l.clone());
+            p.push(Instr::Addi { rt: Reg::T6, rs: Reg::T6, imm: -1 });
+            p.push(Instr::Bgtz { rs: Reg::T6, target: Target::label(l) });
+        }
+        let threads = g.usize_in(1, 32) as i32;
+        p.push(Instr::Li { rt: Reg::A0, imm: 0 });
+        p.push(Instr::Li { rt: Reg::A1, imm: threads - 1 });
+        p.push(Instr::Li { rt: Reg::S0, imm: a as i32 });
+        p.push(Instr::Li { rt: Reg::S1, imm: c as i32 });
+        p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+        let tag = format!("vt{s}");
+        p.label(tag.clone());
+        p.push(Instr::Li { rt: Reg::T0, imm: 1 });
+        p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+        p.push(Instr::Chkid { rt: Reg::T0 });
+        // T1 = &A[$ & mask]
+        p.push(Instr::Andi { rt: Reg::T1, rs: Reg::T0, imm: mask });
+        p.push(Instr::Sll { rd: Reg::T1, rt: Reg::T1, sh: 2 });
+        p.push(Instr::Add { rd: Reg::T1, rs: Reg::T1, rt: Reg::S0 });
+        for b in 0..g.usize_in(1, 5) {
+            match g.usize_in(0, 7) {
+                0 => {
+                    let n = g.usize_in(3, 40);
+                    straight_line(&mut p, g, n);
+                }
+                1 => {
+                    // Tight countdown loop: branch-heavy burst material.
+                    let l = format!("l{s}_{b}");
+                    p.push(Instr::Li { rt: Reg::T6, imm: g.int_in(1, 10) as i32 });
+                    p.label(l.clone());
+                    p.push(Instr::Addi { rt: Reg::T3, rs: Reg::T3, imm: 1 });
+                    p.push(Instr::Addi { rt: Reg::T6, rs: Reg::T6, imm: -1 });
+                    p.push(Instr::Bgtz { rs: Reg::T6, target: Target::label(l) });
+                }
+                2 => {
+                    // Round-trip load, accumulated so the value matters.
+                    p.push(Instr::Lw { rt: Reg::T2, base: Reg::T1, off: 0 });
+                    p.push(Instr::Add { rd: Reg::T3, rs: Reg::T3, rt: Reg::T2 });
+                }
+                3 => p.push(Instr::Swnb { rt: Reg::T0, base: Reg::T1, off: 0 }),
+                4 => {
+                    // Prefix-sum to memory: value-carrying round trip.
+                    p.push(Instr::Li { rt: Reg::T4, imm: 1 });
+                    p.push(Instr::Psm { rt: Reg::T4, base: Reg::S1, off: 4 * s as i32 });
+                }
+                5 => p.push(Instr::Mul { rd: Reg::T3, rs: Reg::T0, rt: Reg::T0 }),
+                6 => {
+                    // Output ordering across TCUs rides on scheduler
+                    // tie-breaks, the hardest thing bursts may not move.
+                    p.push(Instr::Print { rs: Reg::T0 });
+                }
+                _ => p.push(Instr::Fence),
+            }
+        }
+        // Final per-thread store: the end state depends on exact service
+        // order, so any reordering between the models shows up in memory.
+        p.push(Instr::Swnb { rt: Reg::T3, base: Reg::T1, off: 0 });
+        p.push(Instr::J { target: Target::label(tag) });
+        p.push(Instr::Join);
+    }
+    p.push(Instr::Halt);
+    p.link(mm).unwrap()
+}
+
+fn gen_dvfs(g: &mut Gen) -> Option<DvfsSpec> {
+    if !g.bool_p(0.35) {
+        return None;
+    }
+    let dom = match g.usize_in(0, 3) {
+        0 => ClockDomain::Cluster,
+        1 => ClockDomain::Icn,
+        2 => ClockDomain::Cache,
+        _ => ClockDomain::Dram,
+    };
+    let factor_pct = [25, 50, 75, 150, 200, 300][g.usize_in(0, 5)];
+    Some(DvfsSpec {
+        at_sample: g.int_in(1, 4) as u64,
+        dom,
+        factor_pct,
+        interval_cycles: g.int_in(64, 512) as u64,
+    })
+}
+
+/// What a case exercises besides the issue model itself.
+#[derive(Debug, Clone, Copy)]
+struct CaseSpec {
+    dvfs: Option<DvfsSpec>,
+    /// Plain sampling tick interval (cycles) — short, to land mid-burst.
+    sampler: Option<u64>,
+    /// Mid-flight checkpoint + JSON round trip + resume at this cycle.
+    ckpt_at: Option<u64>,
+}
+
+fn gen_case(g: &mut Gen) -> CaseSpec {
+    CaseSpec {
+        dvfs: gen_dvfs(g),
+        sampler: g.bool_p(0.5).then(|| g.int_in(8, 256) as u64),
+        ckpt_at: g.bool_p(0.4).then(|| g.int_in(10, 4000) as u64),
+    }
+}
+
+fn attach(sim: &mut CycleSim, spec: &CaseSpec) {
+    if let Some(dvfs) = spec.dvfs {
+        sim.add_activity(
+            Box::new(Retune { spec: dvfs, seen: 0, fired: false }),
+            dvfs.interval_cycles,
+        );
+    }
+    if let Some(iv) = spec.sampler {
+        sim.add_activity(Box::new(Tick), iv);
+    }
+}
+
+/// Everything two runs must agree on, as one comparable tuple.
+/// `RunSummary::events` is deliberately absent.
+fn observe(
+    exe: Executable,
+    cfg: &XmtConfig,
+    model: IssueModel,
+    spec: &CaseSpec,
+) -> (u64, u64, u64, String, String) {
+    let mut cfg = cfg.clone();
+    cfg.issue_model = model;
+    let mut sim = CycleSim::new(exe.clone(), cfg.clone());
+    attach(&mut sim, spec);
+    let s = match spec.ckpt_at {
+        None => sim.run().expect("program runs to halt"),
+        Some(cycle) => match sim.run_to_checkpoint_anytime(cycle).expect("runs") {
+            CheckpointOutcome::Done(s) => s,
+            CheckpointOutcome::Checkpoint(ck) => {
+                // Serialize, parse back, resume in a fresh simulator —
+                // the full §III-E round trip, with an in-progress burst
+                // riding along as its pending aggregate step event.
+                let round = Checkpoint::from_json(&ck.to_json()).expect("checkpoint parses");
+                sim = CycleSim::resume(exe, cfg, round);
+                attach(&mut sim, spec);
+                sim.run().expect("resumed run halts")
+            }
+        },
+    };
+    (
+        s.cycles,
+        s.time_ps,
+        s.instructions,
+        sim.stats.to_json_string(),
+        sim.machine.to_json_string(),
+    )
+}
+
+/// The tentpole property: 256 random (program, topology, sampling, DVFS,
+/// checkpoint) cases where the compute-burst path and the
+/// per-instruction oracle are bit-identical.
+#[test]
+fn burst_matches_perinstr_oracle() {
+    run("burst_matches_perinstr_oracle", Config::default(), |g: &mut Gen| {
+        let exe = gen_program(g);
+        let cfg = gen_config(g);
+        let spec = gen_case(g);
+        let burst = observe(exe.clone(), &cfg, IssueModel::Burst, &spec);
+        let perinstr = observe(exe, &cfg, IssueModel::PerInstr, &spec);
+        assert_eq!(
+            burst, perinstr,
+            "burst/per-instr divergence under icn {:?} timing {:?} case {:?}",
+            cfg.icn_model, cfg.icn_timing, spec
+        );
+    });
+}
+
+/// The burst path does what it is for: on a compute-bound workload it
+/// processes far fewer events than per-instruction stepping, and the
+/// host-profile burst counters account for every elided step event.
+#[test]
+fn burst_elides_step_events() {
+    let mut p = AsmProgram::new();
+    p.push(Instr::Li { rt: Reg::A0, imm: 0 });
+    p.push(Instr::Li { rt: Reg::A1, imm: 31 });
+    p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+    p.label("vt");
+    p.push(Instr::Li { rt: Reg::T0, imm: 1 });
+    p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+    p.push(Instr::Chkid { rt: Reg::T0 });
+    p.push(Instr::Li { rt: Reg::T6, imm: 20 });
+    p.label("l");
+    for _ in 0..28 {
+        p.push(Instr::Addi { rt: Reg::T3, rs: Reg::T3, imm: 1 });
+    }
+    p.push(Instr::Addi { rt: Reg::T6, rs: Reg::T6, imm: -1 });
+    p.push(Instr::Bgtz { rs: Reg::T6, target: Target::label("l") });
+    p.push(Instr::J { target: Target::label("vt") });
+    p.push(Instr::Join);
+    p.push(Instr::Halt);
+    let exe = p.link(MemoryMap::new()).unwrap();
+
+    let run_model = |model: IssueModel| {
+        let mut cfg = XmtConfig::tiny();
+        cfg.issue_model = model;
+        let mut sim = CycleSim::new(exe.clone(), cfg);
+        sim.enable_host_profiling();
+        let s = sim.run().unwrap();
+        let hp = sim.host_profile().unwrap().clone();
+        s_and(s, hp)
+    };
+    fn s_and(
+        s: xmtsim::cycle::RunSummary,
+        hp: xmtsim::cycle::HostProfile,
+    ) -> (xmtsim::cycle::RunSummary, xmtsim::cycle::HostProfile) {
+        (s, hp)
+    }
+    let (sb, hb) = run_model(IssueModel::Burst);
+    let (sp, hp) = run_model(IssueModel::PerInstr);
+
+    assert_eq!((sb.cycles, sb.time_ps, sb.instructions), (sp.cycles, sp.time_ps, sp.instructions));
+    assert_eq!((hp.bursts, hp.burst_instrs), (0, 0), "oracle steps per instruction");
+    assert!(hb.bursts > 0, "burst path issued compute bursts");
+    // Each burst of L instructions replaces L step events with 1.
+    assert_eq!(
+        sb.events + (hb.burst_instrs - hb.bursts),
+        sp.events,
+        "event books must balance: burst {} + elided {} != per-instr {}",
+        sb.events,
+        hb.burst_instrs - hb.bursts,
+        sp.events
+    );
+    assert!(
+        sp.events >= 3 * sb.events,
+        "compute-bound events should collapse: per-instr {} vs burst {}",
+        sp.events,
+        sb.events
+    );
+    assert!(hb.mean_burst_len() > 4.0, "mean burst length {:.1}", hb.mean_burst_len());
+}

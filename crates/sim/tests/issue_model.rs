@@ -1,0 +1,162 @@
+//! Targeted regressions for `IssueModel::Burst` edge cases: tracer
+//! degrade, exact instruction limits mid-burst, and `Ev::Sample`
+//! boundary clipping.
+
+use xmt_harness::ToJson;
+use xmt_isa::{AsmProgram, Executable, GlobalReg, Instr, MemoryMap, Reg, Target};
+use xmtsim::config::IssueModel;
+use xmtsim::functional::FuncError;
+use xmtsim::stats::{ActivityPlugin, ActivitySample, RuntimeCtl};
+use xmtsim::trace::{TraceLevel, Tracer};
+use xmtsim::{CycleSim, FunctionalSim, XmtConfig};
+
+/// A do-nothing sampler whose only effect is the periodic `Ev::Sample`.
+struct Tick;
+
+impl ActivityPlugin for Tick {
+    fn sample(&mut self, _s: &ActivitySample<'_>, _ctl: &mut RuntimeCtl) {}
+}
+
+fn cfg(model: IssueModel) -> XmtConfig {
+    let mut c = XmtConfig::tiny();
+    c.issue_model = model;
+    c
+}
+
+/// Serial master program: `runs` straight-line blocks of `len` ALU
+/// instructions separated by single branches, then halt.
+fn straight_line_program(runs: usize, len: usize) -> Executable {
+    let mut p = AsmProgram::new();
+    p.push(Instr::Li { rt: Reg::T3, imm: 1 });
+    for r in 0..runs {
+        for _ in 0..len {
+            p.push(Instr::Addi { rt: Reg::T3, rs: Reg::T3, imm: 1 });
+        }
+        let l = format!("r{r}");
+        p.label(l.clone());
+        p.push(Instr::Blez { rs: Reg::T3, target: Target::label(l) });
+    }
+    p.push(Instr::Halt);
+    p.link(MemoryMap::new()).unwrap()
+}
+
+/// Spawn-heavy compute program so the trace covers parallel TCUs too.
+fn spawn_program() -> Executable {
+    let mut p = AsmProgram::new();
+    p.push(Instr::Li { rt: Reg::A0, imm: 0 });
+    p.push(Instr::Li { rt: Reg::A1, imm: 7 });
+    p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+    p.label("vt");
+    p.push(Instr::Li { rt: Reg::T0, imm: 1 });
+    p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+    p.push(Instr::Chkid { rt: Reg::T0 });
+    for _ in 0..12 {
+        p.push(Instr::Addi { rt: Reg::T3, rs: Reg::T3, imm: 1 });
+    }
+    p.push(Instr::J { target: Target::label("vt") });
+    p.push(Instr::Join);
+    p.push(Instr::Halt);
+    p.link(MemoryMap::new()).unwrap()
+}
+
+/// Satellite 3 (bugfix): with a tracer attached, burst mode must
+/// auto-degrade to per-instruction stepping so every `Issue` record is
+/// still emitted, at the exact time per-instr would emit it. The two
+/// models must therefore produce byte-identical trace streams — and,
+/// since no bursts form, identical event counts too.
+#[test]
+fn tracer_degrades_burst_to_identical_issue_stream() {
+    let exe = spawn_program();
+    let trace_run = |model: IssueModel| {
+        let mut sim = CycleSim::new(exe.clone(), cfg(model));
+        sim.enable_host_profiling();
+        sim.attach_tracer(Tracer::new(TraceLevel::Functional));
+        let s = sim.run().unwrap();
+        let records = sim.tracer.as_ref().unwrap().records().to_vec();
+        let bursts = sim.host_profile().unwrap().bursts;
+        (s, records, bursts)
+    };
+    let (sb, rb, bursts_b) = trace_run(IssueModel::Burst);
+    let (sp, rp, bursts_p) = trace_run(IssueModel::PerInstr);
+    assert!(rb.len() as u64 == sb.instructions && !rb.is_empty());
+    assert_eq!(rb, rp, "per-instruction Issue streams must be identical");
+    assert_eq!(sb, sp, "degraded burst must match per-instr event-for-event");
+    assert_eq!((bursts_b, bursts_p), (0, 0), "tracer must suppress bursting");
+}
+
+/// Satellite 4a: `CycleSim::set_instr_limit` lands mid-burst — the run
+/// stops after exactly `limit` instructions under both models, at the
+/// same simulated time.
+#[test]
+fn instr_limit_exact_mid_burst() {
+    let exe = straight_line_program(3, 50);
+    let limit = 57; // mid-way through the second straight-line block
+    let capped = |model: IssueModel| {
+        let mut sim = CycleSim::new(exe.clone(), cfg(model));
+        sim.set_instr_limit(limit);
+        let s = sim.run().unwrap();
+        (s, sim.machine.to_json_string())
+    };
+    let (sb, mb) = capped(IssueModel::Burst);
+    let (sp, mp) = capped(IssueModel::PerInstr);
+    assert_eq!(sb.instructions, limit, "burst overshoots the instruction limit");
+    assert_eq!(sp.instructions, limit);
+    assert_eq!((sb.cycles, sb.time_ps), (sp.cycles, sp.time_ps));
+    assert_eq!(mb, mp, "machine state at the limit must match");
+    // Uncapped, the program runs far past the limit.
+    let full = CycleSim::new(exe.clone(), cfg(IssueModel::Burst)).run_summary();
+    assert!(full.instructions > limit);
+}
+
+/// Satellite 4a (functional mode): the fast simulator's instruction
+/// limit also stops exactly at the limit when it falls inside a
+/// straight-line run.
+#[test]
+fn functional_instr_limit_mid_straight_line_run() {
+    let exe = straight_line_program(2, 40);
+    let mut sim = FunctionalSim::new(exe);
+    sim.set_instr_limit(25);
+    assert_eq!(sim.run().unwrap_err(), FuncError::InstrLimit { executed: 25 });
+}
+
+/// Satellite 4b: a sampling interval short enough to land inside a
+/// straight-line run must clip the burst at the sample boundary — the
+/// sampled run stays bit-identical to per-instr, and the host profile
+/// records sample-reason breaks.
+#[test]
+fn sample_boundary_clips_bursts() {
+    let exe = straight_line_program(4, 200);
+    let sampled = |model: IssueModel| {
+        let mut sim = CycleSim::new(exe.clone(), cfg(model));
+        sim.enable_host_profiling();
+        sim.add_activity(Box::new(Tick), 16);
+        let s = sim.run().unwrap();
+        let hp = sim.host_profile().unwrap().clone();
+        let obs = (
+            s.cycles,
+            s.time_ps,
+            s.instructions,
+            sim.stats.to_json_string(),
+            sim.machine.to_json_string(),
+        );
+        (obs, hp)
+    };
+    let (ob, hb) = sampled(IssueModel::Burst);
+    let (op, _) = sampled(IssueModel::PerInstr);
+    assert_eq!(ob, op, "sampling must not perturb burst results");
+    assert!(hb.bursts > 0, "straight-line runs should still burst");
+    assert!(
+        hb.burst_break_sample > 0,
+        "a 16-cycle sample interval must clip 200-instruction runs"
+    );
+}
+
+trait RunSummaryExt {
+    fn run_summary(self) -> xmtsim::cycle::RunSummary;
+}
+
+impl RunSummaryExt for CycleSim {
+    fn run_summary(mut self) -> xmtsim::cycle::RunSummary {
+        self.run().unwrap()
+    }
+}

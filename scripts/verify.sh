@@ -66,6 +66,29 @@ echo "$icn_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' || {
     echo "$icn_out" >&2
     exit 1
 }
+echo "==> issue burst-vs-per-instr differential referee"
+# Same contract as the ICN referee: the compute-burst issue path is only
+# safe while the per-instruction oracle agrees bit-for-bit, and the
+# tracer/instr-limit/sample-clip regressions must actually have run.
+issue_out=$(cargo test --offline -p xmtsim --test issue_burst_diff -- --nocapture 2>&1) || {
+    echo "$issue_out" >&2
+    exit 1
+}
+echo "$issue_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' || {
+    echo "issue burst differential tests were skipped (0 ran):" >&2
+    echo "$issue_out" >&2
+    exit 1
+}
+issue_model_out=$(cargo test --offline -p xmtsim --test issue_model 2>&1) || {
+    echo "$issue_model_out" >&2
+    exit 1
+}
+echo "$issue_model_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' || {
+    echo "issue-model regression tests were skipped (0 ran):" >&2
+    echo "$issue_model_out" >&2
+    exit 1
+}
+
 inflight_out=$(cargo test --offline -p xmt-bench --test checkpoint_inflight 2>&1) || {
     echo "$inflight_out" >&2
     exit 1
@@ -82,7 +105,7 @@ echo "==> smoke benches (shortened iterations; writes BENCH_*.json)"
 XMT_BENCH_DIR="$PWD/target/bench" \
 XMT_BENCH_ITERS="${XMT_BENCH_ITERS:-3}" \
 XMT_BENCH_WARMUP_MS="${XMT_BENCH_WARMUP_MS:-10}" \
-    cargo bench --offline -p xmt-bench --bench modes --bench compiler --bench scheduler --bench icn
+    cargo bench --offline -p xmt-bench --bench modes --bench compiler --bench scheduler --bench icn --bench issue
 
 ls target/bench/BENCH_*.json >/dev/null 2>&1 || {
     echo "no BENCH_*.json emitted" >&2
@@ -94,6 +117,10 @@ ls target/bench/BENCH_*.json >/dev/null 2>&1 || {
 }
 [ -f target/bench/BENCH_icn.json ] || {
     echo "BENCH_icn.json missing (icn express-vs-per-hop bench did not run)" >&2
+    exit 1
+}
+[ -f target/bench/BENCH_issue.json ] || {
+    echo "BENCH_issue.json missing (issue burst-vs-per-instr bench did not run)" >&2
     exit 1
 }
 

@@ -20,6 +20,10 @@ fn table1_shape_holds() {
     // `icn_express` tests/bench for that claim), so the shape is pinned
     // on the reference model.
     cfg.icn_model = xmtsim::IcnModel::PerHop;
+    // Same reasoning for the issue model: compute-burst issue elides the
+    // per-instruction step events whose cost Table I measures, so the
+    // shape is pinned on per-instruction stepping.
+    cfg.issue_model = xmtsim::IssueModel::PerInstr;
     let p = MicroParams { threads: 1024, iters: 12, data_words: 1 << 14 };
     let mut rates = std::collections::HashMap::new();
     for g in MicroGroup::ALL {
