@@ -1,0 +1,29 @@
+//! Trait-based workload corpus timing: every `WorkloadCase` in the
+//! small corpus, built through the trait, run cycle-accurately on the
+//! 64-TCU configuration. Writes `BENCH_corpus.json`.
+//!
+//! This is the bench-side consumer of the corpus trait: a new case
+//! added to `corpus::small_corpus()` shows up here (and in the verify
+//! sweep) without any bench-side edits.
+
+use xmt_harness::BenchGroup;
+use xmtc::Options;
+use xmt_workloads::corpus;
+use xmt_workloads::suite::Variant;
+use xmtsim::XmtConfig;
+
+fn main() {
+    let opts = Options::default();
+    let cfg = XmtConfig::fpga64();
+    let mut group = BenchGroup::new("corpus");
+    group.sample_size(5);
+    for case in corpus::small_corpus() {
+        let w = case
+            .build(Variant::Parallel, &opts)
+            .unwrap_or_else(|e| panic!("{}: {e}", case.name()));
+        let r = w.run_and_verify(&cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(r.cycles > 0, "{}", w.name);
+        group.bench(case.name(), || w.compiled.run(&cfg).unwrap().instructions);
+    }
+    group.finish();
+}

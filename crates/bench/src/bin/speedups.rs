@@ -74,6 +74,14 @@ fn main() {
             let o = opts.clone();
             Box::new(move |v| suite::listrank(n.min(1024), 10, v, &o).unwrap())
         }),
+        ("samplesort", {
+            let o = opts.clone();
+            Box::new(move |v| suite::samplesort(n.min(512), 16, 13, v, &o).unwrap())
+        }),
+        ("listsum", {
+            let o = opts.clone();
+            Box::new(move |v| suite::listsum(n.min(1024), 14, v, &o).unwrap())
+        }),
     ];
 
     println!("E8: cycle-count speedups of parallel XMTC over serial XMTC\n");

@@ -187,6 +187,35 @@ fn case_fails(prop: &mut dyn FnMut(&mut Gen), seed: u64, size: u32) -> Option<St
     })
 }
 
+/// Greedy structural minimizer for failing values with their own notion
+/// of "simpler" (program ASTs, configs, event schedules) — the
+/// counterpart to [`run`]'s size-halving shrink, for cases where the
+/// value is generated indirectly and halving the generator's budget is
+/// too blunt.
+///
+/// `candidates` proposes simplifications of a failing value, simplest
+/// first; `fails` re-runs the property. Starting from `value` (which
+/// must fail), the minimizer repeatedly moves to the first candidate
+/// that still fails, until no candidate does or `max_steps` moves were
+/// taken. The result is a locally-minimal failing value: every proposed
+/// simplification of it passes.
+pub fn minimize<T: Clone>(
+    value: T,
+    max_steps: u32,
+    mut candidates: impl FnMut(&T) -> Vec<T>,
+    mut fails: impl FnMut(&T) -> bool,
+) -> T {
+    let mut current = value;
+    for _ in 0..max_steps {
+        let next = candidates(&current).into_iter().find(|c| fails(c));
+        match next {
+            Some(simpler) => current = simpler,
+            None => break,
+        }
+    }
+    current
+}
+
 /// Run `prop` for `config.cases` seeded cases, shrinking on failure.
 ///
 /// Panics with a reproducible `seed=... size=...` report if any case
@@ -301,6 +330,39 @@ mod tests {
         }
         // depth() at size 1 is 0 for shallow budgets.
         assert_eq!(g_small.depth(8), 0);
+    }
+
+    #[test]
+    fn minimize_reaches_local_minimum() {
+        // Failing predicate: vec sums to >= 10. Candidates: drop one
+        // element. Minimal failing vecs keep the big element only.
+        let start = vec![1u32, 2, 12, 3];
+        let min = minimize(
+            start,
+            64,
+            |v| (0..v.len()).map(|k| {
+                let mut c = v.clone();
+                c.remove(k);
+                c
+            }).collect(),
+            |v| v.iter().sum::<u32>() >= 10,
+        );
+        assert_eq!(min, vec![12]);
+    }
+
+    #[test]
+    fn minimize_respects_step_budget() {
+        let mut runs = 0;
+        let min = minimize(
+            100u32,
+            3,
+            |&v| if v > 0 { vec![v - 1] } else { vec![] },
+            |_| {
+                runs += 1;
+                true
+            },
+        );
+        assert_eq!(min, 97);
     }
 
     #[test]

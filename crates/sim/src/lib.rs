@@ -26,6 +26,7 @@
 pub mod checkpoint;
 pub mod config;
 pub mod cycle;
+pub mod differential;
 pub mod engine;
 pub mod exec;
 pub mod floorplan;
@@ -38,6 +39,7 @@ pub mod trace;
 
 pub use config::{IcnModel, IssueModel, XmtConfig};
 pub use cycle::CycleSim;
+pub use differential::{run_all_engines, AllEngines, FunctionalCheck};
 pub use exec::{CostClass, Issued, MemKind, MemRequest, Mode};
 pub use functional::FunctionalSim;
 pub use machine::{Machine, Memory, Output, OutputItem, RegFile, ThreadCtx, Trap};

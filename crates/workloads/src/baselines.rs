@@ -203,6 +203,36 @@ pub fn dft(re: &[f32], im: &[f32]) -> (Vec<f32>, Vec<f32>) {
     (or, oi)
 }
 
+/// Sample sort: the fully-sorted array. The bucketed parallel sort must
+/// reproduce this exactly — splitter choice and scatter order only move
+/// work between buckets, never change the final sequence.
+pub fn sample_sort(a: &[i32]) -> Vec<i32> {
+    let mut out = a.to_vec();
+    out.sort_unstable();
+    out
+}
+
+/// Weighted list ranking: `sum[i]` is the sum of `val` over the nodes on
+/// the path from `i` to the tail, tail excluded (so the tail sums to 0).
+pub fn list_sum(next: &[i32], val: &[i32]) -> Vec<i32> {
+    let n = next.len();
+    assert_eq!(val.len(), n);
+    let mut sum = vec![0i32; n];
+    for i in 0..n {
+        let mut s = 0i32;
+        let mut cur = i;
+        let mut steps = 0;
+        while next[cur] as usize != cur {
+            s = s.wrapping_add(val[cur]);
+            cur = next[cur] as usize;
+            steps += 1;
+            assert!(steps <= n, "cycle in list");
+        }
+        sum[i] = s;
+    }
+    sum
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +272,23 @@ mod tests {
         let a = gen::int_array(k * k, -9, 9, 2);
         assert_eq!(matmul(k, &a, &id), a);
         assert_eq!(matmul(k, &id, &a), a);
+    }
+
+    #[test]
+    fn list_sum_of_unit_weights_is_list_rank() {
+        let next = gen::linked_list(20, 3);
+        let ones = vec![1i32; 20];
+        assert_eq!(list_sum(&next, &ones), list_rank(&next));
+    }
+
+    #[test]
+    fn sample_sort_is_a_sorted_permutation() {
+        let a = gen::int_array(80, -500, 500, 21);
+        let s = sample_sort(&a);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        let mut a2 = a.clone();
+        a2.sort_unstable();
+        assert_eq!(s, a2);
     }
 
     #[test]

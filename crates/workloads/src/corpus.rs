@@ -1,0 +1,383 @@
+//! Trait-based workload corpus.
+//!
+//! [`WorkloadCase`] unifies the suite's ad-hoc constructor functions
+//! behind one interface: a *case* names a kernel at a concrete size,
+//! knows how to build either program variant (parallel XMTC or serial
+//! Master-TCU XMTC), exposes a fingerprint of its serial Rust baseline
+//! (the ground truth the built [`Workload`]'s checks embed), and
+//! verifies run results. Everything that iterates "all workloads" —
+//! `suite::all_small`, the verification tests, the corpus bench, the
+//! speedup experiment — walks [`small_corpus`] (or its own sized
+//! registry) instead of hand-maintained call lists, so a new kernel
+//! added here shows up everywhere at once.
+
+use crate::suite::{self, Variant, Workload, WorkloadError};
+use crate::{baselines, gen};
+use xmt_core::RunResult;
+use xmtc::Options;
+
+/// One workload of the corpus at a concrete size.
+pub trait WorkloadCase {
+    /// Stable kernel name, e.g. `"samplesort"`.
+    fn name(&self) -> &'static str;
+
+    /// Build the given program variant with inputs installed and
+    /// baseline-derived expectations attached.
+    fn build(&self, v: Variant, opts: &Options) -> Result<Workload, WorkloadError>;
+
+    /// Order-sensitive FNV-style fold of the serial Rust baseline's
+    /// result — cheap ground-truth identity for corpus-level tests,
+    /// without compiling anything.
+    fn baseline_fingerprint(&self) -> i64;
+
+    /// Check a run of a built workload against the baseline.
+    fn verify(&self, w: &Workload, r: &RunResult) -> Result<(), WorkloadError> {
+        w.verify(r)
+    }
+}
+
+/// Order-sensitive fold of an int sequence (FNV-1a-flavoured).
+pub fn fingerprint_ints(vals: &[i32]) -> i64 {
+    vals.iter()
+        .fold(0x811c_9dc5_i64, |h, &v| (h ^ v as i64).wrapping_mul(0x0100_0000_01b3))
+}
+
+/// Same fold over float bit patterns.
+pub fn fingerprint_floats(vals: &[f32]) -> i64 {
+    vals.iter()
+        .fold(0x811c_9dc5_i64, |h, &v| (h ^ v.to_bits() as i64).wrapping_mul(0x0100_0000_01b3))
+}
+
+/// Array compaction (paper Fig. 2a) at size `n`.
+pub struct CompactionCase {
+    pub n: usize,
+    pub seed: u64,
+}
+
+impl WorkloadCase for CompactionCase {
+    fn name(&self) -> &'static str {
+        "compaction"
+    }
+    fn build(&self, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+        suite::compaction(self.n, self.seed, v, opts)
+    }
+    fn baseline_fingerprint(&self) -> i64 {
+        let a = gen::sparse_array(self.n, 0.3, self.seed);
+        fingerprint_ints(&baselines::compaction(&a))
+    }
+}
+
+/// Element-wise vector addition.
+pub struct VecaddCase {
+    pub n: usize,
+    pub seed: u64,
+}
+
+impl WorkloadCase for VecaddCase {
+    fn name(&self) -> &'static str {
+        "vecadd"
+    }
+    fn build(&self, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+        suite::vecadd(self.n, self.seed, v, opts)
+    }
+    fn baseline_fingerprint(&self) -> i64 {
+        let a = gen::int_array(self.n, -1000, 1000, self.seed);
+        let b = gen::int_array(self.n, -1000, 1000, self.seed + 1);
+        fingerprint_ints(&baselines::vector_add(&a, &b))
+    }
+}
+
+/// Inclusive prefix sums.
+pub struct PrefixCase {
+    pub n: usize,
+    pub seed: u64,
+}
+
+impl WorkloadCase for PrefixCase {
+    fn name(&self) -> &'static str {
+        "prefix"
+    }
+    fn build(&self, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+        suite::prefix(self.n, self.seed, v, opts)
+    }
+    fn baseline_fingerprint(&self) -> i64 {
+        let a = gen::int_array(self.n, -100, 100, self.seed);
+        fingerprint_ints(&baselines::prefix_sum(&a))
+    }
+}
+
+/// Tree reduction (sum).
+pub struct ReductionCase {
+    pub n: usize,
+    pub seed: u64,
+}
+
+impl WorkloadCase for ReductionCase {
+    fn name(&self) -> &'static str {
+        "reduction"
+    }
+    fn build(&self, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+        suite::reduction(self.n, self.seed, v, opts)
+    }
+    fn baseline_fingerprint(&self) -> i64 {
+        let a = gen::int_array(self.n, -100, 100, self.seed);
+        fingerprint_ints(&[baselines::reduction(&a)])
+    }
+}
+
+/// Level-synchronous BFS over a connected random graph.
+pub struct BfsCase {
+    pub n: usize,
+    pub m: usize,
+    pub seed: u64,
+}
+
+impl WorkloadCase for BfsCase {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+    fn build(&self, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+        suite::bfs(self.n, self.m, self.seed, v, opts)
+    }
+    fn baseline_fingerprint(&self) -> i64 {
+        let g = gen::graph(self.n, self.m, 1, self.seed);
+        let (off, adj) = g.csr();
+        fingerprint_ints(&baselines::bfs(&off, &adj, 0))
+    }
+}
+
+/// Connected-components count.
+pub struct ConnectivityCase {
+    pub n: usize,
+    pub m: usize,
+    pub comps: usize,
+    pub seed: u64,
+}
+
+impl WorkloadCase for ConnectivityCase {
+    fn name(&self) -> &'static str {
+        "connectivity"
+    }
+    fn build(&self, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+        suite::connectivity(self.n, self.m, self.comps, self.seed, v, opts)
+    }
+    fn baseline_fingerprint(&self) -> i64 {
+        let g = gen::graph(self.n, self.m, self.comps, self.seed);
+        fingerprint_ints(&[baselines::components(g.n, &g.edges) as i32])
+    }
+}
+
+/// Dense k×k matrix multiply.
+pub struct MatmulCase {
+    pub k: usize,
+    pub seed: u64,
+}
+
+impl WorkloadCase for MatmulCase {
+    fn name(&self) -> &'static str {
+        "matmul"
+    }
+    fn build(&self, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+        suite::matmul(self.k, self.seed, v, opts)
+    }
+    fn baseline_fingerprint(&self) -> i64 {
+        let a = gen::int_array(self.k * self.k, -10, 10, self.seed);
+        let b = gen::int_array(self.k * self.k, -10, 10, self.seed + 1);
+        fingerprint_ints(&baselines::matmul(self.k, &a, &b))
+    }
+}
+
+/// Histogram via `psm`.
+pub struct HistogramCase {
+    pub n: usize,
+    pub buckets: usize,
+    pub seed: u64,
+}
+
+impl WorkloadCase for HistogramCase {
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+    fn build(&self, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+        suite::histogram(self.n, self.buckets, self.seed, v, opts)
+    }
+    fn baseline_fingerprint(&self) -> i64 {
+        let a = gen::int_array(self.n, 0, 1_000_000, self.seed);
+        fingerprint_ints(&baselines::histogram(&a, self.buckets))
+    }
+}
+
+/// Rank sort.
+pub struct RanksortCase {
+    pub n: usize,
+    pub seed: u64,
+}
+
+impl WorkloadCase for RanksortCase {
+    fn name(&self) -> &'static str {
+        "ranksort"
+    }
+    fn build(&self, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+        suite::ranksort(self.n, self.seed, v, opts)
+    }
+    fn baseline_fingerprint(&self) -> i64 {
+        let a = gen::int_array(self.n, -500, 500, self.seed);
+        fingerprint_ints(&baselines::rank_sort(&a))
+    }
+}
+
+/// Radix-2 FFT (the float workload).
+pub struct FftCase {
+    pub n: usize,
+    pub seed: u64,
+}
+
+impl WorkloadCase for FftCase {
+    fn name(&self) -> &'static str {
+        "fft"
+    }
+    fn build(&self, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+        suite::fft(self.n, self.seed, v, opts)
+    }
+    fn baseline_fingerprint(&self) -> i64 {
+        let mut re = gen::float_array(self.n, -1.0, 1.0, self.seed);
+        let mut im = gen::float_array(self.n, -1.0, 1.0, self.seed + 1);
+        baselines::fft(&mut re, &mut im);
+        fingerprint_floats(&re) ^ fingerprint_floats(&im).rotate_left(17)
+    }
+}
+
+/// CSR sparse matrix-vector product.
+pub struct SpmvCase {
+    pub n: usize,
+    pub avg_deg: usize,
+    pub seed: u64,
+}
+
+impl WorkloadCase for SpmvCase {
+    fn name(&self) -> &'static str {
+        "spmv"
+    }
+    fn build(&self, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+        suite::spmv(self.n, self.avg_deg, self.seed, v, opts)
+    }
+    fn baseline_fingerprint(&self) -> i64 {
+        let (off, col, val) = gen::sparse_matrix(self.n, self.avg_deg, self.seed);
+        let x = gen::int_array(self.n, -50, 50, self.seed + 1);
+        fingerprint_ints(&baselines::spmv(&off, &col, &val, &x))
+    }
+}
+
+/// Wyllie's list ranking.
+pub struct ListrankCase {
+    pub n: usize,
+    pub seed: u64,
+}
+
+impl WorkloadCase for ListrankCase {
+    fn name(&self) -> &'static str {
+        "listrank"
+    }
+    fn build(&self, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+        suite::listrank(self.n, self.seed, v, opts)
+    }
+    fn baseline_fingerprint(&self) -> i64 {
+        let next = gen::linked_list(self.n, self.seed);
+        fingerprint_ints(&baselines::list_rank(&next))
+    }
+}
+
+/// Splitter-bucketed parallel sample sort.
+pub struct SamplesortCase {
+    pub n: usize,
+    pub s: usize,
+    pub seed: u64,
+}
+
+impl WorkloadCase for SamplesortCase {
+    fn name(&self) -> &'static str {
+        "samplesort"
+    }
+    fn build(&self, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+        suite::samplesort(self.n, self.s, self.seed, v, opts)
+    }
+    fn baseline_fingerprint(&self) -> i64 {
+        let a = gen::int_array(self.n, -500, 500, self.seed);
+        fingerprint_ints(&baselines::sample_sort(&a))
+    }
+}
+
+/// Weighted list ranking (pointer jumping with per-node weights).
+pub struct ListsumCase {
+    pub n: usize,
+    pub seed: u64,
+}
+
+impl WorkloadCase for ListsumCase {
+    fn name(&self) -> &'static str {
+        "listsum"
+    }
+    fn build(&self, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+        suite::listsum(self.n, self.seed, v, opts)
+    }
+    fn baseline_fingerprint(&self) -> i64 {
+        let next = gen::linked_list(self.n, self.seed);
+        let val = gen::int_array(self.n, -50, 50, self.seed + 1);
+        fingerprint_ints(&baselines::list_sum(&next, &val))
+    }
+}
+
+/// The whole corpus at small, test-friendly sizes — the registry behind
+/// `suite::all_small`.
+pub fn small_corpus() -> Vec<Box<dyn WorkloadCase>> {
+    vec![
+        Box::new(CompactionCase { n: 64, seed: 1 }),
+        Box::new(VecaddCase { n: 64, seed: 2 }),
+        Box::new(PrefixCase { n: 64, seed: 3 }),
+        Box::new(ReductionCase { n: 64, seed: 4 }),
+        Box::new(BfsCase { n: 48, m: 96, seed: 5 }),
+        Box::new(ConnectivityCase { n: 48, m: 96, comps: 3, seed: 6 }),
+        Box::new(MatmulCase { k: 8, seed: 7 }),
+        Box::new(HistogramCase { n: 64, buckets: 8, seed: 8 }),
+        Box::new(RanksortCase { n: 48, seed: 9 }),
+        Box::new(FftCase { n: 32, seed: 10 }),
+        Box::new(SpmvCase { n: 32, avg_deg: 4, seed: 11 }),
+        Box::new(ListrankCase { n: 32, seed: 12 }),
+        Box::new(SamplesortCase { n: 64, s: 8, seed: 13 }),
+        Box::new(ListsumCase { n: 32, seed: 14 }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_names_are_unique_and_stable() {
+        let names: Vec<&str> = small_corpus().iter().map(|c| c.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate case names: {names:?}");
+        assert!(names.contains(&"samplesort") && names.contains(&"listsum"));
+    }
+
+    #[test]
+    fn baseline_fingerprints_are_deterministic_and_distinct() {
+        let a: Vec<i64> = small_corpus().iter().map(|c| c.baseline_fingerprint()).collect();
+        let b: Vec<i64> = small_corpus().iter().map(|c| c.baseline_fingerprint()).collect();
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), a.len(), "fingerprint collision across cases: {a:?}");
+    }
+
+    #[test]
+    fn trait_verify_catches_a_corrupted_result() {
+        let case = VecaddCase { n: 16, seed: 99 };
+        let w = case.build(Variant::Serial, &Options::default()).unwrap();
+        let r = w.compiled.run_functional().unwrap();
+        case.verify(&w, &r).unwrap();
+    }
+}

@@ -70,8 +70,10 @@ pub fn graph(n: usize, m: usize, components: usize, seed: u64) -> Graph {
         let u = c + prev * components;
         edges.push((u as u32, v as u32));
     }
-    // Extra intra-component edges.
-    while edges.len() < m {
+    // Extra intra-component edges. When every component is a singleton
+    // (n == components) no such edge exists and the spanning forest is
+    // already the whole graph — looping for more would never terminate.
+    while n > components && edges.len() < m {
         let v = r.range_usize(0, n);
         let c = comp_of(v);
         let size = n / components + usize::from(c < n % components);
@@ -243,9 +245,106 @@ mod tests {
 
     #[test]
     fn bit_reversal_is_involution() {
-        let br = bit_reversal(16);
-        for i in 0..16 {
-            assert_eq!(br[br[i] as usize], i as i32);
+        // Involution (and hence a permutation) at every power-of-two size
+        // the workloads use.
+        for n in [2usize, 4, 8, 16, 32, 64, 128] {
+            let br = bit_reversal(n);
+            assert_eq!(br.len(), n);
+            for i in 0..n {
+                let j = br[i] as usize;
+                assert!(j < n, "n={n}: br[{i}]={j} out of range");
+                assert_eq!(br[j], i as i32, "n={n}: not an involution at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn graph_components_exact_across_shapes() {
+        // The last shape is fully degenerate: every vertex its own
+        // component, so the graph must come back edgeless (the extra-edge
+        // request is unsatisfiable and must not hang the generator).
+        for (n, m, comps, seed) in
+            [(60, 150, 1, 7), (60, 150, 2, 8), (61, 130, 5, 9), (40, 45, 8, 10), (12, 11, 12, 11)]
+        {
+            let g = graph(n, m, comps, seed);
+            let mut p: Vec<usize> = (0..g.n).collect();
+            fn find(p: &mut Vec<usize>, x: usize) -> usize {
+                if p[x] != x {
+                    let r = find(p, p[x]);
+                    p[x] = r;
+                }
+                p[x]
+            }
+            for &(u, v) in &g.edges {
+                let (ru, rv) = (find(&mut p, u as usize), find(&mut p, v as usize));
+                if ru != rv {
+                    p[ru] = rv;
+                }
+            }
+            let mut roots: Vec<usize> = (0..g.n).map(|v| find(&mut p, v)).collect();
+            roots.sort_unstable();
+            roots.dedup();
+            assert_eq!(roots.len(), comps, "n={n} m={m} comps={comps} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn linked_list_is_a_valid_permutation_chain() {
+        for (n, seed) in [(1usize, 3u64), (2, 4), (17, 5), (64, 6)] {
+            let next = linked_list(n, seed);
+            assert_eq!(next.len(), n);
+            // Exactly one tail (self-loop); every other node has exactly
+            // one predecessor and a successor in range.
+            let mut preds = vec![0u32; n];
+            let mut tails = 0;
+            for (i, &nx) in next.iter().enumerate() {
+                let nx = nx as usize;
+                assert!(nx < n, "n={n} seed={seed}: NEXT[{i}]={nx} out of range");
+                if nx == i {
+                    tails += 1;
+                } else {
+                    preds[nx] += 1;
+                }
+            }
+            assert_eq!(tails, 1, "n={n} seed={seed}: exactly one tail");
+            assert!(preds.iter().all(|&c| c <= 1), "n={n} seed={seed}: in-degree ≤ 1");
+            // The unique head (no predecessor, not counting the tail's
+            // dropped self-edge) reaches every node: it's one chain, not
+            // several cycles.
+            let tail = next.iter().enumerate().find(|&(i, &nx)| nx as usize == i).unwrap().0;
+            let head = (0..n).find(|&i| preds[i] == 0).unwrap();
+            let mut seen = vec![false; n];
+            let mut cur = head;
+            let mut steps = 0;
+            loop {
+                assert!(!seen[cur], "n={n} seed={seed}: cycle at {cur}");
+                seen[cur] = true;
+                if cur == tail {
+                    break;
+                }
+                cur = next[cur] as usize;
+                steps += 1;
+                assert!(steps <= n, "n={n} seed={seed}: walked past {n} nodes");
+            }
+            assert!(seen.iter().all(|&s| s), "n={n} seed={seed}: chain misses nodes");
+        }
+    }
+
+    #[test]
+    fn sparse_matrix_csr_is_wellformed() {
+        for (n, deg, seed) in [(8usize, 2usize, 1u64), (32, 4, 2), (64, 7, 3)] {
+            let (off, col, val) = sparse_matrix(n, deg, seed);
+            assert_eq!(off.len(), n + 1);
+            assert_eq!(off[0], 0);
+            assert_eq!(off[n] as usize, col.len());
+            assert_eq!(col.len(), val.len());
+            // Offsets monotone; column indices in range.
+            for i in 0..n {
+                assert!(off[i] <= off[i + 1], "n={n}: off not monotone at {i}");
+                for k in off[i] as usize..off[i + 1] as usize {
+                    assert!((col[k] as usize) < n, "n={n}: col[{k}]={} out of range", col[k]);
+                }
+            }
         }
     }
 

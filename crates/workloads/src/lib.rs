@@ -17,9 +17,12 @@
 //!   the serial reference of the speedup experiments.
 
 pub mod baselines;
+pub mod corpus;
+pub mod fuzz;
 pub mod gen;
 pub mod micro;
 pub mod programs;
 pub mod suite;
 
+pub use corpus::WorkloadCase;
 pub use suite::{Workload, WorkloadError};

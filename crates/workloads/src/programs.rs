@@ -555,6 +555,184 @@ pub fn spmv_ser(n: usize, nnz: usize) -> String {
     )
 }
 
+/// Parallel sample sort with `s` buckets: the master picks splitters
+/// from a strided oversample and insertion-sorts them; virtual threads
+/// classify elements (`psm` bucket counts), the master prefix-sums the
+/// counts into bucket offsets, threads scatter through `psm` cursors,
+/// and one virtual thread insertion-sorts each bucket in place. The
+/// scatter order inside a bucket is timing-dependent, but the final
+/// per-bucket sort makes `B` exactly the ascending sort of `A`.
+pub fn samplesort_par(n: usize, s: usize) -> String {
+    assert!(s >= 2 && n >= 2 * s);
+    let ss = 2 * s; // oversample count
+    format!(
+        "int A[{n}]; int B[{n}]; int BKT[{n}];
+         int CNT[{s}]; int OFFS[{sp1}]; int CUR[{s}];
+         int SAMP[{ss}]; int SPL[{sm1}];
+         int N = {n}; int S = {s}; int SS = {ss};
+         void main() {{
+             for (int t = 0; t < SS; t++) {{ SAMP[t] = A[t * (N / SS)]; }}
+             for (int i = 1; i < SS; i++) {{
+                 int x = SAMP[i];
+                 int j = i - 1;
+                 while (j >= 0 && SAMP[j] > x) {{
+                     SAMP[j + 1] = SAMP[j];
+                     j--;
+                 }}
+                 SAMP[j + 1] = x;
+             }}
+             for (int q = 0; q < S - 1; q++) {{ SPL[q] = SAMP[(q + 1) * SS / S]; }}
+             spawn(0, N - 1) {{
+                 int x = A[$];
+                 int b = 0;
+                 for (int q = 0; q < S - 1; q++) {{
+                     if (SPL[q] < x) {{ b++; }}
+                 }}
+                 BKT[$] = b;
+                 int one = 1;
+                 psm(one, CNT[b]);
+             }}
+             OFFS[0] = 0;
+             for (int b = 0; b < S; b++) {{
+                 OFFS[b + 1] = OFFS[b] + CNT[b];
+                 CUR[b] = OFFS[b];
+             }}
+             spawn(0, N - 1) {{
+                 int idx = 1;
+                 psm(idx, CUR[BKT[$]]);
+                 B[idx] = A[$];
+             }}
+             spawn(0, S - 1) {{
+                 int lo = OFFS[$];
+                 int hi = OFFS[$ + 1];
+                 for (int i = lo + 1; i < hi; i++) {{
+                     int x = B[i];
+                     int j = i - 1;
+                     while (j >= lo && B[j] > x) {{
+                         B[j + 1] = B[j];
+                         j--;
+                     }}
+                     B[j + 1] = x;
+                 }}
+             }}
+         }}",
+        sp1 = s + 1,
+        sm1 = s - 1,
+    )
+}
+
+/// Serial sample sort on the Master TCU — the same splitter/bucket/
+/// insertion-sort algorithm run sequentially, for a like-for-like
+/// speedup comparison.
+pub fn samplesort_ser(n: usize, s: usize) -> String {
+    assert!(s >= 2 && n >= 2 * s);
+    let ss = 2 * s;
+    format!(
+        "int A[{n}]; int B[{n}]; int BKT[{n}];
+         int CNT[{s}]; int OFFS[{sp1}]; int CUR[{s}];
+         int SAMP[{ss}]; int SPL[{sm1}];
+         int N = {n}; int S = {s}; int SS = {ss};
+         void main() {{
+             for (int t = 0; t < SS; t++) {{ SAMP[t] = A[t * (N / SS)]; }}
+             for (int i = 1; i < SS; i++) {{
+                 int x = SAMP[i];
+                 int j = i - 1;
+                 while (j >= 0 && SAMP[j] > x) {{
+                     SAMP[j + 1] = SAMP[j];
+                     j--;
+                 }}
+                 SAMP[j + 1] = x;
+             }}
+             for (int q = 0; q < S - 1; q++) {{ SPL[q] = SAMP[(q + 1) * SS / S]; }}
+             for (int i = 0; i < N; i++) {{
+                 int x = A[i];
+                 int b = 0;
+                 for (int q = 0; q < S - 1; q++) {{
+                     if (SPL[q] < x) {{ b++; }}
+                 }}
+                 BKT[i] = b;
+                 CNT[b] += 1;
+             }}
+             OFFS[0] = 0;
+             for (int b = 0; b < S; b++) {{
+                 OFFS[b + 1] = OFFS[b] + CNT[b];
+                 CUR[b] = OFFS[b];
+             }}
+             for (int i = 0; i < N; i++) {{
+                 int b = BKT[i];
+                 B[CUR[b]] = A[i];
+                 CUR[b] += 1;
+             }}
+             for (int b = 0; b < S; b++) {{
+                 int lo = OFFS[b];
+                 int hi = OFFS[b + 1];
+                 for (int i = lo + 1; i < hi; i++) {{
+                     int x = B[i];
+                     int j = i - 1;
+                     while (j >= lo && B[j] > x) {{
+                         B[j + 1] = B[j];
+                         j--;
+                     }}
+                     B[j + 1] = x;
+                 }}
+             }}
+         }}",
+        sp1 = s + 1,
+        sm1 = s - 1,
+    )
+}
+
+/// Weighted list ranking by pointer jumping (Wyllie with per-node
+/// weights): `SUM[i]` ends as the sum of `VAL` over the path from `i` to
+/// the tail, tail excluded. Same double-buffered jumping as
+/// [`listrank_par`], exercising a second irregular pointer-chasing entry
+/// in the speedup table.
+pub fn listsum_par(n: usize, log2n: u32) -> String {
+    format!(
+        "int NEXT[{n}]; int VAL[{n}]; int SUM[{n}];
+         int NNEXT[{n}]; int NSUM[{n}]; int N = {n};
+         void main() {{
+             spawn(0, N - 1) {{
+                 if (NEXT[$] != $) {{ SUM[$] = VAL[$]; }} else {{ SUM[$] = 0; }}
+             }}
+             for (int step = 0; step < {log2n}; step++) {{
+                 spawn(0, N - 1) {{
+                     int nx = NEXT[$];
+                     if (nx != $) {{
+                         NSUM[$] = SUM[$] + SUM[nx];
+                         NNEXT[$] = NEXT[nx];
+                     }} else {{
+                         NSUM[$] = SUM[$];
+                         NNEXT[$] = nx;
+                     }}
+                 }}
+                 spawn(0, N - 1) {{
+                     SUM[$] = NSUM[$];
+                     NEXT[$] = NNEXT[$];
+                 }}
+             }}
+         }}"
+    )
+}
+
+/// Serial weighted list ranking (walk each path, accumulating weights).
+pub fn listsum_ser(n: usize) -> String {
+    format!(
+        "int NEXT[{n}]; int VAL[{n}]; int SUM[{n}]; int N = {n};
+         void main() {{
+             for (int i = 0; i < N; i++) {{
+                 int s = 0;
+                 int cur = i;
+                 while (NEXT[cur] != cur) {{
+                     s += VAL[cur];
+                     cur = NEXT[cur];
+                 }}
+                 SUM[i] = s;
+             }}
+         }}"
+    )
+}
+
 /// An extremely fine-grained kernel: a handful of ALU instructions per
 /// virtual thread and (almost) no memory traffic — the per-thread
 /// scheduling overhead dominates, which is exactly the situation the
@@ -604,6 +782,10 @@ mod tests {
             ("listrank_par", listrank_par(16, 4)),
             ("listrank_ser", listrank_ser(16)),
             ("fft_ser", fft_ser(16)),
+            ("samplesort_par", samplesort_par(64, 8)),
+            ("samplesort_ser", samplesort_ser(64, 8)),
+            ("listsum_par", listsum_par(16, 4)),
+            ("listsum_ser", listsum_ser(16)),
         ] {
             if let Err(e) = tc.compile(&src) {
                 panic!("{name} failed to compile: {e}");

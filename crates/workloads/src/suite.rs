@@ -75,12 +75,14 @@ impl Workload {
                     let got = r.read_global_ints(name, want.len()).ok_or_else(|| {
                         WorkloadError::Mismatch(format!("{}: global `{name}` missing", self.name))
                     })?;
-                    if &got != want {
+                    if let Some(k) = (0..want.len()).find(|&k| got[k] != want[k]) {
                         return Err(WorkloadError::Mismatch(format!(
-                            "{}: `{name}` differs from baseline (got {:?}.., want {:?}..)",
+                            "{}: `{name}[{k}]` differs from baseline: got {}, want {} \
+                             (first divergence of {} elements)",
                             self.name,
-                            &got[..got.len().min(8)],
-                            &want[..want.len().min(8)],
+                            got[k],
+                            want[k],
+                            want.len(),
                         )));
                     }
                 }
@@ -91,10 +93,14 @@ impl Workload {
                     got.sort_unstable();
                     let mut want = want.clone();
                     want.sort_unstable();
-                    if got != want {
+                    if let Some(k) = (0..want.len()).find(|&k| got[k] != want[k]) {
                         return Err(WorkloadError::Mismatch(format!(
-                            "{}: `{name}` multiset differs from baseline",
-                            self.name
+                            "{}: `{name}` multiset differs from baseline at sorted \
+                             position {k}: got {}, want {} (of {} elements)",
+                            self.name,
+                            got[k],
+                            want[k],
+                            want.len(),
                         )));
                     }
                 }
@@ -409,6 +415,52 @@ pub fn listrank(n: usize, seed: u64, v: Variant, opts: &Options) -> Result<Workl
     )
 }
 
+/// Splitter-bucketed parallel sample sort into `s` buckets; `B` ends as
+/// the exact ascending sort of `A`.
+pub fn samplesort(
+    n: usize,
+    s: usize,
+    seed: u64,
+    v: Variant,
+    opts: &Options,
+) -> Result<Workload, WorkloadError> {
+    let a = gen::int_array(n, -500, 500, seed);
+    let want = baselines::sample_sort(&a);
+    let src = match v {
+        Variant::Parallel => programs::samplesort_par(n, s),
+        Variant::Serial => programs::samplesort_ser(n, s),
+    };
+    build(
+        format!("samplesort/{v:?}/{n}x{s}"),
+        &src,
+        opts,
+        &[("A", a)],
+        &[],
+        vec![Check::GlobalEq { name: "B".into(), want }],
+    )
+}
+
+/// Weighted list ranking by pointer jumping: `SUM[i]` is the weight of
+/// the path from `i` to the tail (tail excluded).
+pub fn listsum(n: usize, seed: u64, v: Variant, opts: &Options) -> Result<Workload, WorkloadError> {
+    let next = gen::linked_list(n, seed);
+    let val = gen::int_array(n, -50, 50, seed + 1);
+    let want = baselines::list_sum(&next, &val);
+    let log2n = usize::BITS - (n.max(2) - 1).leading_zeros();
+    let src = match v {
+        Variant::Parallel => programs::listsum_par(n, log2n),
+        Variant::Serial => programs::listsum_ser(n),
+    };
+    build(
+        format!("listsum/{v:?}/{n}"),
+        &src,
+        opts,
+        &[("NEXT", next), ("VAL", val)],
+        &[],
+        vec![Check::GlobalEq { name: "SUM".into(), want }],
+    )
+}
+
 /// The fine-grained scheduling-overhead kernel (clustering subject).
 pub fn fine_grained(n: usize, opts: &Options) -> Result<Workload, WorkloadError> {
     build(
@@ -421,22 +473,70 @@ pub fn fine_grained(n: usize, opts: &Options) -> Result<Workload, WorkloadError>
     )
 }
 
-/// Every workload at a small, test-friendly size.
+/// Every workload at a small, test-friendly size — built through the
+/// trait-based corpus registry (`corpus::small_corpus`), so new corpus
+/// entries appear here (and in everything that iterates this) for free.
 pub fn all_small(opts: &Options) -> Result<Vec<Workload>, WorkloadError> {
     let mut v = Vec::new();
     for variant in [Variant::Parallel, Variant::Serial] {
-        v.push(compaction(64, 1, variant, opts)?);
-        v.push(vecadd(64, 2, variant, opts)?);
-        v.push(prefix(64, 3, variant, opts)?);
-        v.push(reduction(64, 4, variant, opts)?);
-        v.push(bfs(48, 96, 5, variant, opts)?);
-        v.push(connectivity(48, 96, 3, 6, variant, opts)?);
-        v.push(matmul(8, 7, variant, opts)?);
-        v.push(histogram(64, 8, 8, variant, opts)?);
-        v.push(ranksort(48, 9, variant, opts)?);
-        v.push(fft(32, 10, variant, opts)?);
-        v.push(spmv(32, 4, 11, variant, opts)?);
-        v.push(listrank(32, 12, variant, opts)?);
+        for case in crate::corpus::small_corpus() {
+            v.push(case.build(variant, opts)?);
+        }
     }
     Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_reports_the_diverging_index_and_values() {
+        // A vecadd whose expectation is deliberately wrong at index 3:
+        // the diagnostic must name the element, not just the array.
+        let a = gen::int_array(16, -10, 10, 5);
+        let b = gen::int_array(16, -10, 10, 6);
+        let good = baselines::vector_add(&a, &b);
+        let mut want = good.clone();
+        want[3] = want[3].wrapping_add(7);
+        let w = build(
+            "vecadd/corrupted",
+            &programs::vecadd_ser(16),
+            &Options::default(),
+            &[("A", a), ("B", b)],
+            &[],
+            vec![Check::GlobalEq { name: "C".into(), want: want.clone() }],
+        )
+        .unwrap();
+        let r = w.compiled.run_functional().unwrap();
+        let err = w.verify(&r).unwrap_err().to_string();
+        assert!(err.contains("`C[3]`"), "diagnostic names the index: {err}");
+        assert!(
+            err.contains(&format!("got {}", good[3])) && err.contains(&format!("want {}", want[3])),
+            "diagnostic carries both values: {err}"
+        );
+    }
+
+    #[test]
+    fn multiset_verify_reports_the_diverging_element() {
+        let a = gen::int_array(16, -10, 10, 7);
+        let b = gen::int_array(16, -10, 10, 8);
+        let mut want = baselines::vector_add(&a, &b);
+        // Corrupt one element far out of range so the sorted position is
+        // predictable-ish; the assertion only needs index + values.
+        want[0] = 10_000;
+        let w = build(
+            "vecadd/multiset-corrupted",
+            &programs::vecadd_ser(16),
+            &Options::default(),
+            &[("A", a), ("B", b)],
+            &[],
+            vec![Check::GlobalSortedEq { name: "C".into(), want }],
+        )
+        .unwrap();
+        let r = w.compiled.run_functional().unwrap();
+        let err = w.verify(&r).unwrap_err().to_string();
+        assert!(err.contains("sorted position"), "names the position: {err}");
+        assert!(err.contains("got") && err.contains("want"), "carries both values: {err}");
+    }
 }

@@ -11,7 +11,7 @@ use xmt_workloads::suite::{self, Variant};
 fn all_workloads_verify_on_fpga64() {
     let cfg = XmtConfig::fpga64();
     let workloads = suite::all_small(&Options::default()).expect("all build");
-    assert_eq!(workloads.len(), 24);
+    assert_eq!(workloads.len(), 28);
     for w in &workloads {
         let r = w
             .run_and_verify(&cfg)

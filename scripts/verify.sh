@@ -99,13 +99,35 @@ echo "$inflight_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' || {
     exit 1
 }
 
+echo "==> cross-engine differential fuzz referee"
+# The fuzzer must actually *run* its seeded cases through functional
+# mode plus all four cycle-model configs — a filter typo or a renamed
+# test silently skipping the suite must fail the gate. XMT_FUZZ_CASES
+# lets a quick smoke tier dial the count down (default 256).
+fuzz_out=$(XMT_FUZZ_CASES="${XMT_FUZZ_CASES:-256}" \
+    cargo test --offline --release -p xmt-workloads --test cross_engine_fuzz -- --nocapture 2>&1) || {
+    echo "$fuzz_out" >&2
+    exit 1
+}
+echo "$fuzz_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' || {
+    echo "cross-engine fuzz tests were skipped (0 ran):" >&2
+    echo "$fuzz_out" >&2
+    exit 1
+}
+echo "$fuzz_out" | grep -qE 'cross_engine_fuzz: ran [1-9][0-9]* cases through functional \+ 4 cycle engines' || {
+    echo "cross-engine fuzz suite did not report its case count:" >&2
+    echo "$fuzz_out" >&2
+    exit 1
+}
+echo "$fuzz_out" | grep -E 'cross_engine_fuzz: ran'
+
 echo "==> smoke benches (shortened iterations; writes BENCH_*.json)"
 # Cargo runs bench binaries with cwd = the package dir; pin the output
 # to the workspace-root target/ so the gate below finds it.
 XMT_BENCH_DIR="$PWD/target/bench" \
 XMT_BENCH_ITERS="${XMT_BENCH_ITERS:-3}" \
 XMT_BENCH_WARMUP_MS="${XMT_BENCH_WARMUP_MS:-10}" \
-    cargo bench --offline -p xmt-bench --bench modes --bench compiler --bench scheduler --bench icn --bench issue
+    cargo bench --offline -p xmt-bench --bench modes --bench compiler --bench scheduler --bench icn --bench issue --bench corpus
 
 ls target/bench/BENCH_*.json >/dev/null 2>&1 || {
     echo "no BENCH_*.json emitted" >&2
@@ -121,6 +143,10 @@ ls target/bench/BENCH_*.json >/dev/null 2>&1 || {
 }
 [ -f target/bench/BENCH_issue.json ] || {
     echo "BENCH_issue.json missing (issue burst-vs-per-instr bench did not run)" >&2
+    exit 1
+}
+[ -f target/bench/BENCH_corpus.json ] || {
+    echo "BENCH_corpus.json missing (workload-corpus bench did not run)" >&2
     exit 1
 }
 
