@@ -1,0 +1,79 @@
+//! Thread-count scaling of the sharded parallel cycle engine on the
+//! full `chip1024` configuration. Writes `BENCH_parallel.json`.
+//!
+//! Two workload mixes bracket the engine's behaviour:
+//!
+//! * **compute-bound** — a spawn section of pure ALU loops, the best
+//!   case for phase-A burst offload (whole instruction runs execute on
+//!   worker threads between barriers);
+//! * **memory-bound** — vecadd, whose loads and stores force
+//!   fine-grained cross-shard events (ICN hops, cache service) through
+//!   the coordinator at every window.
+//!
+//! Each mix runs sequentially and at 1/2/4/8 worker threads. Speedup is
+//! host-dependent: on a single-core host the parallel rows measure pure
+//! coordination overhead, not scaling.
+
+use xmt_harness::BenchGroup;
+use xmt_isa::{AsmProgram, Executable, GlobalReg, Instr, MemoryMap, Reg, Target};
+use xmtc::Options;
+use xmtsim::{CycleSim, EngineMode, XmtConfig};
+use xmt_workloads::suite::{self, Variant};
+
+/// Spawn section of pure register arithmetic: every virtual thread
+/// spins an ALU loop with no memory traffic after the `ps` handshake.
+fn alu_spawn_program(threads: i32, iters: i32) -> Executable {
+    let mut p = AsmProgram::new();
+    p.push(Instr::Li { rt: Reg::A0, imm: 0 });
+    p.push(Instr::Li { rt: Reg::A1, imm: threads - 1 });
+    p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+    p.label("vt");
+    p.push(Instr::Li { rt: Reg::T0, imm: 1 });
+    p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+    p.push(Instr::Chkid { rt: Reg::T0 });
+    p.push(Instr::Li { rt: Reg::T1, imm: iters });
+    p.label("spin");
+    p.push(Instr::Addi { rt: Reg::T2, rs: Reg::T2, imm: 3 });
+    p.push(Instr::Xor { rd: Reg::T2, rs: Reg::T2, rt: Reg::T1 });
+    p.push(Instr::Addi { rt: Reg::T1, rs: Reg::T1, imm: -1 });
+    p.push(Instr::Bgtz { rs: Reg::T1, target: Target::label("spin") });
+    p.push(Instr::J { target: Target::label("vt") });
+    p.push(Instr::Join);
+    p.push(Instr::Halt);
+    p.link(MemoryMap::new()).unwrap()
+}
+
+fn engine_cfg(base: &XmtConfig, threads: u32) -> XmtConfig {
+    let mut cfg = base.clone();
+    if threads == 0 {
+        cfg.engine_mode = EngineMode::Sequential;
+    } else {
+        cfg.engine_mode = EngineMode::Parallel;
+        cfg.threads = threads;
+    }
+    cfg
+}
+
+fn main() {
+    let base = XmtConfig::chip1024();
+    let alu = alu_spawn_program(2048, 64);
+    let vec = suite::vecadd(4096, 1, Variant::Parallel, &Options::default()).unwrap();
+
+    let mut group = BenchGroup::new("parallel");
+    group.sample_size(10);
+    // threads = 0 encodes the sequential engine baseline.
+    for threads in [0u32, 1, 2, 4, 8] {
+        let label = if threads == 0 { "seq".to_string() } else { format!("par{threads}") };
+        let cfg = engine_cfg(&base, threads);
+        let exe = alu.clone();
+        group.bench(&format!("compute_{label}"), || {
+            let mut sim = CycleSim::new(exe.clone(), cfg.clone());
+            sim.run().unwrap().instructions
+        });
+        let cfg = engine_cfg(&base, threads);
+        group.bench(&format!("memory_{label}"), || {
+            vec.compiled.run(&cfg).unwrap().instructions
+        });
+    }
+    group.finish();
+}

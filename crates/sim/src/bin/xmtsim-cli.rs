@@ -5,19 +5,22 @@
 //! `xmtcc --emit-asm` / `--emit-memmap`).
 //!
 //! ```text
-//! xmtsim-cli PROGRAM.xs [--memmap FILE.xbo] [--config fpga64|chip1024|tiny]
-//!            [--icn express|perhop] [--issue burst|perinstr] [--functional]
+//! xmtsim-cli PROGRAM.xs [--memmap FILE.xbo] [--config fpga64|chip1024|tiny|FILE.json]
+//!            [--icn express|perhop] [--issue burst|perinstr]
+//!            [--engine sequential|parallel] [--threads N] [--functional]
 //!            [--stats] [--dump GLOBAL:COUNT] [--cycles-limit N]
 //! ```
 
 use std::process::ExitCode;
-use xmtsim::{CycleSim, FunctionalSim, IcnModel, IssueModel, XmtConfig};
+use xmt_harness::FromJson;
+use xmtsim::{CycleSim, EngineMode, FunctionalSim, IcnModel, IssueModel, XmtConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: xmtsim-cli PROGRAM.xs [--memmap FILE.xbo] \
-         [--config fpga64|chip1024|tiny] [--icn express|perhop] \
-         [--issue burst|perinstr] [--functional] [--stats] \
+         [--config fpga64|chip1024|tiny|FILE.json] [--icn express|perhop] \
+         [--issue burst|perinstr] [--engine sequential|parallel] \
+         [--threads N] [--functional] [--stats] \
          [--dump GLOBAL:COUNT] [--cycles-limit N]"
     );
     std::process::exit(2)
@@ -33,6 +36,8 @@ fn main() -> ExitCode {
     let mut limit: Option<u64> = None;
     let mut icn_model: Option<IcnModel> = None;
     let mut issue_model: Option<IssueModel> = None;
+    let mut engine_mode: Option<EngineMode> = None;
+    let mut threads: Option<u32> = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -45,7 +50,26 @@ fn main() -> ExitCode {
                     Some("fpga64") => XmtConfig::fpga64(),
                     Some("chip1024") => XmtConfig::chip1024(),
                     Some("tiny") => XmtConfig::tiny(),
-                    _ => usage(),
+                    // Anything else is a JSON configuration file (the
+                    // checkpoint/config interchange format); validation
+                    // happens at simulator construction.
+                    Some(path) => {
+                        let text = match std::fs::read_to_string(path) {
+                            Ok(t) => t,
+                            Err(e) => {
+                                eprintln!("xmtsim-cli: cannot read config {path}: {e}");
+                                std::process::exit(1);
+                            }
+                        };
+                        match XmtConfig::from_json_str(&text) {
+                            Ok(c) => c,
+                            Err(e) => {
+                                eprintln!("xmtsim-cli: config {path}: {e}");
+                                std::process::exit(1);
+                            }
+                        }
+                    }
+                    None => usage(),
                 }
             }
             "--icn" => {
@@ -61,6 +85,16 @@ fn main() -> ExitCode {
                     Some("perinstr") => IssueModel::PerInstr,
                     _ => usage(),
                 })
+            }
+            "--engine" => {
+                engine_mode = Some(match it.next().as_deref() {
+                    Some("sequential") => EngineMode::Sequential,
+                    Some("parallel") => EngineMode::Parallel,
+                    _ => usage(),
+                })
+            }
+            "--threads" => {
+                threads = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
             }
             "--cycles-limit" => {
                 limit = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
@@ -87,6 +121,12 @@ fn main() -> ExitCode {
     }
     if let Some(m) = issue_model {
         config.issue_model = m;
+    }
+    if let Some(m) = engine_mode {
+        config.engine_mode = m;
+    }
+    if let Some(n) = threads {
+        config.threads = n;
     }
 
     let asm_text = match std::fs::read_to_string(&file) {
@@ -148,15 +188,25 @@ fn main() -> ExitCode {
             }
         }
     } else {
-        let mut sim = CycleSim::new(exe, config.clone());
+        let mut sim = match CycleSim::try_new(exe, config.clone()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xmtsim-cli: invalid configuration: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         if let Some(l) = limit {
             sim.set_cycle_limit(l);
         }
         match sim.run() {
             Ok(summary) => {
                 print!("{}", sim.machine.output.to_text());
+                let engine = match config.engine_mode {
+                    EngineMode::Sequential => String::new(),
+                    EngineMode::Parallel => format!(", parallel×{}", sim.workers()),
+                };
                 eprintln!(
-                    "[{} cycles, {} instructions, {} TCUs]",
+                    "[{} cycles, {} instructions, {} TCUs{engine}]",
                     summary.cycles,
                     summary.instructions,
                     config.n_tcus()

@@ -80,6 +80,26 @@ pub enum IssueModel {
 
 json_enum!(IssueModel { Burst, PerInstr });
 
+/// How the cycle model drives its event loop across host threads.
+///
+/// `Parallel` shards the chip — TCU clusters (with their step/completion
+/// traffic) and cache-module slices each own a calendar-queue scheduler —
+/// and advances all shards in lock-step `(time, priority)` windows,
+/// offloading straight-line compute bursts to a worker pool. Events carry
+/// a single global sequence number, so the cross-shard merge reproduces
+/// the sequential engine's `(time, priority, seq)` order exactly: the
+/// parallel engine is bit-identical to `Sequential`, which survives
+/// untouched as the differential oracle (like `PerInstr` and `PerHop`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Single-threaded event loop (the reference engine).
+    Sequential,
+    /// Sharded lock-step engine over `threads` worker threads.
+    Parallel,
+}
+
+json_enum!(EngineMode { Sequential, Parallel });
+
 /// The four independent clock domains whose frequencies an activity
 /// plug-in may retune at runtime (paper §III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,6 +181,11 @@ pub struct XmtConfig {
     pub icn_model: IcnModel,
     /// Instruction-issue model (compute-burst batching vs per-instruction).
     pub issue_model: IssueModel,
+    /// Event-loop engine (sequential reference vs sharded parallel).
+    pub engine_mode: EngineMode,
+    /// Worker threads for [`EngineMode::Parallel`]; clamped to the
+    /// cluster count at run time. Ignored by `Sequential`.
+    pub threads: u32,
 
     // ---- per-cluster shared units ----
     /// Multiply latency on the cluster MDU (cluster cycles, pipelined).
@@ -210,7 +235,7 @@ json_struct!(XmtConfig {
     clusters, tcus_per_cluster, cache_modules, dram_channels, period_ps,
     cache_module_kb, cache_assoc, line_bytes, cache_hit_latency,
     dram_latency, dram_service, icn_latency, icn_timing, icn_model,
-    issue_model,
+    issue_model, engine_mode, threads,
     mul_latency, div_latency, fpu_add_latency, fpu_mul_latency,
     fpu_div_latency, fpu_misc_latency, prefetch_entries, prefetch_policy,
     ro_cache_kb, ro_hit_latency, master_cache_kb, master_cache_assoc,
@@ -257,8 +282,17 @@ impl XmtConfig {
         if !self.clusters.is_power_of_two() {
             return Err("cluster count must be a power of two (mesh-of-trees)".into());
         }
-        if self.cache_modules == 0 || self.dram_channels == 0 {
-            return Err("need at least one cache module and DRAM channel".into());
+        if self.cache_modules == 0 {
+            return Err("need at least one cache module".into());
+        }
+        if self.dram_channels == 0 {
+            // Every cache miss picks a channel via `module % dram_channels`;
+            // zero channels would divide by zero at the first miss.
+            return Err(
+                "dram_channels must be ≥ 1: every cache miss selects a DRAM \
+                 channel, so a zero-channel chip cannot service misses"
+                    .into(),
+            );
         }
         if !self.line_bytes.is_power_of_two() || self.line_bytes < 4 {
             return Err("line size must be a power of two ≥ 4".into());
@@ -271,6 +305,9 @@ impl XmtConfig {
         }
         if self.broadcast_ipc == 0 {
             return Err("broadcast ipc must be nonzero".into());
+        }
+        if self.engine_mode == EngineMode::Parallel && self.threads == 0 {
+            return Err("parallel engine needs at least one worker thread".into());
         }
         Ok(())
     }
@@ -294,6 +331,8 @@ impl XmtConfig {
             icn_timing: IcnTiming::Synchronous,
             icn_model: IcnModel::Express,
             issue_model: IssueModel::Burst,
+            engine_mode: EngineMode::Sequential,
+            threads: 4,
             mul_latency: 3,
             div_latency: 16,
             fpu_add_latency: 4,
@@ -332,6 +371,8 @@ impl XmtConfig {
             icn_timing: IcnTiming::Synchronous,
             icn_model: IcnModel::Express,
             issue_model: IssueModel::Burst,
+            engine_mode: EngineMode::Sequential,
+            threads: 4,
             mul_latency: 3,
             div_latency: 16,
             fpu_add_latency: 4,
@@ -421,5 +462,22 @@ mod tests {
         let mut c = XmtConfig::tiny();
         c.period_ps[2] = 0;
         assert!(c.validate().is_err());
+        let mut c = XmtConfig::tiny();
+        c.engine_mode = EngineMode::Parallel;
+        c.threads = 0;
+        assert!(c.validate().is_err());
+    }
+
+    /// Regression: `dram_channels = 0` used to pass validation (only the
+    /// combined cache/DRAM check existed) and then panic with a
+    /// divide-by-zero inside `arrive()` at the first cache miss. It must
+    /// be rejected up front with a message naming the channel count.
+    #[test]
+    fn zero_dram_channels_is_rejected_with_a_specific_error() {
+        let mut c = XmtConfig::tiny();
+        c.dram_channels = 0;
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("dram_channels"), "unspecific error: {err}");
+        assert!(err.contains("miss"), "error should explain the failure mode: {err}");
     }
 }

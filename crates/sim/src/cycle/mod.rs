@@ -29,9 +29,10 @@
 //!   before prefix-sums) restores the §IV-A partial order.
 
 pub mod cachesim;
+mod parallel;
 pub mod prefetch;
 
-use crate::config::{ClockDomain, IcnModel, IcnTiming, IssueModel, XmtConfig};
+use crate::config::{ClockDomain, EngineMode, IcnModel, IcnTiming, IssueModel, XmtConfig};
 use crate::engine::{Priority, Scheduler, Time, PRI_DEFAULT, PRI_NEGOTIATE, PRI_SAMPLE, PRI_TRANSFER};
 use crate::exec::{self, CostClass, Issued, MemKind, MemRequest, Mode};
 use crate::machine::{Machine, ThreadCtx, Trap};
@@ -387,7 +388,23 @@ pub struct CycleSim {
     /// The Master TCU context.
     pub master: ThreadCtx,
     tcus: Vec<TcuState>,
+    /// Shard 0 of the event list: the master/scheduler shard (and the
+    /// only scheduler at all under [`EngineMode::Sequential`]). Its clock
+    /// is the canonical simulation clock in both engine modes — the
+    /// parallel window loop lock-steps every shard's `now`.
     sched: Scheduler<Ev>,
+    /// Worker-shard event queues ([`EngineMode::Parallel`] only, else
+    /// empty): shard `1 + i` holds the step/completion events of the
+    /// clusters in worker `i`'s contiguous cluster range, plus the
+    /// service events of its cache-module slice. See
+    /// [`Self::shard_of_ev`] for the routing and `cycle::parallel` for
+    /// the conservatively-synchronized window loop that drains them.
+    shard_queues: Vec<Scheduler<Ev>>,
+    /// Global event-insertion counter shared by all shards: cross-shard
+    /// merges order same-`(time, priority)` events by these seqs, which
+    /// reproduces exactly the FIFO order one sequential queue would have
+    /// assigned. Unused (stays 0) in sequential mode.
+    global_seq: u64,
 
     // Clock domains (mutable at runtime through activity plug-ins).
     period_ps: [u64; 4],
@@ -462,9 +479,20 @@ pub struct CycleSim {
 }
 
 impl CycleSim {
-    /// Build a simulator for `exe` on configuration `cfg`.
+    /// Build a simulator for `exe` on configuration `cfg`, panicking on
+    /// an invalid configuration (see [`Self::try_new`]).
     pub fn new(exe: Executable, cfg: XmtConfig) -> Self {
-        cfg.validate().expect("invalid configuration");
+        Self::try_new(exe, cfg).expect("invalid configuration")
+    }
+
+    /// Build a simulator for `exe` on configuration `cfg`, reporting an
+    /// invalid configuration as an error instead of panicking — the
+    /// entry point for simulators built from user-supplied (JSON)
+    /// configurations, where e.g. `dram_channels = 0` must surface as a
+    /// load-time error rather than a divide-by-zero at the first cache
+    /// miss.
+    pub fn try_new(exe: Executable, cfg: XmtConfig) -> Result<Self, String> {
+        cfg.validate()?;
         let machine = Machine::load(&exe);
         let n_tcus = cfg.n_tcus() as usize;
         let line = cfg.line_bytes;
@@ -478,11 +506,19 @@ impl CycleSim {
         };
         let mut master = ThreadCtx { pc: exe.entry, ..Default::default() };
         master.regs.set(Reg::Sp, xmt_isa::STACK_TOP);
-        CycleSim {
+        // Parallel engine: one worker shard per thread, clamped to the
+        // cluster count (a shard with no clusters would never run).
+        let workers = match cfg.engine_mode {
+            EngineMode::Sequential => 0,
+            EngineMode::Parallel => cfg.threads.min(cfg.clusters).max(1) as usize,
+        };
+        Ok(CycleSim {
             machine,
             master,
             tcus: vec![tcu; n_tcus],
             sched: Scheduler::new(),
+            shard_queues: (0..workers).map(|_| Scheduler::new()).collect(),
+            global_seq: 0,
             period_ps: cfg.period_ps,
             cycles_base: 0,
             period_changed_at: 0,
@@ -526,7 +562,7 @@ impl CycleSim {
             started: false,
             exe,
             cfg,
-        }
+        })
     }
 
     /// The configuration in force.
@@ -537,6 +573,76 @@ impl CycleSim {
     /// The loaded executable.
     pub fn executable(&self) -> &Executable {
         &self.exe
+    }
+
+    // ---------------------------------------------------------------
+    // Event routing (sequential vs. sharded parallel)
+    // ---------------------------------------------------------------
+
+    /// Number of worker shards — the effective parallel thread count
+    /// (`threads` clamped to the cluster count); 0 in sequential mode.
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.shard_queues.len()
+    }
+
+    /// The worker shard owning an event, or `None` for shard 0 (the
+    /// master/scheduler shard). TCU step and completion events live with
+    /// their cluster's shard; cache-module service events live with the
+    /// shard owning that module's slice; everything global (master,
+    /// spawn control, sampling, interconnect hops and express legs) is
+    /// shard 0. Both cluster and module ranges are contiguous balanced
+    /// slices, so a shard's state is a contiguous `tcus` range — which
+    /// is what lets phase-A work run on plain disjoint slices.
+    fn shard_of_ev(&self, ev: &Ev) -> Option<usize> {
+        let w = self.shard_queues.len() as u64;
+        match ev {
+            Ev::TcuStep(t) => {
+                Some((self.cfg.cluster_of(*t) as u64 * w / self.cfg.clusters as u64) as usize)
+            }
+            Ev::Complete { tcu, .. } if *tcu != MASTER_ID => {
+                Some((self.cfg.cluster_of(*tcu) as u64 * w / self.cfg.clusters as u64) as usize)
+            }
+            Ev::Service { req, .. } => Some(
+                (self.cfg.module_of(req.addr) as u64 * w / self.cfg.cache_modules as u64) as usize,
+            ),
+            _ => None,
+        }
+    }
+
+    /// Schedule an event on whichever event list owns it. Sequential
+    /// mode degenerates to a plain [`Scheduler::schedule_at`]; parallel
+    /// mode routes by [`Self::shard_of_ev`] and stamps the next *global*
+    /// sequence number, so cross-shard merges reproduce the sequential
+    /// FIFO order exactly.
+    fn schedule_ev(&mut self, time: Time, pri: Priority, ev: Ev) {
+        if self.shard_queues.is_empty() {
+            self.sched.schedule_at(time, pri, ev);
+            return;
+        }
+        let seq = self.global_seq;
+        self.global_seq += 1;
+        match self.shard_of_ev(&ev) {
+            None => self.sched.schedule_at_seq(time, pri, seq, ev),
+            Some(s) => self.shard_queues[s].schedule_at_seq(time, pri, seq, ev),
+        }
+    }
+
+    /// [`Self::schedule_ev`] for events drained but not handled (stop /
+    /// checkpoint boundaries), un-counting them from `processed`. The
+    /// shard routing is a pure function of the event, so a requeued
+    /// event returns to the queue it was popped from.
+    fn requeue_ev(&mut self, time: Time, pri: Priority, ev: Ev) {
+        if self.shard_queues.is_empty() {
+            self.sched.requeue(time, pri, ev);
+            return;
+        }
+        let seq = self.global_seq;
+        self.global_seq += 1;
+        match self.shard_of_ev(&ev) {
+            None => self.sched.requeue_seq(time, pri, seq, ev),
+            Some(s) => self.shard_queues[s].requeue_seq(time, pri, seq, ev),
+        }
     }
 
     /// Attach a filter plug-in (end-of-run custom statistics).
@@ -630,7 +736,7 @@ impl CycleSim {
         match self.max_instrs {
             Some(limit) if self.stats.instructions >= limit => {
                 self.stop_requested = true;
-                self.sched.schedule_at(now, PRI_DEFAULT, step);
+                self.schedule_ev(now, PRI_DEFAULT, step);
                 true
             }
             _ => false,
@@ -719,7 +825,7 @@ impl CycleSim {
             if end != old_end {
                 self.express_legs[i].gen += 1;
                 let gen = self.express_legs[i].gen;
-                self.sched.schedule_at(end, PRI_NEGOTIATE, Ev::ExpressEnd { leg: i as u32, gen });
+                self.schedule_ev(end, PRI_NEGOTIATE, Ev::ExpressEnd { leg: i as u32, gen });
             }
         }
     }
@@ -794,7 +900,7 @@ impl CycleSim {
             hp.express_legs += 1;
             hp.hops_elided += n as u64 - 1;
         }
-        self.sched.schedule_at(end, PRI_NEGOTIATE, Ev::ExpressEnd { leg: slot, gen });
+        self.schedule_ev(end, PRI_NEGOTIATE, Ev::ExpressEnd { leg: slot, gen });
     }
 
     /// An express leg reached the end of its traversal: behave exactly
@@ -812,7 +918,7 @@ impl CycleSim {
         } else {
             // Register writeback cycle at the TCU.
             let cp = self.p(ClockDomain::Cluster);
-            self.sched.schedule_at(
+            self.schedule_ev(
                 now + cp,
                 PRI_DEFAULT,
                 Ev::Complete {
@@ -834,9 +940,9 @@ impl CycleSim {
             return;
         }
         self.started = true;
-        self.sched.schedule_at(0, PRI_DEFAULT, Ev::MasterStep);
+        self.schedule_ev(0, PRI_DEFAULT, Ev::MasterStep);
         if let Some(iv) = self.sample_interval {
-            self.sched.schedule_at(iv, PRI_SAMPLE, Ev::Sample);
+            self.schedule_ev(iv, PRI_SAMPLE, Ev::Sample);
             self.next_sample_at = Some(iv);
         }
     }
@@ -858,6 +964,17 @@ impl CycleSim {
     /// the middle of a batch (stop request, checkpoint boundary, `halt`)
     /// requeue the unhandled tail so pending/processed counts stay exact.
     pub(crate) fn run_inner(&mut self) -> Result<Outcome, SimError> {
+        if self.shard_queues.is_empty() {
+            self.run_inner_sequential()
+        } else {
+            self.run_inner_parallel()
+        }
+    }
+
+    /// The sequential engine — also the differential oracle for
+    /// [`EngineMode::Parallel`] (see `cycle::parallel`), so it must stay
+    /// bit-identical to what it was before the parallel engine existed.
+    fn run_inner_sequential(&mut self) -> Result<Outcome, SimError> {
         self.start();
         let mut batch: Vec<Ev> = Vec::new();
         loop {
@@ -937,7 +1054,7 @@ impl CycleSim {
                         self.checkpoint_at = None;
                         // Keep this simulator resumable too: put the master
                         // step back so `run()` can continue from here.
-                        self.sched.schedule_at(now, PRI_DEFAULT, Ev::MasterStep);
+                        self.schedule_ev(now, PRI_DEFAULT, Ev::MasterStep);
                         self.requeue_tail(now, pri, &mut batch, i);
                         return Ok(Outcome::Checkpoint(now));
                     }
@@ -982,7 +1099,7 @@ impl CycleSim {
     /// exits mid-group.
     fn requeue_tail(&mut self, time: Time, pri: Priority, batch: &mut Vec<Ev>, from: usize) {
         for ev in batch.drain(from..) {
-            self.sched.requeue(time, pri, ev);
+            self.requeue_ev(time, pri, ev);
         }
         batch.clear();
     }
@@ -992,7 +1109,8 @@ impl CycleSim {
             cycles: self.cycles(),
             time_ps: self.sched.now(),
             instructions: self.stats.instructions,
-            events: self.sched.processed(),
+            events: self.sched.processed()
+                + self.shard_queues.iter().map(|q| q.processed()).sum::<u64>(),
         }
     }
 
@@ -1054,7 +1172,7 @@ impl CycleSim {
                 if self.burst_issue() {
                     done = self.master_burst(done);
                 }
-                self.sched.schedule_at(done, PRI_DEFAULT, Ev::MasterStep);
+                self.schedule_ev(done, PRI_DEFAULT, Ev::MasterStep);
             }
             Issued::Mem(req) => {
                 self.stats.count_instr(xmt_isa::FuKind::Mem, None);
@@ -1074,7 +1192,7 @@ impl CycleSim {
                 let cp = self.p(ClockDomain::Cluster);
                 if req.kind == MemKind::Pref {
                     // The master has no prefetch buffer; `pref` is a nop.
-                    self.sched.schedule_at(now + cp, PRI_DEFAULT, Ev::MasterStep);
+                    self.schedule_ev(now + cp, PRI_DEFAULT, Ev::MasterStep);
                 } else if req.kind == MemKind::Psm || !self.master_cache.access(req.addr) {
                     // psm must reach the shared module; so must misses.
                     if req.kind != MemKind::Psm {
@@ -1086,7 +1204,7 @@ impl CycleSim {
                 } else {
                     self.stats.master_hits += 1;
                     let done = now + self.cfg.master_hit_latency as Time * cp;
-                    self.sched.schedule_at(done, PRI_DEFAULT, Ev::MasterStep);
+                    self.schedule_ev(done, PRI_DEFAULT, Ev::MasterStep);
                 }
             }
             Issued::Spawn { lo, hi, spawn_idx } => {
@@ -1097,7 +1215,7 @@ impl CycleSim {
                 self.stats.count_instr(xmt_isa::FuKind::Ctl, None);
                 // Master memory ops are all blocking: nothing pending.
                 let done = now + self.p(ClockDomain::Cluster);
-                self.sched.schedule_at(done, PRI_DEFAULT, Ev::MasterStep);
+                self.schedule_ev(done, PRI_DEFAULT, Ev::MasterStep);
             }
             Issued::Halt => {
                 self.stats.count_instr(xmt_isa::FuKind::Ctl, None);
@@ -1199,7 +1317,7 @@ impl CycleSim {
             // Empty range: no parallel section at all.
             self.master.pc = join_idx + 1;
             let done = now + self.cfg.spawn_overhead as Time * cp;
-            self.sched.schedule_at(done, PRI_DEFAULT, Ev::MasterStep);
+            self.schedule_ev(done, PRI_DEFAULT, Ev::MasterStep);
             return;
         }
         self.stats.virtual_threads += (hi as i64 - lo as i64 + 1) as u64;
@@ -1216,7 +1334,7 @@ impl CycleSim {
         let body_len = join_idx.saturating_sub(spawn_idx + 1);
         let bc_cycles =
             self.cfg.spawn_overhead as Time + body_len.div_ceil(self.cfg.broadcast_ipc) as Time;
-        self.sched.schedule_at(
+        self.schedule_ev(
             now + bc_cycles * cp,
             PRI_TRANSFER,
             Ev::BroadcastDone { body_pc: spawn_idx + 1 },
@@ -1235,7 +1353,7 @@ impl CycleSim {
             tcu.parked = false;
             tcu.fence_wait = false;
             tcu.pbuf.clear();
-            self.sched.schedule_at(now, PRI_DEFAULT, Ev::TcuStep(t as u32));
+            self.schedule_ev(now, PRI_DEFAULT, Ev::TcuStep(t as u32));
         }
     }
 
@@ -1247,7 +1365,7 @@ impl CycleSim {
             if let Some(rec) = self.stats.spawn_records.last_mut() {
                 rec.end_ps = done;
             }
-            self.sched.schedule_at(done, PRI_DEFAULT, Ev::MasterStep);
+            self.schedule_ev(done, PRI_DEFAULT, Ev::MasterStep);
         }
     }
 
@@ -1285,7 +1403,7 @@ impl CycleSim {
                 if self.burst_issue() {
                     done = self.tcu_burst(done, t, cluster, hi);
                 }
-                self.sched.schedule_at(done, PRI_DEFAULT, Ev::TcuStep(t));
+                self.schedule_ev(done, PRI_DEFAULT, Ev::TcuStep(t));
             }
             Issued::Mem(req) => {
                 self.stats.count_instr(xmt_isa::FuKind::Mem, Some(cluster));
@@ -1307,7 +1425,7 @@ impl CycleSim {
                 let tcu = &mut self.tcus[t as usize];
                 if tcu.pending == 0 {
                     let done = now + self.p(ClockDomain::Cluster);
-                    self.sched.schedule_at(done, PRI_DEFAULT, Ev::TcuStep(t));
+                    self.schedule_ev(done, PRI_DEFAULT, Ev::TcuStep(t));
                 } else {
                     tcu.fence_wait = true;
                     tcu.fence_from = now;
@@ -1432,7 +1550,7 @@ impl CycleSim {
             self.tcus[t as usize].pending += 1;
             self.pending_total += 1;
             self.inject(now, t, cluster, req);
-            self.sched.schedule_at(now + cp, PRI_DEFAULT, Ev::TcuStep(t));
+            self.schedule_ev(now + cp, PRI_DEFAULT, Ev::TcuStep(t));
             return;
         }
 
@@ -1452,8 +1570,7 @@ impl CycleSim {
                 let done = (now + cp).max(ready);
                 let value = exec::perform(&mut self.machine, &req);
                 let issued_at = now;
-                self.sched
-                    .schedule_at(done, PRI_DEFAULT, Ev::Complete { tcu: t, req, value, issued_at });
+                self.schedule_ev(done, PRI_DEFAULT, Ev::Complete { tcu: t, req, value, issued_at });
                 return;
             }
         }
@@ -1465,8 +1582,7 @@ impl CycleSim {
                 let done = now + self.cfg.ro_hit_latency as Time * cp;
                 let value = exec::perform(&mut self.machine, &req);
                 let issued_at = now;
-                self.sched
-                    .schedule_at(done, PRI_DEFAULT, Ev::Complete { tcu: t, req, value, issued_at });
+                self.schedule_ev(done, PRI_DEFAULT, Ev::Complete { tcu: t, req, value, issued_at });
                 return;
             }
             self.stats.ro_misses += 1;
@@ -1477,7 +1593,7 @@ impl CycleSim {
         if !req.kind.blocking() {
             self.tcus[t as usize].pending += 1;
             self.pending_total += 1;
-            self.sched.schedule_at(now + cp, PRI_DEFAULT, Ev::TcuStep(t));
+            self.schedule_ev(now + cp, PRI_DEFAULT, Ev::TcuStep(t));
         }
         self.inject(now, t, cluster, req);
     }
@@ -1503,7 +1619,7 @@ impl CycleSim {
             // Walk the package through the send-network switch pipeline,
             // one event per stage (the paper's package-through-components
             // model).
-            IcnModel::PerHop => self.sched.schedule_at(
+            IcnModel::PerHop => self.schedule_ev(
                 send + first_hop,
                 PRI_NEGOTIATE,
                 Ev::Hop {
@@ -1537,7 +1653,7 @@ impl CycleSim {
             } else {
                 // Register writeback cycle at the TCU.
                 let cp = self.p(ClockDomain::Cluster);
-                self.sched.schedule_at(
+                self.schedule_ev(
                     now + cp,
                     PRI_DEFAULT,
                     Ev::Complete { tcu, req, value, issued_at },
@@ -1546,7 +1662,7 @@ impl CycleSim {
             return;
         }
         let delay = self.hop_delay(req.addr, remaining);
-        self.sched.schedule_at(
+        self.schedule_ev(
             now + delay,
             PRI_NEGOTIATE,
             Ev::Hop { tcu, req, remaining: remaining - 1, value, inbound, issued_at },
@@ -1579,13 +1695,17 @@ impl CycleSim {
         };
         // Chain behind any outstanding access to the same line (MSHR): a
         // tag hit under a miss must not overtake the fill.
-        // Entries at or before `now` can never raise a future service end
-        // (every svc_end computed here exceeds `now`), so once the map
-        // grows past a bound, drop them before inserting — long runs
-        // would otherwise keep one entry per line ever touched.
+        // Entries strictly before `now` can never raise a future service
+        // end, so once the map grows past a bound, drop them before
+        // inserting — long runs would otherwise keep one entry per line
+        // ever touched. Entries *at* `now` must survive the prune: with
+        // `cache_hit_latency = 0` an unconstrained hit has
+        // `svc_end == tag == now`, and a same-instant arrival to the same
+        // line still has to chain behind it (`max()` below) — pruning it
+        // would let that arrival's service overtake the one just issued.
         const LINE_BUSY_PRUNE_AT: usize = 1024;
         if self.line_busy.len() >= LINE_BUSY_PRUNE_AT {
-            self.line_busy.retain(|_, &mut t| t > now);
+            self.line_busy.retain(|_, &mut t| t >= now);
         }
         let line = req.addr / self.cfg.line_bytes;
         if let Some(&busy) = self.line_busy.get(&line) {
@@ -1595,8 +1715,7 @@ impl CycleSim {
 
         // The response leaves through the return network after service.
         let done = svc_end;
-        self.sched
-            .schedule_at(svc_end, PRI_TRANSFER, Ev::Service { tcu, req, done, issued_at });
+        self.schedule_ev(svc_end, PRI_TRANSFER, Ev::Service { tcu, req, done, issued_at });
     }
 
     /// A request reaches its cache module's service point: apply it to
@@ -1614,7 +1733,7 @@ impl CycleSim {
             IcnModel::Express => self.express_schedule(tcu, req, value, false, issued_at, now),
             IcnModel::PerHop => {
                 let first_hop = self.hop_delay(req.addr, u32::MAX);
-                self.sched.schedule_at(
+                self.schedule_ev(
                     now + first_hop,
                     PRI_NEGOTIATE,
                     Ev::Hop {
@@ -1637,7 +1756,7 @@ impl CycleSim {
         }
         if tcu == MASTER_ID {
             self.stats.mem_wait_ps += now - issued_at;
-            self.sched.schedule_at(now, PRI_DEFAULT, Ev::MasterStep);
+            self.schedule_ev(now, PRI_DEFAULT, Ev::MasterStep);
             return;
         }
         let blocking = req.kind.blocking();
@@ -1645,7 +1764,7 @@ impl CycleSim {
             let state = &mut self.tcus[tcu as usize];
             exec::complete(&mut state.ctx, &req, value);
             self.stats.mem_wait_ps += now - issued_at;
-            self.sched.schedule_at(now, PRI_DEFAULT, Ev::TcuStep(tcu));
+            self.schedule_ev(now, PRI_DEFAULT, Ev::TcuStep(tcu));
         } else {
             self.tcus[tcu as usize].pending -= 1;
             self.pending_total -= 1;
@@ -1657,7 +1776,7 @@ impl CycleSim {
                 if let Some(waiters) = self.pbuf_waiters.remove(&(tcu, req.addr & !3)) {
                     for (wreq, wissued) in waiters {
                         let value = exec::perform(&mut self.machine, &wreq);
-                        self.sched.schedule_at(
+                        self.schedule_ev(
                             now + cp,
                             PRI_DEFAULT,
                             Ev::Complete { tcu, req: wreq, value, issued_at: wissued },
@@ -1670,7 +1789,7 @@ impl CycleSim {
                 state.fence_wait = false;
                 self.stats.fence_wait_ps += now - state.fence_from;
                 let done = now + self.p(ClockDomain::Cluster);
-                self.sched.schedule_at(done, PRI_DEFAULT, Ev::TcuStep(tcu));
+                self.schedule_ev(done, PRI_DEFAULT, Ev::TcuStep(tcu));
             }
             self.maybe_join(now);
         }
@@ -1704,7 +1823,7 @@ impl CycleSim {
         self.next_sample_at = None;
         if let Some(iv) = self.sample_interval {
             if !self.machine.halted && !self.stop_requested {
-                self.sched.schedule_at(now + iv, PRI_SAMPLE, Ev::Sample);
+                self.schedule_ev(now + iv, PRI_SAMPLE, Ev::Sample);
                 self.next_sample_at = Some(now + iv);
             }
         }
@@ -1729,14 +1848,17 @@ impl CycleSim {
     pub(crate) fn skip_time(&mut self, dt: Time) {
         let t = self.sched.now() + dt;
         self.sched.clear();
+        for q in &mut self.shard_queues {
+            q.clear();
+        }
         // Quiescent: no packages in flight; any leg slots (and the stale
         // end events `clear()` just dropped) can go.
         self.express_legs.clear();
         self.legs_free.clear();
-        self.sched.schedule_at(t, PRI_DEFAULT, Ev::MasterStep);
+        self.schedule_ev(t, PRI_DEFAULT, Ev::MasterStep);
         self.next_sample_at = None;
         if let Some(iv) = self.sample_interval {
-            self.sched.schedule_at(t + iv, PRI_SAMPLE, Ev::Sample);
+            self.schedule_ev(t + iv, PRI_SAMPLE, Ev::Sample);
             self.next_sample_at = Some(t + iv);
         }
     }
@@ -1779,11 +1901,20 @@ impl CycleSim {
     /// order, the express-leg table, and the package-tracking side
     /// tables, all in deterministic (sorted) form.
     pub(crate) fn inflight_snapshot(&self) -> InflightState {
-        let events = self
-            .sched
-            .pending_snapshot()
+        // Merge the per-shard pending queues into one global pop order.
+        // Seqs come from the shared global counter (or the single
+        // sequential queue), so sorting by `(time, pri, seq)` is exactly
+        // the order a sequential drain would pop — the snapshot is
+        // bit-identical across engine modes, and the seqs themselves
+        // need not be saved (replay re-assigns fresh monotone ones).
+        let mut pend = self.sched.pending_snapshot_seq();
+        for q in &self.shard_queues {
+            pend.extend(q.pending_snapshot_seq());
+        }
+        pend.sort_by(|a, b| (a.0, a.1, a.2).cmp(&(b.0, b.1, b.2)));
+        let events = pend
             .into_iter()
-            .map(|(time, pri, ev)| SavedEvent { time, pri, ev })
+            .map(|(time, pri, _, ev)| SavedEvent { time, pri, ev })
             .collect();
         let mut pbuf_waiters: Vec<SavedWaiter> = self
             .pbuf_waiters
@@ -1846,12 +1977,16 @@ impl CycleSim {
         // `reset()`, not `clear()`: restoring may rewind to a time earlier
         // than this scheduler has reached, which `clear()` still rejects.
         self.sched.reset();
+        for q in &mut self.shard_queues {
+            q.reset();
+        }
+        self.global_seq = 0;
         self.next_sample_at = None;
         if inflight.is_quiescent() {
             // Resume from a quiescent master-step boundary.
-            self.sched.schedule_at(now.max(1), PRI_DEFAULT, Ev::MasterStep);
+            self.schedule_ev(now.max(1), PRI_DEFAULT, Ev::MasterStep);
             if let Some(iv) = self.sample_interval {
-                self.sched.schedule_at(now.max(1) + iv, PRI_SAMPLE, Ev::Sample);
+                self.schedule_ev(now.max(1) + iv, PRI_SAMPLE, Ev::Sample);
                 self.next_sample_at = Some(now.max(1) + iv);
             }
         } else {
@@ -1892,7 +2027,7 @@ impl CycleSim {
                         None => se.time,
                     });
                 }
-                self.sched.schedule_at(se.time, se.pri, se.ev);
+                self.schedule_ev(se.time, se.pri, se.ev);
             }
         }
     }
@@ -2383,6 +2518,74 @@ mod tests {
             sim.line_busy.len() <= 1100,
             "line_busy grew unboundedly: {} entries",
             sim.line_busy.len()
+        );
+    }
+
+    /// Regression: with `cache_hit_latency = 0` a hit completes at the
+    /// arrival instant, so its MSHR entry sits at exactly `now`. The
+    /// prune must keep entries *at* `now` (`t >= now`, not `t > now`):
+    /// a same-instant arrival to that line still has to find the entry
+    /// and chain behind it, or its service could overtake the fill.
+    #[test]
+    fn line_busy_prune_keeps_same_instant_entries_at_zero_hit_latency() {
+        let mut cfg = XmtConfig::tiny();
+        cfg.cache_hit_latency = 0;
+        let mut p = AsmProgram::new();
+        p.push(Instr::Halt);
+        let exe = p.link(MemoryMap::new()).unwrap();
+        let mut sim = CycleSim::new(exe, cfg);
+
+        let now: Time = 50_000;
+        // Arm the prune: well past the 1024-entry threshold, all stale.
+        for k in 0..1200u32 {
+            sim.line_busy.insert(0x1000 + k, now - 1);
+        }
+        // One in-flight fill ending strictly after `now`, and one
+        // zero-latency hit that completed at exactly `now` — the
+        // boundary case the old `t > now` prune dropped.
+        let future_line = 0x10u32;
+        let boundary_line = 0x11u32;
+        sim.line_busy.insert(future_line, now + 700);
+        sim.line_busy.insert(boundary_line, now);
+
+        // An unrelated arrival triggers the prune on insert.
+        let req = MemRequest {
+            kind: MemKind::LoadW,
+            addr: 0x20 * sim.cfg.line_bytes,
+            dst_i: Some(Reg::T0),
+            dst_f: None,
+            value: 0,
+            pc: 0,
+        };
+        sim.arrive(now, 0, req, now);
+
+        assert!(
+            sim.line_busy.contains_key(&boundary_line),
+            "prune dropped the same-instant MSHR entry (t == now)"
+        );
+        assert!(sim.line_busy.contains_key(&future_line));
+        // Stale entries really were dropped (the prune still works).
+        assert!(
+            sim.line_busy.len() <= 4,
+            "stale entries survived the prune: {} left",
+            sim.line_busy.len()
+        );
+
+        // And the surviving entry is actually consulted: a same-instant
+        // arrival to that line chains behind an in-flight service end.
+        sim.line_busy.insert(boundary_line, now + 900);
+        let req2 = MemRequest {
+            kind: MemKind::LoadW,
+            addr: boundary_line * sim.cfg.line_bytes,
+            dst_i: Some(Reg::T0),
+            dst_f: None,
+            value: 0,
+            pc: 0,
+        };
+        sim.arrive(now, 1, req2, now);
+        assert!(
+            sim.line_busy[&boundary_line] >= now + 900,
+            "same-line arrival failed to chain behind the in-flight fill"
         );
     }
 }

@@ -1,0 +1,465 @@
+//! The sharded parallel cycle engine ([`EngineMode::Parallel`]).
+//!
+//! [`EngineMode::Parallel`]: crate::config::EngineMode::Parallel
+//! [`Scheduler`]: crate::engine::Scheduler
+//!
+//! The cycle model is partitioned into conservatively-synchronized
+//! shards: each worker shard owns a contiguous range of clusters (and the
+//! matching slice of cache modules), shard 0 — the coordinator's own
+//! queue — owns the master TCU, spawn control, sampling and the
+//! interconnect. Every shard runs its own calendar-queue [`Scheduler`];
+//! the shards advance in lock-step *windows*, where one window is one
+//! global `(time, priority)` event group — the same granularity the
+//! sequential engine drains with `pop_cycle`. The lookahead bound is
+//! therefore zero: nothing inside a window can schedule an event before
+//! the window's own timestamp (`schedule_at` asserts this), so draining
+//! the globally-minimal group from every shard at the barrier is always
+//! safe, exactly as in classical conservative (Chandy–Misra–Bryant style)
+//! parallel discrete-event simulation — with the window barrier standing
+//! in for null messages.
+//!
+//! Determinism is *by construction*, not by luck:
+//!
+//! * every insertion carries a **global** sequence number
+//!   ([`CycleSim::schedule_ev`]), so the cross-shard merge of a window is
+//!   bit-for-bit the FIFO order one sequential queue would have produced,
+//!   and the existing canonical `(time, priority, seq)` total order — plus
+//!   the same `order_express_batch` / `order_default_batch` re-sorts —
+//!   resolves same-window cross-shard ties identically in both engines;
+//! * worker threads only ever run **phase A**: compute bursts of *pure
+//!   local* instructions (`exec::issue_local` — the same single
+//!   implementation `exec::issue` delegates to) on disjoint slices of the
+//!   TCU array, returning per-task stat deltas. Everything with shared
+//!   state — memory packages, the master, spawn control — is **phase B**,
+//!   run by the coordinator alone, interleaved with phase-A commits in
+//!   canonical batch order. Since a burstable instruction touches nothing
+//!   but its own TCU's registers and pc, precomputing it from
+//!   window-start state equals executing it at its canonical position;
+//! * the coordinator blocks until every worker has returned before it
+//!   commits anything, so there is no cross-thread timing visibility at
+//!   all — only the partitioning of work.
+//!
+//! The result: identical cycles, simulated time, statistics JSON and
+//! machine image for any thread count, enforced continuously by
+//! `differential::run_all_engines` and the cross-engine fuzzer.
+
+use super::{BurstBreak, CycleSim, Ev, Outcome, SimError, TcuState, BURST_CAP};
+use crate::config::{ClockDomain, IcnModel};
+use crate::engine::{Priority, Time, PRI_DEFAULT, PRI_NEGOTIATE};
+use crate::exec::{self, CostClass};
+use crate::machine::ThreadCtx;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use xmt_isa::{Executable, FuKind};
+
+/// Minimum burstable step events in a window before phase A is worth a
+/// barrier round-trip. Kept low so even the fuzzer's tiny configurations
+/// exercise the offload path.
+const MIN_OFFLOAD_TASKS: usize = 2;
+
+/// Window-constant inputs a worker needs to replay `tcu_burst`'s break
+/// conditions exactly (the instruction-limit check is excluded by the
+/// offload headroom guard, which proves it false for the whole window).
+#[derive(Clone, Copy)]
+struct BurstParams {
+    /// The window timestamp (burst start).
+    now: Time,
+    /// The cluster clock period in force (constant within a window:
+    /// DVFS changes happen in `PRI_SAMPLE` groups).
+    cp: Time,
+    next_sample_at: Option<Time>,
+    max_cycles: Option<u64>,
+    checkpoint_any_at: Option<u64>,
+    cycles_base: u64,
+    period_changed_at: Time,
+}
+
+impl BurstParams {
+    /// `CycleSim::cycles_at` from window-constant state.
+    fn cycles_at(&self, t: Time) -> u64 {
+        self.cycles_base + (t - self.period_changed_at) / self.cp
+    }
+}
+
+/// One offloaded step event: position in the canonical batch + TCU.
+struct StepTask {
+    idx: usize,
+    tcu: u32,
+}
+
+/// A completed phase-A burst, ready to commit at batch position `idx`.
+struct StepDone {
+    idx: usize,
+    tcu: u32,
+    /// Aggregate completion time of the burst (next step event time).
+    done: Time,
+    /// Instructions folded into the burst (host-profile bookkeeping).
+    len: u64,
+    reason: BurstBreak,
+    /// Instructions by functional unit: `[Alu, Sft, Br, Ctl]` — the only
+    /// classes a pure-local instruction can be.
+    counts: [u64; 4],
+}
+
+/// Base pointer of the TCU array, shipped to a worker together with the
+/// index range it may touch.
+///
+/// SAFETY: the coordinator sends each window's tasks partitioned by
+/// shard, every TCU index appears in at most one task (a TCU has at most
+/// one pending step event), and the coordinator does not touch `tcus` —
+/// or any other `&mut self` state — between sending the commands and
+/// receiving every worker's reply (the `recv` loop is the barrier). The
+/// array itself never reallocates during a run (its length is fixed at
+/// construction). Exclusive access is therefore guaranteed temporally.
+struct TcuPtr(*mut TcuState);
+
+unsafe impl Send for TcuPtr {}
+
+/// One phase-A work order: run every task's burst on the slice
+/// `base[lo..hi]` and reply with the results.
+struct WorkerCmd {
+    base: TcuPtr,
+    lo: usize,
+    hi: usize,
+    params: BurstParams,
+    tasks: Vec<StepTask>,
+}
+
+/// Worker thread body: serve phase-A commands until the command channel
+/// closes (end of the run).
+fn worker_loop(exe: &Executable, rx: Receiver<WorkerCmd>, tx: Sender<Vec<StepDone>>) {
+    while let Ok(cmd) = rx.recv() {
+        let mut out = Vec::with_capacity(cmd.tasks.len());
+        for task in &cmd.tasks {
+            let i = task.tcu as usize;
+            debug_assert!(cmd.lo <= i && i < cmd.hi, "task outside this worker's shard");
+            // SAFETY: see `TcuPtr` — unique for the barrier's duration.
+            let st = unsafe { &mut *cmd.base.0.add(i) };
+            out.push(burst_local(exe, &mut st.ctx, &cmd.params, task));
+        }
+        if tx.send(out).is_err() {
+            break;
+        }
+    }
+}
+
+/// Latency of a pure-local instruction — `CycleSim::tcu_cost` restricted
+/// to the classes `exec::issue_local` can return, where it is a pure
+/// function (no shared-FU timeline arbitration).
+fn local_cost(cost: CostClass, cp: Time) -> Time {
+    match cost {
+        CostClass::Branch { taken: true } => 2 * cp,
+        // Alu / Sft / Ctl / untaken branch: one cluster cycle.
+        _ => cp,
+    }
+}
+
+fn count(counts: &mut [u64; 4], cost: CostClass) {
+    let slot = match cost {
+        CostClass::Alu => 0,
+        CostClass::Sft => 1,
+        CostClass::Branch { .. } => 2,
+        _ => 3, // Ctl (Nop) — nothing else is local
+    };
+    counts[slot] += 1;
+}
+
+/// Replay `tcu_step`'s `Issued::Done` arm plus `tcu_burst` for one TCU,
+/// worker-side: same instructions (via the shared `exec` local path),
+/// same costs, same break conditions, no shared state touched.
+fn burst_local(exe: &Executable, ctx: &mut ThreadCtx, p: &BurstParams, task: &StepTask) -> StepDone {
+    let mut counts = [0u64; 4];
+    let first = exec::issue_local(exe, ctx).expect("triage peeked a burstable instruction");
+    count(&mut counts, first);
+    let mut done = p.now + local_cost(first, p.cp);
+    let mut len = 1u64;
+    let reason = loop {
+        if len >= BURST_CAP {
+            break BurstBreak::Cap;
+        }
+        if p.next_sample_at.is_some_and(|s| done > s) {
+            break BurstBreak::Sample;
+        }
+        if p.max_cycles.is_some_and(|l| p.cycles_at(done) > l)
+            || p.checkpoint_any_at.is_some_and(|c| p.cycles_at(done) >= c)
+        {
+            break BurstBreak::Boundary;
+        }
+        if !exec::peek_burstable(exe, ctx.pc) {
+            break BurstBreak::NonLocal;
+        }
+        let cost = exec::issue_local(exe, ctx).expect("peeked instructions are local");
+        count(&mut counts, cost);
+        done += local_cost(cost, p.cp);
+        len += 1;
+    };
+    StepDone { idx: task.idx, tcu: task.tcu, done, len, reason, counts }
+}
+
+impl CycleSim {
+    /// The parallel twin of `run_inner_sequential`: spawn one worker per
+    /// shard for the duration of the run, then drive the window loop.
+    pub(super) fn run_inner_parallel(&mut self) -> Result<Outcome, SimError> {
+        self.start();
+        let exe = self.exe.clone();
+        let workers = self.workers();
+        std::thread::scope(|scope| {
+            let mut cmd_txs: Vec<Sender<WorkerCmd>> = Vec::with_capacity(workers);
+            let (res_tx, res_rx) = channel::<Vec<StepDone>>();
+            for _ in 0..workers {
+                let (tx, rx) = channel::<WorkerCmd>();
+                cmd_txs.push(tx);
+                let res_tx = res_tx.clone();
+                let exe = &exe;
+                scope.spawn(move || worker_loop(exe, rx, res_tx));
+            }
+            // Dropping `cmd_txs` when this closure returns closes every
+            // command channel; the workers exit and the scope joins them.
+            self.window_loop(&cmd_txs, &res_rx)
+        })
+    }
+
+    /// First cluster owned by worker shard `i` (contiguous balanced
+    /// ranges; the inverse of the `c * w / clusters` routing in
+    /// `shard_of_ev`).
+    fn shard_cluster_lo(&self, i: usize) -> usize {
+        let w = self.workers() as u64;
+        ((i as u64 * self.cfg.clusters as u64).div_ceil(w)) as usize
+    }
+
+    /// The conservatively-synchronized window loop (see module docs).
+    fn window_loop(
+        &mut self,
+        cmd_txs: &[Sender<WorkerCmd>],
+        res_rx: &Receiver<Vec<StepDone>>,
+    ) -> Result<Outcome, SimError> {
+        let mut merged: Vec<(u64, Ev)> = Vec::new();
+        let mut batch: Vec<Ev> = Vec::new();
+        let mut results: Vec<Option<StepDone>> = Vec::new();
+        loop {
+            if self.stop_requested {
+                return Ok(Outcome::Done(self.summary()));
+            }
+            let profile = self.host_profile.is_some();
+            let s0 = profile.then(std::time::Instant::now);
+            // The window bound: the globally smallest pending
+            // (time, priority) — the barrier every shard advances to.
+            let mut key = self.sched.peek_key();
+            for q in &self.shard_queues {
+                key = match (key, q.peek_key()) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            let Some((now, pri)) = key else {
+                return if self.machine.halted {
+                    Ok(Outcome::Done(self.summary()))
+                } else {
+                    Err(SimError::Deadlock { time: self.sched.now() })
+                };
+            };
+            // Drain every shard's slice of the group (lock-stepping all
+            // shard clocks, even idle ones) and merge by global seq: the
+            // exact batch a sequential `pop_cycle` would have produced.
+            merged.clear();
+            self.sched.pop_group_seq(now, pri, &mut merged);
+            for q in &mut self.shard_queues {
+                q.pop_group_seq(now, pri, &mut merged);
+            }
+            merged.sort_unstable_by_key(|&(seq, _)| seq);
+            batch.clear();
+            batch.extend(merged.drain(..).map(|(_, ev)| ev));
+            if let (Some(s0), Some(hp)) = (s0, self.host_profile.as_mut()) {
+                hp.sched_s += s0.elapsed().as_secs_f64();
+            }
+            // From here on: the same checks, re-sorts and walk as the
+            // sequential engine, with phase-A commits spliced in.
+            if let Some(limit) = self.max_cycles {
+                let c = self.cycles_at(now);
+                if c > limit {
+                    return Err(SimError::CycleLimit { cycles: c });
+                }
+            }
+            if let Some(target) = self.checkpoint_any_at {
+                if self.cycles_at(now) >= target {
+                    self.checkpoint_any_at = None;
+                    self.requeue_tail(now, pri, &mut batch, 0);
+                    return Ok(Outcome::Checkpoint(now));
+                }
+            }
+            if pri == PRI_NEGOTIATE
+                && batch.len() > 1
+                && self.cfg.icn_model == IcnModel::Express
+            {
+                super::order_express_batch(&self.express_legs, &mut batch);
+            }
+            if pri == PRI_DEFAULT && batch.len() > 1 {
+                super::order_default_batch(&mut batch);
+            }
+            self.offload_phase_a(now, pri, &batch, cmd_txs, res_rx, &mut results);
+            let mut i = 0;
+            while i < batch.len() {
+                if i > 0 && self.stop_requested {
+                    debug_assert!(results.iter().skip(i).all(|r| r.is_none()));
+                    self.requeue_tail(now, pri, &mut batch, i);
+                    return Ok(Outcome::Done(self.summary()));
+                }
+                let ev = std::mem::replace(&mut batch[i], Ev::Sample);
+                i += 1;
+                if let (Some(target), Ev::MasterStep, None) =
+                    (self.checkpoint_at, &ev, self.par.as_ref())
+                {
+                    if self.cycles_at(now) >= target && self.pending_total == 0 {
+                        self.checkpoint_at = None;
+                        self.schedule_ev(now, PRI_DEFAULT, Ev::MasterStep);
+                        debug_assert!(results.iter().skip(i).all(|r| r.is_none()));
+                        self.requeue_tail(now, pri, &mut batch, i);
+                        return Ok(Outcome::Checkpoint(now));
+                    }
+                }
+                let t0 = profile.then(std::time::Instant::now);
+                let class = match &ev {
+                    Ev::MasterStep | Ev::TcuStep(_) => 0u8,
+                    Ev::Hop { .. }
+                    | Ev::Service { .. }
+                    | Ev::Complete { .. }
+                    | Ev::ExpressEnd { .. } => 1,
+                    _ => 2,
+                };
+                match results.get(i - 1).and_then(Option::as_ref) {
+                    Some(r) => self.commit_burst(r),
+                    None => self.handle(now, ev)?,
+                }
+                if let (Some(t0), Some(hp)) = (t0, self.host_profile.as_mut()) {
+                    let dt = t0.elapsed().as_secs_f64();
+                    match class {
+                        0 => {
+                            hp.compute_s += dt;
+                            hp.compute_events += 1;
+                        }
+                        1 => {
+                            hp.memory_s += dt;
+                            hp.memory_events += 1;
+                        }
+                        _ => {
+                            hp.other_s += dt;
+                            hp.other_events += 1;
+                        }
+                    }
+                }
+                if self.machine.halted {
+                    debug_assert!(results.iter().skip(i).all(|r| r.is_none()));
+                    self.requeue_tail(now, pri, &mut batch, i);
+                    return Ok(Outcome::Done(self.summary()));
+                }
+            }
+        }
+    }
+
+    /// Phase-A triage + fan-out + barrier. Fills `results` (indexed by
+    /// batch position) with precomputed bursts when the window is
+    /// offloadable, leaves it empty otherwise.
+    ///
+    /// Offload preconditions — each one guarantees no event in this
+    /// window can observe the difference between a burst precomputed from
+    /// window-start state and one executed at its canonical position:
+    ///
+    /// * `PRI_DEFAULT` only, and no `MasterStep` in the window (the
+    ///   master never coexists with TCU steps — spawn/join are full
+    ///   barriers — but guard defensively): the canonical order then puts
+    ///   every step event before every completion, and burstable
+    ///   instructions touch only their own TCU's private context;
+    /// * burst issue in force (`IssueModel::Burst`, no tracer) and no
+    ///   filter plug-ins: nothing records per-instruction side effects;
+    /// * instruction-limit headroom: the whole window can add at most
+    ///   `batch.len() * BURST_CAP` instructions, so if that cannot reach
+    ///   the limit, every mid-burst and top-of-handler limit check in the
+    ///   window is false and workers may skip them.
+    fn offload_phase_a(
+        &mut self,
+        now: Time,
+        pri: Priority,
+        batch: &[Ev],
+        cmd_txs: &[Sender<WorkerCmd>],
+        res_rx: &Receiver<Vec<StepDone>>,
+        results: &mut Vec<Option<StepDone>>,
+    ) {
+        results.clear();
+        if pri != PRI_DEFAULT || !self.burst_issue() || !self.filters.is_empty() {
+            return;
+        }
+        if let Some(l) = self.max_instrs {
+            if self.stats.instructions.saturating_add(batch.len() as u64 * BURST_CAP) >= l {
+                return;
+            }
+        }
+        if batch.iter().any(|ev| matches!(ev, Ev::MasterStep)) {
+            return;
+        }
+        let mut per_worker: Vec<Vec<StepTask>> = (0..cmd_txs.len()).map(|_| Vec::new()).collect();
+        let mut n_tasks = 0usize;
+        let w = cmd_txs.len() as u64;
+        for (idx, ev) in batch.iter().enumerate() {
+            if let Ev::TcuStep(t) = ev {
+                if exec::peek_burstable(&self.exe, self.tcus[*t as usize].ctx.pc) {
+                    let shard =
+                        (self.cfg.cluster_of(*t) as u64 * w / self.cfg.clusters as u64) as usize;
+                    per_worker[shard].push(StepTask { idx, tcu: *t });
+                    n_tasks += 1;
+                }
+            }
+        }
+        if n_tasks < MIN_OFFLOAD_TASKS {
+            return;
+        }
+        let params = BurstParams {
+            now,
+            cp: self.p(ClockDomain::Cluster),
+            next_sample_at: self.next_sample_at,
+            max_cycles: self.max_cycles,
+            checkpoint_any_at: self.checkpoint_any_at,
+            cycles_base: self.cycles_base,
+            period_changed_at: self.period_changed_at,
+        };
+        let base = self.tcus.as_mut_ptr();
+        let tpc = self.cfg.tcus_per_cluster as usize;
+        let mut expected = 0usize;
+        for (i, tasks) in per_worker.into_iter().enumerate() {
+            if tasks.is_empty() {
+                continue;
+            }
+            let lo = self.shard_cluster_lo(i) * tpc;
+            let hi = self.shard_cluster_lo(i + 1) * tpc;
+            cmd_txs[i]
+                .send(WorkerCmd { base: TcuPtr(base), lo, hi, params, tasks })
+                .expect("worker thread alive for the whole run");
+            expected += 1;
+        }
+        // The barrier: nothing on `self` may be touched until every
+        // worker has replied (see `TcuPtr` safety).
+        results.resize_with(batch.len(), || None);
+        for _ in 0..expected {
+            let dones = res_rx.recv().expect("worker thread alive for the whole run");
+            for d in dones {
+                let idx = d.idx;
+                results[idx] = Some(d);
+            }
+        }
+    }
+
+    /// Commit one precomputed phase-A burst at its canonical batch
+    /// position: bulk the stat counters the sequential path would have
+    /// counted one by one, record the burst, and schedule the TCU's next
+    /// step — the only scheduler insertion the sequential handler makes
+    /// on this path, now happening in exact canonical order.
+    fn commit_burst(&mut self, r: &StepDone) {
+        let cluster = self.cfg.cluster_of(r.tcu);
+        self.stats.count_instr_bulk(FuKind::Alu, Some(cluster), r.counts[0]);
+        self.stats.count_instr_bulk(FuKind::Sft, Some(cluster), r.counts[1]);
+        self.stats.count_instr_bulk(FuKind::Br, Some(cluster), r.counts[2]);
+        self.stats.count_instr_bulk(FuKind::Ctl, Some(cluster), r.counts[3]);
+        if let Some(hp) = self.host_profile.as_mut() {
+            hp.record_burst(r.len, r.reason);
+        }
+        self.schedule_ev(r.done, PRI_DEFAULT, Ev::TcuStep(r.tcu));
+    }
+}

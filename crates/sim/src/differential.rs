@@ -17,22 +17,33 @@
 //! order-free is program knowledge, so the caller states it via
 //! [`FunctionalCheck`] and [`AllEngines::check_functional_agrees`].
 
-use crate::config::{IcnModel, IssueModel, XmtConfig};
+use crate::config::{EngineMode, IcnModel, IssueModel, XmtConfig};
 use crate::cycle::{CycleSim, SimError};
 use crate::functional::{FuncError, FunctionalSim};
 use crate::machine::Machine;
 use xmt_harness::ToJson;
 use xmt_isa::Executable;
 
-/// The four cycle-model configurations every program is run through:
-/// both batched defaults and both per-event oracles, plus the two mixed
-/// pairings (a tie-break bug in one elision layer that happens to cancel
-/// against the other would hide from the pure pairings).
-pub const CYCLE_ENGINE_MATRIX: [(IssueModel, IcnModel); 4] = [
-    (IssueModel::Burst, IcnModel::Express),
-    (IssueModel::Burst, IcnModel::PerHop),
-    (IssueModel::PerInstr, IcnModel::Express),
-    (IssueModel::PerInstr, IcnModel::PerHop),
+/// The eight cycle-model configurations every program is run through.
+///
+/// Rows 0–3: the sequential engine over both batched defaults and both
+/// per-event oracles, plus the two mixed pairings (a tie-break bug in one
+/// elision layer that happens to cancel against the other would hide from
+/// the pure pairings). Rows 4–7: the sharded parallel engine
+/// ([`EngineMode::Parallel`]) at 2 and 4 worker threads on the batched
+/// default, plus one per-instruction row (exercising the sharded queues
+/// with phase A disabled) and one per-hop row (cross-shard interconnect
+/// traffic) — each must be bit-identical to its sequential twin, which
+/// rows 0–2 put in the comparison set.
+pub const CYCLE_ENGINE_MATRIX: [(IssueModel, IcnModel, EngineMode, u32); 8] = [
+    (IssueModel::Burst, IcnModel::Express, EngineMode::Sequential, 0),
+    (IssueModel::Burst, IcnModel::PerHop, EngineMode::Sequential, 0),
+    (IssueModel::PerInstr, IcnModel::Express, EngineMode::Sequential, 0),
+    (IssueModel::PerInstr, IcnModel::PerHop, EngineMode::Sequential, 0),
+    (IssueModel::Burst, IcnModel::Express, EngineMode::Parallel, 2),
+    (IssueModel::Burst, IcnModel::Express, EngineMode::Parallel, 4),
+    (IssueModel::PerInstr, IcnModel::Express, EngineMode::Parallel, 2),
+    (IssueModel::Burst, IcnModel::PerHop, EngineMode::Parallel, 2),
 ];
 
 /// One cycle-model run, reduced to its comparable observables.
@@ -40,6 +51,9 @@ pub const CYCLE_ENGINE_MATRIX: [(IssueModel, IcnModel); 4] = [
 pub struct EngineRun {
     pub issue: IssueModel,
     pub icn: IcnModel,
+    pub engine: EngineMode,
+    /// Configured worker threads (parallel engine only; 0 otherwise).
+    pub threads: u32,
     pub cycles: u64,
     pub time_ps: u64,
     pub instructions: u64,
@@ -55,9 +69,15 @@ pub struct EngineRun {
 }
 
 impl EngineRun {
-    /// Label like `Burst×Express` for diagnostics.
+    /// Label like `Burst×Express` (sequential) or `Burst×Express×Par2`
+    /// (parallel at 2 threads) for diagnostics.
     pub fn label(&self) -> String {
-        format!("{:?}×{:?}", self.issue, self.icn)
+        match self.engine {
+            EngineMode::Sequential => format!("{:?}×{:?}", self.issue, self.icn),
+            EngineMode::Parallel => {
+                format!("{:?}×{:?}×Par{}", self.issue, self.icn, self.threads)
+            }
+        }
     }
 }
 
@@ -120,26 +140,32 @@ pub fn run_cycle_engine(
     cfg: &XmtConfig,
     issue: IssueModel,
     icn: IcnModel,
+    engine: EngineMode,
+    threads: u32,
     instr_limit: u64,
 ) -> Result<EngineRun, DifferentialError> {
     let mut cfg = cfg.clone();
     cfg.issue_model = issue;
     cfg.icn_model = icn;
+    cfg.engine_mode = engine;
+    if engine == EngineMode::Parallel {
+        cfg.threads = threads;
+    }
+    let label = || match engine {
+        EngineMode::Sequential => format!("{issue:?}×{icn:?}"),
+        EngineMode::Parallel => format!("{issue:?}×{icn:?}×Par{threads}"),
+    };
     let mut sim = CycleSim::new(exe.clone(), cfg);
     sim.set_instr_limit(instr_limit);
-    let s = sim.run().map_err(|err| DifferentialError::Sim {
-        engine: format!("{issue:?}×{icn:?}"),
-        err,
-    })?;
+    let s = sim.run().map_err(|err| DifferentialError::Sim { engine: label(), err })?;
     if !sim.machine.halted {
-        return Err(DifferentialError::InstrLimit {
-            engine: format!("{issue:?}×{icn:?}"),
-            executed: s.instructions,
-        });
+        return Err(DifferentialError::InstrLimit { engine: label(), executed: s.instructions });
     }
     Ok(EngineRun {
         issue,
         icn,
+        engine,
+        threads,
         cycles: s.cycles,
         time_ps: s.time_ps,
         instructions: s.instructions,
@@ -150,7 +176,8 @@ pub fn run_cycle_engine(
     })
 }
 
-/// Run `exe` through functional mode and all four cycle configurations.
+/// Run `exe` through functional mode and all eight cycle configurations
+/// (sequential and sharded-parallel — see [`CYCLE_ENGINE_MATRIX`]).
 ///
 /// `instr_limit` bounds every engine so a generated program that loops
 /// forever surfaces as an error instead of a hang.
@@ -165,8 +192,8 @@ pub fn run_all_engines(
     let functional = FunctionalRun { instructions, machine: func.machine };
 
     let mut cycle = Vec::with_capacity(CYCLE_ENGINE_MATRIX.len());
-    for (issue, icn) in CYCLE_ENGINE_MATRIX {
-        cycle.push(run_cycle_engine(exe, cfg, issue, icn, instr_limit)?);
+    for (issue, icn, engine, threads) in CYCLE_ENGINE_MATRIX {
+        cycle.push(run_cycle_engine(exe, cfg, issue, icn, engine, threads, instr_limit)?);
     }
     Ok(AllEngines { functional, cycle, exe: exe.clone() })
 }

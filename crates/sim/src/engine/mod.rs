@@ -258,6 +258,37 @@ impl<E> Scheduler<E> {
         self.schedule_at(self.now + delay, PRI_DEFAULT, event);
     }
 
+    /// Schedule with an externally assigned sequence number.
+    ///
+    /// The parallel engine runs one scheduler per shard but keeps a single
+    /// *global* insertion counter, so the cross-shard merge of a
+    /// `(time, priority)` group — ordered by these seqs — reproduces the
+    /// exact FIFO order a single sequential queue would have produced.
+    /// The caller must hand each scheduler strictly increasing seqs (a
+    /// shared monotone counter does this naturally); the internal counter
+    /// is bumped past `seq` so mixing in [`schedule_at`](Self::schedule_at)
+    /// calls later cannot collide.
+    pub fn schedule_at_seq(&mut self, time: Time, priority: Priority, seq: u64, event: E) {
+        assert!(time >= self.now, "event scheduled in the past: {time} < {}", self.now);
+        debug_assert!(seq >= self.seq, "external seq must be monotone per scheduler");
+        let slot = self.alloc_slot(event);
+        let key = Key { time, priority, seq };
+        self.seq = seq + 1;
+        let page = time >> BUCKET_SHIFT;
+        if page >= self.cur_page + N_BUCKETS as u64 {
+            self.overflow.push(Reverse((key, slot)));
+        } else {
+            self.push_near(page, key, slot);
+        }
+    }
+
+    /// [`requeue`](Self::requeue) with an externally assigned sequence
+    /// number (see [`schedule_at_seq`](Self::schedule_at_seq)).
+    pub fn requeue_seq(&mut self, time: Time, priority: Priority, seq: u64, event: E) {
+        self.schedule_at_seq(time, priority, seq, event);
+        self.processed -= 1;
+    }
+
     /// Pull every overflow event that now fits into the near window.
     fn refill_from_overflow(&mut self) {
         let limit = self.cur_page + N_BUCKETS as u64;
@@ -355,6 +386,69 @@ impl<E> Scheduler<E> {
         Some((key.time, key.priority))
     }
 
+    /// Smallest pending `(time, priority)` without popping — the lock-step
+    /// window bound: the parallel engine's coordinator takes the minimum
+    /// of this across all shard schedulers to pick the next global group.
+    pub fn peek_key(&self) -> Option<(Time, Priority)> {
+        let near = if self.near_pending > 0 {
+            let mut page = self.cur_page;
+            loop {
+                let b = &self.buckets[(page % N_BUCKETS as u64) as usize];
+                if !b.items.is_empty() {
+                    // First non-empty bucket holds the earliest event; the
+                    // bucket may be unsorted, so scan for the minimum key.
+                    break b.items[b.head..].iter().map(|&(k, _)| (k.time, k.priority)).min();
+                }
+                page += 1;
+            }
+        } else {
+            None
+        };
+        // Overflow events live ≥ N_BUCKETS pages past `cur_page`, so any
+        // near event beats them; compare only when the near window is empty.
+        near.or_else(|| self.overflow.peek().map(|&Reverse((k, _))| (k.time, k.priority)))
+    }
+
+    /// Drain this scheduler's slice of the global `(time, priority)` group
+    /// into `out` (appended, **not** cleared) as `(seq, event)` pairs, and
+    /// advance `now` to `time` even if nothing here matches — lock-stepping
+    /// every shard's clock so later `schedule_at*` calls agree on "the
+    /// past". The caller merges slices from all shards by seq.
+    pub fn pop_group_seq(&mut self, time: Time, priority: Priority, out: &mut Vec<(u64, E)>) {
+        self.now = self.now.max(time);
+        match self.peek_key() {
+            Some((t, p)) if t == time && p == priority => {}
+            _ => return,
+        }
+        let (key, slot) = self.pop_key().expect("peeked a matching group");
+        debug_assert!(key.time == time && key.priority == priority);
+        self.processed += 1;
+        let ev = self.take_payload(slot);
+        out.push((key.seq, ev));
+        // As in `pop_cycle`: the rest of the group is contiguous at the
+        // head of the (sorted) current bucket.
+        let idx = (self.cur_page % N_BUCKETS as u64) as usize;
+        loop {
+            let b = &mut self.buckets[idx];
+            if b.items.is_empty() {
+                break;
+            }
+            let (k, s) = b.items[b.head];
+            if k.time != time || k.priority != priority {
+                break;
+            }
+            b.head += 1;
+            if b.head == b.items.len() {
+                b.items.clear();
+                b.head = 0;
+            }
+            self.near_pending -= 1;
+            self.processed += 1;
+            let ev = self.take_payload(s);
+            out.push((k.seq, ev));
+        }
+    }
+
     /// Re-insert an event that was drained by [`pop_cycle`](Self::pop_cycle)
     /// but not handled (the model hit a stop/checkpoint boundary mid-batch),
     /// un-counting it from `processed`. Requeued events keep their relative
@@ -375,6 +469,16 @@ impl<E> Scheduler<E> {
     where
         E: Clone,
     {
+        self.pending_snapshot_seq().into_iter().map(|(t, p, _, e)| (t, p, e)).collect()
+    }
+
+    /// [`pending_snapshot`](Self::pending_snapshot) with each event's
+    /// sequence number exposed — the parallel engine's checkpoint path
+    /// merges per-shard snapshots into one global pop order by seq.
+    pub fn pending_snapshot_seq(&self) -> Vec<(Time, Priority, u64, E)>
+    where
+        E: Clone,
+    {
         let mut keyed: Vec<(Key, usize)> = Vec::with_capacity(self.pending());
         for b in &self.buckets {
             keyed.extend_from_slice(&b.items[b.head..]);
@@ -386,7 +490,7 @@ impl<E> Scheduler<E> {
             .into_iter()
             .map(|(k, slot)| {
                 let ev = self.payloads[slot].as_ref().expect("pending slot has payload");
-                (k.time, k.priority, ev.clone())
+                (k.time, k.priority, k.seq, ev.clone())
             })
             .collect()
     }
@@ -612,6 +716,85 @@ mod tests {
             s2.schedule_at(t, p, e);
         }
         assert_eq!(s2.pending_snapshot(), snap);
+    }
+
+    #[test]
+    fn peek_key_reports_the_next_group() {
+        let mut s = Scheduler::new();
+        assert_eq!(s.peek_key(), None);
+        let far = N_BUCKETS as u64 * BUCKET_WIDTH_PS;
+        s.schedule_at(3 * far, PRI_DEFAULT, "far");
+        assert_eq!(s.peek_key(), Some((3 * far, PRI_DEFAULT)));
+        s.schedule_at(9, PRI_SAMPLE, "s");
+        s.schedule_at(9, PRI_NEGOTIATE, "n");
+        assert_eq!(s.peek_key(), Some((9, PRI_NEGOTIATE)));
+        s.pop();
+        assert_eq!(s.peek_key(), Some((9, PRI_SAMPLE)));
+    }
+
+    /// Two shard schedulers fed from one global seq counter must merge
+    /// back into exactly the order a single scheduler produces.
+    #[test]
+    fn sharded_pop_group_seq_merge_equals_single_queue() {
+        let mut single = Scheduler::new();
+        let mut a = Scheduler::new();
+        let mut b = Scheduler::new();
+        let mut seq = 0u64;
+        // Interleave inserts across shards, including group collisions.
+        let plan: &[(Time, Priority, &str, bool)] = &[
+            (5, PRI_DEFAULT, "a1", false),
+            (5, PRI_DEFAULT, "b1", true),
+            (5, PRI_DEFAULT, "a2", false),
+            (5, PRI_NEGOTIATE, "b2", true),
+            (7, PRI_DEFAULT, "b3", true),
+            (5, PRI_DEFAULT, "b4", true),
+            (7, PRI_DEFAULT, "a3", false),
+        ];
+        for &(t, p, ev, to_b) in plan {
+            single.schedule_at(t, p, ev);
+            let shard = if to_b { &mut b } else { &mut a };
+            shard.schedule_at_seq(t, p, seq, ev);
+            seq += 1;
+        }
+        let mut merged_events = Vec::new();
+        loop {
+            let key = match (a.peek_key(), b.peek_key()) {
+                (None, None) => break,
+                (Some(x), None) => x,
+                (None, Some(y)) => y,
+                (Some(x), Some(y)) => x.min(y),
+            };
+            let mut merged: Vec<(u64, &str)> = Vec::new();
+            a.pop_group_seq(key.0, key.1, &mut merged);
+            b.pop_group_seq(key.0, key.1, &mut merged);
+            merged.sort_unstable_by_key(|&(q, _)| q);
+            // Both shards' clocks advanced in lock-step.
+            assert_eq!(a.now(), key.0);
+            assert_eq!(b.now(), key.0);
+            merged_events.extend(merged.into_iter().map(|(_, e)| e));
+        }
+        let mut want = Vec::new();
+        let mut batch = Vec::new();
+        while single.pop_cycle(&mut batch).is_some() {
+            want.extend(batch.iter().copied());
+        }
+        assert_eq!(merged_events, want);
+        assert_eq!(a.processed() + b.processed(), single.processed());
+    }
+
+    #[test]
+    fn pending_snapshot_seq_merges_across_schedulers() {
+        let mut a = Scheduler::new();
+        let mut b = Scheduler::new();
+        a.schedule_at_seq(5, PRI_DEFAULT, 0, "e0");
+        b.schedule_at_seq(5, PRI_DEFAULT, 1, "e1");
+        a.schedule_at_seq(5, PRI_DEFAULT, 2, "e2");
+        b.schedule_at_seq(3, PRI_DEFAULT, 3, "e3");
+        let mut all = a.pending_snapshot_seq();
+        all.extend(b.pending_snapshot_seq());
+        all.sort_unstable_by_key(|&(t, p, q, _)| (t, p, q));
+        let order: Vec<_> = all.iter().map(|&(_, _, _, e)| e).collect();
+        assert_eq!(order, vec!["e3", "e0", "e1", "e2"]);
     }
 
     #[test]

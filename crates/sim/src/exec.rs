@@ -174,52 +174,17 @@ pub fn issue(exe: &Executable, ctx: &mut ThreadCtx, m: &mut Machine, mode: Mode)
     let Some(ins) = exe.instr(pc) else {
         return Err(Trap::PcOutOfRange { pc });
     };
+    // Pure local operations (ALU/shift/branch) share one implementation
+    // with the parallel engine's worker path (`issue_local`): executing
+    // them here or on a worker thread is the same code by construction.
+    if let Some(cost) = exec_local(ins, ctx, pc) {
+        return Ok(Issued::Done(cost));
+    }
     let r = &mut ctx.regs;
     // Default: fall through.
     ctx.pc = pc + 1;
     use Instr::*;
     let issued = match *ins {
-        // ---- integer ALU ----
-        Add { rd, rs, rt } => {
-            let v = r.get(rs).wrapping_add(r.get(rt));
-            r.set(rd, v);
-            Issued::Done(CostClass::Alu)
-        }
-        Sub { rd, rs, rt } => {
-            let v = r.get(rs).wrapping_sub(r.get(rt));
-            r.set(rd, v);
-            Issued::Done(CostClass::Alu)
-        }
-        And { rd, rs, rt } => {
-            let v = r.get(rs) & r.get(rt);
-            r.set(rd, v);
-            Issued::Done(CostClass::Alu)
-        }
-        Or { rd, rs, rt } => {
-            let v = r.get(rs) | r.get(rt);
-            r.set(rd, v);
-            Issued::Done(CostClass::Alu)
-        }
-        Xor { rd, rs, rt } => {
-            let v = r.get(rs) ^ r.get(rt);
-            r.set(rd, v);
-            Issued::Done(CostClass::Alu)
-        }
-        Nor { rd, rs, rt } => {
-            let v = !(r.get(rs) | r.get(rt));
-            r.set(rd, v);
-            Issued::Done(CostClass::Alu)
-        }
-        Slt { rd, rs, rt } => {
-            let v = (r.get_i(rs) < r.get_i(rt)) as u32;
-            r.set(rd, v);
-            Issued::Done(CostClass::Alu)
-        }
-        Sltu { rd, rs, rt } => {
-            let v = (r.get(rs) < r.get(rt)) as u32;
-            r.set(rd, v);
-            Issued::Done(CostClass::Alu)
-        }
         Mul { rd, rs, rt } => {
             let v = r.get(rs).wrapping_mul(r.get(rt));
             r.set(rd, v);
@@ -238,80 +203,6 @@ pub fn issue(exe: &Executable, ctx: &mut ThreadCtx, m: &mut Machine, mode: Mode)
             let v = if b == 0 { 0 } else { a.wrapping_rem(b) };
             r.set_i(rd, v);
             Issued::Done(CostClass::Div)
-        }
-        Addi { rt, rs, imm } => {
-            let v = r.get(rs).wrapping_add(imm as u32);
-            r.set(rt, v);
-            Issued::Done(CostClass::Alu)
-        }
-        Andi { rt, rs, imm } => {
-            let v = r.get(rs) & imm;
-            r.set(rt, v);
-            Issued::Done(CostClass::Alu)
-        }
-        Ori { rt, rs, imm } => {
-            let v = r.get(rs) | imm;
-            r.set(rt, v);
-            Issued::Done(CostClass::Alu)
-        }
-        Xori { rt, rs, imm } => {
-            let v = r.get(rs) ^ imm;
-            r.set(rt, v);
-            Issued::Done(CostClass::Alu)
-        }
-        Slti { rt, rs, imm } => {
-            let v = (r.get_i(rs) < imm) as u32;
-            r.set(rt, v);
-            Issued::Done(CostClass::Alu)
-        }
-        Sltiu { rt, rs, imm } => {
-            let v = (r.get(rs) < imm) as u32;
-            r.set(rt, v);
-            Issued::Done(CostClass::Alu)
-        }
-        Li { rt, imm } => {
-            r.set_i(rt, imm);
-            Issued::Done(CostClass::Alu)
-        }
-        Lui { rt, imm } => {
-            r.set(rt, imm << 16);
-            Issued::Done(CostClass::Alu)
-        }
-        Move { rd, rs } => {
-            let v = r.get(rs);
-            r.set(rd, v);
-            Issued::Done(CostClass::Alu)
-        }
-        // ---- shifts ----
-        Sll { rd, rt, sh } => {
-            let v = r.get(rt) << sh;
-            r.set(rd, v);
-            Issued::Done(CostClass::Sft)
-        }
-        Srl { rd, rt, sh } => {
-            let v = r.get(rt) >> sh;
-            r.set(rd, v);
-            Issued::Done(CostClass::Sft)
-        }
-        Sra { rd, rt, sh } => {
-            let v = r.get_i(rt) >> sh;
-            r.set_i(rd, v);
-            Issued::Done(CostClass::Sft)
-        }
-        Sllv { rd, rt, rs } => {
-            let v = r.get(rt) << (r.get(rs) & 31);
-            r.set(rd, v);
-            Issued::Done(CostClass::Sft)
-        }
-        Srlv { rd, rt, rs } => {
-            let v = r.get(rt) >> (r.get(rs) & 31);
-            r.set(rd, v);
-            Issued::Done(CostClass::Sft)
-        }
-        Srav { rd, rt, rs } => {
-            let v = r.get_i(rt) >> (r.get(rs) & 31);
-            r.set_i(rd, v);
-            Issued::Done(CostClass::Sft)
         }
         // ---- memory (decode only) ----
         Lw { rt, base, off } => {
@@ -489,32 +380,6 @@ pub fn issue(exe: &Executable, ctx: &mut ThreadCtx, m: &mut Machine, mode: Mode)
             r.setf(fd, imm);
             Issued::Done(CostClass::FpMisc)
         }
-        // ---- control flow ----
-        Beq { rs, rt, ref target } => branch(ctx, r_get2(ctx, rs) == r_get2(ctx, rt), target),
-        Bne { rs, rt, ref target } => branch(ctx, r_get2(ctx, rs) != r_get2(ctx, rt), target),
-        Blez { rs, ref target } => branch(ctx, (r_get2(ctx, rs) as i32) <= 0, target),
-        Bgtz { rs, ref target } => branch(ctx, (r_get2(ctx, rs) as i32) > 0, target),
-        Bltz { rs, ref target } => branch(ctx, (r_get2(ctx, rs) as i32) < 0, target),
-        Bgez { rs, ref target } => branch(ctx, (r_get2(ctx, rs) as i32) >= 0, target),
-        J { ref target } => {
-            ctx.pc = target.abs();
-            Issued::Done(CostClass::Branch { taken: true })
-        }
-        Jal { ref target } => {
-            ctx.regs.set(Reg::Ra, pc + 1);
-            ctx.pc = target.abs();
-            Issued::Done(CostClass::Branch { taken: true })
-        }
-        Jr { rs } => {
-            ctx.pc = ctx.regs.get(rs);
-            Issued::Done(CostClass::Branch { taken: true })
-        }
-        Jalr { rd, rs } => {
-            let dest = ctx.regs.get(rs);
-            ctx.regs.set(rd, pc + 1);
-            ctx.pc = dest;
-            Issued::Done(CostClass::Branch { taken: true })
-        }
         // ---- XMT primitives ----
         Spawn { lo, hi } => {
             if matches!(mode, Mode::Parallel { .. }) {
@@ -579,9 +444,190 @@ pub fn issue(exe: &Executable, ctx: &mut ThreadCtx, m: &mut Machine, mode: Mode)
             m.halted = true;
             Issued::Halt
         }
-        Nop => Issued::Done(CostClass::Ctl),
+        // `exec_local` handled every pure local instruction above.
+        Add { .. } | Sub { .. } | And { .. } | Or { .. } | Xor { .. } | Nor { .. }
+        | Slt { .. } | Sltu { .. } | Addi { .. } | Andi { .. } | Ori { .. } | Xori { .. }
+        | Slti { .. } | Sltiu { .. } | Li { .. } | Lui { .. } | Move { .. } | Sll { .. }
+        | Srl { .. } | Sra { .. } | Sllv { .. } | Srlv { .. } | Srav { .. } | Beq { .. }
+        | Bne { .. } | Blez { .. } | Bgtz { .. } | Bltz { .. } | Bgez { .. } | J { .. }
+        | Jal { .. } | Jr { .. } | Jalr { .. } | Nop => unreachable!("handled by exec_local"),
     };
     Ok(issued)
+}
+
+/// Execute the instruction at `pc` if it is a *pure local* operation
+/// (see [`peek_burstable`]): registers and pc only, no [`Machine`], no
+/// trap, no mode dependence. Returns `None` — with `ctx` untouched — for
+/// every other instruction.
+///
+/// This is the single implementation of the local subset: [`issue`]
+/// delegates to it, and the parallel engine's worker threads call it via
+/// [`issue_local`], so the two paths cannot drift apart.
+fn exec_local(ins: &Instr, ctx: &mut ThreadCtx, pc: u32) -> Option<CostClass> {
+    use Instr::*;
+    // Default: fall through. Undone on the `None` path, which touches
+    // nothing else.
+    ctx.pc = pc + 1;
+    let r = &mut ctx.regs;
+    let cost = match *ins {
+        // ---- integer ALU ----
+        Add { rd, rs, rt } => {
+            let v = r.get(rs).wrapping_add(r.get(rt));
+            r.set(rd, v);
+            CostClass::Alu
+        }
+        Sub { rd, rs, rt } => {
+            let v = r.get(rs).wrapping_sub(r.get(rt));
+            r.set(rd, v);
+            CostClass::Alu
+        }
+        And { rd, rs, rt } => {
+            let v = r.get(rs) & r.get(rt);
+            r.set(rd, v);
+            CostClass::Alu
+        }
+        Or { rd, rs, rt } => {
+            let v = r.get(rs) | r.get(rt);
+            r.set(rd, v);
+            CostClass::Alu
+        }
+        Xor { rd, rs, rt } => {
+            let v = r.get(rs) ^ r.get(rt);
+            r.set(rd, v);
+            CostClass::Alu
+        }
+        Nor { rd, rs, rt } => {
+            let v = !(r.get(rs) | r.get(rt));
+            r.set(rd, v);
+            CostClass::Alu
+        }
+        Slt { rd, rs, rt } => {
+            let v = (r.get_i(rs) < r.get_i(rt)) as u32;
+            r.set(rd, v);
+            CostClass::Alu
+        }
+        Sltu { rd, rs, rt } => {
+            let v = (r.get(rs) < r.get(rt)) as u32;
+            r.set(rd, v);
+            CostClass::Alu
+        }
+        Addi { rt, rs, imm } => {
+            let v = r.get(rs).wrapping_add(imm as u32);
+            r.set(rt, v);
+            CostClass::Alu
+        }
+        Andi { rt, rs, imm } => {
+            let v = r.get(rs) & imm;
+            r.set(rt, v);
+            CostClass::Alu
+        }
+        Ori { rt, rs, imm } => {
+            let v = r.get(rs) | imm;
+            r.set(rt, v);
+            CostClass::Alu
+        }
+        Xori { rt, rs, imm } => {
+            let v = r.get(rs) ^ imm;
+            r.set(rt, v);
+            CostClass::Alu
+        }
+        Slti { rt, rs, imm } => {
+            let v = (r.get_i(rs) < imm) as u32;
+            r.set(rt, v);
+            CostClass::Alu
+        }
+        Sltiu { rt, rs, imm } => {
+            let v = (r.get(rs) < imm) as u32;
+            r.set(rt, v);
+            CostClass::Alu
+        }
+        Li { rt, imm } => {
+            r.set_i(rt, imm);
+            CostClass::Alu
+        }
+        Lui { rt, imm } => {
+            r.set(rt, imm << 16);
+            CostClass::Alu
+        }
+        Move { rd, rs } => {
+            let v = r.get(rs);
+            r.set(rd, v);
+            CostClass::Alu
+        }
+        // ---- shifts ----
+        Sll { rd, rt, sh } => {
+            let v = r.get(rt) << sh;
+            r.set(rd, v);
+            CostClass::Sft
+        }
+        Srl { rd, rt, sh } => {
+            let v = r.get(rt) >> sh;
+            r.set(rd, v);
+            CostClass::Sft
+        }
+        Sra { rd, rt, sh } => {
+            let v = r.get_i(rt) >> sh;
+            r.set_i(rd, v);
+            CostClass::Sft
+        }
+        Sllv { rd, rt, rs } => {
+            let v = r.get(rt) << (r.get(rs) & 31);
+            r.set(rd, v);
+            CostClass::Sft
+        }
+        Srlv { rd, rt, rs } => {
+            let v = r.get(rt) >> (r.get(rs) & 31);
+            r.set(rd, v);
+            CostClass::Sft
+        }
+        Srav { rd, rt, rs } => {
+            let v = r.get_i(rt) >> (r.get(rs) & 31);
+            r.set_i(rd, v);
+            CostClass::Sft
+        }
+        // ---- control flow ----
+        Beq { rs, rt, ref target } => branch(ctx, r_get2(ctx, rs) == r_get2(ctx, rt), target),
+        Bne { rs, rt, ref target } => branch(ctx, r_get2(ctx, rs) != r_get2(ctx, rt), target),
+        Blez { rs, ref target } => branch(ctx, (r_get2(ctx, rs) as i32) <= 0, target),
+        Bgtz { rs, ref target } => branch(ctx, (r_get2(ctx, rs) as i32) > 0, target),
+        Bltz { rs, ref target } => branch(ctx, (r_get2(ctx, rs) as i32) < 0, target),
+        Bgez { rs, ref target } => branch(ctx, (r_get2(ctx, rs) as i32) >= 0, target),
+        J { ref target } => {
+            ctx.pc = target.abs();
+            CostClass::Branch { taken: true }
+        }
+        Jal { ref target } => {
+            ctx.regs.set(Reg::Ra, pc + 1);
+            ctx.pc = target.abs();
+            CostClass::Branch { taken: true }
+        }
+        Jr { rs } => {
+            ctx.pc = ctx.regs.get(rs);
+            CostClass::Branch { taken: true }
+        }
+        Jalr { rd, rs } => {
+            let dest = ctx.regs.get(rs);
+            ctx.regs.set(rd, pc + 1);
+            ctx.pc = dest;
+            CostClass::Branch { taken: true }
+        }
+        Nop => CostClass::Ctl,
+        _ => {
+            ctx.pc = pc;
+            return None;
+        }
+    };
+    Some(cost)
+}
+
+/// Fetch, decode and execute one *pure local* instruction on `ctx`
+/// without touching any shared state — the parallel engine's worker-side
+/// issue path. Returns `None` (with `ctx` untouched) when the pc is out
+/// of range or the instruction is not in the [`peek_burstable`] subset;
+/// the caller then routes the step through the sequential path.
+pub fn issue_local(exe: &Executable, ctx: &mut ThreadCtx) -> Option<CostClass> {
+    let pc = ctx.pc;
+    exec_local(exe.instr(pc)?, ctx, pc)
 }
 
 /// True when the instruction at `pc` is a *pure local* operation: one
@@ -634,11 +680,11 @@ fn r_get2(ctx: &ThreadCtx, r: Reg) -> u32 {
     ctx.regs.get(r)
 }
 
-fn branch(ctx: &mut ThreadCtx, cond: bool, target: &xmt_isa::Target) -> Issued {
+fn branch(ctx: &mut ThreadCtx, cond: bool, target: &xmt_isa::Target) -> CostClass {
     if cond {
         ctx.pc = target.abs();
     }
-    Issued::Done(CostClass::Branch { taken: cond })
+    CostClass::Branch { taken: cond }
 }
 
 /// Apply a memory request to the machine; returns the response value
@@ -707,6 +753,106 @@ mod tests {
             }
         }
         panic!("did not halt");
+    }
+
+    /// `issue_local` must agree with `issue` instruction-for-instruction:
+    /// `Some` exactly on the `peek_burstable` subset, with identical
+    /// registers and pc afterwards. A mixed program covering every local
+    /// opcode plus representatives of every non-local class is stepped
+    /// through both paths side by side.
+    #[test]
+    fn issue_local_matches_issue_on_the_burstable_subset() {
+        use Instr::*;
+        let mut p = AsmProgram::new();
+        let t = |i: u32| Target::Abs(i);
+        for ins in [
+            Li { rt: Reg::T0, imm: 7 },
+            Li { rt: Reg::T1, imm: -3 },
+            Add { rd: Reg::T2, rs: Reg::T0, rt: Reg::T1 },
+            Sub { rd: Reg::T3, rs: Reg::T0, rt: Reg::T1 },
+            And { rd: Reg::T4, rs: Reg::T0, rt: Reg::T1 },
+            Or { rd: Reg::T4, rs: Reg::T4, rt: Reg::T2 },
+            Xor { rd: Reg::T5, rs: Reg::T4, rt: Reg::T0 },
+            Nor { rd: Reg::T5, rs: Reg::T5, rt: Reg::T1 },
+            Slt { rd: Reg::T6, rs: Reg::T1, rt: Reg::T0 },
+            Sltu { rd: Reg::T6, rs: Reg::T1, rt: Reg::T0 },
+            Addi { rt: Reg::T7, rs: Reg::T0, imm: -100 },
+            Andi { rt: Reg::T7, rs: Reg::T7, imm: 0xff },
+            Ori { rt: Reg::T7, rs: Reg::T7, imm: 0x10 },
+            Xori { rt: Reg::T7, rs: Reg::T7, imm: 0x3 },
+            Slti { rt: Reg::S0, rs: Reg::T1, imm: 0 },
+            Sltiu { rt: Reg::S0, rs: Reg::T1, imm: 5 },
+            Lui { rt: Reg::S1, imm: 0x1234 },
+            Move { rd: Reg::S2, rs: Reg::S1 },
+            Sll { rd: Reg::S3, rt: Reg::T0, sh: 3 },
+            Srl { rd: Reg::S3, rt: Reg::S3, sh: 1 },
+            Sra { rd: Reg::S4, rt: Reg::T1, sh: 2 },
+            Sllv { rd: Reg::S5, rt: Reg::T0, rs: Reg::T0 },
+            Srlv { rd: Reg::S5, rt: Reg::S5, rs: Reg::T0 },
+            Srav { rd: Reg::S6, rt: Reg::T1, rs: Reg::T0 },
+            // Branches at indices 24..=29: one taken (to the very next
+            // index, so nothing is skipped), one not taken, of each
+            // polarity pair.
+            Beq { rs: Reg::T0, rt: Reg::T0, target: t(25) },   // taken → next
+            Bne { rs: Reg::T0, rt: Reg::T0, target: t(0) },    // not taken
+            Blez { rs: Reg::T1, target: t(27) },               // taken → next
+            Bgtz { rs: Reg::T1, target: t(0) },                // not taken
+            Bltz { rs: Reg::T1, target: t(29) },               // taken → next
+            Bgez { rs: Reg::T1, target: t(0) },                // not taken
+            // Jump chain: J(30) → Jal(31) [Ra = 32] → Jalr(33)
+            // [S7 = 34, jump *Ra] → Jr(32) [jump *S7] → Nop(34).
+            J { target: t(31) },
+            Jal { target: t(33) },
+            Jr { rs: Reg::S7 },
+            Jalr { rd: Reg::S7, rs: Reg::Ra },
+            Nop,
+            // Non-local representatives: issue_local must decline these.
+            Mul { rd: Reg::T2, rs: Reg::T0, rt: Reg::T1 },
+            Lw { rt: Reg::T2, base: Reg::Zero, off: 0x1000 },
+            Ps { rt: Reg::T6, gr: GlobalReg(0) },
+            Print { rs: Reg::T0 },
+            Halt,
+        ] {
+            p.push(ins);
+        }
+        let mut mm = MemoryMap::new();
+        mm.push("PAD", vec![0; 2048]);
+        let exe = p.link(mm).unwrap();
+
+        let mut m = Machine::load(&exe);
+        let mut a = ThreadCtx::default(); // stepped by `issue`
+        let mut b = ThreadCtx::default(); // stepped by `issue_local`
+        let mut local_steps = 0;
+        while !m.halted {
+            let pc = a.pc;
+            assert_eq!(a.pc, b.pc);
+            let burstable = peek_burstable(&exe, pc);
+            let local = issue_local(&exe, &mut b);
+            assert_eq!(
+                local.is_some(),
+                burstable,
+                "issue_local and peek_burstable disagree at pc {pc}"
+            );
+            let issued = issue(&exe, &mut a, &mut m, Mode::Master).unwrap();
+            match local {
+                Some(cost) => {
+                    assert_eq!(issued, Issued::Done(cost), "cost class diverged at pc {pc}");
+                    local_steps += 1;
+                }
+                None => {
+                    // Keep the shadow context in lock-step through the
+                    // non-local instruction.
+                    if let Issued::Mem(ref req) = issued {
+                        let v = perform(&mut m, req);
+                        complete(&mut a, req, v);
+                    }
+                    b = a.clone();
+                }
+            }
+            assert_eq!(a.regs, b.regs, "registers diverged after pc {pc}");
+            assert_eq!(a.pc, b.pc, "pc diverged after pc {pc}");
+        }
+        assert!(local_steps >= 35, "covered {local_steps} local instructions");
     }
 
     #[test]

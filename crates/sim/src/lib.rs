@@ -37,7 +37,7 @@ pub mod power;
 pub mod stats;
 pub mod trace;
 
-pub use config::{IcnModel, IssueModel, XmtConfig};
+pub use config::{EngineMode, IcnModel, IssueModel, XmtConfig};
 pub use cycle::CycleSim;
 pub use differential::{run_all_engines, AllEngines, FunctionalCheck};
 pub use exec::{CostClass, Issued, MemKind, MemRequest, Mode};

@@ -126,6 +126,22 @@ impl Stats {
         }
     }
 
+    /// Record `n` executed instructions of one kind at once — the parallel
+    /// engine's worker threads count privately and merge here; the result
+    /// is exactly `n` calls to [`count_instr`](Self::count_instr).
+    #[inline]
+    pub fn count_instr_bulk(&mut self, fu: FuKind, cluster: Option<u32>, n: u64) {
+        self.instructions += n;
+        self.by_fu[fu as usize] += n;
+        match cluster {
+            Some(c) => {
+                self.tcu_instructions += n;
+                self.per_cluster[c as usize] += n;
+            }
+            None => self.master_instructions += n,
+        }
+    }
+
     /// Instruction count for one functional-unit kind.
     pub fn fu(&self, kind: FuKind) -> u64 {
         self.by_fu[kind as usize]

@@ -2,6 +2,7 @@
 //! (the paper's Fig. 3 front end).
 
 use std::process::Command;
+use xmt_harness::ToJson;
 
 fn cli() -> Command {
     Command::new(env!("CARGO_BIN_EXE_xmtsim-cli"))
@@ -83,4 +84,54 @@ fn link_errors_reported() {
     let out = cli().arg(&xs).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("nowhere"));
+}
+
+#[test]
+fn parallel_engine_matches_sequential_output() {
+    let xs = write_tmp("p.xs", ASM);
+    let xbo = write_tmp("p.xbo", MAP);
+    let run = |extra: &[&str]| {
+        let out = cli()
+            .arg(&xs)
+            .args(["--config", "tiny", "--dump", "A:8", "--stats"])
+            .arg("--memmap")
+            .arg(&xbo)
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let seq = run(&["--engine", "sequential"]);
+    let par = run(&["--engine", "parallel", "--threads", "2"]);
+    assert!(seq.contains("A = [11, 12, 13, 14, 15, 16, 17, 18]"), "{seq}");
+    assert_eq!(seq, par, "parallel engine changed observable CLI output");
+}
+
+#[test]
+fn invalid_config_is_an_error_not_a_panic() {
+    // dram_channels = 0 must surface as a clean CLI error (the
+    // validation added with CycleSim::try_new), not a crash at the
+    // first cache miss.
+    let xs = write_tmp("z.xs", ASM);
+    let xbo = write_tmp("z.xbo", MAP);
+    let cfg = write_tmp(
+        "z.json",
+        &{
+            let mut c = xmtsim::XmtConfig::tiny();
+            c.dram_channels = 0;
+            c.to_json_string()
+        },
+    );
+    let out = cli()
+        .arg(&xs)
+        .arg("--memmap")
+        .arg(&xbo)
+        .arg("--config")
+        .arg(&cfg)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("dram_channels"), "{err}");
 }

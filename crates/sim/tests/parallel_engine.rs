@@ -1,0 +1,164 @@
+//! End-to-end checks for the sharded parallel cycle engine.
+//!
+//! The parallel engine must be an *implementation detail*: every
+//! architecturally observable quantity — cycles, simulated time,
+//! instruction count, the full statistics record, the final machine
+//! image, and even mid-flight checkpoints — must be byte-identical to
+//! the sequential engine on the same program and configuration. These
+//! tests pin that contract on real spawn workloads, including a
+//! checkpoint taken in the middle of an open parallel section, and
+//! cover the configuration edges around the engine knobs.
+
+use xmt_harness::{FromJson, ToJson};
+use xmt_isa::{AsmProgram, Executable, GlobalReg, Instr, MemoryMap, Reg, Target};
+use xmtsim::checkpoint::CheckpointOutcome;
+use xmtsim::{run_all_engines, CycleSim, EngineMode, FunctionalCheck, XmtConfig};
+
+/// Spawn workload with real memory traffic: every virtual thread reads
+/// its slot, adds its id, and stores the result back (read-modify-write
+/// through the ICN and cache modules, not just ALU work).
+fn spawn_rmw_program(n: i32) -> Executable {
+    let mut mm = MemoryMap::new();
+    let a = mm.push("A", (0..n as u32).map(|k| 1000 + k).collect());
+    let mut p = AsmProgram::new();
+    p.push(Instr::Li { rt: Reg::A0, imm: 0 });
+    p.push(Instr::Li { rt: Reg::A1, imm: n - 1 });
+    p.push(Instr::Li { rt: Reg::S0, imm: a as i32 });
+    p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+    p.label("vt");
+    p.push(Instr::Li { rt: Reg::T0, imm: 1 });
+    p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+    p.push(Instr::Chkid { rt: Reg::T0 });
+    p.push(Instr::Sll { rd: Reg::T1, rt: Reg::T0, sh: 2 });
+    p.push(Instr::Add { rd: Reg::T1, rs: Reg::T1, rt: Reg::S0 });
+    p.push(Instr::Lw { rt: Reg::T2, base: Reg::T1, off: 0 });
+    p.push(Instr::Add { rd: Reg::T2, rs: Reg::T2, rt: Reg::T0 });
+    p.push(Instr::Swnb { rt: Reg::T2, base: Reg::T1, off: 0 });
+    p.push(Instr::J { target: Target::label("vt") });
+    p.push(Instr::Join);
+    p.push(Instr::Halt);
+    p.link(mm).unwrap()
+}
+
+fn run_with(exe: &Executable, cfg: &XmtConfig, engine: EngineMode, threads: u32) -> CycleSim {
+    let mut cfg = cfg.clone();
+    cfg.engine_mode = engine;
+    cfg.threads = threads;
+    let mut sim = CycleSim::new(exe.clone(), cfg);
+    sim.run().unwrap();
+    sim
+}
+
+#[test]
+fn parallel_matches_sequential_on_spawn_workload() {
+    let exe = spawn_rmw_program(192);
+    let cfg = XmtConfig::fpga64();
+    let seq = run_with(&exe, &cfg, EngineMode::Sequential, 0);
+    for threads in [1, 2, 4, 8] {
+        let par = run_with(&exe, &cfg, EngineMode::Parallel, threads);
+        assert_eq!(
+            seq.stats.to_json_string(),
+            par.stats.to_json_string(),
+            "stats diverged at {threads} threads"
+        );
+        assert_eq!(
+            seq.machine.to_json_string(),
+            par.machine.to_json_string(),
+            "machine image diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn eight_engine_matrix_agrees_at_zero_hit_latency() {
+    // Regression companion to the `line_busy` prune fix: with
+    // `cache_hit_latency = 0` a hit completes at its arrival instant,
+    // the exact boundary the old `t > now` prune got wrong. The full
+    // engine matrix (sequential and parallel rows) must still agree.
+    let exe = spawn_rmw_program(96);
+    let mut cfg = XmtConfig::fpga64();
+    cfg.cache_hit_latency = 0;
+    let all = run_all_engines(&exe, &cfg, 1_000_000).unwrap();
+    all.check_cycle_identical().unwrap();
+    all.check_functional_agrees(&[FunctionalCheck::Exact { name: "A".into(), words: 96 }])
+        .unwrap();
+}
+
+#[test]
+fn checkpoint_mid_parallel_section_is_engine_independent() {
+    let exe = spawn_rmw_program(192);
+    let cfg = XmtConfig::fpga64();
+    let take = |engine: EngineMode| {
+        let mut cfg = cfg.clone();
+        cfg.engine_mode = engine;
+        cfg.threads = 4;
+        let mut sim = CycleSim::new(exe.clone(), cfg);
+        match sim.run_to_checkpoint_anytime(60).unwrap() {
+            CheckpointOutcome::Checkpoint(c) => *c,
+            CheckpointOutcome::Done(_) => panic!("program finished before the checkpoint"),
+        }
+    };
+    let seq_ck = take(EngineMode::Sequential);
+    let par_ck = take(EngineMode::Parallel);
+    // Mid-flight by construction: the spawn is open and packages are in
+    // the network at cycle 60 on this workload.
+    assert!(!seq_ck.is_quiescent(), "checkpoint landed at a quiescent point");
+    assert_eq!(
+        seq_ck.to_json(),
+        par_ck.to_json(),
+        "mid-flight checkpoint image depends on the engine"
+    );
+
+    // Resume each checkpoint under *both* engines; all four completions
+    // must agree with an uninterrupted sequential run.
+    let reference = run_with(&exe, &cfg, EngineMode::Sequential, 0);
+    for (ck, engine) in [
+        (&seq_ck, EngineMode::Sequential),
+        (&seq_ck, EngineMode::Parallel),
+        (&par_ck, EngineMode::Sequential),
+        (&par_ck, EngineMode::Parallel),
+    ] {
+        let mut cfg = cfg.clone();
+        cfg.engine_mode = engine;
+        cfg.threads = 4;
+        let mut sim = CycleSim::resume(exe.clone(), cfg, ck.clone());
+        sim.run().unwrap();
+        assert_eq!(
+            reference.machine.to_json_string(),
+            sim.machine.to_json_string(),
+            "resume under {engine:?} diverged from the uninterrupted run"
+        );
+        assert_eq!(reference.stats.to_json_string(), sim.stats.to_json_string());
+    }
+}
+
+#[test]
+fn zero_dram_channels_is_a_load_error_not_a_panic() {
+    // Regression: a hand-edited config with `dram_channels: 0` used to
+    // pass construction and divide by zero at the first cache miss.
+    let mut cfg = XmtConfig::tiny();
+    cfg.dram_channels = 0;
+    let json = cfg.to_json_string();
+    let parsed = XmtConfig::from_json_str(&json).unwrap();
+    let exe = spawn_rmw_program(8);
+    let err = match CycleSim::try_new(exe, parsed) {
+        Err(e) => e,
+        Ok(_) => panic!("dram_channels = 0 must be rejected at construction"),
+    };
+    assert!(
+        err.contains("dram_channels"),
+        "error should name the offending field: {err}"
+    );
+}
+
+#[test]
+fn worker_count_is_clamped_to_the_cluster_count() {
+    let exe = spawn_rmw_program(16);
+    // tiny has 2 clusters: more threads than clusters would leave
+    // idle shards with empty queues — clamp instead.
+    let sim = run_with(&exe, &XmtConfig::tiny(), EngineMode::Parallel, 64);
+    assert_eq!(sim.workers(), 2);
+    // Sequential runs report zero workers regardless of `threads`.
+    let seq = run_with(&exe, &XmtConfig::tiny(), EngineMode::Sequential, 64);
+    assert_eq!(seq.workers(), 0);
+}

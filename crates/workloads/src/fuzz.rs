@@ -616,10 +616,11 @@ pub fn check_case_against(
         // `oracle_cfg`.
         use xmtsim::differential::{run_cycle_engine, CYCLE_ENGINE_MATRIX};
         let mut all = run_all_engines(exe, cfg, INSTR_LIMIT).map_err(|e| e.to_string())?;
-        for (k, (issue, icn)) in CYCLE_ENGINE_MATRIX.iter().enumerate() {
+        for (k, (issue, icn, engine, threads)) in CYCLE_ENGINE_MATRIX.iter().enumerate() {
             if matches!(issue, xmtsim::IssueModel::PerInstr) {
-                all.cycle[k] = run_cycle_engine(exe, oracle_cfg, *issue, *icn, INSTR_LIMIT)
-                    .map_err(|e| e.to_string())?;
+                all.cycle[k] =
+                    run_cycle_engine(exe, oracle_cfg, *issue, *icn, *engine, *threads, INSTR_LIMIT)
+                        .map_err(|e| e.to_string())?;
             }
         }
         all

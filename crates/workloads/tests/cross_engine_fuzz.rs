@@ -2,12 +2,14 @@
 //!
 //! Every case draws a random (but race-free-by-construction) XMTC
 //! program and a random machine configuration, compiles the program
-//! once, and runs it through functional mode plus all four cycle-model
-//! configurations (`{Burst,PerInstr} × {Express,PerHop}`), asserting
+//! once, and runs it through functional mode plus all eight cycle-model
+//! configurations (`{Burst,PerInstr} × {Express,PerHop}` sequential, plus
+//! the sharded parallel engine at 2 and 4 worker threads), asserting
 //!
-//! * the four cycle engines are **bit-identical** — cycles, simulated
-//!   time, instruction counts, the full stats JSON and the final machine
-//!   image (memory + registers) all match; and
+//! * the eight cycle engines (sequential and sharded-parallel) are
+//!   **bit-identical** — cycles, simulated time, instruction counts, the
+//!   full stats JSON and the final machine image (memory + registers)
+//!   all match (so parallel ≡ sequential on every fuzz case); and
 //! * functional mode agrees on every architectural observable (memory
 //!   image, prefix-sum totals via the print stream, multiset of
 //!   `ps`-compacted scratch slots).
@@ -58,7 +60,7 @@ fn cross_engine_differential_fuzz() {
     });
     // scripts/verify.sh greps for this line to prove the suite really ran
     // (and wasn't filtered out) with the expected case count.
-    eprintln!("cross_engine_fuzz: ran {ran} cases through functional + 4 cycle engines");
+    eprintln!("cross_engine_fuzz: ran {ran} cases through functional + 8 cycle engines");
     assert!(ran >= 1);
 }
 

@@ -1,0 +1,102 @@
+#!/usr/bin/env sh
+# Performance-regression gate for the in-tree bench harness.
+#
+# Compares freshly written BENCH_*.json files against committed
+# reference medians under bench/refs/. A bench whose median is more
+# than XMT_PERF_GATE_PCT percent (default 25) slower than its
+# reference fails the gate; faster is always fine (refs are a
+# ratchet against regression, not a lock on improvement).
+#
+# References are per-host wall-clock numbers, so they are advisory by
+# nature: regenerate them with scripts/update_bench_refs.sh when the
+# host or an intentional perf trade-off changes them. Benches present
+# in only one side (new bench, retired ref) are skipped with a note —
+# the gate polices drift, not coverage.
+#
+# Usage: ./scripts/perf_gate.sh FRESH_DIR [REFS_DIR]
+#   FRESH_DIR  directory holding the just-produced BENCH_*.json
+#   REFS_DIR   committed references (default: bench/refs)
+# Env:
+#   XMT_PERF_GATE=off       skip the gate entirely (exit 0)
+#   XMT_PERF_GATE_PCT=N     allowed slowdown in percent (default 25)
+
+set -eu
+
+if [ "${XMT_PERF_GATE:-on}" = "off" ]; then
+    echo "perf gate: disabled via XMT_PERF_GATE=off"
+    exit 0
+fi
+
+fresh="${1:?usage: perf_gate.sh FRESH_DIR [REFS_DIR]}"
+refs="${2:-$(dirname "$0")/../bench/refs}"
+pct="${XMT_PERF_GATE_PCT:-25}"
+
+[ -d "$fresh" ] || { echo "perf gate: no fresh bench dir $fresh" >&2; exit 1; }
+[ -d "$refs" ] || { echo "perf gate: no reference dir $refs" >&2; exit 1; }
+
+# Flatten one BENCH_*.json into "group/name median_ns" lines. The
+# harness writes single-line JSON with a fixed field order (name first,
+# median_ns second), so a field-anchored awk split is robust here
+# without a JSON parser in the image.
+flatten() {
+    awk '
+        match($0, /"group":"[^"]*"/) {
+            group = substr($0, RSTART + 9, RLENGTH - 10)
+        }
+        {
+            n = split($0, parts, /\{"name":"/)
+            for (i = 2; i <= n; i++) {
+                name = parts[i]; sub(/".*/, "", name)
+                med = parts[i]; sub(/.*"median_ns":/, "", med); sub(/[,}].*/, "", med)
+                print group "/" name, med
+            }
+        }
+    ' "$1"
+}
+
+tmp="${TMPDIR:-/tmp}/perf_gate.$$"
+mkdir -p "$tmp"
+trap 'rm -rf "$tmp"' EXIT
+
+for f in "$fresh"/BENCH_*.json; do
+    [ -e "$f" ] || { echo "perf gate: no BENCH_*.json in $fresh" >&2; exit 1; }
+    flatten "$f"
+done | sort >"$tmp/fresh"
+
+for f in "$refs"/BENCH_*.json; do
+    [ -e "$f" ] || { echo "perf gate: no BENCH_*.json refs in $refs" >&2; exit 1; }
+    flatten "$f"
+done | sort >"$tmp/refs"
+
+fail=0
+while read -r name ref_med; do
+    new_med=$(awk -v n="$name" '$1 == n { print $2 }' "$tmp/fresh")
+    if [ -z "$new_med" ]; then
+        echo "perf gate: $name has a reference but no fresh result (skipped)"
+        continue
+    fi
+    awk -v n="$name" -v new="$new_med" -v ref="$ref_med" -v pct="$pct" '
+        BEGIN {
+            limit = ref * (100 + pct) / 100
+            if (new > limit) {
+                printf "perf gate: FAIL %s: median %.0f ns vs ref %.0f ns (>+%s%%)\n",
+                       n, new, ref, pct
+                exit 1
+            }
+            printf "perf gate: ok   %s: %.0f ns vs ref %.0f ns (%+.1f%%)\n",
+                   n, new, ref, (new / ref - 1) * 100
+        }
+    ' || fail=1
+done <"$tmp/refs"
+
+while read -r name _; do
+    if ! awk -v n="$name" '$1 == n { found = 1 } END { exit !found }' "$tmp/refs"; then
+        echo "perf gate: $name is new (no reference; skipped)"
+    fi
+done <"$tmp/fresh"
+
+if [ "$fail" -ne 0 ]; then
+    echo "perf gate: regression detected — if intentional, regenerate bench/refs" >&2
+    exit 1
+fi
+echo "perf gate: OK (threshold +$pct%)"

@@ -89,6 +89,21 @@ echo "$issue_model_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' || {
     exit 1
 }
 
+echo "==> parallel-engine differential referee"
+# The sharded parallel engine is only an implementation detail while it
+# stays bit-identical to the sequential engine — including mid-flight
+# checkpoints taken inside an open parallel section. These tests must
+# have actually run for the gate to pass.
+par_out=$(cargo test --offline -p xmtsim --test parallel_engine -- --nocapture 2>&1) || {
+    echo "$par_out" >&2
+    exit 1
+}
+echo "$par_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' || {
+    echo "parallel-engine differential tests were skipped (0 ran):" >&2
+    echo "$par_out" >&2
+    exit 1
+}
+
 inflight_out=$(cargo test --offline -p xmt-bench --test checkpoint_inflight 2>&1) || {
     echo "$inflight_out" >&2
     exit 1
@@ -114,7 +129,7 @@ echo "$fuzz_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' || {
     echo "$fuzz_out" >&2
     exit 1
 }
-echo "$fuzz_out" | grep -qE 'cross_engine_fuzz: ran [1-9][0-9]* cases through functional \+ 4 cycle engines' || {
+echo "$fuzz_out" | grep -qE 'cross_engine_fuzz: ran [1-9][0-9]* cases through functional \+ 8 cycle engines' || {
     echo "cross-engine fuzz suite did not report its case count:" >&2
     echo "$fuzz_out" >&2
     exit 1
@@ -127,7 +142,7 @@ echo "==> smoke benches (shortened iterations; writes BENCH_*.json)"
 XMT_BENCH_DIR="$PWD/target/bench" \
 XMT_BENCH_ITERS="${XMT_BENCH_ITERS:-3}" \
 XMT_BENCH_WARMUP_MS="${XMT_BENCH_WARMUP_MS:-10}" \
-    cargo bench --offline -p xmt-bench --bench modes --bench compiler --bench scheduler --bench icn --bench issue --bench corpus
+    cargo bench --offline -p xmt-bench --bench modes --bench compiler --bench scheduler --bench icn --bench issue --bench corpus --bench parallel
 
 ls target/bench/BENCH_*.json >/dev/null 2>&1 || {
     echo "no BENCH_*.json emitted" >&2
@@ -149,5 +164,27 @@ ls target/bench/BENCH_*.json >/dev/null 2>&1 || {
     echo "BENCH_corpus.json missing (workload-corpus bench did not run)" >&2
     exit 1
 }
+[ -f target/bench/BENCH_parallel.json ] || {
+    echo "BENCH_parallel.json missing (parallel-engine scaling bench did not run)" >&2
+    exit 1
+}
+
+echo "==> perf-regression gate (fresh medians vs bench/refs)"
+./scripts/perf_gate.sh target/bench
+
+echo "==> perf-gate self-test (an injected regression must fail)"
+# Copy the fresh results, inflate one median 10x, and make sure the
+# gate actually trips — a gate that cannot fail protects nothing.
+rm -rf target/bench-selftest
+mkdir -p target/bench-selftest
+cp target/bench/BENCH_parallel.json target/bench-selftest/
+sed -i.bak -E 's/"median_ns":([0-9]+)/"median_ns":\10/' \
+    target/bench-selftest/BENCH_parallel.json
+rm -f target/bench-selftest/BENCH_parallel.json.bak
+if ./scripts/perf_gate.sh target/bench-selftest >/dev/null 2>&1; then
+    echo "perf gate failed to detect a 10x inflated median" >&2
+    exit 1
+fi
+echo "perf gate self-test OK (inflated median rejected)"
 
 echo "==> verify OK"
