@@ -1,0 +1,131 @@
+//! Pre-decoded basic-block replay (ISSUE 8): hot basic blocks classified
+//! once into flat decoded ops — operands resolved, compare+branch and
+//! load-immediate+ALU pairs fused into superinstructions — then replayed
+//! as a slice, vs the interpreted issue path walking `Instr` through
+//! `exec::issue` on every visit. The two decode modes are bit-identical
+//! on simulated results (the `decode_diff` suite proves it; the probe
+//! below is a live cross-check), so the entire gap is host-side decode
+//! and dispatch work in the burst loops. Writes `BENCH_decode.json` and
+//! prints the host speedup plus the replay/fusion profile: on the
+//! compute-bound microbenchmark the decoded path targets ≥1.5× the
+//! interpreted one.
+
+use xmt_harness::json::Json;
+use xmt_harness::BenchGroup;
+use xmt_workloads::micro::{build, MicroGroup, MicroParams};
+use xmtc::Options;
+use xmtsim::{DecodeMode, XmtConfig};
+
+fn config(decode: DecodeMode) -> XmtConfig {
+    let mut cfg = XmtConfig::chip1024();
+    cfg.decode_cache = decode;
+    cfg
+}
+
+/// Median of `<name>` in the written bench JSON.
+fn median_of(benches: &[Json], name: &str) -> Option<u64> {
+    benches.iter().find_map(|b| {
+        let obj = b.as_obj().ok()?;
+        let matches = obj
+            .iter()
+            .any(|(k, v)| k == "name" && matches!(v, Json::Str(s) if s == name));
+        if !matches {
+            return None;
+        }
+        obj.iter().find_map(|(k, v)| match v {
+            Json::U(u) if k == "median_ns" => Some(*u),
+            Json::I(i) if k == "median_ns" && *i >= 0 => Some(*i as u64),
+            _ => None,
+        })
+    })
+}
+
+fn main() {
+    // Longer per-thread loops than the other microbench harnesses: the
+    // decode cache targets compute-bound hot loops, so give every
+    // virtual thread enough trips for replay to dominate host time.
+    let params = MicroParams {
+        threads: 1024,
+        iters: 32,
+        data_words: 1 << 14,
+    };
+    let groups = [
+        (MicroGroup::ParallelCompute, "parallel_compute"),
+        (MicroGroup::ParallelMemory, "parallel_memory"),
+    ];
+
+    let mut group = BenchGroup::new("decode");
+    group.sample_size(10);
+    let mut report = Vec::new();
+    for (micro, gname) in groups {
+        let compiled = build(micro, &params, &Options::default()).unwrap();
+
+        // One run per mode up front: simulated results must agree, and
+        // the cache run's host profile gives the replay/fusion books.
+        let mut probe = Vec::new();
+        for decode in [DecodeMode::Cache, DecodeMode::Off] {
+            let mut sim = compiled.simulator(&config(decode));
+            sim.enable_host_profiling();
+            let s = sim.run().unwrap();
+            let hp = sim.host_profile().unwrap().clone();
+            probe.push((s, hp));
+        }
+        let (sc, hc) = probe[0].clone();
+        let (so, ho) = probe[1].clone();
+        assert_eq!(
+            (sc.cycles, sc.time_ps, sc.instructions),
+            (so.cycles, so.time_ps, so.instructions),
+            "{gname}: decode modes diverged on simulated results"
+        );
+        assert_eq!(
+            (ho.blocks_decoded, ho.replay_instrs),
+            (0, 0),
+            "{gname}: cache-off run must not touch the decode cache"
+        );
+        assert!(
+            hc.replay_instrs > 0,
+            "{gname}: decoded replay never engaged"
+        );
+
+        group.throughput_elements(sc.instructions);
+        for (decode, label) in [(DecodeMode::Cache, "cache"), (DecodeMode::Off, "off")] {
+            let cfg = config(decode);
+            group.bench(&format!("{gname}/{label}"), || {
+                let mut sim = compiled.simulator(&cfg);
+                sim.run().unwrap()
+            });
+        }
+        report.push((gname, sc, hc));
+    }
+    let path = group.finish();
+
+    // Report: host speedup and the decoded-replay profile.
+    let text = std::fs::read_to_string(&path).expect("bench json readable");
+    let parsed = Json::parse(&text).expect("bench json parses");
+    let obj = parsed.as_obj().expect("bench json is an object");
+    let benches = obj
+        .iter()
+        .find(|(k, _)| k == "benches")
+        .and_then(|(_, v)| v.as_arr().ok())
+        .expect("benches array");
+    for (gname, sc, hc) in report {
+        if let (Some(c), Some(o)) = (
+            median_of(benches, &format!("{gname}/cache")),
+            median_of(benches, &format!("{gname}/off")),
+        ) {
+            eprintln!(
+                "bench decode: chip1024 {gname}: cache {:.2}x vs interpreted \
+                 ({} vs {} ms median)",
+                o as f64 / c.max(1) as f64,
+                c / 1_000_000,
+                o / 1_000_000,
+            );
+        }
+        let pct = hc.replay_instrs as f64 * 100.0 / sc.instructions.max(1) as f64;
+        eprintln!(
+            "bench decode: {gname}: {:.1}% of {} instrs replayed decoded \
+             ({} blocks, {} replays, {} fused pairs)",
+            pct, sc.instructions, hc.blocks_decoded, hc.block_replays, hc.fusions,
+        );
+    }
+}

@@ -4,20 +4,26 @@
 //! bench runner and writes `BENCH_table1.json`.
 //!
 //! Table I characterizes the *reference* cost profile — one event per
-//! switch hop and one per issued instruction — so both optimization
-//! knobs are pinned to their oracle models here (`BENCH_icn.json` and
-//! `BENCH_issue.json` measure what express legs / compute bursts buy).
+//! switch hop and one per issued instruction, interpreted decode — so
+//! every optimization knob is pinned to its oracle model here
+//! (`BENCH_icn.json`, `BENCH_issue.json` and `BENCH_decode.json` measure
+//! what express legs / compute bursts / decoded replay buy).
 
 use xmt_harness::BenchGroup;
-use xmtc::Options;
-use xmtsim::{IcnModel, IssueModel, XmtConfig};
 use xmt_workloads::micro::{build, MicroGroup, MicroParams};
+use xmtc::Options;
+use xmtsim::{DecodeMode, IcnModel, IssueModel, XmtConfig};
 
 fn main() {
     let mut cfg = XmtConfig::chip1024();
     cfg.icn_model = IcnModel::PerHop;
     cfg.issue_model = IssueModel::PerInstr;
-    let params = MicroParams { threads: 1024, iters: 8, data_words: 1 << 14 };
+    cfg.decode_cache = DecodeMode::Off;
+    let params = MicroParams {
+        threads: 1024,
+        iters: 8,
+        data_words: 1 << 14,
+    };
     let mut group = BenchGroup::new("table1");
     group.sample_size(10);
     for g in MicroGroup::ALL {

@@ -14,20 +14,33 @@
 //! share of events that are instruction-issue steps, the burst count and
 //! mean length, the straight-line-run length distribution, and which
 //! boundary broke each burst.
+//!
+//! A third table profiles the *decode* modes: for each workload under the
+//! pre-decoded basic-block cache vs interpreted decode, how many blocks
+//! were decoded, how often they were replayed, what fraction of retired
+//! instructions executed as decoded replay, and the fused-superinstruction
+//! and invalidation counts.
 
 use xmt_bench::render_table;
-use xmtc::Options;
-use xmtsim::{IcnModel, IssueModel, XmtConfig};
 use xmt_workloads::micro::{build, MicroGroup, MicroParams};
 use xmt_workloads::suite::{self, Variant};
+use xmtc::Options;
+use xmtsim::{DecodeMode, IcnModel, IssueModel, XmtConfig};
 
 fn main() {
-    let params = MicroParams { threads: 2048, iters: 48, data_words: 1 << 16 };
+    let params = MicroParams {
+        threads: 2048,
+        iters: 48,
+        data_words: 1 << 16,
+    };
     let opts = Options::default();
 
     let mut rows = Vec::new();
     let mut profile = |name: &str, compiled: &xmt_core::Compiled| {
-        for (model, label) in [(IcnModel::PerHop, "per-hop"), (IcnModel::Express, "express")] {
+        for (model, label) in [
+            (IcnModel::PerHop, "per-hop"),
+            (IcnModel::Express, "express"),
+        ] {
             let mut cfg = XmtConfig::chip1024();
             cfg.icn_model = model;
             let mut sim = compiled.simulator(&cfg);
@@ -95,9 +108,10 @@ fn main() {
     // cycle/instruction/checkpoint boundary, or the hard cap).
     let mut issue_rows = Vec::new();
     for (name, compiled) in workloads {
-        for (model, label) in
-            [(IssueModel::PerInstr, "per-instr"), (IssueModel::Burst, "burst")]
-        {
+        for (model, label) in [
+            (IssueModel::PerInstr, "per-instr"),
+            (IssueModel::Burst, "burst"),
+        ] {
             let mut cfg = XmtConfig::chip1024();
             cfg.issue_model = model;
             let mut sim = compiled.simulator(&cfg);
@@ -108,7 +122,10 @@ fn main() {
             issue_rows.push(vec![
                 name.to_string(),
                 label.to_string(),
-                format!("{:.1}%", 100.0 * hp.compute_events as f64 / total_events as f64),
+                format!(
+                    "{:.1}%",
+                    100.0 * hp.compute_events as f64 / total_events as f64
+                ),
                 format!("{}", hp.bursts),
                 if hp.bursts == 0 {
                     "-".to_string()
@@ -118,7 +135,11 @@ fn main() {
                 if hp.bursts == 0 {
                     "-".to_string()
                 } else {
-                    hp.burst_len_hist.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("/")
+                    hp.burst_len_hist
+                        .iter()
+                        .map(|c| c.to_string())
+                        .collect::<Vec<_>>()
+                        .join("/")
                 },
                 if hp.bursts == 0 {
                     "-".to_string()
@@ -153,4 +174,53 @@ fn main() {
     println!("(burst rows issue one scheduler event per straight-line run; the break");
     println!(" columns say which boundary ended each run — identical simulated results");
     println!(" are enforced by the issue_burst_diff differential suite)");
+
+    // Third table: the *decode*-mode profile — what the pre-decoded
+    // basic-block cache does on top of burst issue (block and replay
+    // counts, the share of retired instructions that executed as decoded
+    // replay, fused superinstructions, and cache invalidations).
+    let mut decode_rows = Vec::new();
+    for (name, compiled) in workloads {
+        for (mode, label) in [
+            (DecodeMode::Off, "interpreted"),
+            (DecodeMode::Cache, "cache"),
+        ] {
+            let mut cfg = XmtConfig::chip1024();
+            cfg.decode_cache = mode;
+            let mut sim = compiled.simulator(&cfg);
+            sim.enable_host_profiling();
+            let s = sim.run().expect("runs");
+            let hp = sim.host_profile().unwrap().clone();
+            decode_rows.push(vec![
+                name.to_string(),
+                label.to_string(),
+                format!("{}", hp.blocks_decoded),
+                format!("{}", hp.block_replays),
+                format!(
+                    "{:.1}%",
+                    100.0 * hp.replay_instrs as f64 / s.instructions.max(1) as f64
+                ),
+                format!("{}", hp.fusions),
+                format!("{}", hp.decode_invalidations),
+            ]);
+        }
+    }
+    println!("\ndecode modes: basic-block cache and superinstruction profile\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "workload",
+                "decode",
+                "blocks decoded",
+                "block replays",
+                "replayed-instr share",
+                "fused pairs",
+                "invalidations",
+            ],
+            &decode_rows
+        )
+    );
+    println!("(cache rows replay pre-decoded blocks inside burst issue; bit-identical");
+    println!(" simulated results are enforced by the decode_diff differential suite)");
 }

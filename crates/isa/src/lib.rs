@@ -37,11 +37,13 @@
 //!   the simulated machine runs no operating system).
 
 pub mod asm;
+pub mod decode;
 pub mod instr;
 pub mod memmap;
 pub mod program;
 pub mod reg;
 
+pub use decode::DecodedOp;
 pub use instr::{FuKind, Instr, Target};
 pub use memmap::{MemEntry, MemoryMap};
 pub use program::{AsmItem, AsmProgram, Executable, LinkError};

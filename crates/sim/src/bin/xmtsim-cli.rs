@@ -7,20 +7,20 @@
 //! ```text
 //! xmtsim-cli PROGRAM.xs [--memmap FILE.xbo] [--config fpga64|chip1024|tiny|FILE.json]
 //!            [--icn express|perhop] [--issue burst|perinstr]
-//!            [--engine sequential|parallel] [--threads N] [--functional]
-//!            [--stats] [--dump GLOBAL:COUNT] [--cycles-limit N]
+//!            [--engine sequential|parallel] [--threads N] [--decode cache|off]
+//!            [--functional] [--stats] [--dump GLOBAL:COUNT] [--cycles-limit N]
 //! ```
 
 use std::process::ExitCode;
 use xmt_harness::FromJson;
-use xmtsim::{CycleSim, EngineMode, FunctionalSim, IcnModel, IssueModel, XmtConfig};
+use xmtsim::{CycleSim, DecodeMode, EngineMode, FunctionalSim, IcnModel, IssueModel, XmtConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: xmtsim-cli PROGRAM.xs [--memmap FILE.xbo] \
          [--config fpga64|chip1024|tiny|FILE.json] [--icn express|perhop] \
          [--issue burst|perinstr] [--engine sequential|parallel] \
-         [--threads N] [--functional] [--stats] \
+         [--threads N] [--decode cache|off] [--functional] [--stats] \
          [--dump GLOBAL:COUNT] [--cycles-limit N]"
     );
     std::process::exit(2)
@@ -38,6 +38,7 @@ fn main() -> ExitCode {
     let mut issue_model: Option<IssueModel> = None;
     let mut engine_mode: Option<EngineMode> = None;
     let mut threads: Option<u32> = None;
+    let mut decode_mode: Option<DecodeMode> = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -94,10 +95,25 @@ fn main() -> ExitCode {
                 })
             }
             "--threads" => {
-                threads = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+                threads = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--decode" => {
+                decode_mode = Some(match it.next().as_deref() {
+                    Some("cache") => DecodeMode::Cache,
+                    Some("off") => DecodeMode::Off,
+                    _ => usage(),
+                })
             }
             "--cycles-limit" => {
-                limit = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+                limit = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--dump" => {
                 let spec = it.next().unwrap_or_else(|| usage());
@@ -127,6 +143,9 @@ fn main() -> ExitCode {
     }
     if let Some(n) = threads {
         config.threads = n;
+    }
+    if let Some(m) = decode_mode {
+        config.decode_cache = m;
     }
 
     let asm_text = match std::fs::read_to_string(&file) {
@@ -172,6 +191,9 @@ fn main() -> ExitCode {
 
     if functional {
         let mut sim = FunctionalSim::new(exe);
+        if config.decode_cache == DecodeMode::Off {
+            sim.set_decode(false);
+        }
         if let Some(l) = limit {
             sim.set_instr_limit(l);
         }

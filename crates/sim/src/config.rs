@@ -98,7 +98,29 @@ pub enum EngineMode {
     Parallel,
 }
 
-json_enum!(EngineMode { Sequential, Parallel });
+json_enum!(EngineMode {
+    Sequential,
+    Parallel
+});
+
+/// Whether burst/functional execution may replay pre-decoded basic
+/// blocks instead of re-interpreting `Instr` per instruction.
+///
+/// `Cache` decodes each basic block once into a flat `Vec<DecodedOp>`
+/// (dense tags, resolved operands, fused superinstructions) and replays
+/// the slice on later visits — bit-identical to interpreted issue by
+/// construction and by the `decode_diff` differential suite. `Off`
+/// disables the cache entirely; E1's Table I reference runs pin it `Off`
+/// alongside `PerInstr` + `PerHop` to preserve the paper's cost profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeMode {
+    /// Pre-decode basic blocks and replay them (the default).
+    Cache,
+    /// Always walk `Instr` through the interpreted issue path.
+    Off,
+}
+
+json_enum!(DecodeMode { Cache, Off });
 
 /// The four independent clock domains whose frequencies an activity
 /// plug-in may retune at runtime (paper §III-B).
@@ -115,12 +137,21 @@ pub enum ClockDomain {
     Dram = 3,
 }
 
-json_enum!(ClockDomain { Cluster, Icn, Cache, Dram });
+json_enum!(ClockDomain {
+    Cluster,
+    Icn,
+    Cache,
+    Dram
+});
 
 impl ClockDomain {
     /// All domains in index order.
-    pub const ALL: [ClockDomain; 4] =
-        [ClockDomain::Cluster, ClockDomain::Icn, ClockDomain::Cache, ClockDomain::Dram];
+    pub const ALL: [ClockDomain; 4] = [
+        ClockDomain::Cluster,
+        ClockDomain::Icn,
+        ClockDomain::Cache,
+        ClockDomain::Dram,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -186,6 +217,8 @@ pub struct XmtConfig {
     /// Worker threads for [`EngineMode::Parallel`]; clamped to the
     /// cluster count at run time. Ignored by `Sequential`.
     pub threads: u32,
+    /// Pre-decoded basic-block cache (burst + functional replay).
+    pub decode_cache: DecodeMode,
 
     // ---- per-cluster shared units ----
     /// Multiply latency on the cluster MDU (cluster cycles, pipelined).
@@ -232,14 +265,40 @@ pub struct XmtConfig {
 }
 
 json_struct!(XmtConfig {
-    clusters, tcus_per_cluster, cache_modules, dram_channels, period_ps,
-    cache_module_kb, cache_assoc, line_bytes, cache_hit_latency,
-    dram_latency, dram_service, icn_latency, icn_timing, icn_model,
-    issue_model, engine_mode, threads,
-    mul_latency, div_latency, fpu_add_latency, fpu_mul_latency,
-    fpu_div_latency, fpu_misc_latency, prefetch_entries, prefetch_policy,
-    ro_cache_kb, ro_hit_latency, master_cache_kb, master_cache_assoc,
-    master_hit_latency, ps_latency, spawn_overhead, broadcast_ipc,
+    clusters,
+    tcus_per_cluster,
+    cache_modules,
+    dram_channels,
+    period_ps,
+    cache_module_kb,
+    cache_assoc,
+    line_bytes,
+    cache_hit_latency,
+    dram_latency,
+    dram_service,
+    icn_latency,
+    icn_timing,
+    icn_model,
+    issue_model,
+    engine_mode,
+    threads,
+    decode_cache,
+    mul_latency,
+    div_latency,
+    fpu_add_latency,
+    fpu_mul_latency,
+    fpu_div_latency,
+    fpu_misc_latency,
+    prefetch_entries,
+    prefetch_policy,
+    ro_cache_kb,
+    ro_hit_latency,
+    master_cache_kb,
+    master_cache_assoc,
+    master_hit_latency,
+    ps_latency,
+    spawn_overhead,
+    broadcast_ipc,
 });
 
 impl XmtConfig {
@@ -333,6 +392,7 @@ impl XmtConfig {
             issue_model: IssueModel::Burst,
             engine_mode: EngineMode::Sequential,
             threads: 4,
+            decode_cache: DecodeMode::Cache,
             mul_latency: 3,
             div_latency: 16,
             fpu_add_latency: 4,
@@ -373,6 +433,7 @@ impl XmtConfig {
             issue_model: IssueModel::Burst,
             engine_mode: EngineMode::Sequential,
             threads: 4,
+            decode_cache: DecodeMode::Cache,
             mul_latency: 3,
             div_latency: 16,
             fpu_add_latency: 4,
@@ -478,6 +539,37 @@ mod tests {
         c.dram_channels = 0;
         let err = c.validate().unwrap_err();
         assert!(err.contains("dram_channels"), "unspecific error: {err}");
-        assert!(err.contains("miss"), "error should explain the failure mode: {err}");
+        assert!(
+            err.contains("miss"),
+            "error should explain the failure mode: {err}"
+        );
+    }
+
+    /// Regression for the `decode_cache` field: presets default to
+    /// `Cache`, the knob round-trips through config JSON, and a JSON
+    /// image naming either mode loads to that mode and validates.
+    #[test]
+    fn decode_cache_field_loads_from_json() {
+        use xmt_harness::{FromJson, ToJson};
+
+        assert_eq!(XmtConfig::fpga64().decode_cache, DecodeMode::Cache);
+        assert_eq!(XmtConfig::chip1024().decode_cache, DecodeMode::Cache);
+        assert_eq!(XmtConfig::tiny().decode_cache, DecodeMode::Cache);
+
+        let mut c = XmtConfig::tiny();
+        c.decode_cache = DecodeMode::Off;
+        let text = c.to_json_string();
+        assert!(
+            text.contains("decode_cache"),
+            "field missing from JSON: {text}"
+        );
+        let back = XmtConfig::from_json_str(&text).unwrap();
+        assert_eq!(back, c);
+        back.validate().unwrap();
+
+        let text = text.replace("\"Off\"", "\"Cache\"");
+        let back = XmtConfig::from_json_str(&text).unwrap();
+        assert_eq!(back.decode_cache, DecodeMode::Cache);
+        back.validate().unwrap();
     }
 }

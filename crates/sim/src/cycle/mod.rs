@@ -32,8 +32,13 @@ pub mod cachesim;
 mod parallel;
 pub mod prefetch;
 
-use crate::config::{ClockDomain, EngineMode, IcnModel, IcnTiming, IssueModel, XmtConfig};
-use crate::engine::{Priority, Scheduler, Time, PRI_DEFAULT, PRI_NEGOTIATE, PRI_SAMPLE, PRI_TRANSFER};
+use crate::config::{
+    ClockDomain, DecodeMode, EngineMode, IcnModel, IcnTiming, IssueModel, XmtConfig,
+};
+use crate::decode::{Cursor, DecodeCache, ReplayEnv};
+use crate::engine::{
+    Priority, Scheduler, Time, PRI_DEFAULT, PRI_NEGOTIATE, PRI_SAMPLE, PRI_TRANSFER,
+};
 use crate::exec::{self, CostClass, Issued, MemKind, MemRequest, Mode};
 use crate::machine::{Machine, ThreadCtx, Trap};
 use crate::stats::{stats_delta, ActivityPlugin, ActivitySample, FilterPlugin, RuntimeCtl, Stats};
@@ -42,8 +47,8 @@ use cachesim::CacheTags;
 use prefetch::PrefetchBuffer;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap};
-use xmt_harness::{json_enum, json_struct};
 use std::fmt;
+use xmt_harness::{json_enum, json_struct};
 use xmt_isa::{Executable, Reg};
 
 /// Errors terminating a cycle-accurate run.
@@ -88,7 +93,12 @@ pub struct RunSummary {
     pub events: u64,
 }
 
-json_struct!(RunSummary { cycles, time_ps, instructions, events });
+json_struct!(RunSummary {
+    cycles,
+    time_ps,
+    instructions,
+    events
+});
 
 /// Host-time profile of the simulator itself, per component class —
 /// enables the paper's observation that up to 60% of simulation time goes
@@ -137,6 +147,20 @@ pub struct HostProfile {
     /// Burst length histogram, floor-log2 buckets: 1, 2–3, 4–7, 8–15,
     /// 16–31, 32–63, 64–127, 128+.
     pub burst_len_hist: [u64; 8],
+    /// Basic blocks decoded into the pre-decoded cache (including
+    /// re-decodes after an invalidation).
+    pub blocks_decoded: u64,
+    /// Decoded-block replays (each fast-forwards ≥ 1 block).
+    pub block_replays: u64,
+    /// Constituent instructions executed from decoded blocks instead of
+    /// the interpreted `exec::issue_local` path.
+    pub replay_instrs: u64,
+    /// Fused superinstructions (compare+branch, li+ALU, psm+increment)
+    /// executed whole during replay.
+    pub fusions: u64,
+    /// Decode-cache invalidations (tracer/filter activation, checkpoint
+    /// restore) that discarded at least one decoded block.
+    pub decode_invalidations: u64,
 }
 
 impl HostProfile {
@@ -200,7 +224,7 @@ enum BurstBreak {
 /// `handle()` call bounded so infinite pure-local loops still make the
 /// run loop (and its cycle-limit check) turn over. Breaking here is
 /// always safe — the scheduled step event simply starts the next burst.
-const BURST_CAP: u64 = 4096;
+pub(crate) const BURST_CAP: u64 = 4096;
 
 /// Per-TCU simulation state.
 #[derive(Debug, Clone, PartialEq)]
@@ -219,7 +243,14 @@ pub struct TcuState {
     pbuf: PrefetchBuffer,
 }
 
-json_struct!(TcuState { ctx, pending, fence_wait, fence_from, parked, pbuf });
+json_struct!(TcuState {
+    ctx,
+    pending,
+    fence_wait,
+    fence_from,
+    parked,
+    pbuf
+});
 
 /// State of an open parallel section.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -229,7 +260,11 @@ struct ParState {
     parked: u32,
 }
 
-json_struct!(ParState { hi, join_idx, parked });
+json_struct!(ParState {
+    hi,
+    join_idx,
+    parked
+});
 
 /// Typed events of the cycle-accurate model.
 #[derive(Debug, Clone, PartialEq)]
@@ -243,12 +278,29 @@ enum Ev {
     /// module; outbound packages carry a response `value` back to their
     /// TCU. Walking packages switch-by-switch is where a cycle-accurate
     /// many-core simulator spends its time (paper §III-D).
-    Hop { tcu: u32, req: MemRequest, remaining: u32, value: u32, inbound: bool, issued_at: Time },
+    Hop {
+        tcu: u32,
+        req: MemRequest,
+        remaining: u32,
+        value: u32,
+        inbound: bool,
+        issued_at: Time,
+    },
     /// A memory request is serviced at its cache module (its functional
     /// effect happens here).
-    Service { tcu: u32, req: MemRequest, done: Time, issued_at: Time },
+    Service {
+        tcu: u32,
+        req: MemRequest,
+        done: Time,
+        issued_at: Time,
+    },
     /// A memory response arrives back at the issuing TCU.
-    Complete { tcu: u32, req: MemRequest, value: u32, issued_at: Time },
+    Complete {
+        tcu: u32,
+        req: MemRequest,
+        value: u32,
+        issued_at: Time,
+    },
     /// The spawn broadcast finished; activate the TCUs.
     BroadcastDone { body_pc: u32 },
     /// Activity-plug-in sampling tick.
@@ -296,7 +348,15 @@ struct ExpressLeg {
     chain: Vec<Time>,
 }
 
-json_struct!(ExpressLeg { tcu, req, value, inbound, issued_at, seq, chain });
+json_struct!(ExpressLeg {
+    tcu,
+    req,
+    value,
+    inbound,
+    issued_at,
+    seq,
+    chain
+});
 
 /// A slot of the express-leg table. Slots are reused; `gen` increments on
 /// every (re)allocation and reschedule so stale `ExpressEnd` events can be
@@ -355,7 +415,14 @@ pub struct InflightState {
     line_busy: BTreeMap<u32, Time>,
 }
 
-json_struct!(InflightState { events, legs, par, pending_total, pbuf_waiters, line_busy });
+json_struct!(InflightState {
+    events,
+    legs,
+    par,
+    pending_total,
+    pbuf_waiters,
+    line_busy
+});
 
 impl InflightState {
     /// True when the checkpoint was taken at a quiescent boundary and
@@ -467,6 +534,10 @@ pub struct CycleSim {
     /// Optional execution tracer.
     pub tracer: Option<Tracer>,
 
+    /// Pre-decoded basic-block cache ([`DecodeMode::Cache`]), consulted
+    /// by the burst loops; `None` under [`DecodeMode::Off`].
+    decode: Option<DecodeCache>,
+
     host_profile: Option<HostProfile>,
     max_cycles: Option<u64>,
     max_instrs: Option<u64>,
@@ -504,7 +575,10 @@ impl CycleSim {
             parked: false,
             pbuf: PrefetchBuffer::new(cfg.prefetch_entries, cfg.prefetch_policy),
         };
-        let mut master = ThreadCtx { pc: exe.entry, ..Default::default() };
+        let mut master = ThreadCtx {
+            pc: exe.entry,
+            ..Default::default()
+        };
         master.regs.set(Reg::Sp, xmt_isa::STACK_TOP);
         // Parallel engine: one worker shard per thread, clamped to the
         // cluster count (a shard with no clusters would never run).
@@ -533,11 +607,7 @@ impl CycleSim {
             ro_caches: (0..cfg.clusters)
                 .map(|_| CacheTags::new(cfg.ro_cache_kb * 1024, 2, line))
                 .collect(),
-            master_cache: CacheTags::new(
-                cfg.master_cache_kb * 1024,
-                cfg.master_cache_assoc,
-                line,
-            ),
+            master_cache: CacheTags::new(cfg.master_cache_kb * 1024, cfg.master_cache_assoc, line),
             par: None,
             pending_total: 0,
             pbuf_waiters: HashMap::new(),
@@ -553,6 +623,7 @@ impl CycleSim {
             last_sample: Stats::for_topology(cfg.clusters, cfg.cache_modules),
             next_sample_at: None,
             tracer: None,
+            decode: (cfg.decode_cache == DecodeMode::Cache).then(|| DecodeCache::new(exe.len())),
             host_profile: None,
             max_cycles: None,
             max_instrs: None,
@@ -645,9 +716,14 @@ impl CycleSim {
         }
     }
 
-    /// Attach a filter plug-in (end-of-run custom statistics).
+    /// Attach a filter plug-in (end-of-run custom statistics). Filters
+    /// observe every instruction, so decoded replay degrades to
+    /// interpreted issue while any filter is attached; the cached blocks
+    /// are discarded (they rebuild deterministically if the run ever
+    /// returns to replay-eligible state).
     pub fn add_filter(&mut self, f: Box<dyn FilterPlugin>) {
         self.filters.push(f);
+        self.invalidate_decode();
     }
 
     /// Attach an activity plug-in, sampled every `interval_cycles`
@@ -713,10 +789,24 @@ impl CycleSim {
     }
 
     /// Attach an execution tracer. Tracing degrades [`IssueModel::Burst`]
-    /// to per-instruction stepping (see [`Self::burst_issue`]), so the
-    /// recorded `Issue` stream is identical under either model.
+    /// to per-instruction stepping (see [`Self::burst_issue`]), which
+    /// also takes decoded replay out of the path — its cached blocks are
+    /// invalidated here so a traced run carries no stale decode state.
     pub fn attach_tracer(&mut self, t: Tracer) {
         self.tracer = Some(t);
+        self.invalidate_decode();
+    }
+
+    /// Discard all pre-decoded blocks (counted in the host profile when
+    /// any were present). Purely a cache event: blocks rebuild
+    /// deterministically from the immutable text on next replay.
+    fn invalidate_decode(&mut self) {
+        if let Some(dc) = self.decode.as_mut() {
+            dc.invalidate_all();
+            if let Some(hp) = self.host_profile.as_mut() {
+                hp.decode_invalidations = dc.stats.invalidations;
+            }
+        }
     }
 
     /// Whether step events extend into compute bursts: the configured
@@ -811,7 +901,9 @@ impl CycleSim {
     /// no-op.
     fn reschedule_express_legs(&mut self, now: Time) {
         for i in 0..self.express_legs.len() {
-            let Some(mut leg) = self.express_legs[i].leg.take() else { continue };
+            let Some(mut leg) = self.express_legs[i].leg.take() else {
+                continue;
+            };
             let n = leg.chain.len();
             let old_end = leg.chain[n - 1];
             for k in 1..n {
@@ -885,7 +977,15 @@ impl CycleSim {
         let end = chain[n - 1];
         let seq = self.leg_seq;
         self.leg_seq += 1;
-        let leg = ExpressLeg { tcu, req, value, inbound, issued_at, seq, chain };
+        let leg = ExpressLeg {
+            tcu,
+            req,
+            value,
+            inbound,
+            issued_at,
+            seq,
+            chain,
+        };
         let slot = match self.legs_free.pop() {
             Some(s) => s,
             None => {
@@ -991,7 +1091,9 @@ impl CycleSim {
                 return if self.machine.halted {
                     Ok(Outcome::Done(self.summary()))
                 } else {
-                    Err(SimError::Deadlock { time: self.sched.now() })
+                    Err(SimError::Deadlock {
+                        time: self.sched.now(),
+                    })
                 };
             };
             // Time is constant within a group, so one limit check covers
@@ -1018,10 +1120,7 @@ impl CycleSim {
             // through cache LRU state and downstream event seeding); the
             // scheduler's FIFO tie-break reflects *end*-scheduling order,
             // so re-sort by the per-hop tie-break key.
-            if pri == PRI_NEGOTIATE
-                && batch.len() > 1
-                && self.cfg.icn_model == IcnModel::Express
-            {
+            if pri == PRI_NEGOTIATE && batch.len() > 1 && self.cfg.icn_model == IcnModel::Express {
                 order_express_batch(&self.express_legs, &mut batch);
             }
             // Same-`(time, PRI_DEFAULT)` batches run in canonical order
@@ -1118,15 +1217,32 @@ impl CycleSim {
         match ev {
             Ev::MasterStep => self.master_step(now),
             Ev::TcuStep(t) => self.tcu_step(now, t),
-            Ev::Hop { tcu, req, remaining, value, inbound, issued_at } => {
+            Ev::Hop {
+                tcu,
+                req,
+                remaining,
+                value,
+                inbound,
+                issued_at,
+            } => {
                 self.hop(now, tcu, req, remaining, value, inbound, issued_at);
                 Ok(())
             }
-            Ev::Service { tcu, req, done, issued_at } => {
+            Ev::Service {
+                tcu,
+                req,
+                done,
+                issued_at,
+            } => {
                 self.service(now, tcu, req, done, issued_at);
                 Ok(())
             }
-            Ev::Complete { tcu, req, value, issued_at } => {
+            Ev::Complete {
+                tcu,
+                req,
+                value,
+                issued_at,
+            } => {
                 self.complete(now, tcu, req, value, issued_at);
                 Ok(())
             }
@@ -1156,7 +1272,11 @@ impl CycleSim {
         let pc = self.master.pc;
         let issued = exec::issue(&self.exe, &mut self.master, &mut self.machine, Mode::Master)?;
         if let Some(tr) = &mut self.tracer {
-            tr.record(TraceEvent::Issue { time: now, tcu: None, pc });
+            tr.record(TraceEvent::Issue {
+                time: now,
+                tcu: None,
+                pc,
+            });
         }
         match issued {
             Issued::Done(cost) => {
@@ -1226,6 +1346,52 @@ impl CycleSim {
         Ok(())
     }
 
+    /// The window-constant burst break conditions, packaged for decoded
+    /// replay. Replay checks them per constituent instruction, so a
+    /// replayed burst stops at exactly the instruction the interpreted
+    /// loop would refuse. `master` selects the master loop's extra
+    /// quiescent-checkpoint clause ([`Self::master_burst`]); the TCU
+    /// loop has no `checkpoint_at` check.
+    fn replay_env(&self, master: bool) -> ReplayEnv {
+        ReplayEnv {
+            cp: self.p(ClockDomain::Cluster),
+            next_sample_at: self.next_sample_at,
+            max_cycles: self.max_cycles,
+            max_instrs: self.max_instrs,
+            checkpoint_any_at: self.checkpoint_any_at,
+            checkpoint_at: if master && self.par.is_none() && self.pending_total == 0 {
+                self.checkpoint_at
+            } else {
+                None
+            },
+            cycles_base: self.cycles_base,
+            period_changed_at: self.period_changed_at,
+            instrs_base: self.stats.instructions,
+        }
+    }
+
+    /// Merge one replay call's execution deltas into the stats books —
+    /// equivalent to per-instruction `count_instr` calls — and the host
+    /// profile's decode counters.
+    fn merge_replay(&mut self, cur: &Cursor, cluster: Option<u32>) {
+        use crate::decode::{C_ALU, C_BR, C_CTL, C_SFT};
+        use xmt_isa::FuKind;
+        self.stats
+            .count_instr_bulk(FuKind::Alu, cluster, cur.counts[C_ALU]);
+        self.stats
+            .count_instr_bulk(FuKind::Sft, cluster, cur.counts[C_SFT]);
+        self.stats
+            .count_instr_bulk(FuKind::Br, cluster, cur.counts[C_BR]);
+        self.stats
+            .count_instr_bulk(FuKind::Ctl, cluster, cur.counts[C_CTL]);
+        if let Some(hp) = self.host_profile.as_mut() {
+            hp.blocks_decoded += cur.decoded;
+            hp.block_replays += cur.replays;
+            hp.replay_instrs += cur.executed;
+            hp.fusions += cur.fused;
+        }
+    }
+
     /// Extend a just-issued master instruction into a compute burst
     /// ([`IssueModel::Burst`]): keep executing pure local instructions
     /// through `exec::issue`, accumulating latency, and return the
@@ -1237,6 +1403,29 @@ impl CycleSim {
         let mut done = first_done;
         let mut len = 1u64;
         let reason = loop {
+            // Fast-forward through pre-decoded blocks first: replay
+            // applies these same break conditions per constituent, so
+            // on return the checks below reproduce the exact break.
+            // Filters observe every instruction, so any filter drops
+            // the burst back to interpreted issue (as the tracer
+            // already drops it out of burst mode entirely).
+            if self.filters.is_empty()
+                && self
+                    .decode
+                    .as_ref()
+                    .is_some_and(|dc| dc.replayable(self.master.pc))
+            {
+                let env = self.replay_env(true);
+                let mut cur = Cursor::new(len, done);
+                if let Some(dc) = self.decode.as_mut() {
+                    dc.replay(&self.exe, &mut self.master, &env, &mut cur);
+                }
+                if cur.executed > 0 {
+                    len = cur.len;
+                    done = cur.done;
+                    self.merge_replay(&cur, None);
+                }
+            }
             if len >= BURST_CAP {
                 break BurstBreak::Cap;
             }
@@ -1247,11 +1436,17 @@ impl CycleSim {
                 break BurstBreak::Sample;
             }
             if self.max_cycles.is_some_and(|l| self.cycles_at(done) > l)
-                || self.max_instrs.is_some_and(|l| self.stats.instructions >= l)
-                || self.checkpoint_any_at.is_some_and(|c| self.cycles_at(done) >= c)
+                || self
+                    .max_instrs
+                    .is_some_and(|l| self.stats.instructions >= l)
+                || self
+                    .checkpoint_any_at
+                    .is_some_and(|c| self.cycles_at(done) >= c)
                 || (self.par.is_none()
                     && self.pending_total == 0
-                    && self.checkpoint_at.is_some_and(|c| self.cycles_at(done) >= c))
+                    && self
+                        .checkpoint_at
+                        .is_some_and(|c| self.cycles_at(done) >= c))
             {
                 break BurstBreak::Boundary;
             }
@@ -1328,16 +1523,22 @@ impl CycleSim {
         });
         // Seed the thread-allocation counter and open the section.
         self.machine.gregs[0] = lo as u32;
-        self.par = Some(ParState { hi, join_idx, parked: 0 });
+        self.par = Some(ParState {
+            hi,
+            join_idx,
+            parked: 0,
+        });
         self.master.pc = join_idx + 1; // where the master resumes
-        // Broadcast the spawn block to the TCUs over the broadcast bus.
+                                       // Broadcast the spawn block to the TCUs over the broadcast bus.
         let body_len = join_idx.saturating_sub(spawn_idx + 1);
         let bc_cycles =
             self.cfg.spawn_overhead as Time + body_len.div_ceil(self.cfg.broadcast_ipc) as Time;
         self.schedule_ev(
             now + bc_cycles * cp,
             PRI_TRANSFER,
-            Ev::BroadcastDone { body_pc: spawn_idx + 1 },
+            Ev::BroadcastDone {
+                body_pc: spawn_idx + 1,
+            },
         );
     }
 
@@ -1377,7 +1578,11 @@ impl CycleSim {
         if self.instr_limit_reached(now, Ev::TcuStep(t)) {
             return Ok(());
         }
-        let hi = self.par.as_ref().expect("TCU stepped outside a parallel section").hi;
+        let hi = self
+            .par
+            .as_ref()
+            .expect("TCU stepped outside a parallel section")
+            .hi;
         let cluster = self.cfg.cluster_of(t);
         let pc = self.tcus[t as usize].ctx.pc;
         let issued = exec::issue(
@@ -1387,7 +1592,11 @@ impl CycleSim {
             Mode::Parallel { hi },
         )?;
         if let Some(tr) = &mut self.tracer {
-            tr.record(TraceEvent::Issue { time: now, tcu: Some(t), pc });
+            tr.record(TraceEvent::Issue {
+                time: now,
+                tcu: Some(t),
+                pc,
+            });
         }
         match issued {
             Issued::Done(cost) => {
@@ -1450,6 +1659,24 @@ impl CycleSim {
         let mut done = first_done;
         let mut len = 1u64;
         let reason = loop {
+            // Decoded-replay fast-forward, as in `master_burst`.
+            if self.filters.is_empty()
+                && self
+                    .decode
+                    .as_ref()
+                    .is_some_and(|dc| dc.replayable(self.tcus[t as usize].ctx.pc))
+            {
+                let env = self.replay_env(false);
+                let mut cur = Cursor::new(len, done);
+                if let Some(dc) = self.decode.as_mut() {
+                    dc.replay(&self.exe, &mut self.tcus[t as usize].ctx, &env, &mut cur);
+                }
+                if cur.executed > 0 {
+                    len = cur.len;
+                    done = cur.done;
+                    self.merge_replay(&cur, Some(cluster));
+                }
+            }
             if len >= BURST_CAP {
                 break BurstBreak::Cap;
             }
@@ -1457,8 +1684,12 @@ impl CycleSim {
                 break BurstBreak::Sample;
             }
             if self.max_cycles.is_some_and(|l| self.cycles_at(done) > l)
-                || self.max_instrs.is_some_and(|l| self.stats.instructions >= l)
-                || self.checkpoint_any_at.is_some_and(|c| self.cycles_at(done) >= c)
+                || self
+                    .max_instrs
+                    .is_some_and(|l| self.stats.instructions >= l)
+                || self
+                    .checkpoint_any_at
+                    .is_some_and(|c| self.cycles_at(done) >= c)
             {
                 break BurstBreak::Boundary;
             }
@@ -1570,7 +1801,16 @@ impl CycleSim {
                 let done = (now + cp).max(ready);
                 let value = exec::perform(&mut self.machine, &req);
                 let issued_at = now;
-                self.schedule_ev(done, PRI_DEFAULT, Ev::Complete { tcu: t, req, value, issued_at });
+                self.schedule_ev(
+                    done,
+                    PRI_DEFAULT,
+                    Ev::Complete {
+                        tcu: t,
+                        req,
+                        value,
+                        issued_at,
+                    },
+                );
                 return;
             }
         }
@@ -1582,7 +1822,16 @@ impl CycleSim {
                 let done = now + self.cfg.ro_hit_latency as Time * cp;
                 let value = exec::perform(&mut self.machine, &req);
                 let issued_at = now;
-                self.schedule_ev(done, PRI_DEFAULT, Ev::Complete { tcu: t, req, value, issued_at });
+                self.schedule_ev(
+                    done,
+                    PRI_DEFAULT,
+                    Ev::Complete {
+                        tcu: t,
+                        req,
+                        value,
+                        issued_at,
+                    },
+                );
                 return;
             }
             self.stats.ro_misses += 1;
@@ -1656,7 +1905,12 @@ impl CycleSim {
                 self.schedule_ev(
                     now + cp,
                     PRI_DEFAULT,
-                    Ev::Complete { tcu, req, value, issued_at },
+                    Ev::Complete {
+                        tcu,
+                        req,
+                        value,
+                        issued_at,
+                    },
                 );
             }
             return;
@@ -1665,7 +1919,14 @@ impl CycleSim {
         self.schedule_ev(
             now + delay,
             PRI_NEGOTIATE,
-            Ev::Hop { tcu, req, remaining: remaining - 1, value, inbound, issued_at },
+            Ev::Hop {
+                tcu,
+                req,
+                remaining: remaining - 1,
+                value,
+                inbound,
+                issued_at,
+            },
         );
     }
 
@@ -1715,7 +1976,16 @@ impl CycleSim {
 
         // The response leaves through the return network after service.
         let done = svc_end;
-        self.schedule_ev(svc_end, PRI_TRANSFER, Ev::Service { tcu, req, done, issued_at });
+        self.schedule_ev(
+            svc_end,
+            PRI_TRANSFER,
+            Ev::Service {
+                tcu,
+                req,
+                done,
+                issued_at,
+            },
+        );
     }
 
     /// A request reaches its cache module's service point: apply it to
@@ -1724,11 +1994,20 @@ impl CycleSim {
     fn service(&mut self, now: Time, tcu: u32, req: MemRequest, done: Time, issued_at: Time) {
         debug_assert_eq!(done, now);
         if let Some(tr) = &mut self.tracer {
-            tr.record(TraceEvent::Service { time: now, tcu, addr: req.addr, pc: req.pc });
+            tr.record(TraceEvent::Service {
+                time: now,
+                tcu,
+                addr: req.addr,
+                pc: req.pc,
+            });
         }
         // Master packages already took functional effect at issue (the
         // master is never concurrent with TCUs).
-        let value = if tcu == MASTER_ID { 0 } else { exec::perform(&mut self.machine, &req) };
+        let value = if tcu == MASTER_ID {
+            0
+        } else {
+            exec::perform(&mut self.machine, &req)
+        };
         match self.cfg.icn_model {
             IcnModel::Express => self.express_schedule(tcu, req, value, false, issued_at, now),
             IcnModel::PerHop => {
@@ -1752,7 +2031,12 @@ impl CycleSim {
     /// A response arrives back at its TCU.
     fn complete(&mut self, now: Time, tcu: u32, req: MemRequest, value: u32, issued_at: Time) {
         if let Some(tr) = &mut self.tracer {
-            tr.record(TraceEvent::Complete { time: now, tcu, addr: req.addr, pc: req.pc });
+            tr.record(TraceEvent::Complete {
+                time: now,
+                tcu,
+                addr: req.addr,
+                pc: req.pc,
+            });
         }
         if tcu == MASTER_ID {
             self.stats.mem_wait_ps += now - issued_at;
@@ -1779,7 +2063,12 @@ impl CycleSim {
                         self.schedule_ev(
                             now + cp,
                             PRI_DEFAULT,
-                            Ev::Complete { tcu, req: wreq, value, issued_at: wissued },
+                            Ev::Complete {
+                                tcu,
+                                req: wreq,
+                                value,
+                                issued_at: wissued,
+                            },
                         );
                     }
                 }
@@ -1802,7 +2091,10 @@ impl CycleSim {
     fn sample(&mut self, now: Time) {
         let delta = stats_delta(&self.stats, &self.last_sample);
         self.last_sample = self.stats.clone();
-        let mut ctl = RuntimeCtl { period_ps: self.period_ps, stop: false };
+        let mut ctl = RuntimeCtl {
+            period_ps: self.period_ps,
+            stop: false,
+        };
         let mut acts = std::mem::take(&mut self.activities);
         {
             let sample = ActivitySample {
@@ -1919,7 +2211,11 @@ impl CycleSim {
         let mut pbuf_waiters: Vec<SavedWaiter> = self
             .pbuf_waiters
             .iter()
-            .map(|(&(tcu, addr), w)| SavedWaiter { tcu, addr, waiters: w.clone() })
+            .map(|(&(tcu, addr), w)| SavedWaiter {
+                tcu,
+                addr,
+                waiters: w.clone(),
+            })
             .collect();
         pbuf_waiters.sort_by_key(|w| (w.tcu, w.addr));
         InflightState {
@@ -1974,6 +2270,10 @@ impl CycleSim {
         self.leg_seq = 0;
         self.route_cache.clear();
         self.started = true;
+        // The decode cache is a pure function of the (immutable) text:
+        // checkpoints carry no decode state, and a restored simulator
+        // rebuilds blocks deterministically on first replay.
+        self.invalidate_decode();
         // `reset()`, not `clear()`: restoring may rewind to a time earlier
         // than this scheduler has reached, which `clear()` still rejects.
         self.sched.reset();
@@ -2051,7 +2351,9 @@ pub(crate) enum Outcome {
 /// mismatch, from DVFS rescheduling) are no-ops and sort to the end.
 fn order_express_batch(legs: &[LegSlot], batch: &mut [Ev]) {
     fn leg_of<'a>(legs: &'a [LegSlot], ev: &Ev) -> Option<&'a ExpressLeg> {
-        let &Ev::ExpressEnd { leg, gen } = ev else { return None };
+        let &Ev::ExpressEnd { leg, gen } = ev else {
+            return None;
+        };
         let slot = &legs[leg as usize];
         if slot.gen == gen {
             slot.leg.as_ref()
@@ -2090,7 +2392,12 @@ fn order_default_batch(batch: &mut [Ev]) {
         match ev {
             Ev::MasterStep => (0, 0, 0, 0, 0),
             Ev::TcuStep(t) => (1, *t, 0, 0, 0),
-            Ev::Complete { tcu, req, issued_at, .. } => (2, *tcu, *issued_at, req.addr, req.pc),
+            Ev::Complete {
+                tcu,
+                req,
+                issued_at,
+                ..
+            } => (2, *tcu, *issued_at, req.addr, req.pc),
             _ => (3, 0, 0, 0, 0),
         }
     }
@@ -2132,20 +2439,56 @@ mod tests {
         let a = mm.push("A", vec![0; n as usize]);
         let mut p = AsmProgram::new();
         p.label("main");
-        p.push(Instr::Li { rt: Reg::A0, imm: 0 });
-        p.push(Instr::Li { rt: Reg::A1, imm: n - 1 });
-        p.push(Instr::Li { rt: Reg::S0, imm: a as i32 });
-        p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+        p.push(Instr::Li {
+            rt: Reg::A0,
+            imm: 0,
+        });
+        p.push(Instr::Li {
+            rt: Reg::A1,
+            imm: n - 1,
+        });
+        p.push(Instr::Li {
+            rt: Reg::S0,
+            imm: a as i32,
+        });
+        p.push(Instr::Spawn {
+            lo: Reg::A0,
+            hi: Reg::A1,
+        });
         p.label("vt");
-        p.push(Instr::Li { rt: Reg::T0, imm: 1 });
-        p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+        p.push(Instr::Li {
+            rt: Reg::T0,
+            imm: 1,
+        });
+        p.push(Instr::Ps {
+            rt: Reg::T0,
+            gr: GlobalReg::THREAD_ALLOC,
+        });
         p.push(Instr::Chkid { rt: Reg::T0 });
         // A[$] = $ + 100
-        p.push(Instr::Sll { rd: Reg::T1, rt: Reg::T0, sh: 2 });
-        p.push(Instr::Add { rd: Reg::T1, rs: Reg::T1, rt: Reg::S0 });
-        p.push(Instr::Addi { rt: Reg::T2, rs: Reg::T0, imm: 100 });
-        p.push(Instr::Swnb { rt: Reg::T2, base: Reg::T1, off: 0 });
-        p.push(Instr::J { target: Target::label("vt") });
+        p.push(Instr::Sll {
+            rd: Reg::T1,
+            rt: Reg::T0,
+            sh: 2,
+        });
+        p.push(Instr::Add {
+            rd: Reg::T1,
+            rs: Reg::T1,
+            rt: Reg::S0,
+        });
+        p.push(Instr::Addi {
+            rt: Reg::T2,
+            rs: Reg::T0,
+            imm: 100,
+        });
+        p.push(Instr::Swnb {
+            rt: Reg::T2,
+            base: Reg::T1,
+            off: 0,
+        });
+        p.push(Instr::J {
+            target: Target::label("vt"),
+        });
         p.push(Instr::Join);
         p.push(Instr::Halt);
         (p, mm)
@@ -2155,10 +2498,20 @@ mod tests {
     fn serial_loop_cycle_count_reasonable() {
         // 10-iteration ALU loop: cycles should be small and deterministic.
         let mut p = AsmProgram::new();
-        p.push(Instr::Li { rt: Reg::T0, imm: 10 });
+        p.push(Instr::Li {
+            rt: Reg::T0,
+            imm: 10,
+        });
         p.label("l");
-        p.push(Instr::Addi { rt: Reg::T0, rs: Reg::T0, imm: -1 });
-        p.push(Instr::Bgtz { rs: Reg::T0, target: Target::label("l") });
+        p.push(Instr::Addi {
+            rt: Reg::T0,
+            rs: Reg::T0,
+            imm: -1,
+        });
+        p.push(Instr::Bgtz {
+            rs: Reg::T0,
+            target: Target::label("l"),
+        });
         p.push(Instr::Halt);
         let exe = p.link(MemoryMap::new()).unwrap();
         let mut sim = CycleSim::new(exe, XmtConfig::tiny());
@@ -2215,12 +2568,26 @@ mod tests {
     #[test]
     fn empty_spawn_range_skips_parallel_section() {
         let mut p = AsmProgram::new();
-        p.push(Instr::Li { rt: Reg::A0, imm: 5 });
-        p.push(Instr::Li { rt: Reg::A1, imm: 3 }); // hi < lo
-        p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
-        p.push(Instr::J { target: Target::label("oops") }); // body never runs
+        p.push(Instr::Li {
+            rt: Reg::A0,
+            imm: 5,
+        });
+        p.push(Instr::Li {
+            rt: Reg::A1,
+            imm: 3,
+        }); // hi < lo
+        p.push(Instr::Spawn {
+            lo: Reg::A0,
+            hi: Reg::A1,
+        });
+        p.push(Instr::J {
+            target: Target::label("oops"),
+        }); // body never runs
         p.push(Instr::Join);
-        p.push(Instr::Li { rt: Reg::T0, imm: 7 });
+        p.push(Instr::Li {
+            rt: Reg::T0,
+            imm: 7,
+        });
         p.push(Instr::Print { rs: Reg::T0 });
         p.push(Instr::Halt);
         p.label("oops");
@@ -2239,20 +2606,51 @@ mod tests {
         let mut mm = MemoryMap::new();
         let a = mm.push("x", vec![0]);
         let mut p = AsmProgram::new();
-        p.push(Instr::Li { rt: Reg::A0, imm: 0 });
-        p.push(Instr::Li { rt: Reg::A1, imm: 0 });
-        p.push(Instr::Li { rt: Reg::S0, imm: a as i32 });
-        p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+        p.push(Instr::Li {
+            rt: Reg::A0,
+            imm: 0,
+        });
+        p.push(Instr::Li {
+            rt: Reg::A1,
+            imm: 0,
+        });
+        p.push(Instr::Li {
+            rt: Reg::S0,
+            imm: a as i32,
+        });
+        p.push(Instr::Spawn {
+            lo: Reg::A0,
+            hi: Reg::A1,
+        });
         p.label("vt");
-        p.push(Instr::Li { rt: Reg::T0, imm: 1 });
-        p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+        p.push(Instr::Li {
+            rt: Reg::T0,
+            imm: 1,
+        });
+        p.push(Instr::Ps {
+            rt: Reg::T0,
+            gr: GlobalReg::THREAD_ALLOC,
+        });
         p.push(Instr::Chkid { rt: Reg::T0 });
-        p.push(Instr::Li { rt: Reg::T1, imm: 99 });
-        p.push(Instr::Swnb { rt: Reg::T1, base: Reg::S0, off: 0 });
+        p.push(Instr::Li {
+            rt: Reg::T1,
+            imm: 99,
+        });
+        p.push(Instr::Swnb {
+            rt: Reg::T1,
+            base: Reg::S0,
+            off: 0,
+        });
         p.push(Instr::Fence);
-        p.push(Instr::Lw { rt: Reg::T2, base: Reg::S0, off: 0 });
+        p.push(Instr::Lw {
+            rt: Reg::T2,
+            base: Reg::S0,
+            off: 0,
+        });
         p.push(Instr::Print { rs: Reg::T2 });
-        p.push(Instr::J { target: Target::label("vt") });
+        p.push(Instr::J {
+            target: Target::label("vt"),
+        });
         p.push(Instr::Join);
         p.push(Instr::Halt);
         let exe = p.link(mm).unwrap();
@@ -2271,31 +2669,86 @@ mod tests {
         let c = mm.push("ctr", vec![0]);
         let seen = mm.push("seen", vec![0; 64]);
         let mut p = AsmProgram::new();
-        p.push(Instr::Li { rt: Reg::A0, imm: 0 });
-        p.push(Instr::Li { rt: Reg::A1, imm: 63 });
-        p.push(Instr::Li { rt: Reg::S0, imm: c as i32 });
-        p.push(Instr::Li { rt: Reg::S1, imm: seen as i32 });
-        p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+        p.push(Instr::Li {
+            rt: Reg::A0,
+            imm: 0,
+        });
+        p.push(Instr::Li {
+            rt: Reg::A1,
+            imm: 63,
+        });
+        p.push(Instr::Li {
+            rt: Reg::S0,
+            imm: c as i32,
+        });
+        p.push(Instr::Li {
+            rt: Reg::S1,
+            imm: seen as i32,
+        });
+        p.push(Instr::Spawn {
+            lo: Reg::A0,
+            hi: Reg::A1,
+        });
         p.label("vt");
-        p.push(Instr::Li { rt: Reg::T0, imm: 1 });
-        p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+        p.push(Instr::Li {
+            rt: Reg::T0,
+            imm: 1,
+        });
+        p.push(Instr::Ps {
+            rt: Reg::T0,
+            gr: GlobalReg::THREAD_ALLOC,
+        });
         p.push(Instr::Chkid { rt: Reg::T0 });
-        p.push(Instr::Li { rt: Reg::T1, imm: 1 });
-        p.push(Instr::Psm { rt: Reg::T1, base: Reg::S0, off: 0 });
+        p.push(Instr::Li {
+            rt: Reg::T1,
+            imm: 1,
+        });
+        p.push(Instr::Psm {
+            rt: Reg::T1,
+            base: Reg::S0,
+            off: 0,
+        });
         // seen[old] = 1
-        p.push(Instr::Sll { rd: Reg::T2, rt: Reg::T1, sh: 2 });
-        p.push(Instr::Add { rd: Reg::T2, rs: Reg::T2, rt: Reg::S1 });
-        p.push(Instr::Li { rt: Reg::T3, imm: 1 });
-        p.push(Instr::Swnb { rt: Reg::T3, base: Reg::T2, off: 0 });
-        p.push(Instr::J { target: Target::label("vt") });
+        p.push(Instr::Sll {
+            rd: Reg::T2,
+            rt: Reg::T1,
+            sh: 2,
+        });
+        p.push(Instr::Add {
+            rd: Reg::T2,
+            rs: Reg::T2,
+            rt: Reg::S1,
+        });
+        p.push(Instr::Li {
+            rt: Reg::T3,
+            imm: 1,
+        });
+        p.push(Instr::Swnb {
+            rt: Reg::T3,
+            base: Reg::T2,
+            off: 0,
+        });
+        p.push(Instr::J {
+            target: Target::label("vt"),
+        });
         p.push(Instr::Join);
         p.push(Instr::Halt);
         let exe = p.link(mm).unwrap();
         let mut sim = CycleSim::new(exe, XmtConfig::fpga64());
         sim.run().unwrap();
-        assert_eq!(sim.machine.read_symbol(sim.executable(), "ctr", 1).unwrap(), vec![64]);
-        let seen = sim.machine.read_symbol(sim.executable(), "seen", 64).unwrap();
-        assert_eq!(seen, vec![1; 64], "every old value 0..63 observed exactly once");
+        assert_eq!(
+            sim.machine.read_symbol(sim.executable(), "ctr", 1).unwrap(),
+            vec![64]
+        );
+        let seen = sim
+            .machine
+            .read_symbol(sim.executable(), "seen", 64)
+            .unwrap();
+        assert_eq!(
+            seen,
+            vec![1; 64],
+            "every old value 0..63 observed exactly once"
+        );
         assert_eq!(sim.stats.psm_ops, 64);
     }
 
@@ -2313,7 +2766,9 @@ mod tests {
     fn cycle_limit_enforced() {
         let mut p = AsmProgram::new();
         p.label("l");
-        p.push(Instr::J { target: Target::label("l") });
+        p.push(Instr::J {
+            target: Target::label("l"),
+        });
         let exe = p.link(MemoryMap::new()).unwrap();
         let mut sim = CycleSim::new(exe, XmtConfig::tiny());
         sim.set_cycle_limit(1000);
@@ -2328,27 +2783,62 @@ mod tests {
         let a = mm.push("A", vec![42]);
         let build = |prefetch: bool| {
             let mut p = AsmProgram::new();
-            p.push(Instr::Li { rt: Reg::A0, imm: 0 });
-            p.push(Instr::Li { rt: Reg::A1, imm: 0 });
-            p.push(Instr::Li { rt: Reg::S0, imm: a as i32 });
-            p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+            p.push(Instr::Li {
+                rt: Reg::A0,
+                imm: 0,
+            });
+            p.push(Instr::Li {
+                rt: Reg::A1,
+                imm: 0,
+            });
+            p.push(Instr::Li {
+                rt: Reg::S0,
+                imm: a as i32,
+            });
+            p.push(Instr::Spawn {
+                lo: Reg::A0,
+                hi: Reg::A1,
+            });
             p.label("vt");
-            p.push(Instr::Li { rt: Reg::T0, imm: 1 });
-            p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+            p.push(Instr::Li {
+                rt: Reg::T0,
+                imm: 1,
+            });
+            p.push(Instr::Ps {
+                rt: Reg::T0,
+                gr: GlobalReg::THREAD_ALLOC,
+            });
             p.push(Instr::Chkid { rt: Reg::T0 });
             if prefetch {
-                p.push(Instr::Pref { base: Reg::S0, off: 0 });
+                p.push(Instr::Pref {
+                    base: Reg::S0,
+                    off: 0,
+                });
                 // Useful work overlapping the prefetch.
                 for _ in 0..30 {
-                    p.push(Instr::Addi { rt: Reg::T5, rs: Reg::T5, imm: 1 });
+                    p.push(Instr::Addi {
+                        rt: Reg::T5,
+                        rs: Reg::T5,
+                        imm: 1,
+                    });
                 }
             } else {
                 for _ in 0..30 {
-                    p.push(Instr::Addi { rt: Reg::T5, rs: Reg::T5, imm: 1 });
+                    p.push(Instr::Addi {
+                        rt: Reg::T5,
+                        rs: Reg::T5,
+                        imm: 1,
+                    });
                 }
             }
-            p.push(Instr::Lw { rt: Reg::T1, base: Reg::S0, off: 0 });
-            p.push(Instr::J { target: Target::label("vt") });
+            p.push(Instr::Lw {
+                rt: Reg::T1,
+                base: Reg::S0,
+                off: 0,
+            });
+            p.push(Instr::J {
+                target: Target::label("vt"),
+            });
             p.push(Instr::Join);
             p.push(Instr::Halt);
             p
@@ -2377,18 +2867,45 @@ mod tests {
         let mut mm = MemoryMap::new();
         let a = mm.push("A", vec![4242]);
         let mut p = AsmProgram::new();
-        p.push(Instr::Li { rt: Reg::A0, imm: 0 });
-        p.push(Instr::Li { rt: Reg::A1, imm: 0 });
-        p.push(Instr::Li { rt: Reg::S0, imm: a as i32 });
-        p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+        p.push(Instr::Li {
+            rt: Reg::A0,
+            imm: 0,
+        });
+        p.push(Instr::Li {
+            rt: Reg::A1,
+            imm: 0,
+        });
+        p.push(Instr::Li {
+            rt: Reg::S0,
+            imm: a as i32,
+        });
+        p.push(Instr::Spawn {
+            lo: Reg::A0,
+            hi: Reg::A1,
+        });
         p.label("vt");
-        p.push(Instr::Li { rt: Reg::T0, imm: 1 });
-        p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+        p.push(Instr::Li {
+            rt: Reg::T0,
+            imm: 1,
+        });
+        p.push(Instr::Ps {
+            rt: Reg::T0,
+            gr: GlobalReg::THREAD_ALLOC,
+        });
         p.push(Instr::Chkid { rt: Reg::T0 });
-        p.push(Instr::Pref { base: Reg::S0, off: 0 });
-        p.push(Instr::Lw { rt: Reg::T1, base: Reg::S0, off: 0 });
+        p.push(Instr::Pref {
+            base: Reg::S0,
+            off: 0,
+        });
+        p.push(Instr::Lw {
+            rt: Reg::T1,
+            base: Reg::S0,
+            off: 0,
+        });
         p.push(Instr::Print { rs: Reg::T1 });
-        p.push(Instr::J { target: Target::label("vt") });
+        p.push(Instr::J {
+            target: Target::label("vt"),
+        });
         p.push(Instr::Join);
         p.push(Instr::Halt);
         let exe = p.link(mm).unwrap();
@@ -2412,10 +2929,20 @@ mod tests {
             }
         }
         let mut p = AsmProgram::new();
-        p.push(Instr::Li { rt: Reg::T0, imm: 3000 });
+        p.push(Instr::Li {
+            rt: Reg::T0,
+            imm: 3000,
+        });
         p.label("l");
-        p.push(Instr::Addi { rt: Reg::T0, rs: Reg::T0, imm: -1 });
-        p.push(Instr::Bgtz { rs: Reg::T0, target: Target::label("l") });
+        p.push(Instr::Addi {
+            rt: Reg::T0,
+            rs: Reg::T0,
+            imm: -1,
+        });
+        p.push(Instr::Bgtz {
+            rs: Reg::T0,
+            target: Target::label("l"),
+        });
         p.push(Instr::Halt);
         let exe = p.link(MemoryMap::new()).unwrap();
 
@@ -2443,8 +2970,14 @@ mod tests {
     fn hop_delay_async_jitter_is_pinned_and_stable() {
         use xmt_harness::{FromJson, ToJson};
         let mut cfg = XmtConfig::tiny();
-        cfg.icn_timing = IcnTiming::Asynchronous { hop_ps: 1000, jitter_ps: 700 };
-        let exe = parallel_increment_program(4).0.link(MemoryMap::new()).unwrap();
+        cfg.icn_timing = IcnTiming::Asynchronous {
+            hop_ps: 1000,
+            jitter_ps: 700,
+        };
+        let exe = parallel_increment_program(4)
+            .0
+            .link(MemoryMap::new())
+            .unwrap();
         let sim = CycleSim::new(exe.clone(), cfg.clone());
 
         // Golden values of hop_ps.max(1) + hash(addr, stage) % (jitter+1).
@@ -2456,7 +2989,11 @@ mod tests {
             (0x40, 1, 1600),
             (0x40, 2, 1011),
         ] {
-            assert_eq!(sim.hop_delay(addr, stage), want, "hash drifted at ({addr:#x},{stage})");
+            assert_eq!(
+                sim.hop_delay(addr, stage),
+                want,
+                "hash drifted at ({addr:#x},{stage})"
+            );
         }
 
         // Same delays from a second instance and from a config that was
@@ -2483,25 +3020,74 @@ mod tests {
         let mut mm = MemoryMap::new();
         let a = mm.push("A", vec![0; words]);
         let mut p = AsmProgram::new();
-        p.push(Instr::Li { rt: Reg::A0, imm: 0 });
-        p.push(Instr::Li { rt: Reg::A1, imm: 3 });
-        p.push(Instr::Li { rt: Reg::S0, imm: a as i32 });
-        p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+        p.push(Instr::Li {
+            rt: Reg::A0,
+            imm: 0,
+        });
+        p.push(Instr::Li {
+            rt: Reg::A1,
+            imm: 3,
+        });
+        p.push(Instr::Li {
+            rt: Reg::S0,
+            imm: a as i32,
+        });
+        p.push(Instr::Spawn {
+            lo: Reg::A0,
+            hi: Reg::A1,
+        });
         p.label("vt");
-        p.push(Instr::Li { rt: Reg::T0, imm: 1 });
-        p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+        p.push(Instr::Li {
+            rt: Reg::T0,
+            imm: 1,
+        });
+        p.push(Instr::Ps {
+            rt: Reg::T0,
+            gr: GlobalReg::THREAD_ALLOC,
+        });
         p.push(Instr::Chkid { rt: Reg::T0 });
         // T1 = &A[0] + $ * LINES_PER_THREAD * line_bytes
-        p.push(Instr::Li { rt: Reg::T2, imm: LINES_PER_THREAD * line });
-        p.push(Instr::Mul { rd: Reg::T1, rs: Reg::T0, rt: Reg::T2 });
-        p.push(Instr::Add { rd: Reg::T1, rs: Reg::T1, rt: Reg::S0 });
-        p.push(Instr::Li { rt: Reg::T3, imm: LINES_PER_THREAD });
+        p.push(Instr::Li {
+            rt: Reg::T2,
+            imm: LINES_PER_THREAD * line,
+        });
+        p.push(Instr::Mul {
+            rd: Reg::T1,
+            rs: Reg::T0,
+            rt: Reg::T2,
+        });
+        p.push(Instr::Add {
+            rd: Reg::T1,
+            rs: Reg::T1,
+            rt: Reg::S0,
+        });
+        p.push(Instr::Li {
+            rt: Reg::T3,
+            imm: LINES_PER_THREAD,
+        });
         p.label("scan");
-        p.push(Instr::Lw { rt: Reg::T4, base: Reg::T1, off: 0 });
-        p.push(Instr::Addi { rt: Reg::T1, rs: Reg::T1, imm: line });
-        p.push(Instr::Addi { rt: Reg::T3, rs: Reg::T3, imm: -1 });
-        p.push(Instr::Bgtz { rs: Reg::T3, target: Target::label("scan") });
-        p.push(Instr::J { target: Target::label("vt") });
+        p.push(Instr::Lw {
+            rt: Reg::T4,
+            base: Reg::T1,
+            off: 0,
+        });
+        p.push(Instr::Addi {
+            rt: Reg::T1,
+            rs: Reg::T1,
+            imm: line,
+        });
+        p.push(Instr::Addi {
+            rt: Reg::T3,
+            rs: Reg::T3,
+            imm: -1,
+        });
+        p.push(Instr::Bgtz {
+            rs: Reg::T3,
+            target: Target::label("scan"),
+        });
+        p.push(Instr::J {
+            target: Target::label("vt"),
+        });
         p.push(Instr::Join);
         p.push(Instr::Halt);
         let exe = p.link(mm).unwrap();

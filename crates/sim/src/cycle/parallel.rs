@@ -45,6 +45,7 @@
 
 use super::{BurstBreak, CycleSim, Ev, Outcome, SimError, TcuState, BURST_CAP};
 use crate::config::{ClockDomain, IcnModel};
+use crate::decode::{Cursor, DecodeCache, ReplayEnv};
 use crate::engine::{Priority, Time, PRI_DEFAULT, PRI_NEGOTIATE};
 use crate::exec::{self, CostClass};
 use crate::machine::ThreadCtx;
@@ -98,6 +99,12 @@ struct StepDone {
     /// Instructions by functional unit: `[Alu, Sft, Br, Ctl]` — the only
     /// classes a pure-local instruction can be.
     counts: [u64; 4],
+    /// Decoded-block replays performed (host-profile bookkeeping).
+    replays: u64,
+    /// Constituents executed via replay rather than `issue_local`.
+    replay_instrs: u64,
+    /// Fused superinstructions executed whole during replay.
+    fused: u64,
 }
 
 /// Base pointer of the TCU array, shipped to a worker together with the
@@ -114,6 +121,18 @@ struct TcuPtr(*mut TcuState);
 
 unsafe impl Send for TcuPtr {}
 
+/// Shared read-only view of the coordinator's decode cache for the
+/// duration of one phase-A barrier.
+///
+/// SAFETY: same temporal-exclusivity argument as [`TcuPtr`] — the
+/// coordinator pre-warms the cache *before* sending commands and touches
+/// no `&mut self` state (so no cache mutation) until every worker has
+/// replied; workers only call the `&self` lookup path
+/// ([`DecodeCache::replay_shared`]), never decode-on-miss.
+struct CachePtr(*const DecodeCache);
+
+unsafe impl Send for CachePtr {}
+
 /// One phase-A work order: run every task's burst on the slice
 /// `base[lo..hi]` and reply with the results.
 struct WorkerCmd {
@@ -121,6 +140,9 @@ struct WorkerCmd {
     lo: usize,
     hi: usize,
     params: BurstParams,
+    /// The coordinator's decode cache, pre-warmed for this window's task
+    /// pcs; `None` under `DecodeMode::Off`.
+    cache: Option<CachePtr>,
     tasks: Vec<StepTask>,
 }
 
@@ -128,13 +150,19 @@ struct WorkerCmd {
 /// closes (end of the run).
 fn worker_loop(exe: &Executable, rx: Receiver<WorkerCmd>, tx: Sender<Vec<StepDone>>) {
     while let Ok(cmd) = rx.recv() {
+        // SAFETY: see `CachePtr` — read-only and unmutated until every
+        // worker has replied.
+        let cache = cmd.cache.as_ref().map(|c| unsafe { &*c.0 });
         let mut out = Vec::with_capacity(cmd.tasks.len());
         for task in &cmd.tasks {
             let i = task.tcu as usize;
-            debug_assert!(cmd.lo <= i && i < cmd.hi, "task outside this worker's shard");
+            debug_assert!(
+                cmd.lo <= i && i < cmd.hi,
+                "task outside this worker's shard"
+            );
             // SAFETY: see `TcuPtr` — unique for the barrier's duration.
             let st = unsafe { &mut *cmd.base.0.add(i) };
-            out.push(burst_local(exe, &mut st.ctx, &cmd.params, task));
+            out.push(burst_local(exe, &mut st.ctx, &cmd.params, cache, task));
         }
         if tx.send(out).is_err() {
             break;
@@ -166,13 +194,52 @@ fn count(counts: &mut [u64; 4], cost: CostClass) {
 /// Replay `tcu_step`'s `Issued::Done` arm plus `tcu_burst` for one TCU,
 /// worker-side: same instructions (via the shared `exec` local path),
 /// same costs, same break conditions, no shared state touched.
-fn burst_local(exe: &Executable, ctx: &mut ThreadCtx, p: &BurstParams, task: &StepTask) -> StepDone {
+fn burst_local(
+    exe: &Executable,
+    ctx: &mut ThreadCtx,
+    p: &BurstParams,
+    cache: Option<&DecodeCache>,
+    task: &StepTask,
+) -> StepDone {
     let mut counts = [0u64; 4];
     let first = exec::issue_local(exe, ctx).expect("triage peeked a burstable instruction");
     count(&mut counts, first);
     let mut done = p.now + local_cost(first, p.cp);
     let mut len = 1u64;
+    // The instruction-limit and quiescent-checkpoint checks are excluded
+    // by the offload preconditions, exactly as in the interpreted loop
+    // below; replay checks the remaining conditions per constituent.
+    let env = ReplayEnv {
+        cp: p.cp,
+        next_sample_at: p.next_sample_at,
+        max_cycles: p.max_cycles,
+        max_instrs: None,
+        checkpoint_any_at: p.checkpoint_any_at,
+        checkpoint_at: None,
+        cycles_base: p.cycles_base,
+        period_changed_at: p.period_changed_at,
+        instrs_base: 0,
+    };
+    let mut replays = 0u64;
+    let mut replay_instrs = 0u64;
+    let mut fused = 0u64;
     let reason = loop {
+        // Decoded-replay fast-forward over the shared read-only cache
+        // (an un-warmed pc just falls through to interpreted issue).
+        if let Some(dc) = cache.filter(|dc| dc.replayable_shared(ctx.pc)) {
+            let mut cur = Cursor::new(len, done);
+            dc.replay_shared(ctx, &env, &mut cur);
+            if cur.executed > 0 {
+                len = cur.len;
+                done = cur.done;
+                for k in 0..4 {
+                    counts[k] += cur.counts[k];
+                }
+                replays += cur.replays;
+                replay_instrs += cur.executed;
+                fused += cur.fused;
+            }
+        }
         if len >= BURST_CAP {
             break BurstBreak::Cap;
         }
@@ -192,7 +259,17 @@ fn burst_local(exe: &Executable, ctx: &mut ThreadCtx, p: &BurstParams, task: &St
         done += local_cost(cost, p.cp);
         len += 1;
     };
-    StepDone { idx: task.idx, tcu: task.tcu, done, len, reason, counts }
+    StepDone {
+        idx: task.idx,
+        tcu: task.tcu,
+        done,
+        len,
+        reason,
+        counts,
+        replays,
+        replay_instrs,
+        fused,
+    }
 }
 
 impl CycleSim {
@@ -254,7 +331,9 @@ impl CycleSim {
                 return if self.machine.halted {
                     Ok(Outcome::Done(self.summary()))
                 } else {
-                    Err(SimError::Deadlock { time: self.sched.now() })
+                    Err(SimError::Deadlock {
+                        time: self.sched.now(),
+                    })
                 };
             };
             // Drain every shard's slice of the group (lock-stepping all
@@ -286,10 +365,7 @@ impl CycleSim {
                     return Ok(Outcome::Checkpoint(now));
                 }
             }
-            if pri == PRI_NEGOTIATE
-                && batch.len() > 1
-                && self.cfg.icn_model == IcnModel::Express
-            {
+            if pri == PRI_NEGOTIATE && batch.len() > 1 && self.cfg.icn_model == IcnModel::Express {
                 super::order_express_batch(&self.express_legs, &mut batch);
             }
             if pri == PRI_DEFAULT && batch.len() > 1 {
@@ -388,7 +464,12 @@ impl CycleSim {
             return;
         }
         if let Some(l) = self.max_instrs {
-            if self.stats.instructions.saturating_add(batch.len() as u64 * BURST_CAP) >= l {
+            if self
+                .stats
+                .instructions
+                .saturating_add(batch.len() as u64 * BURST_CAP)
+                >= l
+            {
                 return;
             }
         }
@@ -411,6 +492,27 @@ impl CycleSim {
         if n_tasks < MIN_OFFLOAD_TASKS {
             return;
         }
+        // Pre-warm the decode cache from the task pcs (and their static
+        // successors) so the read-only worker replays can run whole hot
+        // loops; must happen before the `base` pointer is taken — workers
+        // see a frozen cache for the barrier's duration (see `CachePtr`).
+        if self.decode.is_some() {
+            let mut decoded0 = 0;
+            if let Some(dc) = self.decode.as_mut() {
+                decoded0 = dc.stats.blocks_decoded;
+                for tasks in &per_worker {
+                    for task in tasks {
+                        let pc = self.tcus[task.tcu as usize].ctx.pc;
+                        dc.warm(&self.exe, pc, 16);
+                    }
+                }
+            }
+            if let Some(hp) = self.host_profile.as_mut() {
+                let dc = self.decode.as_ref().expect("checked above");
+                hp.blocks_decoded += dc.stats.blocks_decoded - decoded0;
+            }
+        }
+        let cache_ptr = self.decode.as_ref().map(|d| d as *const DecodeCache);
         let params = BurstParams {
             now,
             cp: self.p(ClockDomain::Cluster),
@@ -430,7 +532,14 @@ impl CycleSim {
             let lo = self.shard_cluster_lo(i) * tpc;
             let hi = self.shard_cluster_lo(i + 1) * tpc;
             cmd_txs[i]
-                .send(WorkerCmd { base: TcuPtr(base), lo, hi, params, tasks })
+                .send(WorkerCmd {
+                    base: TcuPtr(base),
+                    lo,
+                    hi,
+                    params,
+                    cache: cache_ptr.map(CachePtr),
+                    tasks,
+                })
                 .expect("worker thread alive for the whole run");
             expected += 1;
         }
@@ -438,7 +547,9 @@ impl CycleSim {
         // worker has replied (see `TcuPtr` safety).
         results.resize_with(batch.len(), || None);
         for _ in 0..expected {
-            let dones = res_rx.recv().expect("worker thread alive for the whole run");
+            let dones = res_rx
+                .recv()
+                .expect("worker thread alive for the whole run");
             for d in dones {
                 let idx = d.idx;
                 results[idx] = Some(d);
@@ -453,12 +564,19 @@ impl CycleSim {
     /// on this path, now happening in exact canonical order.
     fn commit_burst(&mut self, r: &StepDone) {
         let cluster = self.cfg.cluster_of(r.tcu);
-        self.stats.count_instr_bulk(FuKind::Alu, Some(cluster), r.counts[0]);
-        self.stats.count_instr_bulk(FuKind::Sft, Some(cluster), r.counts[1]);
-        self.stats.count_instr_bulk(FuKind::Br, Some(cluster), r.counts[2]);
-        self.stats.count_instr_bulk(FuKind::Ctl, Some(cluster), r.counts[3]);
+        self.stats
+            .count_instr_bulk(FuKind::Alu, Some(cluster), r.counts[0]);
+        self.stats
+            .count_instr_bulk(FuKind::Sft, Some(cluster), r.counts[1]);
+        self.stats
+            .count_instr_bulk(FuKind::Br, Some(cluster), r.counts[2]);
+        self.stats
+            .count_instr_bulk(FuKind::Ctl, Some(cluster), r.counts[3]);
         if let Some(hp) = self.host_profile.as_mut() {
             hp.record_burst(r.len, r.reason);
+            hp.block_replays += r.replays;
+            hp.replay_instrs += r.replay_instrs;
+            hp.fusions += r.fused;
         }
         self.schedule_ev(r.done, PRI_DEFAULT, Ev::TcuStep(r.tcu));
     }

@@ -17,14 +17,14 @@
 //! order-free is program knowledge, so the caller states it via
 //! [`FunctionalCheck`] and [`AllEngines::check_functional_agrees`].
 
-use crate::config::{EngineMode, IcnModel, IssueModel, XmtConfig};
+use crate::config::{DecodeMode, EngineMode, IcnModel, IssueModel, XmtConfig};
 use crate::cycle::{CycleSim, SimError};
 use crate::functional::{FuncError, FunctionalSim};
 use crate::machine::Machine;
 use xmt_harness::ToJson;
 use xmt_isa::Executable;
 
-/// The eight cycle-model configurations every program is run through.
+/// The ten cycle-model configurations every program is run through.
 ///
 /// Rows 0–3: the sequential engine over both batched defaults and both
 /// per-event oracles, plus the two mixed pairings (a tie-break bug in one
@@ -34,16 +34,81 @@ use xmt_isa::Executable;
 /// default, plus one per-instruction row (exercising the sharded queues
 /// with phase A disabled) and one per-hop row (cross-shard interconnect
 /// traffic) — each must be bit-identical to its sequential twin, which
-/// rows 0–2 put in the comparison set.
-pub const CYCLE_ENGINE_MATRIX: [(IssueModel, IcnModel, EngineMode, u32); 8] = [
-    (IssueModel::Burst, IcnModel::Express, EngineMode::Sequential, 0),
-    (IssueModel::Burst, IcnModel::PerHop, EngineMode::Sequential, 0),
-    (IssueModel::PerInstr, IcnModel::Express, EngineMode::Sequential, 0),
-    (IssueModel::PerInstr, IcnModel::PerHop, EngineMode::Sequential, 0),
-    (IssueModel::Burst, IcnModel::Express, EngineMode::Parallel, 2),
-    (IssueModel::Burst, IcnModel::Express, EngineMode::Parallel, 4),
-    (IssueModel::PerInstr, IcnModel::Express, EngineMode::Parallel, 2),
-    (IssueModel::Burst, IcnModel::PerHop, EngineMode::Parallel, 2),
+/// rows 0–2 put in the comparison set. Rows 0–7 pin the decode cache
+/// *off*, so the interpreted issue path stays the oracle; rows 8–9 turn
+/// it on — sequential burst replay and worker-side shared-cache replay —
+/// and must be bit-identical to everything above.
+pub const CYCLE_ENGINE_MATRIX: [(IssueModel, IcnModel, EngineMode, u32, DecodeMode); 10] = [
+    (
+        IssueModel::Burst,
+        IcnModel::Express,
+        EngineMode::Sequential,
+        0,
+        DecodeMode::Off,
+    ),
+    (
+        IssueModel::Burst,
+        IcnModel::PerHop,
+        EngineMode::Sequential,
+        0,
+        DecodeMode::Off,
+    ),
+    (
+        IssueModel::PerInstr,
+        IcnModel::Express,
+        EngineMode::Sequential,
+        0,
+        DecodeMode::Off,
+    ),
+    (
+        IssueModel::PerInstr,
+        IcnModel::PerHop,
+        EngineMode::Sequential,
+        0,
+        DecodeMode::Off,
+    ),
+    (
+        IssueModel::Burst,
+        IcnModel::Express,
+        EngineMode::Parallel,
+        2,
+        DecodeMode::Off,
+    ),
+    (
+        IssueModel::Burst,
+        IcnModel::Express,
+        EngineMode::Parallel,
+        4,
+        DecodeMode::Off,
+    ),
+    (
+        IssueModel::PerInstr,
+        IcnModel::Express,
+        EngineMode::Parallel,
+        2,
+        DecodeMode::Off,
+    ),
+    (
+        IssueModel::Burst,
+        IcnModel::PerHop,
+        EngineMode::Parallel,
+        2,
+        DecodeMode::Off,
+    ),
+    (
+        IssueModel::Burst,
+        IcnModel::Express,
+        EngineMode::Sequential,
+        0,
+        DecodeMode::Cache,
+    ),
+    (
+        IssueModel::Burst,
+        IcnModel::Express,
+        EngineMode::Parallel,
+        2,
+        DecodeMode::Cache,
+    ),
 ];
 
 /// One cycle-model run, reduced to its comparable observables.
@@ -54,6 +119,8 @@ pub struct EngineRun {
     pub engine: EngineMode,
     /// Configured worker threads (parallel engine only; 0 otherwise).
     pub threads: u32,
+    /// Whether the pre-decoded basic-block cache was in force.
+    pub decode: DecodeMode,
     pub cycles: u64,
     pub time_ps: u64,
     pub instructions: u64,
@@ -70,14 +137,19 @@ pub struct EngineRun {
 
 impl EngineRun {
     /// Label like `Burst×Express` (sequential) or `Burst×Express×Par2`
-    /// (parallel at 2 threads) for diagnostics.
+    /// (parallel at 2 threads) for diagnostics; decode-cache rows carry
+    /// a `×Cache` suffix.
     pub fn label(&self) -> String {
-        match self.engine {
+        let mut l = match self.engine {
             EngineMode::Sequential => format!("{:?}×{:?}", self.issue, self.icn),
             EngineMode::Parallel => {
                 format!("{:?}×{:?}×Par{}", self.issue, self.icn, self.threads)
             }
+        };
+        if self.decode == DecodeMode::Cache {
+            l.push_str("×Cache");
         }
+        l
     }
 }
 
@@ -100,11 +172,17 @@ pub struct AllEngines {
 /// Errors from a differential run.
 #[derive(Debug)]
 pub enum DifferentialError {
-    Sim { engine: String, err: SimError },
+    Sim {
+        engine: String,
+        err: SimError,
+    },
     Functional(FuncError),
     /// A cycle engine hit the instruction budget (it stops cleanly, but
     /// for a differential run a truncated execution is useless).
-    InstrLimit { engine: String, executed: u64 },
+    InstrLimit {
+        engine: String,
+        executed: u64,
+    },
 }
 
 impl std::fmt::Display for DifferentialError {
@@ -113,7 +191,10 @@ impl std::fmt::Display for DifferentialError {
             DifferentialError::Sim { engine, err } => write!(f, "cycle engine {engine}: {err}"),
             DifferentialError::Functional(e) => write!(f, "functional engine: {e}"),
             DifferentialError::InstrLimit { engine, executed } => {
-                write!(f, "cycle engine {engine}: instruction limit hit after {executed}")
+                write!(
+                    f,
+                    "cycle engine {engine}: instruction limit hit after {executed}"
+                )
             }
         }
     }
@@ -135,6 +216,7 @@ pub enum FunctionalCheck {
 }
 
 /// Run `exe` on one cycle-model configuration.
+#[allow(clippy::too_many_arguments)]
 pub fn run_cycle_engine(
     exe: &Executable,
     cfg: &XmtConfig,
@@ -142,30 +224,45 @@ pub fn run_cycle_engine(
     icn: IcnModel,
     engine: EngineMode,
     threads: u32,
+    decode: DecodeMode,
     instr_limit: u64,
 ) -> Result<EngineRun, DifferentialError> {
     let mut cfg = cfg.clone();
     cfg.issue_model = issue;
     cfg.icn_model = icn;
     cfg.engine_mode = engine;
+    cfg.decode_cache = decode;
     if engine == EngineMode::Parallel {
         cfg.threads = threads;
     }
-    let label = || match engine {
-        EngineMode::Sequential => format!("{issue:?}×{icn:?}"),
-        EngineMode::Parallel => format!("{issue:?}×{icn:?}×Par{threads}"),
+    let label = || {
+        let mut l = match engine {
+            EngineMode::Sequential => format!("{issue:?}×{icn:?}"),
+            EngineMode::Parallel => format!("{issue:?}×{icn:?}×Par{threads}"),
+        };
+        if decode == DecodeMode::Cache {
+            l.push_str("×Cache");
+        }
+        l
     };
     let mut sim = CycleSim::new(exe.clone(), cfg);
     sim.set_instr_limit(instr_limit);
-    let s = sim.run().map_err(|err| DifferentialError::Sim { engine: label(), err })?;
+    let s = sim.run().map_err(|err| DifferentialError::Sim {
+        engine: label(),
+        err,
+    })?;
     if !sim.machine.halted {
-        return Err(DifferentialError::InstrLimit { engine: label(), executed: s.instructions });
+        return Err(DifferentialError::InstrLimit {
+            engine: label(),
+            executed: s.instructions,
+        });
     }
     Ok(EngineRun {
         issue,
         icn,
         engine,
         threads,
+        decode,
         cycles: s.cycles,
         time_ps: s.time_ps,
         instructions: s.instructions,
@@ -176,8 +273,9 @@ pub fn run_cycle_engine(
     })
 }
 
-/// Run `exe` through functional mode and all eight cycle configurations
-/// (sequential and sharded-parallel — see [`CYCLE_ENGINE_MATRIX`]).
+/// Run `exe` through functional mode and all ten cycle configurations
+/// (sequential and sharded-parallel, decode cache off and on — see
+/// [`CYCLE_ENGINE_MATRIX`]).
 ///
 /// `instr_limit` bounds every engine so a generated program that loops
 /// forever surfaces as an error instead of a hang.
@@ -189,13 +287,29 @@ pub fn run_all_engines(
     let mut func = FunctionalSim::new(exe.clone());
     func.set_instr_limit(instr_limit);
     let instructions = func.run().map_err(DifferentialError::Functional)?;
-    let functional = FunctionalRun { instructions, machine: func.machine };
+    let functional = FunctionalRun {
+        instructions,
+        machine: func.machine,
+    };
 
     let mut cycle = Vec::with_capacity(CYCLE_ENGINE_MATRIX.len());
-    for (issue, icn, engine, threads) in CYCLE_ENGINE_MATRIX {
-        cycle.push(run_cycle_engine(exe, cfg, issue, icn, engine, threads, instr_limit)?);
+    for (issue, icn, engine, threads, decode) in CYCLE_ENGINE_MATRIX {
+        cycle.push(run_cycle_engine(
+            exe,
+            cfg,
+            issue,
+            icn,
+            engine,
+            threads,
+            decode,
+            instr_limit,
+        )?);
     }
-    Ok(AllEngines { functional, cycle, exe: exe.clone() })
+    Ok(AllEngines {
+        functional,
+        cycle,
+        exe: exe.clone(),
+    })
 }
 
 /// First differing byte of two strings, with context — JSON blobs are
@@ -228,31 +342,44 @@ impl AllEngines {
             if e.cycles != r.cycles {
                 return Err(format!(
                     "{} vs {}: cycles {} != {}",
-                    e.label(), r.label(), e.cycles, r.cycles
+                    e.label(),
+                    r.label(),
+                    e.cycles,
+                    r.cycles
                 ));
             }
             if e.time_ps != r.time_ps {
                 return Err(format!(
                     "{} vs {}: time_ps {} != {}",
-                    e.label(), r.label(), e.time_ps, r.time_ps
+                    e.label(),
+                    r.label(),
+                    e.time_ps,
+                    r.time_ps
                 ));
             }
             if e.instructions != r.instructions {
                 return Err(format!(
                     "{} vs {}: instructions {} != {}",
-                    e.label(), r.label(), e.instructions, r.instructions
+                    e.label(),
+                    r.label(),
+                    e.instructions,
+                    r.instructions
                 ));
             }
             if e.stats_json != r.stats_json {
                 return Err(format!(
                     "{} vs {}: stats diverge at {}",
-                    e.label(), r.label(), first_divergence(&e.stats_json, &r.stats_json)
+                    e.label(),
+                    r.label(),
+                    first_divergence(&e.stats_json, &r.stats_json)
                 ));
             }
             if e.machine_json != r.machine_json {
                 return Err(format!(
                     "{} vs {}: machine state diverges at {}",
-                    e.label(), r.label(), first_divergence(&e.machine_json, &r.machine_json)
+                    e.label(),
+                    r.label(),
+                    first_divergence(&e.machine_json, &r.machine_json)
                 ));
             }
         }
@@ -272,7 +399,9 @@ impl AllEngines {
                             let k = got.iter().zip(&want).position(|(g, w)| g != w).unwrap_or(0);
                             return Err(format!(
                                 "functional vs {}: `{name}[{k}]` = {:#x} functional, {:#x} cycle",
-                                e.label(), want[k], got[k]
+                                e.label(),
+                                want[k],
+                                got[k]
                             ));
                         }
                     }
@@ -313,7 +442,13 @@ impl AllEngines {
     }
 
     fn read_functional(&self, name: &str, words: usize) -> Result<Vec<u32>, String> {
-        read_machine(&self.functional.machine, &self.exe, name, words, "functional")
+        read_machine(
+            &self.functional.machine,
+            &self.exe,
+            name,
+            words,
+            "functional",
+        )
     }
 }
 
@@ -340,22 +475,65 @@ mod tests {
         let mut mm = MemoryMap::new();
         let a = mm.push("A", (0..n as u32).map(|i| 100 + i).collect());
         let mut p = AsmProgram::new();
-        p.push(Instr::Li { rt: Reg::A0, imm: 0 });
-        p.push(Instr::Li { rt: Reg::A1, imm: n - 1 });
-        p.push(Instr::Li { rt: Reg::S0, imm: a as i32 });
-        p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+        p.push(Instr::Li {
+            rt: Reg::A0,
+            imm: 0,
+        });
+        p.push(Instr::Li {
+            rt: Reg::A1,
+            imm: n - 1,
+        });
+        p.push(Instr::Li {
+            rt: Reg::S0,
+            imm: a as i32,
+        });
+        p.push(Instr::Spawn {
+            lo: Reg::A0,
+            hi: Reg::A1,
+        });
         p.label("vt");
-        p.push(Instr::Li { rt: Reg::T0, imm: 1 });
-        p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+        p.push(Instr::Li {
+            rt: Reg::T0,
+            imm: 1,
+        });
+        p.push(Instr::Ps {
+            rt: Reg::T0,
+            gr: GlobalReg::THREAD_ALLOC,
+        });
         p.push(Instr::Chkid { rt: Reg::T0 });
-        p.push(Instr::Sll { rd: Reg::T1, rt: Reg::T0, sh: 2 });
-        p.push(Instr::Add { rd: Reg::T1, rs: Reg::T1, rt: Reg::S0 });
-        p.push(Instr::Lw { rt: Reg::T2, base: Reg::T1, off: 0 });
-        p.push(Instr::Add { rd: Reg::T2, rs: Reg::T2, rt: Reg::T0 });
-        p.push(Instr::Swnb { rt: Reg::T2, base: Reg::T1, off: 0 });
-        p.push(Instr::J { target: Target::label("vt") });
+        p.push(Instr::Sll {
+            rd: Reg::T1,
+            rt: Reg::T0,
+            sh: 2,
+        });
+        p.push(Instr::Add {
+            rd: Reg::T1,
+            rs: Reg::T1,
+            rt: Reg::S0,
+        });
+        p.push(Instr::Lw {
+            rt: Reg::T2,
+            base: Reg::T1,
+            off: 0,
+        });
+        p.push(Instr::Add {
+            rd: Reg::T2,
+            rs: Reg::T2,
+            rt: Reg::T0,
+        });
+        p.push(Instr::Swnb {
+            rt: Reg::T2,
+            base: Reg::T1,
+            off: 0,
+        });
+        p.push(Instr::J {
+            target: Target::label("vt"),
+        });
         p.push(Instr::Join);
-        p.push(Instr::Li { rt: Reg::T3, imm: 77 });
+        p.push(Instr::Li {
+            rt: Reg::T3,
+            imm: 77,
+        });
         p.push(Instr::Print { rs: Reg::T3 });
         p.push(Instr::Halt);
         p.link(mm).unwrap()
@@ -368,7 +546,10 @@ mod tests {
         assert_eq!(all.cycle.len(), CYCLE_ENGINE_MATRIX.len());
         all.check_cycle_identical().unwrap();
         all.check_functional_agrees(&[
-            FunctionalCheck::Exact { name: "A".into(), words: 12 },
+            FunctionalCheck::Exact {
+                name: "A".into(),
+                words: 12,
+            },
             FunctionalCheck::Prints,
         ])
         .unwrap();
@@ -393,7 +574,9 @@ mod tests {
     fn instr_limit_converts_runaways_into_errors() {
         let mut p = AsmProgram::new();
         p.label("spin");
-        p.push(Instr::J { target: Target::label("spin") });
+        p.push(Instr::J {
+            target: Target::label("spin"),
+        });
         let exe = p.link(MemoryMap::new()).unwrap();
         let err = run_all_engines(&exe, &XmtConfig::tiny(), 1000).unwrap_err();
         assert!(matches!(err, DifferentialError::Functional(_)));

@@ -10,10 +10,11 @@
 //! concurrency bugs, as the paper warns; its other use is fast-forwarding
 //! to a region of interest (see [`crate::checkpoint`]).
 
-use crate::exec::{self, Issued, Mode};
+use crate::decode::{Cursor, DecodeCache, ReplayEnv, C_ALU, C_BR, C_CTL, C_SFT};
+use crate::exec::{self, Issued, MemKind, Mode};
 use crate::machine::{Machine, ThreadCtx, Trap};
 use crate::stats::Stats;
-use xmt_isa::{Executable, Reg};
+use xmt_isa::{Executable, Instr, Reg};
 
 /// Errors from a functional run.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,19 +54,30 @@ pub struct FunctionalSim {
     /// Instruction counters (no activity/timing counters in this mode).
     pub stats: Stats,
     instr_limit: u64,
+    /// Pre-decoded basic-block cache (on by default; `set_decode(false)`
+    /// drops back to pure interpreted issue).
+    decode: Option<DecodeCache>,
+    /// Decoded-block replays, constituents replayed, superinstructions
+    /// executed whole (incl. the runtime psm+increment peephole).
+    replay_stats: (u64, u64, u64),
 }
 
 impl FunctionalSim {
     /// Build a functional simulator for `exe`.
     pub fn new(exe: Executable) -> Self {
         let machine = Machine::load(&exe);
-        let mut master = ThreadCtx { pc: exe.entry, ..Default::default() };
+        let mut master = ThreadCtx {
+            pc: exe.entry,
+            ..Default::default()
+        };
         master.regs.set(Reg::Sp, xmt_isa::STACK_TOP);
         FunctionalSim {
             machine,
             master,
             stats: Stats::for_topology(1, 1),
             instr_limit: u64::MAX,
+            decode: Some(DecodeCache::new(exe.len())),
+            replay_stats: (0, 0, 0),
             exe,
         }
     }
@@ -75,21 +87,66 @@ impl FunctionalSim {
         self.instr_limit = limit;
     }
 
+    /// Enable or disable the pre-decoded basic-block cache (the
+    /// `--decode` knob; disabling mid-run discards decoded blocks).
+    pub fn set_decode(&mut self, enabled: bool) {
+        self.decode = enabled.then(|| DecodeCache::new(self.exe.len()));
+    }
+
+    /// `(block replays, constituents replayed, fused superinstructions)`
+    /// executed so far — zero with the cache off.
+    pub fn replay_stats(&self) -> (u64, u64, u64) {
+        self.replay_stats
+    }
+
     /// The loaded executable.
     pub fn executable(&self) -> &Executable {
         &self.exe
+    }
+
+    /// Merge one replay call's deltas into the books — equivalent to
+    /// per-instruction `count_instr` calls. `cluster` distinguishes the
+    /// master books (`None`) from the serialized-section books.
+    fn merge_replay(&mut self, cur: &Cursor, cluster: Option<u32>) {
+        use xmt_isa::FuKind;
+        self.stats
+            .count_instr_bulk(FuKind::Alu, cluster, cur.counts[C_ALU]);
+        self.stats
+            .count_instr_bulk(FuKind::Sft, cluster, cur.counts[C_SFT]);
+        self.stats
+            .count_instr_bulk(FuKind::Br, cluster, cur.counts[C_BR]);
+        self.stats
+            .count_instr_bulk(FuKind::Ctl, cluster, cur.counts[C_CTL]);
+        self.replay_stats.0 += cur.replays;
+        self.replay_stats.1 += cur.executed;
+        self.replay_stats.2 += cur.fused;
     }
 
     /// Run to `halt`. Returns the number of instructions executed.
     pub fn run(&mut self) -> Result<u64, FuncError> {
         let mut executed: u64 = 0;
         loop {
+            // Fast-forward through pre-decoded blocks; the replay obeys
+            // the same instruction limit as the loop check below. The
+            // `replayable` pre-check keeps known-non-local pcs (memory
+            // ops, prints…) at interpreter cost.
+            if let Some(dc) = self.decode.as_mut() {
+                if dc.replayable(self.master.pc) {
+                    let mut cur = Cursor::new(0, 0);
+                    let env = ReplayEnv::functional(self.instr_limit, executed);
+                    dc.replay(&self.exe, &mut self.master, &env, &mut cur);
+                    if cur.executed > 0 {
+                        executed += cur.executed;
+                        self.merge_replay(&cur, None);
+                        continue;
+                    }
+                }
+            }
             if executed >= self.instr_limit {
                 return Err(FuncError::InstrLimit { executed });
             }
             let pc = self.master.pc;
-            let issued =
-                exec::issue(&self.exe, &mut self.master, &mut self.machine, Mode::Master)?;
+            let issued = exec::issue(&self.exe, &mut self.master, &mut self.machine, Mode::Master)?;
             executed += 1;
             let _ = pc;
             match issued {
@@ -100,6 +157,14 @@ impl FunctionalSim {
                     self.stats.count_instr(xmt_isa::FuKind::Mem, None);
                     let v = exec::perform(&mut self.machine, &req);
                     exec::complete(&mut self.master, &req, v);
+                    // psm+increment peephole (the third fusion pair).
+                    if self.decode.is_some() && executed < self.instr_limit {
+                        if let Some(cost) = fuse_after_psm(&self.exe, &mut self.master, &req) {
+                            self.stats.count_instr(cost_fu(cost), None);
+                            self.replay_stats.2 += 1;
+                            executed += 1;
+                        }
+                    }
                 }
                 Issued::Fence => {
                     self.stats.count_instr(xmt_isa::FuKind::Ctl, None);
@@ -139,14 +204,36 @@ impl FunctionalSim {
         self.machine.gregs[0] = lo as u32;
 
         // One context plays all virtual threads (broadcast register file).
-        let mut ctx = ThreadCtx { regs: self.master.regs.clone(), pc: spawn_idx + 1 };
+        let mut ctx = ThreadCtx {
+            regs: self.master.regs.clone(),
+            pc: spawn_idx + 1,
+        };
         let mut executed = 0u64;
         loop {
-            if executed_so_far + executed >= self.instr_limit {
-                return Err(FuncError::InstrLimit { executed: executed_so_far + executed });
+            // Decoded-replay fast-forward, as in `run`.
+            if let Some(dc) = self.decode.as_mut() {
+                if dc.replayable(ctx.pc) {
+                    let mut cur = Cursor::new(0, 0);
+                    let env = ReplayEnv::functional(self.instr_limit, executed_so_far + executed);
+                    dc.replay(&self.exe, &mut ctx, &env, &mut cur);
+                    if cur.executed > 0 {
+                        executed += cur.executed;
+                        self.merge_replay(&cur, Some(0));
+                        continue;
+                    }
+                }
             }
-            let issued =
-                exec::issue(&self.exe, &mut ctx, &mut self.machine, Mode::Parallel { hi })?;
+            if executed_so_far + executed >= self.instr_limit {
+                return Err(FuncError::InstrLimit {
+                    executed: executed_so_far + executed,
+                });
+            }
+            let issued = exec::issue(
+                &self.exe,
+                &mut ctx,
+                &mut self.machine,
+                Mode::Parallel { hi },
+            )?;
             executed += 1;
             match issued {
                 Issued::Done(cost) => {
@@ -156,6 +243,14 @@ impl FunctionalSim {
                     self.stats.count_instr(xmt_isa::FuKind::Mem, Some(0));
                     let v = exec::perform(&mut self.machine, &req);
                     exec::complete(&mut ctx, &req, v);
+                    // psm+increment peephole (the third fusion pair).
+                    if self.decode.is_some() && executed_so_far + executed < self.instr_limit {
+                        if let Some(cost) = fuse_after_psm(&self.exe, &mut ctx, &req) {
+                            self.stats.count_instr(cost_fu(cost), Some(0));
+                            self.replay_stats.2 += 1;
+                            executed += 1;
+                        }
+                    }
                 }
                 Issued::Fence => {
                     self.stats.count_instr(xmt_isa::FuKind::Ctl, Some(0));
@@ -170,6 +265,27 @@ impl FunctionalSim {
                 }
             }
         }
+    }
+}
+
+/// The runtime psm+increment peephole: a `psm` result is typically
+/// post-incremented or scaled immediately (the `ps`/`chkid` thread-id
+/// protocol), so when the next instruction is an `addi` consuming the
+/// fetched value, execute it in the same dispatch via the local path.
+/// Pure peephole — `issue_local` is the same implementation `issue`
+/// delegates to, so semantics and counts are unchanged.
+fn fuse_after_psm(
+    exe: &Executable,
+    ctx: &mut ThreadCtx,
+    req: &exec::MemRequest,
+) -> Option<exec::CostClass> {
+    if req.kind != MemKind::Psm {
+        return None;
+    }
+    let dst = req.dst_i?;
+    match exe.instr(ctx.pc)? {
+        Instr::Addi { rs, .. } if *rs == dst => exec::issue_local(exe, ctx),
+        _ => None,
     }
 }
 
@@ -196,20 +312,60 @@ mod tests {
         let mut mm = MemoryMap::new();
         let a = mm.push("A", (0..n as u32).collect());
         let mut p = AsmProgram::new();
-        p.push(Instr::Li { rt: Reg::A0, imm: 0 });
-        p.push(Instr::Li { rt: Reg::A1, imm: n - 1 });
-        p.push(Instr::Li { rt: Reg::S0, imm: a as i32 });
-        p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+        p.push(Instr::Li {
+            rt: Reg::A0,
+            imm: 0,
+        });
+        p.push(Instr::Li {
+            rt: Reg::A1,
+            imm: n - 1,
+        });
+        p.push(Instr::Li {
+            rt: Reg::S0,
+            imm: a as i32,
+        });
+        p.push(Instr::Spawn {
+            lo: Reg::A0,
+            hi: Reg::A1,
+        });
         p.label("vt");
-        p.push(Instr::Li { rt: Reg::T0, imm: 1 });
-        p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+        p.push(Instr::Li {
+            rt: Reg::T0,
+            imm: 1,
+        });
+        p.push(Instr::Ps {
+            rt: Reg::T0,
+            gr: GlobalReg::THREAD_ALLOC,
+        });
         p.push(Instr::Chkid { rt: Reg::T0 });
-        p.push(Instr::Sll { rd: Reg::T1, rt: Reg::T0, sh: 2 });
-        p.push(Instr::Add { rd: Reg::T1, rs: Reg::T1, rt: Reg::S0 });
-        p.push(Instr::Lw { rt: Reg::T2, base: Reg::T1, off: 0 });
-        p.push(Instr::Addi { rt: Reg::T2, rs: Reg::T2, imm: 1 });
-        p.push(Instr::Sw { rt: Reg::T2, base: Reg::T1, off: 0 });
-        p.push(Instr::J { target: Target::label("vt") });
+        p.push(Instr::Sll {
+            rd: Reg::T1,
+            rt: Reg::T0,
+            sh: 2,
+        });
+        p.push(Instr::Add {
+            rd: Reg::T1,
+            rs: Reg::T1,
+            rt: Reg::S0,
+        });
+        p.push(Instr::Lw {
+            rt: Reg::T2,
+            base: Reg::T1,
+            off: 0,
+        });
+        p.push(Instr::Addi {
+            rt: Reg::T2,
+            rs: Reg::T2,
+            imm: 1,
+        });
+        p.push(Instr::Sw {
+            rt: Reg::T2,
+            base: Reg::T1,
+            off: 0,
+        });
+        p.push(Instr::J {
+            target: Target::label("vt"),
+        });
         p.push(Instr::Join);
         p.push(Instr::Halt);
         (p, mm)
@@ -238,7 +394,9 @@ mod tests {
     fn instr_limit_stops_runaway() {
         let mut p = AsmProgram::new();
         p.label("l");
-        p.push(Instr::J { target: Target::label("l") });
+        p.push(Instr::J {
+            target: Target::label("l"),
+        });
         let exe = p.link(MemoryMap::new()).unwrap();
         let mut f = FunctionalSim::new(exe);
         f.set_instr_limit(500);
@@ -249,11 +407,23 @@ mod tests {
     #[test]
     fn empty_range_spawn_is_noop() {
         let mut p = AsmProgram::new();
-        p.push(Instr::Li { rt: Reg::A0, imm: 1 });
-        p.push(Instr::Li { rt: Reg::A1, imm: 0 });
-        p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+        p.push(Instr::Li {
+            rt: Reg::A0,
+            imm: 1,
+        });
+        p.push(Instr::Li {
+            rt: Reg::A1,
+            imm: 0,
+        });
+        p.push(Instr::Spawn {
+            lo: Reg::A0,
+            hi: Reg::A1,
+        });
         p.push(Instr::Join);
-        p.push(Instr::Li { rt: Reg::T0, imm: 5 });
+        p.push(Instr::Li {
+            rt: Reg::T0,
+            imm: 5,
+        });
         p.push(Instr::Print { rs: Reg::T0 });
         p.push(Instr::Halt);
         let exe = p.link(MemoryMap::new()).unwrap();

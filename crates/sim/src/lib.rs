@@ -26,6 +26,7 @@
 pub mod checkpoint;
 pub mod config;
 pub mod cycle;
+pub mod decode;
 pub mod differential;
 pub mod engine;
 pub mod exec;
@@ -37,7 +38,7 @@ pub mod power;
 pub mod stats;
 pub mod trace;
 
-pub use config::{EngineMode, IcnModel, IssueModel, XmtConfig};
+pub use config::{DecodeMode, EngineMode, IcnModel, IssueModel, XmtConfig};
 pub use cycle::CycleSim;
 pub use differential::{run_all_engines, AllEngines, FunctionalCheck};
 pub use exec::{CostClass, Issued, MemKind, MemRequest, Mode};

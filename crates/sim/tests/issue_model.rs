@@ -4,7 +4,8 @@
 
 use xmt_harness::ToJson;
 use xmt_isa::{AsmProgram, Executable, GlobalReg, Instr, MemoryMap, Reg, Target};
-use xmtsim::config::IssueModel;
+use xmtsim::checkpoint::{Checkpoint, CheckpointOutcome};
+use xmtsim::config::{DecodeMode, IssueModel};
 use xmtsim::functional::FuncError;
 use xmtsim::stats::{ActivityPlugin, ActivitySample, RuntimeCtl};
 use xmtsim::trace::{TraceLevel, Tracer};
@@ -27,14 +28,24 @@ fn cfg(model: IssueModel) -> XmtConfig {
 /// instructions separated by single branches, then halt.
 fn straight_line_program(runs: usize, len: usize) -> Executable {
     let mut p = AsmProgram::new();
-    p.push(Instr::Li { rt: Reg::T3, imm: 1 });
+    p.push(Instr::Li {
+        rt: Reg::T3,
+        imm: 1,
+    });
     for r in 0..runs {
         for _ in 0..len {
-            p.push(Instr::Addi { rt: Reg::T3, rs: Reg::T3, imm: 1 });
+            p.push(Instr::Addi {
+                rt: Reg::T3,
+                rs: Reg::T3,
+                imm: 1,
+            });
         }
         let l = format!("r{r}");
         p.label(l.clone());
-        p.push(Instr::Blez { rs: Reg::T3, target: Target::label(l) });
+        p.push(Instr::Blez {
+            rs: Reg::T3,
+            target: Target::label(l),
+        });
     }
     p.push(Instr::Halt);
     p.link(MemoryMap::new()).unwrap()
@@ -43,17 +54,38 @@ fn straight_line_program(runs: usize, len: usize) -> Executable {
 /// Spawn-heavy compute program so the trace covers parallel TCUs too.
 fn spawn_program() -> Executable {
     let mut p = AsmProgram::new();
-    p.push(Instr::Li { rt: Reg::A0, imm: 0 });
-    p.push(Instr::Li { rt: Reg::A1, imm: 7 });
-    p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+    p.push(Instr::Li {
+        rt: Reg::A0,
+        imm: 0,
+    });
+    p.push(Instr::Li {
+        rt: Reg::A1,
+        imm: 7,
+    });
+    p.push(Instr::Spawn {
+        lo: Reg::A0,
+        hi: Reg::A1,
+    });
     p.label("vt");
-    p.push(Instr::Li { rt: Reg::T0, imm: 1 });
-    p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+    p.push(Instr::Li {
+        rt: Reg::T0,
+        imm: 1,
+    });
+    p.push(Instr::Ps {
+        rt: Reg::T0,
+        gr: GlobalReg::THREAD_ALLOC,
+    });
     p.push(Instr::Chkid { rt: Reg::T0 });
     for _ in 0..12 {
-        p.push(Instr::Addi { rt: Reg::T3, rs: Reg::T3, imm: 1 });
+        p.push(Instr::Addi {
+            rt: Reg::T3,
+            rs: Reg::T3,
+            imm: 1,
+        });
     }
-    p.push(Instr::J { target: Target::label("vt") });
+    p.push(Instr::J {
+        target: Target::label("vt"),
+    });
     p.push(Instr::Join);
     p.push(Instr::Halt);
     p.link(MemoryMap::new()).unwrap()
@@ -80,8 +112,91 @@ fn tracer_degrades_burst_to_identical_issue_stream() {
     let (sp, rp, bursts_p) = trace_run(IssueModel::PerInstr);
     assert!(rb.len() as u64 == sb.instructions && !rb.is_empty());
     assert_eq!(rb, rp, "per-instruction Issue streams must be identical");
-    assert_eq!(sb, sp, "degraded burst must match per-instr event-for-event");
-    assert_eq!((bursts_b, bursts_p), (0, 0), "tracer must suppress bursting");
+    assert_eq!(
+        sb, sp,
+        "degraded burst must match per-instr event-for-event"
+    );
+    assert_eq!(
+        (bursts_b, bursts_p),
+        (0, 0),
+        "tracer must suppress bursting"
+    );
+}
+
+/// Decode-cache satellite: a tracer activated *mid-run* — across a
+/// checkpoint/resume boundary, after decoded replay has already retired
+/// instructions — must degrade replay to interpreted per-instruction
+/// stepping exactly. From the activation point the trace stream, the run
+/// summary and the final machine image are byte-identical whether the
+/// first half ran decoded, interpreted, or under the per-instruction
+/// oracle; and attaching the tracer invalidates the live decode cache.
+#[test]
+fn tracer_mid_run_degrades_decoded_replay() {
+    let exe = spawn_program();
+    let ckpt_cycle = 40;
+    let resumed_with_tracer = |model: IssueModel, decode: DecodeMode| {
+        let mut c = cfg(model);
+        c.decode_cache = decode;
+        let mut sim = CycleSim::new(exe.clone(), c.clone());
+        sim.enable_host_profiling();
+        let ck = match sim.run_to_checkpoint_anytime(ckpt_cycle).unwrap() {
+            CheckpointOutcome::Checkpoint(ck) => ck,
+            CheckpointOutcome::Done(_) => panic!("program finished before the checkpoint"),
+        };
+        let first_half_replays = sim.host_profile().unwrap().replay_instrs;
+        // Attach to the paused sim too: with decoded blocks live this
+        // must register as a cache invalidation.
+        sim.attach_tracer(Tracer::new(TraceLevel::Functional));
+        let invalidations = sim.host_profile().unwrap().decode_invalidations;
+
+        let round = Checkpoint::from_json(&ck.to_json()).expect("checkpoint parses");
+        let mut sim = CycleSim::resume(exe.clone(), c, round);
+        sim.enable_host_profiling();
+        sim.attach_tracer(Tracer::new(TraceLevel::Functional));
+        let s = sim.run().unwrap();
+        let records = sim.tracer.as_ref().unwrap().records().to_vec();
+        let traced_replays = sim.host_profile().unwrap().replay_instrs;
+        (
+            s,
+            sim.machine.to_json_string(),
+            records,
+            first_half_replays,
+            invalidations,
+            traced_replays,
+        )
+    };
+    let (sc, mc, rc, replays, invalidations, traced) =
+        resumed_with_tracer(IssueModel::Burst, DecodeMode::Cache);
+    let (so, mo, ro, off_replays, _, _) = resumed_with_tracer(IssueModel::Burst, DecodeMode::Off);
+    let (sp, mp, rp, _, _, _) = resumed_with_tracer(IssueModel::PerInstr, DecodeMode::Off);
+    assert!(
+        replays > 0,
+        "the pre-checkpoint half should retire decoded instructions"
+    );
+    assert_eq!(off_replays, 0, "cache-off must never replay");
+    assert!(
+        invalidations > 0,
+        "attaching a tracer over live blocks must invalidate"
+    );
+    assert_eq!(
+        traced, 0,
+        "no decoded replay may run while the tracer is attached"
+    );
+    assert_eq!(rc, ro, "trace streams diverge between cache and off");
+    assert_eq!(
+        rc, rp,
+        "trace streams diverge between cache and the per-instr oracle"
+    );
+    assert_eq!(
+        (sc.clone(), mc.clone()),
+        (so, mo),
+        "resumed runs diverge between cache and off"
+    );
+    assert_eq!(
+        (sc, mc),
+        (sp, mp),
+        "resumed runs diverge vs the per-instr oracle"
+    );
 }
 
 /// Satellite 4a: `CycleSim::set_instr_limit` lands mid-burst — the run
@@ -99,7 +214,10 @@ fn instr_limit_exact_mid_burst() {
     };
     let (sb, mb) = capped(IssueModel::Burst);
     let (sp, mp) = capped(IssueModel::PerInstr);
-    assert_eq!(sb.instructions, limit, "burst overshoots the instruction limit");
+    assert_eq!(
+        sb.instructions, limit,
+        "burst overshoots the instruction limit"
+    );
     assert_eq!(sp.instructions, limit);
     assert_eq!((sb.cycles, sb.time_ps), (sp.cycles, sp.time_ps));
     assert_eq!(mb, mp, "machine state at the limit must match");
@@ -116,7 +234,10 @@ fn functional_instr_limit_mid_straight_line_run() {
     let exe = straight_line_program(2, 40);
     let mut sim = FunctionalSim::new(exe);
     sim.set_instr_limit(25);
-    assert_eq!(sim.run().unwrap_err(), FuncError::InstrLimit { executed: 25 });
+    assert_eq!(
+        sim.run().unwrap_err(),
+        FuncError::InstrLimit { executed: 25 }
+    );
 }
 
 /// Satellite 4b: a sampling interval short enough to land inside a

@@ -118,7 +118,11 @@ pub enum Op {
     PsCount { id: u32, counter: u8 },
     /// `int h = val; psm(h, HIST[idx & mask]);` — atomic accumulation.
     PsmHist { id: u32, idx: Expr, val: i32 },
-    If { cond: Cond, then: Vec<Op>, els: Vec<Op> },
+    If {
+        cond: Cond,
+        then: Vec<Op>,
+        els: Vec<Op>,
+    },
     /// `for (int i{d} = 0; i{d} < trips; i{d}++) { ... }`.
     For { trips: u8, body: Vec<Op> },
     /// `int w{id} = trips; while (w{id} > 0) { ...; w{id} -= 1; }`.
@@ -145,7 +149,10 @@ pub enum BcUpdate {
 pub enum Print {
     Bcast,
     /// `print(OUT{q}[k]);` — resolved modulo phases/array length.
-    OutElem { arr: u8, idx: u16 },
+    OutElem {
+        arr: u8,
+        idx: u16,
+    },
 }
 
 /// One `spawn` phase plus its surrounding master code.
@@ -203,26 +210,49 @@ fn gen_expr(g: &mut Gen, ctx: Ctx, depth: usize) -> Expr {
             3 if ctx.in_loop => Expr::LoopVar,
             4 => Expr::In(
                 g.usize_in(0, 2) as u8,
-                Box::new(if ctx.thread { Expr::ThreadId } else { Expr::Lit(g.int_in(0, 64) as i32) }),
+                Box::new(if ctx.thread {
+                    Expr::ThreadId
+                } else {
+                    Expr::Lit(g.int_in(0, 64) as i32)
+                }),
             ),
             _ => Expr::Lit(g.int_in(-9, 100) as i32),
         };
     }
     match g.usize_in(0, 8) {
-        0 => Expr::In(g.usize_in(0, 2) as u8, Box::new(gen_expr(g, ctx, depth - 1))),
-        1 if ctx.phase > 0 => {
-            Expr::OutPrev(g.usize_in(0, 4) as u8, Box::new(gen_expr(g, ctx, depth - 1)))
-        }
+        0 => Expr::In(
+            g.usize_in(0, 2) as u8,
+            Box::new(gen_expr(g, ctx, depth - 1)),
+        ),
+        1 if ctx.phase > 0 => Expr::OutPrev(
+            g.usize_in(0, 4) as u8,
+            Box::new(gen_expr(g, ctx, depth - 1)),
+        ),
         _ => {
-            let op = *g.choose(&[Arith::Add, Arith::Sub, Arith::Mul, Arith::And, Arith::Or, Arith::Xor]);
-            Expr::Bin(op, Box::new(gen_expr(g, ctx, depth - 1)), Box::new(gen_expr(g, ctx, depth - 1)))
+            let op = *g.choose(&[
+                Arith::Add,
+                Arith::Sub,
+                Arith::Mul,
+                Arith::And,
+                Arith::Or,
+                Arith::Xor,
+            ]);
+            Expr::Bin(
+                op,
+                Box::new(gen_expr(g, ctx, depth - 1)),
+                Box::new(gen_expr(g, ctx, depth - 1)),
+            )
         }
     }
 }
 
 fn gen_cond(g: &mut Gen, ctx: Ctx, depth: usize) -> Cond {
     let op = *g.choose(&[Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge, Cmp::Eq, Cmp::Ne]);
-    Cond { op, lhs: gen_expr(g, ctx, depth), rhs: gen_expr(g, ctx, depth) }
+    Cond {
+        op,
+        lhs: gen_expr(g, ctx, depth),
+        rhs: gen_expr(g, ctx, depth),
+    }
 }
 
 /// Generate a list of thread-body ops. `top_level` gates the ops that
@@ -243,18 +273,41 @@ fn gen_ops(g: &mut Gen, ctx: Ctx, nest: usize, top_level: bool, next_id: &mut u3
             },
             4 if top_level && ps_scr_used < 2 => {
                 ps_scr_used += 1;
-                Op::PsScr { id, expr: gen_expr(g, ctx, 1) }
+                Op::PsScr {
+                    id,
+                    expr: gen_expr(g, ctx, 1),
+                }
             }
-            5 => Op::PsCount { id, counter: g.usize_in(0, 3) as u8 },
-            6 | 7 => Op::PsmHist { id, idx: gen_expr(g, ctx, 1), val: g.int_in(1, 5) as i32 },
+            5 => Op::PsCount {
+                id,
+                counter: g.usize_in(0, 3) as u8,
+            },
+            6 | 7 => Op::PsmHist {
+                id,
+                idx: gen_expr(g, ctx, 1),
+                val: g.int_in(1, 5) as i32,
+            },
             8 if nest > 0 => Op::If {
                 cond: gen_cond(g, ctx, 1),
                 then: gen_ops(g, ctx, nest - 1, false, next_id),
-                els: if g.bool_p(0.5) { gen_ops(g, ctx, nest - 1, false, next_id) } else { Vec::new() },
+                els: if g.bool_p(0.5) {
+                    gen_ops(g, ctx, nest - 1, false, next_id)
+                } else {
+                    Vec::new()
+                },
             },
             9 if nest > 0 => Op::For {
                 trips: g.int_in(1, 5) as u8,
-                body: gen_ops(g, Ctx { in_loop: true, ..ctx }, nest - 1, false, next_id),
+                body: gen_ops(
+                    g,
+                    Ctx {
+                        in_loop: true,
+                        ..ctx
+                    },
+                    nest - 1,
+                    false,
+                    next_id,
+                ),
             },
             10 if nest > 0 => Op::While {
                 id,
@@ -265,7 +318,16 @@ fn gen_ops(g: &mut Gen, ctx: Ctx, nest: usize, top_level: bool, next_id: &mut u3
                 hi: g.int_in(-1, NEST_LEN as i64) as i32,
                 // Inner context: only the inner `$`, inputs and earlier
                 // outputs — nothing owned by the outer thread.
-                expr: gen_expr(g, Ctx { locals: 0, thread: true, in_loop: false, phase: ctx.phase }, 2),
+                expr: gen_expr(
+                    g,
+                    Ctx {
+                        locals: 0,
+                        thread: true,
+                        in_loop: false,
+                        phase: ctx.phase,
+                    },
+                    2,
+                ),
             },
             _ => Op::StoreOut(gen_expr(g, ctx, 1)),
         });
@@ -289,9 +351,18 @@ pub fn generate(g: &mut Gen) -> ProgramSpec {
     let phases = (0..n_phases)
         .map(|p| {
             // A small chance of a zero-iteration spawn; otherwise 1..=MAX.
-            let hi = if g.bool_p(0.08) { -1 } else { g.len_in(1, max_hi + 1) as i32 - 1 };
+            let hi = if g.bool_p(0.08) {
+                -1
+            } else {
+                g.len_in(1, max_hi + 1) as i32 - 1
+            };
             let locals_n = g.usize_in(0, 4) as u8;
-            let mut ctx = Ctx { locals: 0, thread: true, in_loop: false, phase: p as u8 };
+            let mut ctx = Ctx {
+                locals: 0,
+                thread: true,
+                in_loop: false,
+                phase: p as u8,
+            };
             let locals = (0..locals_n)
                 .map(|k| {
                     let e = gen_expr(g, ctx, 2);
@@ -313,14 +384,29 @@ pub fn generate(g: &mut Gen) -> ProgramSpec {
                     if g.bool_p(0.5) {
                         Print::Bcast
                     } else {
-                        Print::OutElem { arr: g.usize_in(0, 4) as u8, idx: g.usize_in(0, 64) as u16 }
+                        Print::OutElem {
+                            arr: g.usize_in(0, 4) as u8,
+                            idx: g.usize_in(0, 64) as u16,
+                        }
                     }
                 })
                 .collect();
-            Phase { hi, hi_from_bc: g.bool_p(0.25), bc_update, locals, body, print_after }
+            Phase {
+                hi,
+                hi_from_bc: g.bool_p(0.25),
+                bc_update,
+                locals,
+                body,
+                print_after,
+            }
         })
         .collect();
-    ProgramSpec { n, hist_len, data_seed, phases }
+    ProgramSpec {
+        n,
+        hist_len,
+        data_seed,
+        phases,
+    }
 }
 
 /// A random small machine configuration sweeping topology, both switch
@@ -342,7 +428,11 @@ pub fn gen_config(g: &mut Gen) -> XmtConfig {
             jitter_ps: g.int_in(0, 900) as u64,
         }
     };
-    cfg.prefetch_policy = if g.bool_p(0.5) { PrefetchPolicy::Fifo } else { PrefetchPolicy::Lru };
+    cfg.prefetch_policy = if g.bool_p(0.5) {
+        PrefetchPolicy::Fifo
+    } else {
+        PrefetchPolicy::Lru
+    };
     cfg.ps_latency = g.usize_in(2, 9) as u32;
     cfg.spawn_overhead = g.usize_in(4, 17) as u32;
     cfg
@@ -352,7 +442,14 @@ pub fn gen_config(g: &mut Gen) -> XmtConfig {
 // Rendering
 // ---------------------------------------------------------------------
 
-fn render_expr(e: &Expr, spec: &ProgramSpec, locals: u8, phase: u8, loop_var: Option<&str>, out: &mut String) {
+fn render_expr(
+    e: &Expr,
+    spec: &ProgramSpec,
+    locals: u8,
+    phase: u8,
+    loop_var: Option<&str>,
+    out: &mut String,
+) {
     let mask = spec.n - 1;
     match e {
         Expr::ThreadId => out.push('$'),
@@ -404,7 +501,14 @@ fn render_expr(e: &Expr, spec: &ProgramSpec, locals: u8, phase: u8, loop_var: Op
     }
 }
 
-fn render_cond(c: &Cond, spec: &ProgramSpec, locals: u8, phase: u8, loop_var: Option<&str>, out: &mut String) {
+fn render_cond(
+    c: &Cond,
+    spec: &ProgramSpec,
+    locals: u8,
+    phase: u8,
+    loop_var: Option<&str>,
+    out: &mut String,
+) {
     let sym = match c.op {
         Cmp::Lt => "<",
         Cmp::Le => "<=",
@@ -446,12 +550,17 @@ fn render_ops(
                 out.push_str(";\n");
             }
             Op::PsScr { id, expr } => {
-                out.push_str(&format!("{{ int s{id} = 1; ps(s{id}, scrtop); SCR[s{id}] = "));
+                out.push_str(&format!(
+                    "{{ int s{id} = 1; ps(s{id}, scrtop); SCR[s{id}] = "
+                ));
                 render_expr(expr, spec, locals, phase, loop_var, out);
                 out.push_str("; }\n");
             }
             Op::PsCount { id, counter } => {
-                out.push_str(&format!("{{ int c{id} = 1; ps(c{id}, cnt{}); }}\n", counter % 3));
+                out.push_str(&format!(
+                    "{{ int c{id} = 1; ps(c{id}, cnt{}); }}\n",
+                    counter % 3
+                ));
             }
             Op::PsmHist { id, idx, val } => {
                 out.push_str(&format!("{{ int h{id} = {val}; psm(h{id}, HIST[("));
@@ -501,7 +610,10 @@ pub fn render(spec: &ProgramSpec) -> String {
     for p in 0..spec.phases.len() {
         src.push_str(&format!("int OUT{p}[{n}];\n"));
     }
-    src.push_str(&format!("int NEST[{NEST_LEN}]; int SCR[{SCR_LEN}]; int HIST[{}];\n", spec.hist_len));
+    src.push_str(&format!(
+        "int NEST[{NEST_LEN}]; int SCR[{SCR_LEN}]; int HIST[{}];\n",
+        spec.hist_len
+    ));
     src.push_str("int BCAST = 0;\n");
     src.push_str("int cnt0 = 0; int cnt1 = 0; int cnt2 = 0; int scrtop = 0;\n");
     src.push_str("void main() {\n");
@@ -558,8 +670,14 @@ pub fn render(spec: &ProgramSpec) -> String {
 /// The seeded input-array contents for a spec.
 pub fn inputs(spec: &ProgramSpec) -> Vec<(String, Vec<i32>)> {
     vec![
-        ("IN0".into(), crate::gen::int_array(spec.n, -100, 100, spec.data_seed)),
-        ("IN1".into(), crate::gen::int_array(spec.n, -100, 100, spec.data_seed ^ 0x9e37_79b9_7f4a_7c15)),
+        (
+            "IN0".into(),
+            crate::gen::int_array(spec.n, -100, 100, spec.data_seed),
+        ),
+        (
+            "IN1".into(),
+            crate::gen::int_array(spec.n, -100, 100, spec.data_seed ^ 0x9e37_79b9_7f4a_7c15),
+        ),
     ]
 }
 
@@ -569,13 +687,28 @@ pub fn inputs(spec: &ProgramSpec) -> Vec<(String, Vec<i32>)> {
 pub fn checks(spec: &ProgramSpec) -> Vec<FunctionalCheck> {
     let mut v = vec![
         FunctionalCheck::Prints,
-        FunctionalCheck::Exact { name: "BCAST".into(), words: 1 },
-        FunctionalCheck::Exact { name: "NEST".into(), words: NEST_LEN },
-        FunctionalCheck::Exact { name: "HIST".into(), words: spec.hist_len },
-        FunctionalCheck::Multiset { name: "SCR".into(), words: SCR_LEN },
+        FunctionalCheck::Exact {
+            name: "BCAST".into(),
+            words: 1,
+        },
+        FunctionalCheck::Exact {
+            name: "NEST".into(),
+            words: NEST_LEN,
+        },
+        FunctionalCheck::Exact {
+            name: "HIST".into(),
+            words: spec.hist_len,
+        },
+        FunctionalCheck::Multiset {
+            name: "SCR".into(),
+            words: SCR_LEN,
+        },
     ];
     for p in 0..spec.phases.len() {
-        v.push(FunctionalCheck::Exact { name: format!("OUT{p}"), words: spec.n });
+        v.push(FunctionalCheck::Exact {
+            name: format!("OUT{p}"),
+            words: spec.n,
+        });
     }
     v
 }
@@ -616,17 +749,26 @@ pub fn check_case_against(
         // `oracle_cfg`.
         use xmtsim::differential::{run_cycle_engine, CYCLE_ENGINE_MATRIX};
         let mut all = run_all_engines(exe, cfg, INSTR_LIMIT).map_err(|e| e.to_string())?;
-        for (k, (issue, icn, engine, threads)) in CYCLE_ENGINE_MATRIX.iter().enumerate() {
+        for (k, (issue, icn, engine, threads, decode)) in CYCLE_ENGINE_MATRIX.iter().enumerate() {
             if matches!(issue, xmtsim::IssueModel::PerInstr) {
-                all.cycle[k] =
-                    run_cycle_engine(exe, oracle_cfg, *issue, *icn, *engine, *threads, INSTR_LIMIT)
-                        .map_err(|e| e.to_string())?;
+                all.cycle[k] = run_cycle_engine(
+                    exe,
+                    oracle_cfg,
+                    *issue,
+                    *icn,
+                    *engine,
+                    *threads,
+                    *decode,
+                    INSTR_LIMIT,
+                )
+                .map_err(|e| e.to_string())?;
             }
         }
         all
     };
 
-    all.check_cycle_identical().map_err(|m| format!("{m}\n--- source ---\n{src}"))?;
+    all.check_cycle_identical()
+        .map_err(|m| format!("{m}\n--- source ---\n{src}"))?;
     all.check_functional_agrees(&checks(spec))
         .map_err(|m| format!("{m}\n--- source ---\n{src}"))
 }

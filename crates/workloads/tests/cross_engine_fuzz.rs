@@ -2,11 +2,13 @@
 //!
 //! Every case draws a random (but race-free-by-construction) XMTC
 //! program and a random machine configuration, compiles the program
-//! once, and runs it through functional mode plus all eight cycle-model
-//! configurations (`{Burst,PerInstr} × {Express,PerHop}` sequential, plus
-//! the sharded parallel engine at 2 and 4 worker threads), asserting
+//! once, and runs it through functional mode plus all ten cycle-model
+//! configurations (`{Burst,PerInstr} × {Express,PerHop}` sequential, the
+//! sharded parallel engine at 2 and 4 worker threads, and the decode
+//! cache on both sequential and parallel burst rows), asserting
 //!
-//! * the eight cycle engines (sequential and sharded-parallel) are
+//! * the ten cycle engines (sequential, sharded-parallel and decoded
+//!   replay) are
 //!   **bit-identical** — cycles, simulated time, instruction counts, the
 //!   full stats JSON and the final machine image (memory + registers)
 //!   all match (so parallel ≡ sequential on every fuzz case); and
@@ -25,14 +27,15 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use xmt_harness::prop::{self, Config, Gen};
-use xmt_workloads::fuzz::{
-    self, Arith, BcUpdate, Expr, Op, Phase, Print, ProgramSpec, NEST_LEN,
-};
+use xmt_workloads::fuzz::{self, Arith, BcUpdate, Expr, Op, Phase, Print, ProgramSpec, NEST_LEN};
 use xmtsim::differential::{run_all_engines, FunctionalCheck};
 use xmtsim::XmtConfig;
 
 fn fuzz_cases() -> u32 {
-    std::env::var("XMT_FUZZ_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256)
+    std::env::var("XMT_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
 }
 
 /// The tentpole property: ≥256 seeded random programs × 5 engines.
@@ -60,7 +63,7 @@ fn cross_engine_differential_fuzz() {
     });
     // scripts/verify.sh greps for this line to prove the suite really ran
     // (and wasn't filtered out) with the expected case count.
-    eprintln!("cross_engine_fuzz: ran {ran} cases through functional + 8 cycle engines");
+    eprintln!("cross_engine_fuzz: ran {ran} cases through functional + 10 cycle engines");
     assert!(ran >= 1);
 }
 
@@ -86,7 +89,10 @@ fn fuzzer_catches_injected_discrepancy_and_shrinks() {
         err.contains("Burst") && err.contains("PerInstr"),
         "report names the diverging engine pair: {err}"
     );
-    assert!(err.contains("--- source ---"), "report carries the program: {err}");
+    assert!(
+        err.contains("--- source ---"),
+        "report carries the program: {err}"
+    );
 
     // Shrinking must converge on a still-failing, no-larger program.
     let min = prop::minimize(spec.clone(), 400, fuzz::shrink_candidates, |s| {
@@ -103,8 +109,7 @@ fn fuzzer_catches_injected_discrepancy_and_shrinks() {
         prop::run("injected_discrepancy", Config::with_cases(4), |g| {
             let spec = fuzz::generate(g);
             let cfg = fuzz::gen_config(g);
-            fuzz::check_case_against(&spec, &cfg, &oracle)
-                .expect("engines diverged (injected)");
+            fuzz::check_case_against(&spec, &cfg, &oracle).expect("engines diverged (injected)");
         });
     }));
     let msg = match caught {
@@ -114,7 +119,10 @@ fn fuzzer_catches_injected_discrepancy_and_shrinks() {
             .expect("string panic payload"),
         Ok(()) => panic!("injected discrepancy went unnoticed"),
     };
-    assert!(msg.contains("XMT_PROP_SEED=0x"), "failure is replayable: {msg}");
+    assert!(
+        msg.contains("XMT_PROP_SEED=0x"),
+        "failure is replayable: {msg}"
+    );
 }
 
 /// Negative path: the generator's maximum spawn nesting (a `spawn`
@@ -130,11 +138,7 @@ fn max_spawn_nesting_agrees_across_engines() {
         body: vec![
             Op::NestedSpawn {
                 hi: NEST_LEN as i32 - 1,
-                expr: Expr::Bin(
-                    Arith::Mul,
-                    Box::new(Expr::ThreadId),
-                    Box::new(Expr::Lit(3)),
-                ),
+                expr: Expr::Bin(Arith::Mul, Box::new(Expr::ThreadId), Box::new(Expr::Lit(3))),
             },
             Op::StoreOut(Expr::Local(0)),
         ],
@@ -144,7 +148,9 @@ fn max_spawn_nesting_agrees_across_engines() {
         n: 16,
         hist_len: 4,
         data_seed: 77,
-        phases: (0..fuzz::MAX_PHASES).map(|p| nested_phase(4 + p as i32)).collect(),
+        phases: (0..fuzz::MAX_PHASES)
+            .map(|p| nested_phase(4 + p as i32))
+            .collect(),
     };
     fuzz::check_case(&spec, &XmtConfig::tiny()).unwrap();
 }
@@ -175,7 +181,10 @@ fn zero_iteration_spawns_agree_across_engines() {
                 bc_update: BcUpdate::Keep,
                 locals: vec![],
                 body: vec![
-                    Op::NestedSpawn { hi: -1, expr: Expr::Lit(123) },
+                    Op::NestedSpawn {
+                        hi: -1,
+                        expr: Expr::Lit(123),
+                    },
                     Op::StoreOut(Expr::ThreadId),
                 ],
                 print_after: vec![Print::OutElem { arr: 1, idx: 3 }],
@@ -216,8 +225,14 @@ fn hand_written_triple_nesting_agrees() {
     let all = run_all_engines(compiled.executable(), &XmtConfig::tiny(), 10_000_000).unwrap();
     all.check_cycle_identical().unwrap();
     all.check_functional_agrees(&[
-        FunctionalCheck::Exact { name: "A".into(), words: 16 },
-        FunctionalCheck::Exact { name: "DONE".into(), words: 1 },
+        FunctionalCheck::Exact {
+            name: "A".into(),
+            words: 16,
+        },
+        FunctionalCheck::Exact {
+            name: "DONE".into(),
+            words: 1,
+        },
         FunctionalCheck::Prints,
     ])
     .unwrap();

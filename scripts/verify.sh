@@ -89,6 +89,21 @@ echo "$issue_model_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' || {
     exit 1
 }
 
+echo "==> decode-cache differential referee"
+# Decoded basic-block replay (with superinstruction fusion) is only an
+# optimization while the interpreted issue path agrees bit-for-bit —
+# sequential and parallel, including mid-flight checkpoint bytes. The
+# suite must have actually run for the gate to pass.
+decode_out=$(cargo test --offline -p xmtsim --test decode_diff -- --nocapture 2>&1) || {
+    echo "$decode_out" >&2
+    exit 1
+}
+echo "$decode_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' || {
+    echo "decode differential tests were skipped (0 ran):" >&2
+    echo "$decode_out" >&2
+    exit 1
+}
+
 echo "==> parallel-engine differential referee"
 # The sharded parallel engine is only an implementation detail while it
 # stays bit-identical to the sequential engine — including mid-flight
@@ -116,7 +131,7 @@ echo "$inflight_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' || {
 
 echo "==> cross-engine differential fuzz referee"
 # The fuzzer must actually *run* its seeded cases through functional
-# mode plus all four cycle-model configs — a filter typo or a renamed
+# mode plus all ten cycle-model configs — a filter typo or a renamed
 # test silently skipping the suite must fail the gate. XMT_FUZZ_CASES
 # lets a quick smoke tier dial the count down (default 256).
 fuzz_out=$(XMT_FUZZ_CASES="${XMT_FUZZ_CASES:-256}" \
@@ -129,7 +144,7 @@ echo "$fuzz_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' || {
     echo "$fuzz_out" >&2
     exit 1
 }
-echo "$fuzz_out" | grep -qE 'cross_engine_fuzz: ran [1-9][0-9]* cases through functional \+ 8 cycle engines' || {
+echo "$fuzz_out" | grep -qE 'cross_engine_fuzz: ran [1-9][0-9]* cases through functional \+ 10 cycle engines' || {
     echo "cross-engine fuzz suite did not report its case count:" >&2
     echo "$fuzz_out" >&2
     exit 1
@@ -142,7 +157,7 @@ echo "==> smoke benches (shortened iterations; writes BENCH_*.json)"
 XMT_BENCH_DIR="$PWD/target/bench" \
 XMT_BENCH_ITERS="${XMT_BENCH_ITERS:-3}" \
 XMT_BENCH_WARMUP_MS="${XMT_BENCH_WARMUP_MS:-10}" \
-    cargo bench --offline -p xmt-bench --bench modes --bench compiler --bench scheduler --bench icn --bench issue --bench corpus --bench parallel
+    cargo bench --offline -p xmt-bench --bench modes --bench compiler --bench scheduler --bench icn --bench issue --bench corpus --bench parallel --bench decode
 
 ls target/bench/BENCH_*.json >/dev/null 2>&1 || {
     echo "no BENCH_*.json emitted" >&2
@@ -166,6 +181,10 @@ ls target/bench/BENCH_*.json >/dev/null 2>&1 || {
 }
 [ -f target/bench/BENCH_parallel.json ] || {
     echo "BENCH_parallel.json missing (parallel-engine scaling bench did not run)" >&2
+    exit 1
+}
+[ -f target/bench/BENCH_decode.json ] || {
+    echo "BENCH_decode.json missing (decode cache-vs-off bench did not run)" >&2
     exit 1
 }
 

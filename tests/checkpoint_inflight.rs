@@ -6,10 +6,10 @@
 //! final cycles, statistics and machine state as the uninterrupted run.
 //! Exercised under both package-movement models.
 
+use xmt_core::Toolchain;
 use xmt_harness::ToJson;
 use xmtsim::checkpoint::CheckpointOutcome;
-use xmtsim::{CycleSim, IcnModel, XmtConfig};
-use xmt_core::Toolchain;
+use xmtsim::{CycleSim, DecodeMode, IcnModel, XmtConfig};
 
 fn memory_heavy_program() -> xmt_core::Compiled {
     // One long parallel section saturating the ICN, so a mid-section
@@ -22,6 +22,25 @@ fn memory_heavy_program() -> xmt_core::Compiled {
                 A[$] = A[$] + $;
                 psm(one, H[$ % 8]);
                 A[(($ * 7) % N)] = A[(($ * 7) % N)] + 1;
+            }
+            int sum = 0;
+            for (int i = 0; i < N; i++) { sum += A[i]; }
+            print(sum);
+        }
+    ";
+    Toolchain::new().compile(src).unwrap()
+}
+
+fn compute_heavy_program() -> xmt_core::Compiled {
+    // Compute-bound virtual threads: tight local loops so the decode
+    // cache is hot and a mid-run stop lands inside decoded replay.
+    let src = "
+        int A[64]; int N = 64;
+        void main() {
+            spawn(0, N - 1) {
+                int acc = 0;
+                for (int i = 0; i < 40; i++) { acc += i * 3 + 1; }
+                A[$] = acc + $;
             }
             int sum = 0;
             for (int i = 0; i < N; i++) { sum += A[i]; }
@@ -63,7 +82,10 @@ fn check_model(model: IcnModel) {
             !ckpt.is_quiescent(),
             "a mid-section stop must capture in-flight state ({model:?})"
         );
-        assert!(ckpt.inflight.pending_events() > 0, "pending events travel with the checkpoint");
+        assert!(
+            ckpt.inflight.pending_events() > 0,
+            "pending events travel with the checkpoint"
+        );
         let legs = ckpt.inflight.express_legs_in_flight();
         match model {
             IcnModel::Express => saw_legs |= legs > 0,
@@ -73,7 +95,10 @@ fn check_model(model: IcnModel) {
         // The in-flight snapshot must survive serialization bit-for-bit.
         let json = ckpt.to_json();
         let restored = xmtsim::checkpoint::Checkpoint::from_json(&json).unwrap();
-        assert_eq!(*ckpt, restored, "inflight checkpoint JSON round trip ({model:?})");
+        assert_eq!(
+            *ckpt, restored,
+            "inflight checkpoint JSON round trip ({model:?})"
+        );
 
         // Resume in a fresh simulator: bit-identical end of run.
         let mut resumed = CycleSim::resume(compiled.executable().clone(), cfg.clone(), restored);
@@ -84,16 +109,30 @@ fn check_model(model: IcnModel) {
         );
         assert_eq!(resumed_sum.time_ps, full_sum.time_ps);
         assert_eq!(resumed_sum.instructions, full_sum.instructions);
-        assert_eq!(resumed.stats.to_json_string(), full_stats, "stats JSON ({model:?})");
-        assert_eq!(resumed.machine.to_json_string(), full_machine, "machine state ({model:?})");
+        assert_eq!(
+            resumed.stats.to_json_string(),
+            full_stats,
+            "stats JSON ({model:?})"
+        );
+        assert_eq!(
+            resumed.machine.to_json_string(),
+            full_machine,
+            "machine state ({model:?})"
+        );
 
         // Taking the snapshot must not perturb the donor simulator either.
         let finished = first.run().unwrap();
-        assert_eq!(finished.cycles, full_sum.cycles, "donor continues unperturbed ({model:?})");
+        assert_eq!(
+            finished.cycles, full_sum.cycles,
+            "donor continues unperturbed ({model:?})"
+        );
         assert_eq!(first.machine.to_json_string(), full_machine);
     }
     if model == IcnModel::Express {
-        assert!(saw_legs, "no probed checkpoint caught an express leg in flight");
+        assert!(
+            saw_legs,
+            "no probed checkpoint caught an express leg in flight"
+        );
     }
 }
 
@@ -105,6 +144,85 @@ fn inflight_checkpoint_resumes_exactly_express() {
 #[test]
 fn inflight_checkpoint_resumes_exactly_perhop() {
     check_model(IcnModel::PerHop);
+}
+
+/// Decode-cache satellite (ISSUE 8): a mid-flight checkpoint taken while
+/// decoded replay is fast-forwarding compute bursts must resume
+/// bit-identically whether the resuming simulator re-enables the cache
+/// or runs interpreted — and vice versa, a cache-off donor's checkpoint
+/// resumes identically under cache-on. The cache itself never travels in
+/// the image: donors in either mode serialize byte-identical
+/// checkpoints, and a resumed cache rebuilds deterministically from the
+/// immutable program text.
+#[test]
+fn decode_cache_checkpoint_resumes_under_both_modes() {
+    let compiled = compute_heavy_program();
+    let with_decode = |decode: DecodeMode| {
+        let mut cfg = config(IcnModel::Express);
+        cfg.decode_cache = decode;
+        cfg
+    };
+
+    // Reference: the interpreted oracle straight through.
+    let mut full = compiled.simulator(&with_decode(DecodeMode::Off));
+    let full_sum = full.run().unwrap();
+    let full_stats = full.stats.to_json_string();
+    let full_machine = full.machine.to_json_string();
+
+    let target = full_sum.cycles / 2;
+    let snapshot = |decode: DecodeMode| {
+        let mut sim = compiled.simulator(&with_decode(decode));
+        sim.enable_host_profiling();
+        let ckpt = match sim.run_to_checkpoint_anytime(target).unwrap() {
+            CheckpointOutcome::Checkpoint(c) => c,
+            CheckpointOutcome::Done(_) => panic!("program ended before the checkpoint"),
+        };
+        (ckpt.to_json(), sim.host_profile().unwrap().replay_instrs)
+    };
+    let (cache_json, cache_replays) = snapshot(DecodeMode::Cache);
+    let (off_json, off_replays) = snapshot(DecodeMode::Off);
+    assert!(
+        cache_replays > 0,
+        "the donor should reach the checkpoint through decoded replay"
+    );
+    assert_eq!(off_replays, 0, "cache-off donor must never replay");
+    assert_eq!(
+        cache_json, off_json,
+        "decode state must not leak into the checkpoint bytes"
+    );
+
+    for resume_mode in [DecodeMode::Cache, DecodeMode::Off] {
+        let restored = xmtsim::checkpoint::Checkpoint::from_json(&cache_json).unwrap();
+        let cfg = with_decode(resume_mode);
+        let mut resumed = CycleSim::resume(compiled.executable().clone(), cfg, restored);
+        resumed.enable_host_profiling();
+        let sum = resumed.run().unwrap();
+        assert_eq!(
+            (sum.cycles, sum.time_ps, sum.instructions),
+            (full_sum.cycles, full_sum.time_ps, full_sum.instructions),
+            "resume under {resume_mode:?} must finish cycle-exact"
+        );
+        assert_eq!(
+            resumed.stats.to_json_string(),
+            full_stats,
+            "stats JSON ({resume_mode:?})"
+        );
+        assert_eq!(
+            resumed.machine.to_json_string(),
+            full_machine,
+            "machine ({resume_mode:?})"
+        );
+        let replays = resumed.host_profile().unwrap().replay_instrs;
+        match resume_mode {
+            DecodeMode::Cache => {
+                assert!(
+                    replays > 0,
+                    "a cache-on resume should rebuild blocks and replay"
+                )
+            }
+            DecodeMode::Off => assert_eq!(replays, 0, "a cache-off resume must stay interpreted"),
+        }
+    }
 }
 
 /// Mid-flight checkpoints compose with the quiescent flavour: a
@@ -123,11 +241,13 @@ fn quiescent_checkpoints_stay_quiescent() {
         CheckpointOutcome::Checkpoint(c) => c,
         CheckpointOutcome::Done(_) => panic!("ended early"),
     };
-    assert!(ckpt.is_quiescent(), "run_to_checkpoint waits for a quiescent instant");
+    assert!(
+        ckpt.is_quiescent(),
+        "run_to_checkpoint waits for a quiescent instant"
+    );
     assert_eq!(ckpt.inflight.pending_events(), 0);
 
-    let mut resumed =
-        CycleSim::resume(compiled.executable().clone(), cfg, *ckpt.clone());
+    let mut resumed = CycleSim::resume(compiled.executable().clone(), cfg, *ckpt.clone());
     let resumed_sum = resumed.run().unwrap();
     assert_eq!(resumed_sum.cycles, want.cycles);
     assert_eq!(resumed.machine.output, ref_sim.machine.output);
