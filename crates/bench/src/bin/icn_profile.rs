@@ -20,14 +20,44 @@
 //! were decoded, how often they were replayed, what fraction of retired
 //! instructions executed as decoded replay, and the fused-superinstruction
 //! and invalidation counts.
+//!
+//! With `--json`, the same runs are emitted as one machine-readable
+//! document instead of the tables: an array of
+//! `{"table", "workload", "variant", "metrics"}` entries where each
+//! `metrics` member is a full `xmtsim.metrics.v1` registry (the same
+//! schema `xmtsim-cli --metrics-out` writes).
 
 use xmt_bench::render_table;
+use xmt_harness::{Json, ToJson};
 use xmt_workloads::micro::{build, MicroGroup, MicroParams};
 use xmt_workloads::suite::{self, Variant};
 use xmtc::Options;
-use xmtsim::{DecodeMode, IcnModel, IssueModel, XmtConfig};
+use xmtsim::{DecodeMode, IcnModel, IssueModel, MetricsRegistry, XmtConfig};
+
+/// One run's JSON entry for `--json` mode.
+fn json_run(table: &str, workload: &str, variant: &str, metrics: &MetricsRegistry) -> Json {
+    Json::Obj(vec![
+        ("table".into(), Json::Str(table.into())),
+        ("workload".into(), Json::Str(workload.into())),
+        ("variant".into(), Json::Str(variant.into())),
+        ("metrics".into(), metrics.to_json()),
+    ])
+}
 
 fn main() {
+    let json_mode = {
+        let mut json = false;
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--json" => json = true,
+                other => {
+                    eprintln!("icn_profile: unknown argument `{other}` (only --json)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        json
+    };
     let params = MicroParams {
         threads: 2048,
         iters: 48,
@@ -36,6 +66,7 @@ fn main() {
     let opts = Options::default();
 
     let mut rows = Vec::new();
+    let mut json_runs: Vec<Json> = Vec::new();
     let mut profile = |name: &str, compiled: &xmt_core::Compiled| {
         for (model, label) in [
             (IcnModel::PerHop, "per-hop"),
@@ -45,8 +76,12 @@ fn main() {
             cfg.icn_model = model;
             let mut sim = compiled.simulator(&cfg);
             sim.enable_host_profiling();
-            sim.run().expect("runs");
+            let s = sim.run().expect("runs");
             let hp = sim.host_profile().unwrap().clone();
+            if json_mode {
+                let reg = MetricsRegistry::for_run(&s, &sim.stats, Some(&hp));
+                json_runs.push(json_run("icn", name, label, &reg));
+            }
             rows.push(vec![
                 name.to_string(),
                 label.to_string(),
@@ -78,27 +113,30 @@ fn main() {
     for (name, compiled) in workloads {
         profile(name, compiled);
     }
+    drop(profile);
 
-    println!("E2: share of simulator host time spent in the ICN/memory-system model\n");
-    println!(
-        "{}",
-        render_table(
-            &[
-                "workload",
-                "icn model",
-                "memory-model share",
-                "memory-model time",
-                "event-list time",
-                "compute events",
-                "memory events",
-                "express savings",
-            ],
-            &rows
-        )
-    );
-    println!("paper: up to 60% of simulation time in the interconnection network model");
-    println!("(the per-hop rows reproduce the paper's cost profile; the express rows");
-    println!(" show the same runs with hop events flattened into closed-form legs)");
+    if !json_mode {
+        println!("E2: share of simulator host time spent in the ICN/memory-system model\n");
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "workload",
+                    "icn model",
+                    "memory-model share",
+                    "memory-model time",
+                    "event-list time",
+                    "compute events",
+                    "memory events",
+                    "express savings",
+                ],
+                &rows
+            )
+        );
+        println!("paper: up to 60% of simulation time in the interconnection network model");
+        println!("(the per-hop rows reproduce the paper's cost profile; the express rows");
+        println!(" show the same runs with hop events flattened into closed-form legs)");
+    }
 
     // Second table: the *issue*-model profile — how much of the event
     // traffic is instruction stepping, and what the compute-burst path
@@ -118,6 +156,10 @@ fn main() {
             sim.enable_host_profiling();
             let s = sim.run().expect("runs");
             let hp = sim.host_profile().unwrap().clone();
+            if json_mode {
+                let reg = MetricsRegistry::for_run(&s, &sim.stats, Some(&hp));
+                json_runs.push(json_run("issue", name, label, &reg));
+            }
             let total_events = s.events.max(1);
             issue_rows.push(vec![
                 name.to_string(),
@@ -155,25 +197,27 @@ fn main() {
             ]);
         }
     }
-    println!("\nissue models: instruction-step event share and burst profile\n");
-    println!(
-        "{}",
-        render_table(
-            &[
-                "workload",
-                "issue model",
-                "issue-event share",
-                "bursts",
-                "mean len",
-                "len hist 1/2-3/../128+",
-                "breaks nonlocal/sample/boundary/cap",
-            ],
-            &issue_rows
-        )
-    );
-    println!("(burst rows issue one scheduler event per straight-line run; the break");
-    println!(" columns say which boundary ended each run — identical simulated results");
-    println!(" are enforced by the issue_burst_diff differential suite)");
+    if !json_mode {
+        println!("\nissue models: instruction-step event share and burst profile\n");
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "workload",
+                    "issue model",
+                    "issue-event share",
+                    "bursts",
+                    "mean len",
+                    "len hist 1/2-3/../128+",
+                    "breaks nonlocal/sample/boundary/cap",
+                ],
+                &issue_rows
+            )
+        );
+        println!("(burst rows issue one scheduler event per straight-line run; the break");
+        println!(" columns say which boundary ended each run — identical simulated results");
+        println!(" are enforced by the issue_burst_diff differential suite)");
+    }
 
     // Third table: the *decode*-mode profile — what the pre-decoded
     // basic-block cache does on top of burst issue (block and replay
@@ -191,6 +235,10 @@ fn main() {
             sim.enable_host_profiling();
             let s = sim.run().expect("runs");
             let hp = sim.host_profile().unwrap().clone();
+            if json_mode {
+                let reg = MetricsRegistry::for_run(&s, &sim.stats, Some(&hp));
+                json_runs.push(json_run("decode", name, label, &reg));
+            }
             decode_rows.push(vec![
                 name.to_string(),
                 label.to_string(),
@@ -204,6 +252,17 @@ fn main() {
                 format!("{}", hp.decode_invalidations),
             ]);
         }
+    }
+    if json_mode {
+        let doc = Json::Obj(vec![
+            (
+                "schema".into(),
+                Json::Str("xmtsim.bench.icn_profile.v1".into()),
+            ),
+            ("runs".into(), Json::Arr(json_runs)),
+        ]);
+        println!("{}", doc.encode());
+        return;
     }
     println!("\ndecode modes: basic-block cache and superinstruction profile\n");
     println!(

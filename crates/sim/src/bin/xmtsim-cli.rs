@@ -9,11 +9,20 @@
 //!            [--icn express|perhop] [--issue burst|perinstr]
 //!            [--engine sequential|parallel] [--threads N] [--decode cache|off]
 //!            [--functional] [--stats] [--dump GLOBAL:COUNT] [--cycles-limit N]
+//!            [--trace-out FILE] [--metrics-out FILE] [--obs-detail off|spans|full]
 //! ```
+//!
+//! `--trace-out` writes the run's timeline as Chrome `trace_event` JSON
+//! (load it in Perfetto or `chrome://tracing`); `--metrics-out` writes
+//! the `xmtsim.metrics.v1` registry (with host-profile metrics) as a
+//! `metrics.json` sidecar. Either flag enables observability; both runs
+//! stay bit-identical to unobserved ones (see `xmtsim::obs`).
 
 use std::process::ExitCode;
 use xmt_harness::FromJson;
-use xmtsim::{CycleSim, DecodeMode, EngineMode, FunctionalSim, IcnModel, IssueModel, XmtConfig};
+use xmtsim::{
+    CycleSim, DecodeMode, EngineMode, FunctionalSim, IcnModel, IssueModel, ObsDetail, XmtConfig,
+};
 
 fn usage() -> ! {
     eprintln!(
@@ -21,7 +30,8 @@ fn usage() -> ! {
          [--config fpga64|chip1024|tiny|FILE.json] [--icn express|perhop] \
          [--issue burst|perinstr] [--engine sequential|parallel] \
          [--threads N] [--decode cache|off] [--functional] [--stats] \
-         [--dump GLOBAL:COUNT] [--cycles-limit N]"
+         [--dump GLOBAL:COUNT] [--cycles-limit N] [--trace-out FILE] \
+         [--metrics-out FILE] [--obs-detail off|spans|full]"
     );
     std::process::exit(2)
 }
@@ -39,6 +49,9 @@ fn main() -> ExitCode {
     let mut engine_mode: Option<EngineMode> = None;
     let mut threads: Option<u32> = None;
     let mut decode_mode: Option<DecodeMode> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut obs_detail: Option<ObsDetail> = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -115,6 +128,16 @@ fn main() -> ExitCode {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--trace-out" => trace_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--metrics-out" => metrics_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--obs-detail" => {
+                obs_detail = Some(match it.next().as_deref() {
+                    Some("off") => ObsDetail::Off,
+                    Some("spans") => ObsDetail::Spans,
+                    Some("full") => ObsDetail::Full,
+                    _ => usage(),
+                })
+            }
             "--dump" => {
                 let spec = it.next().unwrap_or_else(|| usage());
                 let (name, count) = spec.split_once(':').unwrap_or_else(|| usage());
@@ -146,6 +169,17 @@ fn main() -> ExitCode {
     }
     if let Some(m) = decode_mode {
         config.decode_cache = m;
+    }
+    // Observability: an explicit --obs-detail wins; otherwise either
+    // output flag implies full detail (traces want both time domains).
+    if let Some(d) = obs_detail {
+        config.obs_detail = d;
+    } else if trace_out.is_some() || metrics_out.is_some() {
+        config.obs_detail = ObsDetail::Full;
+    }
+    if functional && (trace_out.is_some() || metrics_out.is_some()) {
+        eprintln!("xmtsim-cli: --trace-out/--metrics-out need the cycle model (drop --functional)");
+        return ExitCode::FAILURE;
     }
 
     let asm_text = match std::fs::read_to_string(&file) {
@@ -220,6 +254,14 @@ fn main() -> ExitCode {
         if let Some(l) = limit {
             sim.set_cycle_limit(l);
         }
+        if config.obs_detail != ObsDetail::Off {
+            // Periodic metric samples on the timeline (every 4096
+            // cluster cycles keeps long runs readable in Perfetto).
+            sim.set_obs_sample_interval(4096);
+        }
+        if metrics_out.is_some() {
+            sim.enable_host_profiling();
+        }
         match sim.run() {
             Ok(summary) => {
                 print!("{}", sim.machine.output.to_text());
@@ -235,6 +277,21 @@ fn main() -> ExitCode {
                 );
                 if stats {
                     eprint!("{}", sim.stats.report());
+                }
+                if let Some(path) = &trace_out {
+                    let json = sim.trace_json().expect("obs enabled with trace_out");
+                    if let Err(e) = std::fs::write(path, json) {
+                        eprintln!("xmtsim-cli: cannot write trace {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                if let Some(path) = &metrics_out {
+                    use xmt_harness::ToJson;
+                    let json = sim.metrics_registry().to_json_string();
+                    if let Err(e) = std::fs::write(path, json) {
+                        eprintln!("xmtsim-cli: cannot write metrics {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
                 dump_globals(&dumps, &sim.machine, sim.executable());
                 ExitCode::SUCCESS

@@ -122,6 +122,29 @@ pub enum DecodeMode {
 
 json_enum!(DecodeMode { Cache, Off });
 
+/// How much the observability layer (`crate::obs`) records.
+///
+/// Observability is a pure *observer*: unlike tracers and filter
+/// plug-ins it never degrades burst issue or invalidates the decode
+/// cache, and every hook is equivalence-preserving — the
+/// `obs_diff` differential suite proves runs with it enabled are
+/// bit-identical (cycles, simulated time, stats JSON, machine image) to
+/// runs with it `Off`, under both engines. `Off` is a true zero: no
+/// recorder is allocated and every hook is a single `Option` test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsDetail {
+    /// No observability state at all (the default).
+    Off,
+    /// Simulated-time tracks only: TCU occupancy, parallel sections, ICN
+    /// flights, cache-queue depths, DVFS markers, metric samples.
+    Spans,
+    /// `Spans` plus host-time tracks: scheduler windows, parallel-engine
+    /// offload barriers, decode-cache replays.
+    Full,
+}
+
+json_enum!(ObsDetail { Off, Spans, Full });
+
 /// The four independent clock domains whose frequencies an activity
 /// plug-in may retune at runtime (paper §III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -219,6 +242,8 @@ pub struct XmtConfig {
     pub threads: u32,
     /// Pre-decoded basic-block cache (burst + functional replay).
     pub decode_cache: DecodeMode,
+    /// Observability recording level (timeline + metric samples).
+    pub obs_detail: ObsDetail,
 
     // ---- per-cluster shared units ----
     /// Multiply latency on the cluster MDU (cluster cycles, pipelined).
@@ -283,6 +308,7 @@ json_struct!(XmtConfig {
     engine_mode,
     threads,
     decode_cache,
+    obs_detail,
     mul_latency,
     div_latency,
     fpu_add_latency,
@@ -393,6 +419,7 @@ impl XmtConfig {
             engine_mode: EngineMode::Sequential,
             threads: 4,
             decode_cache: DecodeMode::Cache,
+            obs_detail: ObsDetail::Off,
             mul_latency: 3,
             div_latency: 16,
             fpu_add_latency: 4,
@@ -434,6 +461,7 @@ impl XmtConfig {
             engine_mode: EngineMode::Sequential,
             threads: 4,
             decode_cache: DecodeMode::Cache,
+            obs_detail: ObsDetail::Off,
             mul_latency: 3,
             div_latency: 16,
             fpu_add_latency: 4,
@@ -567,9 +595,34 @@ mod tests {
         assert_eq!(back, c);
         back.validate().unwrap();
 
-        let text = text.replace("\"Off\"", "\"Cache\"");
+        let text = text.replace("\"decode_cache\":\"Off\"", "\"decode_cache\":\"Cache\"");
         let back = XmtConfig::from_json_str(&text).unwrap();
         assert_eq!(back.decode_cache, DecodeMode::Cache);
+        back.validate().unwrap();
+    }
+
+    /// The `obs_detail` knob follows the same contract as `decode_cache`:
+    /// presets default to `Off`, the field round-trips through config
+    /// JSON, and a JSON image naming any level loads to that level.
+    #[test]
+    fn obs_detail_field_loads_from_json() {
+        use xmt_harness::{FromJson, ToJson};
+
+        assert_eq!(XmtConfig::fpga64().obs_detail, ObsDetail::Off);
+        assert_eq!(XmtConfig::chip1024().obs_detail, ObsDetail::Off);
+        assert_eq!(XmtConfig::tiny().obs_detail, ObsDetail::Off);
+
+        let mut c = XmtConfig::tiny();
+        c.obs_detail = ObsDetail::Full;
+        let text = c.to_json_string();
+        assert!(text.contains("obs_detail"), "field missing from JSON: {text}");
+        let back = XmtConfig::from_json_str(&text).unwrap();
+        assert_eq!(back, c);
+        back.validate().unwrap();
+
+        let text = text.replace("\"Full\"", "\"Spans\"");
+        let back = XmtConfig::from_json_str(&text).unwrap();
+        assert_eq!(back.obs_detail, ObsDetail::Spans);
         back.validate().unwrap();
     }
 }

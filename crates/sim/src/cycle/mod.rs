@@ -33,7 +33,7 @@ mod parallel;
 pub mod prefetch;
 
 use crate::config::{
-    ClockDomain, DecodeMode, EngineMode, IcnModel, IcnTiming, IssueModel, XmtConfig,
+    ClockDomain, DecodeMode, EngineMode, IcnModel, IcnTiming, IssueModel, ObsDetail, XmtConfig,
 };
 use crate::decode::{Cursor, DecodeCache, ReplayEnv};
 use crate::engine::{
@@ -41,6 +41,7 @@ use crate::engine::{
 };
 use crate::exec::{self, CostClass, Issued, MemKind, MemRequest, Mode};
 use crate::machine::{Machine, ThreadCtx, Trap};
+use crate::obs::{MetricsRegistry, Obs};
 use crate::stats::{stats_delta, ActivityPlugin, ActivitySample, FilterPlugin, RuntimeCtl, Stats};
 use crate::trace::{TraceEvent, Tracer};
 use cachesim::CacheTags;
@@ -539,6 +540,11 @@ pub struct CycleSim {
     decode: Option<DecodeCache>,
 
     host_profile: Option<HostProfile>,
+    /// Observability recorder ([`ObsDetail`] ≠ `Off`): timeline spans and
+    /// counters in both time domains. A pure observer — never consulted
+    /// by the timing model, so enabling it is bit-identity-preserving
+    /// (unlike tracers/filters, which degrade burst issue by design).
+    obs: Option<Box<Obs>>,
     max_cycles: Option<u64>,
     max_instrs: Option<u64>,
     checkpoint_at: Option<u64>,
@@ -625,6 +631,7 @@ impl CycleSim {
             tracer: None,
             decode: (cfg.decode_cache == DecodeMode::Cache).then(|| DecodeCache::new(exe.len())),
             host_profile: None,
+            obs: (cfg.obs_detail != ObsDetail::Off).then(|| Box::new(Obs::new(cfg.obs_detail, &cfg))),
             max_cycles: None,
             max_instrs: None,
             checkpoint_at: None,
@@ -788,6 +795,39 @@ impl CycleSim {
         self.host_profile.as_ref()
     }
 
+    /// The observability recorder, if `cfg.obs_detail` enabled one.
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.as_deref()
+    }
+
+    /// Sample observability metric counters onto the timeline every
+    /// `interval_cycles` cluster cycles. Reuses the activity-plug-in
+    /// sampling boundary, so the schedule (and therefore burst clipping)
+    /// is identical to attaching an [`ActivityPlugin`] at the same
+    /// interval. No-op when observability is off.
+    pub fn set_obs_sample_interval(&mut self, interval_cycles: u64) {
+        if self.obs.is_none() {
+            return;
+        }
+        let iv = interval_cycles.max(1) * self.period_ps[ClockDomain::Cluster as usize];
+        self.sample_interval = Some(match self.sample_interval {
+            Some(cur) => cur.min(iv),
+            None => iv,
+        });
+    }
+
+    /// The recorded timeline as Chrome `trace_event` JSON text, if
+    /// observability is enabled.
+    pub fn trace_json(&self) -> Option<String> {
+        self.obs.as_ref().map(|o| o.timeline.to_json_string())
+    }
+
+    /// The full metrics registry for the run so far (`sim.*` always,
+    /// `host.*` when host profiling is enabled).
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        MetricsRegistry::for_run(&self.summary(), &self.stats, self.host_profile.as_ref())
+    }
+
     /// Attach an execution tracer. Tracing degrades [`IssueModel::Burst`]
     /// to per-instruction stepping (see [`Self::burst_issue`]), which
     /// also takes decoded replay out of the path — its cached blocks are
@@ -882,6 +922,9 @@ impl CycleSim {
         self.cycles_base = self.cycles_at(now);
         self.period_changed_at = now;
         self.period_ps = new;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.dvfs_epoch(now, new);
+        }
         // New clock-period epoch: invalidate the precomputed route
         // offsets (only synchronous timing is period-dependent, but
         // period changes are rare and rebuilding is cheap) and bring the
@@ -1082,10 +1125,19 @@ impl CycleSim {
                 return Ok(Outcome::Done(self.summary()));
             }
             let profile = self.host_profile.is_some();
-            let s0 = profile.then(std::time::Instant::now);
+            let obs_host = self.obs.as_deref().is_some_and(Obs::host_detail);
+            let s0 = (profile || obs_host).then(std::time::Instant::now);
             let group = self.sched.pop_cycle(&mut batch);
-            if let (Some(s0), Some(hp)) = (s0, self.host_profile.as_mut()) {
-                hp.sched_s += s0.elapsed().as_secs_f64();
+            if let Some(s0) = s0 {
+                let dt = s0.elapsed();
+                if let Some(hp) = self.host_profile.as_mut() {
+                    hp.sched_s += dt.as_secs_f64();
+                }
+                if obs_host {
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.sched_window(dt);
+                    }
+                }
             }
             let Some((now, pri)) = group else {
                 return if self.machine.halted {
@@ -1390,6 +1442,11 @@ impl CycleSim {
             hp.replay_instrs += cur.executed;
             hp.fusions += cur.fused;
         }
+        if let Some(o) = self.obs.as_deref_mut() {
+            if o.host_detail() {
+                o.decode_replays(cur.replays);
+            }
+        }
     }
 
     /// Extend a just-issued master instruction into a compute burst
@@ -1554,6 +1611,9 @@ impl CycleSim {
             tcu.parked = false;
             tcu.fence_wait = false;
             tcu.pbuf.clear();
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.tcu_activate(now, self.cfg.cluster_of(t as u32), t as u32);
+            }
             self.schedule_ev(now, PRI_DEFAULT, Ev::TcuStep(t as u32));
         }
     }
@@ -1565,6 +1625,9 @@ impl CycleSim {
             let done = now + self.cfg.spawn_overhead as Time * self.p(ClockDomain::Cluster);
             if let Some(rec) = self.stats.spawn_records.last_mut() {
                 rec.end_ps = done;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.spawn_section(rec.threads, rec.start_ps, done);
+                }
             }
             self.schedule_ev(done, PRI_DEFAULT, Ev::MasterStep);
         }
@@ -1626,6 +1689,9 @@ impl CycleSim {
                 self.tcus[t as usize].parked = true;
                 if let Some(par) = &mut self.par {
                     par.parked += 1;
+                }
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.tcu_park(now, cluster, t);
                 }
                 self.maybe_join(now);
             }
@@ -1937,6 +2003,10 @@ impl CycleSim {
         let dp = self.p(ClockDomain::Dram);
         let m = self.cfg.module_of(req.addr) as usize;
         self.stats.module_accesses[m] += 1;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.mem_flight(tcu, tcu == MASTER_ID, m as u32, req.pc, issued_at, now);
+            o.module_enqueue(m as u32, now);
+        }
 
         let tag = now.max(self.module_free[m]);
         self.module_free[m] = tag + gp; // tag check pipelined
@@ -1993,6 +2063,10 @@ impl CycleSim {
     /// network.
     fn service(&mut self, now: Time, tcu: u32, req: MemRequest, done: Time, issued_at: Time) {
         debug_assert_eq!(done, now);
+        if let Some(o) = self.obs.as_deref_mut() {
+            let m = self.cfg.module_of(req.addr);
+            o.module_dequeue(m, now);
+        }
         if let Some(tr) = &mut self.tracer {
             tr.record(TraceEvent::Service {
                 time: now,
@@ -2108,6 +2182,9 @@ impl CycleSim {
             }
         }
         self.activities = acts;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.sample_metrics(now, &self.stats);
+        }
         self.apply_periods(ctl.period_ps);
         if ctl.stop {
             self.stop_requested = true;

@@ -317,7 +317,8 @@ impl CycleSim {
                 return Ok(Outcome::Done(self.summary()));
             }
             let profile = self.host_profile.is_some();
-            let s0 = profile.then(std::time::Instant::now);
+            let obs_host = self.obs.as_deref().is_some_and(crate::obs::Obs::host_detail);
+            let s0 = (profile || obs_host).then(std::time::Instant::now);
             // The window bound: the globally smallest pending
             // (time, priority) — the barrier every shard advances to.
             let mut key = self.sched.peek_key();
@@ -347,8 +348,16 @@ impl CycleSim {
             merged.sort_unstable_by_key(|&(seq, _)| seq);
             batch.clear();
             batch.extend(merged.drain(..).map(|(_, ev)| ev));
-            if let (Some(s0), Some(hp)) = (s0, self.host_profile.as_mut()) {
-                hp.sched_s += s0.elapsed().as_secs_f64();
+            if let Some(s0) = s0 {
+                let dt = s0.elapsed();
+                if let Some(hp) = self.host_profile.as_mut() {
+                    hp.sched_s += dt.as_secs_f64();
+                }
+                if obs_host {
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.sched_window(dt);
+                    }
+                }
             }
             // From here on: the same checks, re-sorts and walk as the
             // sequential engine, with phase-A commits spliced in.
@@ -545,6 +554,11 @@ impl CycleSim {
         }
         // The barrier: nothing on `self` may be touched until every
         // worker has replied (see `TcuPtr` safety).
+        let b0 = self
+            .obs
+            .as_deref()
+            .is_some_and(crate::obs::Obs::host_detail)
+            .then(std::time::Instant::now);
         results.resize_with(batch.len(), || None);
         for _ in 0..expected {
             let dones = res_rx
@@ -554,6 +568,9 @@ impl CycleSim {
                 let idx = d.idx;
                 results[idx] = Some(d);
             }
+        }
+        if let (Some(b0), Some(o)) = (b0, self.obs.as_deref_mut()) {
+            o.offload_barrier(n_tasks, b0.elapsed());
         }
     }
 
@@ -577,6 +594,11 @@ impl CycleSim {
             hp.block_replays += r.replays;
             hp.replay_instrs += r.replay_instrs;
             hp.fusions += r.fused;
+        }
+        if let Some(o) = self.obs.as_deref_mut() {
+            if o.host_detail() {
+                o.decode_replays(r.replays);
+            }
         }
         self.schedule_ev(r.done, PRI_DEFAULT, Ev::TcuStep(r.tcu));
     }

@@ -312,6 +312,118 @@ pub fn run_all_engines(
     })
 }
 
+/// The engine rows [`check_obs_transparent`] pairs obs-off against
+/// obs-on: both issue models through the sequential engine, plus the
+/// batched default on the parallel engine and under decoded replay —
+/// the configurations whose burst/offload fast paths would be the first
+/// to notice an observer that wasn't pure.
+pub const OBS_ENGINE_ROWS: [(IssueModel, IcnModel, EngineMode, u32, DecodeMode); 4] = [
+    (
+        IssueModel::Burst,
+        IcnModel::Express,
+        EngineMode::Sequential,
+        0,
+        DecodeMode::Off,
+    ),
+    (
+        IssueModel::PerInstr,
+        IcnModel::PerHop,
+        EngineMode::Sequential,
+        0,
+        DecodeMode::Off,
+    ),
+    (
+        IssueModel::Burst,
+        IcnModel::Express,
+        EngineMode::Parallel,
+        2,
+        DecodeMode::Cache,
+    ),
+    (
+        IssueModel::Burst,
+        IcnModel::Express,
+        EngineMode::Sequential,
+        0,
+        DecodeMode::Cache,
+    ),
+];
+
+/// Prove observability is a pure observer: for every [`OBS_ENGINE_ROWS`]
+/// configuration, run `exe` with `obs_detail = Off` and again with
+/// `Full` (periodic metric sampling and host profiling on — the
+/// worst-case recording load), and assert the two runs are bit-identical
+/// in cycles, simulated time, instruction count, statistics record and
+/// final machine image. Also asserts the obs run actually recorded a
+/// non-empty timeline, so a recorder wired to nothing can't pass
+/// trivially.
+pub fn check_obs_transparent(
+    exe: &Executable,
+    cfg: &XmtConfig,
+    instr_limit: u64,
+) -> Result<(), String> {
+    for (issue, icn, engine, threads, decode) in OBS_ENGINE_ROWS {
+        let off = run_cycle_engine(exe, cfg, issue, icn, engine, threads, decode, instr_limit)
+            .map_err(|e| format!("obs-off run failed: {e}"))?;
+        let mut on_cfg = cfg.clone();
+        on_cfg.issue_model = issue;
+        on_cfg.icn_model = icn;
+        on_cfg.engine_mode = engine;
+        on_cfg.decode_cache = decode;
+        on_cfg.obs_detail = crate::config::ObsDetail::Full;
+        if engine == EngineMode::Parallel {
+            on_cfg.threads = threads;
+        }
+        let mut sim = CycleSim::new(exe.clone(), on_cfg);
+        sim.set_instr_limit(instr_limit);
+        sim.set_obs_sample_interval(64);
+        sim.enable_host_profiling();
+        let s = sim
+            .run()
+            .map_err(|e| format!("obs-on {} run failed: {e}", off.label()))?;
+        let label = off.label();
+        if s.cycles != off.cycles {
+            return Err(format!(
+                "{label}: obs-on cycles {} != obs-off {}",
+                s.cycles, off.cycles
+            ));
+        }
+        if s.time_ps != off.time_ps {
+            return Err(format!(
+                "{label}: obs-on time_ps {} != obs-off {}",
+                s.time_ps, off.time_ps
+            ));
+        }
+        if s.instructions != off.instructions {
+            return Err(format!(
+                "{label}: obs-on instructions {} != obs-off {}",
+                s.instructions, off.instructions
+            ));
+        }
+        let stats_json = sim.stats.to_json_string();
+        if stats_json != off.stats_json {
+            return Err(format!(
+                "{label}: obs-on stats diverge at {}",
+                first_divergence(&stats_json, &off.stats_json)
+            ));
+        }
+        let machine_json = sim.machine.to_json_string();
+        if machine_json != off.machine_json {
+            return Err(format!(
+                "{label}: obs-on machine state diverges at {}",
+                first_divergence(&machine_json, &off.machine_json)
+            ));
+        }
+        let recorded = sim.obs().map_or(0, |o| o.timeline.records().len());
+        if recorded == 0 {
+            return Err(format!(
+                "{label}: obs-on run recorded nothing — the transparency \
+                 check would be vacuous"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// First differing byte of two strings, with context — JSON blobs are
 /// huge, so a targeted excerpt beats dumping both sides.
 fn first_divergence(a: &str, b: &str) -> String {
@@ -568,6 +680,12 @@ mod tests {
         let msg = all.check_cycle_identical().unwrap_err();
         assert!(msg.contains("PerInstr×Express"), "{msg}");
         assert!(msg.contains("cycles"), "{msg}");
+    }
+
+    #[test]
+    fn obs_full_is_bit_identical_on_racefree_program() {
+        let exe = racefree_program();
+        check_obs_transparent(&exe, &XmtConfig::tiny(), 1 << 20).unwrap();
     }
 
     #[test]

@@ -33,13 +33,15 @@ pub mod exec;
 pub mod floorplan;
 pub mod functional;
 pub mod machine;
+pub mod obs;
 pub mod phase;
 pub mod power;
 pub mod stats;
 pub mod trace;
 
-pub use config::{DecodeMode, EngineMode, IcnModel, IssueModel, XmtConfig};
+pub use config::{DecodeMode, EngineMode, IcnModel, IssueModel, ObsDetail, XmtConfig};
 pub use cycle::CycleSim;
+pub use obs::{MetricsRegistry, Timeline};
 pub use differential::{run_all_engines, AllEngines, FunctionalCheck};
 pub use exec::{CostClass, Issued, MemKind, MemRequest, Mode};
 pub use functional::FunctionalSim;

@@ -1,0 +1,353 @@
+//! Span/counter timeline recorder with Chrome `trace_event` export.
+//!
+//! The recorder keeps one flat vector of [`TraceRecord`]s in two time
+//! domains — *simulated* time (picoseconds of the discrete-event clock)
+//! and *host* time (nanoseconds of wall clock since the recorder was
+//! created) — and serializes them into the Chrome `trace_event` JSON
+//! format, loadable in Perfetto or `chrome://tracing`. Each domain
+//! becomes one "process" (pid 1 = simulated time, pid 2 = host time) so
+//! the two clock bases never share an axis; tracks inside a domain are
+//! "threads" with human-readable `thread_name` metadata.
+//!
+//! Recording is bounded: past `max_records` new records are counted in
+//! `dropped` instead of stored (the same guard [`crate::trace::Tracer`]
+//! uses), and the export carries the drop count so truncation is never
+//! silent.
+
+use std::collections::BTreeMap;
+use xmt_harness::Json;
+
+/// Which clock a record's timestamps belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeDomain {
+    /// Simulated picoseconds (the discrete-event clock).
+    Sim,
+    /// Host nanoseconds since the recorder was created.
+    Host,
+}
+
+impl TimeDomain {
+    /// The trace_event "process" this domain renders as.
+    pub fn pid(self) -> u32 {
+        match self {
+            TimeDomain::Sim => 1,
+            TimeDomain::Host => 2,
+        }
+    }
+
+    fn process_name(self) -> &'static str {
+        match self {
+            TimeDomain::Sim => "simulated time",
+            TimeDomain::Host => "host time",
+        }
+    }
+
+    /// Convert a domain timestamp to trace_event microseconds.
+    fn to_us(self, t: u64) -> f64 {
+        match self {
+            TimeDomain::Sim => t as f64 / 1e6,  // ps → µs
+            TimeDomain::Host => t as f64 / 1e3, // ns → µs
+        }
+    }
+}
+
+/// The record shape (maps onto a trace_event `ph`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ph {
+    /// A complete span (`ph: "X"`): starts at `ts`, lasts `dur`.
+    Span { dur: u64 },
+    /// A counter sample (`ph: "C"`): track value at `ts`.
+    Counter { value: i64 },
+    /// A point marker (`ph: "i"`).
+    Instant,
+}
+
+/// One recorded timeline entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    pub domain: TimeDomain,
+    /// Track within the domain (trace_event `tid`).
+    pub tid: u32,
+    pub name: String,
+    /// Event category (trace_event `cat`), used for filtering in the UI.
+    pub cat: &'static str,
+    /// Start timestamp in the domain's native unit (ps or ns).
+    pub ts: u64,
+    pub ph: Ph,
+}
+
+impl TraceRecord {
+    /// End of the record on its track (spans extend past `ts`).
+    fn end(&self) -> u64 {
+        match self.ph {
+            Ph::Span { dur } => self.ts + dur,
+            _ => self.ts,
+        }
+    }
+}
+
+/// Bounded recorder for both time domains.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    records: Vec<TraceRecord>,
+    /// Human-readable names for (pid, tid) tracks, emitted as
+    /// `thread_name` metadata.
+    track_names: BTreeMap<(u32, u32), String>,
+    max_records: usize,
+    dropped: u64,
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Timeline::new()
+    }
+}
+
+impl Timeline {
+    /// A recorder with the default record cap.
+    pub fn new() -> Self {
+        Timeline {
+            records: Vec::new(),
+            track_names: BTreeMap::new(),
+            max_records: 1 << 20,
+            dropped: 0,
+        }
+    }
+
+    /// Cap the number of stored records.
+    pub fn with_max_records(mut self, max: usize) -> Self {
+        self.max_records = max;
+        self
+    }
+
+    /// Register a human-readable name for a track. Idempotent; the first
+    /// registration wins.
+    pub fn name_track(&mut self, domain: TimeDomain, tid: u32, name: &str) {
+        self.track_names
+            .entry((domain.pid(), tid))
+            .or_insert_with(|| name.to_string());
+    }
+
+    fn push(&mut self, r: TraceRecord) {
+        if self.records.len() >= self.max_records {
+            self.dropped += 1;
+            return;
+        }
+        self.records.push(r);
+    }
+
+    /// Record a complete span `[ts, ts + dur]`.
+    pub fn span(
+        &mut self,
+        domain: TimeDomain,
+        tid: u32,
+        name: impl Into<String>,
+        cat: &'static str,
+        ts: u64,
+        dur: u64,
+    ) {
+        self.push(TraceRecord {
+            domain,
+            tid,
+            name: name.into(),
+            cat,
+            ts,
+            ph: Ph::Span { dur },
+        });
+    }
+
+    /// Record a counter sample.
+    pub fn counter(
+        &mut self,
+        domain: TimeDomain,
+        tid: u32,
+        name: impl Into<String>,
+        cat: &'static str,
+        ts: u64,
+        value: i64,
+    ) {
+        self.push(TraceRecord {
+            domain,
+            tid,
+            name: name.into(),
+            cat,
+            ts,
+            ph: Ph::Counter { value },
+        });
+    }
+
+    /// Record an instant marker.
+    pub fn instant(
+        &mut self,
+        domain: TimeDomain,
+        tid: u32,
+        name: impl Into<String>,
+        cat: &'static str,
+        ts: u64,
+    ) {
+        self.push(TraceRecord {
+            domain,
+            tid,
+            name: name.into(),
+            cat,
+            ts,
+            ph: Ph::Instant,
+        });
+    }
+
+    /// The recorded entries, in recording order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records dropped at the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Serialize to a Chrome `trace_event` JSON value: metadata first
+    /// (process/thread names), then all records sorted by
+    /// `(pid, tid, ts, end)` so every track reads in time order.
+    pub fn to_chrome_json(&self) -> Json {
+        let mut events: Vec<Json> = Vec::new();
+        for domain in [TimeDomain::Sim, TimeDomain::Host] {
+            if self.records.iter().any(|r| r.domain == domain)
+                || self.track_names.keys().any(|&(p, _)| p == domain.pid())
+            {
+                events.push(Json::Obj(vec![
+                    ("ph".into(), Json::Str("M".into())),
+                    ("pid".into(), Json::U(domain.pid() as u64)),
+                    ("name".into(), Json::Str("process_name".into())),
+                    (
+                        "args".into(),
+                        Json::Obj(vec![(
+                            "name".into(),
+                            Json::Str(domain.process_name().into()),
+                        )]),
+                    ),
+                ]));
+            }
+        }
+        for (&(pid, tid), name) in &self.track_names {
+            events.push(Json::Obj(vec![
+                ("ph".into(), Json::Str("M".into())),
+                ("pid".into(), Json::U(pid as u64)),
+                ("tid".into(), Json::U(tid as u64)),
+                ("name".into(), Json::Str("thread_name".into())),
+                (
+                    "args".into(),
+                    Json::Obj(vec![("name".into(), Json::Str(name.clone()))]),
+                ),
+            ]));
+        }
+        let mut order: Vec<usize> = (0..self.records.len()).collect();
+        order.sort_by_key(|&i| {
+            let r = &self.records[i];
+            (r.domain.pid(), r.tid, r.ts, r.end())
+        });
+        for i in order {
+            let r = &self.records[i];
+            let mut obj = vec![
+                (
+                    "ph".into(),
+                    Json::Str(
+                        match r.ph {
+                            Ph::Span { .. } => "X",
+                            Ph::Counter { .. } => "C",
+                            Ph::Instant => "i",
+                        }
+                        .into(),
+                    ),
+                ),
+                ("pid".into(), Json::U(r.domain.pid() as u64)),
+                ("tid".into(), Json::U(r.tid as u64)),
+                ("name".into(), Json::Str(r.name.clone())),
+                ("cat".into(), Json::Str(r.cat.into())),
+                ("ts".into(), Json::F(r.domain.to_us(r.ts))),
+            ];
+            match r.ph {
+                Ph::Span { dur } => {
+                    obj.push(("dur".into(), Json::F(r.domain.to_us(dur))));
+                }
+                Ph::Counter { value } => {
+                    obj.push((
+                        "args".into(),
+                        Json::Obj(vec![("value".into(), Json::I(value))]),
+                    ));
+                }
+                Ph::Instant => {
+                    // Thread-scoped marker.
+                    obj.push(("s".into(), Json::Str("t".into())));
+                }
+            }
+            events.push(Json::Obj(obj));
+        }
+        Json::Obj(vec![
+            ("traceEvents".into(), Json::Arr(events)),
+            ("displayTimeUnit".into(), Json::Str("ns".into())),
+            // Extension field (ignored by viewers): truncation is never
+            // silent.
+            ("droppedRecords".into(), Json::U(self.dropped)),
+        ])
+    }
+
+    /// Serialize to Chrome `trace_event` JSON text.
+    pub fn to_json_string(&self) -> String {
+        self.to_chrome_json().encode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_sorts_each_track_by_time() {
+        let mut tl = Timeline::new();
+        tl.name_track(TimeDomain::Sim, 7, "t7");
+        // Recorded out of start order (spans are recorded at completion).
+        tl.span(TimeDomain::Sim, 7, "b", "test", 2_000_000, 1_000_000);
+        tl.span(TimeDomain::Sim, 7, "a", "test", 1_000_000, 500_000);
+        let j = tl.to_chrome_json();
+        let obj = j.as_obj().unwrap();
+        let events = obj
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .unwrap()
+            .1
+            .as_arr()
+            .unwrap();
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| {
+                let m = e.as_obj().ok()?;
+                let ph = m.iter().find(|(k, _)| k == "ph")?.1.clone();
+                if ph != Json::Str("X".into()) {
+                    return None;
+                }
+                match &m.iter().find(|(k, _)| k == "name")?.1 {
+                    Json::Str(s) => Some(s.as_str()),
+                    _ => None,
+                }
+            })
+            .collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn cap_counts_dropped_records() {
+        let mut tl = Timeline::new().with_max_records(1);
+        tl.instant(TimeDomain::Host, 0, "x", "test", 1);
+        tl.instant(TimeDomain::Host, 0, "y", "test", 2);
+        assert_eq!(tl.records().len(), 1);
+        assert_eq!(tl.dropped(), 1);
+        assert!(tl.to_json_string().contains("\"droppedRecords\":1"));
+    }
+
+    #[test]
+    fn timestamps_convert_to_microseconds() {
+        // 3_000_000 ps = 3 µs (sim); 4_000 ns = 4 µs (host).
+        assert_eq!(TimeDomain::Sim.to_us(3_000_000), 3.0);
+        assert_eq!(TimeDomain::Host.to_us(4_000), 4.0);
+    }
+}

@@ -175,7 +175,10 @@ impl Tracer {
             s.push('\n');
         }
         if self.dropped > 0 {
-            s.push_str(&format!("... {} records dropped\n", self.dropped));
+            s.push_str(&format!(
+                "... {} records dropped (max_records={})\n",
+                self.dropped, self.max_records
+            ));
         }
         s
     }
@@ -219,6 +222,25 @@ mod tests {
         assert_eq!(t.records().len(), 2);
         assert_eq!(t.dropped(), 3);
         assert!(t.to_text().contains("3 records dropped"));
+    }
+
+    /// Regression: the truncation footer used to omit the cap, so a
+    /// reader couldn't tell how to raise it. It must name `max_records`.
+    #[test]
+    fn truncation_footer_names_the_cap() {
+        let mut t = Tracer::new(TraceLevel::CycleAccurate).with_max_records(2);
+        for k in 0..5 {
+            t.record(TraceEvent::Issue { time: k, tcu: Some(0), pc: 0 });
+        }
+        let text = t.to_text();
+        assert!(
+            text.contains("... 3 records dropped (max_records=2)"),
+            "footer missing or unspecific: {text}"
+        );
+        // No footer at all when nothing was dropped.
+        let mut t = Tracer::new(TraceLevel::CycleAccurate);
+        t.record(TraceEvent::Issue { time: 0, tcu: Some(0), pc: 0 });
+        assert!(!t.to_text().contains("dropped"));
     }
 
     #[test]

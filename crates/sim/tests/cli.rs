@@ -109,6 +109,61 @@ fn parallel_engine_matches_sequential_output() {
 }
 
 #[test]
+fn trace_and_metrics_sidecars_are_written_and_parse() {
+    let xs = write_tmp("o.xs", ASM);
+    let xbo = write_tmp("o.xbo", MAP);
+    let trace = std::env::temp_dir().join(format!("xmtsim_cli_o_{}.trace.json", std::process::id()));
+    let metrics = std::env::temp_dir().join(format!("xmtsim_cli_o_{}.metrics.json", std::process::id()));
+    let out = cli()
+        .arg(&xs)
+        .args(["--config", "tiny", "--dump", "A:8"])
+        .arg("--memmap")
+        .arg(&xbo)
+        .arg("--trace-out")
+        .arg(&trace)
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // Observability must not change the simulated result.
+    assert!(String::from_utf8_lossy(&out.stdout).contains("A = [11, 12, 13, 14, 15, 16, 17, 18]"));
+
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    let doc = xmt_harness::Json::parse(&trace_text).unwrap();
+    let members = doc.as_obj().unwrap();
+    let events = members
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .expect("traceEvents present")
+        .1
+        .as_arr()
+        .unwrap();
+    assert!(!events.is_empty(), "trace has events");
+
+    let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+    use xmt_harness::FromJson;
+    let reg = xmtsim::MetricsRegistry::from_json_str(&metrics_text).unwrap();
+    assert!(reg.get("sim.cycles").is_some());
+    assert!(reg.get("host.sched_s").is_some(), "host profile included");
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&metrics);
+}
+
+#[test]
+fn functional_mode_rejects_obs_outputs() {
+    let xs = write_tmp("fo.xs", ASM);
+    let out = cli()
+        .arg(&xs)
+        .args(["--functional", "--trace-out", "/dev/null"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cycle model"), "{err}");
+}
+
+#[test]
 fn invalid_config_is_an_error_not_a_panic() {
     // dram_channels = 0 must surface as a clean CLI error (the
     // validation added with CycleSim::try_new), not a crash at the

@@ -1,0 +1,267 @@
+//! Trace-export and metrics-schema tests for the observability layer.
+//!
+//! The Chrome `trace_event` document `CycleSim::trace_json` writes must
+//! survive a round trip through the harness JSON parser, carry both time
+//! domains under full detail, and keep every track internally
+//! time-ordered; the `xmtsim.metrics.v1` registry must round-trip
+//! value-exactly. A run interrupted by a mid-flight checkpoint and
+//! resumed from its serialized JSON must still produce a well-formed
+//! timeline — in particular, non-overlapping spans on the spawn-section
+//! and per-TCU occupancy tracks.
+
+use xmt_harness::{FromJson, Json, ToJson};
+use xmt_isa::Executable;
+use xmtsim::checkpoint::{Checkpoint, CheckpointOutcome};
+use xmtsim::config::ObsDetail;
+use xmtsim::obs::{TimeDomain, TraceRecord, TID_MASTER_MEM, TID_SECTIONS, TID_TCU0};
+use xmtsim::{CycleSim, MetricsRegistry, XmtConfig};
+
+/// A spawn-heavy workload that exercises every simulated-time track.
+fn workload() -> Executable {
+    let src = "
+        int A[64]; int N = 64;
+        void main() {
+            spawn(0, N - 1) { A[$] = A[$] + $; }
+            spawn(0, N - 1) { A[$] = A[$] * 2; }
+            print(A[5]);
+        }
+    ";
+    let out = xmtc::compile_default(src).unwrap();
+    out.asm.link(out.memmap).unwrap()
+}
+
+fn full_obs_sim(exe: Executable) -> CycleSim {
+    let mut cfg = XmtConfig::tiny();
+    cfg.obs_detail = ObsDetail::Full;
+    let mut sim = CycleSim::new(exe, cfg);
+    sim.set_obs_sample_interval(64);
+    sim.enable_host_profiling();
+    sim
+}
+
+/// Pull `traceEvents` out of a parsed trace document.
+fn trace_events(doc: &Json) -> &[Json] {
+    let members = doc.as_obj().expect("top level is an object");
+    members
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .expect("has traceEvents")
+        .1
+        .as_arr()
+        .expect("traceEvents is an array")
+}
+
+fn field<'j>(event: &'j Json, key: &str) -> Option<&'j Json> {
+    event
+        .as_obj()
+        .ok()?
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+fn str_field(event: &Json, key: &str) -> Option<String> {
+    match field(event, key) {
+        Some(Json::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn num_field(event: &Json, key: &str) -> Option<f64> {
+    match field(event, key) {
+        Some(Json::F(v)) => Some(*v),
+        Some(Json::U(v)) => Some(*v as f64),
+        Some(Json::I(v)) => Some(*v as f64),
+        _ => None,
+    }
+}
+
+/// The exported trace parses back through the harness JSON layer, the
+/// re-encoding is byte-identical (the encoder is canonical), both time
+/// domains are present under full detail, and every event carries the
+/// fields its phase requires.
+#[test]
+fn trace_json_round_trips_with_both_time_domains() {
+    let mut sim = full_obs_sim(workload());
+    sim.run().expect("runs");
+    let text = sim.trace_json().expect("obs enabled");
+    let doc = Json::parse(&text).expect("trace parses");
+    assert_eq!(doc.encode(), text, "encoder is canonical");
+
+    let events = trace_events(&doc);
+    assert!(!events.is_empty());
+    let mut pids_seen = [false; 3];
+    for ev in events {
+        let ph = str_field(ev, "ph").expect("every event has ph");
+        let pid = num_field(ev, "pid").expect("every event has pid") as usize;
+        assert!(pid == 1 || pid == 2, "only the two declared processes");
+        if ph != "M" {
+            pids_seen[pid] = true;
+        }
+        match ph.as_str() {
+            // Metadata names a process or a track.
+            "M" => assert!(field(ev, "args").is_some()),
+            // Complete spans carry a duration.
+            "X" => {
+                assert!(num_field(ev, "ts").is_some());
+                assert!(num_field(ev, "dur").is_some());
+            }
+            // Counters carry a sampled value.
+            "C" => {
+                let args = field(ev, "args").expect("counter args");
+                assert!(num_field(args, "value").is_some());
+            }
+            // Instants are thread-scoped.
+            "i" => assert_eq!(str_field(ev, "s").as_deref(), Some("t")),
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(pids_seen[1], "simulated-time events present");
+    assert!(pids_seen[2], "host-time events present under Full detail");
+    // The periodic metric samples landed on the timeline as counters.
+    assert!(
+        events.iter().any(|ev| str_field(ev, "ph").as_deref() == Some("C")
+            && str_field(ev, "name").as_deref() == Some("instructions")),
+        "no sampled `instructions` counter on the timeline"
+    );
+    // Truncation is never silent — the cap was not hit here.
+    assert!(text.contains("\"droppedRecords\":0"));
+}
+
+/// Within every (pid, tid) track the exported events are in
+/// nondecreasing timestamp order (what trace viewers require).
+#[test]
+fn exported_tracks_are_time_ordered() {
+    let mut sim = full_obs_sim(workload());
+    sim.run().expect("runs");
+    let text = sim.trace_json().expect("obs enabled");
+    let doc = Json::parse(&text).expect("trace parses");
+    let mut last: std::collections::BTreeMap<(u64, u64), f64> = Default::default();
+    let mut timed = 0u32;
+    for ev in trace_events(&doc) {
+        if str_field(ev, "ph").as_deref() == Some("M") {
+            continue;
+        }
+        let key = (
+            num_field(ev, "pid").unwrap() as u64,
+            num_field(ev, "tid").unwrap() as u64,
+        );
+        let ts = num_field(ev, "ts").unwrap();
+        if let Some(&prev) = last.get(&key) {
+            assert!(prev <= ts, "track {key:?} goes backwards: {prev} > {ts}");
+        }
+        last.insert(key, ts);
+        timed += 1;
+    }
+    assert!(timed > 0, "no timed events exported");
+}
+
+/// `Spans` detail records the simulated-time tracks but no host-time
+/// process at all (host tracks are a `Full`-only cost).
+#[test]
+fn spans_detail_has_no_host_track() {
+    let exe = workload();
+    let mut cfg = XmtConfig::tiny();
+    cfg.obs_detail = ObsDetail::Spans;
+    let mut sim = CycleSim::new(exe, cfg);
+    sim.run().expect("runs");
+    let obs = sim.obs().expect("obs enabled");
+    assert!(!obs.timeline.records().is_empty());
+    assert!(obs
+        .timeline
+        .records()
+        .iter()
+        .all(|r| r.domain == TimeDomain::Sim));
+}
+
+/// The metrics registry round-trips value-exactly through its JSON
+/// schema, and carries both sim.* and host.* members when host profiling
+/// ran.
+#[test]
+fn metrics_registry_round_trips() {
+    let mut sim = full_obs_sim(workload());
+    sim.run().expect("runs");
+    let reg = sim.metrics_registry();
+    assert!(reg.get("sim.cycles").is_some());
+    assert!(reg.get("sim.instructions").is_some());
+    assert!(reg.get("host.sched_s").is_some());
+    let text = reg.to_json_string();
+    assert!(text.contains("xmtsim.metrics.v1"));
+    let back = MetricsRegistry::from_json_str(&text).expect("metrics parse");
+    assert_eq!(reg, back);
+    assert_eq!(back.to_json_string(), text, "encoder is canonical");
+}
+
+/// Spans on one track, sorted by start; panics on overlap.
+fn assert_no_overlap(records: &[&TraceRecord], what: &str) {
+    let mut spans: Vec<(u64, u64)> = records
+        .iter()
+        .filter_map(|r| match r.ph {
+            xmtsim::obs::Ph::Span { dur } => Some((r.ts, r.ts + dur)),
+            _ => None,
+        })
+        .collect();
+    spans.sort_unstable();
+    for w in spans.windows(2) {
+        assert!(
+            w[0].1 <= w[1].0,
+            "{what}: span [{}, {}] overlaps [{}, {}]",
+            w[0].0,
+            w[0].1,
+            w[1].0,
+            w[1].1
+        );
+    }
+}
+
+/// A run checkpointed mid-flight (JSON round trip included) and resumed
+/// still exports a parseable timeline whose spawn-section and per-TCU
+/// occupancy tracks hold non-overlapping spans.
+#[test]
+fn checkpoint_resume_timeline_is_well_formed() {
+    let exe = workload();
+    let mut cfg = XmtConfig::tiny();
+    cfg.obs_detail = ObsDetail::Full;
+
+    // Find the total length, then checkpoint halfway.
+    let mut reference = CycleSim::new(exe.clone(), cfg.clone());
+    let total = reference.run().expect("runs").cycles;
+    let mut sim = CycleSim::new(exe.clone(), cfg.clone());
+    sim.set_obs_sample_interval(64);
+    let ck = match sim.run_to_checkpoint_anytime(total / 2).expect("runs") {
+        CheckpointOutcome::Checkpoint(ck) => ck,
+        CheckpointOutcome::Done(_) => panic!("finished before the checkpoint cycle"),
+    };
+    let json = ck.to_json();
+    let round = Checkpoint::from_json(&json).expect("checkpoint parses");
+
+    // The resumed simulator re-attaches a fresh recorder from the config.
+    let mut resumed = CycleSim::resume(exe, cfg, round);
+    resumed.set_obs_sample_interval(64);
+    resumed.run().expect("resumed run halts");
+    let obs = resumed.obs().expect("obs re-attached on resume");
+    assert!(!obs.timeline.records().is_empty());
+
+    let text = resumed.trace_json().expect("obs enabled");
+    Json::parse(&text).expect("resumed trace parses");
+
+    let sections: Vec<&TraceRecord> = obs
+        .timeline
+        .records()
+        .iter()
+        .filter(|r| r.domain == TimeDomain::Sim && r.tid == TID_SECTIONS)
+        .collect();
+    assert_no_overlap(&sections, "spawn sections");
+    for tcu in TID_TCU0..TID_MASTER_MEM {
+        let occ: Vec<&TraceRecord> = obs
+            .timeline
+            .records()
+            .iter()
+            .filter(|r| r.domain == TimeDomain::Sim && r.tid == tcu)
+            .collect();
+        if occ.is_empty() {
+            continue;
+        }
+        assert_no_overlap(&occ, &format!("occupancy of tcu track {tcu}"));
+    }
+}

@@ -151,6 +151,65 @@ echo "$fuzz_out" | grep -qE 'cross_engine_fuzz: ran [1-9][0-9]* cases through fu
 }
 echo "$fuzz_out" | grep -E 'cross_engine_fuzz: ran'
 
+echo "==> observability referee: obs-on/obs-off bit-identity + trace export"
+# The observability layer is only free while an obs-on run stays
+# bit-identical to an obs-off run under both engines; the 256-case
+# suite must report its case count (a filtered-out suite must fail the
+# gate), and the exported trace/metrics sidecars must actually parse.
+obs_out=$(cargo test --offline -p xmtsim --test obs_diff --test obs_trace -- --nocapture 2>&1) || {
+    echo "$obs_out" >&2
+    exit 1
+}
+echo "$obs_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' || {
+    echo "observability tests were skipped (0 ran):" >&2
+    echo "$obs_out" >&2
+    exit 1
+}
+echo "$obs_out" | grep -qE 'obs_diff: ran [1-9][0-9]* obs-on/obs-off cases' || {
+    echo "obs differential suite did not report its case count:" >&2
+    echo "$obs_out" >&2
+    exit 1
+}
+echo "$obs_out" | grep -E 'obs_diff: ran'
+
+# End-to-end smoke: the CLI writes both sidecars and both parse (the
+# bench binary's --json mode shares the metrics schema).
+obs_dir=target/obs-smoke
+rm -rf "$obs_dir"
+mkdir -p "$obs_dir"
+cat > "$obs_dir/smoke.xs" <<'EOF'
+main:
+    li $a0, 0
+    li $a1, 7
+    li $s0, 268435456
+    spawn $a0, $a1
+vt:
+    li $t0, 1
+    ps $t0, gr0
+    chkid $t0
+    sll $t1, $t0, 2
+    add $t1, $t1, $s0
+    lw $t2, 0($t1)
+    addi $t2, $t2, 10
+    swnb $t2, 0($t1)
+    j vt
+    join
+    halt
+EOF
+printf '# xmt memory map\nA 0x10000000 8 1 2 3 4 5 6 7 8\n' > "$obs_dir/smoke.xbo"
+./target/release/xmtsim-cli "$obs_dir/smoke.xs" --memmap "$obs_dir/smoke.xbo" \
+    --config tiny --trace-out "$obs_dir/trace.json" \
+    --metrics-out "$obs_dir/metrics.json" >/dev/null
+grep -q '"traceEvents"' "$obs_dir/trace.json" || {
+    echo "trace sidecar missing traceEvents" >&2
+    exit 1
+}
+grep -q '"xmtsim.metrics.v1"' "$obs_dir/metrics.json" || {
+    echo "metrics sidecar missing schema tag" >&2
+    exit 1
+}
+echo "obs smoke OK (trace + metrics sidecars written and tagged)"
+
 echo "==> smoke benches (shortened iterations; writes BENCH_*.json)"
 # Cargo runs bench binaries with cwd = the package dir; pin the output
 # to the workspace-root target/ so the gate below finds it.
