@@ -1,0 +1,156 @@
+//! Memory-system event cost: closed-form *macro* queue drains vs the
+//! *per-request* oracle on a chip-scale (1024 TCU) memory-bound mix. The
+//! two models are bit-identical on simulated results, so the entire gap
+//! is host-side event traffic: the per-request model schedules one
+//! scheduler event per request per memory stage (ICN injection,
+//! cache-module service, return traversal, completion) where the macro
+//! model parks each stage in a time-bucketed entity queue and drains
+//! whole same-instant cohorts under a single scheduled event. The mix —
+//! every TCU streaming non-blocking read-modify-writes across four
+//! arrays in lockstep — keeps the TCUs issuing instead of stalling, so
+//! memory traffic dominates and same-instant cohorts are large (tens of
+//! entities per drain). Writes `BENCH_mem.json` and prints the host
+//! speedup plus the measured events-per-request for both models; the
+//! speedup is the PR's acceptance gate, so a macro path that stops
+//! paying for itself fails the bench.
+
+use xmt_harness::json::Json;
+use xmt_harness::BenchGroup;
+use xmt_isa::{AsmProgram, Executable, GlobalReg, Instr, MemoryMap, Reg, Target};
+use xmtsim::{CycleSim, MemModel, XmtConfig};
+
+const THREADS: usize = 1024;
+const ITERS: usize = 8;
+const UNROLL: usize = 4;
+
+/// The memory-bound mix: each virtual thread runs `ITERS` iterations of
+/// `UNROLL` non-blocking stores (one per array, own word each), with only
+/// the loop bookkeeping in between. Non-blocking stores never stall the
+/// TCU, so all 1024 threads stream requests in lockstep cohorts.
+fn streaming_mix() -> Executable {
+    let mut mm = MemoryMap::new();
+    let arrays: Vec<u32> = (0..UNROLL)
+        .map(|i| mm.push(&format!("A{i}"), vec![0u32; THREADS]))
+        .collect();
+    let mut p = AsmProgram::new();
+    p.push(Instr::Li { rt: Reg::A0, imm: 0 });
+    p.push(Instr::Li { rt: Reg::A1, imm: THREADS as i32 - 1 });
+    p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+    p.label("vt");
+    p.push(Instr::Li { rt: Reg::T0, imm: 1 });
+    p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+    p.push(Instr::Chkid { rt: Reg::T0 });
+    p.push(Instr::Sll { rd: Reg::T1, rt: Reg::T0, sh: 2 });
+    p.push(Instr::Li { rt: Reg::T3, imm: ITERS as i32 });
+    p.push(Instr::Li { rt: Reg::T2, imm: 1 });
+    p.label("loop");
+    for &a in &arrays {
+        p.push(Instr::Addi { rt: Reg::T2, rs: Reg::T2, imm: 7 });
+        p.push(Instr::Li { rt: Reg::S0, imm: a as i32 });
+        p.push(Instr::Add { rd: Reg::S1, rs: Reg::S0, rt: Reg::T1 });
+        p.push(Instr::Swnb { rt: Reg::T2, base: Reg::S1, off: 0 });
+    }
+    p.push(Instr::Addi { rt: Reg::T3, rs: Reg::T3, imm: -1 });
+    p.push(Instr::Bgtz { rs: Reg::T3, target: Target::label("loop") });
+    p.push(Instr::J { target: Target::label("vt") });
+    p.push(Instr::Join);
+    p.push(Instr::Halt);
+    p.link(mm).unwrap()
+}
+
+fn config(model: MemModel) -> XmtConfig {
+    let mut cfg = XmtConfig::chip1024();
+    cfg.mem_model = model;
+    cfg
+}
+
+/// Median of `<name>` in the written bench JSON.
+fn median_of(benches: &[Json], name: &str) -> Option<u64> {
+    benches.iter().find_map(|b| {
+        let obj = b.as_obj().ok()?;
+        let matches = obj
+            .iter()
+            .any(|(k, v)| k == "name" && matches!(v, Json::Str(s) if s == name));
+        if !matches {
+            return None;
+        }
+        obj.iter().find_map(|(k, v)| match v {
+            Json::U(u) if k == "median_ns" => Some(*u),
+            Json::I(i) if k == "median_ns" && *i >= 0 => Some(*i as u64),
+            _ => None,
+        })
+    })
+}
+
+fn main() {
+    let exe = streaming_mix();
+
+    // One profiled run per model up front: simulated results must agree
+    // (the mem_macro_diff suite proves it; this is a live cross-check),
+    // and the event books feed the per-request report below.
+    let mut probe = Vec::new();
+    for model in [MemModel::Macro, MemModel::PerRequest] {
+        let mut sim = CycleSim::new(exe.clone(), config(model));
+        sim.enable_host_profiling();
+        let s = sim.run().unwrap();
+        let hp = sim.host_profile().unwrap().clone();
+        let requests = sim.stats.module_accesses.iter().sum::<u64>();
+        probe.push((s, hp, requests));
+    }
+    let (sm, hm, requests) = &probe[0];
+    let (sp, _, _) = &probe[1];
+    assert_eq!(
+        (sm.cycles, sm.time_ps, sm.instructions),
+        (sp.cycles, sp.time_ps, sp.instructions),
+        "models diverged on simulated results"
+    );
+    let requests = (*requests).max(1);
+
+    let mut group = BenchGroup::new("mem");
+    group.sample_size(10);
+    group.throughput_elements(sm.instructions);
+    for (model, label) in [(MemModel::Macro, "macro"), (MemModel::PerRequest, "perreq")] {
+        let cfg = config(model);
+        group.bench(&format!("streaming_rmw/{label}"), || {
+            let mut sim = CycleSim::new(exe.clone(), cfg.clone());
+            sim.run().unwrap()
+        });
+    }
+    let path = group.finish();
+
+    // Report: host speedup and memory events per request, both models.
+    let text = std::fs::read_to_string(&path).expect("bench json readable");
+    let parsed = Json::parse(&text).expect("bench json parses");
+    let obj = parsed.as_obj().expect("bench json is an object");
+    let benches = obj
+        .iter()
+        .find(|(k, _)| k == "benches")
+        .and_then(|(_, v)| v.as_arr().ok())
+        .expect("benches array");
+    let mac = median_of(benches, "streaming_rmw/macro").expect("macro median");
+    let per = median_of(benches, "streaming_rmw/perreq").expect("perreq median");
+    let speedup = per as f64 / mac.max(1) as f64;
+    eprintln!(
+        "bench mem: chip1024 streaming read-modify-write mix: macro {speedup:.2}x vs \
+         per-request ({} vs {} ms median)",
+        mac / 1_000_000,
+        per / 1_000_000,
+    );
+    // Every pend the macro run pushed (`mem_elided`) is exactly one
+    // scheduler event the per-request run would have scheduled; the
+    // macro run paid `mem_drains` drain events for all of them.
+    eprintln!(
+        "bench mem: memory events per request: per-request {:.2}, macro {:.2} \
+         ({} drains for {} elided pends over {} requests)",
+        hm.mem_elided as f64 / requests as f64,
+        hm.mem_drains as f64 / requests as f64,
+        hm.mem_drains,
+        hm.mem_elided,
+        requests,
+    );
+    assert!(
+        speedup >= 1.5,
+        "macro memory model must win >=1.5x on the memory-bound mix, got {speedup:.2}x \
+         ({mac} ns vs {per} ns)"
+    );
+}

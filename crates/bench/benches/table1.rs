@@ -12,13 +12,14 @@
 use xmt_harness::BenchGroup;
 use xmt_workloads::micro::{build, MicroGroup, MicroParams};
 use xmtc::Options;
-use xmtsim::{DecodeMode, IcnModel, IssueModel, XmtConfig};
+use xmtsim::{DecodeMode, IcnModel, IssueModel, MemModel, XmtConfig};
 
 fn main() {
     let mut cfg = XmtConfig::chip1024();
     cfg.icn_model = IcnModel::PerHop;
     cfg.issue_model = IssueModel::PerInstr;
     cfg.decode_cache = DecodeMode::Off;
+    cfg.mem_model = MemModel::PerRequest;
     let params = MicroParams {
         threads: 1024,
         iters: 8,

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! xmtsim-cli PROGRAM.xs [--memmap FILE.xbo] [--config fpga64|chip1024|tiny|FILE.json]
-//!            [--icn express|perhop] [--issue burst|perinstr]
+//!            [--icn express|perhop] [--issue burst|perinstr] [--mem macro|perreq]
 //!            [--engine sequential|parallel] [--threads N] [--decode cache|off]
 //!            [--functional] [--stats] [--dump GLOBAL:COUNT] [--cycles-limit N]
 //!            [--trace-out FILE] [--metrics-out FILE] [--obs-detail off|spans|full]
@@ -21,17 +21,18 @@
 use std::process::ExitCode;
 use xmt_harness::FromJson;
 use xmtsim::{
-    CycleSim, DecodeMode, EngineMode, FunctionalSim, IcnModel, IssueModel, ObsDetail, XmtConfig,
+    CycleSim, DecodeMode, EngineMode, FunctionalSim, IcnModel, IssueModel, MemModel, ObsDetail,
+    XmtConfig,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: xmtsim-cli PROGRAM.xs [--memmap FILE.xbo] \
          [--config fpga64|chip1024|tiny|FILE.json] [--icn express|perhop] \
-         [--issue burst|perinstr] [--engine sequential|parallel] \
-         [--threads N] [--decode cache|off] [--functional] [--stats] \
-         [--dump GLOBAL:COUNT] [--cycles-limit N] [--trace-out FILE] \
-         [--metrics-out FILE] [--obs-detail off|spans|full]"
+         [--issue burst|perinstr] [--mem macro|perreq] \
+         [--engine sequential|parallel] [--threads N] [--decode cache|off] \
+         [--functional] [--stats] [--dump GLOBAL:COUNT] [--cycles-limit N] \
+         [--trace-out FILE] [--metrics-out FILE] [--obs-detail off|spans|full]"
     );
     std::process::exit(2)
 }
@@ -46,6 +47,7 @@ fn main() -> ExitCode {
     let mut limit: Option<u64> = None;
     let mut icn_model: Option<IcnModel> = None;
     let mut issue_model: Option<IssueModel> = None;
+    let mut mem_model: Option<MemModel> = None;
     let mut engine_mode: Option<EngineMode> = None;
     let mut threads: Option<u32> = None;
     let mut decode_mode: Option<DecodeMode> = None;
@@ -97,6 +99,13 @@ fn main() -> ExitCode {
                 issue_model = Some(match it.next().as_deref() {
                     Some("burst") => IssueModel::Burst,
                     Some("perinstr") => IssueModel::PerInstr,
+                    _ => usage(),
+                })
+            }
+            "--mem" => {
+                mem_model = Some(match it.next().as_deref() {
+                    Some("macro") => MemModel::Macro,
+                    Some("perreq") => MemModel::PerRequest,
                     _ => usage(),
                 })
             }
@@ -160,6 +169,9 @@ fn main() -> ExitCode {
     }
     if let Some(m) = issue_model {
         config.issue_model = m;
+    }
+    if let Some(m) = mem_model {
+        config.mem_model = m;
     }
     if let Some(m) = engine_mode {
         config.engine_mode = m;

@@ -1,30 +1,32 @@
 //! Cross-engine differential execution (the fuzzer's entry point).
 //!
-//! The toolchain now has five ways to execute one program: fast
-//! functional mode plus the four cycle-model configurations spanned by
-//! [`IssueModel`] × [`IcnModel`]. Each batched path (`Burst`, `Express`)
-//! was introduced with a per-event oracle (`PerInstr`, `PerHop`) and a
+//! The toolchain has many ways to execute one program: fast functional
+//! mode plus the cycle-model configurations spanned by [`IssueModel`] ×
+//! [`IcnModel`] × [`EngineMode`] × [`DecodeMode`] × [`MemModel`]. Each
+//! batched path (`Burst`, `Express`, `Macro`) was introduced with a
+//! per-event oracle (`PerInstr`, `PerHop`, `PerRequest`) and a
 //! bit-identity property suite; this module packages that discipline as
 //! a single entry point: [`run_all_engines`] executes one [`Executable`]
-//! on every engine and [`AllEngines::check_cycle_identical`] asserts the
-//! four cycle configurations agree on everything architecturally
-//! observable — cycles, simulated time, instruction count, the full
-//! statistics record and the final machine state. Only the host-side
-//! event count may differ (eliding events is the batched paths' point).
+//! on every [`CYCLE_ENGINE_MATRIX`] row and
+//! [`AllEngines::check_cycle_identical`] asserts all cycle
+//! configurations agree on everything architecturally observable —
+//! cycles, simulated time, instruction count, the full statistics record
+//! and the final machine state. Only the host-side event count may
+//! differ (eliding events is the batched paths' point).
 //!
 //! Functional mode serializes parallel sections, so it agrees with the
 //! cycle model only on *order-free* observables; which globals are
 //! order-free is program knowledge, so the caller states it via
 //! [`FunctionalCheck`] and [`AllEngines::check_functional_agrees`].
 
-use crate::config::{DecodeMode, EngineMode, IcnModel, IssueModel, XmtConfig};
+use crate::config::{DecodeMode, EngineMode, IcnModel, IssueModel, MemModel, XmtConfig};
 use crate::cycle::{CycleSim, SimError};
 use crate::functional::{FuncError, FunctionalSim};
 use crate::machine::Machine;
 use xmt_harness::ToJson;
 use xmt_isa::Executable;
 
-/// The ten cycle-model configurations every program is run through.
+/// The twelve cycle-model configurations every program is run through.
 ///
 /// Rows 0–3: the sequential engine over both batched defaults and both
 /// per-event oracles, plus the two mixed pairings (a tie-break bug in one
@@ -38,13 +40,22 @@ use xmt_isa::Executable;
 /// *off*, so the interpreted issue path stays the oracle; rows 8–9 turn
 /// it on — sequential burst replay and worker-side shared-cache replay —
 /// and must be bit-identical to everything above.
-pub const CYCLE_ENGINE_MATRIX: [(IssueModel, IcnModel, EngineMode, u32, DecodeMode); 10] = [
+///
+/// The sixth column picks the memory-system model. The per-event oracle
+/// rows (2, 3, 6, 7) also pin [`MemModel::PerRequest`], so the matrix
+/// keeps one fully event-per-event configuration per engine; the batched
+/// rows run the [`MemModel::Macro`] default. Rows 10–11 are the pure
+/// mem-model pairings — identical to rows 0 and 4 except for the memory
+/// model — so a macro-drain tie-break bug cannot hide behind a
+/// compensating issue- or ICN-layer difference.
+pub const CYCLE_ENGINE_MATRIX: [(IssueModel, IcnModel, EngineMode, u32, DecodeMode, MemModel); 12] = [
     (
         IssueModel::Burst,
         IcnModel::Express,
         EngineMode::Sequential,
         0,
         DecodeMode::Off,
+        MemModel::Macro,
     ),
     (
         IssueModel::Burst,
@@ -52,6 +63,7 @@ pub const CYCLE_ENGINE_MATRIX: [(IssueModel, IcnModel, EngineMode, u32, DecodeMo
         EngineMode::Sequential,
         0,
         DecodeMode::Off,
+        MemModel::Macro,
     ),
     (
         IssueModel::PerInstr,
@@ -59,6 +71,7 @@ pub const CYCLE_ENGINE_MATRIX: [(IssueModel, IcnModel, EngineMode, u32, DecodeMo
         EngineMode::Sequential,
         0,
         DecodeMode::Off,
+        MemModel::PerRequest,
     ),
     (
         IssueModel::PerInstr,
@@ -66,6 +79,7 @@ pub const CYCLE_ENGINE_MATRIX: [(IssueModel, IcnModel, EngineMode, u32, DecodeMo
         EngineMode::Sequential,
         0,
         DecodeMode::Off,
+        MemModel::PerRequest,
     ),
     (
         IssueModel::Burst,
@@ -73,6 +87,7 @@ pub const CYCLE_ENGINE_MATRIX: [(IssueModel, IcnModel, EngineMode, u32, DecodeMo
         EngineMode::Parallel,
         2,
         DecodeMode::Off,
+        MemModel::Macro,
     ),
     (
         IssueModel::Burst,
@@ -80,6 +95,7 @@ pub const CYCLE_ENGINE_MATRIX: [(IssueModel, IcnModel, EngineMode, u32, DecodeMo
         EngineMode::Parallel,
         4,
         DecodeMode::Off,
+        MemModel::Macro,
     ),
     (
         IssueModel::PerInstr,
@@ -87,6 +103,7 @@ pub const CYCLE_ENGINE_MATRIX: [(IssueModel, IcnModel, EngineMode, u32, DecodeMo
         EngineMode::Parallel,
         2,
         DecodeMode::Off,
+        MemModel::PerRequest,
     ),
     (
         IssueModel::Burst,
@@ -94,6 +111,7 @@ pub const CYCLE_ENGINE_MATRIX: [(IssueModel, IcnModel, EngineMode, u32, DecodeMo
         EngineMode::Parallel,
         2,
         DecodeMode::Off,
+        MemModel::PerRequest,
     ),
     (
         IssueModel::Burst,
@@ -101,6 +119,7 @@ pub const CYCLE_ENGINE_MATRIX: [(IssueModel, IcnModel, EngineMode, u32, DecodeMo
         EngineMode::Sequential,
         0,
         DecodeMode::Cache,
+        MemModel::Macro,
     ),
     (
         IssueModel::Burst,
@@ -108,6 +127,23 @@ pub const CYCLE_ENGINE_MATRIX: [(IssueModel, IcnModel, EngineMode, u32, DecodeMo
         EngineMode::Parallel,
         2,
         DecodeMode::Cache,
+        MemModel::Macro,
+    ),
+    (
+        IssueModel::Burst,
+        IcnModel::Express,
+        EngineMode::Sequential,
+        0,
+        DecodeMode::Off,
+        MemModel::PerRequest,
+    ),
+    (
+        IssueModel::Burst,
+        IcnModel::Express,
+        EngineMode::Parallel,
+        2,
+        DecodeMode::Off,
+        MemModel::PerRequest,
     ),
 ];
 
@@ -121,6 +157,8 @@ pub struct EngineRun {
     pub threads: u32,
     /// Whether the pre-decoded basic-block cache was in force.
     pub decode: DecodeMode,
+    /// Which memory-system event model was in force.
+    pub mem: MemModel,
     pub cycles: u64,
     pub time_ps: u64,
     pub instructions: u64,
@@ -138,7 +176,7 @@ pub struct EngineRun {
 impl EngineRun {
     /// Label like `Burst×Express` (sequential) or `Burst×Express×Par2`
     /// (parallel at 2 threads) for diagnostics; decode-cache rows carry
-    /// a `×Cache` suffix.
+    /// a `×Cache` suffix and per-request memory rows a `×PerReq` suffix.
     pub fn label(&self) -> String {
         let mut l = match self.engine {
             EngineMode::Sequential => format!("{:?}×{:?}", self.issue, self.icn),
@@ -148,6 +186,9 @@ impl EngineRun {
         };
         if self.decode == DecodeMode::Cache {
             l.push_str("×Cache");
+        }
+        if self.mem == MemModel::PerRequest {
+            l.push_str("×PerReq");
         }
         l
     }
@@ -225,6 +266,7 @@ pub fn run_cycle_engine(
     engine: EngineMode,
     threads: u32,
     decode: DecodeMode,
+    mem: MemModel,
     instr_limit: u64,
 ) -> Result<EngineRun, DifferentialError> {
     let mut cfg = cfg.clone();
@@ -232,6 +274,7 @@ pub fn run_cycle_engine(
     cfg.icn_model = icn;
     cfg.engine_mode = engine;
     cfg.decode_cache = decode;
+    cfg.mem_model = mem;
     if engine == EngineMode::Parallel {
         cfg.threads = threads;
     }
@@ -242,6 +285,9 @@ pub fn run_cycle_engine(
         };
         if decode == DecodeMode::Cache {
             l.push_str("×Cache");
+        }
+        if mem == MemModel::PerRequest {
+            l.push_str("×PerReq");
         }
         l
     };
@@ -263,6 +309,7 @@ pub fn run_cycle_engine(
         engine,
         threads,
         decode,
+        mem,
         cycles: s.cycles,
         time_ps: s.time_ps,
         instructions: s.instructions,
@@ -273,9 +320,9 @@ pub fn run_cycle_engine(
     })
 }
 
-/// Run `exe` through functional mode and all ten cycle configurations
-/// (sequential and sharded-parallel, decode cache off and on — see
-/// [`CYCLE_ENGINE_MATRIX`]).
+/// Run `exe` through functional mode and all twelve cycle configurations
+/// (sequential and sharded-parallel, decode cache off and on, macro and
+/// per-request memory — see [`CYCLE_ENGINE_MATRIX`]).
 ///
 /// `instr_limit` bounds every engine so a generated program that loops
 /// forever surfaces as an error instead of a hang.
@@ -293,7 +340,7 @@ pub fn run_all_engines(
     };
 
     let mut cycle = Vec::with_capacity(CYCLE_ENGINE_MATRIX.len());
-    for (issue, icn, engine, threads, decode) in CYCLE_ENGINE_MATRIX {
+    for (issue, icn, engine, threads, decode, mem) in CYCLE_ENGINE_MATRIX {
         cycle.push(run_cycle_engine(
             exe,
             cfg,
@@ -302,6 +349,7 @@ pub fn run_all_engines(
             engine,
             threads,
             decode,
+            mem,
             instr_limit,
         )?);
     }
@@ -317,13 +365,14 @@ pub fn run_all_engines(
 /// batched default on the parallel engine and under decoded replay —
 /// the configurations whose burst/offload fast paths would be the first
 /// to notice an observer that wasn't pure.
-pub const OBS_ENGINE_ROWS: [(IssueModel, IcnModel, EngineMode, u32, DecodeMode); 4] = [
+pub const OBS_ENGINE_ROWS: [(IssueModel, IcnModel, EngineMode, u32, DecodeMode, MemModel); 4] = [
     (
         IssueModel::Burst,
         IcnModel::Express,
         EngineMode::Sequential,
         0,
         DecodeMode::Off,
+        MemModel::Macro,
     ),
     (
         IssueModel::PerInstr,
@@ -331,6 +380,7 @@ pub const OBS_ENGINE_ROWS: [(IssueModel, IcnModel, EngineMode, u32, DecodeMode);
         EngineMode::Sequential,
         0,
         DecodeMode::Off,
+        MemModel::PerRequest,
     ),
     (
         IssueModel::Burst,
@@ -338,6 +388,7 @@ pub const OBS_ENGINE_ROWS: [(IssueModel, IcnModel, EngineMode, u32, DecodeMode);
         EngineMode::Parallel,
         2,
         DecodeMode::Cache,
+        MemModel::Macro,
     ),
     (
         IssueModel::Burst,
@@ -345,6 +396,7 @@ pub const OBS_ENGINE_ROWS: [(IssueModel, IcnModel, EngineMode, u32, DecodeMode);
         EngineMode::Sequential,
         0,
         DecodeMode::Cache,
+        MemModel::Macro,
     ),
 ];
 
@@ -361,14 +413,15 @@ pub fn check_obs_transparent(
     cfg: &XmtConfig,
     instr_limit: u64,
 ) -> Result<(), String> {
-    for (issue, icn, engine, threads, decode) in OBS_ENGINE_ROWS {
-        let off = run_cycle_engine(exe, cfg, issue, icn, engine, threads, decode, instr_limit)
+    for (issue, icn, engine, threads, decode, mem) in OBS_ENGINE_ROWS {
+        let off = run_cycle_engine(exe, cfg, issue, icn, engine, threads, decode, mem, instr_limit)
             .map_err(|e| format!("obs-off run failed: {e}"))?;
         let mut on_cfg = cfg.clone();
         on_cfg.issue_model = issue;
         on_cfg.icn_model = icn;
         on_cfg.engine_mode = engine;
         on_cfg.decode_cache = decode;
+        on_cfg.mem_model = mem;
         on_cfg.obs_detail = crate::config::ObsDetail::Full;
         if engine == EngineMode::Parallel {
             on_cfg.threads = threads;

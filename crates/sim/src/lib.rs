@@ -39,7 +39,7 @@ pub mod power;
 pub mod stats;
 pub mod trace;
 
-pub use config::{DecodeMode, EngineMode, IcnModel, IssueModel, ObsDetail, XmtConfig};
+pub use config::{DecodeMode, EngineMode, IcnModel, IssueModel, MemModel, ObsDetail, XmtConfig};
 pub use cycle::CycleSim;
 pub use obs::{MetricsRegistry, Timeline};
 pub use differential::{run_all_engines, AllEngines, FunctionalCheck};

@@ -225,6 +225,10 @@ fn express_elides_hop_events() {
 
     let mut cfg = XmtConfig::tiny();
     cfg.icn_latency = 6; // six switches each way
+    // The hop-for-hop event books below assume one scheduler event per
+    // memory request on both sides; the macro memory model elides those
+    // too (its own books are checked in `mem_macro_diff`).
+    cfg.mem_model = xmtsim::MemModel::PerRequest;
     let run_model = |model: IcnModel| {
         let mut c = cfg.clone();
         c.icn_model = model;

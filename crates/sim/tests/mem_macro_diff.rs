@@ -1,0 +1,399 @@
+//! Differential property suite for the two memory-system event models.
+//!
+//! The closed-form *macro* path (one end-of-service drain event per busy
+//! memory queue — cache modules, DRAM ports, prefetch buffers and ICN
+//! send/receive queues) must be bit-identical to the *per-request* oracle
+//! (one scheduler event per request per stage) on every architecturally
+//! observable quantity: simulated cycles, simulated time, instruction
+//! count, the full statistics record, the final machine state (memory,
+//! global registers) — and the bytes of a mid-flight checkpoint, which
+//! serializes the pending memory schedule in a model-neutral canonical
+//! form. The only permitted difference is the host-side event count in
+//! [`RunSummary::events`] — eliding per-request events is the point.
+//!
+//! Cases sweep random programs (loads, non-blocking stores, prefix-sum-
+//! to-memory, prefetch + consume, fences, MDU work), random small
+//! topologies, both switch timing disciplines, both prefetch-buffer
+//! eviction policies, the sequential and the sharded parallel (2-worker)
+//! engines, and mid-run DVFS retuning driven by an activity plug-in —
+//! the hardest case for the macro path, which must recompute every
+//! pending drain exactly as the per-request events would have been
+//! rescheduled one by one.
+
+use xmt_harness::prop::{run, Config, Gen};
+use xmt_harness::ToJson;
+use xmt_isa::{AsmProgram, Executable, GlobalReg, Instr, MemoryMap, Reg, Target};
+use xmtsim::checkpoint::{Checkpoint, CheckpointOutcome};
+use xmtsim::config::{ClockDomain, EngineMode, IcnTiming, PrefetchPolicy};
+use xmtsim::stats::{ActivityPlugin, ActivitySample, RuntimeCtl};
+use xmtsim::{CycleSim, MemModel, XmtConfig};
+
+/// A deterministic mid-run clock retune: at activity sample
+/// `at_sample`, scale `dom`'s frequency by `factor_pct`%. Constructed
+/// identically for both simulators so the DVFS schedule is shared.
+#[derive(Debug, Clone, Copy)]
+struct DvfsSpec {
+    at_sample: u64,
+    dom: ClockDomain,
+    factor_pct: u32,
+    interval_cycles: u64,
+}
+
+struct Retune {
+    spec: DvfsSpec,
+    seen: u64,
+    fired: bool,
+}
+
+impl ActivityPlugin for Retune {
+    fn sample(&mut self, _s: &ActivitySample<'_>, ctl: &mut RuntimeCtl) {
+        self.seen += 1;
+        if !self.fired && self.seen >= self.spec.at_sample {
+            self.fired = true;
+            ctl.scale_frequency(self.spec.dom, self.spec.factor_pct as f64 / 100.0);
+        }
+    }
+}
+
+fn gen_config(g: &mut Gen) -> XmtConfig {
+    let mut cfg = XmtConfig::tiny();
+    cfg.clusters = if g.bool_p(0.5) { 2 } else { 4 };
+    cfg.tcus_per_cluster = g.usize_in(1, 2) as u32;
+    cfg.cache_modules = if g.bool_p(0.5) { 2 } else { 4 };
+    cfg.dram_channels = g.usize_in(1, 2) as u32;
+    // 0 = derived from the topology; otherwise an explicit hop count.
+    cfg.icn_latency = g.usize_in(0, 6) as u32;
+    cfg.icn_timing = if g.bool_p(0.5) {
+        IcnTiming::Synchronous
+    } else {
+        IcnTiming::Asynchronous {
+            hop_ps: g.int_in(300, 1500) as u64,
+            jitter_ps: g.int_in(0, 900) as u64,
+        }
+    };
+    cfg.prefetch_policy = if g.bool_p(0.5) { PrefetchPolicy::Fifo } else { PrefetchPolicy::Lru };
+    // The MSHR-chain edge case: zero hit latency makes same-instant
+    // chaining at `line_busy` entries exact, which the macro drain must
+    // preserve.
+    if g.bool_p(0.25) {
+        cfg.cache_hit_latency = 0;
+    }
+    // One case in four runs the sharded parallel engine at 2 workers.
+    if g.bool_p(0.25) {
+        cfg.engine_mode = EngineMode::Parallel;
+        cfg.threads = 2;
+    }
+    cfg
+}
+
+/// A random terminating program of 1–2 spawn sections whose virtual
+/// threads mix every memory-traffic shape the memory system serves.
+fn gen_program(g: &mut Gen) -> Executable {
+    let words = 1usize << g.usize_in(4, 7); // 16..128, power of two
+    let mask = (words - 1) as u32;
+    let mut mm = MemoryMap::new();
+    let a = mm.push("A", (0..words as u32).collect());
+    let c = mm.push("C", vec![0u32; 8]);
+    let mut p = AsmProgram::new();
+    let sections = g.usize_in(1, 2);
+    for s in 0..sections {
+        let threads = g.usize_in(1, 24) as i32;
+        let stride_sh = g.usize_in(0, 3) as u8;
+        p.push(Instr::Li { rt: Reg::A0, imm: 0 });
+        p.push(Instr::Li { rt: Reg::A1, imm: threads - 1 });
+        p.push(Instr::Li { rt: Reg::S0, imm: a as i32 });
+        p.push(Instr::Li { rt: Reg::S1, imm: c as i32 });
+        p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+        let tag = format!("vt{s}");
+        p.label(tag.clone());
+        p.push(Instr::Li { rt: Reg::T0, imm: 1 });
+        p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+        p.push(Instr::Chkid { rt: Reg::T0 });
+        // T1 = &A[($ << stride) & mask]
+        p.push(Instr::Sll { rd: Reg::T1, rt: Reg::T0, sh: stride_sh });
+        p.push(Instr::Andi { rt: Reg::T1, rs: Reg::T1, imm: mask });
+        p.push(Instr::Sll { rd: Reg::T1, rt: Reg::T1, sh: 2 });
+        p.push(Instr::Add { rd: Reg::T1, rs: Reg::T1, rt: Reg::S0 });
+        for _ in 0..g.usize_in(2, 6) {
+            match g.usize_in(0, 6) {
+                0 => {
+                    // Round-trip load, accumulated so the value matters.
+                    p.push(Instr::Lw { rt: Reg::T2, base: Reg::T1, off: 0 });
+                    p.push(Instr::Add { rd: Reg::T3, rs: Reg::T3, rt: Reg::T2 });
+                }
+                1 => p.push(Instr::Swnb { rt: Reg::T0, base: Reg::T1, off: 0 }),
+                2 => {
+                    // Prefix-sum to memory: value-carrying round trip.
+                    p.push(Instr::Li { rt: Reg::T4, imm: 1 });
+                    p.push(Instr::Psm { rt: Reg::T4, base: Reg::S1, off: 4 * s as i32 });
+                }
+                3 => {
+                    // Prefetch-buffer fill + consume: hit-or-wait timing
+                    // depends on exact fill order under either policy.
+                    p.push(Instr::Pref { base: Reg::T1, off: 0 });
+                    p.push(Instr::Lw { rt: Reg::T2, base: Reg::T1, off: 0 });
+                }
+                4 => p.push(Instr::Fence),
+                5 => p.push(Instr::Mul { rd: Reg::T3, rs: Reg::T0, rt: Reg::T0 }),
+                _ => {
+                    let off = 4 * g.int_in(0, 3) as i32;
+                    p.push(Instr::Lw { rt: Reg::T5, base: Reg::S0, off });
+                }
+            }
+        }
+        // Final per-thread store: the end state depends on exact service
+        // order, so any reordering between the models shows up in memory.
+        p.push(Instr::Swnb { rt: Reg::T3, base: Reg::T1, off: 0 });
+        p.push(Instr::J { target: Target::label(tag) });
+        p.push(Instr::Join);
+    }
+    p.push(Instr::Halt);
+    p.link(mm).unwrap()
+}
+
+fn gen_dvfs(g: &mut Gen) -> Option<DvfsSpec> {
+    if !g.bool_p(0.35) {
+        return None;
+    }
+    let dom = match g.usize_in(0, 3) {
+        0 => ClockDomain::Cluster,
+        1 => ClockDomain::Icn,
+        2 => ClockDomain::Cache,
+        _ => ClockDomain::Dram,
+    };
+    let factor_pct = [25, 50, 75, 150, 200, 300][g.usize_in(0, 5)];
+    Some(DvfsSpec {
+        at_sample: g.int_in(1, 4) as u64,
+        dom,
+        factor_pct,
+        interval_cycles: g.int_in(64, 512) as u64,
+    })
+}
+
+fn sim_for(exe: &Executable, cfg: &XmtConfig, model: MemModel, dvfs: Option<DvfsSpec>) -> CycleSim {
+    let mut cfg = cfg.clone();
+    cfg.mem_model = model;
+    let mut sim = CycleSim::new(exe.clone(), cfg);
+    if let Some(spec) = dvfs {
+        sim.add_activity(
+            Box::new(Retune { spec, seen: 0, fired: false }),
+            spec.interval_cycles,
+        );
+    }
+    sim
+}
+
+/// Everything two runs must agree on, as one comparable tuple.
+/// `RunSummary::events` is deliberately absent.
+fn observe(
+    exe: &Executable,
+    cfg: &XmtConfig,
+    model: MemModel,
+    dvfs: Option<DvfsSpec>,
+) -> (u64, u64, u64, String, String) {
+    let mut sim = sim_for(exe, cfg, model, dvfs);
+    let s = sim.run().expect("program runs to halt");
+    (
+        s.cycles,
+        s.time_ps,
+        s.instructions,
+        sim.stats.to_json_string(),
+        sim.machine.to_json_string(),
+    )
+}
+
+/// The tentpole property: 256 random (program, topology, timing, engine,
+/// DVFS) cases where the macro queue-drain path and the per-request
+/// oracle are bit-identical — and, on DVFS-free cases, where a
+/// mid-flight checkpoint's bytes are model-independent and cross-model
+/// resume ends bit-identically.
+#[test]
+fn mem_macro_matches_perrequest_oracle() {
+    let mut ran = 0u32;
+    let mut ckpt_legs = 0u32;
+    run("mem_macro_matches_perrequest_oracle", Config::default(), |g: &mut Gen| {
+        ran += 1;
+        let exe = gen_program(g);
+        let cfg = gen_config(g);
+        let dvfs = gen_dvfs(g);
+        let mac = observe(&exe, &cfg, MemModel::Macro, dvfs);
+        let per = observe(&exe, &cfg, MemModel::PerRequest, dvfs);
+        assert_eq!(
+            mac, per,
+            "macro/per-request divergence under cfg {:?} engine {:?} dvfs {:?}",
+            cfg.icn_timing, cfg.engine_mode, dvfs
+        );
+
+        // Mid-flight checkpoint leg (activity plug-ins don't travel with
+        // checkpoints, so only DVFS-free cases resume unambiguously).
+        if dvfs.is_some() || mac.0 < 8 {
+            return;
+        }
+        let target = mac.0 / 2;
+        let take = |model: MemModel| {
+            let mut sim = sim_for(&exe, &cfg, model, None);
+            match sim.run_to_checkpoint_anytime(target).unwrap() {
+                CheckpointOutcome::Checkpoint(c) => Some(c.to_json()),
+                CheckpointOutcome::Done(_) => None,
+            }
+        };
+        let (Some(mac_json), Some(per_json)) = (take(MemModel::Macro), take(MemModel::PerRequest))
+        else {
+            return; // halted before the target under either model
+        };
+        assert_eq!(
+            mac_json, per_json,
+            "checkpoint bytes differ between memory models (target {target})"
+        );
+        ckpt_legs += 1;
+        // Cross-model resume: a macro-written checkpoint resumed under
+        // the per-request oracle (and vice versa) must end exactly where
+        // the uninterrupted runs did.
+        for resume_model in [MemModel::PerRequest, MemModel::Macro] {
+            let ckpt = Checkpoint::from_json(&mac_json).unwrap();
+            let mut cfg2 = cfg.clone();
+            cfg2.mem_model = resume_model;
+            let mut resumed = CycleSim::resume(exe.clone(), cfg2, ckpt);
+            let s = resumed.run().unwrap();
+            assert_eq!(
+                (s.cycles, s.time_ps, s.instructions,
+                 resumed.stats.to_json_string(), resumed.machine.to_json_string()),
+                mac,
+                "cross-model resume under {resume_model:?} diverged (target {target})"
+            );
+        }
+    });
+    // scripts/verify.sh greps for this line to prove the suite really ran
+    // (and wasn't filtered out) with the expected case count.
+    eprintln!("mem_macro_diff: ran {ran} macro/per-request cases ({ckpt_legs} with checkpoint legs)");
+    assert!(ran >= 1);
+    assert!(ckpt_legs >= 1, "no case exercised the checkpoint leg (vacuous)");
+}
+
+/// The macro path does what it is for: on a memory-bound workload it
+/// schedules far fewer events than the per-request oracle, and the
+/// host-side drain/elision books say so.
+#[test]
+fn macro_elides_memory_events() {
+    let words = 256usize;
+    let mut mm = MemoryMap::new();
+    let a = mm.push("A", vec![0u32; words]);
+    let mut p = AsmProgram::new();
+    p.push(Instr::Li { rt: Reg::A0, imm: 0 });
+    p.push(Instr::Li { rt: Reg::A1, imm: words as i32 - 1 });
+    p.push(Instr::Li { rt: Reg::S0, imm: a as i32 });
+    p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+    p.label("vt");
+    p.push(Instr::Li { rt: Reg::T0, imm: 1 });
+    p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+    p.push(Instr::Chkid { rt: Reg::T0 });
+    p.push(Instr::Sll { rd: Reg::T1, rt: Reg::T0, sh: 2 });
+    p.push(Instr::Add { rd: Reg::T1, rs: Reg::T1, rt: Reg::S0 });
+    p.push(Instr::Lw { rt: Reg::T2, base: Reg::T1, off: 0 });
+    p.push(Instr::Addi { rt: Reg::T2, rs: Reg::T2, imm: 7 });
+    p.push(Instr::Swnb { rt: Reg::T2, base: Reg::T1, off: 0 });
+    p.push(Instr::J { target: Target::label("vt") });
+    p.push(Instr::Join);
+    p.push(Instr::Halt);
+    let exe = p.link(mm).unwrap();
+
+    let cfg = XmtConfig::tiny();
+    let run_model = |model: MemModel| {
+        let mut c = cfg.clone();
+        c.mem_model = model;
+        let mut sim = CycleSim::new(exe.clone(), c);
+        sim.enable_host_profiling();
+        let s = sim.run().unwrap();
+        let hp = sim.host_profile().unwrap().clone();
+        (s, hp)
+    };
+    let (sm, hm) = run_model(MemModel::Macro);
+    let (sp, hp) = run_model(MemModel::PerRequest);
+
+    assert_eq!(
+        (sm.cycles, sm.time_ps, sm.instructions),
+        (sp.cycles, sp.time_ps, sp.instructions)
+    );
+    assert_eq!((hp.mem_drains, hp.mem_elided), (0, 0), "oracle schedules per-request");
+    assert!(hm.mem_drains > 0, "macro path drained the memory queues");
+    assert!(
+        hm.mem_elided > hm.mem_drains,
+        "drains must batch: {} elided pends vs {} drain events",
+        hm.mem_elided,
+        hm.mem_drains
+    );
+    assert!(
+        sm.events < sp.events,
+        "macro run must process fewer events: {} vs {}",
+        sm.events,
+        sp.events
+    );
+}
+
+/// Prefetch-buffer fill/evict order under the macro path: a
+/// prefetch-saturating workload (every thread prefetches more lines than
+/// one buffer holds, then consumes them) is bit-identical under both
+/// memory models for *both* eviction policies, and the policies really
+/// exercised eviction (more prefetches than hits can cover).
+#[test]
+fn prefetch_fill_and_evict_order_survives_macro_drains() {
+    run(
+        "prefetch_fill_and_evict_order_survives_macro_drains",
+        Config::with_cases(64),
+        |g: &mut Gen| {
+            let words = 128usize;
+            let mask = (words - 1) as u32;
+            let mut mm = MemoryMap::new();
+            let a = mm.push("A", (0..words as u32).collect());
+            let mut p = AsmProgram::new();
+            let threads = g.usize_in(4, 16) as i32;
+            let bursts = g.usize_in(3, 8);
+            p.push(Instr::Li { rt: Reg::A0, imm: 0 });
+            p.push(Instr::Li { rt: Reg::A1, imm: threads - 1 });
+            p.push(Instr::Li { rt: Reg::S0, imm: a as i32 });
+            p.push(Instr::Spawn { lo: Reg::A0, hi: Reg::A1 });
+            p.label("vt");
+            p.push(Instr::Li { rt: Reg::T0, imm: 1 });
+            p.push(Instr::Ps { rt: Reg::T0, gr: GlobalReg::THREAD_ALLOC });
+            p.push(Instr::Chkid { rt: Reg::T0 });
+            for k in 0..bursts {
+                // Distinct line per burst: fills contend for buffer slots,
+                // so a wrong eviction order changes which loads hit.
+                let stride = 1 + g.usize_in(0, 5) as u32;
+                p.push(Instr::Sll { rd: Reg::T1, rt: Reg::T0, sh: 3 });
+                p.push(Instr::Addi {
+                    rt: Reg::T1,
+                    rs: Reg::T1,
+                    imm: (k as u32 * stride & mask) as i32,
+                });
+                p.push(Instr::Andi { rt: Reg::T1, rs: Reg::T1, imm: mask });
+                p.push(Instr::Sll { rd: Reg::T1, rt: Reg::T1, sh: 2 });
+                p.push(Instr::Add { rd: Reg::T1, rs: Reg::T1, rt: Reg::S0 });
+                p.push(Instr::Pref { base: Reg::T1, off: 0 });
+                if g.bool_p(0.7) {
+                    p.push(Instr::Lw { rt: Reg::T2, base: Reg::T1, off: 0 });
+                    p.push(Instr::Add { rd: Reg::T3, rs: Reg::T3, rt: Reg::T2 });
+                }
+            }
+            p.push(Instr::Swnb { rt: Reg::T3, base: Reg::T1, off: 0 });
+            p.push(Instr::J { target: Target::label("vt") });
+            p.push(Instr::Join);
+            p.push(Instr::Halt);
+            let exe = p.link(mm).unwrap();
+
+            for policy in [PrefetchPolicy::Fifo, PrefetchPolicy::Lru] {
+                let mut cfg = XmtConfig::tiny();
+                cfg.prefetch_policy = policy;
+                let mac = observe(&exe, &cfg, MemModel::Macro, None);
+                let per = observe(&exe, &cfg, MemModel::PerRequest, None);
+                assert_eq!(mac, per, "prefetch divergence under {policy:?}");
+                // Not vacuous: the run really prefetched.
+                let mut c = cfg.clone();
+                c.mem_model = MemModel::Macro;
+                let mut sim = CycleSim::new(exe.clone(), c);
+                sim.run().unwrap();
+                assert!(sim.stats.prefetches > 0, "workload never prefetched");
+            }
+        },
+    );
+}

@@ -749,7 +749,9 @@ pub fn check_case_against(
         // `oracle_cfg`.
         use xmtsim::differential::{run_cycle_engine, CYCLE_ENGINE_MATRIX};
         let mut all = run_all_engines(exe, cfg, INSTR_LIMIT).map_err(|e| e.to_string())?;
-        for (k, (issue, icn, engine, threads, decode)) in CYCLE_ENGINE_MATRIX.iter().enumerate() {
+        for (k, (issue, icn, engine, threads, decode, mem)) in
+            CYCLE_ENGINE_MATRIX.iter().enumerate()
+        {
             if matches!(issue, xmtsim::IssueModel::PerInstr) {
                 all.cycle[k] = run_cycle_engine(
                     exe,
@@ -759,6 +761,7 @@ pub fn check_case_against(
                     *engine,
                     *threads,
                     *decode,
+                    *mem,
                     INSTR_LIMIT,
                 )
                 .map_err(|e| e.to_string())?;

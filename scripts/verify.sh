@@ -104,6 +104,27 @@ echo "$decode_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' || {
     exit 1
 }
 
+echo "==> memory-system macro-vs-per-request differential referee"
+# Macro queue drains are only an optimization while the per-request
+# oracle agrees bit-for-bit — across ICN/issue models, the parallel
+# engine, DVFS retuning, and mid-flight checkpoint cross-resume. The
+# property suite must report its case count for the gate to pass.
+mem_out=$(cargo test --offline -p xmtsim --test mem_macro_diff -- --nocapture 2>&1) || {
+    echo "$mem_out" >&2
+    exit 1
+}
+echo "$mem_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' || {
+    echo "memory macro differential tests were skipped (0 ran):" >&2
+    echo "$mem_out" >&2
+    exit 1
+}
+echo "$mem_out" | grep -qE 'mem_macro_diff: ran [1-9][0-9]* macro/per-request cases' || {
+    echo "memory macro differential suite did not report its case count:" >&2
+    echo "$mem_out" >&2
+    exit 1
+}
+echo "$mem_out" | grep -E 'mem_macro_diff: ran'
+
 echo "==> parallel-engine differential referee"
 # The sharded parallel engine is only an implementation detail while it
 # stays bit-identical to the sequential engine — including mid-flight
@@ -131,7 +152,7 @@ echo "$inflight_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' || {
 
 echo "==> cross-engine differential fuzz referee"
 # The fuzzer must actually *run* its seeded cases through functional
-# mode plus all ten cycle-model configs — a filter typo or a renamed
+# mode plus all twelve cycle-model configs — a filter typo or a renamed
 # test silently skipping the suite must fail the gate. XMT_FUZZ_CASES
 # lets a quick smoke tier dial the count down (default 256).
 fuzz_out=$(XMT_FUZZ_CASES="${XMT_FUZZ_CASES:-256}" \
@@ -144,7 +165,7 @@ echo "$fuzz_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' || {
     echo "$fuzz_out" >&2
     exit 1
 }
-echo "$fuzz_out" | grep -qE 'cross_engine_fuzz: ran [1-9][0-9]* cases through functional \+ 10 cycle engines' || {
+echo "$fuzz_out" | grep -qE 'cross_engine_fuzz: ran [1-9][0-9]* cases through functional \+ 12 cycle engines' || {
     echo "cross-engine fuzz suite did not report its case count:" >&2
     echo "$fuzz_out" >&2
     exit 1
@@ -216,7 +237,7 @@ echo "==> smoke benches (shortened iterations; writes BENCH_*.json)"
 XMT_BENCH_DIR="$PWD/target/bench" \
 XMT_BENCH_ITERS="${XMT_BENCH_ITERS:-3}" \
 XMT_BENCH_WARMUP_MS="${XMT_BENCH_WARMUP_MS:-10}" \
-    cargo bench --offline -p xmt-bench --bench modes --bench compiler --bench scheduler --bench icn --bench issue --bench corpus --bench parallel --bench decode
+    cargo bench --offline -p xmt-bench --bench modes --bench compiler --bench scheduler --bench icn --bench issue --bench corpus --bench parallel --bench decode --bench mem
 
 ls target/bench/BENCH_*.json >/dev/null 2>&1 || {
     echo "no BENCH_*.json emitted" >&2
@@ -246,9 +267,25 @@ ls target/bench/BENCH_*.json >/dev/null 2>&1 || {
     echo "BENCH_decode.json missing (decode cache-vs-off bench did not run)" >&2
     exit 1
 }
+[ -f target/bench/BENCH_mem.json ] || {
+    echo "BENCH_mem.json missing (memory macro-vs-per-request bench did not run)" >&2
+    exit 1
+}
 
 echo "==> perf-regression gate (fresh medians vs bench/refs)"
-./scripts/perf_gate.sh target/bench
+# One confirm-rerun on failure: the refs are per-host wall-clock
+# numbers and a shared host can swing a 3-iteration median past the
+# threshold on its own (the smoke benches also run right after the
+# test tier has heated the machine). A transient throttling window
+# passes the re-measure; a real regression fails twice in a row.
+if ! ./scripts/perf_gate.sh target/bench; then
+    echo "==> perf gate tripped; re-measuring once to rule out host noise"
+    XMT_BENCH_DIR="$PWD/target/bench" \
+    XMT_BENCH_ITERS="${XMT_BENCH_ITERS:-3}" \
+    XMT_BENCH_WARMUP_MS="${XMT_BENCH_WARMUP_MS:-10}" \
+        cargo bench --offline -p xmt-bench --bench modes --bench compiler --bench scheduler --bench icn --bench issue --bench corpus --bench parallel --bench decode --bench mem
+    ./scripts/perf_gate.sh target/bench
+fi
 
 echo "==> perf-gate self-test (an injected regression must fail)"
 # Copy the fresh results, inflate one median 10x, and make sure the
